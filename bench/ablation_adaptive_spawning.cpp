@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: the paper's Sec. IX future-work proposal — "allowing
+ * branching instead of thread creation when all threads in a warp
+ * follow the same branch" — versus the naive every-iteration spawning
+ * evaluated in the paper, across all three scenes.
+ */
+
+#include "bench_common.hpp"
+
+using namespace uksim;
+using namespace uksim::bench;
+using namespace uksim::harness;
+
+namespace {
+
+struct Row {
+    ExperimentResult naive;
+    ExperimentResult adaptive;
+};
+std::map<std::string, Row> g_rows;
+
+void
+runPoint(benchmark::State &state, const std::string &scene, bool adaptive)
+{
+    ExperimentConfig cfg = baseExperiment();
+    cfg.sceneName = scene;
+    cfg.kernel = adaptive ? KernelKind::MicroKernelAdaptive
+                          : KernelKind::MicroKernel;
+    ExperimentResult r = runCounted(state, cfg);
+    if (adaptive)
+        g_rows[scene].adaptive = r;
+    else
+        g_rows[scene].naive = r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const std::string &scene : rt::benchmarkSceneNames()) {
+        benchmark::RegisterBenchmark(
+            ("Ablation/naive_spawn/" + scene).c_str(),
+            [scene](benchmark::State &st) { runPoint(st, scene, false); })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+        benchmark::RegisterBenchmark(
+            ("Ablation/adaptive_spawn/" + scene).c_str(),
+            [scene](benchmark::State &st) { runPoint(st, scene, true); })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+
+    benchmark::Initialize(&argc, argv);
+    printHeader("Ablation: naive vs adaptive (vote-gated) spawning");
+    benchmark::RunSpecifiedBenchmarks();
+
+    harness::TextTable t;
+    t.header({"scene", "naive Mrays/s", "adaptive Mrays/s", "speedup",
+              "naive spawns", "adaptive spawns", "spawn reduction"});
+    for (const std::string &scene : rt::benchmarkSceneNames()) {
+        const Row &r = g_rows[scene];
+        double spawnRed =
+            1.0 - double(r.adaptive.stats.dynamicThreadsSpawned) /
+                      double(r.naive.stats.dynamicThreadsSpawned);
+        t.row({scene, harness::fmt(r.naive.mraysPerSec, 1),
+               harness::fmt(r.adaptive.mraysPerSec, 1),
+               harness::fmt(r.adaptive.mraysPerSec / r.naive.mraysPerSec,
+                            2),
+               std::to_string(r.naive.stats.dynamicThreadsSpawned),
+               std::to_string(r.adaptive.stats.dynamicThreadsSpawned),
+               harness::fmt(100.0 * spawnRed, 1) + "%"});
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("\n(the paper predicts this 'more advanced algorithm' "
+                "improves on naive spawning by avoiding the state "
+                "save/restore when a warp stays uniform)\n");
+    return 0;
+}

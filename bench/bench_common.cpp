@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared bench output helpers.
+ */
+
+#include "bench_common.hpp"
+
+namespace uksim::bench {
+
+void
+printDivergenceSeries(const SimStats &stats, const char *label)
+{
+    std::printf("--- divergence breakdown over time: %s ---\n", label);
+    std::printf("window      issues  idle%%   ");
+    for (int b = 0; b < kOccupancyBins; b++)
+        std::printf("W%d:%-4d", b * 4 + 1, b * 4 + 4);
+    std::printf("\n");
+
+    for (const auto &w : stats.windows) {
+        uint64_t total = 0;
+        for (uint64_t v : w.bins)
+            total += v;
+        if (total == 0)
+            continue;
+        double idleShare =
+            double(w.idleIssueSlots) /
+            double(w.idleIssueSlots + total);
+        std::printf("%8llu  %8llu  %5.1f  ",
+                    static_cast<unsigned long long>(w.startCycle),
+                    static_cast<unsigned long long>(total),
+                    idleShare * 100.0);
+        for (int b = 0; b < kOccupancyBins; b++) {
+            std::printf("%5.1f%%  ",
+                        100.0 * double(w.bins[b]) / double(total));
+        }
+        std::printf("\n");
+    }
+
+    // CSV appendix for plotting (the exact series AerialVision shows).
+    std::printf("--- CSV ---\n%s\n", stats.occupancyCsv().c_str());
+}
+
+} // namespace uksim::bench

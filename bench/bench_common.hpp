@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries.
+ *
+ * Every binary prints the Table I configuration header, runs its
+ * experiments through google-benchmark (one iteration per experiment —
+ * the interesting output is the simulated statistics, exported as
+ * benchmark counters and as a paper-style text table).
+ *
+ * Environment knobs: UKSIM_CYCLES, UKSIM_DETAIL, UKSIM_RES, UKSIM_SMS
+ * scale the runs down for quick smoke tests.
+ */
+
+#ifndef UKSIM_BENCH_BENCH_COMMON_HPP
+#define UKSIM_BENCH_BENCH_COMMON_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace uksim::bench {
+
+/** Scene cache so each binary builds every kd-tree only once. */
+class SceneCache
+{
+  public:
+    harness::PreparedScene &
+    get(const std::string &name, const rt::SceneParams &params)
+    {
+        auto it = scenes_.find(name);
+        if (it == scenes_.end()) {
+            it = scenes_
+                     .emplace(name, harness::prepareScene(name, params))
+                     .first;
+        }
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, harness::PreparedScene> scenes_;
+};
+
+inline SceneCache &
+sceneCache()
+{
+    static SceneCache cache;
+    return cache;
+}
+
+/** Default experiment point with env overrides applied. */
+inline harness::ExperimentConfig
+baseExperiment()
+{
+    harness::ExperimentConfig cfg;
+    harness::applyEnvOverrides(cfg);
+    return cfg;
+}
+
+/** Run one experiment and export its stats as benchmark counters. */
+inline harness::ExperimentResult
+runCounted(benchmark::State &state, const harness::ExperimentConfig &cfg)
+{
+    harness::ExperimentResult result;
+    for (auto _ : state) {
+        result = harness::runExperiment(
+            sceneCache().get(cfg.sceneName, cfg.sceneParams), cfg);
+    }
+    state.counters["Mrays_per_s"] = result.mraysPerSec;
+    state.counters["IPC"] = result.ipc;
+    state.counters["SIMT_eff"] = result.simtEfficiency;
+    return result;
+}
+
+/** Print the standard header (paper Table I). */
+inline void
+printHeader(const char *title)
+{
+    harness::ExperimentConfig cfg = baseExperiment();
+    std::printf("\n=== %s ===\n%s\n", title,
+                harness::describeConfig(cfg.baseConfig).c_str());
+    std::printf("scene detail=%d, %dx%d rays, %llu cycles simulated\n\n",
+                cfg.sceneParams.detail, cfg.sceneParams.imageWidth,
+                cfg.sceneParams.imageHeight,
+                static_cast<unsigned long long>(cfg.maxCycles));
+}
+
+/**
+ * Print an AerialVision-style divergence breakdown (Figs. 3/7/9): for
+ * each time window, the share of issued warps per occupancy bin, as a
+ * compact textual heat map plus a CSV appendix.
+ */
+void printDivergenceSeries(const SimStats &stats, const char *label);
+
+} // namespace uksim::bench
+
+#endif // UKSIM_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 3: divergence breakdown for warps using traditional SIMT
+ * (PDOM) branching on the conference benchmark. Reproduces the
+ * AerialVision-style warp-occupancy time series the paper plots.
+ */
+
+#include "bench_common.hpp"
+
+using namespace uksim;
+using namespace uksim::bench;
+using namespace uksim::harness;
+
+namespace {
+
+ExperimentResult g_result;
+
+void
+BM_Fig3_PdomConference(benchmark::State &state)
+{
+    ExperimentConfig cfg = baseExperiment();
+    cfg.sceneName = "conference";
+    cfg.kernel = KernelKind::Traditional;
+    cfg.scheduling = SchedulingMode::Thread;
+    g_result = runCounted(state, cfg);
+}
+
+} // namespace
+
+BENCHMARK(BM_Fig3_PdomConference)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    printHeader("Figure 3: PDOM divergence breakdown (conference)");
+    benchmark::RunSpecifiedBenchmarks();
+
+    printDivergenceSeries(g_result.stats, "PDOM (traditional branching)");
+    std::printf("average IPC %.0f, SIMT efficiency %.2f "
+                "(paper: IPC 326, heavy W1:4 share)\n",
+                g_result.ipc, g_result.simtEfficiency);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 7: divergence breakdown with dynamic micro-kernels and a
+ * conflict-free spawn memory (the paper's primary efficiency result:
+ * IPC 615 vs 326 on conference, 1.9x).
+ */
+
+#include "bench_common.hpp"
+
+using namespace uksim;
+using namespace uksim::bench;
+using namespace uksim::harness;
+
+namespace {
+
+ExperimentResult g_pdom;
+ExperimentResult g_uk;
+
+void
+BM_Fig7_PdomBaseline(benchmark::State &state)
+{
+    ExperimentConfig cfg = baseExperiment();
+    cfg.sceneName = "conference";
+    cfg.kernel = KernelKind::Traditional;
+    g_pdom = runCounted(state, cfg);
+}
+
+void
+BM_Fig7_MicroKernel(benchmark::State &state)
+{
+    ExperimentConfig cfg = baseExperiment();
+    cfg.sceneName = "conference";
+    cfg.kernel = KernelKind::MicroKernel;
+    cfg.spawnBankConflicts = false;     // Fig. 7 assumption
+    g_uk = runCounted(state, cfg);
+}
+
+} // namespace
+
+BENCHMARK(BM_Fig7_PdomBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig7_MicroKernel)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    printHeader("Figure 7: u-kernel divergence breakdown, "
+                "conflict-free spawn memory (conference)");
+    benchmark::RunSpecifiedBenchmarks();
+
+    printDivergenceSeries(g_uk.stats, "dynamic u-kernels (no conflicts)");
+
+    std::printf("IPC: PDOM %.0f -> u-kernel %.0f (%.2fx; paper 326 -> "
+                "615, 1.9x)\n",
+                g_pdom.ipc, g_uk.ipc, g_uk.ipc / g_pdom.ipc);
+    std::printf("SIMT efficiency: %.2f -> %.2f\n",
+                g_pdom.simtEfficiency, g_uk.simtEfficiency);
+    std::printf("dynamic threads spawned: %llu, warps formed: %llu, "
+                "partial flushes: %llu\n",
+                (unsigned long long)g_uk.stats.dynamicThreadsSpawned,
+                (unsigned long long)g_uk.stats.dynamicWarpsFormed,
+                (unsigned long long)g_uk.stats.partialWarpFlushes);
+    return 0;
+}

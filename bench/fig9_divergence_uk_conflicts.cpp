@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 9: divergence breakdown with dynamic micro-kernels when spawn
+ * memory bank conflicts are modeled (paper: IPC drops 615 -> 429 but
+ * stays well above PDOM's 326).
+ */
+
+#include "bench_common.hpp"
+
+using namespace uksim;
+using namespace uksim::bench;
+using namespace uksim::harness;
+
+namespace {
+
+ExperimentResult g_clean;
+ExperimentResult g_banked;
+ExperimentResult g_pdom;
+
+void
+BM_Fig9_Pdom(benchmark::State &state)
+{
+    ExperimentConfig cfg = baseExperiment();
+    cfg.sceneName = "conference";
+    cfg.kernel = KernelKind::Traditional;
+    g_pdom = runCounted(state, cfg);
+}
+
+void
+BM_Fig9_UkNoConflicts(benchmark::State &state)
+{
+    ExperimentConfig cfg = baseExperiment();
+    cfg.sceneName = "conference";
+    cfg.kernel = KernelKind::MicroKernel;
+    cfg.spawnBankConflicts = false;
+    g_clean = runCounted(state, cfg);
+}
+
+void
+BM_Fig9_UkWithConflicts(benchmark::State &state)
+{
+    ExperimentConfig cfg = baseExperiment();
+    cfg.sceneName = "conference";
+    cfg.kernel = KernelKind::MicroKernel;
+    cfg.spawnBankConflicts = true;      // the Fig. 9 difference
+    g_banked = runCounted(state, cfg);
+}
+
+} // namespace
+
+BENCHMARK(BM_Fig9_Pdom)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig9_UkNoConflicts)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig9_UkWithConflicts)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    printHeader("Figure 9: u-kernel divergence breakdown with spawn "
+                "memory bank conflicts (conference)");
+    benchmark::RunSpecifiedBenchmarks();
+
+    printDivergenceSeries(g_banked.stats,
+                          "dynamic u-kernels (16-bank spawn memory)");
+
+    harness::TextTable t;
+    t.header({"config", "IPC", "vs PDOM", "bank-conflict stall cycles"});
+    t.row({"PDOM", harness::fmt(g_pdom.ipc, 0), "1.00", "0"});
+    t.row({"u-kernel, conflict-free", harness::fmt(g_clean.ipc, 0),
+           harness::fmt(g_clean.ipc / g_pdom.ipc, 2), "0"});
+    t.row({"u-kernel, banked",
+           harness::fmt(g_banked.ipc, 0),
+           harness::fmt(g_banked.ipc / g_pdom.ipc, 2),
+           std::to_string(g_banked.stats.bankConflictExtraCycles)});
+    std::printf("%s\n(paper: 326 / 615 (1.9x) / 429 (1.3x))\n",
+                t.str().c_str());
+    return 0;
+}

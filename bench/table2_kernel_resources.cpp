@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table II: per-thread processor resource requirements for the
+ * traditional kernel and the dynamic micro-kernel program, from static
+ * analysis of the assembled kernels, plus the occupancy each implies
+ * (the paper's 512 vs 800 threads/SM discussion in Sec. VI-A).
+ */
+
+#include "bench_common.hpp"
+
+#include "kernels/kernel_resources.hpp"
+#include "kernels/raytrace_kernels.hpp"
+#include "simt/gpu.hpp"
+
+using namespace uksim;
+using namespace uksim::bench;
+
+namespace {
+
+void
+BM_Table2_AssembleTraditional(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kernels::buildTraditional());
+}
+
+void
+BM_Table2_AssembleMicroKernel(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kernels::buildMicroKernel());
+}
+
+} // namespace
+
+BENCHMARK(BM_Table2_AssembleTraditional)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Table2_AssembleMicroKernel)->Unit(benchmark::kMicrosecond);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    printHeader("Table II: kernel processor resource requirements per "
+                "thread");
+    benchmark::RunSpecifiedBenchmarks();
+
+    Program trad = kernels::buildTraditional();
+    Program uk = kernels::buildMicroKernel();
+    auto tr = kernels::analyzeProgram(trad, "Traditional");
+    auto ur = kernels::analyzeProgram(uk, "u-kernel");
+
+    harness::TextTable t;
+    t.header({"Resource", "Traditional", "u-kernel",
+              "paper (Trad / uK)"});
+    t.row({"Registers", std::to_string(tr.registers),
+           std::to_string(ur.registers), "22 / 20"});
+    t.row({"Shared memory (B)", std::to_string(tr.sharedBytes),
+           std::to_string(ur.sharedBytes), "60 / 56"});
+    t.row({"Off-chip private (B)",
+           std::to_string(trad.resources.localBytes + tr.globalBytes),
+           std::to_string(uk.resources.localBytes + ur.globalBytes),
+           "388 / 384"});
+    t.row({"Constant memory (B)", std::to_string(tr.constBytes),
+           std::to_string(ur.constBytes), "128 / 24"});
+    t.row({"Spawn memory (B)", std::to_string(tr.spawnStateBytes),
+           std::to_string(ur.spawnStateBytes), "0 / 48"});
+    t.row({"Micro-kernels", std::to_string(tr.microKernels),
+           std::to_string(ur.microKernels), "- / >=3"});
+    t.row({"Static instructions", std::to_string(tr.instructions),
+           std::to_string(ur.instructions), "-"});
+    std::printf("%s\n", t.str().c_str());
+
+    // Occupancy consequences (Sec. VI-A).
+    GpuConfig cfg;
+    cfg.scheduling = SchedulingMode::Block;
+    Occupancy blockOcc = Gpu::computeOccupancy(cfg, trad);
+    cfg.scheduling = SchedulingMode::Thread;
+    Occupancy warpOcc = Gpu::computeOccupancy(cfg, trad);
+    Occupancy ukOcc = Gpu::computeOccupancy(cfg, uk);
+    std::printf("threads/SM: traditional block-sched %d (paper 512), "
+                "traditional warp-sched %d, u-kernel %d (paper 800); "
+                "limiters: %s / %s / %s\n",
+                blockOcc.threadsPerSm, warpOcc.threadsPerSm,
+                ukOcc.threadsPerSm, blockOcc.limiter, warpOcc.limiter,
+                ukOcc.limiter);
+    return 0;
+}

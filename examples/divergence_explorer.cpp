@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Reproduce the paper's Figure 2 intuition interactively: a warp runs a
+ * data-dependent loop where thread i needs i iterations; PDOM executes
+ * all control paths serially so the warp's efficiency collapses, while
+ * the same workload expressed as dynamic micro-kernels repacks threads
+ * into dense warps.
+ *
+ * Usage: divergence_explorer [max_iterations]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "simt/assembler.hpp"
+#include "simt/gpu.hpp"
+
+using namespace uksim;
+
+namespace {
+
+SimStats
+runPdomLoop(uint32_t threads, uint32_t maxIter)
+{
+    // Each thread loops (tid % maxIter) times — Fig. 2's loop B.
+    Program p = assemble(R"(
+        main:
+            mov.u32 r1, %tid;
+            rem.u32 r2, r1, )" + std::to_string(maxIter) + R"(;
+            mov.u32 r3, 0;
+        loop:
+            setp.ge.u32 p0, r3, r2;
+            @p0 bra done;
+            mul.u32 r4, r3, 2654435761;
+            xor.u32 r5, r5, r4;
+            add.u32 r3, r3, 1;
+            bra loop;
+        done:
+            ld.param.u32 r6, [0];
+            shl.u32 r7, r1, 2;
+            add.u32 r6, r6, r7;
+            st.global.u32 [r6+0], r5;
+            exit;
+    )");
+    GpuConfig cfg;
+    cfg.numSms = 4;
+    cfg.maxCycles = 100'000'000;
+    Gpu gpu(cfg);
+    gpu.loadProgram(std::move(p));
+    uint32_t out = gpu.mallocGlobal(threads * 4);
+    uint32_t params[1] = {out};
+    gpu.toConst(0, params, 4);
+    gpu.launch(threads);
+    return gpu.run();
+}
+
+SimStats
+runSpawnLoop(uint32_t threads, uint32_t maxIter)
+{
+    // The same loop as a micro-kernel: each iteration is a spawned
+    // thread; threads at the same iteration pack into fresh warps.
+    Program p = assemble(R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 16
+        gen:
+            mov.u32 r1, %tid;
+            rem.u32 r2, r1, )" + std::to_string(maxIter) + R"(;
+            mov.u32 r3, 0;
+            mov.u32 r5, 0;
+            mov.u32 r6, %spawnaddr;
+            st.spawn.u32 [r6+0], r2;   // remaining
+            st.spawn.u32 [r6+4], r5;   // acc
+            st.spawn.u32 [r6+8], r3;   // i
+            st.spawn.u32 [r6+12], r1;  // tid
+            spawn step, r6;
+            exit;
+        step:
+            mov.u32 r2, %spawnaddr;
+            ld.spawn.u32 r1, [r2+0];
+            ld.spawn.u32 r3, [r1+0];   // remaining
+            ld.spawn.u32 r5, [r1+4];   // acc
+            ld.spawn.u32 r4, [r1+8];   // i
+            setp.ge.u32 p0, r4, r3;
+            @p0 bra finish;
+            mul.u32 r6, r4, 2654435761;
+            xor.u32 r5, r5, r6;
+            add.u32 r4, r4, 1;
+            st.spawn.u32 [r1+4], r5;
+            st.spawn.u32 [r1+8], r4;
+            spawn step, r1;
+            exit;
+        finish:
+            ld.spawn.u32 r7, [r1+12];
+            ld.param.u32 r6, [0];
+            shl.u32 r8, r7, 2;
+            add.u32 r6, r6, r8;
+            st.global.u32 [r6+0], r5;
+            exit;
+    )");
+    GpuConfig cfg;
+    cfg.numSms = 4;
+    cfg.maxCycles = 100'000'000;
+    Gpu gpu(cfg);
+    gpu.loadProgram(std::move(p));
+    uint32_t out = gpu.mallocGlobal(threads * 4);
+    uint32_t params[1] = {out};
+    gpu.toConst(0, params, 4);
+    gpu.launch(threads);
+    return gpu.run();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const uint32_t maxIter = argc > 1 ? std::atoi(argv[1]) : 64;
+    const uint32_t threads = 8192;
+
+    std::printf("data-dependent loop, thread i runs i %% %u "
+                "iterations, %u threads\n\n",
+                maxIter, threads);
+
+    SimStats pdom = runPdomLoop(threads, maxIter);
+    std::printf("PDOM:      %8llu cycles  IPC %6.1f  efficiency %.2f\n",
+                (unsigned long long)pdom.cycles, pdom.ipc(),
+                pdom.simtEfficiency(32));
+
+    SimStats uk = runSpawnLoop(threads, maxIter);
+    std::printf("u-kernels: %8llu cycles  IPC %6.1f  efficiency %.2f  "
+                "(%llu spawns, %llu warps formed)\n",
+                (unsigned long long)uk.cycles, uk.ipc(),
+                uk.simtEfficiency(32),
+                (unsigned long long)uk.dynamicThreadsSpawned,
+                (unsigned long long)uk.dynamicWarpsFormed);
+
+    std::printf("\nefficiency gain %.2fx; with longer, more divergent "
+                "loops the gap widens (try %u)\n",
+                uk.simtEfficiency(32) / pdom.simtEfficiency(32),
+                maxIter * 4);
+    return 0;
+}

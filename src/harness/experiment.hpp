@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Named experiment configurations and runners shared by every benchmark
+ * binary and the examples. One ExperimentConfig corresponds to one bar /
+ * line of a paper figure: scene x kernel x scheduler x memory model.
+ */
+
+#ifndef UKSIM_HARNESS_EXPERIMENT_HPP
+#define UKSIM_HARNESS_EXPERIMENT_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/scene_upload.hpp"
+#include "rt/cpu_tracer.hpp"
+#include "rt/scenes.hpp"
+#include "simt/gpu.hpp"
+#include "simt/mimd.hpp"
+
+namespace uksim::harness {
+
+/** Which benchmark kernel to run. */
+enum class KernelKind {
+    Traditional,    ///< 3-loop PDOM baseline (Radius-CUDA style)
+    MicroKernel,    ///< dynamic micro-kernel version (naive spawning)
+    MicroKernelAdaptive, ///< future-work variant: branch when uniform
+    PersistentThreads,  ///< software work-queue baseline (Sec. VIII)
+};
+
+/** One experiment point. */
+struct ExperimentConfig {
+    std::string sceneName = "conference";
+    KernelKind kernel = KernelKind::Traditional;
+    SchedulingMode scheduling = SchedulingMode::Thread;
+    bool spawnBankConflicts = false;    ///< Fig. 9 vs Fig. 7
+    bool idealMemory = false;           ///< Fig. 10 theoretical bars
+    uint64_t maxCycles = 300000;        ///< paper's simulation window
+    rt::SceneParams sceneParams;
+    GpuConfig baseConfig;
+
+    /** Human-readable configuration label ("µ-kernel Warp", ...). */
+    std::string label() const;
+};
+
+/** Scene + kd-tree built once, shared across experiment points. */
+struct PreparedScene {
+    rt::Scene scene;
+    rt::KdTree tree;
+    std::string name;
+};
+
+/** Result of one simulated experiment point. */
+struct ExperimentResult {
+    SimStats stats;
+    Occupancy occupancy;
+    bool ranToCompletion = false;   ///< all rays finished within maxCycles
+    double ipc = 0.0;
+    double mraysPerSec = 0.0;       ///< completed rays/s at the shader clock
+    double simtEfficiency = 0.0;
+    std::vector<rt::Hit> hits;      ///< downloaded hit records
+};
+
+/** Build one of the three benchmark scenes and its kd-tree. */
+PreparedScene prepareScene(const std::string &name,
+                           const rt::SceneParams &params);
+
+/** Run one experiment point. */
+ExperimentResult runExperiment(const PreparedScene &scene,
+                               const ExperimentConfig &config);
+
+/** MIMD-theoretical bound for the scene (traditional kernel). */
+MimdResult runMimdBound(const PreparedScene &scene,
+                        const GpuConfig &baseConfig,
+                        const rt::SceneParams &params);
+
+/**
+ * Apply environment overrides so long benches can be scaled down:
+ * UKSIM_CYCLES (max simulated cycles), UKSIM_DETAIL (scene detail),
+ * UKSIM_RES (square image resolution), UKSIM_SMS (SM count).
+ */
+void applyEnvOverrides(ExperimentConfig &config);
+
+/** Format Table I (the simulator configuration) for bench headers. */
+std::string describeConfig(const GpuConfig &config);
+
+} // namespace uksim::harness
+
+#endif // UKSIM_HARNESS_EXPERIMENT_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fixed-width text table formatting for bench output.
+ */
+
+#ifndef UKSIM_HARNESS_TABLE_HPP
+#define UKSIM_HARNESS_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace uksim::harness {
+
+/** Minimal fixed-width table printer. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting helper ("%.2f"). */
+std::string fmt(double value, int decimals = 2);
+
+} // namespace uksim::harness
+
+#endif // UKSIM_HARNESS_TABLE_HPP

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Kernel resource analysis.
+ */
+
+#include "kernels/kernel_resources.hpp"
+
+namespace uksim::kernels {
+
+KernelResourceReport
+analyzeProgram(const Program &program, const std::string &name)
+{
+    KernelResourceReport r;
+    r.name = name;
+    r.registers = program.measuredRegisterCount();
+    r.declaredRegisters = program.resources.registers;
+    r.sharedBytes = program.resources.sharedBytes;
+    r.globalBytes = program.resources.globalBytes;
+    r.constBytes = program.resources.constBytes;
+    r.spawnStateBytes = program.resources.spawnStateBytes;
+    r.microKernels = static_cast<int>(program.microKernels.size());
+    r.instructions = static_cast<int>(program.size());
+    return r;
+}
+
+} // namespace uksim::kernels

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Static per-thread resource analysis of assembled kernels (Table II).
+ */
+
+#ifndef UKSIM_KERNELS_KERNEL_RESOURCES_HPP
+#define UKSIM_KERNELS_KERNEL_RESOURCES_HPP
+
+#include <string>
+
+#include "simt/program.hpp"
+
+namespace uksim::kernels {
+
+/** One Table II row. */
+struct KernelResourceReport {
+    std::string name;
+    int registers = 0;          ///< measured (max register index + 1)
+    int declaredRegisters = 0;  ///< from the .reg directive
+    uint32_t sharedBytes = 0;
+    uint32_t globalBytes = 0;
+    uint32_t constBytes = 0;
+    uint32_t spawnStateBytes = 0;
+    int microKernels = 0;
+    int instructions = 0;
+};
+
+/** Analyze an assembled program. */
+KernelResourceReport analyzeProgram(const Program &program,
+                                    const std::string &name);
+
+} // namespace uksim::kernels
+
+#endif // UKSIM_KERNELS_KERNEL_RESOURCES_HPP

@@ -1,0 +1,711 @@
+/**
+ * @file
+ * Assembly sources for the traditional and micro-kernel ray tracers.
+ *
+ * The two kernels implement bit-identical arithmetic (same operation
+ * order as the host reference tracer in rt/cpu_tracer.*), so a simulated
+ * frame must equal the CPU render exactly.
+ */
+
+#include "kernels/raytrace_kernels.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "simt/assembler.hpp"
+
+namespace uksim::kernels {
+
+namespace {
+
+/**
+ * Traditional kernel (Example 1): one thread per ray, three
+ * data-dependent loops. Per-thread shared layout (36 B at %slot * 36):
+ * org.xyz @0, dir.xyz @12, invdir.xyz @24.
+ *
+ * Register map: r0 tid, r1 shared base, r2 stack base, r3 sp,
+ * r8 tmin, r9 tmax, r10 hitT, r11 hitId, r7 node, rest scratch.
+ */
+const char kTraditionalAsm[] = R"(
+.entry main
+.reg 24
+.shared_per_thread 36
+.local_per_thread 384           // per-thread traversal stack
+.global_per_thread 8            // hit record
+.const 128
+main:
+    mov.u32  r0, %tid
+    ld.param.u32 r4, [32]       // rayCount
+    setp.ge.u32 p0, r0, r4
+    @p0 exit
+    // ---- pixel coordinates ------------------------------------------
+    ld.param.u32 r4, [0]        // width
+    div.u32  r5, r0, r4         // py
+    mul.u32  r6, r5, r4
+    sub.u32  r6, r0, r6         // px
+    cvt.f32.u32 r12, r6
+    add.f32  r12, r12, 0.5      // fx
+    cvt.f32.u32 r13, r5
+    add.f32  r13, r13, 0.5      // fy
+    // ---- shared scratch base ----------------------------------------
+    mov.u32  r1, %slot
+    mul.u32  r1, r1, 36
+    // ---- ray direction: d = fy*dv + (fx*du + ll), per component -----
+    ld.param.f32 r4, [76]
+    ld.param.f32 r5, [88]
+    mad.f32  r4, r12, r5, r4
+    ld.param.f32 r5, [100]
+    mad.f32  r4, r13, r5, r4    // dir.x
+    st.shared.f32 [r1+12], r4
+    rcp.f32  r5, r4
+    st.shared.f32 [r1+24], r5
+    ld.param.f32 r4, [80]
+    ld.param.f32 r5, [92]
+    mad.f32  r4, r12, r5, r4
+    ld.param.f32 r5, [104]
+    mad.f32  r4, r13, r5, r4    // dir.y
+    st.shared.f32 [r1+16], r4
+    rcp.f32  r5, r4
+    st.shared.f32 [r1+28], r5
+    ld.param.f32 r4, [84]
+    ld.param.f32 r5, [96]
+    mad.f32  r4, r12, r5, r4
+    ld.param.f32 r5, [108]
+    mad.f32  r4, r13, r5, r4    // dir.z
+    st.shared.f32 [r1+20], r4
+    rcp.f32  r5, r4
+    st.shared.f32 [r1+32], r5
+    // ---- ray origin to shared ----------------------------------------
+    ld.param.f32 r4, [64]
+    st.shared.f32 [r1+0], r4
+    ld.param.f32 r4, [68]
+    st.shared.f32 [r1+4], r4
+    ld.param.f32 r4, [72]
+    st.shared.f32 [r1+8], r4
+    // ---- defaults so the miss path can write them --------------------
+    mov.f32  r10, 3.402823466e38    // hitT
+    mov.u32  r11, -1                // hitId
+    // ---- scene bounds slab test --------------------------------------
+    mov.f32  r8, 0.0            // tmin
+    mov.f32  r9, 3.402823466e38 // tmax
+    // x
+    ld.shared.f32 r4, [r1+0]
+    ld.shared.f32 r5, [r1+24]
+    ld.param.f32 r6, [40]
+    sub.f32  r6, r6, r4
+    mul.f32  r6, r6, r5
+    ld.param.f32 r7, [52]
+    sub.f32  r7, r7, r4
+    mul.f32  r7, r7, r5
+    min.f32  r12, r6, r7
+    max.f32  r13, r6, r7
+    max.f32  r8, r8, r12
+    min.f32  r9, r9, r13
+    // y
+    ld.shared.f32 r4, [r1+4]
+    ld.shared.f32 r5, [r1+28]
+    ld.param.f32 r6, [44]
+    sub.f32  r6, r6, r4
+    mul.f32  r6, r6, r5
+    ld.param.f32 r7, [56]
+    sub.f32  r7, r7, r4
+    mul.f32  r7, r7, r5
+    min.f32  r12, r6, r7
+    max.f32  r13, r6, r7
+    max.f32  r8, r8, r12
+    min.f32  r9, r9, r13
+    // z
+    ld.shared.f32 r4, [r1+8]
+    ld.shared.f32 r5, [r1+32]
+    ld.param.f32 r6, [48]
+    sub.f32  r6, r6, r4
+    mul.f32  r6, r6, r5
+    ld.param.f32 r7, [60]
+    sub.f32  r7, r7, r4
+    mul.f32  r7, r7, r5
+    min.f32  r12, r6, r7
+    max.f32  r13, r6, r7
+    max.f32  r8, r8, r12
+    min.f32  r9, r9, r13
+    setp.gt.f32 p0, r8, r9
+    @p0 bra write_out           // missed the scene box entirely
+    // ---- traversal state ------------------------------------------------
+    mov.u32  r7, 0              // node = root
+    mov.u32  r3, 0              // sp
+down_loop:
+    // node words: addr = nodesAddr + node*8
+    ld.param.u32 r4, [8]
+    shl.u32  r5, r7, 3
+    add.u32  r4, r4, r5
+    ld.global.v2.u32 r4, [r4+0] // r4 word0, r5 word1
+    and.u32  r6, r4, 3
+    setp.eq.u32 p0, r6, 3
+    @p0 bra leaf
+    // internal node: axisOfs = axis*4
+    shl.u32  r6, r6, 2
+    add.u32  r6, r6, r1         // shared base + axisOfs
+    ld.shared.f32 r12, [r6+0]   // org[axis]
+    ld.shared.f32 r13, [r6+24]  // invdir[axis]
+    sub.f32  r14, r5, r12       // split - org
+    mul.f32  r14, r14, r13      // d
+    shr.u32  r15, r4, 2         // left child
+    add.u32  r16, r15, 1        // right child
+    setp.lt.f32 p1, r12, r5     // org < split
+    selp.u32 r17, r15, r16, p1  // near
+    selp.u32 r18, r16, r15, p1  // far
+    setp.gt.f32 p2, r14, r9
+    @p2 bra go_near
+    setp.le.f32 p2, r14, 0.0
+    @p2 bra go_near
+    setp.lt.f32 p2, r14, r8
+    @p2 bra go_far
+    // both children: push (far, d, tmax) on the local-memory stack
+    mul.u32  r19, r3, 12
+    st.local.u32 [r19+0], r18
+    st.local.f32 [r19+4], r14
+    st.local.f32 [r19+8], r9
+    add.u32  r3, r3, 1
+    mov.f32  r9, r14            // tmax = d
+    mov.u32  r7, r17
+    bra down_loop
+go_near:
+    mov.u32  r7, r17
+    bra down_loop
+go_far:
+    mov.u32  r7, r18
+    bra down_loop
+leaf:
+    shr.u32  r12, r4, 2         // firstPrim
+    ld.param.u32 r13, [16]      // primIdxAddr
+    shl.u32  r14, r12, 2
+    add.u32  r13, r13, r14      // cursor
+    shl.u32  r14, r5, 2
+    add.u32  r14, r13, r14      // end
+isect_loop:
+    setp.ge.u32 p0, r13, r14
+    @p0 bra leaf_done
+    ld.global.u32 r15, [r13+0]  // prim id
+    add.u32  r13, r13, 4
+    ld.param.u32 r16, [12]      // trisAddr
+    mul.u32  r17, r15, 48
+    add.u32  r16, r16, r17      // triangle record
+    ld.global.v4.f32 r20, [r16+0]   // nU nV nD kOfs
+    add.u32  r17, r1, r23
+    ld.shared.f32 r4, [r17+0]   // org[k]
+    ld.shared.f32 r5, [r17+12]  // dir[k]
+    ld.global.v2.u32 r18, [r16+40]  // kuOfs kvOfs
+    add.u32  r17, r1, r18
+    ld.shared.f32 r6, [r17+0]   // org[ku]
+    ld.shared.f32 r7, [r17+12]  // dir[ku]
+    add.u32  r17, r1, r19
+    ld.shared.f32 r12, [r17+0]  // org[kv]
+    ld.shared.f32 r17, [r17+12] // dir[kv]
+    // denom = dir_k + nU*dir_ku + nV*dir_kv
+    mad.f32  r5, r20, r7, r5
+    mad.f32  r5, r21, r17, r5
+    // tnum = nD - org_k - nU*org_ku - nV*org_kv
+    sub.f32  r22, r22, r4
+    mul.f32  r4, r20, r6
+    sub.f32  r22, r22, r4
+    mul.f32  r4, r21, r12
+    sub.f32  r22, r22, r4
+    div.f32  r22, r22, r5       // t
+    mad.f32  r6, r22, r7, r6    // hu
+    mad.f32  r12, r22, r17, r12 // hv
+    setp.ge.f32 p1, r22, 0.0    // accept only t >= tmin (0)
+    @!p1 bra isect_loop
+    setp.le.f32 p1, r22, r10    // and t <= current hitT
+    @!p1 bra isect_loop
+    ld.global.v4.f32 r18, [r16+16]  // bNu bNv bD cNu
+    mul.f32  r4, r6, r18
+    mad.f32  r4, r12, r19, r4
+    add.f32  r4, r4, r20        // beta
+    setp.lt.f32 p1, r4, 0.0
+    @p1 bra isect_loop
+    ld.global.v2.f32 r18, [r16+32]  // cNv cD
+    mul.f32  r5, r6, r21
+    mad.f32  r5, r12, r18, r5
+    add.f32  r5, r5, r19        // gamma
+    setp.lt.f32 p1, r5, 0.0
+    @p1 bra isect_loop
+    add.f32  r4, r4, r5
+    setp.gt.f32 p1, r4, 1.0
+    @p1 bra isect_loop
+    mov.f32  r10, r22           // hitT
+    mov.u32  r11, r15           // hitId
+    bra isect_loop
+leaf_done:
+    // early termination: hit inside this leaf's parametric span
+    setp.ne.u32 p0, r11, -1
+    @!p0 bra check_stack
+    setp.le.f32 p1, r10, r9
+    @p1 bra write_out
+check_stack:
+    setp.eq.u32 p0, r3, 0
+    @p0 bra write_out
+    sub.u32  r3, r3, 1
+    mul.u32  r19, r3, 12
+    ld.local.u32 r7, [r19+0]
+    ld.local.f32 r8, [r19+4]
+    ld.local.f32 r9, [r19+8]
+    bra down_loop
+write_out:
+    ld.param.u32 r4, [28]       // outAddr
+    shl.u32  r5, r0, 3
+    add.u32  r4, r4, r5
+    st.global.u32 [r4+0], r11
+    st.global.f32 [r4+4], r10
+    exit
+)";
+
+/**
+ * Dynamic micro-kernel version. 48-byte state record layout:
+ *   +0 dir.xyz | +12 tmin | +16 tmax | +20 node | +24 hitT | +28 hitId
+ *   +32 sp | +36 pixel | +40 iter (byte cursor) | +44 end
+ * State registers after the three v4 loads: r8..r19 in that order.
+ *
+ * uk_gen runs once per launch thread (its spawnMemAddr IS the state
+ * record); uk_trav / uk_isect / uk_pop are spawn targets whose
+ * spawnMemAddr points at the warp-formation word holding the state
+ * pointer (Fig. 6).
+ */
+const char kMicroKernelAsm[] = R"(
+.entry uk_gen
+.microkernel uk_trav
+.microkernel uk_isect
+.microkernel uk_pop
+.reg 24
+.global_per_thread 392          // 384 B slot-interleaved stack + hit record
+.const 128
+.spawn_state 48
+
+uk_gen:
+    mov.u32  r0, %tid
+    ld.param.u32 r4, [32]
+    setp.ge.u32 p0, r0, r4
+    @p0 exit
+    ld.param.u32 r4, [0]
+    div.u32  r5, r0, r4
+    mul.u32  r6, r5, r4
+    sub.u32  r6, r0, r6
+    cvt.f32.u32 r2, r6
+    add.f32  r2, r2, 0.5        // fx
+    cvt.f32.u32 r3, r5
+    add.f32  r3, r3, 0.5        // fy
+    // direction
+    ld.param.f32 r8, [76]
+    ld.param.f32 r4, [88]
+    mad.f32  r8, r2, r4, r8
+    ld.param.f32 r4, [100]
+    mad.f32  r8, r3, r4, r8     // dir.x
+    ld.param.f32 r9, [80]
+    ld.param.f32 r4, [92]
+    mad.f32  r9, r2, r4, r9
+    ld.param.f32 r4, [104]
+    mad.f32  r9, r3, r4, r9     // dir.y
+    ld.param.f32 r10, [84]
+    ld.param.f32 r4, [96]
+    mad.f32  r10, r2, r4, r10
+    ld.param.f32 r4, [108]
+    mad.f32  r10, r3, r4, r10   // dir.z
+    // slab test against scene bounds
+    mov.f32  r11, 0.0           // tmin
+    mov.f32  r12, 3.402823466e38    // tmax
+    rcp.f32  r4, r8
+    ld.param.f32 r5, [64]
+    ld.param.f32 r6, [40]
+    sub.f32  r6, r6, r5
+    mul.f32  r6, r6, r4
+    ld.param.f32 r7, [52]
+    sub.f32  r7, r7, r5
+    mul.f32  r7, r7, r4
+    min.f32  r5, r6, r7
+    max.f32  r6, r6, r7
+    max.f32  r11, r11, r5
+    min.f32  r12, r12, r6
+    rcp.f32  r4, r9
+    ld.param.f32 r5, [68]
+    ld.param.f32 r6, [44]
+    sub.f32  r6, r6, r5
+    mul.f32  r6, r6, r4
+    ld.param.f32 r7, [56]
+    sub.f32  r7, r7, r5
+    mul.f32  r7, r7, r4
+    min.f32  r5, r6, r7
+    max.f32  r6, r6, r7
+    max.f32  r11, r11, r5
+    min.f32  r12, r12, r6
+    rcp.f32  r4, r10
+    ld.param.f32 r5, [72]
+    ld.param.f32 r6, [48]
+    sub.f32  r6, r6, r5
+    mul.f32  r6, r6, r4
+    ld.param.f32 r7, [60]
+    sub.f32  r7, r7, r5
+    mul.f32  r7, r7, r4
+    min.f32  r5, r6, r7
+    max.f32  r6, r6, r7
+    max.f32  r11, r11, r5
+    min.f32  r12, r12, r6
+    setp.gt.f32 p0, r11, r12
+    @p0 bra gen_miss
+    // state init and first spawn
+    mov.u32  r13, 0             // node = root
+    mov.f32  r14, 3.402823466e38    // hitT
+    mov.u32  r15, -1            // hitId
+    mov.u32  r16, 0             // sp
+    mov.u32  r17, r0            // pixel
+    mov.u32  r18, 0             // iter
+    mov.u32  r19, 0             // end
+    mov.u32  r1, %spawnaddr     // launch thread: state record address
+    st.spawn.v4.f32 [r1+0], r8
+    st.spawn.v4.f32 [r1+16], r12
+    st.spawn.v4.f32 [r1+32], r16
+    spawn uk_trav, r1
+    exit
+gen_miss:
+    ld.param.u32 r4, [28]
+    shl.u32  r5, r0, 3
+    add.u32  r4, r4, r5
+    mov.u32  r6, -1
+    st.global.u32 [r4+0], r6
+    mov.f32  r7, 3.402823466e38
+    st.global.f32 [r4+4], r7
+    exit
+
+// One down-traversal step (Example 1 line 2, loop body -> micro-kernel).
+uk_trav:
+    mov.u32  r2, %spawnaddr
+    ld.spawn.u32 r1, [r2+0]     // state pointer via formation word
+    ld.spawn.v4.f32 r8, [r1+0]
+    ld.spawn.v4.f32 r12, [r1+16]
+    ld.spawn.v4.f32 r16, [r1+32]
+    ld.param.u32 r2, [8]
+    shl.u32  r3, r13, 3
+    add.u32  r2, r2, r3
+    ld.global.v2.u32 r4, [r2+0] // r4 word0, r5 word1
+    and.u32  r6, r4, 3
+    setp.eq.u32 p0, r6, 3
+    @p0 bra trav_leaf
+    shl.u32  r6, r6, 2          // axisOfs
+    ld.param.f32 r2, [r6+64]    // org[axis]
+    setp.eq.u32 p1, r6, 0
+    setp.eq.u32 p2, r6, 4
+    selp.f32 r3, r9, r10, p2
+    selp.f32 r3, r8, r3, p1     // dir[axis]
+    rcp.f32  r7, r3
+    sub.f32  r3, r5, r2         // split - org
+    mul.f32  r3, r3, r7         // d
+    shr.u32  r4, r4, 2          // left
+    add.u32  r7, r4, 1          // right
+    setp.lt.f32 p1, r2, r5
+    selp.u32 r2, r4, r7, p1     // near
+    selp.u32 r4, r7, r4, p1     // far
+    setp.gt.f32 p1, r3, r12
+    @p1 bra trav_near
+    setp.le.f32 p1, r3, 0.0
+    @p1 bra trav_near
+    setp.lt.f32 p1, r3, r11
+    @p1 bra trav_far
+    // push (far, d, tmax): each state slot owns a contiguous 384-byte
+    // stack (slot*384 = dataPtr*8 because records are 48 B), so one
+    // push touches a single memory segment.
+    ld.param.u32 r5, [20]       // stackBase
+    ld.param.u32 r6, [112]      // perSmStackBytes
+    mov.u32  r7, %smid
+    mul.u32  r6, r6, r7
+    add.u32  r5, r5, r6         // this SM's stack area
+    ld.param.u32 r6, [36]       // spawnDataBase
+    sub.u32  r6, r1, r6
+    shl.u32  r6, r6, 3          // slot*384 = (dataPtr-base)*8
+    add.u32  r5, r5, r6
+    mul.u32  r6, r16, 12
+    add.u32  r5, r5, r6
+    st.global.u32 [r5+0], r4    // far
+    st.global.f32 [r5+4], r3    // d
+    st.global.f32 [r5+8], r12   // tmax
+    add.u32  r16, r16, 1
+    mov.f32  r12, r3            // tmax = d
+    mov.u32  r13, r2            // node = near
+    bra trav_save
+trav_near:
+    mov.u32  r13, r2
+    bra trav_save
+trav_far:
+    mov.u32  r13, r4
+trav_save:
+    st.spawn.v4.f32 [r1+0], r8
+    st.spawn.v4.f32 [r1+16], r12
+    st.spawn.v4.f32 [r1+32], r16
+    spawn uk_trav, r1
+    exit
+trav_leaf:
+    shr.u32  r4, r4, 2          // firstPrim
+    shl.u32  r4, r4, 2
+    ld.param.u32 r2, [16]
+    add.u32  r18, r2, r4        // iter (byte cursor)
+    shl.u32  r5, r5, 2
+    add.u32  r19, r18, r5       // end
+    st.spawn.v4.f32 [r1+0], r8
+    st.spawn.v4.f32 [r1+16], r12
+    st.spawn.v4.f32 [r1+32], r16
+    setp.eq.u32 p0, r18, r19    // empty leaf goes straight to pop
+    @p0 spawn uk_pop, r1
+    @!p0 spawn uk_isect, r1
+    exit
+
+// One ray-triangle test (Example 1 line 9 -> micro-kernel).
+uk_isect:
+    mov.u32  r2, %spawnaddr
+    ld.spawn.u32 r1, [r2+0]
+    ld.spawn.v4.f32 r8, [r1+0]      // dir.xyz, tmin
+    ld.spawn.v4.f32 r12, [r1+16]    // tmax, node, hitT, hitId
+    ld.spawn.v4.f32 r16, [r1+32]    // sp, pixel, iter, end
+    ld.global.u32 r2, [r18+0]       // prim id
+    add.u32  r18, r18, 4            // iter++
+    ld.param.u32 r3, [12]
+    mul.u32  r4, r2, 48
+    add.u32  r3, r3, r4             // triangle record
+    ld.global.v4.f32 r20, [r3+0]    // nU nV nD kOfs
+    ld.global.v2.u32 r6, [r3+40]    // kuOfs kvOfs
+    // Select dir[k], dir[ku], dir[kv] while r8..r10 still hold dir.
+    setp.eq.u32 p1, r23, 0
+    setp.eq.u32 p2, r23, 4
+    selp.f32 r4, r9, r10, p2
+    selp.f32 r4, r8, r4, p1         // dir[k]
+    setp.eq.u32 p1, r6, 0
+    setp.eq.u32 p2, r6, 4
+    selp.f32 r5, r9, r10, p2
+    selp.f32 r5, r8, r5, p1         // dir[ku]
+    setp.eq.u32 p1, r7, 0
+    setp.eq.u32 p2, r7, 4
+    selp.f32 r11, r9, r10, p2
+    selp.f32 r11, r8, r11, p1       // dir[kv]
+    // This micro-kernel never changes dir/tmin: save that quarter of
+    // the state now and reuse its registers as scratch.
+    st.spawn.v4.f32 [r1+0], r8
+    ld.param.f32 r8, [r23+64]       // org[k]
+    ld.param.f32 r9, [r6+64]        // org[ku]
+    ld.param.f32 r10, [r7+64]       // org[kv]
+    mad.f32  r4, r20, r5, r4
+    mad.f32  r4, r21, r11, r4       // denom
+    sub.f32  r22, r22, r8
+    mul.f32  r8, r20, r9
+    sub.f32  r22, r22, r8
+    mul.f32  r8, r21, r10
+    sub.f32  r22, r22, r8           // tnum
+    div.f32  r4, r22, r4            // t
+    mad.f32  r9, r4, r5, r9         // hu
+    mad.f32  r10, r4, r11, r10      // hv
+    setp.ge.f32 p1, r4, 0.0
+    @!p1 bra isect_done
+    setp.le.f32 p1, r4, r14
+    @!p1 bra isect_done
+    ld.global.v4.f32 r20, [r3+16]   // bNu bNv bD cNu
+    mul.f32  r5, r9, r20
+    mad.f32  r5, r10, r21, r5
+    add.f32  r5, r5, r22            // beta
+    setp.lt.f32 p1, r5, 0.0
+    @p1 bra isect_done
+    ld.global.v2.f32 r20, [r3+32]   // cNv cD
+    mul.f32  r11, r9, r23
+    mad.f32  r11, r10, r20, r11
+    add.f32  r11, r11, r21          // gamma
+    setp.lt.f32 p1, r11, 0.0
+    @p1 bra isect_done
+    add.f32  r5, r5, r11
+    setp.gt.f32 p1, r5, 1.0
+    @p1 bra isect_done
+    mov.f32  r14, r4                // hitT
+    mov.u32  r15, r2                // hitId
+isect_done:
+    st.spawn.v4.f32 [r1+16], r12
+    st.spawn.v4.f32 [r1+32], r16
+    setp.lt.u32 p0, r18, r19
+    @p0 spawn uk_isect, r1
+    @!p0 spawn uk_pop, r1
+    exit
+
+// Pop / early termination (Example 1 lines 1 and 11 -> micro-kernel).
+uk_pop:
+    mov.u32  r2, %spawnaddr
+    ld.spawn.u32 r1, [r2+0]
+    ld.spawn.v4.f32 r8, [r1+0]
+    ld.spawn.v4.f32 r12, [r1+16]
+    ld.spawn.v4.f32 r16, [r1+32]
+    setp.ne.u32 p0, r15, -1
+    @!p0 bra pop_check
+    setp.le.f32 p1, r14, r12    // hit within current span: done
+    @p1 bra pop_out
+pop_check:
+    setp.eq.u32 p0, r16, 0
+    @p0 bra pop_out
+    sub.u32  r16, r16, 1
+    ld.param.u32 r5, [20]
+    ld.param.u32 r6, [112]
+    mov.u32  r7, %smid
+    mul.u32  r6, r6, r7
+    add.u32  r5, r5, r6
+    ld.param.u32 r6, [36]
+    sub.u32  r6, r1, r6
+    shl.u32  r6, r6, 3          // slot*384
+    add.u32  r5, r5, r6
+    mul.u32  r6, r16, 12
+    add.u32  r5, r5, r6
+    ld.global.u32 r13, [r5+0]   // node
+    ld.global.f32 r11, [r5+4]   // tmin
+    ld.global.f32 r12, [r5+8]   // tmax
+    st.spawn.v4.f32 [r1+0], r8
+    st.spawn.v4.f32 [r1+16], r12
+    st.spawn.v4.f32 [r1+32], r16
+    spawn uk_trav, r1
+    exit
+pop_out:
+    ld.param.u32 r4, [28]
+    shl.u32  r5, r17, 3
+    add.u32  r4, r4, r5
+    st.global.u32 [r4+0], r15
+    st.global.f32 [r4+4], r14
+    exit
+)";
+
+} // anonymous namespace
+
+const char *
+traditionalSource()
+{
+    return kTraditionalAsm;
+}
+
+const char *
+microKernelSource()
+{
+    return kMicroKernelAsm;
+}
+
+Program
+buildTraditional()
+{
+    return assemble(kTraditionalAsm);
+}
+
+Program
+buildMicroKernel()
+{
+    return assemble(kMicroKernelAsm);
+}
+
+namespace {
+
+/** Replace exactly one occurrence of @p from in @p text. */
+void
+patchOnce(std::string &text, const std::string &from,
+          const std::string &to)
+{
+    size_t pos = text.find(from);
+    if (pos == std::string::npos ||
+        text.find(from, pos + 1) != std::string::npos) {
+        throw std::logic_error("adaptive kernel patch did not match: " +
+                               from.substr(0, 40));
+    }
+    text.replace(pos, from.size(), to);
+}
+
+} // anonymous namespace
+
+Program
+buildPersistentThreads()
+{
+    // Derived from the traditional kernel: the per-thread ray id comes
+    // from an atomic work-queue pop instead of %tid, and finished rays
+    // loop back for more work (Sec. VIII persistent threads).
+    std::string src = kTraditionalAsm;
+    patchOnce(src,
+              "main:\n"
+              "    mov.u32  r0, %tid\n"
+              "    ld.param.u32 r4, [32]       // rayCount\n"
+              "    setp.ge.u32 p0, r0, r4\n"
+              "    @p0 exit\n",
+              "main:\n"
+              "pt_fetch:\n"
+              "    ld.param.u32 r4, [116]      // work-queue counter\n"
+              "    atom.add.u32 r0, [r4+0], 1  // pop next ray index\n"
+              "    ld.param.u32 r4, [32]       // rayCount\n"
+              "    setp.ge.u32 p0, r0, r4\n"
+              "    @p0 exit                    // queue drained\n");
+    patchOnce(src,
+              "    st.global.u32 [r4+0], r11\n"
+              "    st.global.f32 [r4+4], r10\n"
+              "    exit\n",
+              "    st.global.u32 [r4+0], r11\n"
+              "    st.global.f32 [r4+4], r10\n"
+              "    ld.param.u32 r4, [120]      // completion counter\n"
+              "    atom.add.u32 r5, [r4+0], 1\n"
+              "    bra pt_fetch\n");
+    return assemble(src);
+}
+
+Program
+buildMicroKernelAdaptive()
+{
+    // Derived from the naive source so the two variants cannot drift:
+    // each patch inserts a warp-uniformity vote plus a local loop.
+    std::string src = kMicroKernelAsm;
+
+    // uk_trav: vote on "whole warp still at internal nodes" right after
+    // the node type is known ...
+    patchOnce(src,
+              "    ld.param.u32 r2, [8]\n"
+              "    shl.u32  r3, r13, 3\n",
+              "trav_top:\n"
+              "    ld.param.u32 r2, [8]\n"
+              "    shl.u32  r3, r13, 3\n");
+    patchOnce(src,
+              "    and.u32  r6, r4, 3\n"
+              "    setp.eq.u32 p0, r6, 3\n"
+              "    @p0 bra trav_leaf\n",
+              "    and.u32  r6, r4, 3\n"
+              "    setp.ne.u32 p1, r6, 3\n"
+              "    vote.all p3, p1            // whole warp internal?\n"
+              "    setp.eq.u32 p0, r6, 3\n"
+              "    @p0 bra trav_leaf\n");
+    // ... and loop locally (state stays in registers) while it holds.
+    patchOnce(src,
+              "trav_save:\n"
+              "    st.spawn.v4.f32 [r1+0], r8\n",
+              "trav_save:\n"
+              "    @p3 bra trav_top           // uniform: branch, do not spawn\n"
+              "    st.spawn.v4.f32 [r1+0], r8\n");
+
+    // uk_isect: after one test, if every lane still has primitives
+    // left, reload the immutable state quarter and test the next one
+    // locally instead of re-spawning.
+    patchOnce(src,
+              "    ld.global.u32 r2, [r18+0]       // prim id\n",
+              "isect_body:\n"
+              "    ld.global.u32 r2, [r18+0]       // prim id\n");
+    patchOnce(src,
+              "isect_done:\n"
+              "    st.spawn.v4.f32 [r1+16], r12\n"
+              "    st.spawn.v4.f32 [r1+32], r16\n"
+              "    setp.lt.u32 p0, r18, r19\n"
+              "    @p0 spawn uk_isect, r1\n"
+              "    @!p0 spawn uk_pop, r1\n"
+              "    exit\n",
+              "isect_done:\n"
+              "    setp.lt.u32 p0, r18, r19\n"
+              "    vote.all p3, p0            // whole warp keeps testing?\n"
+              "    @!p3 bra isect_finish\n"
+              "    ld.spawn.v4.f32 r8, [r1+0] // restore dir scratch\n"
+              "    bra isect_body\n"
+              "isect_finish:\n"
+              "    st.spawn.v4.f32 [r1+16], r12\n"
+              "    st.spawn.v4.f32 [r1+32], r16\n"
+              "    @p0 spawn uk_isect, r1\n"
+              "    @!p0 spawn uk_pop, r1\n"
+              "    exit\n");
+
+    return assemble(src);
+}
+
+} // namespace uksim::kernels

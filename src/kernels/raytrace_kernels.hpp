@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The two benchmark device kernels (paper Sec. VI-A).
+ *
+ * Both implement the identical kd-tree traversal algorithm (Example 1):
+ * clip the ray to the scene bounds, descend to leaves with a short
+ * stack, Wald-test every triangle in a leaf, pop until a hit inside the
+ * current span or the stack empties.
+ *
+ *  - The traditional kernel keeps all three data-dependent loops inside
+ *    one thread (the PDOM/MIMD baseline, Radius-CUDA style).
+ *  - The micro-kernel version removes all three loops: each traversal
+ *    step, each intersection test and each pop runs as its own
+ *    dynamically spawned thread, passing the 48-byte ray state through
+ *    spawn memory with three 4-wide vector loads/stores (the paper's
+ *    naive every-iteration spawning).
+ *
+ * Shared constant-memory parameter block (byte offsets):
+ *
+ *   0 width | 4 height | 8 nodesAddr | 12 trisAddr | 16 primIdxAddr
+ *   20 stackBase | 24 stackWordStride | 28 outAddr | 32 rayCount
+ *   36 spawnDataBase | 40..48 sceneLo.xyz | 52..60 sceneHi.xyz
+ *   64..72 camOrigin | 76..84 camLowerLeft | 88..96 camDu
+ *   100..108 camDv | 112 perSmStackBytes
+ */
+
+#ifndef UKSIM_KERNELS_RAYTRACE_KERNELS_HPP
+#define UKSIM_KERNELS_RAYTRACE_KERNELS_HPP
+
+#include "simt/program.hpp"
+
+namespace uksim::kernels {
+
+/** Constant-memory offsets of the kernel parameter block. */
+namespace param {
+constexpr uint32_t kWidth = 0;
+constexpr uint32_t kHeight = 4;
+constexpr uint32_t kNodesAddr = 8;
+constexpr uint32_t kTrisAddr = 12;
+constexpr uint32_t kPrimIdxAddr = 16;
+constexpr uint32_t kStackBase = 20;
+constexpr uint32_t kStackStride = 24;
+constexpr uint32_t kOutAddr = 28;
+constexpr uint32_t kRayCount = 32;
+constexpr uint32_t kSpawnDataBase = 36;
+constexpr uint32_t kSceneLo = 40;
+constexpr uint32_t kSceneHi = 52;
+constexpr uint32_t kCamOrigin = 64;
+constexpr uint32_t kCamLowerLeft = 76;
+constexpr uint32_t kCamDu = 88;
+constexpr uint32_t kCamDv = 100;
+constexpr uint32_t kPerSmStackBytes = 112;
+constexpr uint32_t kWorkCounterAddr = 116;  ///< persistent-threads queue
+constexpr uint32_t kDoneCounterAddr = 120;
+constexpr uint32_t kBlockBytes = 128;
+} // namespace param
+
+/** Per-ray traversal stack bytes (32 entries x 12 bytes). */
+constexpr uint32_t kStackBytesPerRay = 384;
+/** Output record bytes per ray (hit id + t). */
+constexpr uint32_t kHitRecordBytes = 8;
+/** Micro-kernel thread-state record bytes. */
+constexpr uint32_t kSpawnStateBytes = 48;
+/** Device bytes per Wald triangle record. */
+constexpr uint32_t kTriangleBytes = 48;
+/** Device bytes per kd node. */
+constexpr uint32_t kNodeBytes = 8;
+
+/** Assembly source of the traditional (3-loop) kernel. */
+const char *traditionalSource();
+
+/** Assembly source of the dynamic micro-kernel version. */
+const char *microKernelSource();
+
+/** Assembled traditional program. */
+Program buildTraditional();
+
+/** Assembled micro-kernel program (entry uk_gen; 3 spawnable kernels). */
+Program buildMicroKernel();
+
+/**
+ * Persistent-threads variant of the traditional kernel (the software
+ * alternative discussed in the paper's Related Work, Sec. VIII, after
+ * Aila & Laine): exactly enough threads to fill the machine are
+ * launched and each fetches ray indices from a global atomic work
+ * queue until the frame is drained, then bumps a completion counter.
+ */
+Program buildPersistentThreads();
+
+/**
+ * The paper's future-work variant (Sec. IX): identical micro-kernels,
+ * but when a `vote.all` shows every thread of the warp would re-spawn
+ * the same micro-kernel, the warp branches back locally (state stays in
+ * registers) instead of paying the save/spawn/restore round trip.
+ * Spawning only happens when the warp actually diverges.
+ */
+Program buildMicroKernelAdaptive();
+
+} // namespace uksim::kernels
+
+#endif // UKSIM_KERNELS_RAYTRACE_KERNELS_HPP

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Scene upload implementation.
+ */
+
+#include "kernels/scene_upload.hpp"
+
+#include <cstring>
+
+#include "kernels/raytrace_kernels.hpp"
+
+namespace uksim::kernels {
+
+namespace {
+
+uint32_t
+f2u(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, 4);
+    return u;
+}
+
+} // anonymous namespace
+
+void
+encodeNode(const rt::KdNode &node, uint32_t &word0, uint32_t &word1)
+{
+    if (node.leaf) {
+        word0 = 3u | (node.firstPrim << 2);
+        word1 = node.primCount;
+    } else {
+        word0 = uint32_t(node.axis) | (node.left << 2);
+        word1 = f2u(node.split);
+    }
+}
+
+void
+packTriangle(const rt::WaldTriangle &tri, uint32_t out[12])
+{
+    static const uint32_t mod3[5] = {0, 1, 2, 0, 1};
+    out[0] = f2u(tri.nU);
+    out[1] = f2u(tri.nV);
+    out[2] = f2u(tri.nD);
+    out[3] = tri.k * 4;                 // byte offset of axis k
+    out[4] = f2u(tri.bNu);
+    out[5] = f2u(tri.bNv);
+    out[6] = f2u(tri.bD);
+    out[7] = f2u(tri.cNu);
+    out[8] = f2u(tri.cNv);
+    out[9] = f2u(tri.cD);
+    out[10] = mod3[tri.k + 1] * 4;      // byte offset of axis u
+    out[11] = mod3[tri.k + 2] * 4;      // byte offset of axis v
+}
+
+DeviceScene
+uploadScene(Gpu &gpu, const rt::KdTree &tree, const rt::Camera &camera)
+{
+    DeviceScene scene;
+    scene.width = camera.width();
+    scene.height = camera.height();
+    scene.rayCount = uint32_t(scene.width) * uint32_t(scene.height);
+
+    // --- kd nodes -----------------------------------------------------------
+    const auto &nodes = tree.nodes();
+    std::vector<uint32_t> nodeWords(nodes.size() * 2);
+    for (size_t i = 0; i < nodes.size(); i++)
+        encodeNode(nodes[i], nodeWords[i * 2], nodeWords[i * 2 + 1]);
+    scene.nodesAddr = gpu.mallocGlobal(nodeWords.size() * 4);
+    gpu.toGlobal(scene.nodesAddr, nodeWords.data(), nodeWords.size() * 4);
+
+    // --- Wald triangles ------------------------------------------------------
+    const auto &wald = tree.waldTriangles();
+    std::vector<uint32_t> triWords(wald.size() * 12);
+    for (size_t i = 0; i < wald.size(); i++)
+        packTriangle(wald[i], &triWords[i * 12]);
+    scene.trisAddr = gpu.mallocGlobal(
+        std::max<size_t>(triWords.size() * 4, 4));
+    if (!triWords.empty()) {
+        gpu.toGlobal(scene.trisAddr, triWords.data(), triWords.size() * 4);
+    }
+
+    // --- leaf primitive index array -------------------------------------------
+    const auto &primIdx = tree.primIndices();
+    scene.primIdxAddr = gpu.mallocGlobal(
+        std::max<size_t>(primIdx.size() * 4, 4));
+    if (!primIdx.empty()) {
+        gpu.toGlobal(scene.primIdxAddr, primIdx.data(), primIdx.size() * 4);
+    }
+
+    // --- per-ray traversal stacks -----------------------------------------------
+    // The traditional kernel keeps its stack in (word-interleaved)
+    // local memory, sized by its .local_per_thread declaration. The
+    // micro-kernel program needs a stack that outlives any single
+    // thread: one per spawn-state slot, in global memory, with words
+    // interleaved across slots so lock-step pushes coalesce.
+    const bool spawnMode = !gpu.program().microKernels.empty();
+    uint32_t perSmStackBytes = 0;
+    uint32_t stackWordStride = kStackBytesPerRay;
+    if (spawnMode) {
+        const uint32_t slots = uint32_t(gpu.occupancy().threadsPerSm);
+        perSmStackBytes = slots * kStackBytesPerRay;
+        stackWordStride = slots * 4;
+        scene.stackBase = gpu.mallocGlobal(
+            uint64_t(perSmStackBytes) * gpu.config().numSms);
+    }
+
+    // --- output hit records --------------------------------------------------------
+    scene.outAddr = gpu.mallocGlobal(
+        uint64_t(scene.rayCount) * kHitRecordBytes);
+
+    // --- persistent-threads work/done counters ------------------------------------------
+    scene.workCounterAddr = gpu.mallocGlobal(4);
+    scene.doneCounterAddr = gpu.mallocGlobal(4);
+
+    // --- constant parameter block ----------------------------------------------------
+    uint32_t params[param::kBlockBytes / 4] = {};
+    params[param::kWidth / 4] = uint32_t(scene.width);
+    params[param::kHeight / 4] = uint32_t(scene.height);
+    params[param::kNodesAddr / 4] = scene.nodesAddr;
+    params[param::kTrisAddr / 4] = scene.trisAddr;
+    params[param::kPrimIdxAddr / 4] = scene.primIdxAddr;
+    params[param::kStackBase / 4] = scene.stackBase;
+    params[param::kStackStride / 4] = stackWordStride;
+    params[param::kOutAddr / 4] = scene.outAddr;
+    params[param::kRayCount / 4] = scene.rayCount;
+    params[param::kSpawnDataBase / 4] = 0;  // state records start at 0
+    const rt::Aabb &b = tree.bounds();
+    for (int a = 0; a < 3; a++) {
+        params[param::kSceneLo / 4 + a] = f2u(b.lo[a]);
+        params[param::kSceneHi / 4 + a] = f2u(b.hi[a]);
+        params[param::kCamOrigin / 4 + a] = f2u(camera.origin[a]);
+        params[param::kCamLowerLeft / 4 + a] = f2u(camera.lowerLeft[a]);
+        params[param::kCamDu / 4 + a] = f2u(camera.du[a]);
+        params[param::kCamDv / 4 + a] = f2u(camera.dv[a]);
+    }
+    params[param::kPerSmStackBytes / 4] = perSmStackBytes;
+    params[param::kWorkCounterAddr / 4] = scene.workCounterAddr;
+    params[param::kDoneCounterAddr / 4] = scene.doneCounterAddr;
+    gpu.toConst(0, params, sizeof(params));
+    return scene;
+}
+
+std::vector<rt::Hit>
+downloadHits(const Gpu &gpu, const DeviceScene &scene)
+{
+    std::vector<uint32_t> raw(size_t(scene.rayCount) * 2);
+    gpu.fromGlobal(scene.outAddr, raw.data(), raw.size() * 4);
+    std::vector<rt::Hit> hits(scene.rayCount);
+    for (uint32_t i = 0; i < scene.rayCount; i++) {
+        hits[i].triId = static_cast<int32_t>(raw[i * 2]);
+        float t;
+        std::memcpy(&t, &raw[i * 2 + 1], 4);
+        hits[i].t = t;
+    }
+    return hits;
+}
+
+} // namespace uksim::kernels

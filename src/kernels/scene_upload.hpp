@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Host-side upload of a built kd-tree scene into simulated device
+ * memory, plus the constant-memory parameter block both kernels read.
+ */
+
+#ifndef UKSIM_KERNELS_SCENE_UPLOAD_HPP
+#define UKSIM_KERNELS_SCENE_UPLOAD_HPP
+
+#include <vector>
+
+#include "rt/camera.hpp"
+#include "rt/kdtree.hpp"
+#include "simt/gpu.hpp"
+
+namespace uksim::kernels {
+
+/** Device addresses of an uploaded scene. */
+struct DeviceScene {
+    uint32_t nodesAddr = 0;
+    uint32_t trisAddr = 0;
+    uint32_t primIdxAddr = 0;
+    uint32_t stackBase = 0;
+    uint32_t outAddr = 0;
+    uint32_t workCounterAddr = 0;   ///< persistent-threads work queue
+    uint32_t doneCounterAddr = 0;   ///< persistent-threads completions
+    uint32_t rayCount = 0;
+    int width = 0;
+    int height = 0;
+};
+
+/**
+ * Upload @p tree and the camera parameter block into @p gpu. Must run
+ * after Gpu::loadProgram (the per-ray stack area is sized differently
+ * for the traditional kernel — one stack per grid thread — and the
+ * micro-kernel program — one stack per resident spawn-state slot).
+ */
+DeviceScene uploadScene(Gpu &gpu, const rt::KdTree &tree,
+                        const rt::Camera &camera);
+
+/** Read back the per-pixel hit records. */
+std::vector<rt::Hit> downloadHits(const Gpu &gpu, const DeviceScene &scene);
+
+/** Encode one kd node into its two device words. */
+void encodeNode(const rt::KdNode &node, uint32_t &word0, uint32_t &word1);
+
+/** Pack one Wald triangle into the 12-word device record. */
+void packTriangle(const rt::WaldTriangle &tri, uint32_t out[12]);
+
+} // namespace uksim::kernels
+
+#endif // UKSIM_KERNELS_SCENE_UPLOAD_HPP

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Bank-conflict model implementation.
+ */
+
+#include "mem/bank.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace uksim {
+
+int
+bankConflictPasses(const std::vector<uint64_t> &addrs, uint64_t activeMask,
+                   int wordsPerLane, int numBanks)
+{
+    // Distinct words touched per bank; same-word accesses broadcast.
+    std::vector<std::set<uint64_t>> words(numBanks);
+    bool any = false;
+    for (size_t lane = 0; lane < addrs.size(); lane++) {
+        if (!(activeMask >> lane & 1))
+            continue;
+        any = true;
+        uint64_t word0 = addrs[lane] / 4;
+        for (int w = 0; w < wordsPerLane; w++) {
+            uint64_t word = word0 + w;
+            words[word % numBanks].insert(word);
+        }
+    }
+    if (!any)
+        return 0;
+    size_t worst = 1;
+    for (const auto &s : words)
+        worst = std::max(worst, s.size());
+    return static_cast<int>(worst);
+}
+
+} // namespace uksim

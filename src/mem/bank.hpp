@@ -1,0 +1,36 @@
+/**
+ * @file
+ * On-chip memory bank-conflict model.
+ *
+ * Shared memory and (optionally — Fig. 7 vs Fig. 9) the paper's spawn
+ * memory are word-interleaved across numBanks banks. A warp access costs
+ * as many passes as the most-contended bank requires; lanes reading the
+ * exact same word are satisfied by broadcast in one pass.
+ */
+
+#ifndef UKSIM_MEM_BANK_HPP
+#define UKSIM_MEM_BANK_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace uksim {
+
+/**
+ * Number of serialized passes a warp needs to access on-chip memory.
+ *
+ * @param addrs per-lane byte addresses.
+ * @param activeMask bit i set when lane i participates.
+ * @param wordsPerLane consecutive 32-bit words each lane touches
+ *                     (1 for scalar, 2/4 for vector accesses).
+ * @param numBanks bank count (word-interleaved).
+ * @return conflict degree >= 1 (0 when no lane is active).
+ */
+int bankConflictPasses(const std::vector<uint64_t> &addrs,
+                       uint64_t activeMask,
+                       int wordsPerLane,
+                       int numBanks);
+
+} // namespace uksim
+
+#endif // UKSIM_MEM_BANK_HPP

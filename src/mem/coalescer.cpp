@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Coalescer implementation.
+ */
+
+#include "mem/coalescer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uksim {
+
+std::vector<Segment>
+coalesce(const std::vector<uint64_t> &addrs, uint64_t activeMask,
+         uint32_t accessBytes, uint32_t segmentBytes)
+{
+    assert(segmentBytes && (segmentBytes & (segmentBytes - 1)) == 0);
+    std::vector<Segment> out;
+    std::vector<uint64_t> seen;     // deduped lane addresses
+    auto touch = [&](uint64_t base, uint32_t bytes) {
+        for (Segment &s : out) {
+            if (s.addr == base) {
+                s.touched += bytes;
+                return;
+            }
+        }
+        out.push_back({base, segmentBytes, bytes});
+    };
+    const uint64_t mask = ~uint64_t(segmentBytes - 1);
+    for (size_t lane = 0; lane < addrs.size(); lane++) {
+        if (!(activeMask >> lane & 1))
+            continue;
+        const uint64_t addr = addrs[lane];
+        bool dup = false;
+        for (uint64_t a : seen) {
+            if (a == addr) {
+                dup = true;
+                break;
+            }
+        }
+        if (dup)
+            continue;   // broadcast: same word served once
+        seen.push_back(addr);
+        uint64_t first = addr & mask;
+        uint64_t last = (addr + accessBytes - 1) & mask;
+        if (last == first) {
+            touch(first, accessBytes);
+        } else {
+            uint32_t inFirst =
+                static_cast<uint32_t>(first + segmentBytes - addr);
+            touch(first, inFirst);
+            touch(last, accessBytes - inFirst);
+        }
+    }
+    for (Segment &s : out) {
+        if (s.touched > s.bytes)
+            s.touched = s.bytes;    // overlapping lanes clamp to the line
+    }
+    return out;
+}
+
+} // namespace uksim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Memory coalescing: collapse one warp's per-lane accesses into the
+ * minimal set of aligned DRAM segments, as GPGPU-Sim models for
+ * compute-capability-1.x style hardware (the paper's FX5800 target).
+ */
+
+#ifndef UKSIM_MEM_COALESCER_HPP
+#define UKSIM_MEM_COALESCER_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace uksim {
+
+/** One coalesced DRAM transaction. */
+struct Segment {
+    uint64_t addr = 0;     ///< segment-aligned base address
+    uint32_t bytes = 0;    ///< segment size (cache-line granularity)
+    /// Bytes the warp actually requested within the segment. The DRAM
+    /// transfers only these (GPGPU-Sim-style: an uncoalesced scalar
+    /// access costs its own size, not a whole segment).
+    uint32_t touched = 0;
+};
+
+/**
+ * Coalesce a warp's lane accesses into unique aligned segments.
+ *
+ * @param addrs per-lane byte addresses (only active lanes inspected).
+ * @param activeMask bit i set when lane i issues the access.
+ * @param accessBytes bytes accessed per lane (4, 8 or 16).
+ * @param segmentBytes coalescing granularity (power of two).
+ * @return unique segments, in first-touch order.
+ */
+std::vector<Segment> coalesce(const std::vector<uint64_t> &addrs,
+                              uint64_t activeMask,
+                              uint32_t accessBytes,
+                              uint32_t segmentBytes);
+
+} // namespace uksim
+
+#endif // UKSIM_MEM_COALESCER_HPP

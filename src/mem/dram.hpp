@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Off-chip memory timing: 8 address-interleaved partitions, each serving
+ * a fixed number of bytes per cycle FIFO with a constant access latency
+ * plus interconnect traversal (Table I: 8 modules, 8 bytes/cycle, no
+ * caches).
+ */
+
+#ifndef UKSIM_MEM_DRAM_HPP
+#define UKSIM_MEM_DRAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/coalescer.hpp"
+#include "simt/config.hpp"
+
+namespace uksim {
+
+/** Per-partition traffic counters. */
+struct PartitionStats {
+    uint64_t readBytes = 0;
+    uint64_t writeBytes = 0;
+    uint64_t transactions = 0;
+    uint64_t busyCycles = 0;
+};
+
+/**
+ * Timing model for the partitioned DRAM system. Purely a latency
+ * calculator: callers pass coalesced segments and get back the cycle at
+ * which the whole warp access completes.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const GpuConfig &config);
+
+    /**
+     * Issue one coalesced transaction.
+     *
+     * @param seg segment address/size.
+     * @param isWrite write transactions count toward write bandwidth.
+     * @param now current cycle.
+     * @return completion cycle of this transaction.
+     */
+    uint64_t access(const Segment &seg, bool isWrite, uint64_t now);
+
+    /**
+     * Issue all of a warp's segments; returns the cycle when the last
+     * one completes (the warp's wake-up time).
+     */
+    uint64_t accessAll(const std::vector<Segment> &segments, bool isWrite,
+                       uint64_t now);
+
+    /** Partition index for an address (segment-interleaved). */
+    int partitionOf(uint64_t addr) const;
+
+    const std::vector<PartitionStats> &partitionStats() const
+    {
+        return stats_;
+    }
+
+    uint64_t totalReadBytes() const;
+    uint64_t totalWriteBytes() const;
+    uint64_t totalTransactions() const;
+
+  private:
+    const GpuConfig &config_;
+    std::vector<uint64_t> busyUntil_;
+    std::vector<PartitionStats> stats_;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_MEM_DRAM_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Read-only cache implementation.
+ */
+
+#include "mem/rocache.hpp"
+
+#include <cassert>
+
+namespace uksim {
+
+ReadOnlyCache::ReadOnlyCache(uint32_t bytes, uint32_t line_bytes, int ways)
+    : lineBytes_(line_bytes), ways_(ways)
+{
+    assert(line_bytes && (line_bytes & (line_bytes - 1)) == 0);
+    assert(ways > 0);
+    size_t lines = bytes / line_bytes;
+    sets_ = lines / ways;
+    if (sets_ == 0)
+        sets_ = 1;
+    lines_.assign(sets_ * ways_, Line{});
+}
+
+size_t
+ReadOnlyCache::setOf(uint64_t addr) const
+{
+    return (addr / lineBytes_) % sets_;
+}
+
+bool
+ReadOnlyCache::probe(uint64_t addr)
+{
+    const uint64_t tag = addr / lineBytes_;
+    Line *set = &lines_[setOf(addr) * ways_];
+    tick_++;
+    for (int w = 0; w < ways_; w++) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = tick_;
+            hits_++;
+            return true;
+        }
+    }
+    misses_++;
+    return false;
+}
+
+void
+ReadOnlyCache::fill(uint64_t addr)
+{
+    const uint64_t tag = addr / lineBytes_;
+    Line *set = &lines_[setOf(addr) * ways_];
+    // Already present (another warp filled it first): refresh.
+    for (int w = 0; w < ways_; w++) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = ++tick_;
+            return;
+        }
+    }
+    Line *victim = &set[0];
+    for (int w = 1; w < ways_; w++) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse && victim->valid)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = ++tick_;
+}
+
+void
+ReadOnlyCache::invalidate(uint64_t addr)
+{
+    const uint64_t tag = addr / lineBytes_;
+    Line *set = &lines_[setOf(addr) * ways_];
+    for (int w = 0; w < ways_; w++) {
+        if (set[w].valid && set[w].tag == tag)
+            set[w].valid = false;
+    }
+}
+
+} // namespace uksim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Read-only (texture-path) cache model.
+ *
+ * The paper's workload, like Radius-CUDA and every GT200-era GPU ray
+ * tracer, reads scene data (kd nodes, triangles, index lists) through
+ * the texture units, which are cached per SM with a shared second level
+ * at the memory partitions — even though the FX5800 has no general
+ * L1/L2 for global memory (Table I). We model that path as a simple
+ * set-associative LRU cache of read-only lines; stores write through to
+ * DRAM and invalidate matching lines.
+ */
+
+#ifndef UKSIM_MEM_ROCACHE_HPP
+#define UKSIM_MEM_ROCACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uksim {
+
+/** Set-associative read-only cache (tags only; data is functional). */
+class ReadOnlyCache
+{
+  public:
+    /**
+     * @param bytes total capacity.
+     * @param line_bytes line size (power of two).
+     * @param ways associativity.
+     */
+    ReadOnlyCache(uint32_t bytes, uint32_t line_bytes, int ways);
+
+    /**
+     * Look up the line containing @p addr; updates LRU on hit.
+     * @retval true on hit.
+     */
+    bool probe(uint64_t addr);
+
+    /** Install the line containing @p addr (LRU victim). */
+    void fill(uint64_t addr);
+
+    /** Drop the line containing @p addr if present. */
+    void invalidate(uint64_t addr);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint32_t lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Line {
+        uint64_t tag = ~uint64_t{0};
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    size_t setOf(uint64_t addr) const;
+
+    uint32_t lineBytes_;
+    int ways_;
+    size_t sets_;
+    std::vector<Line> lines_;   ///< sets_ x ways_
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_MEM_ROCACHE_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Functional backing store for one memory space.
+ *
+ * The timing model lives elsewhere (dram.hpp, bank.hpp); a Store is just
+ * bytes with bounds-checked 32-bit word access, which is the only
+ * granularity the ISA reads and writes.
+ */
+
+#ifndef UKSIM_MEM_STORE_HPP
+#define UKSIM_MEM_STORE_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace uksim {
+
+/** Thrown on an out-of-bounds device memory access. */
+class MemoryFault : public std::runtime_error
+{
+  public:
+    MemoryFault(const std::string &space, uint64_t addr, uint64_t size)
+        : std::runtime_error("memory fault: " + space + " address " +
+                             std::to_string(addr) + " outside size " +
+                             std::to_string(size))
+    {
+    }
+};
+
+/** A flat, bounds-checked byte store for one memory space. */
+class Store
+{
+  public:
+    Store() = default;
+
+    /**
+     * @param name space name used in fault messages.
+     * @param bytes capacity.
+     */
+    Store(std::string name, uint64_t bytes)
+        : name_(std::move(name)), data_(bytes, 0)
+    {
+    }
+
+    uint64_t size() const { return data_.size(); }
+
+    void resize(uint64_t bytes) { data_.assign(bytes, 0); }
+
+    uint32_t read32(uint64_t addr) const
+    {
+        check(addr, 4);
+        uint32_t v;
+        std::memcpy(&v, data_.data() + addr, 4);
+        return v;
+    }
+
+    void write32(uint64_t addr, uint32_t value)
+    {
+        check(addr, 4);
+        std::memcpy(data_.data() + addr, &value, 4);
+    }
+
+    float readF32(uint64_t addr) const
+    {
+        uint32_t v = read32(addr);
+        float f;
+        std::memcpy(&f, &v, 4);
+        return f;
+    }
+
+    void writeF32(uint64_t addr, float value)
+    {
+        uint32_t v;
+        std::memcpy(&v, &value, 4);
+        write32(addr, v);
+    }
+
+    /** Bulk host-side copy into the store (device upload). */
+    void writeBlock(uint64_t addr, const void *src, uint64_t bytes)
+    {
+        check(addr, bytes);
+        std::memcpy(data_.data() + addr, src, bytes);
+    }
+
+    /** Bulk host-side copy out of the store (device download). */
+    void readBlock(uint64_t addr, void *dst, uint64_t bytes) const
+    {
+        check(addr, bytes);
+        std::memcpy(dst, data_.data() + addr, bytes);
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    void check(uint64_t addr, uint64_t bytes) const
+    {
+        if (addr + bytes > data_.size())
+            throw MemoryFault(name_, addr, data_.size());
+    }
+
+    std::string name_ = "unnamed";
+    std::vector<uint8_t> data_;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_MEM_STORE_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Axis-aligned bounding box with slab ray intersection.
+ */
+
+#ifndef UKSIM_RT_AABB_HPP
+#define UKSIM_RT_AABB_HPP
+
+#include <limits>
+
+#include "rt/ray.hpp"
+#include "rt/vec3.hpp"
+
+namespace uksim::rt {
+
+/** Axis-aligned bounding box. */
+struct Aabb {
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{-std::numeric_limits<float>::max(),
+            -std::numeric_limits<float>::max(),
+            -std::numeric_limits<float>::max()};
+
+    bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+    void grow(const Vec3 &p)
+    {
+        lo = vmin(lo, p);
+        hi = vmax(hi, p);
+    }
+
+    void grow(const Aabb &b)
+    {
+        lo = vmin(lo, b.lo);
+        hi = vmax(hi, b.hi);
+    }
+
+    Vec3 extent() const { return hi - lo; }
+
+    float surfaceArea() const
+    {
+        if (!valid())
+            return 0.0f;
+        Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    bool contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /**
+     * Slab test; on hit narrows [t0, t1] to the parametric overlap.
+     * @retval true when the ray passes through the box within [t0, t1].
+     */
+    bool intersect(const Ray &ray, float &t0, float &t1) const
+    {
+        float tmin = t0, tmax = t1;
+        for (int a = 0; a < 3; a++) {
+            float inv = 1.0f / ray.dir[a];
+            float tNear = (lo[a] - ray.org[a]) * inv;
+            float tFar = (hi[a] - ray.org[a]) * inv;
+            if (tNear > tFar) {
+                float tmp = tNear;
+                tNear = tFar;
+                tFar = tmp;
+            }
+            if (tNear > tmin)
+                tmin = tNear;
+            if (tFar < tmax)
+                tmax = tFar;
+            if (tmin > tmax)
+                return false;
+        }
+        t0 = tmin;
+        t1 = tmax;
+        return true;
+    }
+};
+
+} // namespace uksim::rt
+
+#endif // UKSIM_RT_AABB_HPP

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Pinhole camera implementation.
+ */
+
+#include "rt/camera.hpp"
+
+#include <cmath>
+
+namespace uksim::rt {
+
+Camera::Camera(const Vec3 &eye, const Vec3 &look_at, const Vec3 &up,
+               float vfov_deg, int width, int height)
+    : origin(eye), width_(width), height_(height)
+{
+    const float aspect = static_cast<float>(width) / height;
+    const float halfH = std::tan(vfov_deg * 0.5f * 3.14159265f / 180.0f);
+    const float halfW = aspect * halfH;
+
+    const Vec3 w = normalize(eye - look_at);    // backward
+    const Vec3 u = normalize(cross(up, w));     // right
+    const Vec3 v = cross(w, u);                 // true up
+
+    lowerLeft = -halfW * u - halfH * v - w;
+    du = u * (2.0f * halfW / width);
+    dv = v * (2.0f * halfH / height);
+}
+
+Ray
+Camera::ray(int px, int py) const
+{
+    const float fx = static_cast<float>(px) + 0.5f;
+    const float fy = static_cast<float>(py) + 0.5f;
+    Ray r;
+    r.org = origin;
+    // Exact order the device kernel uses: two mads per component.
+    r.dir.x = fy * dv.x + (fx * du.x + lowerLeft.x);
+    r.dir.y = fy * dv.y + (fx * du.y + lowerLeft.y);
+    r.dir.z = fy * dv.z + (fx * du.z + lowerLeft.z);
+    r.tmin = 0.0f;
+    return r;
+}
+
+} // namespace uksim::rt

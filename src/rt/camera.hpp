@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Pinhole camera producing the exact per-pixel rays the device kernels
+ * generate (same unnormalized-direction arithmetic, same evaluation
+ * order, so host and simulated renders are bit-comparable).
+ */
+
+#ifndef UKSIM_RT_CAMERA_HPP
+#define UKSIM_RT_CAMERA_HPP
+
+#include "rt/ray.hpp"
+#include "rt/vec3.hpp"
+
+namespace uksim::rt {
+
+/** Pinhole camera. */
+class Camera
+{
+  public:
+    Camera() = default;
+
+    /**
+     * @param eye camera position.
+     * @param look_at point the camera faces.
+     * @param up approximate up vector.
+     * @param vfov_deg vertical field of view in degrees.
+     * @param width image width in pixels.
+     * @param height image height in pixels.
+     */
+    Camera(const Vec3 &eye, const Vec3 &look_at, const Vec3 &up,
+           float vfov_deg, int width, int height);
+
+    /**
+     * Primary ray through pixel (@p px, @p py), center-sampled. The
+     * direction is intentionally not normalized — the kernels skip the
+     * normalization too and parametric t values stay consistent.
+     */
+    Ray ray(int px, int py) const;
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    // Raw basis, uploaded to device constant memory.
+    Vec3 origin;
+    Vec3 lowerLeft;     ///< direction to pixel (0, 0) corner
+    Vec3 du;            ///< direction step per pixel in x
+    Vec3 dv;            ///< direction step per pixel in y
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+};
+
+} // namespace uksim::rt
+
+#endif // UKSIM_RT_CAMERA_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reference tracer implementation.
+ */
+
+#include "rt/cpu_tracer.hpp"
+
+namespace uksim::rt {
+
+RenderResult
+renderReference(const KdTree &tree, const Camera &camera)
+{
+    RenderResult r;
+    r.width = camera.width();
+    r.height = camera.height();
+    r.hits.resize(size_t(r.width) * r.height);
+    for (int y = 0; y < r.height; y++) {
+        for (int x = 0; x < r.width; x++) {
+            const Ray ray = camera.ray(x, y);
+            r.hits[size_t(y) * r.width + x] = tree.intersect(ray, r.totals);
+        }
+    }
+    return r;
+}
+
+namespace {
+constexpr double kNodeBytes = 8.0;
+constexpr double kTriangleBytes = 48.0;
+constexpr double kHitRecordBytes = 8.0;
+constexpr double kStateBytes = 48.0;
+constexpr double kFormationPtrBytes = 4.0;
+} // anonymous namespace
+
+BandwidthEstimate
+estimateTraditionalBandwidth(const TraversalCounters &c, uint64_t rays)
+{
+    BandwidthEstimate e;
+    e.readBytes = kNodeBytes * double(c.downTraversals) +
+                  kTriangleBytes * double(c.intersectionTests);
+    e.writeBytes = kHitRecordBytes * double(rays);
+    return e;
+}
+
+BandwidthEstimate
+estimateDynamicBandwidth(const TraversalCounters &c, uint64_t rays)
+{
+    // One micro-kernel invocation per down-traversal, per intersection
+    // test and per leaf transition (pop), plus the initial generation
+    // kernel per ray: each restores and saves the 48-byte state and
+    // stores one 4-byte formation pointer at spawn.
+    const double invocations = double(c.downTraversals) +
+                               double(c.intersectionTests) +
+                               double(c.leavesVisited) + double(rays);
+    BandwidthEstimate e = estimateTraditionalBandwidth(c, rays);
+    e.readBytes += kStateBytes * invocations;
+    e.writeBytes += (kStateBytes + kFormationPtrBytes) * invocations;
+    return e;
+}
+
+} // namespace uksim::rt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Host-side reference ray tracer. Renders primary rays through the
+ * kd-tree with the identical traversal/intersection algorithm the
+ * device kernels implement, serving three purposes: the correctness
+ * oracle for the simulated kernels, the per-frame work counts behind
+ * the Table IV bandwidth analytics, and a plain CPU renderer for the
+ * examples.
+ */
+
+#ifndef UKSIM_RT_CPU_TRACER_HPP
+#define UKSIM_RT_CPU_TRACER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/camera.hpp"
+#include "rt/kdtree.hpp"
+
+namespace uksim::rt {
+
+/** Whole-frame result. */
+struct RenderResult {
+    int width = 0;
+    int height = 0;
+    std::vector<Hit> hits;              ///< row-major, width*height
+    TraversalCounters totals;           ///< summed over all rays
+
+    const Hit &at(int x, int y) const { return hits[y * width + x]; }
+};
+
+/**
+ * Render all primary rays of @p camera through @p tree.
+ */
+RenderResult renderReference(const KdTree &tree, const Camera &camera);
+
+/**
+ * Per-frame memory-bandwidth analytics (paper Table IV): byte counts
+ * derived from the number of down-traversals and intersection tests,
+ * with no caching, exactly as the paper computes them.
+ */
+struct BandwidthEstimate {
+    double readBytes = 0;
+    double writeBytes = 0;
+
+    double totalBytes() const { return readBytes + writeBytes; }
+};
+
+/**
+ * Traditional kernel: every down-traversal reads one 8-byte node, every
+ * intersection test reads one 48-byte triangle; the only write is the
+ * 8-byte hit record per ray.
+ */
+BandwidthEstimate estimateTraditionalBandwidth(const TraversalCounters &c,
+                                               uint64_t rays);
+
+/**
+ * Dynamic micro-kernel version: on top of the traditional traffic,
+ * every traversal step, intersection test and leaf transition re-loads
+ * and re-stores the 48-byte thread state and writes the 4-byte warp
+ * formation pointer (the naive every-iteration spawn of Sec. VI-A).
+ */
+BandwidthEstimate estimateDynamicBandwidth(const TraversalCounters &c,
+                                           uint64_t rays);
+
+} // namespace uksim::rt
+
+#endif // UKSIM_RT_CPU_TRACER_HPP

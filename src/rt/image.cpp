@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Image output implementation.
+ */
+
+#include "rt/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace uksim::rt {
+
+bool
+Image::writePpm(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+    size_t n = std::fwrite(pixels_.data(), 1, pixels_.size(), f);
+    std::fclose(f);
+    return n == pixels_.size();
+}
+
+Image
+shadeByTriangle(const RenderResult &r)
+{
+    Image img(r.width, r.height);
+    for (int y = 0; y < r.height; y++) {
+        for (int x = 0; x < r.width; x++) {
+            const Hit &h = r.at(x, y);
+            if (!h.valid())
+                continue;
+            uint32_t v = static_cast<uint32_t>(h.triId) * 2654435761u;
+            img.set(x, y, 64 + (v & 0x7f), 64 + ((v >> 8) & 0x7f),
+                    64 + ((v >> 16) & 0x7f));
+        }
+    }
+    return img;
+}
+
+Image
+shadeByDepth(const RenderResult &r)
+{
+    float tmax = 0.0f;
+    for (const Hit &h : r.hits) {
+        if (h.valid())
+            tmax = std::max(tmax, h.t);
+    }
+    Image img(r.width, r.height);
+    if (tmax <= 0.0f)
+        return img;
+    for (int y = 0; y < r.height; y++) {
+        for (int x = 0; x < r.width; x++) {
+            const Hit &h = r.at(x, y);
+            if (!h.valid())
+                continue;
+            float g = 1.0f - 0.9f * (h.t / tmax);
+            uint8_t v = static_cast<uint8_t>(
+                std::clamp(g * 255.0f, 0.0f, 255.0f));
+            img.set(x, y, v, v, v);
+        }
+    }
+    return img;
+}
+
+} // namespace uksim::rt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Simple RGB image with PPM output and false-color helpers for
+ * visualizing hit ids / depth from a render.
+ */
+
+#ifndef UKSIM_RT_IMAGE_HPP
+#define UKSIM_RT_IMAGE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/cpu_tracer.hpp"
+
+namespace uksim::rt {
+
+/** 8-bit RGB image. */
+class Image
+{
+  public:
+    Image(int width, int height)
+        : width_(width), height_(height),
+          pixels_(size_t(width) * height * 3, 0)
+    {
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    void set(int x, int y, uint8_t r, uint8_t g, uint8_t b)
+    {
+        size_t i = (size_t(y) * width_ + x) * 3;
+        pixels_[i] = r;
+        pixels_[i + 1] = g;
+        pixels_[i + 2] = b;
+    }
+
+    /** Write binary PPM (P6). @retval false on I/O failure. */
+    bool writePpm(const std::string &path) const;
+
+  private:
+    int width_, height_;
+    std::vector<uint8_t> pixels_;
+};
+
+/** False-color by triangle id (stable hash), black for misses. */
+Image shadeByTriangle(const RenderResult &r);
+
+/** Grayscale by hit distance, black for misses. */
+Image shadeByDepth(const RenderResult &r);
+
+} // namespace uksim::rt
+
+#endif // UKSIM_RT_IMAGE_HPP

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * kd-tree build and traversal.
+ */
+
+#include "rt/kdtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace uksim::rt {
+
+KdTree
+KdTree::build(const std::vector<Triangle> &tris, const BuildParams &params)
+{
+    KdTree tree;
+    tree.wald_.reserve(tris.size());
+
+    std::vector<Aabb> primBounds(tris.size());
+    std::vector<uint32_t> prims;
+    prims.reserve(tris.size());
+    for (size_t i = 0; i < tris.size(); i++) {
+        WaldTriangle wt;
+        if (!wt.precompute(tris[i]))
+            wt = WaldTriangle{};    // degenerate: never hit
+        tree.wald_.push_back(wt);
+        primBounds[i] = tris[i].bounds();
+        tree.bounds_.grow(primBounds[i]);
+        prims.push_back(static_cast<uint32_t>(i));
+    }
+
+    tree.nodes_.emplace_back();
+    if (tris.empty()) {
+        tree.makeLeaf(0, {});
+        return tree;
+    }
+    tree.buildRecursive(0, tree.bounds_, std::move(prims), 0, primBounds,
+                        params);
+    return tree;
+}
+
+void
+KdTree::makeLeaf(uint32_t nodeIdx, const std::vector<uint32_t> &prims)
+{
+    KdNode &node = nodes_[nodeIdx];
+    node.leaf = true;
+    node.firstPrim = static_cast<uint32_t>(primIndices_.size());
+    node.primCount = static_cast<uint32_t>(prims.size());
+    primIndices_.insert(primIndices_.end(), prims.begin(), prims.end());
+}
+
+void
+KdTree::buildRecursive(uint32_t nodeIdx, const Aabb &bounds,
+                       std::vector<uint32_t> prims, int depth,
+                       const std::vector<Aabb> &primBounds,
+                       const BuildParams &params)
+{
+    const size_t n = prims.size();
+    if (n <= static_cast<size_t>(params.leafTarget) ||
+        depth >= params.maxDepth) {
+        makeLeaf(nodeIdx, prims);
+        return;
+    }
+
+    // Binned SAH over all three axes.
+    const float parentArea = bounds.surfaceArea();
+    float bestCost = params.intersectCost * static_cast<float>(n);
+    int bestAxis = -1;
+    float bestSplit = 0.0f;
+
+    for (int axis = 0; axis < 3; axis++) {
+        const float lo = bounds.lo[axis];
+        const float hi = bounds.hi[axis];
+        if (hi - lo <= 0.0f)
+            continue;
+        for (int b = 1; b < params.sahBins; b++) {
+            const float split =
+                lo + (hi - lo) * static_cast<float>(b) / params.sahBins;
+            size_t nl = 0, nr = 0;
+            for (uint32_t p : prims) {
+                if (primBounds[p].lo[axis] < split)
+                    nl++;
+                if (primBounds[p].hi[axis] > split)
+                    nr++;
+            }
+            Aabb lb = bounds, rb = bounds;
+            lb.hi[axis] = split;
+            rb.lo[axis] = split;
+            const float cost =
+                params.traversalCost +
+                params.intersectCost *
+                    (lb.surfaceArea() * nl + rb.surfaceArea() * nr) /
+                    parentArea;
+            if (cost < bestCost) {
+                bestCost = cost;
+                bestAxis = axis;
+                bestSplit = split;
+            }
+        }
+    }
+
+    if (bestAxis < 0) {
+        makeLeaf(nodeIdx, prims);
+        return;
+    }
+
+    std::vector<uint32_t> leftPrims, rightPrims;
+    for (uint32_t p : prims) {
+        if (primBounds[p].lo[bestAxis] < bestSplit)
+            leftPrims.push_back(p);
+        if (primBounds[p].hi[bestAxis] > bestSplit)
+            rightPrims.push_back(p);
+        // Triangles lying exactly in the split plane go left.
+        if (primBounds[p].lo[bestAxis] == bestSplit &&
+            primBounds[p].hi[bestAxis] == bestSplit) {
+            leftPrims.push_back(p);
+        }
+    }
+    // Degenerate partition: give up and make a leaf.
+    if (leftPrims.size() == n && rightPrims.size() == n) {
+        makeLeaf(nodeIdx, prims);
+        return;
+    }
+    prims.clear();
+    prims.shrink_to_fit();
+
+    const uint32_t leftIdx = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_.emplace_back();
+    {
+        KdNode &node = nodes_[nodeIdx];
+        node.leaf = false;
+        node.axis = bestAxis;
+        node.split = bestSplit;
+        node.left = leftIdx;
+    }
+
+    Aabb lb = bounds, rb = bounds;
+    lb.hi[bestAxis] = bestSplit;
+    rb.lo[bestAxis] = bestSplit;
+    buildRecursive(leftIdx, lb, std::move(leftPrims), depth + 1, primBounds,
+                   params);
+    buildRecursive(leftIdx + 1, rb, std::move(rightPrims), depth + 1,
+                   primBounds, params);
+}
+
+KdTreeStats
+KdTree::stats() const
+{
+    KdTreeStats s;
+    s.nodeCount = static_cast<uint32_t>(nodes_.size());
+    // Depth via traversal.
+    struct Item { uint32_t node; uint32_t depth; };
+    std::vector<Item> stack{{0, 1}};
+    uint64_t primSum = 0;
+    uint32_t nonEmpty = 0;
+    while (!stack.empty()) {
+        Item it = stack.back();
+        stack.pop_back();
+        const KdNode &node = nodes_[it.node];
+        s.maxDepth = std::max(s.maxDepth, it.depth);
+        if (node.leaf) {
+            s.leafCount++;
+            s.primRefs += node.primCount;
+            if (node.primCount == 0) {
+                s.emptyLeaves++;
+            } else {
+                nonEmpty++;
+                primSum += node.primCount;
+            }
+        } else {
+            stack.push_back({node.left, it.depth + 1});
+            stack.push_back({node.left + 1, it.depth + 1});
+        }
+    }
+    s.avgLeafPrims = nonEmpty ? double(primSum) / nonEmpty : 0.0;
+    return s;
+}
+
+Hit
+KdTree::intersect(const Ray &ray) const
+{
+    TraversalCounters scratch;
+    return intersect(ray, scratch);
+}
+
+Hit
+KdTree::intersect(const Ray &ray, TraversalCounters &counters) const
+{
+    Hit hit;
+    float t0 = ray.tmin, t1 = ray.tmax;
+    if (!bounds_.intersect(ray, t0, t1))
+        return hit;
+
+    const Vec3 invDir{1.0f / ray.dir.x, 1.0f / ray.dir.y,
+                      1.0f / ray.dir.z};
+    float hitT = ray.tmax;
+
+    struct StackEntry { uint32_t node; float tmin, tmax; };
+    StackEntry stack[64];
+    int sp = 0;
+    uint32_t nodeIdx = 0;
+    float tmin = t0, tmax = t1;
+
+    while (true) {
+        // Descend to a leaf (the kernel's middle loop, Example 1 line 2).
+        const KdNode *node = &nodes_[nodeIdx];
+        while (!node->leaf) {
+            counters.downTraversals++;
+            const int axis = node->axis;
+            const float d = (node->split - ray.org[axis]) * invDir[axis];
+            // Near child by ray origin side (strict; ties go right —
+            // the device kernel uses the identical rule).
+            const uint32_t nearIdx =
+                ray.org[axis] < node->split ? node->left : node->left + 1;
+            const uint32_t farIdx =
+                ray.org[axis] < node->split ? node->left + 1 : node->left;
+            if (d > tmax || d <= 0.0f) {
+                nodeIdx = nearIdx;
+            } else if (d < tmin) {
+                nodeIdx = farIdx;
+            } else {
+                assert(sp < 64);
+                stack[sp++] = {farIdx, d, tmax};
+                nodeIdx = nearIdx;
+                tmax = d;
+            }
+            node = &nodes_[nodeIdx];
+        }
+
+        // Leaf: test every referenced triangle (Example 1 line 8).
+        counters.leavesVisited++;
+        Ray clipped = ray;
+        for (uint32_t i = 0; i < node->primCount; i++) {
+            const uint32_t prim = primIndices_[node->firstPrim + i];
+            counters.intersectionTests++;
+            if (wald_[prim].intersect(clipped, hitT))
+                hit.triId = static_cast<int32_t>(prim);
+        }
+
+        // Early termination: a hit inside this leaf's parametric span
+        // cannot be beaten by nodes farther along the ray.
+        if (hit.triId >= 0 && hitT <= tmax)
+            break;
+        if (sp == 0)
+            break;
+        --sp;
+        nodeIdx = stack[sp].node;
+        tmin = stack[sp].tmin;
+        tmax = stack[sp].tmax;
+    }
+
+    if (hit.triId >= 0)
+        hit.t = hitT;
+    return hit;
+}
+
+Hit
+KdTree::intersectBruteForce(const Ray &ray) const
+{
+    Hit hit;
+    float hitT = ray.tmax;
+    for (size_t i = 0; i < wald_.size(); i++) {
+        if (wald_[i].intersect(ray, hitT))
+            hit.triId = static_cast<int32_t>(i);
+    }
+    if (hit.triId >= 0)
+        hit.t = hitT;
+    return hit;
+}
+
+} // namespace uksim::rt

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * kd-tree acceleration structure (Bentley 1975; the structure
+ * Radius-CUDA and the paper's kernels traverse).
+ *
+ * Built with binned surface-area-heuristic splits; straddling triangles
+ * are referenced from both children. The node layout is device-friendly:
+ * children are allocated consecutively so an internal node only stores
+ * the left child index (right = left + 1), exactly what the 8-byte
+ * device node encodes.
+ */
+
+#ifndef UKSIM_RT_KDTREE_HPP
+#define UKSIM_RT_KDTREE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/aabb.hpp"
+#include "rt/ray.hpp"
+#include "rt/triangle.hpp"
+
+namespace uksim::rt {
+
+/** One kd-tree node (host representation). */
+struct KdNode {
+    bool leaf = false;
+    // Internal fields.
+    int axis = 0;
+    float split = 0.0f;
+    uint32_t left = 0;          ///< left child; right = left + 1
+    // Leaf fields.
+    uint32_t firstPrim = 0;     ///< index into primIndices()
+    uint32_t primCount = 0;
+};
+
+/** Aggregate tree shape statistics (Table III). */
+struct KdTreeStats {
+    uint32_t nodeCount = 0;
+    uint32_t leafCount = 0;
+    uint32_t maxDepth = 0;
+    uint32_t emptyLeaves = 0;
+    uint64_t primRefs = 0;      ///< total leaf->triangle references
+    double avgLeafPrims = 0.0;  ///< over non-empty leaves
+};
+
+/** Per-ray traversal work counters (Table IV analytics). */
+struct TraversalCounters {
+    uint64_t downTraversals = 0;    ///< internal-node steps
+    uint64_t intersectionTests = 0; ///< ray-triangle tests
+    uint64_t leavesVisited = 0;
+};
+
+/** kd-tree over a triangle soup. */
+class KdTree
+{
+  public:
+    /** Build parameters. */
+    struct BuildParams {
+        int maxDepth = 22;
+        int leafTarget = 6;         ///< stop splitting at/below this count
+        int sahBins = 16;
+        float traversalCost = 1.0f;
+        float intersectCost = 1.5f;
+    };
+
+    /** Build over @p tris (also precomputes Wald triangles). */
+    static KdTree build(const std::vector<Triangle> &tris,
+                        const BuildParams &params);
+    /** Build with default parameters. */
+    static KdTree build(const std::vector<Triangle> &tris)
+    {
+        return build(tris, BuildParams());
+    }
+
+    const std::vector<KdNode> &nodes() const { return nodes_; }
+    const std::vector<uint32_t> &primIndices() const { return primIndices_; }
+    const std::vector<WaldTriangle> &waldTriangles() const { return wald_; }
+    const Aabb &bounds() const { return bounds_; }
+
+    KdTreeStats stats() const;
+
+    /** Reference nearest-hit traversal (same algorithm as the device). */
+    Hit intersect(const Ray &ray) const;
+
+    /** Traversal with work counters for the bandwidth analytics. */
+    Hit intersect(const Ray &ray, TraversalCounters &counters) const;
+
+    /** Brute-force nearest hit over all triangles (oracle for tests). */
+    Hit intersectBruteForce(const Ray &ray) const;
+
+  private:
+    struct BuildTask;
+    void buildRecursive(uint32_t nodeIdx, const Aabb &bounds,
+                        std::vector<uint32_t> prims, int depth,
+                        const std::vector<Aabb> &primBounds,
+                        const BuildParams &params);
+    void makeLeaf(uint32_t nodeIdx, const std::vector<uint32_t> &prims);
+
+    std::vector<KdNode> nodes_;
+    std::vector<uint32_t> primIndices_;
+    std::vector<WaldTriangle> wald_;
+    Aabb bounds_;
+};
+
+} // namespace uksim::rt
+
+#endif // UKSIM_RT_KDTREE_HPP

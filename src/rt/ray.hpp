@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Ray and hit record types.
+ */
+
+#ifndef UKSIM_RT_RAY_HPP
+#define UKSIM_RT_RAY_HPP
+
+#include <cstdint>
+#include <limits>
+
+#include "rt/vec3.hpp"
+
+namespace uksim::rt {
+
+/** A ray with parametric validity interval [tmin, tmax]. */
+struct Ray {
+    Vec3 org;
+    Vec3 dir;
+    float tmin = 0.0f;
+    float tmax = std::numeric_limits<float>::max();
+};
+
+/** Nearest-hit record. */
+struct Hit {
+    float t = std::numeric_limits<float>::max();
+    int32_t triId = -1;
+
+    bool valid() const { return triId >= 0; }
+};
+
+} // namespace uksim::rt
+
+#endif // UKSIM_RT_RAY_HPP

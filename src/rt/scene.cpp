@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Procedural geometry helpers.
+ */
+
+#include "rt/scene.hpp"
+
+#include <cmath>
+
+namespace uksim::rt {
+
+float
+SceneBuilder::uniform(float lo, float hi)
+{
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(rng_);
+}
+
+void
+SceneBuilder::addTriangle(const Vec3 &a, const Vec3 &b, const Vec3 &c)
+{
+    tris_.push_back({a, b, c});
+}
+
+void
+SceneBuilder::addQuad(const Vec3 &a, const Vec3 &b, const Vec3 &c,
+                      const Vec3 &d)
+{
+    addTriangle(a, b, c);
+    addTriangle(a, c, d);
+}
+
+void
+SceneBuilder::addBox(const Vec3 &lo, const Vec3 &hi)
+{
+    const Vec3 v000{lo.x, lo.y, lo.z}, v100{hi.x, lo.y, lo.z};
+    const Vec3 v010{lo.x, hi.y, lo.z}, v110{hi.x, hi.y, lo.z};
+    const Vec3 v001{lo.x, lo.y, hi.z}, v101{hi.x, lo.y, hi.z};
+    const Vec3 v011{lo.x, hi.y, hi.z}, v111{hi.x, hi.y, hi.z};
+    addQuad(v000, v100, v110, v010);    // -z
+    addQuad(v001, v011, v111, v101);    // +z
+    addQuad(v000, v010, v011, v001);    // -x
+    addQuad(v100, v101, v111, v110);    // +x
+    addQuad(v000, v001, v101, v100);    // -y
+    addQuad(v010, v110, v111, v011);    // +y
+}
+
+void
+SceneBuilder::addGround(float y, const Vec3 &lo, const Vec3 &hi, int cells,
+                        float roughness)
+{
+    auto h = [&](int, int) { return y + uniform(-roughness, roughness); };
+    const float dx = (hi.x - lo.x) / cells;
+    const float dz = (hi.z - lo.z) / cells;
+    for (int i = 0; i < cells; i++) {
+        for (int j = 0; j < cells; j++) {
+            const float x0 = lo.x + i * dx, x1 = x0 + dx;
+            const float z0 = lo.z + j * dz, z1 = z0 + dz;
+            const Vec3 a{x0, h(i, j), z0}, b{x1, h(i + 1, j), z0};
+            const Vec3 c{x1, h(i + 1, j + 1), z1}, d{x0, h(i, j + 1), z1};
+            addQuad(a, b, c, d);
+        }
+    }
+}
+
+void
+SceneBuilder::addBlob(const Vec3 &center, float radius, int count,
+                      float size)
+{
+    for (int i = 0; i < count; i++) {
+        // Random point inside the sphere (rejection-free radial sample).
+        const float theta = uniform(0.0f, 6.2831853f);
+        const float z = uniform(-1.0f, 1.0f);
+        const float rxy = std::sqrt(std::fmax(0.0f, 1.0f - z * z));
+        const float r = radius * std::cbrt(uniform(0.0f, 1.0f));
+        const Vec3 p = center + Vec3{rxy * std::cos(theta), z,
+                                     rxy * std::sin(theta)} * r;
+        const Vec3 e1{uniform(-size, size), uniform(-size, size),
+                      uniform(-size, size)};
+        const Vec3 e2{uniform(-size, size), uniform(-size, size),
+                      uniform(-size, size)};
+        addTriangle(p, p + e1, p + e2);
+    }
+}
+
+void
+SceneBuilder::addCone(const Vec3 &base, float radius, float height,
+                      int segments)
+{
+    const Vec3 apex = base + Vec3{0, height, 0};
+    for (int i = 0; i < segments; i++) {
+        const float a0 = 6.2831853f * i / segments;
+        const float a1 = 6.2831853f * (i + 1) / segments;
+        const Vec3 p0 = base + Vec3{radius * std::cos(a0), 0,
+                                    radius * std::sin(a0)};
+        const Vec3 p1 = base + Vec3{radius * std::cos(a1), 0,
+                                    radius * std::sin(a1)};
+        addTriangle(p0, p1, apex);
+    }
+}
+
+} // namespace uksim::rt

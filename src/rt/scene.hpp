@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scene container plus shared procedural-geometry helpers.
+ */
+
+#ifndef UKSIM_RT_SCENE_HPP
+#define UKSIM_RT_SCENE_HPP
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "rt/camera.hpp"
+#include "rt/triangle.hpp"
+
+namespace uksim::rt {
+
+/** A renderable scene: triangle soup + a default camera. */
+struct Scene {
+    std::string name;
+    std::vector<Triangle> triangles;
+    Camera camera;
+
+    Aabb bounds() const
+    {
+        Aabb b;
+        for (const Triangle &t : triangles)
+            b.grow(t.bounds());
+        return b;
+    }
+};
+
+/** Procedural building blocks used by the scene generators. */
+class SceneBuilder
+{
+  public:
+    explicit SceneBuilder(uint32_t seed) : rng_(seed) {}
+
+    std::vector<Triangle> &triangles() { return tris_; }
+
+    /** Uniform random float in [lo, hi). */
+    float uniform(float lo, float hi);
+
+    /** Add one triangle. */
+    void addTriangle(const Vec3 &a, const Vec3 &b, const Vec3 &c);
+
+    /** Add a quad (two triangles), corners in winding order. */
+    void addQuad(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d);
+
+    /** Axis-aligned box from min/max corners (12 triangles). */
+    void addBox(const Vec3 &lo, const Vec3 &hi);
+
+    /**
+     * Height-perturbed ground grid on y = @p y over [lo, hi] in xz.
+     * @param cells grid resolution per side (2 triangles per cell).
+     * @param roughness max vertex height perturbation.
+     */
+    void addGround(float y, const Vec3 &lo, const Vec3 &hi, int cells,
+                   float roughness);
+
+    /**
+     * A blob of random small triangles inside a sphere — stands in for
+     * dense organic geometry (tree canopies, plants, clutter).
+     * @param count triangles to add.
+     * @param size edge scale of each triangle.
+     */
+    void addBlob(const Vec3 &center, float radius, int count, float size);
+
+    /** Approximate cone of @p segments side quads (tree trunk/roof). */
+    void addCone(const Vec3 &base, float radius, float height,
+                 int segments);
+
+  private:
+    std::vector<Triangle> tris_;
+    std::mt19937 rng_;
+};
+
+} // namespace uksim::rt
+
+#endif // UKSIM_RT_SCENE_HPP

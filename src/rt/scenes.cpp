@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Benchmark scene generators.
+ */
+
+#include "rt/scenes.hpp"
+
+#include <stdexcept>
+
+namespace uksim::rt {
+
+Scene
+makeFairyForest(const SceneParams &params)
+{
+    SceneBuilder b(params.seed ^ 0xf41e);
+    const float half = 100.0f;
+
+    // Open rolling ground.
+    b.addGround(0.0f, {-half, 0, -half}, {half, 0, half}, 40, 0.8f);
+
+    // Dense tree clusters scattered over the field; most of the volume
+    // stays empty.
+    const int trees = 8 * params.detail;
+    for (int t = 0; t < trees; t++) {
+        const float x = b.uniform(-half * 0.9f, half * 0.9f);
+        const float z = b.uniform(-half * 0.9f, half * 0.9f);
+        const float trunkH = b.uniform(6.0f, 14.0f);
+        const float canopyR = b.uniform(3.0f, 7.0f);
+        b.addCone({x, 0.0f, z}, b.uniform(0.4f, 0.9f), trunkH, 6);
+        b.addBlob({x, trunkH + canopyR * 0.5f, z}, canopyR,
+                  160 + 12 * params.detail, canopyR * 0.25f);
+    }
+    // A few fern patches near the ground.
+    for (int p = 0; p < 6 * params.detail; p++) {
+        const float x = b.uniform(-half * 0.8f, half * 0.8f);
+        const float z = b.uniform(-half * 0.8f, half * 0.8f);
+        b.addBlob({x, 1.0f, z}, 2.0f, 60, 0.5f);
+    }
+
+    Scene scene;
+    scene.name = "fairyforest";
+    scene.triangles = std::move(b.triangles());
+    scene.camera = Camera({-half * 0.8f, 22.0f, -half * 0.8f},
+                          {0.0f, 6.0f, 0.0f}, {0, 1, 0}, 55.0f,
+                          params.imageWidth, params.imageHeight);
+    return scene;
+}
+
+Scene
+makeAtrium(const SceneParams &params)
+{
+    SceneBuilder b(params.seed ^ 0xa712);
+    const float hx = 40.0f, hz = 60.0f, height = 24.0f;
+
+    // Floor and ceiling.
+    b.addGround(0.0f, {-hx, 0, -hz}, {hx, 0, hz}, 24, 0.05f);
+    b.addQuad({-hx, height, -hz}, {hx, height, -hz}, {hx, height, hz},
+              {-hx, height, hz});
+
+    // Regular colonnade: uniform density everywhere.
+    const int cols = 2 + params.detail / 2;
+    const int rows = 3 + params.detail;
+    for (int i = 0; i < cols; i++) {
+        for (int j = 0; j < rows; j++) {
+            const float x = -hx + (i + 0.5f) * 2.0f * hx / cols;
+            const float z = -hz + (j + 0.5f) * 2.0f * hz / rows;
+            // A column of stacked, slightly rotated boxes.
+            for (int s = 0; s < 6; s++) {
+                const float y0 = height * s / 6.0f;
+                const float r = 1.2f + 0.15f * (s % 2);
+                b.addBox({x - r, y0, z - r},
+                         {x + r, y0 + height / 6.0f, z + r});
+            }
+            // Clutter alternates between sparse and dense columns so
+            // neighbouring rays do very different amounts of work.
+            int clutter = ((i + j) % 2 == 0) ? 36 * params.detail + 160
+                                             : 2 * params.detail + 8;
+            b.addBlob({x, 2.0f, z}, 2.5f, clutter, 0.35f);
+            b.addBlob({x, height - 3.0f, z}, 2.5f,
+                      5 * params.detail + 30, 0.45f);
+        }
+    }
+
+    Scene scene;
+    scene.name = "atrium";
+    scene.triangles = std::move(b.triangles());
+    // Low grazing view along the colonnade through the base clutter.
+    scene.camera = Camera({-hx * 0.7f, 3.2f, -hz * 0.92f},
+                          {hx * 0.35f, 4.5f, hz * 0.85f},
+                          {0, 1, 0}, 55.0f, params.imageWidth,
+                          params.imageHeight);
+    return scene;
+}
+
+Scene
+makeConference(const SceneParams &params)
+{
+    SceneBuilder b(params.seed ^ 0xc04f);
+    const float hx = 30.0f, hz = 20.0f, height = 10.0f;
+
+    // Room shell with a deeply tessellated carpet: grazing floor rays
+    // do real leaf work everywhere.
+    b.addGround(0.0f, {-hx, 0, -hz}, {hx, 0, hz}, 48, 0.12f);
+    b.addQuad({-hx, 0, -hz}, {hx, 0, -hz}, {hx, height, -hz},
+              {-hx, height, -hz});
+    b.addQuad({-hx, 0, hz}, {-hx, height, hz}, {hx, height, hz},
+              {hx, 0, hz});
+    b.addQuad({-hx, 0, -hz}, {-hx, height, -hz}, {-hx, height, hz},
+              {-hx, 0, hz});
+
+    // Long central table plus a dense crowd of chairs crammed into the
+    // half of the room nearest the camera — strongly uneven density.
+    b.addBox({-hx * 0.5f, 2.2f, -3.0f}, {hx * 0.5f, 2.8f, 3.0f});
+    // Document piles along the table: dense blobs rays plow through.
+    for (int pile = 0; pile < 3 * params.detail; pile++) {
+        const float px = b.uniform(-hx * 0.48f, hx * 0.48f);
+        const float pz = b.uniform(-2.5f, 2.5f);
+        b.addBlob({px, 3.3f, pz}, 0.8f, 120, 0.14f);
+    }
+    for (int leg = 0; leg < 8; leg++) {
+        const float x = -hx * 0.45f + leg * hx * 0.9f / 7.0f;
+        b.addBox({x - 0.2f, 0.0f, -2.5f}, {x + 0.2f, 2.2f, -2.1f});
+        b.addBox({x - 0.2f, 0.0f, 2.1f}, {x + 0.2f, 2.2f, 2.5f});
+    }
+
+    const int chairs = 20 * params.detail;
+    for (int c = 0; c < chairs; c++) {
+        // 80% of the chairs pack into the -x half.
+        const bool densSide = (c % 5) != 0;
+        const float x = densSide ? b.uniform(-hx * 0.95f, -hx * 0.15f)
+                                 : b.uniform(hx * 0.15f, hx * 0.95f);
+        const float z = b.uniform(-hz * 0.9f, hz * 0.9f);
+        // Chair: seat, back, 4 legs.
+        b.addBox({x - 0.6f, 1.4f, z - 0.6f}, {x + 0.6f, 1.6f, z + 0.6f});
+        b.addBox({x - 0.6f, 1.6f, z + 0.4f}, {x + 0.6f, 3.0f, z + 0.6f});
+        for (int lx = -1; lx <= 1; lx += 2) {
+            for (int lz = -1; lz <= 1; lz += 2) {
+                b.addBox({x + lx * 0.5f - 0.08f, 0.0f,
+                          z + lz * 0.5f - 0.08f},
+                         {x + lx * 0.5f + 0.08f, 1.4f,
+                          z + lz * 0.5f + 0.08f});
+            }
+        }
+        // Occupants on a third of the seats: adjacent pixels alternate
+        // between cheap box hits and expensive dense-blob hits, which
+        // is exactly the intra-warp variance that defeats PDOM.
+        if (c % 3 == 0)
+            b.addBlob({x, 2.2f, z}, 1.1f, 240, 0.13f);
+    }
+
+    Scene scene;
+    scene.name = "conference";
+    scene.triangles = std::move(b.triangles());
+    // Seat-height grazing view across the chair crowd: the sparse near
+    // half and packed far half make adjacent pixels differ wildly in
+    // traversal depth and leaf tests.
+    scene.camera = Camera({hx * 0.92f, 2.4f, -hz * 0.55f},
+                          {-hx * 0.8f, 1.9f, hz * 0.45f}, {0, 1, 0},
+                          52.0f, params.imageWidth, params.imageHeight);
+    return scene;
+}
+
+Scene
+makeSceneByName(const std::string &name, const SceneParams &params)
+{
+    if (name == "fairyforest")
+        return makeFairyForest(params);
+    if (name == "atrium")
+        return makeAtrium(params);
+    if (name == "conference")
+        return makeConference(params);
+    throw std::invalid_argument("unknown scene '" + name + "'");
+}
+
+const std::vector<std::string> &
+benchmarkSceneNames()
+{
+    static const std::vector<std::string> names{"fairyforest", "atrium",
+                                                "conference"};
+    return names;
+}
+
+} // namespace uksim::rt

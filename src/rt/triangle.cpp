@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Wald triangle precomputation and intersection.
+ */
+
+#include "rt/triangle.hpp"
+
+#include <cmath>
+
+namespace uksim::rt {
+
+namespace {
+constexpr int kMod3[5] = {0, 1, 2, 0, 1};
+} // anonymous namespace
+
+bool
+WaldTriangle::precompute(const Triangle &tri)
+{
+    const Vec3 b = tri.b - tri.a;   // beta edge
+    const Vec3 c = tri.c - tri.a;   // gamma edge
+    const Vec3 n = cross(b, c);
+
+    // Projection axis: dominant normal component.
+    int axis = 0;
+    if (std::fabs(n.y) > std::fabs(n[axis]))
+        axis = 1;
+    if (std::fabs(n.z) > std::fabs(n[axis]))
+        axis = 2;
+    if (n[axis] == 0.0f)
+        return false;   // degenerate
+    const int u = kMod3[axis + 1];
+    const int v = kMod3[axis + 2];
+
+    k = static_cast<uint32_t>(axis);
+    nU = n[u] / n[axis];
+    nV = n[v] / n[axis];
+    nD = tri.a[axis] + nU * tri.a[u] + nV * tri.a[v];
+
+    const float det = b[u] * c[v] - b[v] * c[u];
+    if (det == 0.0f)
+        return false;
+
+    bNu = c[v] / det;
+    bNv = -c[u] / det;
+    bD = -(tri.a[u] * bNu + tri.a[v] * bNv);
+
+    cNu = -b[v] / det;
+    cNv = b[u] / det;
+    cD = -(tri.a[u] * cNu + tri.a[v] * cNv);
+    return true;
+}
+
+bool
+WaldTriangle::intersect(const Ray &ray, float &tmax) const
+{
+    const int axis = static_cast<int>(k);
+    const int u = kMod3[axis + 1];
+    const int v = kMod3[axis + 2];
+
+    const float denom = ray.dir[axis] + nU * ray.dir[u] + nV * ray.dir[v];
+    const float t =
+        (nD - ray.org[axis] - nU * ray.org[u] - nV * ray.org[v]) / denom;
+    if (!(t >= ray.tmin && t <= tmax))
+        return false;
+
+    const float hu = ray.org[u] + t * ray.dir[u];
+    const float hv = ray.org[v] + t * ray.dir[v];
+    const float beta = hu * bNu + hv * bNv + bD;
+    if (beta < 0.0f)
+        return false;
+    const float gamma = hu * cNu + hv * cNv + cD;
+    if (gamma < 0.0f)
+        return false;
+    if (beta + gamma > 1.0f)
+        return false;
+
+    tmax = t;
+    return true;
+}
+
+} // namespace uksim::rt

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Triangles and Wald's projection-based ray-triangle intersection test
+ * (Wald, PhD thesis 2004 — the test Radius-CUDA and the paper use).
+ */
+
+#ifndef UKSIM_RT_TRIANGLE_HPP
+#define UKSIM_RT_TRIANGLE_HPP
+
+#include <cstdint>
+
+#include "rt/aabb.hpp"
+#include "rt/ray.hpp"
+#include "rt/vec3.hpp"
+
+namespace uksim::rt {
+
+/** Raw triangle (build-time representation). */
+struct Triangle {
+    Vec3 a, b, c;
+
+    Aabb bounds() const
+    {
+        Aabb box;
+        box.grow(a);
+        box.grow(b);
+        box.grow(c);
+        return box;
+    }
+
+    Vec3 centroid() const { return (a + b + c) / 3.0f; }
+};
+
+/**
+ * Wald's precomputed triangle: 10 floats plus the projection axis.
+ * Exactly the 48-byte record (with padding) the device kernels consume.
+ */
+struct WaldTriangle {
+    float nU = 0, nV = 0, nD = 0;   ///< projected plane equation
+    uint32_t k = 0;                 ///< projection axis (0/1/2)
+    float bNu = 0, bNv = 0, bD = 0; ///< beta barycentric row
+    float cNu = 0, cNv = 0, cD = 0; ///< gamma barycentric row
+
+    /**
+     * Precompute from a raw triangle.
+     * @retval false for degenerate triangles (skipped by builders).
+     */
+    bool precompute(const Triangle &tri);
+
+    /**
+     * Intersect; on hit with t in (ray.tmin, @p tmax) updates @p tmax
+     * and returns true.
+     */
+    bool intersect(const Ray &ray, float &tmax) const;
+};
+
+} // namespace uksim::rt
+
+#endif // UKSIM_RT_TRIANGLE_HPP

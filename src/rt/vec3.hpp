@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal 3-component float vector used throughout the ray tracer.
+ */
+
+#ifndef UKSIM_RT_VEC3_HPP
+#define UKSIM_RT_VEC3_HPP
+
+#include <cmath>
+
+namespace uksim::rt {
+
+/** 3-component float vector. */
+struct Vec3 {
+    float x = 0.0f, y = 0.0f, z = 0.0f;
+
+    Vec3() = default;
+    Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    float operator[](int i) const { return i == 0 ? x : i == 1 ? y : z; }
+    float &operator[](int i) { return i == 0 ? x : i == 1 ? y : z; }
+
+    Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+};
+
+inline Vec3 operator*(float s, const Vec3 &v) { return v * s; }
+
+inline float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline float
+length(const Vec3 &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+inline Vec3
+normalize(const Vec3 &v)
+{
+    float l = length(v);
+    return l > 0.0f ? v / l : v;
+}
+
+inline Vec3
+vmin(const Vec3 &a, const Vec3 &b)
+{
+    return {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z)};
+}
+
+inline Vec3
+vmax(const Vec3 &a, const Vec3 &b)
+{
+    return {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z)};
+}
+
+} // namespace uksim::rt
+
+#endif // UKSIM_RT_VEC3_HPP

@@ -1,0 +1,662 @@
+/**
+ * @file
+ * Two-pass assembler implementation.
+ */
+
+#include "simt/assembler.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace uksim {
+
+AssemblerError::AssemblerError(int line, const std::string &message)
+    : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      line_(line)
+{
+}
+
+namespace {
+
+/** A statement pending label resolution. */
+struct PendingRef {
+    uint32_t pc;
+    std::string label;
+    int line;
+    bool isSpawn;
+};
+
+struct Token {
+    std::string text;
+};
+
+std::vector<std::string>
+splitStatements(const std::string &source, std::vector<int> &lines)
+{
+    std::vector<std::string> stmts;
+    std::string cur;
+    int line = 1;
+    int curLine = 1;
+    bool curEmpty = true;
+    auto flush = [&]() {
+        // Trim.
+        size_t b = cur.find_first_not_of(" \t\r");
+        size_t e = cur.find_last_not_of(" \t\r");
+        if (b != std::string::npos) {
+            stmts.push_back(cur.substr(b, e - b + 1));
+            lines.push_back(curLine);
+        }
+        cur.clear();
+        curEmpty = true;
+    };
+    for (size_t i = 0; i < source.size(); i++) {
+        char c = source[i];
+        if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+            while (i < source.size() && source[i] != '\n')
+                i++;
+            i--;
+            continue;
+        }
+        if (c == '#') {
+            while (i < source.size() && source[i] != '\n')
+                i++;
+            i--;
+            continue;
+        }
+        if (c == '\n') {
+            flush();
+            line++;
+            continue;
+        }
+        if (c == ';') {
+            flush();
+            continue;
+        }
+        if (c == ':') {
+            // Labels terminate a statement (keep the colon).
+            cur += c;
+            flush();
+            continue;
+        }
+        if (curEmpty && !std::isspace(static_cast<unsigned char>(c)))
+            curLine = line, curEmpty = false;
+        cur += c;
+    }
+    flush();
+    return stmts;
+}
+
+std::vector<std::string>
+splitFields(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : s) {
+        if (c == '[')
+            depth++;
+        if (c == ']')
+            depth--;
+        if (c == delim && depth == 0) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    for (auto &f : out) {
+        size_t b = f.find_first_not_of(" \t");
+        size_t e = f.find_last_not_of(" \t");
+        f = (b == std::string::npos) ? "" : f.substr(b, e - b + 1);
+    }
+    return out;
+}
+
+std::optional<DataType>
+parseType(const std::string &s)
+{
+    if (s == "u32")
+        return DataType::U32;
+    if (s == "s32")
+        return DataType::S32;
+    if (s == "f32")
+        return DataType::F32;
+    return std::nullopt;
+}
+
+std::optional<CmpOp>
+parseCmp(const std::string &s)
+{
+    if (s == "eq") return CmpOp::Eq;
+    if (s == "ne") return CmpOp::Ne;
+    if (s == "lt") return CmpOp::Lt;
+    if (s == "le") return CmpOp::Le;
+    if (s == "gt") return CmpOp::Gt;
+    if (s == "ge") return CmpOp::Ge;
+    return std::nullopt;
+}
+
+std::optional<MemSpace>
+parseSpace(const std::string &s)
+{
+    if (s == "global") return MemSpace::Global;
+    if (s == "shared") return MemSpace::Shared;
+    if (s == "local") return MemSpace::Local;
+    if (s == "const") return MemSpace::Const;
+    if (s == "spawn") return MemSpace::Spawn;
+    if (s == "param") return MemSpace::Param;
+    return std::nullopt;
+}
+
+std::optional<SpecialReg>
+parseSpecial(const std::string &s)
+{
+    if (s == "%tid") return SpecialReg::Tid;
+    if (s == "%ntid") return SpecialReg::NTid;
+    if (s == "%ctaid") return SpecialReg::CtaId;
+    if (s == "%laneid") return SpecialReg::LaneId;
+    if (s == "%warpid") return SpecialReg::WarpId;
+    if (s == "%smid") return SpecialReg::SmId;
+    if (s == "%slot") return SpecialReg::Slot;
+    if (s == "%spawnaddr") return SpecialReg::SpawnMemAddr;
+    return std::nullopt;
+}
+
+bool
+isIdent(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_')
+        return false;
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    }
+    return true;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+    {
+        stmts_ = splitStatements(source, lines_);
+    }
+
+    Program run()
+    {
+        for (size_t i = 0; i < stmts_.size(); i++) {
+            line_ = lines_[i];
+            parseStatement(stmts_[i]);
+        }
+        if (prog_.code.empty())
+            throw AssemblerError(line_, "program has no instructions");
+        resolve();
+        prog_.computeReconvergencePoints();
+        return std::move(prog_);
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &msg) const
+    {
+        throw AssemblerError(line_, msg);
+    }
+
+    int parseRegister(const std::string &s) const
+    {
+        if (s.size() < 2 || s[0] != 'r')
+            fail("expected register, got '" + s + "'");
+        char *end = nullptr;
+        long v = std::strtol(s.c_str() + 1, &end, 10);
+        if (*end != '\0' || v < 0 || v >= kMaxRegisters)
+            fail("bad register '" + s + "'");
+        return static_cast<int>(v);
+    }
+
+    int parsePredicate(const std::string &s) const
+    {
+        if (s.size() < 2 || s[0] != 'p')
+            fail("expected predicate, got '" + s + "'");
+        char *end = nullptr;
+        long v = std::strtol(s.c_str() + 1, &end, 10);
+        if (*end != '\0' || v < 0 || v >= kNumPredicates)
+            fail("bad predicate '" + s + "'");
+        return static_cast<int>(v);
+    }
+
+    Operand parseOperand(const std::string &s, DataType type) const
+    {
+        if (s.empty())
+            fail("empty operand");
+        if (s[0] == '%') {
+            auto sr = parseSpecial(s);
+            if (!sr)
+                fail("unknown special register '" + s + "'");
+            return Operand::makeSpecial(*sr);
+        }
+        if (s[0] == 'r' && s.size() > 1 &&
+            std::isdigit(static_cast<unsigned char>(s[1]))) {
+            return Operand::makeReg(parseRegister(s));
+        }
+        // Literal.
+        if (type == DataType::F32) {
+            char *end = nullptr;
+            float f = std::strtof(s.c_str(), &end);
+            if (end == s.c_str())
+                fail("bad float literal '" + s + "'");
+            if (*end == 'f')
+                end++;
+            if (*end != '\0')
+                fail("bad float literal '" + s + "'");
+            return Operand::makeFloatImm(f);
+        }
+        char *end = nullptr;
+        long long v = std::strtoll(s.c_str(), &end, 0);
+        if (end == s.c_str() || *end != '\0')
+            fail("bad integer literal '" + s + "'");
+        return Operand::makeImm(static_cast<uint32_t>(v));
+    }
+
+    /** Parse "[rN+off]", "[rN-off]", "[rN]" or "[imm]". */
+    void parseAddress(const std::string &s, Instruction &inst,
+                      int srcIndex) const
+    {
+        if (s.size() < 3 || s.front() != '[' || s.back() != ']')
+            fail("expected address operand, got '" + s + "'");
+        std::string inner = s.substr(1, s.size() - 2);
+        size_t plus = inner.find_first_of("+-", 1);
+        std::string base = inner, off;
+        if (plus != std::string::npos) {
+            base = inner.substr(0, plus);
+            off = inner.substr(plus);   // keep sign
+        }
+        auto trim = [](std::string t) {
+            size_t b = t.find_first_not_of(" \t");
+            size_t e = t.find_last_not_of(" \t");
+            return b == std::string::npos ? std::string()
+                                          : t.substr(b, e - b + 1);
+        };
+        base = trim(base);
+        off = trim(off);
+        if (!base.empty() && base[0] == 'r') {
+            inst.src[srcIndex] = Operand::makeReg(parseRegister(base));
+        } else if (!base.empty() && base[0] == '%') {
+            auto sr = parseSpecial(base);
+            if (!sr)
+                fail("unknown special register '" + base + "'");
+            inst.src[srcIndex] = Operand::makeSpecial(*sr);
+        } else {
+            char *end = nullptr;
+            long long v = std::strtoll(base.c_str(), &end, 0);
+            if (end == base.c_str() || *end != '\0')
+                fail("bad address base '" + base + "'");
+            inst.src[srcIndex] = Operand::makeImm(static_cast<uint32_t>(v));
+        }
+        if (!off.empty()) {
+            char *end = nullptr;
+            long long v = std::strtoll(off.c_str(), &end, 0);
+            if (end == off.c_str() || *end != '\0')
+                fail("bad address offset '" + off + "'");
+            inst.memOffset = static_cast<int32_t>(v);
+        }
+    }
+
+    void parseDirective(const std::string &stmt)
+    {
+        std::istringstream is(stmt);
+        std::string name, arg;
+        is >> name >> arg;
+        if (arg.empty())
+            fail("directive " + name + " needs an argument");
+        auto numArg = [&]() -> uint32_t {
+            char *end = nullptr;
+            long long v = std::strtoll(arg.c_str(), &end, 0);
+            if (end == arg.c_str() || *end != '\0' || v < 0)
+                fail("bad numeric argument '" + arg + "'");
+            return static_cast<uint32_t>(v);
+        };
+        if (name == ".entry") {
+            if (!isIdent(arg))
+                fail("bad entry label");
+            entryLabel_ = arg;
+        } else if (name == ".microkernel") {
+            if (!isIdent(arg))
+                fail("bad microkernel label");
+            microLabels_.push_back({arg, line_});
+        } else if (name == ".reg") {
+            prog_.resources.registers = static_cast<int>(numArg());
+        } else if (name == ".shared_per_thread") {
+            prog_.resources.sharedBytes = numArg();
+        } else if (name == ".local_per_thread") {
+            prog_.resources.localBytes = numArg();
+        } else if (name == ".global_per_thread") {
+            prog_.resources.globalBytes = numArg();
+        } else if (name == ".const") {
+            prog_.resources.constBytes = numArg();
+        } else if (name == ".spawn_state") {
+            prog_.resources.spawnStateBytes = numArg();
+        } else {
+            fail("unknown directive '" + name + "'");
+        }
+    }
+
+    void parseStatement(const std::string &stmt)
+    {
+        if (stmt[0] == '.') {
+            parseDirective(stmt);
+            return;
+        }
+        if (stmt.back() == ':') {
+            std::string label = stmt.substr(0, stmt.size() - 1);
+            size_t e = label.find_last_not_of(" \t");
+            label = label.substr(0, e + 1);
+            if (!isIdent(label))
+                fail("bad label '" + label + "'");
+            if (prog_.labels.count(label))
+                fail("duplicate label '" + label + "'");
+            prog_.labels[label] = static_cast<uint32_t>(prog_.code.size());
+            return;
+        }
+        parseInstruction(stmt);
+    }
+
+    void parseInstruction(const std::string &stmt)
+    {
+        Instruction inst;
+        inst.line = line_;
+        std::string body = stmt;
+
+        // Guard predicate.
+        if (body[0] == '@') {
+            size_t sp = body.find_first_of(" \t");
+            if (sp == std::string::npos)
+                fail("guard without instruction");
+            std::string g = body.substr(1, sp - 1);
+            if (!g.empty() && g[0] == '!') {
+                inst.guardNegated = true;
+                g = g.substr(1);
+            }
+            inst.guardPred = parsePredicate(g);
+            body = body.substr(sp + 1);
+            size_t b = body.find_first_not_of(" \t");
+            if (b == std::string::npos)
+                fail("guard without instruction");
+            body = body.substr(b);
+        }
+
+        size_t sp = body.find_first_of(" \t");
+        std::string mnem = (sp == std::string::npos) ? body
+                                                     : body.substr(0, sp);
+        std::string rest = (sp == std::string::npos) ? ""
+                                                     : body.substr(sp + 1);
+        std::vector<std::string> parts = splitFields(mnem, '.');
+        std::vector<std::string> ops =
+            rest.empty() ? std::vector<std::string>{} : splitFields(rest, ',');
+        if (ops.size() == 1 && ops[0].empty())
+            ops.clear();
+
+        const std::string &base = parts[0];
+
+        static const std::map<std::string, Opcode> simpleAlu = {
+            {"add", Opcode::Add}, {"sub", Opcode::Sub},
+            {"mul", Opcode::Mul}, {"mulhi", Opcode::MulHi},
+            {"div", Opcode::Div}, {"rem", Opcode::Rem},
+            {"min", Opcode::Min}, {"max", Opcode::Max},
+            {"abs", Opcode::Abs}, {"neg", Opcode::Neg},
+            {"and", Opcode::And}, {"or", Opcode::Or},
+            {"xor", Opcode::Xor}, {"not", Opcode::Not},
+            {"shl", Opcode::Shl}, {"shr", Opcode::Shr},
+            {"mad", Opcode::Mad}, {"sqrt", Opcode::Sqrt},
+            {"rcp", Opcode::Rcp}, {"floor", Opcode::Floor},
+            {"mov", Opcode::Mov},
+        };
+
+        if (auto it = simpleAlu.find(base); it != simpleAlu.end()) {
+            inst.op = it->second;
+            if (parts.size() != 2)
+                fail(base + " needs a type suffix");
+            auto t = parseType(parts[1]);
+            if (!t)
+                fail("bad type '" + parts[1] + "'");
+            inst.type = *t;
+            int nsrc = 0;
+            switch (inst.op) {
+              case Opcode::Mov:
+              case Opcode::Not:
+              case Opcode::Abs:
+              case Opcode::Neg:
+              case Opcode::Sqrt:
+              case Opcode::Rcp:
+              case Opcode::Floor:
+                nsrc = 1;
+                break;
+              case Opcode::Mad:
+                nsrc = 3;
+                break;
+              default:
+                nsrc = 2;
+                break;
+            }
+            if (static_cast<int>(ops.size()) != nsrc + 1)
+                fail(base + " expects " + std::to_string(nsrc + 1) +
+                     " operands");
+            inst.dst = parseRegister(ops[0]);
+            for (int i = 0; i < nsrc; i++)
+                inst.src[i] = parseOperand(ops[i + 1], inst.type);
+        } else if (base == "cvt") {
+            // cvt.dstType.srcType d, a
+            inst.op = Opcode::Cvt;
+            if (parts.size() != 3)
+                fail("cvt needs cvt.<dst>.<src>");
+            auto dt = parseType(parts[1]);
+            auto st = parseType(parts[2]);
+            if (!dt || !st)
+                fail("bad cvt types");
+            inst.type = *dt;
+            inst.srcType = *st;
+            if (ops.size() != 2)
+                fail("cvt expects 2 operands");
+            inst.dst = parseRegister(ops[0]);
+            inst.src[0] = parseOperand(ops[1], inst.srcType);
+        } else if (base == "setp") {
+            inst.op = Opcode::SetP;
+            if (parts.size() != 3)
+                fail("setp needs setp.<cmp>.<type>");
+            auto c = parseCmp(parts[1]);
+            auto t = parseType(parts[2]);
+            if (!c || !t)
+                fail("bad setp suffix");
+            inst.cmp = *c;
+            inst.type = *t;
+            if (ops.size() != 3)
+                fail("setp expects 3 operands");
+            inst.dst = parsePredicate(ops[0]);
+            inst.src[0] = parseOperand(ops[1], inst.type);
+            inst.src[1] = parseOperand(ops[2], inst.type);
+        } else if (base == "selp") {
+            inst.op = Opcode::SelP;
+            if (parts.size() != 2)
+                fail("selp needs a type suffix");
+            auto t = parseType(parts[1]);
+            if (!t)
+                fail("bad type");
+            inst.type = *t;
+            if (ops.size() != 4)
+                fail("selp expects 4 operands");
+            inst.dst = parseRegister(ops[0]);
+            inst.src[0] = parseOperand(ops[1], inst.type);
+            inst.src[1] = parseOperand(ops[2], inst.type);
+            inst.src[2] = Operand::makePred(parsePredicate(ops[3]));
+        } else if (base == "vote") {
+            // vote.all pd, ps — warp-wide AND over active lanes.
+            inst.op = Opcode::VoteAll;
+            if (parts.size() != 2 || parts[1] != "all")
+                fail("only vote.all is supported");
+            if (ops.size() != 2)
+                fail("vote.all expects 2 operands");
+            inst.dst = parsePredicate(ops[0]);
+            inst.src[0] = Operand::makePred(parsePredicate(ops[1]));
+        } else if (base == "bra") {
+            inst.op = Opcode::Bra;
+            if (ops.size() != 1 || !isIdent(ops[0]))
+                fail("bra expects a label");
+            refs_.push_back({static_cast<uint32_t>(prog_.code.size()),
+                             ops[0], line_, false});
+        } else if (base == "exit") {
+            inst.op = Opcode::Exit;
+            if (!ops.empty())
+                fail("exit takes no operands");
+        } else if (base == "bar") {
+            inst.op = Opcode::Bar;
+        } else if (base == "nop") {
+            inst.op = Opcode::Nop;
+        } else if (base == "ld" || base == "st") {
+            bool isLd = base == "ld";
+            inst.op = isLd ? Opcode::Ld : Opcode::St;
+            // ld.space[.vN].type
+            if (parts.size() < 3 || parts.size() > 4)
+                fail(base + " needs " + base + ".<space>[.vN].<type>");
+            auto space = parseSpace(parts[1]);
+            if (!space)
+                fail("bad memory space '" + parts[1] + "'");
+            inst.space = *space;
+            size_t typeIdx = parts.size() - 1;
+            if (parts.size() == 4) {
+                if (parts[2] == "v2")
+                    inst.vecWidth = 2;
+                else if (parts[2] == "v4")
+                    inst.vecWidth = 4;
+                else
+                    fail("bad vector width '" + parts[2] + "'");
+            }
+            auto t = parseType(parts[typeIdx]);
+            if (!t)
+                fail("bad type '" + parts[typeIdx] + "'");
+            inst.type = *t;
+            if (ops.size() != 2)
+                fail(base + " expects 2 operands");
+            if (isLd) {
+                inst.dst = parseRegister(ops[0]);
+                parseAddress(ops[1], inst, 0);
+            } else {
+                parseAddress(ops[0], inst, 0);
+                inst.src[1] = parseOperand(ops[1], inst.type);
+                if (inst.src[1].kind != OperandKind::Reg &&
+                    inst.vecWidth > 1) {
+                    fail("vector store needs a register source");
+                }
+            }
+            if (!isLd && (inst.space == MemSpace::Const ||
+                          inst.space == MemSpace::Param)) {
+                fail("cannot store to read-only space");
+            }
+            if (inst.space == MemSpace::Local && inst.vecWidth > 1) {
+                fail("local memory is word-interleaved; vector "
+                     "accesses are not supported");
+            }
+        } else if (base == "atom") {
+            if (parts.size() != 3)
+                fail("atom needs atom.<op>.<type>");
+            if (parts[1] == "add")
+                inst.op = Opcode::AtomAdd;
+            else if (parts[1] == "exch")
+                inst.op = Opcode::AtomExch;
+            else if (parts[1] == "cas")
+                inst.op = Opcode::AtomCas;
+            else
+                fail("bad atomic op '" + parts[1] + "'");
+            auto t = parseType(parts[2]);
+            if (!t)
+                fail("bad type");
+            inst.type = *t;
+            inst.space = MemSpace::Global;
+            size_t expect = (inst.op == Opcode::AtomCas) ? 4 : 3;
+            if (ops.size() != expect)
+                fail("atomic operand count");
+            inst.dst = parseRegister(ops[0]);
+            parseAddress(ops[1], inst, 0);
+            inst.src[1] = parseOperand(ops[2], inst.type);
+            if (inst.op == Opcode::AtomCas)
+                inst.src[2] = parseOperand(ops[3], inst.type);
+        } else if (base == "spawn") {
+            inst.op = Opcode::Spawn;
+            if (ops.size() != 2 || !isIdent(ops[0]))
+                fail("spawn expects: spawn <microkernel>, <reg>");
+            inst.src[0] = Operand::makeReg(parseRegister(ops[1]));
+            refs_.push_back({static_cast<uint32_t>(prog_.code.size()),
+                             ops[0], line_, true});
+        } else {
+            fail("unknown instruction '" + mnem + "'");
+        }
+
+        prog_.code.push_back(inst);
+    }
+
+    void resolve()
+    {
+        // Entry point.
+        if (!entryLabel_.empty()) {
+            auto it = prog_.labels.find(entryLabel_);
+            if (it == prog_.labels.end())
+                throw AssemblerError(0, "undefined entry '" + entryLabel_ +
+                                        "'");
+            prog_.entryPc = it->second;
+            prog_.entryName = entryLabel_;
+        }
+        // Micro-kernel entries.
+        for (const auto &[name, declLine] : microLabels_) {
+            auto it = prog_.labels.find(name);
+            if (it == prog_.labels.end())
+                throw AssemblerError(declLine, "undefined microkernel '" +
+                                               name + "'");
+            prog_.microKernels.push_back({name, it->second});
+        }
+        // Branch / spawn targets.
+        for (const PendingRef &ref : refs_) {
+            auto it = prog_.labels.find(ref.label);
+            if (it == prog_.labels.end())
+                throw AssemblerError(ref.line, "undefined label '" +
+                                               ref.label + "'");
+            prog_.code[ref.pc].target = it->second;
+            if (ref.isSpawn &&
+                prog_.microKernelIndex(it->second) < 0) {
+                throw AssemblerError(ref.line, "spawn target '" + ref.label +
+                                     "' is not declared .microkernel");
+            }
+        }
+        // Register bound check.
+        int measured = prog_.measuredRegisterCount();
+        if (prog_.resources.registers == 0)
+            prog_.resources.registers = measured;
+        else if (measured > prog_.resources.registers)
+            throw AssemblerError(0, "program uses r" +
+                                    std::to_string(measured - 1) +
+                                    " beyond declared .reg " +
+                                    std::to_string(prog_.resources.registers));
+    }
+
+    Program prog_;
+    std::vector<std::string> stmts_;
+    std::vector<int> lines_;
+    std::vector<PendingRef> refs_;
+    std::vector<std::pair<std::string, int>> microLabels_;
+    std::string entryLabel_;
+    int line_ = 0;
+};
+
+} // anonymous namespace
+
+Program
+assemble(const std::string &source)
+{
+    Parser parser(source);
+    return parser.run();
+}
+
+} // namespace uksim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Two-pass assembler for the uksim ISA.
+ *
+ * The source syntax is PTX-flavored; one statement per ';' or newline:
+ *
+ *     .entry main                 // launch entry point
+ *     .microkernel uk_trav       // spawnable micro-kernel entry
+ *     .reg 24                    // architectural registers per thread
+ *     .shared_per_thread 60      // bytes of shared memory per thread
+ *     .local_per_thread 388      // bytes of off-chip private memory
+ *     .const 128                 // bytes of constant memory referenced
+ *     .spawn_state 48            // bytes of spawn-memory state per thread
+ *
+ *     main:
+ *         mov.u32  r1, %tid;
+ *         mov.f32  r2, 1.5;
+ *         setp.lt.f32 p0, r2, r3;
+ *         @p0 bra  loop;
+ *         ld.global.v4.f32 r4, [r8+16];
+ *         st.spawn.u32 [r8], r1;
+ *         spawn uk_trav, r8;
+ *         exit;
+ *
+ * Assembly errors throw AssemblerError carrying the 1-based line number.
+ */
+
+#ifndef UKSIM_SIMT_ASSEMBLER_HPP
+#define UKSIM_SIMT_ASSEMBLER_HPP
+
+#include <stdexcept>
+#include <string>
+
+#include "simt/program.hpp"
+
+namespace uksim {
+
+/** Error raised on malformed assembly; what() includes the line number. */
+class AssemblerError : public std::runtime_error
+{
+  public:
+    AssemblerError(int line, const std::string &message);
+
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/**
+ * Assemble @p source into a Program. Labels are resolved, spawn targets
+ * validated against `.microkernel` declarations, and PDOM reconvergence
+ * points computed for every branch.
+ */
+Program assemble(const std::string &source);
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_ASSEMBLER_HPP

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * CFG construction and iterative post-dominator dataflow.
+ */
+
+#include "simt/cfg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace uksim {
+
+namespace {
+
+/** True when the instruction unconditionally leaves the fall-through path. */
+bool
+endsBlockNoFallThrough(const Instruction &inst)
+{
+    if (inst.guardPred >= 0)
+        return false;   // predicated: some lanes may fall through
+    return inst.op == Opcode::Bra || inst.op == Opcode::Exit;
+}
+
+} // anonymous namespace
+
+Cfg::Cfg(const Program &program)
+{
+    const auto &code = program.code;
+    const size_t n = code.size();
+    assert(n > 0);
+
+    // --- Find leaders -----------------------------------------------------
+    std::set<uint32_t> leaders;
+    leaders.insert(0);
+    for (const auto &e : program.microKernels)
+        leaders.insert(e.pc);
+    leaders.insert(program.entryPc);
+    for (uint32_t pc = 0; pc < n; pc++) {
+        const Instruction &inst = code[pc];
+        if (inst.op == Opcode::Bra) {
+            leaders.insert(inst.target);
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        } else if (inst.op == Opcode::Exit && pc + 1 < n) {
+            leaders.insert(pc + 1);
+        }
+        // Spawn targets are thread entry points, not intra-thread edges;
+        // they are already leaders via microKernels above.
+    }
+
+    // --- Build blocks ------------------------------------------------------
+    std::vector<uint32_t> starts(leaders.begin(), leaders.end());
+    blockOf_.assign(n, 0);
+    for (size_t i = 0; i < starts.size(); i++) {
+        BasicBlock bb;
+        bb.first = starts[i];
+        bb.last = (i + 1 < starts.size()) ? starts[i + 1] - 1
+                                          : static_cast<uint32_t>(n - 1);
+        for (uint32_t pc = bb.first; pc <= bb.last; pc++)
+            blockOf_[pc] = static_cast<int>(i);
+        blocks_.push_back(bb);
+    }
+
+    // --- Edges --------------------------------------------------------------
+    for (size_t i = 0; i < blocks_.size(); i++) {
+        BasicBlock &bb = blocks_[i];
+        const Instruction &lastInst = code[bb.last];
+        auto addSucc = [&](int s) {
+            if (std::find(bb.successors.begin(), bb.successors.end(), s) ==
+                bb.successors.end()) {
+                bb.successors.push_back(s);
+            }
+        };
+
+        if (lastInst.op == Opcode::Bra) {
+            addSucc(blockOf_[lastInst.target]);
+            if (!endsBlockNoFallThrough(lastInst)) {
+                if (bb.last + 1 < n)
+                    addSucc(blockOf_[bb.last + 1]);
+                else
+                    addSucc(kVirtualExit);
+            }
+        } else if (lastInst.op == Opcode::Exit) {
+            addSucc(kVirtualExit);
+            if (lastInst.guardPred >= 0) {
+                if (bb.last + 1 < n)
+                    addSucc(blockOf_[bb.last + 1]);
+            }
+        } else {
+            if (bb.last + 1 < n)
+                addSucc(blockOf_[bb.last + 1]);
+            else
+                addSucc(kVirtualExit);
+        }
+    }
+
+    computePostDominators();
+}
+
+void
+Cfg::computePostDominators()
+{
+    const size_t nb = blocks_.size();
+    words_ = (nb + 63) / 64;
+
+    // pdom sets; the virtual exit is implicit (it post-dominates nothing we
+    // track but terminates every path).
+    std::vector<uint64_t> full(words_, ~uint64_t{0});
+    if (nb % 64)
+        full[words_ - 1] = (uint64_t{1} << (nb % 64)) - 1;
+
+    pdom_.assign(nb, full);
+    for (size_t b = 0; b < nb; b++) {
+        if (std::find(blocks_[b].successors.begin(),
+                      blocks_[b].successors.end(),
+                      kVirtualExit) != blocks_[b].successors.end()) {
+            // Blocks feeding the virtual exit start with pdom = {b}.
+            pdom_[b].assign(words_, 0);
+            pdom_[b][b / 64] |= uint64_t{1} << (b % 64);
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = nb; b-- > 0;) {
+            std::vector<uint64_t> meet(words_, ~uint64_t{0});
+            bool any = false;
+            bool exitEdge = false;
+            for (int s : blocks_[b].successors) {
+                if (s == kVirtualExit) {
+                    exitEdge = true;
+                    continue;
+                }
+                for (size_t w = 0; w < words_; w++)
+                    meet[w] &= pdom_[s][w];
+                any = true;
+            }
+            if (exitEdge) {
+                // Meet with pdom(virtual exit) = {} (over real blocks).
+                meet.assign(words_, 0);
+            } else if (!any) {
+                meet.assign(words_, 0);
+            }
+            meet[b / 64] |= uint64_t{1} << (b % 64);
+            if (meet != pdom_[b]) {
+                pdom_[b] = std::move(meet);
+                changed = true;
+            }
+        }
+    }
+
+    // Immediate post-dominator: among strict post-dominators of b, the one
+    // with the largest pdom set (sets along the chain to exit shrink, so
+    // the nearest one is the largest).
+    auto popcount = [&](const std::vector<uint64_t> &s) {
+        size_t c = 0;
+        for (uint64_t w : s)
+            c += __builtin_popcountll(w);
+        return c;
+    };
+
+    ipdom_.assign(nb, kVirtualExit);
+    for (size_t b = 0; b < nb; b++) {
+        int best = kVirtualExit;
+        size_t bestSize = 0;
+        for (size_t p = 0; p < nb; p++) {
+            if (p == b)
+                continue;
+            if (!(pdom_[b][p / 64] >> (p % 64) & 1))
+                continue;
+            size_t sz = popcount(pdom_[p]);
+            if (sz > bestSize) {
+                bestSize = sz;
+                best = static_cast<int>(p);
+            }
+        }
+        ipdom_[b] = best;
+    }
+}
+
+bool
+Cfg::postDominates(int a, int b) const
+{
+    if (a == kVirtualExit)
+        return true;
+    if (b == kVirtualExit)
+        return false;
+    return pdom_[b][a / 64] >> (a % 64) & 1;
+}
+
+uint32_t
+Cfg::reconvergencePc(uint32_t branchPc, uint32_t exitSentinel) const
+{
+    int b = blockOf_[branchPc];
+    int ip = ipdom_[b];
+    if (ip == kVirtualExit)
+        return exitSentinel;
+    return blocks_[ip].first;
+}
+
+} // namespace uksim

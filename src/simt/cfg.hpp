@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Control-flow graph and post-dominator analysis.
+ *
+ * PDOM reconvergence (Fung et al., MICRO 2007) needs, for every
+ * potentially divergent branch, the immediate post-dominator of the
+ * branch's basic block: the earliest instruction where all control paths
+ * out of the branch are guaranteed to have rejoined. We build a CFG over
+ * the flat instruction stream and run the classic iterative dataflow
+ *
+ *      pdom(b) = {b}  ∪  ⋂ over successors s of pdom(s)
+ *
+ * on the reverse graph, with a virtual exit node so programs whose only
+ * exits are `exit` instructions still converge.
+ */
+
+#ifndef UKSIM_SIMT_CFG_HPP
+#define UKSIM_SIMT_CFG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/program.hpp"
+
+namespace uksim {
+
+/** A basic block: [first, last] instruction range plus successor edges. */
+struct BasicBlock {
+    uint32_t first = 0;             ///< pc of the first instruction
+    uint32_t last = 0;              ///< pc of the last instruction
+    std::vector<int> successors;    ///< block ids; kVirtualExit allowed
+};
+
+/** CFG over an assembled instruction stream. */
+class Cfg
+{
+  public:
+    /** Successor id representing the virtual exit node. */
+    static constexpr int kVirtualExit = -1;
+
+    /** Build the CFG for @p program (blocks ordered by first pc). */
+    explicit Cfg(const Program &program);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block id containing instruction @p pc. */
+    int blockOf(uint32_t pc) const { return blockOf_.at(pc); }
+
+    /**
+     * Immediate post-dominator block of block @p id, or kVirtualExit when
+     * the block only reconverges at program exit.
+     */
+    int immediatePostDominator(int id) const { return ipdom_.at(id); }
+
+    /**
+     * True when block @p a post-dominates block @p b (every path from b
+     * to exit passes through a).
+     */
+    bool postDominates(int a, int b) const;
+
+    /**
+     * Reconvergence pc for a branch at @p branchPc: the first instruction
+     * of the branch block's immediate post-dominator, or @p exitSentinel
+     * when control only rejoins at thread exit.
+     */
+    uint32_t reconvergencePc(uint32_t branchPc, uint32_t exitSentinel) const;
+
+  private:
+    void computePostDominators();
+
+    std::vector<BasicBlock> blocks_;
+    std::vector<int> blockOf_;              ///< pc -> block id
+    std::vector<std::vector<uint64_t>> pdom_; ///< bitset per block
+    std::vector<int> ipdom_;
+    size_t words_ = 0;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_CFG_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Simulator configuration (Table I of the paper).
+ *
+ * Defaults model the NVIDIA Quadro FX5800-like machine the paper
+ * simulates: 30 SMs, 32-wide warps executed on 8 SPs over 4 sub-cycles,
+ * 1024 thread slots / 8 blocks / 16384 registers / 64 KB on-chip memory
+ * per SM, a 1 KB spawn LUT, and 8 memory partitions at 8 bytes/cycle
+ * with no caches.
+ */
+
+#ifndef UKSIM_SIMT_CONFIG_HPP
+#define UKSIM_SIMT_CONFIG_HPP
+
+#include <cstdint>
+
+namespace uksim {
+
+/** How the GPU dispatches launch-time work onto SMs (Sec. VI). */
+enum class SchedulingMode : uint8_t {
+    /**
+     * FX5800-style block scheduling: a thread block is resident only when
+     * the whole block's resources fit, and at most maxBlocksPerSm blocks
+     * are resident.
+     */
+    Block,
+    /**
+     * Thread (warp) scheduling: block granularity is ignored and warps
+     * are packed until per-thread resources run out. Required for (and
+     * used by) dynamic micro-kernel execution.
+     */
+    Thread,
+};
+
+/** Full machine configuration. */
+struct GpuConfig {
+    // --- Table I ----------------------------------------------------------
+    int numSms = 30;                    ///< processor cores
+    int warpSize = 32;                  ///< threads per warp
+    int spPerSm = 8;                    ///< stream processors per SM
+    int maxThreadsPerSm = 1024;
+    int maxBlocksPerSm = 8;
+    int registersPerSm = 16384;
+    uint32_t onChipBytesPerSm = 64 * 1024;  ///< shared memory
+    uint32_t spawnLutBytes = 1024;
+    int numMemPartitions = 8;           ///< memory modules
+    int bytesPerCyclePerPartition = 8;  ///< bandwidth per module
+
+    // --- Timing -------------------------------------------------------------
+    int dramLatencyCycles = 220;        ///< fixed off-chip access latency
+    int interconnectLatencyCycles = 16; ///< SM <-> partition network
+    int onChipLatencyCycles = 2;        ///< shared / spawn access latency
+    int sfuLatencyCycles = 16;          ///< div / sqrt / rcp latency
+    int coalesceSegmentBytes = 32;      ///< memory coalescing granularity
+    int numOnChipBanks = 16;            ///< shared/spawn memory banks
+
+    /**
+     * Read-only texture-path caches. Table I's "no L1/L2 memory
+     * caching" refers to global-memory loads; the workload reads scene
+     * data through the (cached) texture units like Radius-CUDA does, so
+     * global loads are routed through a per-SM read-only L1 and a
+     * per-partition read-only L2. Set either size to 0 to disable.
+     */
+    uint32_t texL1BytesPerSm = 32 * 1024;
+    uint32_t texL2BytesPerPartition = 256 * 1024;
+    int texL1HitLatencyCycles = 12;
+    int texL2HitLatencyCycles = 80;
+    int texCacheWays = 4;
+
+    // --- Modeling switches ---------------------------------------------------
+    bool modelSharedBankConflicts = true;
+    /// Fig. 7 assumes a conflict-free spawn memory; Fig. 9 models banks.
+    bool modelSpawnBankConflicts = false;
+    /// Fig. 10 "theoretical": every memory access completes next cycle.
+    bool idealMemory = false;
+
+    // --- Scheduling -----------------------------------------------------------
+    SchedulingMode scheduling = SchedulingMode::Thread;
+    int blockSizeThreads = 64;          ///< 2 warps/block (Sec. VI-A)
+
+    // --- Run control ------------------------------------------------------------
+    uint64_t maxCycles = 300000;        ///< paper simulates first 300k cycles
+    uint32_t statsWindowCycles = 5000;  ///< AerialVision-style time buckets
+    double clockGhz = 1.30;             ///< FX5800 shader clock
+
+    /** Warp slots per SM. */
+    int maxWarpsPerSm() const { return maxThreadsPerSm / warpSize; }
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_CONFIG_HPP

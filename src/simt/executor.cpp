@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Functional ALU implementation.
+ */
+
+#include "simt/executor.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace uksim {
+
+namespace {
+
+inline int32_t s(uint32_t v) { return static_cast<int32_t>(v); }
+inline uint32_t u(int32_t v) { return static_cast<uint32_t>(v); }
+inline float f(uint32_t v) { return bitsToFloat(v); }
+inline uint32_t fb(float v) { return floatBits(v); }
+
+} // anonymous namespace
+
+uint32_t
+evalAlu(const Instruction &inst, uint32_t a, uint32_t b, uint32_t c)
+{
+    const DataType t = inst.type;
+    switch (inst.op) {
+      case Opcode::Add:
+        return t == DataType::F32 ? fb(f(a) + f(b)) : a + b;
+      case Opcode::Sub:
+        return t == DataType::F32 ? fb(f(a) - f(b)) : a - b;
+      case Opcode::Mul:
+        return t == DataType::F32 ? fb(f(a) * f(b)) : a * b;
+      case Opcode::MulHi:
+        if (t == DataType::S32) {
+            return u(static_cast<int32_t>(
+                (int64_t(s(a)) * int64_t(s(b))) >> 32));
+        }
+        return static_cast<uint32_t>(
+            (uint64_t(a) * uint64_t(b)) >> 32);
+      case Opcode::Div:
+        if (t == DataType::F32)
+            return fb(f(a) / f(b));
+        if (t == DataType::S32)
+            return b ? u(s(a) / s(b)) : 0;
+        return b ? a / b : 0;
+      case Opcode::Rem:
+        if (t == DataType::S32)
+            return b ? u(s(a) % s(b)) : 0;
+        return b ? a % b : 0;
+      case Opcode::Min:
+        if (t == DataType::F32)
+            return fb(std::fmin(f(a), f(b)));
+        if (t == DataType::S32)
+            return s(a) < s(b) ? a : b;
+        return a < b ? a : b;
+      case Opcode::Max:
+        if (t == DataType::F32)
+            return fb(std::fmax(f(a), f(b)));
+        if (t == DataType::S32)
+            return s(a) > s(b) ? a : b;
+        return a > b ? a : b;
+      case Opcode::Abs:
+        if (t == DataType::F32)
+            return fb(std::fabs(f(a)));
+        return s(a) < 0 ? u(-s(a)) : a;
+      case Opcode::Neg:
+        if (t == DataType::F32)
+            return fb(-f(a));
+        return u(-s(a));
+      case Opcode::And:
+        return a & b;
+      case Opcode::Or:
+        return a | b;
+      case Opcode::Xor:
+        return a ^ b;
+      case Opcode::Not:
+        return ~a;
+      case Opcode::Shl:
+        return a << (b & 31);
+      case Opcode::Shr:
+        if (t == DataType::S32)
+            return u(s(a) >> (b & 31));
+        return a >> (b & 31);
+      case Opcode::Mad:
+        if (t == DataType::F32)
+            return fb(f(a) * f(b) + f(c));
+        return a * b + c;
+      case Opcode::Sqrt:
+        return fb(std::sqrt(f(a)));
+      case Opcode::Rcp:
+        return fb(1.0f / f(a));
+      case Opcode::Floor:
+        return fb(std::floor(f(a)));
+      case Opcode::Mov:
+        return a;
+      case Opcode::Cvt:
+        if (inst.type == DataType::F32 && inst.srcType != DataType::F32) {
+            return inst.srcType == DataType::S32
+                       ? fb(static_cast<float>(s(a)))
+                       : fb(static_cast<float>(a));
+        }
+        if (inst.type != DataType::F32 && inst.srcType == DataType::F32) {
+            return inst.type == DataType::S32
+                       ? u(static_cast<int32_t>(f(a)))
+                       : static_cast<uint32_t>(
+                             f(a) <= 0.0f ? 0.0f : f(a));
+        }
+        return a;   // same-kind conversion
+      default:
+        assert(false && "evalAlu called with non-ALU opcode");
+        return 0;
+    }
+}
+
+bool
+evalCmp(CmpOp cmp, DataType type, uint32_t a, uint32_t b)
+{
+    if (type == DataType::F32) {
+        float x = f(a), y = f(b);
+        switch (cmp) {
+          case CmpOp::Eq: return x == y;
+          case CmpOp::Ne: return x != y;
+          case CmpOp::Lt: return x < y;
+          case CmpOp::Le: return x <= y;
+          case CmpOp::Gt: return x > y;
+          case CmpOp::Ge: return x >= y;
+        }
+    } else if (type == DataType::S32) {
+        int32_t x = s(a), y = s(b);
+        switch (cmp) {
+          case CmpOp::Eq: return x == y;
+          case CmpOp::Ne: return x != y;
+          case CmpOp::Lt: return x < y;
+          case CmpOp::Le: return x <= y;
+          case CmpOp::Gt: return x > y;
+          case CmpOp::Ge: return x >= y;
+        }
+    } else {
+        switch (cmp) {
+          case CmpOp::Eq: return a == b;
+          case CmpOp::Ne: return a != b;
+          case CmpOp::Lt: return a < b;
+          case CmpOp::Le: return a <= b;
+          case CmpOp::Gt: return a > b;
+          case CmpOp::Ge: return a >= b;
+        }
+    }
+    return false;
+}
+
+} // namespace uksim

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Pure functional evaluation of ALU operations and comparisons.
+ *
+ * Shared by the cycle-level SM model and the MIMD-ideal scalar model so
+ * the two can never disagree on semantics.
+ */
+
+#ifndef UKSIM_SIMT_EXECUTOR_HPP
+#define UKSIM_SIMT_EXECUTOR_HPP
+
+#include <cstdint>
+
+#include "simt/isa.hpp"
+
+namespace uksim {
+
+/**
+ * Evaluate an arithmetic / conversion opcode.
+ *
+ * @param inst instruction (op, type, srcType used).
+ * @param a first source bits.
+ * @param b second source bits (ignored by unary ops).
+ * @param c third source bits (Mad only).
+ * @return result bits.
+ */
+uint32_t evalAlu(const Instruction &inst, uint32_t a, uint32_t b, uint32_t c);
+
+/** Evaluate a SetP comparison. */
+bool evalCmp(CmpOp cmp, DataType type, uint32_t a, uint32_t b);
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_EXECUTOR_HPP

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * GPU top-level implementation.
+ */
+
+#include "simt/gpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace uksim {
+
+Gpu::Gpu(GpuConfig config)
+    : config_(config),
+      global_("global", 0),
+      const_("const", 64 * 1024),
+      local_("local", 0)
+{
+    dram_ = std::make_unique<DramModel>(config_);
+    if (config_.texL2BytesPerPartition > 0) {
+        for (int p = 0; p < config_.numMemPartitions; p++) {
+            texL2_.push_back(std::make_unique<ReadOnlyCache>(
+                config_.texL2BytesPerPartition,
+                config_.coalesceSegmentBytes, config_.texCacheWays));
+        }
+    }
+}
+
+ReadOnlyCache *
+Gpu::texL2For(uint64_t addr)
+{
+    if (texL2_.empty())
+        return nullptr;
+    return texL2_[dram_->partitionOf(addr)].get();
+}
+
+Gpu::~Gpu() = default;
+
+Occupancy
+Gpu::computeOccupancy(const GpuConfig &config, const Program &program)
+{
+    const ResourceDecl &res = program.resources;
+    const int regs = std::max(res.registers, 1);
+    Occupancy occ;
+
+    int byRegs = config.registersPerSm / (regs * config.warpSize);
+    int byThreads = config.maxWarpsPerSm();
+    int byShared = byThreads;
+    if (res.sharedBytes > 0) {
+        byShared = static_cast<int>(
+            config.onChipBytesPerSm /
+            (uint64_t(res.sharedBytes) * config.warpSize));
+    }
+
+    int warps = std::min({byRegs, byThreads, byShared});
+    if (warps <= 0)
+        throw std::runtime_error("program cannot fit even one warp per SM");
+    occ.limiter = (warps == byRegs) ? "registers"
+                  : (warps == byThreads) ? "threads" : "shared";
+
+    if (config.scheduling == SchedulingMode::Block) {
+        int warpsPerBlock =
+            std::max(1, config.blockSizeThreads / config.warpSize);
+        int blocks = std::min(config.maxBlocksPerSm, warps / warpsPerBlock);
+        if (blocks <= 0)
+            throw std::runtime_error("block does not fit on an SM");
+        if (blocks == config.maxBlocksPerSm)
+            occ.limiter = "blocks";
+        occ.blocksPerSm = blocks;
+        warps = blocks * warpsPerBlock;
+    }
+
+    occ.warpsPerSm = warps;
+    occ.threadsPerSm = warps * config.warpSize;
+    return occ;
+}
+
+void
+Gpu::loadProgram(Program program)
+{
+    program_ = std::move(program);
+    occupancy_ = computeOccupancy(config_, program_);
+
+    sms_.clear();
+    for (int i = 0; i < config_.numSms; i++) {
+        sms_.push_back(std::make_unique<Sm>(i, config_, program_, *this));
+        sms_.back()->configureOccupancy(occupancy_.warpsPerSm);
+    }
+
+    // Local memory is addressed by (sm, hardware thread slot).
+    uint64_t localBytes = uint64_t(program_.resources.localBytes) *
+                          config_.numSms * config_.maxThreadsPerSm;
+    local_.resize(localBytes);
+}
+
+uint32_t
+Gpu::mallocGlobal(uint64_t bytes, uint32_t align)
+{
+    globalBrk_ = (globalBrk_ + align - 1) / align * align;
+    uint32_t addr = static_cast<uint32_t>(globalBrk_);
+    globalBrk_ += bytes;
+    if (globalBrk_ > global_.size()) {
+        // Grow in big steps to keep reallocation rare.
+        uint64_t newSize = std::max<uint64_t>(globalBrk_, 1 << 20);
+        Store bigger("global", newSize);
+        if (global_.size() > 0) {
+            std::vector<uint8_t> tmp(global_.size());
+            global_.readBlock(0, tmp.data(), tmp.size());
+            bigger.writeBlock(0, tmp.data(), tmp.size());
+        }
+        global_ = std::move(bigger);
+    }
+    return addr;
+}
+
+void
+Gpu::toGlobal(uint32_t addr, const void *src, uint64_t bytes)
+{
+    global_.writeBlock(addr, src, bytes);
+}
+
+void
+Gpu::fromGlobal(uint32_t addr, void *dst, uint64_t bytes) const
+{
+    global_.readBlock(addr, dst, bytes);
+}
+
+void
+Gpu::toConst(uint32_t addr, const void *src, uint64_t bytes)
+{
+    const_.writeBlock(addr, src, bytes);
+}
+
+void
+Gpu::launch(uint32_t numThreads)
+{
+    if (sms_.empty())
+        throw std::runtime_error("launch before loadProgram");
+    if (numThreads == 0)
+        throw std::runtime_error("empty launch grid");
+    gridThreads_ = numThreads;
+    nextTid_ = 0;
+    launched_ = true;
+    for (auto &sm : sms_)
+        sm->setGridThreads(numThreads);
+}
+
+void
+Gpu::scheduleMemWakeup(uint64_t cycle, int smId, int warpSlot)
+{
+    events_.push({cycle, smId, warpSlot});
+}
+
+void
+Gpu::fillSm(Sm &sm)
+{
+    if (sm.freeWarpSlots() == 0)
+        return;
+
+    // 1. Dynamic warps have scheduling priority (Sec. IV-D).
+    if (sm.spawnEnabled() && !sm.spawnUnit()->fifoEmpty()) {
+        sm.launchDynamicWarp(sm.spawnUnit()->popWarp());
+        return;
+    }
+
+    // 2. Launch-grid work.
+    if (!gridExhausted()) {
+        if (config_.scheduling == SchedulingMode::Block) {
+            const uint32_t blockSize = config_.blockSizeThreads;
+            int warpsPerBlock =
+                std::max(1u, blockSize / config_.warpSize);
+            uint32_t remaining = gridThreads_ - nextTid_;
+            uint32_t blockThreads =
+                std::min<uint32_t>(blockSize, remaining);
+            int warpsNeeded = static_cast<int>(
+                (blockThreads + config_.warpSize - 1) / config_.warpSize);
+            (void)warpsPerBlock;
+            if (sm.freeWarpSlots() >= warpsNeeded &&
+                (!sm.spawnEnabled() ||
+                 sm.freeStateSlots() >= static_cast<int>(blockThreads))) {
+                uint32_t blockId = nextTid_ / blockSize;
+                uint32_t launchedThreads = 0;
+                while (launchedThreads < blockThreads) {
+                    uint32_t n = std::min<uint32_t>(
+                        config_.warpSize, blockThreads - launchedThreads);
+                    std::vector<uint32_t> tids(n);
+                    for (uint32_t i = 0; i < n; i++)
+                        tids[i] = nextTid_ + i;
+                    bool ok = sm.launchInitialWarp(tids, blockId);
+                    assert(ok);
+                    (void)ok;
+                    nextTid_ += n;
+                    launchedThreads += n;
+                }
+                return;
+            }
+        } else {
+            uint32_t remaining = gridThreads_ - nextTid_;
+            uint32_t n = std::min<uint32_t>(config_.warpSize, remaining);
+            if (!sm.spawnEnabled() ||
+                sm.freeStateSlots() >= static_cast<int>(n)) {
+                std::vector<uint32_t> tids(n);
+                for (uint32_t i = 0; i < n; i++)
+                    tids[i] = nextTid_ + i;
+                uint32_t blockId = nextTid_ / config_.blockSizeThreads;
+                bool ok = sm.launchInitialWarp(tids, blockId);
+                assert(ok);
+                (void)ok;
+                nextTid_ += n;
+                return;
+            }
+        }
+    }
+
+    // 3. Drain: force a partial warp out only when the SM would
+    //    otherwise never make progress again.
+    if (sm.spawnEnabled() && sm.liveWarps() == 0 &&
+        sm.spawnUnit()->fifoEmpty() && sm.spawnUnit()->hasPartialWarps()) {
+        sm.launchDynamicWarp(sm.spawnUnit()->flushLowestPcPartial());
+    }
+}
+
+bool
+Gpu::finished() const
+{
+    if (!launched_)
+        return true;
+    if (!gridExhausted())
+        return false;
+    for (const auto &sm : sms_) {
+        if (sm->busy())
+            return false;
+        if (sm->spawnEnabled()) {
+            if (!sm->spawnUnit()->fifoEmpty() ||
+                sm->spawnUnit()->hasPartialWarps()) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+Gpu::stepCycle()
+{
+    while (!events_.empty() && events_.top().cycle <= cycle_) {
+        MemEvent e = events_.top();
+        events_.pop();
+        sms_[e.smId]->memWakeup(e.warpSlot, cycle_);
+    }
+    for (auto &sm : sms_)
+        fillSm(*sm);
+    for (auto &sm : sms_)
+        sm->step(cycle_);
+    cycle_++;
+}
+
+const SimStats &
+Gpu::run()
+{
+    if (!launched_)
+        throw std::runtime_error("run before launch");
+    while (cycle_ < config_.maxCycles && !finished())
+        stepCycle();
+    ranToCompletion_ = finished();
+    finalizeStats();
+    return stats_;
+}
+
+void
+Gpu::finalizeStats()
+{
+    stats_.cycles = cycle_;
+    stats_.dynamicWarpsFormed = 0;
+    stats_.partialWarpFlushes = 0;
+    for (auto &sm : sms_) {
+        if (sm->spawnEnabled()) {
+            stats_.dynamicWarpsFormed += sm->spawnUnit()->warpsFormed();
+            stats_.partialWarpFlushes += sm->spawnUnit()->partialFlushes();
+        }
+    }
+}
+
+} // namespace uksim

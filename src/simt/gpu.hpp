@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Chip-level GPU model and host-side API.
+ *
+ * The Gpu owns device memory (global / constant / local stores), the
+ * partitioned DRAM timing model, and the array of SMs. It computes
+ * occupancy from the program's per-thread resources, dispatches the
+ * launch grid under block or thread scheduling, gives dynamic warps
+ * priority for freed warp slots, and force-flushes partial warps only
+ * when an SM would otherwise go idle for good (paper Sec. IV-D).
+ */
+
+#ifndef UKSIM_SIMT_GPU_HPP
+#define UKSIM_SIMT_GPU_HPP
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "mem/dram.hpp"
+#include "mem/store.hpp"
+#include "simt/config.hpp"
+#include "simt/program.hpp"
+#include "simt/sm.hpp"
+#include "simt/stats.hpp"
+
+namespace uksim {
+
+/** Occupancy derived from a program's resource declarations. */
+struct Occupancy {
+    int warpsPerSm = 0;
+    int threadsPerSm = 0;
+    int blocksPerSm = 0;    ///< only meaningful under block scheduling
+    /// Which resource bound: "registers", "threads", "shared", "blocks".
+    const char *limiter = "";
+};
+
+/** The simulated GPU. */
+class Gpu : public SmServices
+{
+  public:
+    explicit Gpu(GpuConfig config);
+    ~Gpu() override;
+
+    /** Load the device program; computes occupancy and builds SMs. */
+    void loadProgram(Program program);
+
+    const Program &program() const { return program_; }
+    const GpuConfig &config() const { return config_; }
+    const Occupancy &occupancy() const { return occupancy_; }
+
+    // --- Host memory API ---------------------------------------------------
+    /** Allocate @p bytes of device global memory; returns the address. */
+    uint32_t mallocGlobal(uint64_t bytes, uint32_t align = 256);
+    void toGlobal(uint32_t addr, const void *src, uint64_t bytes);
+    void fromGlobal(uint32_t addr, void *dst, uint64_t bytes) const;
+    void toConst(uint32_t addr, const void *src, uint64_t bytes);
+
+    // --- Launch / run ---------------------------------------------------------
+    /** Launch a 1-D grid of @p numThreads threads at the entry point. */
+    void launch(uint32_t numThreads);
+
+    /**
+     * Simulate until the grid drains or config.maxCycles elapse.
+     * @return final statistics.
+     */
+    const SimStats &run();
+
+    /** Single-step one cycle (exposed for tests). */
+    void stepCycle();
+
+    bool finished() const;
+    uint64_t cycle() const { return cycle_; }
+    const SimStats &stats() const { return stats_; }
+    SimStats &mutableStats() { return stats_; }
+
+    Sm &sm(int i) { return *sms_.at(i); }
+    int numSms() const { return static_cast<int>(sms_.size()); }
+
+    /** Compute occupancy for a program under a config (pure; for tests). */
+    static Occupancy computeOccupancy(const GpuConfig &config,
+                                      const Program &program);
+
+    // --- SmServices ---------------------------------------------------------------
+    Store &globalStore() override { return global_; }
+    Store &constStore() override { return const_; }
+    Store &localStore() override { return local_; }
+    DramModel &dram() override { return *dram_; }
+    ReadOnlyCache *texL2For(uint64_t addr) override;
+    void scheduleMemWakeup(uint64_t cycle, int smId, int warpSlot) override;
+    SimStats &stats() override { return stats_; }
+    void onItemCompleted() override { stats_.itemsCompleted++; }
+    void onInitialThreadExit() override { stats_.threadsCompleted++; }
+
+  private:
+    struct MemEvent {
+        uint64_t cycle;
+        int smId;
+        int warpSlot;
+        bool operator>(const MemEvent &o) const { return cycle > o.cycle; }
+    };
+
+    void fillSm(Sm &sm);
+    bool gridExhausted() const { return nextTid_ >= gridThreads_; }
+    void finalizeStats();
+
+    GpuConfig config_;
+    Program program_;
+    Store global_;
+    Store const_;
+    Store local_;
+    std::unique_ptr<DramModel> dram_;
+    std::vector<std::unique_ptr<ReadOnlyCache>> texL2_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    Occupancy occupancy_;
+    SimStats stats_;
+
+    std::priority_queue<MemEvent, std::vector<MemEvent>,
+                        std::greater<MemEvent>> events_;
+
+    uint64_t cycle_ = 0;
+    uint64_t globalBrk_ = 0;
+    uint32_t gridThreads_ = 0;
+    uint32_t nextTid_ = 0;
+    bool launched_ = false;
+    bool ranToCompletion_ = false;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_GPU_HPP

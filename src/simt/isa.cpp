@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Name tables and disassembly for the uksim ISA.
+ */
+
+#include "simt/isa.hpp"
+
+#include <sstream>
+
+namespace uksim {
+
+Operand
+Operand::makeReg(int r)
+{
+    Operand o;
+    o.kind = OperandKind::Reg;
+    o.reg = r;
+    return o;
+}
+
+Operand
+Operand::makeImm(uint32_t bits)
+{
+    Operand o;
+    o.kind = OperandKind::Imm;
+    o.imm = bits;
+    return o;
+}
+
+Operand
+Operand::makeFloatImm(float f)
+{
+    return makeImm(floatBits(f));
+}
+
+Operand
+Operand::makeSpecial(SpecialReg s)
+{
+    Operand o;
+    o.kind = OperandKind::Special;
+    o.sreg = s;
+    return o;
+}
+
+Operand
+Operand::makePred(int p)
+{
+    Operand o;
+    o.kind = OperandKind::Pred;
+    o.reg = p;
+    return o;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::MulHi: return "mulhi";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::Abs: return "abs";
+      case Opcode::Neg: return "neg";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Not: return "not";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Mad: return "mad";
+      case Opcode::Sqrt: return "sqrt";
+      case Opcode::Rcp: return "rcp";
+      case Opcode::Floor: return "floor";
+      case Opcode::Mov: return "mov";
+      case Opcode::Cvt: return "cvt";
+      case Opcode::SetP: return "setp";
+      case Opcode::SelP: return "selp";
+      case Opcode::VoteAll: return "vote.all";
+      case Opcode::Bra: return "bra";
+      case Opcode::Exit: return "exit";
+      case Opcode::Bar: return "bar";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::AtomAdd: return "atom.add";
+      case Opcode::AtomExch: return "atom.exch";
+      case Opcode::AtomCas: return "atom.cas";
+      case Opcode::Spawn: return "spawn";
+    }
+    return "?";
+}
+
+const char *
+dataTypeName(DataType t)
+{
+    switch (t) {
+      case DataType::U32: return "u32";
+      case DataType::S32: return "s32";
+      case DataType::F32: return "f32";
+    }
+    return "?";
+}
+
+const char *
+cmpOpName(CmpOp c)
+{
+    switch (c) {
+      case CmpOp::Eq: return "eq";
+      case CmpOp::Ne: return "ne";
+      case CmpOp::Lt: return "lt";
+      case CmpOp::Le: return "le";
+      case CmpOp::Gt: return "gt";
+      case CmpOp::Ge: return "ge";
+    }
+    return "?";
+}
+
+const char *
+memSpaceName(MemSpace s)
+{
+    switch (s) {
+      case MemSpace::Global: return "global";
+      case MemSpace::Shared: return "shared";
+      case MemSpace::Local: return "local";
+      case MemSpace::Const: return "const";
+      case MemSpace::Spawn: return "spawn";
+      case MemSpace::Param: return "param";
+    }
+    return "?";
+}
+
+const char *
+specialRegName(SpecialReg s)
+{
+    switch (s) {
+      case SpecialReg::Tid: return "%tid";
+      case SpecialReg::NTid: return "%ntid";
+      case SpecialReg::CtaId: return "%ctaid";
+      case SpecialReg::LaneId: return "%laneid";
+      case SpecialReg::WarpId: return "%warpid";
+      case SpecialReg::SmId: return "%smid";
+      case SpecialReg::Slot: return "%slot";
+      case SpecialReg::SpawnMemAddr: return "%spawnaddr";
+    }
+    return "?";
+}
+
+namespace {
+
+void
+printOperand(std::ostream &os, const Operand &o, DataType t)
+{
+    switch (o.kind) {
+      case OperandKind::None:
+        break;
+      case OperandKind::Reg:
+        os << "r" << o.reg;
+        break;
+      case OperandKind::Imm:
+        if (t == DataType::F32)
+            os << bitsToFloat(o.imm) << "f";
+        else
+            os << static_cast<int32_t>(o.imm);
+        break;
+      case OperandKind::Special:
+        os << specialRegName(o.sreg);
+        break;
+      case OperandKind::Pred:
+        os << "p" << o.reg;
+        break;
+    }
+}
+
+} // anonymous namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    if (inst.guardPred >= 0)
+        os << "@" << (inst.guardNegated ? "!" : "") << "p"
+           << inst.guardPred << " ";
+
+    os << opcodeName(inst.op);
+
+    switch (inst.op) {
+      case Opcode::SetP:
+        os << "." << cmpOpName(inst.cmp) << "." << dataTypeName(inst.type)
+           << " p" << inst.dst << ", ";
+        printOperand(os, inst.src[0], inst.type);
+        os << ", ";
+        printOperand(os, inst.src[1], inst.type);
+        break;
+      case Opcode::Ld:
+      case Opcode::St:
+        os << "." << memSpaceName(inst.space);
+        if (inst.vecWidth > 1)
+            os << ".v" << int(inst.vecWidth);
+        os << "." << dataTypeName(inst.type) << " ";
+        if (inst.op == Opcode::Ld) {
+            os << "r" << inst.dst << ", [";
+            printOperand(os, inst.src[0], DataType::U32);
+            os << "+" << inst.memOffset << "]";
+        } else {
+            os << "[";
+            printOperand(os, inst.src[0], DataType::U32);
+            os << "+" << inst.memOffset << "], ";
+            printOperand(os, inst.src[1], inst.type);
+        }
+        break;
+      case Opcode::Bra:
+        os << " PC_" << inst.target;
+        break;
+      case Opcode::Spawn:
+        os << " PC_" << inst.target << ", ";
+        printOperand(os, inst.src[0], DataType::U32);
+        break;
+      case Opcode::Exit:
+      case Opcode::Bar:
+      case Opcode::Nop:
+        break;
+      default:
+        os << "." << dataTypeName(inst.type);
+        if (inst.dst >= 0)
+            os << " r" << inst.dst;
+        for (int i = 0; i < 3; i++) {
+            if (inst.src[i].kind == OperandKind::None)
+                break;
+            os << ", ";
+            printOperand(os, inst.src[i], inst.type);
+        }
+        break;
+    }
+    return os.str();
+}
+
+} // namespace uksim

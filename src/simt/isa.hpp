@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Instruction set definition for the uksim SIMT machine.
+ *
+ * The ISA is PTX-flavored: 32-bit general registers that hold either
+ * integer or IEEE-754 float bit patterns (the operation decides the
+ * interpretation), a small per-thread predicate register file, guarded
+ * (predicated) execution of any instruction, explicit memory-space
+ * qualifiers on loads and stores, and the paper's `spawn` instruction
+ * for dynamic thread creation (Steffen & Zambreno, MICRO 2010, Sec. IV-B).
+ */
+
+#ifndef UKSIM_SIMT_ISA_HPP
+#define UKSIM_SIMT_ISA_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace uksim {
+
+/** Maximum number of general-purpose 32-bit registers per thread. */
+constexpr int kMaxRegisters = 64;
+/** Number of 1-bit predicate registers per thread. */
+constexpr int kNumPredicates = 8;
+
+/**
+ * Operation codes. Arithmetic opcodes are typed by the Instruction's
+ * DataType field (e.g. Add works on U32/S32/F32); opcodes that only make
+ * sense for one type (Sqrt, Rcp) still carry the type for the assembler's
+ * syntax check.
+ */
+enum class Opcode : uint8_t {
+    Nop,
+    /// Integer / bitwise / float arithmetic (typed by DataType).
+    Add, Sub, Mul, MulHi, Div, Rem,
+    Min, Max, Abs, Neg,
+    And, Or, Xor, Not, Shl, Shr,
+    Mad,        ///< d = a * b + c (integer or float depending on type)
+    /// Float-only transcendental / rounding helpers.
+    Sqrt, Rcp, Floor,
+    /// Data movement and conversion.
+    Mov,        ///< d = a (register, immediate, or special register)
+    Cvt,        ///< convert between U32/S32 and F32 per (type, srcType)
+    /// Predicates.
+    SetP,       ///< p = a <cmp> b
+    SelP,       ///< d = p ? a : b
+    VoteAll,    ///< p = true when p_src holds on every active lane
+    /// Control flow.
+    Bra,        ///< guarded branch to label (divergence point)
+    Exit,       ///< thread terminates
+    Bar,        ///< block-wide barrier (block scheduling only)
+    /// Memory.
+    Ld,         ///< load (vector width 1/2/4) from a memory space
+    St,         ///< store (vector width 1/2/4) to a memory space
+    AtomAdd,    ///< d = old; [addr] += a   (global space)
+    AtomExch,   ///< d = old; [addr] = a    (global space)
+    AtomCas,    ///< d = old; if (old == a) [addr] = b
+    /// Dynamic micro-kernel support (the paper's contribution).
+    Spawn,      ///< spawn $label, rSrc — create a child thread at label
+};
+
+/** Operand / operation data types. */
+enum class DataType : uint8_t {
+    U32, S32, F32,
+};
+
+/** Comparison operators for SetP. */
+enum class CmpOp : uint8_t {
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/**
+ * Memory spaces visible to a thread (Sec. IV-A of the paper). Param is an
+ * alias view of constant memory used for kernel arguments.
+ */
+enum class MemSpace : uint8_t {
+    Global,     ///< off-chip, shared by all SMs
+    Shared,     ///< on-chip, per SM, banked
+    Local,      ///< off-chip, private per thread
+    Const,      ///< off-chip, read-only, cached (modeled as fast)
+    Spawn,      ///< on-chip spawn memory (new space added by the paper)
+    Param,      ///< kernel parameters (alias of Const)
+};
+
+/** Special (read-only) registers. */
+enum class SpecialReg : uint8_t {
+    Tid,            ///< global thread id of a launch-time thread
+    NTid,           ///< total launched threads
+    CtaId,          ///< block id (launch-time threads)
+    LaneId,         ///< lane index within the warp [0, warpSize)
+    WarpId,         ///< hardware warp slot within the SM
+    SmId,           ///< SM index
+    Slot,           ///< hardware thread slot within the SM (stable for
+                    ///< the thread's lifetime; used to index shared memory)
+    SpawnMemAddr,   ///< the paper's spawnMemAddr special register
+};
+
+/** Kinds of source operand. */
+enum class OperandKind : uint8_t {
+    None,
+    Reg,        ///< general register rN
+    Imm,        ///< 32-bit literal (int or float bit pattern)
+    Special,    ///< special register %name
+    Pred,       ///< predicate register pN (only for SelP source)
+};
+
+/** A single source operand. */
+struct Operand {
+    OperandKind kind = OperandKind::None;
+    int reg = 0;            ///< register / predicate index
+    uint32_t imm = 0;       ///< literal bits
+    SpecialReg sreg = SpecialReg::Tid;
+
+    static Operand makeReg(int r);
+    static Operand makeImm(uint32_t bits);
+    static Operand makeFloatImm(float f);
+    static Operand makeSpecial(SpecialReg s);
+    static Operand makePred(int p);
+};
+
+/**
+ * One decoded instruction. This is a wide, simulator-friendly decoding;
+ * a real encoding would pack it, but the fields below are exactly the
+ * information the pipeline needs.
+ */
+struct Instruction {
+    Opcode op = Opcode::Nop;
+    DataType type = DataType::U32;
+    DataType srcType = DataType::U32;   ///< for Cvt
+    CmpOp cmp = CmpOp::Eq;
+    MemSpace space = MemSpace::Global;
+    uint8_t vecWidth = 1;               ///< 1, 2 or 4 for Ld/St
+
+    int dst = -1;                       ///< destination register (or pred for SetP)
+    Operand src[3];
+
+    int guardPred = -1;                 ///< guard predicate register, -1 = always
+    bool guardNegated = false;          ///< @!pN guard
+
+    /// Memory addressing: [srcReg + memOffset].
+    int32_t memOffset = 0;
+
+    /// Branch / spawn target (instruction index), resolved by the assembler.
+    uint32_t target = 0;
+    /// Reconvergence point for Bra: immediate post-dominator PC.
+    uint32_t reconvergePc = 0;
+
+    /// Source line for diagnostics.
+    int line = 0;
+
+    bool isMemory() const
+    {
+        return op == Opcode::Ld || op == Opcode::St || isAtomic();
+    }
+    bool isAtomic() const
+    {
+        return op == Opcode::AtomAdd || op == Opcode::AtomExch ||
+               op == Opcode::AtomCas;
+    }
+    bool isControlFlow() const
+    {
+        return op == Opcode::Bra || op == Opcode::Exit;
+    }
+    /** Long-latency special-function ops (div/sqrt/rcp). */
+    bool isSfu() const
+    {
+        return op == Opcode::Div || op == Opcode::Rem ||
+               op == Opcode::Sqrt || op == Opcode::Rcp;
+    }
+};
+
+/** Human-readable names used by the assembler and disassembler. */
+const char *opcodeName(Opcode op);
+const char *dataTypeName(DataType t);
+const char *cmpOpName(CmpOp c);
+const char *memSpaceName(MemSpace s);
+const char *specialRegName(SpecialReg s);
+
+/** Disassemble one instruction for diagnostics. */
+std::string disassemble(const Instruction &inst);
+
+/** Bit-cast helpers shared by the functional model. */
+inline uint32_t
+floatBits(float f)
+{
+    union { float f; uint32_t u; } v;
+    v.f = f;
+    return v.u;
+}
+
+inline float
+bitsToFloat(uint32_t u)
+{
+    union { float f; uint32_t u; } v;
+    v.u = u;
+    return v.f;
+}
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_ISA_HPP

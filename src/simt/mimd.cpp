@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Scalar MIMD-ideal executor.
+ */
+
+#include "simt/mimd.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "simt/executor.hpp"
+
+namespace uksim {
+
+namespace {
+
+/** Scalar per-thread machine state. */
+struct ScalarThread {
+    std::array<uint32_t, kMaxRegisters> regs{};
+    std::array<uint8_t, kNumPredicates> preds{};
+    uint32_t tid = 0;
+    uint32_t ntid = 0;
+    uint32_t pc = 0;
+};
+
+uint32_t
+operandValue(const Operand &op, const ScalarThread &t)
+{
+    switch (op.kind) {
+      case OperandKind::Reg:
+        return t.regs[op.reg];
+      case OperandKind::Imm:
+        return op.imm;
+      case OperandKind::Special:
+        switch (op.sreg) {
+          case SpecialReg::Tid: return t.tid;
+          case SpecialReg::NTid: return t.ntid;
+          case SpecialReg::CtaId: return 0;
+          case SpecialReg::LaneId: return 0;
+          case SpecialReg::WarpId: return 0;
+          case SpecialReg::SmId: return 0;
+          case SpecialReg::Slot: return 0;
+          case SpecialReg::SpawnMemAddr: return 0;
+        }
+        return 0;
+      default:
+        return 0;
+    }
+}
+
+} // anonymous namespace
+
+MimdResult
+runMimdIdeal(Gpu &gpu, uint32_t numThreads, uint64_t perThreadCap)
+{
+    const Program &prog = gpu.program();
+    const GpuConfig &config = gpu.config();
+    MimdResult result;
+
+    // Private on-chip scratch reused by every thread (threads run to
+    // completion one after another; slot-relative addresses all map to
+    // slot 0 here, which is exactly what a single MIMD core would see).
+    Store shared("mimd-shared", config.onChipBytesPerSm);
+    Store local("mimd-local",
+                std::max<uint64_t>(prog.resources.localBytes, 4));
+
+    for (uint32_t tid = 0; tid < numThreads; tid++) {
+        ScalarThread t;
+        t.tid = tid;
+        t.ntid = numThreads;
+        t.pc = prog.entryPc;
+        uint64_t executed = 0;
+
+        while (true) {
+            if (executed >= perThreadCap)
+                throw std::runtime_error("MIMD thread exceeded cap (loop?)");
+            if (t.pc >= prog.size())
+                throw std::runtime_error("MIMD thread ran off program end");
+            const Instruction &inst = prog.at(t.pc);
+            executed++;
+
+            bool guardOk = true;
+            if (inst.guardPred >= 0) {
+                guardOk = (t.preds[inst.guardPred] != 0) !=
+                          inst.guardNegated;
+            }
+
+            if (inst.op == Opcode::Bra) {
+                t.pc = guardOk ? inst.target : t.pc + 1;
+                continue;
+            }
+            if (inst.op == Opcode::Exit) {
+                if (guardOk)
+                    break;
+                t.pc++;
+                continue;
+            }
+            if (!guardOk) {
+                t.pc++;
+                continue;
+            }
+
+            switch (inst.op) {
+              case Opcode::Nop:
+              case Opcode::Bar:
+                break;
+              case Opcode::Spawn:
+                throw std::runtime_error(
+                    "MIMD model only runs traditional kernels");
+              case Opcode::Ld:
+              case Opcode::St:
+              case Opcode::AtomAdd:
+              case Opcode::AtomExch:
+              case Opcode::AtomCas: {
+                uint64_t addr = operandValue(inst.src[0], t);
+                addr = uint64_t(int64_t(addr) + inst.memOffset);
+                Store *store = nullptr;
+                switch (inst.space) {
+                  case MemSpace::Global:
+                    store = &gpu.globalStore();
+                    break;
+                  case MemSpace::Local:
+                    store = &local;
+                    break;
+                  case MemSpace::Const:
+                  case MemSpace::Param:
+                    store = &gpu.constStore();
+                    break;
+                  case MemSpace::Shared:
+                    store = &shared;
+                    break;
+                  case MemSpace::Spawn:
+                    throw std::runtime_error(
+                        "MIMD model has no spawn memory");
+                }
+                if (inst.isAtomic()) {
+                    uint32_t old = store->read32(addr);
+                    uint32_t operand = operandValue(inst.src[1], t);
+                    uint32_t next = old;
+                    if (inst.op == Opcode::AtomAdd) {
+                        next = inst.type == DataType::F32
+                                   ? floatBits(bitsToFloat(old) +
+                                               bitsToFloat(operand))
+                                   : old + operand;
+                    } else if (inst.op == Opcode::AtomExch) {
+                        next = operand;
+                    } else {
+                        uint32_t newval = operandValue(inst.src[2], t);
+                        next = old == operand ? newval : old;
+                    }
+                    store->write32(addr, next);
+                    t.regs[inst.dst] = old;
+                } else if (inst.op == Opcode::St) {
+                    for (int e = 0; e < inst.vecWidth; e++) {
+                        store->write32(addr + 4u * e,
+                                       t.regs[inst.src[1].reg + e]);
+                    }
+                } else {
+                    for (int e = 0; e < inst.vecWidth; e++)
+                        t.regs[inst.dst + e] = store->read32(addr + 4u * e);
+                }
+                break;
+              }
+              case Opcode::SetP: {
+                uint32_t a = operandValue(inst.src[0], t);
+                uint32_t b = operandValue(inst.src[1], t);
+                t.preds[inst.dst] =
+                    evalCmp(inst.cmp, inst.type, a, b) ? 1 : 0;
+                break;
+              }
+              case Opcode::VoteAll:
+                // A scalar thread is its own warp.
+                t.preds[inst.dst] = t.preds[inst.src[0].reg];
+                break;
+              case Opcode::SelP: {
+                uint32_t a = operandValue(inst.src[0], t);
+                uint32_t b = operandValue(inst.src[1], t);
+                t.regs[inst.dst] =
+                    t.preds[inst.src[2].reg] ? a : b;
+                break;
+              }
+              default: {
+                uint32_t a = operandValue(inst.src[0], t);
+                uint32_t b = operandValue(inst.src[1], t);
+                uint32_t c = operandValue(inst.src[2], t);
+                t.regs[inst.dst] = evalAlu(inst, a, b, c);
+                break;
+              }
+            }
+            t.pc++;
+        }
+
+        result.totalInstructions += executed;
+        result.maxThreadInstructions =
+            std::max(result.maxThreadInstructions, executed);
+        result.itemsCompleted++;
+    }
+
+    const uint64_t lanes = uint64_t(config.numSms) * config.warpSize;
+    result.cycles = (result.totalInstructions + lanes - 1) / lanes;
+    // A single thread cannot finish faster than its own critical path.
+    result.cycles = std::max(result.cycles, result.maxThreadInstructions);
+    return result;
+}
+
+} // namespace uksim

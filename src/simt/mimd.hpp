@@ -1,0 +1,58 @@
+/**
+ * @file
+ * MIMD-theoretical performance model (paper Fig. 10).
+ *
+ * Executes every thread of the grid as an independent scalar program
+ * with ideal memory, counts the dynamic instructions each thread needs,
+ * and charges them to numSms x warpSize ideal lanes retiring one
+ * instruction per cycle each. This is the upper bound the paper
+ * normalizes branching performance against.
+ */
+
+#ifndef UKSIM_SIMT_MIMD_HPP
+#define UKSIM_SIMT_MIMD_HPP
+
+#include <cstdint>
+
+#include "simt/config.hpp"
+#include "simt/gpu.hpp"
+#include "simt/program.hpp"
+
+namespace uksim {
+
+/** Result of a MIMD-theoretical run. */
+struct MimdResult {
+    uint64_t totalInstructions = 0; ///< dynamic scalar instructions
+    uint64_t maxThreadInstructions = 0;
+    uint64_t cycles = 0;            ///< total / (numSms * warpSize)
+    uint64_t itemsCompleted = 0;
+
+    double ipc(const GpuConfig &config) const
+    {
+        return cycles ? double(totalInstructions) / double(cycles)
+                      : double(config.numSms) * config.warpSize;
+    }
+
+    double itemsPerSecond(double clock_ghz) const
+    {
+        return cycles ? double(itemsCompleted) * clock_ghz * 1e9 /
+                        double(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * Run @p numThreads scalar threads of the program loaded in @p gpu
+ * against the gpu's (already initialized) device memory. The grid's
+ * side effects are applied to global memory exactly as a real run.
+ *
+ * @param gpu device whose program + memory to execute.
+ * @param numThreads grid size.
+ * @param perThreadCap runaway guard on instructions per thread.
+ */
+MimdResult runMimdIdeal(Gpu &gpu, uint32_t numThreads,
+                        uint64_t perThreadCap = 50'000'000);
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_MIMD_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Program metadata queries and reconvergence-point computation.
+ */
+
+#include "simt/program.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "simt/cfg.hpp"
+
+namespace uksim {
+
+int
+Program::microKernelIndex(uint32_t pc) const
+{
+    for (size_t i = 0; i < microKernels.size(); i++) {
+        if (microKernels[i].pc == pc)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Program::measuredRegisterCount() const
+{
+    int maxReg = -1;
+    auto track = [&](const Operand &o) {
+        if (o.kind == OperandKind::Reg)
+            maxReg = std::max(maxReg, o.reg);
+    };
+    for (const Instruction &inst : code) {
+        if (inst.dst >= 0 && inst.op != Opcode::SetP) {
+            // Destination registers; vector loads write a register range.
+            int width = (inst.op == Opcode::Ld) ? inst.vecWidth : 1;
+            maxReg = std::max(maxReg, inst.dst + width - 1);
+        }
+        for (const auto &s : inst.src)
+            track(s);
+        if (inst.op == Opcode::St && inst.src[1].kind == OperandKind::Reg) {
+            maxReg = std::max(maxReg,
+                              inst.src[1].reg + int(inst.vecWidth) - 1);
+        }
+    }
+    return maxReg + 1;
+}
+
+void
+Program::computeReconvergencePoints()
+{
+    if (code.empty())
+        return;
+    Cfg cfg(*this);
+    const uint32_t sentinel = static_cast<uint32_t>(code.size());
+    for (uint32_t pc = 0; pc < code.size(); pc++) {
+        if (code[pc].op == Opcode::Bra)
+            code[pc].reconvergePc = cfg.reconvergencePc(pc, sentinel);
+    }
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    std::map<uint32_t, std::string> byPc;
+    for (const auto &[name, pc] : labels)
+        byPc[pc] = name;
+    for (uint32_t pc = 0; pc < code.size(); pc++) {
+        auto it = byPc.find(pc);
+        if (it != byPc.end())
+            os << it->second << ":\n";
+        os << "  " << pc << ":\t" << disassemble(code[pc]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace uksim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A fully assembled device program plus its static metadata.
+ *
+ * A Program contains one flat instruction stream. Multiple entry points
+ * may be declared: the launch entry (`.entry`) and any number of
+ * micro-kernel entries (`.microkernel`), which are the only legal spawn
+ * targets. Per-thread resource declarations drive both the occupancy
+ * model (Sec. VI-A, Table II of the paper) and the Table II resource
+ * report.
+ */
+
+#ifndef UKSIM_SIMT_PROGRAM_HPP
+#define UKSIM_SIMT_PROGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simt/isa.hpp"
+
+namespace uksim {
+
+/** Per-thread resource declaration for a program (Table II categories). */
+struct ResourceDecl {
+    int registers = 0;          ///< architectural registers per thread
+    uint32_t sharedBytes = 0;   ///< shared memory bytes per thread
+    uint32_t localBytes = 0;    ///< off-chip private bytes per thread
+    uint32_t globalBytes = 0;   ///< per-thread global working set (Table II)
+    uint32_t constBytes = 0;    ///< constant memory bytes used by the kernel
+    uint32_t spawnStateBytes = 0; ///< spawn-memory state record per thread
+};
+
+/** One spawnable micro-kernel entry point. */
+struct MicroKernelEntry {
+    std::string name;
+    uint32_t pc = 0;
+};
+
+/** An assembled program. */
+class Program
+{
+  public:
+    std::vector<Instruction> code;
+
+    /// label -> pc
+    std::map<std::string, uint32_t> labels;
+
+    /// Launch entry point (default 0).
+    uint32_t entryPc = 0;
+    std::string entryName;
+
+    /// Spawnable micro-kernel entries, in declaration order. The index in
+    /// this vector is the LUT way used by the spawn unit.
+    std::vector<MicroKernelEntry> microKernels;
+
+    ResourceDecl resources;
+
+    /** Number of instructions. */
+    size_t size() const { return code.size(); }
+
+    const Instruction &at(uint32_t pc) const { return code.at(pc); }
+
+    /**
+     * Index of the micro-kernel whose entry pc matches, or -1.
+     * @param pc entry program counter to look up.
+     */
+    int microKernelIndex(uint32_t pc) const;
+
+    /** Highest register index actually referenced, plus one. */
+    int measuredRegisterCount() const;
+
+    /** Total dynamic spawn targets declared (SpawnLocations in Sec. IV-A2). */
+    int spawnLocationCount() const
+    {
+        return static_cast<int>(microKernels.size());
+    }
+
+    /**
+     * Compute reconvergence PCs for every branch using immediate
+     * post-dominator analysis of the control-flow graph. Called by the
+     * assembler; exposed for tests.
+     */
+    void computeReconvergencePoints();
+
+    /** Pretty listing with PCs and labels, for debugging. */
+    std::string listing() const;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_PROGRAM_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * PDOM reconvergence stack implementation.
+ */
+
+#include "simt/simt_stack.hpp"
+
+#include <cassert>
+
+namespace uksim {
+
+void
+SimtStack::reset(uint32_t startPc, uint64_t mask)
+{
+    entries_.clear();
+    if (mask)
+        entries_.push_back({startPc, kNoReconverge, mask});
+}
+
+void
+SimtStack::normalize()
+{
+    while (!entries_.empty()) {
+        const StackEntry &top = entries_.back();
+        if (top.mask == 0 ||
+            (top.rpc != kNoReconverge && top.pc == top.rpc)) {
+            entries_.pop_back();
+        } else {
+            break;
+        }
+    }
+}
+
+void
+SimtStack::advance()
+{
+    assert(!entries_.empty());
+    entries_.back().pc++;
+    normalize();
+}
+
+void
+SimtStack::branch(uint64_t takenMask, uint32_t targetPc,
+                  uint32_t reconvergePc)
+{
+    assert(!entries_.empty());
+    StackEntry &top = entries_.back();
+    const uint64_t active = top.mask;
+    assert((takenMask & ~active) == 0);
+    const uint64_t notTaken = active & ~takenMask;
+    const uint32_t fallPc = top.pc + 1;
+
+    if (notTaken == 0) {
+        // Uniform taken.
+        top.pc = targetPc;
+    } else if (takenMask == 0) {
+        // Uniform not-taken.
+        top.pc = fallPc;
+    } else {
+        // Divergence: current entry becomes the reconvergence entry.
+        top.pc = reconvergePc;  // may be kNoReconverge: entry empties via exits
+        entries_.push_back({fallPc, reconvergePc, notTaken});
+        entries_.push_back({targetPc, reconvergePc, takenMask});
+    }
+    normalize();
+}
+
+void
+SimtStack::exitLanes(uint64_t exitingLanes)
+{
+    assert(!entries_.empty());
+    const bool topSurvives = (entries_.back().mask & ~exitingLanes) != 0;
+    for (StackEntry &e : entries_)
+        e.mask &= ~exitingLanes;
+    if (topSurvives) {
+        // Guard-false lanes continue past the exit instruction.
+        advance();
+    } else {
+        normalize();
+    }
+}
+
+} // namespace uksim

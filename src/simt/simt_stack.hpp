@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Post-dominator (PDOM) reconvergence stack.
+ *
+ * Each warp owns one stack of (pc, reconvergence pc, active mask)
+ * entries. Divergent branches push one entry per control path, with the
+ * branch's immediate post-dominator as the reconvergence pc; when a
+ * path's pc reaches its reconvergence pc the entry pops and execution
+ * resumes with the wider mask below (Fung et al., MICRO 2007 — the
+ * baseline branching hardware in the paper's Sec. II, Fig. 2).
+ */
+
+#ifndef UKSIM_SIMT_SIMT_STACK_HPP
+#define UKSIM_SIMT_SIMT_STACK_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uksim {
+
+/** One reconvergence stack entry. */
+struct StackEntry {
+    uint32_t pc = 0;
+    uint32_t rpc = 0;       ///< reconvergence pc (kNoReconverge at bottom)
+    uint64_t mask = 0;      ///< lanes active on this path
+};
+
+/** PDOM reconvergence stack for one warp. */
+class SimtStack
+{
+  public:
+    /** Sentinel meaning "this path only ends at thread exit". */
+    static constexpr uint32_t kNoReconverge = 0xffffffffu;
+
+    /** (Re)initialize for a fresh warp starting at @p startPc. */
+    void reset(uint32_t startPc, uint64_t mask);
+
+    bool empty() const { return entries_.empty(); }
+    size_t depth() const { return entries_.size(); }
+
+    /** Next pc to execute. */
+    uint32_t pc() const { return entries_.back().pc; }
+    /** Lanes executing at pc(). */
+    uint64_t activeMask() const { return entries_.back().mask; }
+
+    /**
+     * Step past a non-control-flow instruction: pc advances and any
+     * reconvergence points reached are popped.
+     */
+    void advance();
+
+    /**
+     * Resolve a (possibly divergent) branch executed at pc().
+     *
+     * @param takenMask subset of activeMask() whose predicate held.
+     * @param targetPc branch target.
+     * @param reconvergePc immediate post-dominator of the branch
+     *        (kNoReconverge when paths only rejoin at exit).
+     */
+    void branch(uint64_t takenMask, uint32_t targetPc, uint32_t reconvergePc);
+
+    /**
+     * Retire lanes that executed `exit`. Removes them from every entry;
+     * surviving guard-false lanes at the top entry continue after the
+     * exit instruction.
+     *
+     * @param exitingLanes lanes retiring (subset of activeMask()).
+     */
+    void exitLanes(uint64_t exitingLanes);
+
+    const std::vector<StackEntry> &entries() const { return entries_; }
+
+  private:
+    /** Pop entries that are empty or have reached their rpc. */
+    void normalize();
+
+    std::vector<StackEntry> entries_;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_SIMT_STACK_HPP

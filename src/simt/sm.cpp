@@ -1,0 +1,723 @@
+/**
+ * @file
+ * Streaming multiprocessor implementation.
+ */
+
+#include "simt/sm.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "mem/bank.hpp"
+#include "mem/coalescer.hpp"
+#include "simt/executor.hpp"
+
+namespace uksim {
+
+namespace {
+
+inline int
+popcount(uint64_t v)
+{
+    return std::popcount(v);
+}
+
+} // anonymous namespace
+
+Sm::Sm(int id, const GpuConfig &config, const Program &program,
+       SmServices &services)
+    : id_(id), config_(config), program_(program), services_(services),
+      shared_("shared", config.onChipBytesPerSm)
+{
+    if (config_.texL1BytesPerSm > 0) {
+        texL1_ = std::make_unique<ReadOnlyCache>(
+            config_.texL1BytesPerSm, config_.coalesceSegmentBytes,
+            config_.texCacheWays);
+    }
+}
+
+void
+Sm::configureOccupancy(int resident_warps)
+{
+    assert(resident_warps > 0 &&
+           resident_warps <= config_.maxWarpsPerSm());
+    warps_.assign(resident_warps, Warp{});
+    for (int i = 0; i < resident_warps; i++) {
+        warps_[i].hwSlot = i;
+        warps_[i].lanes.resize(config_.warpSize);
+    }
+    const int threads = resident_warps * config_.warpSize;
+    regs_.assign(size_t(threads) * kMaxRegisters, 0);
+    preds_.assign(size_t(threads) * kNumPredicates, 0);
+
+    if (!program_.microKernels.empty()) {
+        uint32_t state = program_.resources.spawnStateBytes;
+        if (state == 0)
+            throw std::runtime_error("micro-kernel program must declare "
+                                     ".spawn_state");
+        spawnLayout_ = SpawnMemoryLayout::compute(
+            state, threads, program_.spawnLocationCount(),
+            config_.warpSize);
+        spawnStore_ = Store("spawn", spawnLayout_.totalBytes);
+        spawnUnit_ = std::make_unique<SpawnUnit>(config_, program_,
+                                                 spawnLayout_);
+        freeStateSlots_.clear();
+        for (int s = threads - 1; s >= 0; s--)
+            freeStateSlots_.push_back(static_cast<uint32_t>(s));
+    }
+}
+
+int
+Sm::liveWarps() const
+{
+    int n = 0;
+    for (const Warp &w : warps_)
+        n += w.valid ? 1 : 0;
+    return n;
+}
+
+int
+Sm::freeWarpSlots() const
+{
+    return residentWarps() - liveWarps();
+}
+
+uint32_t
+Sm::readReg(int threadSlot, int reg) const
+{
+    return regs_[size_t(threadSlot) * kMaxRegisters + reg];
+}
+
+void
+Sm::writeReg(int threadSlot, int reg, uint32_t value)
+{
+    regs_[size_t(threadSlot) * kMaxRegisters + reg] = value;
+}
+
+bool
+Sm::readPred(int threadSlot, int pred) const
+{
+    return preds_[size_t(threadSlot) * kNumPredicates + pred] != 0;
+}
+
+void
+Sm::writePred(int threadSlot, int pred, bool value)
+{
+    preds_[size_t(threadSlot) * kNumPredicates + pred] = value ? 1 : 0;
+}
+
+Sm::ResidentBlock *
+Sm::findBlock(uint32_t blockId)
+{
+    for (ResidentBlock &b : blocks_) {
+        if (b.blockId == blockId)
+            return &b;
+    }
+    return nullptr;
+}
+
+bool
+Sm::launchInitialWarp(const std::vector<uint32_t> &tids, uint32_t blockId)
+{
+    assert(!tids.empty() &&
+           tids.size() <= static_cast<size_t>(config_.warpSize));
+    Warp *slot = nullptr;
+    for (Warp &w : warps_) {
+        if (!w.valid) {
+            slot = &w;
+            break;
+        }
+    }
+    if (!slot)
+        return false;
+    if (spawnEnabled() && freeStateSlots_.size() < tids.size())
+        return false;
+
+    slot->valid = true;
+    slot->blockId = blockId;
+    slot->dynamic = false;
+    slot->readyAt = 0;
+    slot->outstandingMem = 0;
+    slot->waitingBarrier = false;
+
+    uint64_t mask = 0;
+    for (size_t lane = 0; lane < tids.size(); lane++) {
+        LaneInfo &li = slot->lanes[lane];
+        li = LaneInfo{};
+        li.tid = tids[lane];
+        li.ctaid = blockId;
+        if (spawnEnabled()) {
+            li.stateSlot = freeStateSlots_.back();
+            freeStateSlots_.pop_back();
+            li.spawnMemAddr = spawnLayout_.stateAddr(li.stateSlot);
+        }
+        mask |= uint64_t{1} << lane;
+    }
+    slot->stack.reset(program_.entryPc, mask);
+
+    ResidentBlock *blk = findBlock(blockId);
+    if (!blk) {
+        blocks_.push_back({blockId, 0, 0});
+        blk = &blocks_.back();
+    }
+    blk->warpsLive++;
+
+    services_.stats().threadsLaunched += tids.size();
+    return true;
+}
+
+bool
+Sm::launchDynamicWarp(const FormedWarp &formed)
+{
+    assert(spawnEnabled());
+    Warp *slot = nullptr;
+    for (Warp &w : warps_) {
+        if (!w.valid) {
+            slot = &w;
+            break;
+        }
+    }
+    if (!slot)
+        return false;
+
+    slot->valid = true;
+    slot->blockId = 0xffffffffu;
+    slot->dynamic = true;
+    slot->readyAt = 0;
+    slot->outstandingMem = 0;
+    slot->waitingBarrier = false;
+
+    uint64_t mask = 0;
+    for (int lane = 0; lane < formed.threadCount; lane++) {
+        LaneInfo &li = slot->lanes[lane];
+        li = LaneInfo{};
+        li.dynamic = true;
+        li.tid = nextDynamicTid_++;
+        // spawnMemAddr points at this thread's warp-formation word; the
+        // micro-kernel prologue loads the parent's state pointer through
+        // it (paper Fig. 6 / Example 2 lines 3-5).
+        li.spawnMemAddr = formed.regionAddr + lane * 4;
+        li.dataPtr = spawnStore_.read32(li.spawnMemAddr);
+        li.stateSlot = spawnLayout_.slotOf(li.dataPtr);
+        mask |= uint64_t{1} << lane;
+    }
+    spawnUnit_->releaseRegion(formed.regionAddr);
+    slot->stack.reset(formed.pc, mask);
+    return true;
+}
+
+uint32_t
+Sm::specialValue(SpecialReg sreg, const Warp &w, int lane) const
+{
+    const LaneInfo &li = w.lanes[lane];
+    switch (sreg) {
+      case SpecialReg::Tid: return li.tid;
+      case SpecialReg::NTid: return gridThreads_;
+      case SpecialReg::CtaId: return li.ctaid;
+      case SpecialReg::LaneId: return static_cast<uint32_t>(lane);
+      case SpecialReg::WarpId: return static_cast<uint32_t>(w.hwSlot);
+      case SpecialReg::SmId: return static_cast<uint32_t>(id_);
+      case SpecialReg::Slot:
+        return static_cast<uint32_t>(w.hwSlot * config_.warpSize + lane);
+      case SpecialReg::SpawnMemAddr: return li.spawnMemAddr;
+    }
+    return 0;
+}
+
+uint32_t
+Sm::readOperand(const Operand &op, const Warp &w, int lane) const
+{
+    switch (op.kind) {
+      case OperandKind::Reg:
+        return readReg(w.hwSlot * config_.warpSize + lane, op.reg);
+      case OperandKind::Imm:
+        return op.imm;
+      case OperandKind::Special:
+        return specialValue(op.sreg, w, lane);
+      default:
+        assert(false && "bad operand kind");
+        return 0;
+    }
+}
+
+void
+Sm::step(uint64_t now)
+{
+    if (warps_.empty())
+        return;
+    if (issueBlockedUntil_ > now) {
+        services_.stats().recordIdle(now, config_.statsWindowCycles);
+        return;
+    }
+    const int n = residentWarps();
+    for (int i = 0; i < n; i++) {
+        int slot = (rrCursor_ + i) % n;
+        Warp &w = warps_[slot];
+        if (w.issuable(now)) {
+            rrCursor_ = (slot + 1) % n;
+            issue(w, now);
+            return;
+        }
+    }
+    services_.stats().recordIdle(now, config_.statsWindowCycles);
+}
+
+void
+Sm::issue(Warp &w, uint64_t now)
+{
+    const uint32_t pc = w.stack.pc();
+    if (pc >= program_.size())
+        throw std::runtime_error("warp ran off the end of the program");
+    const Instruction &inst = program_.at(pc);
+    const uint64_t mask = w.stack.activeMask();
+
+    SimStats &stats = services_.stats();
+    stats.recordIssue(now, popcount(mask), config_.statsWindowCycles);
+
+    uint64_t commitMask = mask;
+    if (inst.guardPred >= 0) {
+        commitMask = 0;
+        for (int lane = 0; lane < config_.warpSize; lane++) {
+            if (!(mask >> lane & 1))
+                continue;
+            bool p = readPred(threadSlot(w, lane), inst.guardPred);
+            if (p != inst.guardNegated)
+                commitMask |= uint64_t{1} << lane;
+        }
+    }
+    stats.committedLaneInstructions += popcount(commitMask);
+
+    w.readyAt = now + 1;
+
+    switch (inst.op) {
+      case Opcode::Bra: {
+        uint32_t rpc = inst.reconvergePc >= program_.size()
+                           ? SimtStack::kNoReconverge
+                           : inst.reconvergePc;
+        w.stack.branch(commitMask, inst.target, rpc);
+        break;
+      }
+      case Opcode::Exit:
+        execExit(w, commitMask);
+        break;
+      case Opcode::Bar:
+        execBarrier(w, now);
+        break;
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::AtomAdd:
+      case Opcode::AtomExch:
+      case Opcode::AtomCas:
+        execMemory(w, inst, commitMask, now);
+        w.stack.advance();
+        break;
+      case Opcode::Spawn:
+        execSpawn(w, inst, commitMask, now);
+        w.stack.advance();
+        break;
+      case Opcode::VoteAll: {
+        // Warp-wide AND over the active lanes' source predicate; every
+        // active lane receives the result.
+        bool all = true;
+        for (int lane = 0; lane < config_.warpSize; lane++) {
+            if (!(mask >> lane & 1))
+                continue;
+            if (!readPred(threadSlot(w, lane), inst.src[0].reg))
+                all = false;
+        }
+        for (int lane = 0; lane < config_.warpSize; lane++) {
+            if (mask >> lane & 1)
+                writePred(threadSlot(w, lane), inst.dst, all);
+        }
+        w.stack.advance();
+        break;
+      }
+      case Opcode::Nop:
+        w.stack.advance();
+        break;
+      default:
+        execAlu(w, inst, commitMask, now);
+        if (inst.isSfu())
+            w.readyAt = now + config_.sfuLatencyCycles;
+        w.stack.advance();
+        break;
+    }
+
+    if (w.valid && w.stack.empty())
+        retireWarp(w);
+}
+
+void
+Sm::execAlu(Warp &w, const Instruction &inst, uint64_t commitMask,
+            uint64_t now)
+{
+    (void)now;
+    for (int lane = 0; lane < config_.warpSize; lane++) {
+        if (!(commitMask >> lane & 1))
+            continue;
+        const int slot = threadSlot(w, lane);
+        const uint32_t a = readOperand(inst.src[0], w, lane);
+        uint32_t b = 0;
+        if (inst.src[1].kind != OperandKind::None &&
+            inst.src[1].kind != OperandKind::Pred) {
+            b = readOperand(inst.src[1], w, lane);
+        }
+
+        if (inst.op == Opcode::SetP) {
+            writePred(slot, inst.dst, evalCmp(inst.cmp, inst.type, a, b));
+        } else if (inst.op == Opcode::SelP) {
+            bool p = readPred(slot, inst.src[2].reg);
+            writeReg(slot, inst.dst, p ? a : b);
+        } else {
+            uint32_t c = 0;
+            if (inst.src[2].kind == OperandKind::Reg ||
+                inst.src[2].kind == OperandKind::Imm ||
+                inst.src[2].kind == OperandKind::Special) {
+                c = readOperand(inst.src[2], w, lane);
+            }
+            writeReg(slot, inst.dst, evalAlu(inst, a, b, c));
+        }
+    }
+}
+
+void
+Sm::execMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
+               uint64_t now)
+{
+    SimStats &stats = services_.stats();
+    const int width = inst.vecWidth;
+    const uint32_t accessBytes = 4u * width;
+    const bool isStore = inst.op == Opcode::St;
+    const bool isAtomic = inst.isAtomic();
+
+    if (commitMask == 0)
+        return;
+
+    laneAddrs_.assign(config_.warpSize, 0);
+    for (int lane = 0; lane < config_.warpSize; lane++) {
+        if (!(commitMask >> lane & 1))
+            continue;
+        uint64_t addr = readOperand(inst.src[0], w, lane);
+        addr = uint64_t(int64_t(addr) + inst.memOffset);
+        if (inst.space == MemSpace::Local) {
+            // CUDA-style interleaving: word i of every thread's local
+            // space is laid out contiguously across all hardware thread
+            // slots, so lock-step accesses at the same local offset
+            // coalesce perfectly.
+            const uint64_t globalSlot =
+                uint64_t(id_) * config_.maxThreadsPerSm +
+                threadSlot(w, lane);
+            const uint64_t totalSlots =
+                uint64_t(config_.numSms) * config_.maxThreadsPerSm;
+            addr = (addr / 4) * totalSlots * 4 + globalSlot * 4;
+        }
+        laneAddrs_[lane] = addr;
+    }
+
+    // --- Functional access ---------------------------------------------------
+    Store *store = nullptr;
+    switch (inst.space) {
+      case MemSpace::Global: store = &services_.globalStore(); break;
+      case MemSpace::Local: store = &services_.localStore(); break;
+      case MemSpace::Const:
+      case MemSpace::Param: store = &services_.constStore(); break;
+      case MemSpace::Shared: store = &shared_; break;
+      case MemSpace::Spawn: store = &spawnStore_; break;
+    }
+
+    for (int lane = 0; lane < config_.warpSize; lane++) {
+        if (!(commitMask >> lane & 1))
+            continue;
+        const int slot = threadSlot(w, lane);
+        const uint64_t addr = laneAddrs_[lane];
+        if (isAtomic) {
+            uint32_t old = store->read32(addr);
+            uint32_t operand = readOperand(inst.src[1], w, lane);
+            uint32_t next = old;
+            if (inst.op == Opcode::AtomAdd) {
+                next = (inst.type == DataType::F32)
+                           ? floatBits(bitsToFloat(old) +
+                                       bitsToFloat(operand))
+                           : old + operand;
+            } else if (inst.op == Opcode::AtomExch) {
+                next = operand;
+            } else {    // AtomCas
+                uint32_t expected = operand;
+                uint32_t newval = readOperand(inst.src[2], w, lane);
+                next = (old == expected) ? newval : old;
+            }
+            store->write32(addr, next);
+            writeReg(slot, inst.dst, old);
+        } else if (isStore) {
+            for (int e = 0; e < width; e++) {
+                store->write32(addr + 4u * e,
+                               readReg(slot, inst.src[1].reg + e));
+            }
+        } else {
+            for (int e = 0; e < width; e++) {
+                uint32_t value;
+                // Dynamic threads read their formation word through
+                // spawnMemAddr; forward the launch-time snapshot so ring
+                // reuse of formation regions can never be observed.
+                if (inst.space == MemSpace::Spawn && width == 1 &&
+                    w.lanes[lane].dynamic &&
+                    addr == w.lanes[lane].spawnMemAddr) {
+                    value = w.lanes[lane].dataPtr;
+                } else {
+                    value = store->read32(addr + 4u * e);
+                }
+                writeReg(slot, inst.dst + e, value);
+            }
+        }
+    }
+
+    // --- Timing ---------------------------------------------------------------
+    const int activeLanes = popcount(commitMask);
+    const uint64_t bytes = uint64_t(activeLanes) * accessBytes;
+
+    switch (inst.space) {
+      case MemSpace::Global:
+      case MemSpace::Local: {
+        auto segments = coalesce(laneAddrs_, commitMask, accessBytes,
+                                 config_.coalesceSegmentBytes);
+        if (config_.idealMemory) {
+            uint64_t segBytes = 0;
+            for (const Segment &s : segments)
+                segBytes += s.touched;
+            if (isStore)
+                stats.dramWriteBytes += segBytes;
+            else
+                stats.dramReadBytes += segBytes;
+            stats.dramTransactions += segments.size();
+            w.readyAt = now + 1;
+            break;
+        }
+
+        if (isStore || isAtomic) {
+            // Write-through, no-allocate: stores and atomics go to
+            // DRAM and invalidate any cached copies of the lines.
+            uint64_t segBytes = 0;
+            for (const Segment &s : segments) {
+                segBytes += s.touched;
+                if (texL1_)
+                    texL1_->invalidate(s.addr);
+                if (ReadOnlyCache *l2 = services_.texL2For(s.addr))
+                    l2->invalidate(s.addr);
+            }
+            stats.dramWriteBytes += segBytes;
+            if (isAtomic)
+                stats.dramReadBytes += segBytes;
+            stats.dramTransactions += segments.size();
+            uint64_t done =
+                services_.dram().accessAll(segments, true, now);
+            if (isAtomic) {
+                // Atomics return the old value: the warp must wait for
+                // the full read-modify-write round trip.
+                done = services_.dram().accessAll(segments, true, done);
+                w.outstandingMem++;
+                services_.scheduleMemWakeup(done, id_, w.hwSlot);
+            } else {
+                // Plain stores retire through the write queue with no
+                // register dependence: the warp continues immediately
+                // while the partitions absorb the bandwidth.
+                w.readyAt = now + 1;
+            }
+            break;
+        }
+
+        // Loads probe the read-only texture-path hierarchy.
+        uint64_t done = now + 1;
+        bool waited = false;
+        for (const Segment &s : segments) {
+            if (texL1_ && texL1_->probe(s.addr)) {
+                stats.texL1Hits++;
+                done = std::max(done,
+                                now + config_.texL1HitLatencyCycles);
+                continue;
+            }
+            if (texL1_)
+                stats.texL1Misses++;
+            ReadOnlyCache *l2 = services_.texL2For(s.addr);
+            if (l2 && l2->probe(s.addr)) {
+                stats.texL2Hits++;
+                done = std::max(done,
+                                now + config_.texL2HitLatencyCycles);
+                if (texL1_)
+                    texL1_->fill(s.addr);
+                continue;
+            }
+            if (l2)
+                stats.texL2Misses++;
+            stats.dramReadBytes += s.touched;
+            stats.dramTransactions++;
+            done = std::max(done,
+                            services_.dram().access(s, false, now));
+            if (texL1_)
+                texL1_->fill(s.addr);
+            if (l2)
+                l2->fill(s.addr);
+        }
+        if (done > now + 1) {
+            waited = true;
+            w.outstandingMem++;
+            services_.scheduleMemWakeup(done, id_, w.hwSlot);
+        }
+        if (!waited)
+            w.readyAt = now + 1;
+        break;
+      }
+      case MemSpace::Const:
+      case MemSpace::Param:
+        // Constant memory is cached on chip (Sec. IV-A).
+        w.readyAt = now + config_.onChipLatencyCycles;
+        break;
+      case MemSpace::Shared:
+      case MemSpace::Spawn: {
+        bool model = inst.space == MemSpace::Shared
+                         ? config_.modelSharedBankConflicts
+                         : config_.modelSpawnBankConflicts;
+        int passes = 1;
+        if (model && !config_.idealMemory) {
+            passes = bankConflictPasses(laneAddrs_, commitMask, width,
+                                        config_.numOnChipBanks);
+        }
+        w.readyAt = now + config_.onChipLatencyCycles + passes - 1;
+        if (passes > 1) {
+            issueBlockedUntil_ = now + passes;
+            stats.bankConflictExtraCycles += passes - 1;
+        }
+        if (isStore)
+            stats.onChipWriteBytes += bytes;
+        else
+            stats.onChipReadBytes += bytes;
+        if (inst.space == MemSpace::Spawn) {
+            if (isStore)
+                stats.spawnMemWriteBytes += bytes;
+            else
+                stats.spawnMemReadBytes += bytes;
+        }
+        break;
+      }
+    }
+}
+
+void
+Sm::execSpawn(Warp &w, const Instruction &inst, uint64_t commitMask,
+              uint64_t now)
+{
+    assert(spawnEnabled() && "spawn executed without micro-kernel support");
+    if (commitMask == 0)
+        return;
+
+    SimStats &stats = services_.stats();
+    laneData_.assign(config_.warpSize, 0);
+    for (int lane = 0; lane < config_.warpSize; lane++) {
+        if (!(commitMask >> lane & 1))
+            continue;
+        laneData_[lane] = readReg(threadSlot(w, lane), inst.src[0].reg);
+        w.lanes[lane].spawned = true;
+    }
+
+    SpawnIssue issue = spawnUnit_->spawn(inst.target, commitMask, laneData_,
+                                         spawnStore_);
+    const int n = popcount(commitMask);
+    stats.dynamicThreadsSpawned += n;
+    stats.spawnMemWriteBytes += 4u * n;
+    stats.onChipWriteBytes += 4u * n;
+
+    int passes = 1;
+    if (config_.modelSpawnBankConflicts && !config_.idealMemory) {
+        passes = bankConflictPasses(issue.storeAddrs, commitMask, 1,
+                                    config_.numOnChipBanks);
+    }
+    w.readyAt = now + config_.onChipLatencyCycles + passes - 1;
+    if (passes > 1) {
+        issueBlockedUntil_ = now + passes;
+        stats.bankConflictExtraCycles += passes - 1;
+    }
+}
+
+void
+Sm::retireLane(Warp &w, int lane)
+{
+    LaneInfo &li = w.lanes[lane];
+    if (!li.dynamic)
+        services_.onInitialThreadExit();
+    if (spawnEnabled()) {
+        // A thread exiting from the last micro-kernel of its chain (no
+        // child spawned) releases the ray's state slot (Sec. IV-A1).
+        if (!li.spawned && li.stateSlot != 0xffffffffu) {
+            freeStateSlots_.push_back(li.stateSlot);
+            li.stateSlot = 0xffffffffu;
+            services_.onItemCompleted();
+        }
+    } else {
+        services_.onItemCompleted();
+    }
+}
+
+void
+Sm::execExit(Warp &w, uint64_t commitMask)
+{
+    for (int lane = 0; lane < config_.warpSize; lane++) {
+        if (commitMask >> lane & 1)
+            retireLane(w, lane);
+    }
+    w.stack.exitLanes(commitMask);
+}
+
+void
+Sm::execBarrier(Warp &w, uint64_t now)
+{
+    w.stack.advance();
+    if (config_.scheduling != SchedulingMode::Block || w.dynamic)
+        return;     // barriers are a block-scheduling concept
+    ResidentBlock *blk = findBlock(w.blockId);
+    assert(blk);
+    w.waitingBarrier = true;
+    blk->warpsAtBarrier++;
+    if (blk->warpsAtBarrier >= blk->warpsLive) {
+        for (Warp &other : warps_) {
+            if (other.valid && other.blockId == w.blockId &&
+                other.waitingBarrier) {
+                other.waitingBarrier = false;
+                other.readyAt = now + 1;
+            }
+        }
+        blk->warpsAtBarrier = 0;
+    }
+}
+
+void
+Sm::retireWarp(Warp &w)
+{
+    assert(w.valid && w.stack.empty());
+    w.valid = false;
+    if (!w.dynamic) {
+        ResidentBlock *blk = findBlock(w.blockId);
+        if (blk) {
+            blk->warpsLive--;
+            if (blk->warpsLive == 0) {
+                for (size_t i = 0; i < blocks_.size(); i++) {
+                    if (&blocks_[i] == blk) {
+                        blocks_.erase(blocks_.begin() + i);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+Sm::memWakeup(int warpSlot, uint64_t now)
+{
+    Warp &w = warps_.at(warpSlot);
+    assert(w.outstandingMem > 0);
+    w.outstandingMem--;
+    if (w.outstandingMem == 0 && w.readyAt < now)
+        w.readyAt = now;
+}
+
+} // namespace uksim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Streaming multiprocessor (SM) model.
+ *
+ * Each SM owns 32 warp contexts at most (1024 threads / 32), a banked
+ * register file, on-chip shared memory, the spawn memory space and the
+ * spawn unit (when the program declares micro-kernels). One warp
+ * instruction issues per cycle; the 8 SPs pipeline its 32 lanes over 4
+ * sub-cycles at full throughput, so the per-SM IPC ceiling is warpSize.
+ */
+
+#ifndef UKSIM_SIMT_SM_HPP
+#define UKSIM_SIMT_SM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/dram.hpp"
+#include "mem/rocache.hpp"
+#include "mem/store.hpp"
+#include "simt/config.hpp"
+#include "simt/program.hpp"
+#include "simt/stats.hpp"
+#include "simt/warp.hpp"
+#include "spawn/spawn_layout.hpp"
+#include "spawn/spawn_unit.hpp"
+
+namespace uksim {
+
+/**
+ * Services an SM needs from the chip level (device memory, DRAM timing,
+ * wake-up events and global statistics). Implemented by Gpu.
+ */
+class SmServices
+{
+  public:
+    virtual ~SmServices() = default;
+    virtual Store &globalStore() = 0;
+    virtual Store &constStore() = 0;
+    virtual Store &localStore() = 0;
+    virtual DramModel &dram() = 0;
+    /** Per-partition read-only L2, or nullptr when disabled. */
+    virtual ReadOnlyCache *texL2For(uint64_t addr) = 0;
+    /** Wake warp @p warpSlot of SM @p smId at @p cycle. */
+    virtual void scheduleMemWakeup(uint64_t cycle, int smId,
+                                   int warpSlot) = 0;
+    virtual SimStats &stats() = 0;
+    /** A work item (ray) fully completed. */
+    virtual void onItemCompleted() = 0;
+    /** A launch-grid thread exited. */
+    virtual void onInitialThreadExit() = 0;
+};
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    Sm(int id, const GpuConfig &config, const Program &program,
+       SmServices &services);
+
+    /**
+     * Size warp contexts and (for micro-kernel programs) the spawn
+     * memory for the given occupancy. Must be called before launching.
+     *
+     * @param resident_warps hardware warp slots to enable.
+     */
+    void configureOccupancy(int resident_warps);
+
+    int residentWarps() const { return static_cast<int>(warps_.size()); }
+    int liveWarps() const;
+    int freeWarpSlots() const;
+    bool busy() const { return liveWarps() > 0; }
+
+    /** Spawn support is active (program declares micro-kernels). */
+    bool spawnEnabled() const { return spawnUnit_ != nullptr; }
+    SpawnUnit *spawnUnit() { return spawnUnit_.get(); }
+    const SpawnMemoryLayout &spawnLayout() const { return spawnLayout_; }
+
+    /** Free spawn-state slots (gates initial launches in spawn mode). */
+    int freeStateSlots() const
+    {
+        return static_cast<int>(freeStateSlots_.size());
+    }
+
+    /**
+     * Launch a warp of launch-grid threads.
+     *
+     * @param tids global thread ids, one per lane (may be shorter than
+     *        warpSize for a ragged tail).
+     * @param blockId owning thread block.
+     * @return false when no warp slot (or, in spawn mode, not enough
+     *         spawn-state slots) is available.
+     */
+    bool launchInitialWarp(const std::vector<uint32_t> &tids,
+                           uint32_t blockId);
+
+    /** Launch a formed dynamic warp from the FIFO / partial flush. */
+    bool launchDynamicWarp(const FormedWarp &formed);
+
+    /** Advance one cycle: issue at most one warp instruction. */
+    void step(uint64_t now);
+
+    /** Off-chip access completion callback. */
+    void memWakeup(int warpSlot, uint64_t now);
+
+    /** Total launch-grid size, for the %ntid special register. */
+    void setGridThreads(uint32_t n) { gridThreads_ = n; }
+
+    Store &sharedStore() { return shared_; }
+    Store &spawnStore() { return spawnStore_; }
+    const Warp &warp(int slot) const { return warps_.at(slot); }
+
+    // Register file access (exposed for tests).
+    uint32_t readReg(int threadSlot, int reg) const;
+    void writeReg(int threadSlot, int reg, uint32_t value);
+    bool readPred(int threadSlot, int pred) const;
+    void writePred(int threadSlot, int pred, bool value);
+
+  private:
+    struct ResidentBlock {
+        uint32_t blockId = 0;
+        int warpsLive = 0;
+        int warpsAtBarrier = 0;
+    };
+
+    /** Per-lane hardware thread slot. */
+    int threadSlot(const Warp &w, int lane) const
+    {
+        return w.hwSlot * config_.warpSize + lane;
+    }
+
+    uint32_t readOperand(const Operand &op, const Warp &w, int lane) const;
+    uint32_t specialValue(SpecialReg sreg, const Warp &w, int lane) const;
+
+    void issue(Warp &w, uint64_t now);
+    void execAlu(Warp &w, const Instruction &inst, uint64_t commitMask,
+                 uint64_t now);
+    void execMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
+                    uint64_t now);
+    void execSpawn(Warp &w, const Instruction &inst, uint64_t commitMask,
+                   uint64_t now);
+    void execExit(Warp &w, uint64_t commitMask);
+    void execBarrier(Warp &w, uint64_t now);
+    void retireWarp(Warp &w);
+    void retireLane(Warp &w, int lane);
+
+    ResidentBlock *findBlock(uint32_t blockId);
+
+    const int id_;
+    const GpuConfig &config_;
+    const Program &program_;
+    SmServices &services_;
+
+    std::vector<Warp> warps_;
+    std::vector<uint32_t> regs_;
+    std::vector<uint8_t> preds_;
+    Store shared_;
+    Store spawnStore_;
+    std::unique_ptr<ReadOnlyCache> texL1_;
+    SpawnMemoryLayout spawnLayout_;
+    std::unique_ptr<SpawnUnit> spawnUnit_;
+    std::vector<uint32_t> freeStateSlots_;
+    std::vector<ResidentBlock> blocks_;
+
+    int rrCursor_ = 0;
+    uint64_t issueBlockedUntil_ = 0;
+    uint32_t nextDynamicTid_ = 0;
+    uint32_t gridThreads_ = 0;
+
+    // Scratch buffers reused every issue to avoid per-cycle allocation.
+    std::vector<uint64_t> laneAddrs_;
+    std::vector<uint32_t> laneData_;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_SM_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Statistics implementation.
+ */
+
+#include "simt/stats.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace uksim {
+
+OccupancyWindow &
+SimStats::windowFor(uint64_t cycle, uint64_t windowCycles)
+{
+    assert(windowCycles > 0);
+    size_t idx = cycle / windowCycles;
+    while (windows.size() <= idx) {
+        OccupancyWindow w;
+        w.startCycle = windows.size() * windowCycles;
+        w.cycles = windowCycles;
+        windows.push_back(w);
+    }
+    return windows[idx];
+}
+
+void
+SimStats::recordIssue(uint64_t cycle, int activeLanes, uint64_t windowCycles)
+{
+    warpIssues++;
+    laneInstructions += activeLanes;
+    if (activeLanes <= 0)
+        return;
+    int bin = (activeLanes - 1) / 4;
+    if (bin >= kOccupancyBins)
+        bin = kOccupancyBins - 1;
+    windowFor(cycle, windowCycles).bins[bin]++;
+}
+
+void
+SimStats::recordIdle(uint64_t cycle, uint64_t windowCycles)
+{
+    idleIssueSlots++;
+    windowFor(cycle, windowCycles).idleIssueSlots++;
+}
+
+std::string
+SimStats::occupancyCsv() const
+{
+    std::ostringstream os;
+    os << "start_cycle,idle";
+    for (int b = 0; b < kOccupancyBins; b++)
+        os << ",W" << (b * 4 + 1) << ":" << (b * 4 + 4);
+    os << "\n";
+    for (const auto &w : windows) {
+        os << w.startCycle << "," << w.idleIssueSlots;
+        for (int b = 0; b < kOccupancyBins; b++)
+            os << "," << w.bins[b];
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace uksim

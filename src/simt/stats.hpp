@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Simulation statistics, including the AerialVision-style warp-occupancy
+ * time series used for the paper's Figures 3, 7 and 9.
+ */
+
+#ifndef UKSIM_SIMT_STATS_HPP
+#define UKSIM_SIMT_STATS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uksim {
+
+/**
+ * Warp occupancy bins: W1:4, W5:8, ..., W29:32 (8 bins, as in the
+ * paper's divergence-breakdown plots).
+ */
+constexpr int kOccupancyBins = 8;
+
+/** One time window of the divergence-breakdown series. */
+struct OccupancyWindow {
+    uint64_t startCycle = 0;
+    uint64_t cycles = 0;
+    /// warp issues whose active mask fell in bin i (bin = (n-1)/4).
+    std::array<uint64_t, kOccupancyBins> bins{};
+    /// SM-cycles with no warp issued at all.
+    uint64_t idleIssueSlots = 0;
+};
+
+/** Counters for one complete simulation. */
+struct SimStats {
+    uint64_t cycles = 0;
+    uint64_t warpIssues = 0;
+    /// Sum over issues of popcount(active mask) — thread instructions.
+    uint64_t laneInstructions = 0;
+    /// Lanes whose guard predicate also held (committed results).
+    uint64_t committedLaneInstructions = 0;
+    uint64_t idleIssueSlots = 0;
+
+    // Work-completion counters.
+    uint64_t threadsLaunched = 0;       ///< launch-grid threads started
+    uint64_t threadsCompleted = 0;      ///< launch-grid threads finished
+    uint64_t itemsCompleted = 0;        ///< work items (rays) fully done
+    uint64_t dynamicThreadsSpawned = 0;
+    uint64_t dynamicWarpsFormed = 0;
+    uint64_t partialWarpFlushes = 0;
+
+    // Memory traffic (functional byte counts).
+    uint64_t dramReadBytes = 0;
+    uint64_t dramWriteBytes = 0;
+    uint64_t dramTransactions = 0;
+    uint64_t onChipReadBytes = 0;       ///< shared + spawn reads
+    uint64_t onChipWriteBytes = 0;
+    uint64_t spawnMemReadBytes = 0;
+    uint64_t spawnMemWriteBytes = 0;
+    uint64_t bankConflictExtraCycles = 0;
+    uint64_t texL1Hits = 0;
+    uint64_t texL1Misses = 0;
+    uint64_t texL2Hits = 0;
+    uint64_t texL2Misses = 0;
+
+    /// Divergence-breakdown time series.
+    std::vector<OccupancyWindow> windows;
+
+    /** Thread instructions per cycle over the whole run. */
+    double ipc() const
+    {
+        return cycles ? double(laneInstructions) / double(cycles) : 0.0;
+    }
+
+    /**
+     * SIMT efficiency: fraction of issued lane slots (warpSize per issue)
+     * that held an active thread.
+     */
+    double simtEfficiency(int warp_size) const
+    {
+        uint64_t slots = warpIssues * uint64_t(warp_size);
+        return slots ? double(laneInstructions) / double(slots) : 0.0;
+    }
+
+    /**
+     * Work items completed per second at @p clock_ghz.
+     * @param clock_ghz shader clock in GHz.
+     */
+    double itemsPerSecond(double clock_ghz) const
+    {
+        return cycles ? double(itemsCompleted) * clock_ghz * 1e9 /
+                        double(cycles)
+                      : 0.0;
+    }
+
+    /** Merge occupancy of one warp issue into the time series. */
+    void recordIssue(uint64_t cycle, int activeLanes, uint64_t windowCycles);
+    /** Record an SM issue slot that went idle. */
+    void recordIdle(uint64_t cycle, uint64_t windowCycles);
+
+    /** CSV of the divergence-breakdown series (one row per window). */
+    std::string occupancyCsv() const;
+
+  private:
+    OccupancyWindow &windowFor(uint64_t cycle, uint64_t windowCycles);
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_STATS_HPP

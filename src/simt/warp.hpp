@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hardware warp state: one SIMT stack plus per-lane thread metadata.
+ */
+
+#ifndef UKSIM_SIMT_WARP_HPP
+#define UKSIM_SIMT_WARP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/simt_stack.hpp"
+
+namespace uksim {
+
+/** Per-lane thread metadata (thread identity, not register state). */
+struct LaneInfo {
+    uint32_t tid = 0;           ///< launch-grid thread id (initial threads)
+    uint32_t ctaid = 0;         ///< block id (initial threads)
+    uint32_t spawnMemAddr = 0;  ///< the spawnMemAddr special register
+    uint32_t dataPtr = 0;       ///< snapshot of the formation-word pointer
+    uint32_t stateSlot = 0xffffffffu; ///< spawn state slot this ray occupies
+    bool dynamic = false;       ///< created by a spawn instruction
+    bool spawned = false;       ///< executed spawn since (re)birth
+};
+
+/** One hardware warp slot of an SM. */
+struct Warp {
+    bool valid = false;
+    int hwSlot = 0;             ///< slot index within the SM
+    uint32_t blockId = 0;       ///< resident block (block scheduling)
+    bool dynamic = false;       ///< launched from the new-warp FIFO
+    SimtStack stack;
+    std::vector<LaneInfo> lanes;
+    uint64_t readyAt = 0;       ///< earliest cycle the warp may issue
+    int outstandingMem = 0;     ///< in-flight off-chip accesses
+    bool waitingBarrier = false;
+
+    /** True when the warp can issue at @p now. */
+    bool issuable(uint64_t now) const
+    {
+        return valid && !waitingBarrier && outstandingMem == 0 &&
+               readyAt <= now && !stack.empty();
+    }
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_WARP_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Spawn memory layout computation.
+ */
+
+#include "spawn/spawn_layout.hpp"
+
+#include <cassert>
+
+namespace uksim {
+
+SpawnMemoryLayout
+SpawnMemoryLayout::compute(uint32_t state_bytes, uint32_t resident_threads,
+                           uint32_t spawn_locations, uint32_t warp_size)
+{
+    assert(state_bytes > 0 && resident_threads > 0 && warp_size > 0);
+    SpawnMemoryLayout layout;
+    layout.stateBytes = state_bytes;
+    layout.dataBase = 0;
+    layout.dataSlots = resident_threads;
+
+    // size = NumThreads + (SpawnLocations - 1) * WarpSize, doubled
+    // (Sec. IV-A2). spawn_locations may be 0 for programs without
+    // micro-kernels; keep at least one warp's worth of entries.
+    uint32_t locations = spawn_locations ? spawn_locations : 1;
+    uint32_t entries = resident_threads + (locations - 1) * warp_size;
+    entries *= 2;
+    // Round up to whole warp regions so the ring allocator stays aligned.
+    entries = (entries + warp_size - 1) / warp_size * warp_size;
+
+    layout.formationBase = layout.dataBase + resident_threads * state_bytes;
+    layout.formationEntries = entries;
+    layout.totalBytes = layout.formationBase + entries * 4;
+    return layout;
+}
+
+} // namespace uksim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Spawn memory space layout (paper Sec. IV-A, Fig. 6).
+ *
+ * The spawn memory of one SM has two halves:
+ *
+ *   [dataBase, dataBase + dataSlots * stateBytes)
+ *       one fixed-size thread-state record per resident thread, used to
+ *       pass state from a parent to the child that continues its work;
+ *
+ *   [formationBase, formationBase + formationBytes)
+ *       warp-formation metadata: consecutive 4-byte pointers, one per
+ *       thread of a forming warp, each holding the parent's state-record
+ *       address. Sized NumThreads + (SpawnLocations-1) * WarpSize
+ *       entries and then doubled so in-flight warps are not clobbered.
+ */
+
+#ifndef UKSIM_SPAWN_SPAWN_LAYOUT_HPP
+#define UKSIM_SPAWN_SPAWN_LAYOUT_HPP
+
+#include <cstdint>
+
+namespace uksim {
+
+/** Computed layout of one SM's spawn memory. */
+struct SpawnMemoryLayout {
+    uint32_t stateBytes = 0;        ///< per-thread state record size
+    uint32_t dataBase = 0;
+    uint32_t dataSlots = 0;         ///< resident-thread capacity
+    uint32_t formationBase = 0;
+    uint32_t formationEntries = 0;  ///< 4-byte pointer slots (after doubling)
+    uint32_t totalBytes = 0;
+
+    /** Address of state record @p slot. */
+    uint32_t stateAddr(uint32_t slot) const
+    {
+        return dataBase + slot * stateBytes;
+    }
+
+    /** Slot index of a state-record address. */
+    uint32_t slotOf(uint32_t stateAddress) const
+    {
+        return (stateAddress - dataBase) / stateBytes;
+    }
+
+    bool inFormationRegion(uint64_t addr) const
+    {
+        return addr >= formationBase &&
+               addr < formationBase + uint64_t(formationEntries) * 4;
+    }
+
+    /**
+     * Compute the layout (Sec. IV-A2 sizing rule).
+     *
+     * @param state_bytes largest state record any micro-kernel passes.
+     * @param resident_threads threads that can be resident on the SM.
+     * @param spawn_locations number of declared micro-kernels.
+     * @param warp_size threads per warp.
+     */
+    static SpawnMemoryLayout compute(uint32_t state_bytes,
+                                     uint32_t resident_threads,
+                                     uint32_t spawn_locations,
+                                     uint32_t warp_size);
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SPAWN_SPAWN_LAYOUT_HPP

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Spawn unit implementation.
+ */
+
+#include "spawn/spawn_unit.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace uksim {
+
+SpawnUnit::SpawnUnit(const GpuConfig &config, const Program &program,
+                     const SpawnMemoryLayout &layout)
+    : config_(config), program_(program), layout_(layout)
+{
+    const uint32_t regionBytes = config.warpSize * 4;
+    numRegions_ = layout.formationEntries * 4 / regionBytes;
+    regionLive_.assign(numRegions_, false);
+
+    // One LUT line per declared micro-kernel; the 1 KB LUT of Table I
+    // holds 1024/12 = 85 lines, far more than any of our programs need.
+    const size_t lineBytes = 12;    // counter + two addresses
+    if (program.microKernels.size() * lineBytes > config.spawnLutBytes) {
+        throw std::runtime_error("program declares more micro-kernels than "
+                                 "the spawn LUT can hold");
+    }
+    lut_.resize(program.microKernels.size());
+    for (size_t i = 0; i < lut_.size(); i++) {
+        lut_[i].pc = program.microKernels[i].pc;
+        lut_[i].count = 0;
+        lut_[i].addr1 = allocRegion();
+        lut_[i].addr2 = allocRegion();
+    }
+}
+
+uint32_t
+SpawnUnit::allocRegion()
+{
+    const uint32_t regionBytes = config_.warpSize * 4;
+    assert(numRegions_ > 0);
+    for (uint32_t probe = 0; probe < numRegions_; probe++) {
+        uint32_t idx = (nextRegion_ + probe) % numRegions_;
+        if (!regionLive_[idx]) {
+            regionLive_[idx] = true;
+            nextRegion_ = (idx + 1) % numRegions_;
+            return layout_.formationBase + idx * regionBytes;
+        }
+    }
+    throw std::runtime_error("spawn memory formation region exhausted");
+}
+
+void
+SpawnUnit::releaseRegion(uint32_t regionAddr)
+{
+    const uint32_t regionBytes = config_.warpSize * 4;
+    uint32_t idx = (regionAddr - layout_.formationBase) / regionBytes;
+    assert(idx < numRegions_ && regionLive_[idx]);
+    regionLive_[idx] = false;
+}
+
+SpawnIssue
+SpawnUnit::spawn(uint32_t targetPc, uint64_t mask,
+                 const std::vector<uint32_t> &dataPtrs, Store &spawnStore)
+{
+    int index = program_.microKernelIndex(targetPc);
+    if (index < 0)
+        throw std::runtime_error("spawn to pc without a LUT line");
+    LutLine &line = lut_[index];
+
+    SpawnIssue issue;
+    issue.storeAddrs.assign(dataPtrs.size(), ~uint64_t{0});
+    const uint64_t warpsBefore = warpsFormed_;
+
+    for (size_t lane = 0; lane < dataPtrs.size(); lane++) {
+        if (!(mask >> lane & 1))
+            continue;
+        // Sequential unique address for this lane (Fig. 5 summation
+        // pipeline), plus the metadata store itself.
+        issue.storeAddrs[lane] = line.addr1;
+        spawnStore.write32(line.addr1, dataPtrs[lane]);
+        line.addr1 += 4;
+        line.count++;
+        threadsSpawned_++;
+
+        if (line.count == static_cast<uint32_t>(config_.warpSize)) {
+            // Warp complete: the region holding these warpSize entries
+            // starts warpSize words back from the incremented address.
+            FormedWarp w;
+            w.pc = line.pc;
+            w.regionAddr = line.addr1 - config_.warpSize * 4;
+            w.threadCount = config_.warpSize;
+            fifo_.push_back(w);
+            warpsFormed_++;
+            // Overflow address becomes current; a fresh region is
+            // installed as the new overflow.
+            line.addr1 = line.addr2;
+            line.addr2 = allocRegion();
+            line.count = 0;
+        }
+    }
+    issue.warpsCompleted = static_cast<int>(warpsFormed_ - warpsBefore);
+    return issue;
+}
+
+FormedWarp
+SpawnUnit::popWarp()
+{
+    assert(!fifo_.empty());
+    FormedWarp w = fifo_.front();
+    fifo_.pop_front();
+    return w;
+}
+
+bool
+SpawnUnit::hasPartialWarps() const
+{
+    for (const LutLine &line : lut_) {
+        if (line.count > 0)
+            return true;
+    }
+    return false;
+}
+
+int
+SpawnUnit::partialThreadCount() const
+{
+    int n = 0;
+    for (const LutLine &line : lut_)
+        n += line.count;
+    return n;
+}
+
+FormedWarp
+SpawnUnit::flushLowestPcPartial()
+{
+    LutLine *best = nullptr;
+    for (LutLine &line : lut_) {
+        if (line.count > 0 && (!best || line.pc < best->pc))
+            best = &line;
+    }
+    assert(best && "flush called without partial warps");
+
+    FormedWarp w;
+    w.pc = best->pc;
+    w.regionAddr = best->addr1 - best->count * 4;
+    w.threadCount = static_cast<int>(best->count);
+    best->addr1 = best->addr2;
+    best->addr2 = allocRegion();
+    best->count = 0;
+    partialFlushes_++;
+    return w;
+}
+
+} // namespace uksim

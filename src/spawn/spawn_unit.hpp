@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-SM dynamic thread creation hardware (paper Sec. IV, Figs. 4-5).
+ *
+ * The spawn unit owns:
+ *  - the spawn LUT: one line per micro-kernel, holding a thread counter
+ *    and two formation addresses (current warp + overflow warp);
+ *  - the new-warp FIFO of completely formed warps awaiting a free
+ *    hardware warp slot;
+ *  - the ring allocator over the warp-formation half of spawn memory.
+ *
+ * Executing `spawn $uk, rd` classifies every active lane by the target
+ * pc, stores each lane's rd (the parent's state-record pointer) at a
+ * unique, sequential formation address — a real modeled store, so it
+ * costs on-chip bandwidth and (optionally) bank conflicts — and pushes
+ * a warp into the FIFO whenever the counter crosses the warp size.
+ */
+
+#ifndef UKSIM_SPAWN_SPAWN_UNIT_HPP
+#define UKSIM_SPAWN_SPAWN_UNIT_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mem/store.hpp"
+#include "simt/config.hpp"
+#include "simt/program.hpp"
+#include "spawn/spawn_layout.hpp"
+
+namespace uksim {
+
+/** A formed (or force-flushed partial) warp awaiting launch. */
+struct FormedWarp {
+    uint32_t pc = 0;            ///< micro-kernel entry pc
+    uint32_t regionAddr = 0;    ///< formation region base in spawn memory
+    int threadCount = 0;        ///< 1..warpSize (warpSize unless flushed)
+};
+
+/** Result of executing one spawn instruction. */
+struct SpawnIssue {
+    /// Per-lane formation store address (~0 for inactive lanes) —
+    /// used by the timing model for traffic and bank conflicts.
+    std::vector<uint64_t> storeAddrs;
+    int warpsCompleted = 0;
+};
+
+/** Dynamic thread creation unit of one SM. */
+class SpawnUnit
+{
+  public:
+    /**
+     * @param config machine configuration.
+     * @param program program whose micro-kernels define the LUT lines.
+     * @param layout spawn memory layout of this SM.
+     */
+    SpawnUnit(const GpuConfig &config, const Program &program,
+              const SpawnMemoryLayout &layout);
+
+    /**
+     * Execute a spawn instruction for all active lanes.
+     *
+     * @param targetPc micro-kernel entry (must be a declared entry).
+     * @param mask active lanes.
+     * @param dataPtrs per-lane state-record pointers (rd values).
+     * @param spawnStore the SM's spawn memory backing store.
+     */
+    SpawnIssue spawn(uint32_t targetPc, uint64_t mask,
+                     const std::vector<uint32_t> &dataPtrs,
+                     Store &spawnStore);
+
+    bool fifoEmpty() const { return fifo_.empty(); }
+    size_t fifoSize() const { return fifo_.size(); }
+
+    /** Pop the oldest fully formed warp. */
+    FormedWarp popWarp();
+
+    /** True when some LUT line holds a partially formed warp. */
+    bool hasPartialWarps() const;
+
+    /** Total threads parked in partial warps. */
+    int partialThreadCount() const;
+
+    /**
+     * Force the partial warp with the lowest entry pc out of the pool
+     * (Sec. IV-D: only used when nothing else is schedulable).
+     */
+    FormedWarp flushLowestPcPartial();
+
+    // Counters for SimStats.
+    uint64_t threadsSpawned() const { return threadsSpawned_; }
+    uint64_t warpsFormed() const { return warpsFormed_; }
+    uint64_t partialFlushes() const { return partialFlushes_; }
+
+    /**
+     * Release a formation region after the launched warp has captured
+     * its thread pointers, making it reusable by the ring allocator.
+     * (The paper sizes the region 2x to avoid clobbering; we track
+     * liveness explicitly so reuse is provably safe.)
+     */
+    void releaseRegion(uint32_t regionAddr);
+
+    /** LUT line inspection for tests. */
+    struct LutLine {
+        uint32_t pc = 0;
+        uint32_t count = 0;     ///< threads in the forming warp
+        uint32_t addr1 = 0;     ///< current formation address (next free)
+        uint32_t addr2 = 0;     ///< overflow region base
+    };
+    const LutLine &lutLine(int microKernelIndex) const
+    {
+        return lut_[microKernelIndex];
+    }
+
+  private:
+    uint32_t allocRegion();
+
+    const GpuConfig &config_;
+    const Program &program_;
+    const SpawnMemoryLayout &layout_;
+
+    std::vector<LutLine> lut_;
+    std::deque<FormedWarp> fifo_;
+    uint32_t nextRegion_ = 0;       ///< ring cursor (region index)
+    uint32_t numRegions_ = 0;
+    std::vector<bool> regionLive_;
+
+    uint64_t threadsSpawned_ = 0;
+    uint64_t warpsFormed_ = 0;
+    uint64_t partialFlushes_ = 0;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SPAWN_SPAWN_UNIT_HPP

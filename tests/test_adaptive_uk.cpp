@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The paper's future-work variant (Sec. IX): vote.all semantics and
+ * the adaptive micro-kernel that branches locally when the whole warp
+ * stays uniform instead of spawning every iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "kernels/raytrace_kernels.hpp"
+#include "simt/assembler.hpp"
+#include "simt/gpu.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+using namespace uksim::harness;
+
+namespace {
+
+TEST(VoteAll, AssemblesAndDisassembles)
+{
+    Program p = assemble(R"(
+        setp.eq.u32 p0, r1, 0;
+        vote.all p1, p0;
+        exit;
+    )");
+    EXPECT_EQ(p.code[1].op, Opcode::VoteAll);
+    EXPECT_EQ(p.code[1].dst, 1);
+    EXPECT_EQ(p.code[1].src[0].kind, OperandKind::Pred);
+    EXPECT_NE(disassemble(p.code[1]).find("vote.all"),
+              std::string::npos);
+    EXPECT_THROW(assemble("vote.any p0, p1;\nexit;"), AssemblerError);
+}
+
+/** Warp-wide vote: out[tid] = vote.all(tid % div == tid % div). */
+std::vector<uint32_t>
+runVote(uint32_t modulus)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.numSms = 1;
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(R"(
+        main:
+            mov.u32 r1, %tid;
+            rem.u32 r2, r1, )" + std::to_string(modulus) + R"(;
+            setp.eq.u32 p0, r2, 0;
+            vote.all p1, p0;
+            mov.u32 r3, 0;
+            @p1 mov.u32 r3, 1;
+            ld.param.u32 r4, [0];
+            shl.u32 r5, r1, 2;
+            add.u32 r4, r4, r5;
+            st.global.u32 [r4+0], r3;
+            exit;
+    )"));
+    uint32_t out = gpu.mallocGlobal(64 * 4);
+    uint32_t params[1] = {out};
+    gpu.toConst(0, params, 4);
+    gpu.launch(64);
+    gpu.run();
+    std::vector<uint32_t> result(64);
+    gpu.fromGlobal(out, result.data(), 256);
+    return result;
+}
+
+TEST(VoteAll, UnanimousWarpVotesTrue)
+{
+    // modulus 1: every lane's predicate holds -> vote true everywhere.
+    auto r = runVote(1);
+    for (uint32_t i = 0; i < 64; i++)
+        EXPECT_EQ(r[i], 1u);
+}
+
+TEST(VoteAll, SplitWarpVotesFalseForAllLanes)
+{
+    // modulus 2: half the lanes fail -> vote false, including for the
+    // lanes whose own predicate held.
+    auto r = runVote(2);
+    for (uint32_t i = 0; i < 64; i++)
+        EXPECT_EQ(r[i], 0u);
+}
+
+TEST(AdaptiveUk, ProgramBuildsWithVotes)
+{
+    Program p = kernels::buildMicroKernelAdaptive();
+    int votes = 0;
+    for (const auto &inst : p.code)
+        votes += inst.op == Opcode::VoteAll ? 1 : 0;
+    EXPECT_EQ(votes, 2);    // one in uk_trav, one in uk_isect
+    EXPECT_EQ(p.microKernels.size(), 3u);
+    // Same register budget as the naive version.
+    EXPECT_LE(p.measuredRegisterCount(), 24);
+}
+
+class AdaptiveRender : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AdaptiveRender, MatchesCpuReference)
+{
+    ExperimentConfig cfg;
+    cfg.sceneName = GetParam();
+    cfg.kernel = KernelKind::MicroKernelAdaptive;
+    cfg.sceneParams.detail = 1;
+    cfg.sceneParams.imageWidth = 48;
+    cfg.sceneParams.imageHeight = 48;
+    cfg.baseConfig = test::smallConfig();
+    cfg.maxCycles = cfg.baseConfig.maxCycles;
+
+    PreparedScene prepared = prepareScene(cfg.sceneName, cfg.sceneParams);
+    rt::RenderResult ref =
+        rt::renderReference(prepared.tree, prepared.scene.camera);
+
+    ExperimentResult r = runExperiment(prepared, cfg);
+    ASSERT_TRUE(r.ranToCompletion);
+    for (size_t i = 0; i < r.hits.size(); i++) {
+        ASSERT_EQ(r.hits[i].triId, ref.hits[i].triId) << "pixel " << i;
+        if (ref.hits[i].valid())
+            ASSERT_EQ(r.hits[i].t, ref.hits[i].t) << "pixel " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenes, AdaptiveRender,
+                         ::testing::Values("conference", "fairyforest"),
+                         [](const auto &info) { return info.param; });
+
+TEST(AdaptiveUk, SpawnsFewerThreadsThanNaive)
+{
+    ExperimentConfig cfg;
+    cfg.sceneName = "conference";
+    cfg.sceneParams.detail = 2;
+    cfg.sceneParams.imageWidth = 64;
+    cfg.sceneParams.imageHeight = 64;
+    cfg.baseConfig = test::smallConfig();
+    cfg.maxCycles = cfg.baseConfig.maxCycles;
+
+    PreparedScene prepared = prepareScene(cfg.sceneName, cfg.sceneParams);
+    cfg.kernel = KernelKind::MicroKernel;
+    ExperimentResult naive = runExperiment(prepared, cfg);
+    cfg.kernel = KernelKind::MicroKernelAdaptive;
+    ExperimentResult adaptive = runExperiment(prepared, cfg);
+
+    ASSERT_TRUE(naive.ranToCompletion);
+    ASSERT_TRUE(adaptive.ranToCompletion);
+    // The whole point: uniform warps loop instead of re-spawning.
+    EXPECT_LT(adaptive.stats.dynamicThreadsSpawned,
+              naive.stats.dynamicThreadsSpawned);
+    // And both render the same image.
+    ASSERT_EQ(naive.hits.size(), adaptive.hits.size());
+    for (size_t i = 0; i < naive.hits.size(); i++)
+        ASSERT_EQ(naive.hits[i].triId, adaptive.hits[i].triId);
+}
+
+} // namespace

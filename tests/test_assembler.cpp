@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Assembler unit tests: syntax acceptance, encoding, diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simt/assembler.hpp"
+
+using namespace uksim;
+
+namespace {
+
+TEST(Assembler, MinimalProgram)
+{
+    Program p = assemble("main:\n  exit;\n");
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.code[0].op, Opcode::Exit);
+    EXPECT_EQ(p.entryPc, 0u);
+    EXPECT_EQ(p.labels.at("main"), 0u);
+}
+
+TEST(Assembler, AluEncoding)
+{
+    Program p = assemble(R"(
+        add.u32 r1, r2, r3;
+        sub.s32 r4, r5, -7;
+        mul.f32 r6, r7, 2.5;
+        mad.f32 r8, r9, r10, r11;
+        exit;
+    )");
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.code[0].op, Opcode::Add);
+    EXPECT_EQ(p.code[0].type, DataType::U32);
+    EXPECT_EQ(p.code[0].dst, 1);
+    EXPECT_EQ(p.code[0].src[0].reg, 2);
+    EXPECT_EQ(p.code[1].src[1].kind, OperandKind::Imm);
+    EXPECT_EQ(int32_t(p.code[1].src[1].imm), -7);
+    EXPECT_FLOAT_EQ(bitsToFloat(p.code[2].src[1].imm), 2.5f);
+    EXPECT_EQ(p.code[3].src[2].reg, 11);
+}
+
+TEST(Assembler, UnaryAndConvert)
+{
+    Program p = assemble(R"(
+        rcp.f32 r1, r2;
+        sqrt.f32 r3, r4;
+        neg.s32 r5, r6;
+        cvt.f32.u32 r7, r8;
+        cvt.s32.f32 r9, r10;
+        exit;
+    )");
+    EXPECT_EQ(p.code[0].op, Opcode::Rcp);
+    EXPECT_EQ(p.code[3].op, Opcode::Cvt);
+    EXPECT_EQ(p.code[3].type, DataType::F32);
+    EXPECT_EQ(p.code[3].srcType, DataType::U32);
+    EXPECT_EQ(p.code[4].type, DataType::S32);
+    EXPECT_EQ(p.code[4].srcType, DataType::F32);
+}
+
+TEST(Assembler, PredicatesAndGuards)
+{
+    Program p = assemble(R"(
+        setp.lt.f32 p0, r1, r2;
+        selp.u32 r3, r4, r5, p0;
+        @p0 add.u32 r1, r1, 1;
+        @!p1 exit;
+        exit;
+    )");
+    EXPECT_EQ(p.code[0].op, Opcode::SetP);
+    EXPECT_EQ(p.code[0].cmp, CmpOp::Lt);
+    EXPECT_EQ(p.code[0].dst, 0);
+    EXPECT_EQ(p.code[1].src[2].kind, OperandKind::Pred);
+    EXPECT_EQ(p.code[2].guardPred, 0);
+    EXPECT_FALSE(p.code[2].guardNegated);
+    EXPECT_EQ(p.code[3].guardPred, 1);
+    EXPECT_TRUE(p.code[3].guardNegated);
+}
+
+TEST(Assembler, MemoryForms)
+{
+    Program p = assemble(R"(
+        ld.global.u32 r1, [r2+4];
+        st.shared.f32 [r3-8], r4;
+        ld.param.u32 r5, [16];
+        ld.spawn.v4.f32 r8, [r6+0];
+        st.global.v2.u32 [r7], r10;
+        ld.const.f32 r11, [r12+64];
+        ld.local.u32 r13, [r14];
+        exit;
+    )");
+    EXPECT_EQ(p.code[0].space, MemSpace::Global);
+    EXPECT_EQ(p.code[0].memOffset, 4);
+    EXPECT_EQ(p.code[1].memOffset, -8);
+    EXPECT_EQ(p.code[2].src[0].kind, OperandKind::Imm);
+    EXPECT_EQ(p.code[2].src[0].imm, 16u);
+    EXPECT_EQ(p.code[3].vecWidth, 4);
+    EXPECT_EQ(p.code[3].dst, 8);
+    EXPECT_EQ(p.code[4].vecWidth, 2);
+    EXPECT_EQ(p.code[5].space, MemSpace::Const);
+    EXPECT_EQ(p.code[6].space, MemSpace::Local);
+}
+
+TEST(Assembler, SpecialRegisters)
+{
+    Program p = assemble(R"(
+        mov.u32 r1, %tid;
+        mov.u32 r2, %slot;
+        mov.u32 r3, %spawnaddr;
+        mov.u32 r4, %laneid;
+        ld.param.f32 r5, [r6+64];
+        exit;
+    )");
+    EXPECT_EQ(p.code[0].src[0].sreg, SpecialReg::Tid);
+    EXPECT_EQ(p.code[1].src[0].sreg, SpecialReg::Slot);
+    EXPECT_EQ(p.code[2].src[0].sreg, SpecialReg::SpawnMemAddr);
+    EXPECT_EQ(p.code[3].src[0].sreg, SpecialReg::LaneId);
+}
+
+TEST(Assembler, BranchesResolveLabels)
+{
+    Program p = assemble(R"(
+        main:
+            mov.u32 r1, 0;
+        loop:
+            add.u32 r1, r1, 1;
+            setp.lt.u32 p0, r1, 10;
+            @p0 bra loop;
+            exit;
+    )");
+    EXPECT_EQ(p.code[3].op, Opcode::Bra);
+    EXPECT_EQ(p.code[3].target, p.labels.at("loop"));
+}
+
+TEST(Assembler, SpawnRequiresMicroKernelDeclaration)
+{
+    EXPECT_THROW(assemble(R"(
+        main:
+            spawn helper, r1;
+            exit;
+        helper:
+            exit;
+    )"),
+                 AssemblerError);
+
+    Program p = assemble(R"(
+        .microkernel helper
+        main:
+            spawn helper, r1;
+            exit;
+        helper:
+            exit;
+    )");
+    ASSERT_EQ(p.microKernels.size(), 1u);
+    EXPECT_EQ(p.microKernels[0].name, "helper");
+    EXPECT_EQ(p.code[0].target, p.microKernels[0].pc);
+    EXPECT_EQ(p.microKernelIndex(p.microKernels[0].pc), 0);
+}
+
+TEST(Assembler, Directives)
+{
+    Program p = assemble(R"(
+        .entry start
+        .reg 16
+        .shared_per_thread 48
+        .local_per_thread 128
+        .global_per_thread 392
+        .const 112
+        .spawn_state 48
+        pad:
+            nop;
+        start:
+            exit;
+    )");
+    EXPECT_EQ(p.entryPc, 1u);
+    EXPECT_EQ(p.resources.registers, 16);
+    EXPECT_EQ(p.resources.sharedBytes, 48u);
+    EXPECT_EQ(p.resources.localBytes, 128u);
+    EXPECT_EQ(p.resources.globalBytes, 392u);
+    EXPECT_EQ(p.resources.constBytes, 112u);
+    EXPECT_EQ(p.resources.spawnStateBytes, 48u);
+}
+
+TEST(Assembler, MeasuredRegisterCount)
+{
+    Program p = assemble(R"(
+        mov.u32 r5, 1;
+        ld.global.v4.f32 r8, [r5];
+        exit;
+    )");
+    EXPECT_EQ(p.measuredRegisterCount(), 12);    // v4 writes r8..r11
+    EXPECT_EQ(p.resources.registers, 12);        // auto from measurement
+}
+
+TEST(Assembler, RegisterBoundEnforced)
+{
+    EXPECT_THROW(assemble(".reg 4\n mov.u32 r7, 1;\n exit;\n"),
+                 AssemblerError);
+}
+
+struct BadSource {
+    const char *src;
+    const char *what;
+};
+
+class AssemblerErrors : public ::testing::TestWithParam<BadSource>
+{
+};
+
+TEST_P(AssemblerErrors, Rejects)
+{
+    EXPECT_THROW(assemble(GetParam().src), AssemblerError)
+        << GetParam().what;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerErrors,
+    ::testing::Values(
+        BadSource{"", "empty program"},
+        BadSource{"bogus.u32 r1, r2, r3;\nexit;", "unknown opcode"},
+        BadSource{"add.u64 r1, r2, r3;\nexit;", "unknown type"},
+        BadSource{"add.u32 r1, r2;\nexit;", "operand count"},
+        BadSource{"mov.u32 r99, 1;\nexit;", "register out of range"},
+        BadSource{"setp.xx.u32 p0, r1, r2;\nexit;", "bad cmp"},
+        BadSource{"bra nowhere;\nexit;", "undefined label"},
+        BadSource{"ld.bogus.u32 r1, [r2];\nexit;", "bad space"},
+        BadSource{"st.const.u32 [r1], r2;\nexit;", "read-only store"},
+        BadSource{"ld.global.v3.u32 r1, [r2];\nexit;", "bad width"},
+        BadSource{"a:\na:\nexit;", "duplicate label"},
+        BadSource{".entry nowhere\nexit;", "undefined entry"},
+        BadSource{".microkernel nowhere\nexit;", "undefined microkernel"},
+        BadSource{"@p9 exit;", "predicate out of range"},
+        BadSource{"exit r1;", "exit takes no operands"}));
+
+TEST(Assembler, ErrorCarriesLineNumber)
+{
+    try {
+        assemble("nop;\nnop;\nbogus;\n");
+        FAIL() << "expected AssemblerError";
+    } catch (const AssemblerError &e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(Assembler, CommentsAndSemicolons)
+{
+    Program p = assemble(R"(
+        // full line comment
+        nop; nop;   # trailing comment
+        nop;        // another
+        exit;
+    )");
+    EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(Assembler, DisassembleRoundTripMnemonics)
+{
+    Program p = assemble(R"(
+        .microkernel mk
+        main:
+            setp.ge.u32 p0, r1, 4;
+            @p0 bra done;
+            ld.global.v4.f32 r8, [r2+16];
+            spawn mk, r2;
+        done:
+            exit;
+        mk:
+            exit;
+    )");
+    EXPECT_NE(disassemble(p.code[0]).find("setp.ge.u32"),
+              std::string::npos);
+    EXPECT_NE(disassemble(p.code[1]).find("@p0 bra"), std::string::npos);
+    EXPECT_NE(disassemble(p.code[2]).find("ld.global.v4.f32"),
+              std::string::npos);
+    EXPECT_NE(disassemble(p.code[3]).find("spawn"), std::string::npos);
+    EXPECT_FALSE(p.listing().empty());
+}
+
+} // namespace

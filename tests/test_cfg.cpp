@@ -1,0 +1,211 @@
+/**
+ * @file
+ * CFG and post-dominator analysis tests: the reconvergence points PDOM
+ * branching depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simt/assembler.hpp"
+#include "simt/cfg.hpp"
+
+using namespace uksim;
+
+namespace {
+
+TEST(Cfg, IfElseReconvergesAtJoin)
+{
+    // if (p0) {A} else {B}; C
+    Program p = assemble(R"(
+        setp.eq.u32 p0, r1, 0;
+        @p0 bra then;
+        mov.u32 r2, 1;       // else
+        bra join;
+        then:
+        mov.u32 r2, 2;
+        join:
+        mov.u32 r3, r2;
+        exit;
+    )");
+    const uint32_t branchPc = 1;
+    EXPECT_EQ(p.code[branchPc].op, Opcode::Bra);
+    EXPECT_EQ(p.code[branchPc].reconvergePc, p.labels.at("join"));
+}
+
+TEST(Cfg, LoopBackEdgeReconvergesAfterLoop)
+{
+    Program p = assemble(R"(
+        mov.u32 r1, 0;
+        loop:
+        add.u32 r1, r1, 1;
+        setp.lt.u32 p0, r1, 10;
+        @p0 bra loop;
+        after:
+        exit;
+    )");
+    const uint32_t branchPc = 3;
+    EXPECT_EQ(p.code[branchPc].reconvergePc, p.labels.at("after"));
+}
+
+TEST(Cfg, NestedIfReconvergence)
+{
+    Program p = assemble(R"(
+        setp.eq.u32 p0, r1, 0;
+        @p0 bra outer_then;
+        mov.u32 r2, 1;
+        bra outer_join;
+        outer_then:
+        setp.eq.u32 p1, r3, 0;
+        @p1 bra inner_then;
+        mov.u32 r2, 2;
+        bra inner_join;
+        inner_then:
+        mov.u32 r2, 3;
+        inner_join:
+        mov.u32 r4, r2;
+        outer_join:
+        exit;
+    )");
+    EXPECT_EQ(p.code[1].reconvergePc, p.labels.at("outer_join"));
+    EXPECT_EQ(p.code[5].reconvergePc, p.labels.at("inner_join"));
+}
+
+TEST(Cfg, DivergentExitReconvergesOnlyAtProgramEnd)
+{
+    // Lanes that branch away exit; no common post-dominator block.
+    Program p = assemble(R"(
+        setp.eq.u32 p0, r1, 0;
+        @p0 bra die;
+        mov.u32 r2, 1;
+        exit;
+        die:
+        exit;
+    )");
+    // Reconvergence pc is the exit sentinel (== code size).
+    EXPECT_EQ(p.code[1].reconvergePc, p.size());
+}
+
+TEST(Cfg, BasicBlockPartition)
+{
+    Program p = assemble(R"(
+        mov.u32 r1, 0;
+        loop:
+        add.u32 r1, r1, 1;
+        setp.lt.u32 p0, r1, 4;
+        @p0 bra loop;
+        exit;
+    )");
+    Cfg cfg(p);
+    // Blocks: [0,0][1,3][4,4]
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    EXPECT_EQ(cfg.blocks()[0].first, 0u);
+    EXPECT_EQ(cfg.blocks()[0].last, 0u);
+    EXPECT_EQ(cfg.blocks()[1].first, 1u);
+    EXPECT_EQ(cfg.blocks()[1].last, 3u);
+    EXPECT_EQ(cfg.blockOf(2), 1);
+    // Loop block has two successors: itself and the exit block.
+    auto succ = cfg.blocks()[1].successors;
+    EXPECT_EQ(succ.size(), 2u);
+}
+
+TEST(Cfg, PostDominanceProperties)
+{
+    Program p = assemble(R"(
+        setp.eq.u32 p0, r1, 0;
+        @p0 bra a;
+        mov.u32 r2, 1;
+        bra join;
+        a:
+        mov.u32 r2, 2;
+        join:
+        exit;
+    )");
+    Cfg cfg(p);
+    const int entry = cfg.blockOf(0);
+    const int thenB = cfg.blockOf(p.labels.at("a"));
+    const int elseB = cfg.blockOf(2);
+    const int join = cfg.blockOf(p.labels.at("join"));
+    EXPECT_TRUE(cfg.postDominates(join, entry));
+    EXPECT_TRUE(cfg.postDominates(join, thenB));
+    EXPECT_TRUE(cfg.postDominates(join, elseB));
+    EXPECT_FALSE(cfg.postDominates(thenB, entry));
+    EXPECT_FALSE(cfg.postDominates(elseB, thenB));
+    // Every block post-dominates itself.
+    for (size_t b = 0; b < cfg.blocks().size(); b++)
+        EXPECT_TRUE(cfg.postDominates(int(b), int(b)));
+    EXPECT_EQ(cfg.immediatePostDominator(entry), join);
+}
+
+TEST(Cfg, PredicatedExitFallsThrough)
+{
+    Program p = assemble(R"(
+        setp.eq.u32 p0, r1, 0;
+        @p0 exit;
+        mov.u32 r2, 1;
+        exit;
+    )");
+    Cfg cfg(p);
+    // The block containing the predicated exit must have a fall-through
+    // successor in addition to the virtual exit edge.
+    int b = cfg.blockOf(1);
+    bool hasFall = false;
+    for (int s : cfg.blocks()[b].successors) {
+        if (s != Cfg::kVirtualExit &&
+            cfg.blocks()[s].first == 2u) {
+            hasFall = true;
+        }
+    }
+    EXPECT_TRUE(hasFall);
+}
+
+TEST(Cfg, MicroKernelEntriesAreLeaders)
+{
+    Program p = assemble(R"(
+        .entry main
+        .microkernel mk
+        main:
+            nop;
+            spawn mk, r1;
+            exit;
+        mk:
+            nop;
+            exit;
+    )");
+    Cfg cfg(p);
+    // mk's entry must start its own basic block.
+    int mkBlock = cfg.blockOf(p.labels.at("mk"));
+    EXPECT_EQ(cfg.blocks()[mkBlock].first, p.labels.at("mk"));
+}
+
+TEST(Cfg, RealKernelsHaveConsistentReconvergence)
+{
+    // Smoke: every branch in both shipped kernels gets a reconvergence
+    // pc that is either the exit sentinel or a valid pc that
+    // post-dominates the branch block.
+    auto checkProgram = [](Program p) {
+        Cfg cfg(p);
+        for (uint32_t pc = 0; pc < p.size(); pc++) {
+            if (p.code[pc].op != Opcode::Bra)
+                continue;
+            uint32_t rpc = p.code[pc].reconvergePc;
+            if (rpc == p.size())
+                continue;
+            ASSERT_LT(rpc, p.size());
+            EXPECT_TRUE(cfg.postDominates(cfg.blockOf(rpc),
+                                          cfg.blockOf(pc)))
+                << "branch at pc " << pc;
+        }
+    };
+    checkProgram(assemble(R"(
+        main:
+        loop:
+        setp.lt.u32 p0, r1, 4;
+        @p0 bra body;
+        exit;
+        body:
+        add.u32 r1, r1, 1;
+        bra loop;
+    )"));
+}
+
+} // namespace

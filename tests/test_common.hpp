@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef UKSIM_TESTS_TEST_COMMON_HPP
+#define UKSIM_TESTS_TEST_COMMON_HPP
+
+#include "simt/config.hpp"
+
+namespace uksim::test {
+
+/** Small, fast machine for unit tests (same warp/partition structure). */
+inline GpuConfig
+smallConfig()
+{
+    GpuConfig c;
+    c.numSms = 4;
+    c.maxCycles = 200'000'000;   // tests run to completion
+    c.statsWindowCycles = 1000;
+    return c;
+}
+
+} // namespace uksim::test
+
+#endif // UKSIM_TESTS_TEST_COMMON_HPP

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Functional ALU semantics, swept across operations with TEST_P.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "simt/executor.hpp"
+
+using namespace uksim;
+
+namespace {
+
+Instruction
+make(Opcode op, DataType t)
+{
+    Instruction i;
+    i.op = op;
+    i.type = t;
+    return i;
+}
+
+struct AluCase {
+    const char *name;
+    Opcode op;
+    DataType type;
+    uint32_t a, b, c;
+    uint32_t expect;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(AluSemantics, Evaluates)
+{
+    const AluCase &tc = GetParam();
+    Instruction inst = make(tc.op, tc.type);
+    EXPECT_EQ(evalAlu(inst, tc.a, tc.b, tc.c), tc.expect) << tc.name;
+}
+
+constexpr uint32_t
+u(int32_t v)
+{
+    return static_cast<uint32_t>(v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Integer, AluSemantics,
+    ::testing::Values(
+        AluCase{"add", Opcode::Add, DataType::U32, 7, 9, 0, 16},
+        AluCase{"add_wrap", Opcode::Add, DataType::U32, 0xffffffff, 2, 0,
+                1},
+        AluCase{"sub", Opcode::Sub, DataType::U32, 9, 7, 0, 2},
+        AluCase{"sub_wrap", Opcode::Sub, DataType::U32, 3, 5, 0,
+                u(-2)},
+        AluCase{"mul", Opcode::Mul, DataType::U32, 6, 7, 0, 42},
+        AluCase{"mulhi", Opcode::MulHi, DataType::U32, 0x80000000, 4, 0,
+                2},
+        AluCase{"div", Opcode::Div, DataType::U32, 42, 5, 0, 8},
+        AluCase{"div_s", Opcode::Div, DataType::S32, u(-42), 5, 0,
+                u(-8)},
+        AluCase{"div_by_zero", Opcode::Div, DataType::U32, 42, 0, 0, 0},
+        AluCase{"rem", Opcode::Rem, DataType::U32, 42, 5, 0, 2},
+        AluCase{"min_s", Opcode::Min, DataType::S32, u(-3), 2, 0, u(-3)},
+        AluCase{"min_u", Opcode::Min, DataType::U32, u(-3), 2, 0, 2},
+        AluCase{"max_s", Opcode::Max, DataType::S32, u(-3), 2, 0, 2},
+        AluCase{"abs_s", Opcode::Abs, DataType::S32, u(-5), 0, 0, 5},
+        AluCase{"neg_s", Opcode::Neg, DataType::S32, 5, 0, 0, u(-5)},
+        AluCase{"and", Opcode::And, DataType::U32, 0xff00ff00, 0x0ff00ff0,
+                0, 0x0f000f00},
+        AluCase{"or", Opcode::Or, DataType::U32, 0xf0, 0x0f, 0, 0xff},
+        AluCase{"xor", Opcode::Xor, DataType::U32, 0xff, 0x0f, 0, 0xf0},
+        AluCase{"not", Opcode::Not, DataType::U32, 0, 0, 0, 0xffffffff},
+        AluCase{"shl", Opcode::Shl, DataType::U32, 1, 5, 0, 32},
+        AluCase{"shr_u", Opcode::Shr, DataType::U32, 0x80000000, 4, 0,
+                0x08000000},
+        AluCase{"shr_s", Opcode::Shr, DataType::S32, u(-16), 2, 0,
+                u(-4)},
+        AluCase{"mad", Opcode::Mad, DataType::U32, 3, 4, 5, 17},
+        AluCase{"mov", Opcode::Mov, DataType::U32, 123, 0, 0, 123}),
+    [](const auto &info) { return info.param.name; });
+
+TEST(AluFloat, Arithmetic)
+{
+    auto f = [](float x) { return floatBits(x); };
+    EXPECT_EQ(evalAlu(make(Opcode::Add, DataType::F32), f(1.5f), f(2.25f),
+                      0),
+              f(3.75f));
+    EXPECT_EQ(evalAlu(make(Opcode::Sub, DataType::F32), f(1.0f), f(0.5f),
+                      0),
+              f(0.5f));
+    EXPECT_EQ(evalAlu(make(Opcode::Mul, DataType::F32), f(3.0f), f(0.5f),
+                      0),
+              f(1.5f));
+    EXPECT_EQ(evalAlu(make(Opcode::Div, DataType::F32), f(1.0f), f(4.0f),
+                      0),
+              f(0.25f));
+    EXPECT_EQ(evalAlu(make(Opcode::Mad, DataType::F32), f(2.0f), f(3.0f),
+                      f(1.0f)),
+              f(7.0f));
+    EXPECT_EQ(evalAlu(make(Opcode::Sqrt, DataType::F32), f(9.0f), 0, 0),
+              f(3.0f));
+    EXPECT_EQ(evalAlu(make(Opcode::Rcp, DataType::F32), f(4.0f), 0, 0),
+              f(0.25f));
+    EXPECT_EQ(evalAlu(make(Opcode::Floor, DataType::F32), f(2.75f), 0, 0),
+              f(2.0f));
+    EXPECT_EQ(evalAlu(make(Opcode::Abs, DataType::F32), f(-2.0f), 0, 0),
+              f(2.0f));
+    EXPECT_EQ(evalAlu(make(Opcode::Neg, DataType::F32), f(2.0f), 0, 0),
+              f(-2.0f));
+    EXPECT_EQ(evalAlu(make(Opcode::Min, DataType::F32), f(-1.0f), f(2.0f),
+                      0),
+              f(-1.0f));
+    EXPECT_EQ(evalAlu(make(Opcode::Max, DataType::F32), f(-1.0f), f(2.0f),
+                      0),
+              f(2.0f));
+}
+
+TEST(AluFloat, DivisionByZeroGivesInf)
+{
+    uint32_t r = evalAlu(make(Opcode::Div, DataType::F32),
+                         floatBits(1.0f), floatBits(0.0f), 0);
+    EXPECT_TRUE(std::isinf(bitsToFloat(r)));
+}
+
+TEST(AluConvert, Conversions)
+{
+    Instruction i2f = make(Opcode::Cvt, DataType::F32);
+    i2f.srcType = DataType::U32;
+    EXPECT_EQ(evalAlu(i2f, 42, 0, 0), floatBits(42.0f));
+
+    Instruction s2f = make(Opcode::Cvt, DataType::F32);
+    s2f.srcType = DataType::S32;
+    EXPECT_EQ(evalAlu(s2f, u(-3), 0, 0), floatBits(-3.0f));
+
+    Instruction f2s = make(Opcode::Cvt, DataType::S32);
+    f2s.srcType = DataType::F32;
+    EXPECT_EQ(evalAlu(f2s, floatBits(-2.7f), 0, 0), u(-2));
+
+    Instruction f2u = make(Opcode::Cvt, DataType::U32);
+    f2u.srcType = DataType::F32;
+    EXPECT_EQ(evalAlu(f2u, floatBits(3.9f), 0, 0), 3u);
+    EXPECT_EQ(evalAlu(f2u, floatBits(-1.0f), 0, 0), 0u);
+}
+
+struct CmpCase {
+    const char *name;
+    CmpOp cmp;
+    DataType type;
+    uint32_t a, b;
+    bool expect;
+};
+
+class CmpSemantics : public ::testing::TestWithParam<CmpCase>
+{
+};
+
+TEST_P(CmpSemantics, Evaluates)
+{
+    const CmpCase &tc = GetParam();
+    EXPECT_EQ(evalCmp(tc.cmp, tc.type, tc.a, tc.b), tc.expect) << tc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CmpSemantics,
+    ::testing::Values(
+        CmpCase{"eq_u", CmpOp::Eq, DataType::U32, 5, 5, true},
+        CmpCase{"ne_u", CmpOp::Ne, DataType::U32, 5, 5, false},
+        CmpCase{"lt_u_wrap", CmpOp::Lt, DataType::U32, u(-1), 1, false},
+        CmpCase{"lt_s", CmpOp::Lt, DataType::S32, u(-1), 1, true},
+        CmpCase{"le_u", CmpOp::Le, DataType::U32, 4, 4, true},
+        CmpCase{"gt_s", CmpOp::Gt, DataType::S32, 1, u(-1), true},
+        CmpCase{"ge_u", CmpOp::Ge, DataType::U32, 3, 4, false},
+        CmpCase{"lt_f", CmpOp::Lt, DataType::F32, floatBits(1.0f),
+                floatBits(2.0f), true},
+        CmpCase{"le_f_nan", CmpOp::Le, DataType::F32,
+                floatBits(std::numeric_limits<float>::quiet_NaN()),
+                floatBits(1.0f), false},
+        CmpCase{"ge_f_nan", CmpOp::Ge, DataType::F32,
+                floatBits(std::numeric_limits<float>::quiet_NaN()),
+                floatBits(1.0f), false},
+        CmpCase{"eq_f_negzero", CmpOp::Eq, DataType::F32,
+                floatBits(-0.0f), floatBits(0.0f), true}),
+    [](const auto &info) { return info.param.name; });
+
+} // namespace

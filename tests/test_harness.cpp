@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Harness plumbing: experiment labels, config description, table
+ * formatting, kernel resource analysis (Table II inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "kernels/kernel_resources.hpp"
+#include "kernels/raytrace_kernels.hpp"
+#include "kernels/scene_upload.hpp"
+
+using namespace uksim;
+using namespace uksim::harness;
+
+namespace {
+
+TEST(Harness, ExperimentLabels)
+{
+    ExperimentConfig c;
+    c.kernel = KernelKind::Traditional;
+    c.scheduling = SchedulingMode::Block;
+    EXPECT_EQ(c.label(), "PDOM Block");
+    c.scheduling = SchedulingMode::Thread;
+    EXPECT_EQ(c.label(), "PDOM Warp");
+    c.kernel = KernelKind::MicroKernel;
+    EXPECT_EQ(c.label(), "u-kernel Warp");
+    c.spawnBankConflicts = true;
+    c.idealMemory = true;
+    EXPECT_EQ(c.label(), "u-kernel Warp +bankconflicts idealmem");
+}
+
+TEST(Harness, ConfigDescriptionMentionsTableOne)
+{
+    GpuConfig c;
+    std::string d = describeConfig(c);
+    EXPECT_NE(d.find("30 SMs"), std::string::npos);
+    EXPECT_NE(d.find("warp 32"), std::string::npos);
+    EXPECT_NE(d.find("8 memory modules"), std::string::npos);
+}
+
+TEST(Harness, TextTableAlignment)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"short", "1"});
+    t.row({"much-longer-name", "23456"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("much-longer-name"), std::string::npos);
+    // All rows share the same width: find column positions.
+    size_t firstNl = s.find('\n');
+    EXPECT_NE(firstNl, std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Harness, FmtHelper)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(KernelResources, TraditionalKernel)
+{
+    Program p = kernels::buildTraditional();
+    auto r = kernels::analyzeProgram(p, "traditional");
+    // Table II ballpark: ~22 registers, tens-of-bytes shared, 128 B
+    // const, ~388 B global, no spawn state.
+    EXPECT_GE(r.registers, 16);
+    EXPECT_LE(r.registers, 26);
+    EXPECT_EQ(r.sharedBytes, 36u);
+    EXPECT_EQ(p.resources.localBytes, 384u);
+    EXPECT_EQ(r.globalBytes, 8u);
+    EXPECT_EQ(r.constBytes, 128u);
+    EXPECT_EQ(r.spawnStateBytes, 0u);
+    EXPECT_EQ(r.microKernels, 0);
+    EXPECT_GT(r.instructions, 80);
+}
+
+TEST(KernelResources, MicroKernelProgram)
+{
+    Program p = kernels::buildMicroKernel();
+    auto r = kernels::analyzeProgram(p, "u-kernel");
+    EXPECT_EQ(r.spawnStateBytes, 48u);
+    EXPECT_EQ(r.microKernels, 3);
+    EXPECT_GE(r.registers, 20);
+    EXPECT_LE(r.registers, 28);
+    EXPECT_EQ(r.globalBytes, 392u);
+    // The three 4-wide vector state accesses exist in the stream.
+    int v4Spawn = 0;
+    for (const auto &inst : p.code) {
+        if (inst.isMemory() && inst.space == MemSpace::Spawn &&
+            inst.vecWidth == 4) {
+            v4Spawn++;
+        }
+    }
+    EXPECT_GE(v4Spawn, 6);   // 3 loads + 3 stores at minimum
+}
+
+TEST(KernelResources, MicroKernelEntriesAreDistinct)
+{
+    Program p = kernels::buildMicroKernel();
+    ASSERT_EQ(p.microKernels.size(), 3u);
+    EXPECT_EQ(p.microKernels[0].name, "uk_trav");
+    EXPECT_EQ(p.microKernels[1].name, "uk_isect");
+    EXPECT_EQ(p.microKernels[2].name, "uk_pop");
+    EXPECT_NE(p.microKernels[0].pc, p.microKernels[1].pc);
+    EXPECT_EQ(p.entryName, "uk_gen");
+}
+
+TEST(Harness, EnvOverrides)
+{
+    ExperimentConfig cfg;
+    setenv("UKSIM_CYCLES", "12345", 1);
+    setenv("UKSIM_DETAIL", "3", 1);
+    setenv("UKSIM_RES", "96", 1);
+    setenv("UKSIM_SMS", "6", 1);
+    applyEnvOverrides(cfg);
+    unsetenv("UKSIM_CYCLES");
+    unsetenv("UKSIM_DETAIL");
+    unsetenv("UKSIM_RES");
+    unsetenv("UKSIM_SMS");
+    EXPECT_EQ(cfg.maxCycles, 12345u);
+    EXPECT_EQ(cfg.sceneParams.detail, 3);
+    EXPECT_EQ(cfg.sceneParams.imageWidth, 96);
+    EXPECT_EQ(cfg.baseConfig.numSms, 6);
+}
+
+TEST(SceneUpload, NodeEncodingRoundTrip)
+{
+    rt::KdNode internal;
+    internal.leaf = false;
+    internal.axis = 2;
+    internal.split = 1.5f;
+    internal.left = 77;
+    uint32_t w0, w1;
+    kernels::encodeNode(internal, w0, w1);
+    EXPECT_EQ(w0 & 3u, 2u);
+    EXPECT_EQ(w0 >> 2, 77u);
+    EXPECT_EQ(w1, floatBits(1.5f));
+
+    rt::KdNode leaf;
+    leaf.leaf = true;
+    leaf.firstPrim = 123;
+    leaf.primCount = 9;
+    kernels::encodeNode(leaf, w0, w1);
+    EXPECT_EQ(w0 & 3u, 3u);
+    EXPECT_EQ(w0 >> 2, 123u);
+    EXPECT_EQ(w1, 9u);
+}
+
+TEST(SceneUpload, TrianglePackingLayout)
+{
+    rt::Triangle t{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+    rt::WaldTriangle w;
+    ASSERT_TRUE(w.precompute(t));
+    uint32_t words[12];
+    kernels::packTriangle(w, words);
+    EXPECT_EQ(words[0], floatBits(w.nU));
+    EXPECT_EQ(words[3], w.k * 4);
+    EXPECT_EQ(words[4], floatBits(w.bNu));
+    EXPECT_EQ(words[9], floatBits(w.cD));
+    // ku/kv byte offsets are consistent with the modulo-3 rule.
+    uint32_t k = w.k;
+    EXPECT_EQ(words[10], ((k + 1) % 3) * 4);
+    EXPECT_EQ(words[11], ((k + 2) % 3) * 4);
+}
+
+} // namespace

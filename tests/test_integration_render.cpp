@@ -1,0 +1,149 @@
+/**
+ * @file
+ * End-to-end correctness: the simulated traditional kernel and the
+ * simulated dynamic micro-kernel version must both produce exactly the
+ * per-pixel hits of the host reference tracer (the kernels implement
+ * bit-identical arithmetic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "rt/cpu_tracer.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+using namespace uksim::harness;
+
+namespace {
+
+struct RenderCase {
+    std::string scene;
+    int res;
+    int detail;
+};
+
+class RenderIntegration : public ::testing::TestWithParam<RenderCase>
+{
+  protected:
+    static ExperimentConfig
+    baseExperiment(const RenderCase &rc)
+    {
+        ExperimentConfig cfg;
+        cfg.sceneName = rc.scene;
+        cfg.sceneParams.detail = rc.detail;
+        cfg.sceneParams.imageWidth = rc.res;
+        cfg.sceneParams.imageHeight = rc.res;
+        cfg.baseConfig = test::smallConfig();
+        cfg.maxCycles = cfg.baseConfig.maxCycles;
+        return cfg;
+    }
+
+    static void
+    expectMatchesReference(const std::vector<rt::Hit> &got,
+                           const rt::RenderResult &ref)
+    {
+        ASSERT_EQ(got.size(), ref.hits.size());
+        size_t mismatches = 0;
+        for (size_t i = 0; i < got.size() && mismatches < 10; i++) {
+            if (got[i].triId != ref.hits[i].triId) {
+                ADD_FAILURE() << "pixel " << i << ": triId "
+                              << got[i].triId << " != reference "
+                              << ref.hits[i].triId;
+                mismatches++;
+                continue;
+            }
+            if (ref.hits[i].valid() && got[i].t != ref.hits[i].t) {
+                ADD_FAILURE() << "pixel " << i << ": t " << got[i].t
+                              << " != reference " << ref.hits[i].t;
+                mismatches++;
+            }
+        }
+    }
+};
+
+TEST_P(RenderIntegration, TraditionalMatchesCpuReference)
+{
+    const RenderCase rc = GetParam();
+    ExperimentConfig cfg = baseExperiment(rc);
+    cfg.kernel = KernelKind::Traditional;
+
+    PreparedScene prepared = prepareScene(rc.scene, cfg.sceneParams);
+    rt::RenderResult ref =
+        rt::renderReference(prepared.tree, prepared.scene.camera);
+
+    ExperimentResult r = runExperiment(prepared, cfg);
+    ASSERT_TRUE(r.ranToCompletion) << "simulation hit the cycle cap";
+    EXPECT_EQ(r.stats.itemsCompleted,
+              uint64_t(rc.res) * uint64_t(rc.res));
+    expectMatchesReference(r.hits, ref);
+}
+
+TEST_P(RenderIntegration, MicroKernelMatchesCpuReference)
+{
+    const RenderCase rc = GetParam();
+    ExperimentConfig cfg = baseExperiment(rc);
+    cfg.kernel = KernelKind::MicroKernel;
+
+    PreparedScene prepared = prepareScene(rc.scene, cfg.sceneParams);
+    rt::RenderResult ref =
+        rt::renderReference(prepared.tree, prepared.scene.camera);
+
+    ExperimentResult r = runExperiment(prepared, cfg);
+    ASSERT_TRUE(r.ranToCompletion) << "simulation hit the cycle cap";
+    EXPECT_EQ(r.stats.itemsCompleted,
+              uint64_t(rc.res) * uint64_t(rc.res));
+    expectMatchesReference(r.hits, ref);
+    EXPECT_GT(r.stats.dynamicThreadsSpawned, 0u);
+    EXPECT_GT(r.stats.dynamicWarpsFormed, 0u);
+}
+
+TEST_P(RenderIntegration, MicroKernelWithBankConflictsSameImage)
+{
+    const RenderCase rc = GetParam();
+    ExperimentConfig cfg = baseExperiment(rc);
+    cfg.kernel = KernelKind::MicroKernel;
+    cfg.spawnBankConflicts = true;
+
+    PreparedScene prepared = prepareScene(rc.scene, cfg.sceneParams);
+    rt::RenderResult ref =
+        rt::renderReference(prepared.tree, prepared.scene.camera);
+
+    ExperimentResult r = runExperiment(prepared, cfg);
+    ASSERT_TRUE(r.ranToCompletion);
+    expectMatchesReference(r.hits, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenes, RenderIntegration,
+    ::testing::Values(RenderCase{"conference", 48, 1},
+                      RenderCase{"fairyforest", 48, 1},
+                      RenderCase{"atrium", 48, 1}),
+    [](const auto &info) { return info.param.scene; });
+
+/** Divergence shape: micro-kernels must raise SIMT issue efficiency. */
+TEST(RenderShape, MicroKernelImprovesSimtEfficiency)
+{
+    RenderCase rc{"conference", 64, 2};
+    ExperimentConfig cfg;
+    cfg.sceneName = rc.scene;
+    cfg.sceneParams.detail = rc.detail;
+    cfg.sceneParams.imageWidth = rc.res;
+    cfg.sceneParams.imageHeight = rc.res;
+    cfg.baseConfig = test::smallConfig();
+    cfg.maxCycles = cfg.baseConfig.maxCycles;
+
+    PreparedScene prepared = prepareScene(rc.scene, cfg.sceneParams);
+
+    cfg.kernel = KernelKind::Traditional;
+    ExperimentResult pdom = runExperiment(prepared, cfg);
+    cfg.kernel = KernelKind::MicroKernel;
+    ExperimentResult uk = runExperiment(prepared, cfg);
+
+    ASSERT_TRUE(pdom.ranToCompletion);
+    ASSERT_TRUE(uk.ranToCompletion);
+    EXPECT_GT(uk.simtEfficiency, pdom.simtEfficiency)
+        << "dynamic micro-kernels should pack warps better than PDOM";
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * kd-tree builder invariants and traversal correctness (property-swept
+ * against brute force).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rt/kdtree.hpp"
+#include "rt/scenes.hpp"
+
+using namespace uksim::rt;
+
+namespace {
+
+std::vector<Triangle>
+randomTriangles(int n, uint32_t seed, float extent = 10.0f)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> d(-extent, extent);
+    std::uniform_real_distribution<float> s(0.05f, 1.0f);
+    std::vector<Triangle> tris;
+    for (int i = 0; i < n; i++) {
+        Vec3 p{d(rng), d(rng), d(rng)};
+        Vec3 e1{s(rng), s(rng), -s(rng)};
+        Vec3 e2{-s(rng), s(rng), s(rng)};
+        tris.push_back({p, p + e1, p + e2});
+    }
+    return tris;
+}
+
+TEST(KdTree, EmptyScene)
+{
+    KdTree tree = KdTree::build({});
+    Ray r;
+    r.org = {0, 0, 0};
+    r.dir = {1, 0, 0};
+    EXPECT_FALSE(tree.intersect(r).valid());
+}
+
+TEST(KdTree, SingleTriangle)
+{
+    KdTree tree = KdTree::build({{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}}});
+    Ray r;
+    r.org = {0.5f, 0.5f, 0};
+    r.dir = {0, 0, 1};
+    Hit h = tree.intersect(r);
+    ASSERT_TRUE(h.valid());
+    EXPECT_EQ(h.triId, 0);
+    EXPECT_FLOAT_EQ(h.t, 5.0f);
+}
+
+TEST(KdTree, BuilderInvariants)
+{
+    auto tris = randomTriangles(2000, 42);
+    KdTree tree = KdTree::build(tris);
+    const auto &nodes = tree.nodes();
+    ASSERT_FALSE(nodes.empty());
+
+    // Every internal node's children exist, are consecutive, and its
+    // split lies within the scene bounds along its axis.
+    uint64_t leafRefs = 0;
+    uint32_t leaves = 0;
+    for (size_t i = 0; i < nodes.size(); i++) {
+        const KdNode &n = nodes[i];
+        if (n.leaf) {
+            leaves++;
+            leafRefs += n.primCount;
+            ASSERT_LE(n.firstPrim + n.primCount,
+                      tree.primIndices().size());
+            for (uint32_t k = 0; k < n.primCount; k++) {
+                ASSERT_LT(tree.primIndices()[n.firstPrim + k],
+                          tris.size());
+            }
+        } else {
+            ASSERT_LT(n.left + 1, nodes.size());
+            ASSERT_GT(n.left, i);   // children come after the parent
+            EXPECT_GE(n.split, tree.bounds().lo[n.axis]);
+            EXPECT_LE(n.split, tree.bounds().hi[n.axis]);
+        }
+    }
+    KdTreeStats s = tree.stats();
+    EXPECT_EQ(s.nodeCount, nodes.size());
+    EXPECT_EQ(s.leafCount, leaves);
+    EXPECT_EQ(s.primRefs, leafRefs);
+    EXPECT_GT(s.maxDepth, 2u);
+    EXPECT_GT(s.avgLeafPrims, 0.0);
+
+    // Node count is odd (full binary tree) and leaves = internals + 1.
+    EXPECT_EQ(s.leafCount, s.nodeCount - s.leafCount + 1);
+}
+
+TEST(KdTree, EveryTriangleIsReachable)
+{
+    auto tris = randomTriangles(500, 7);
+    KdTree tree = KdTree::build(tris);
+    std::vector<bool> seen(tris.size(), false);
+    for (uint32_t p : tree.primIndices())
+        seen[p] = true;
+    for (size_t i = 0; i < tris.size(); i++)
+        EXPECT_TRUE(seen[i]) << "triangle " << i << " not in any leaf";
+}
+
+class KdTraversalProperty : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(KdTraversalProperty, MatchesBruteForce)
+{
+    const uint32_t seed = GetParam();
+    auto tris = randomTriangles(600, seed);
+    KdTree tree = KdTree::build(tris);
+
+    std::mt19937 rng(seed * 977 + 1);
+    std::uniform_real_distribution<float> d(-12.0f, 12.0f);
+    int hits = 0;
+    for (int i = 0; i < 800; i++) {
+        Ray r;
+        r.org = {d(rng), d(rng), d(rng)};
+        r.dir = {d(rng), d(rng), d(rng)};
+        if (std::fabs(r.dir.x) < 1e-3f || std::fabs(r.dir.y) < 1e-3f ||
+            std::fabs(r.dir.z) < 1e-3f) {
+            continue;   // avoid near-axis NaN corners in this sweep
+        }
+        Hit ours = tree.intersect(r);
+        Hit oracle = tree.intersectBruteForce(r);
+        ASSERT_EQ(ours.valid(), oracle.valid())
+            << "seed " << seed << " ray " << i;
+        if (ours.valid()) {
+            hits++;
+            // The same nearest triangle (or an exact t tie).
+            if (ours.triId != oracle.triId)
+                EXPECT_EQ(ours.t, oracle.t);
+            else
+                EXPECT_EQ(ours.t, oracle.t);
+        }
+    }
+    EXPECT_GT(hits, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdTraversalProperty,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u));
+
+TEST(KdTree, CountersAccumulate)
+{
+    auto tris = randomTriangles(300, 5);
+    KdTree tree = KdTree::build(tris);
+    TraversalCounters c;
+    Ray r;
+    r.org = {-15, 0, 0};
+    r.dir = {1, 0.01f, 0.01f};
+    tree.intersect(r, c);
+    EXPECT_GT(c.downTraversals, 0u);
+    EXPECT_GT(c.leavesVisited, 0u);
+}
+
+TEST(KdTree, LeafTargetRespectedWhereSplitsHelp)
+{
+    auto tris = randomTriangles(1000, 99);
+    KdTree::BuildParams params;
+    params.leafTarget = 4;
+    params.maxDepth = 30;
+    KdTree tree = KdTree::build(tris, params);
+    KdTreeStats s = tree.stats();
+    // Average leaf occupancy should be small for well-spread geometry.
+    EXPECT_LT(s.avgLeafPrims, 16.0);
+    EXPECT_LE(s.maxDepth, 31u);
+}
+
+TEST(KdTree, DeterministicBuild)
+{
+    auto tris = randomTriangles(400, 13);
+    KdTree a = KdTree::build(tris);
+    KdTree b = KdTree::build(tris);
+    ASSERT_EQ(a.nodes().size(), b.nodes().size());
+    EXPECT_EQ(a.primIndices(), b.primIndices());
+}
+
+TEST(KdTree, SceneRaysFromCameraMatchBruteForce)
+{
+    // The sweep the simulator relies on: primary rays of a real scene.
+    SceneParams p;
+    p.detail = 1;
+    p.imageWidth = 24;
+    p.imageHeight = 24;
+    Scene scene = makeConference(p);
+    KdTree tree = KdTree::build(scene.triangles);
+    for (int y = 0; y < 24; y += 3) {
+        for (int x = 0; x < 24; x += 3) {
+            Ray r = scene.camera.ray(x, y);
+            Hit ours = tree.intersect(r);
+            Hit oracle = tree.intersectBruteForce(r);
+            ASSERT_EQ(ours.valid(), oracle.valid())
+                << "pixel " << x << "," << y;
+            if (ours.valid())
+                EXPECT_EQ(ours.t, oracle.t);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Memory subsystem tests: stores, coalescing, bank conflicts, DRAM
+ * timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bank.hpp"
+#include "mem/coalescer.hpp"
+#include "mem/dram.hpp"
+#include "mem/store.hpp"
+#include "simt/isa.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+
+namespace {
+
+// ---- Store -----------------------------------------------------------------
+
+TEST(Store, WordRoundTrip)
+{
+    Store s("test", 64);
+    s.write32(0, 0xdeadbeef);
+    s.write32(60, 42);
+    EXPECT_EQ(s.read32(0), 0xdeadbeefu);
+    EXPECT_EQ(s.read32(60), 42u);
+}
+
+TEST(Store, FloatRoundTrip)
+{
+    Store s("test", 16);
+    s.writeF32(4, 3.25f);
+    EXPECT_FLOAT_EQ(s.readF32(4), 3.25f);
+    EXPECT_EQ(s.read32(4), floatBits(3.25f));
+}
+
+TEST(Store, BlockCopy)
+{
+    Store s("test", 32);
+    uint32_t src[4] = {1, 2, 3, 4};
+    s.writeBlock(8, src, 16);
+    uint32_t dst[4] = {};
+    s.readBlock(8, dst, 16);
+    EXPECT_EQ(dst[2], 3u);
+}
+
+TEST(Store, OutOfBoundsFaults)
+{
+    Store s("oops", 16);
+    EXPECT_THROW(s.read32(13), MemoryFault);
+    EXPECT_THROW(s.write32(16, 0), MemoryFault);
+    EXPECT_NO_THROW(s.read32(12));
+    try {
+        s.read32(100);
+        FAIL();
+    } catch (const MemoryFault &e) {
+        EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos);
+    }
+}
+
+// ---- Coalescer ----------------------------------------------------------------
+
+std::vector<uint64_t>
+addrs(std::initializer_list<uint64_t> l)
+{
+    return {l};
+}
+
+TEST(Coalescer, FullyCoalescedWarp)
+{
+    // 16 lanes x 4B contiguous => one 64B segment.
+    std::vector<uint64_t> a(16);
+    for (int i = 0; i < 16; i++)
+        a[i] = 256 + i * 4;
+    auto segs = coalesce(a, 0xffff, 4, 64);
+    ASSERT_EQ(segs.size(), 1u);
+    EXPECT_EQ(segs[0].addr, 256u);
+    EXPECT_EQ(segs[0].bytes, 64u);
+}
+
+TEST(Coalescer, StridedAccessExplodes)
+{
+    // 4B accesses, 64B apart: one segment per lane.
+    std::vector<uint64_t> a(8);
+    for (int i = 0; i < 8; i++)
+        a[i] = i * 64;
+    auto segs = coalesce(a, 0xff, 4, 64);
+    EXPECT_EQ(segs.size(), 8u);
+}
+
+TEST(Coalescer, InactiveLanesIgnored)
+{
+    auto segs = coalesce(addrs({0, 4096, 8192, 12288}), 0b0101, 4, 64);
+    EXPECT_EQ(segs.size(), 2u);
+}
+
+TEST(Coalescer, StraddlingAccessTouchesTwoSegments)
+{
+    // 16B access starting 8 bytes before a segment boundary.
+    auto segs = coalesce(addrs({56}), 0b1, 16, 64);
+    ASSERT_EQ(segs.size(), 2u);
+    EXPECT_EQ(segs[0].addr, 0u);
+    EXPECT_EQ(segs[1].addr, 64u);
+}
+
+TEST(Coalescer, DuplicateAddressesMergeAndNoActiveLanes)
+{
+    auto segs = coalesce(addrs({128, 128, 132, 160}), 0b1111, 4, 64);
+    EXPECT_EQ(segs.size(), 1u);
+    EXPECT_TRUE(coalesce(addrs({1, 2, 3}), 0, 4, 64).empty());
+}
+
+// ---- Bank conflicts ----------------------------------------------------------------
+
+TEST(BankModel, ConflictFreeUnitStride)
+{
+    std::vector<uint64_t> a(16);
+    for (int i = 0; i < 16; i++)
+        a[i] = i * 4;
+    EXPECT_EQ(bankConflictPasses(a, 0xffff, 1, 16), 1);
+}
+
+TEST(BankModel, PowerOfTwoStrideConflicts)
+{
+    // Stride 16 words: every lane hits bank 0 => N passes.
+    std::vector<uint64_t> a(8);
+    for (int i = 0; i < 8; i++)
+        a[i] = uint64_t(i) * 16 * 4;
+    EXPECT_EQ(bankConflictPasses(a, 0xff, 1, 16), 8);
+}
+
+TEST(BankModel, BroadcastSameWordIsFree)
+{
+    std::vector<uint64_t> a(32, 128);
+    EXPECT_EQ(bankConflictPasses(a, 0xffffffff, 1, 16), 1);
+}
+
+TEST(BankModel, VectorAccessCountsEachWord)
+{
+    // Two lanes, v4 each, lane1 starts 16 words after lane0:
+    // words {0..3} and {16..19} share banks 0..3 => 2 passes.
+    std::vector<uint64_t> a = {0, 64};
+    EXPECT_EQ(bankConflictPasses(a, 0b11, 4, 16), 2);
+}
+
+TEST(BankModel, Stride48ByteStateRecords)
+{
+    // The micro-kernel state layout: 12-word records. With 16 banks a
+    // full warp of v4 accesses serializes substantially (this is what
+    // Fig. 9 models).
+    std::vector<uint64_t> a(32);
+    for (int i = 0; i < 32; i++)
+        a[i] = uint64_t(i) * 48;
+    int passes = bankConflictPasses(a, 0xffffffff, 4, 16);
+    EXPECT_GE(passes, 4);
+}
+
+TEST(BankModel, NoActiveLanes)
+{
+    std::vector<uint64_t> a = {0, 4};
+    EXPECT_EQ(bankConflictPasses(a, 0, 1, 16), 0);
+}
+
+// ---- DRAM timing ----------------------------------------------------------------
+
+TEST(Dram, PartitionInterleaving)
+{
+    GpuConfig cfg = test::smallConfig();
+    DramModel dram(cfg);
+    const int seg = cfg.coalesceSegmentBytes;
+    EXPECT_EQ(dram.partitionOf(0), 0);
+    EXPECT_EQ(dram.partitionOf(seg), 1);
+    EXPECT_EQ(dram.partitionOf(uint64_t(seg) * 7), 7);
+    EXPECT_EQ(dram.partitionOf(uint64_t(seg) * 8), 0);
+}
+
+TEST(Dram, SingleAccessLatency)
+{
+    GpuConfig cfg = test::smallConfig();
+    DramModel dram(cfg);
+    uint64_t done = dram.access({0, 64}, false, 100);
+    // interconnect + service (64/8) + fixed latency
+    EXPECT_EQ(done, 100u + cfg.interconnectLatencyCycles + 8 +
+                        cfg.dramLatencyCycles);
+}
+
+TEST(Dram, SamePartitionSerializes)
+{
+    GpuConfig cfg = test::smallConfig();
+    DramModel dram(cfg);
+    uint64_t d1 = dram.access({0, 64}, false, 0);
+    uint64_t d2 = dram.access({64 * 8, 64}, false, 0);  // same partition
+    EXPECT_EQ(d2, d1 + 8);
+    uint64_t d3 = dram.access({64, 64}, false, 0);      // other partition
+    EXPECT_EQ(d3, d1);
+}
+
+TEST(Dram, BandwidthAccounting)
+{
+    GpuConfig cfg = test::smallConfig();
+    DramModel dram(cfg);
+    dram.access({0, 64}, false, 0);
+    dram.access({64, 64}, true, 0);
+    dram.access({128, 64}, true, 0);
+    EXPECT_EQ(dram.totalReadBytes(), 64u);
+    EXPECT_EQ(dram.totalWriteBytes(), 128u);
+    EXPECT_EQ(dram.totalTransactions(), 3u);
+}
+
+TEST(Dram, IdealMemoryMode)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.idealMemory = true;
+    DramModel dram(cfg);
+    EXPECT_EQ(dram.access({0, 64}, false, 500), 501u);
+    // Traffic still counted.
+    EXPECT_EQ(dram.totalReadBytes(), 64u);
+}
+
+TEST(Dram, AccessAllReturnsLastCompletion)
+{
+    GpuConfig cfg = test::smallConfig();
+    DramModel dram(cfg);
+    std::vector<Segment> segs = {{0, 64}, {64 * 8, 64}, {64, 64}};
+    uint64_t done = dram.accessAll(segs, false, 0);
+    EXPECT_EQ(done, uint64_t(cfg.interconnectLatencyCycles) + 16 +
+                        cfg.dramLatencyCycles);
+}
+
+} // namespace

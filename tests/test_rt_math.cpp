@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Ray-tracing math: vectors, AABBs, Wald triangle intersection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rt/aabb.hpp"
+#include "rt/camera.hpp"
+#include "rt/triangle.hpp"
+
+using namespace uksim::rt;
+
+namespace {
+
+TEST(Vec3, BasicOps)
+{
+    Vec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+    Vec3 c = cross(Vec3{1, 0, 0}, Vec3{0, 1, 0});
+    EXPECT_FLOAT_EQ(c.z, 1.0f);
+    EXPECT_FLOAT_EQ(length(Vec3{3, 4, 0}), 5.0f);
+    Vec3 n = normalize(Vec3{0, 0, 8});
+    EXPECT_FLOAT_EQ(n.z, 1.0f);
+    EXPECT_FLOAT_EQ((a + b).x, 5.0f);
+    EXPECT_FLOAT_EQ((b - a).y, 3.0f);
+    EXPECT_FLOAT_EQ((a * 2.0f).z, 6.0f);
+    EXPECT_FLOAT_EQ(a[0], 1.0f);
+    EXPECT_FLOAT_EQ(a[2], 3.0f);
+}
+
+TEST(Aabb, GrowAndArea)
+{
+    Aabb b;
+    EXPECT_FALSE(b.valid());
+    b.grow({0, 0, 0});
+    b.grow({2, 3, 4});
+    EXPECT_TRUE(b.valid());
+    EXPECT_FLOAT_EQ(b.surfaceArea(), 2 * (2 * 3 + 3 * 4 + 4 * 2));
+    EXPECT_TRUE(b.contains({1, 1, 1}));
+    EXPECT_FALSE(b.contains({3, 1, 1}));
+}
+
+TEST(Aabb, SlabIntersection)
+{
+    Aabb b;
+    b.grow({-1, -1, -1});
+    b.grow({1, 1, 1});
+
+    Ray hit;
+    hit.org = {-5, 0, 0};
+    hit.dir = {1, 0, 0};
+    float t0 = 0, t1 = 1e30f;
+    ASSERT_TRUE(b.intersect(hit, t0, t1));
+    EXPECT_FLOAT_EQ(t0, 4.0f);
+    EXPECT_FLOAT_EQ(t1, 6.0f);
+
+    Ray miss = hit;
+    miss.org = {-5, 3, 0};
+    t0 = 0;
+    t1 = 1e30f;
+    EXPECT_FALSE(b.intersect(miss, t0, t1));
+
+    // Ray starting inside.
+    Ray inside;
+    inside.org = {0, 0, 0};
+    inside.dir = {0, 1, 0};
+    t0 = 0;
+    t1 = 1e30f;
+    ASSERT_TRUE(b.intersect(inside, t0, t1));
+    EXPECT_FLOAT_EQ(t0, 0.0f);
+    EXPECT_FLOAT_EQ(t1, 1.0f);
+}
+
+TEST(WaldTriangle, DirectHit)
+{
+    Triangle tri{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+    WaldTriangle w;
+    ASSERT_TRUE(w.precompute(tri));
+
+    Ray r;
+    r.org = {0.5f, 0.5f, 0};
+    r.dir = {0, 0, 1};
+    float tmax = 1e30f;
+    ASSERT_TRUE(w.intersect(r, tmax));
+    EXPECT_FLOAT_EQ(tmax, 5.0f);
+}
+
+TEST(WaldTriangle, MissOutsideBarycentrics)
+{
+    Triangle tri{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+    WaldTriangle w;
+    ASSERT_TRUE(w.precompute(tri));
+    Ray r;
+    r.dir = {0, 0, 1};
+    float tmax;
+    r.org = {1.5f, 1.5f, 0};   // beyond the hypotenuse
+    tmax = 1e30f;
+    EXPECT_FALSE(w.intersect(r, tmax));
+    r.org = {-0.1f, 0.5f, 0};  // beta < 0 side
+    tmax = 1e30f;
+    EXPECT_FALSE(w.intersect(r, tmax));
+    r.org = {0.5f, -0.1f, 0};  // gamma < 0 side
+    tmax = 1e30f;
+    EXPECT_FALSE(w.intersect(r, tmax));
+}
+
+TEST(WaldTriangle, RespectsTmaxAndTmin)
+{
+    Triangle tri{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+    WaldTriangle w;
+    ASSERT_TRUE(w.precompute(tri));
+    Ray r;
+    r.org = {0.5f, 0.5f, 0};
+    r.dir = {0, 0, 1};
+    float tmax = 4.0f;          // hit at 5 is beyond tmax
+    EXPECT_FALSE(w.intersect(r, tmax));
+
+    r.tmin = 6.0f;              // hit at 5 is before tmin
+    tmax = 1e30f;
+    EXPECT_FALSE(w.intersect(r, tmax));
+
+    Ray behind;                 // triangle behind the origin
+    behind.org = {0.5f, 0.5f, 10};
+    behind.dir = {0, 0, 1};
+    tmax = 1e30f;
+    EXPECT_FALSE(w.intersect(behind, tmax));
+}
+
+TEST(WaldTriangle, DegenerateRejectedAtPrecompute)
+{
+    Triangle line{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}};
+    WaldTriangle w;
+    EXPECT_FALSE(w.precompute(line));
+    Triangle point{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}};
+    EXPECT_FALSE(w.precompute(point));
+}
+
+/** Oracle: Moller-Trumbore, implemented independently. */
+bool
+mollerTrumbore(const Triangle &tri, const Ray &ray, float &tOut)
+{
+    const Vec3 e1 = tri.b - tri.a;
+    const Vec3 e2 = tri.c - tri.a;
+    const Vec3 p = cross(ray.dir, e2);
+    const float det = dot(e1, p);
+    if (std::fabs(det) < 1e-12f)
+        return false;
+    const float inv = 1.0f / det;
+    const Vec3 s = ray.org - tri.a;
+    const float u = dot(s, p) * inv;
+    if (u < 0.0f || u > 1.0f)
+        return false;
+    const Vec3 q = cross(s, e1);
+    const float v = dot(ray.dir, q) * inv;
+    if (v < 0.0f || u + v > 1.0f)
+        return false;
+    const float t = dot(e2, q) * inv;
+    if (t < ray.tmin)
+        return false;
+    tOut = t;
+    return true;
+}
+
+TEST(WaldTriangle, PropertyMatchesMollerTrumbore)
+{
+    std::mt19937 rng(1234);
+    std::uniform_real_distribution<float> d(-5.0f, 5.0f);
+    int hits = 0;
+    int disagreements = 0;
+    for (int i = 0; i < 3000; i++) {
+        Triangle tri{{d(rng), d(rng), d(rng)},
+                     {d(rng), d(rng), d(rng)},
+                     {d(rng), d(rng), d(rng)}};
+        WaldTriangle w;
+        if (!w.precompute(tri))
+            continue;
+        Ray r;
+        r.org = {d(rng), d(rng), d(rng)};
+        r.dir = {d(rng), d(rng), d(rng)};
+        if (length(r.dir) < 1e-3f)
+            continue;
+
+        float tw = 1e30f;
+        bool hw = w.intersect(r, tw);
+        float tm = 0;
+        bool hm = mollerTrumbore(tri, r, tm);
+        if (hw != hm) {
+            // Allow rare boundary disagreements from differing
+            // arithmetic, but they must be vanishingly few.
+            disagreements++;
+            continue;
+        }
+        if (hw) {
+            hits++;
+            EXPECT_NEAR(tw, tm, 1e-3f * std::max(1.0f, std::fabs(tm)));
+        }
+    }
+    EXPECT_GT(hits, 50);            // the sweep actually exercised hits
+    EXPECT_LE(disagreements, 3);
+}
+
+TEST(Camera, RaysSpanTheImagePlane)
+{
+    Camera cam({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 60.0f, 64, 64);
+    Ray center = cam.ray(32, 32);
+    Vec3 cd = normalize(center.dir);
+    EXPECT_NEAR(cd.z, 1.0f, 0.05f);
+
+    Ray corner00 = cam.ray(0, 0);
+    Ray corner11 = cam.ray(63, 63);
+    Vec3 a = normalize(corner00.dir);
+    Vec3 b = normalize(corner11.dir);
+    // Opposite corners mirror around the center direction.
+    EXPECT_NEAR(a.x, -b.x, 0.05f);
+    EXPECT_NEAR(a.y, -b.y, 0.05f);
+    EXPECT_GT(dot(a, b), 0.0f);     // both still point forward
+}
+
+TEST(Camera, MatchesDeviceArithmetic)
+{
+    // The device kernel computes dir = fy*dv + (fx*du + ll) with mads;
+    // Camera::ray must produce bit-identical values.
+    Camera cam({1, 2, 3}, {0, 0, 0}, {0, 1, 0}, 45.0f, 32, 32);
+    for (int p = 0; p < 32 * 32; p += 37) {
+        int x = p % 32, y = p / 32;
+        float fx = x + 0.5f, fy = y + 0.5f;
+        Ray r = cam.ray(x, y);
+        EXPECT_EQ(r.dir.x, fy * cam.dv.x + (fx * cam.du.x +
+                                            cam.lowerLeft.x));
+        EXPECT_EQ(r.dir.y, fy * cam.dv.y + (fx * cam.du.y +
+                                            cam.lowerLeft.y));
+        EXPECT_EQ(r.dir.z, fy * cam.dv.z + (fx * cam.du.z +
+                                            cam.lowerLeft.z));
+    }
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Benchmark scene generators: determinism, scale, and the density
+ * properties each scene is supposed to exhibit (paper Sec. VI-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/cpu_tracer.hpp"
+#include "rt/kdtree.hpp"
+#include "rt/scenes.hpp"
+
+using namespace uksim::rt;
+
+namespace {
+
+SceneParams
+tiny()
+{
+    SceneParams p;
+    p.detail = 2;
+    p.imageWidth = 32;
+    p.imageHeight = 32;
+    return p;
+}
+
+class SceneGenerators : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SceneGenerators, DeterministicAndNonTrivial)
+{
+    Scene a = makeSceneByName(GetParam(), tiny());
+    Scene b = makeSceneByName(GetParam(), tiny());
+    ASSERT_EQ(a.triangles.size(), b.triangles.size());
+    EXPECT_GT(a.triangles.size(), 500u);
+    for (size_t i = 0; i < a.triangles.size(); i += 101) {
+        EXPECT_EQ(a.triangles[i].a.x, b.triangles[i].a.x);
+        EXPECT_EQ(a.triangles[i].c.z, b.triangles[i].c.z);
+    }
+    EXPECT_EQ(a.name, GetParam());
+    EXPECT_TRUE(a.bounds().valid());
+}
+
+TEST_P(SceneGenerators, DetailScalesTriangleCount)
+{
+    SceneParams lo = tiny();
+    SceneParams hi = tiny();
+    hi.detail = 6;
+    EXPECT_GT(makeSceneByName(GetParam(), hi).triangles.size(),
+              makeSceneByName(GetParam(), lo).triangles.size());
+}
+
+TEST_P(SceneGenerators, CameraSeesTheScene)
+{
+    Scene s = makeSceneByName(GetParam(), tiny());
+    KdTree tree = KdTree::build(s.triangles);
+    RenderResult r = renderReference(tree, s.camera);
+    size_t hits = 0;
+    for (const Hit &h : r.hits)
+        hits += h.valid() ? 1 : 0;
+    // The default camera should have substantial scene coverage.
+    EXPECT_GT(double(hits) / r.hits.size(), 0.3)
+        << GetParam() << " camera sees too little";
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SceneGenerators,
+                         ::testing::ValuesIn(benchmarkSceneNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(SceneGenerators, UnknownNameThrows)
+{
+    EXPECT_THROW(makeSceneByName("cornellbox", tiny()),
+                 std::invalid_argument);
+}
+
+TEST(SceneGenerators, SeedChangesGeometry)
+{
+    SceneParams p1 = tiny();
+    SceneParams p2 = tiny();
+    p2.seed = 0x1234;
+    Scene a = makeFairyForest(p1);
+    Scene b = makeFairyForest(p2);
+    ASSERT_EQ(a.triangles.size(), b.triangles.size());
+    bool differs = false;
+    for (size_t i = 0; i < a.triangles.size() && !differs; i += 13)
+        differs = a.triangles[i].a.x != b.triangles[i].a.x;
+    EXPECT_TRUE(differs);
+}
+
+/**
+ * Density property check: traversal work variance across the image
+ * should be highest for the uneven scenes. We verify each scene
+ * produces a spread of per-ray intersection-test counts (the divergence
+ * source the paper studies) rather than uniform work.
+ */
+TEST(SceneGenerators, PerRayWorkVaries)
+{
+    for (const std::string &name : benchmarkSceneNames()) {
+        Scene s = makeSceneByName(name, tiny());
+        KdTree tree = KdTree::build(s.triangles);
+        uint64_t minWork = ~0ull, maxWork = 0;
+        for (int y = 0; y < 32; y += 2) {
+            for (int x = 0; x < 32; x += 2) {
+                TraversalCounters c;
+                tree.intersect(s.camera.ray(x, y), c);
+                uint64_t work = c.downTraversals + c.intersectionTests;
+                minWork = std::min(minWork, work);
+                maxWork = std::max(maxWork, work);
+            }
+        }
+        EXPECT_GT(maxWork, minWork + 20)
+            << name << " produces uniform work; no divergence to study";
+    }
+}
+
+TEST(SceneGenerators, BandwidthEstimatesFollowPaperModel)
+{
+    TraversalCounters c;
+    c.downTraversals = 1000;
+    c.intersectionTests = 500;
+    c.leavesVisited = 200;
+    BandwidthEstimate trad = estimateTraditionalBandwidth(c, 100);
+    EXPECT_DOUBLE_EQ(trad.readBytes, 1000 * 8.0 + 500 * 48.0);
+    EXPECT_DOUBLE_EQ(trad.writeBytes, 100 * 8.0);
+
+    BandwidthEstimate dyn = estimateDynamicBandwidth(c, 100);
+    const double invocations = 1000 + 500 + 200 + 100;
+    EXPECT_DOUBLE_EQ(dyn.readBytes,
+                     trad.readBytes + 48.0 * invocations);
+    EXPECT_DOUBLE_EQ(dyn.writeBytes,
+                     trad.writeBytes + 52.0 * invocations);
+    EXPECT_GT(dyn.totalBytes(), 4.0 * trad.totalBytes());
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * PDOM reconvergence stack unit tests, including the paper's Fig. 2
+ * data-dependent loop scenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simt/simt_stack.hpp"
+
+using namespace uksim;
+
+namespace {
+
+constexpr uint64_t
+lanes(std::initializer_list<int> ids)
+{
+    uint64_t m = 0;
+    for (int i : ids)
+        m |= uint64_t{1} << i;
+    return m;
+}
+
+TEST(SimtStack, LinearAdvance)
+{
+    SimtStack s;
+    s.reset(5, 0xf);
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.activeMask(), 0xfu);
+    s.advance();
+    EXPECT_EQ(s.pc(), 6u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, UniformBranch)
+{
+    SimtStack s;
+    s.reset(0, 0xff);
+    s.branch(0xff, 10, 20);     // all taken
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.depth(), 1u);
+    s.branch(0, 3, 20);         // none taken
+    EXPECT_EQ(s.pc(), 11u);
+}
+
+TEST(SimtStack, DivergeAndReconverge)
+{
+    SimtStack s;
+    s.reset(0, 0xf);
+    // Branch at pc 0: lanes {0,1} taken to 10, {2,3} fall to 1,
+    // reconverge at 20.
+    s.branch(lanes({0, 1}), 10, 20);
+    EXPECT_EQ(s.depth(), 3u);
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.activeMask(), lanes({0, 1}));
+
+    // Taken path runs 10..19.
+    for (uint32_t pc = 10; pc < 20; pc++) {
+        EXPECT_EQ(s.pc(), pc);
+        s.advance();
+    }
+    // Taken path reached the reconvergence point: fall path resumes.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), lanes({2, 3}));
+    for (uint32_t pc = 1; pc < 20; pc++)
+        s.advance();
+    // Both paths done: reconverged with the full mask.
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), 0xfu);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, Figure2Loop)
+{
+    // The paper's Fig. 2: loop B where threads need different trip
+    // counts; reconvergence at C. Program shape:
+    //   0: A
+    //   1: B (loop body)
+    //   2: bra 1 if lane still looping, reconverge at 3
+    //   3: C
+    SimtStack s;
+    s.reset(0, 0xf);
+    s.advance();                // A done, pc=1
+    // Iteration 1: all four lanes loop again.
+    s.advance();                // B
+    s.branch(0xf, 1, 3);
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), 0xfu);
+    // Iteration 2: lanes {0,2} exit the loop.
+    s.advance();
+    s.branch(lanes({1, 3}), 1, 3);
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), lanes({1, 3}));   // half the SPs idle
+    // Iteration 3: last lanes leave.
+    s.advance();
+    s.branch(0, 1, 3);
+    // All lanes proceed to C together.
+    EXPECT_EQ(s.pc(), 3u);
+    EXPECT_EQ(s.activeMask(), 0xfu);
+}
+
+TEST(SimtStack, ExitAllLanesEmptiesStack)
+{
+    SimtStack s;
+    s.reset(0, 0x3);
+    s.exitLanes(0x3);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SimtStack, PredicatedExitKeepsSurvivors)
+{
+    SimtStack s;
+    s.reset(7, 0xf);
+    s.exitLanes(lanes({1, 2}));
+    EXPECT_EQ(s.activeMask(), lanes({0, 3}));
+    EXPECT_EQ(s.pc(), 8u);      // survivors continue after the exit
+}
+
+TEST(SimtStack, ExitInsideDivergedPath)
+{
+    SimtStack s;
+    s.reset(0, 0xf);
+    s.branch(lanes({0, 1}), 10, 20);
+    // Taken path exits both its lanes.
+    s.exitLanes(lanes({0, 1}));
+    // Fall-through path resumes.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), lanes({2, 3}));
+    // When it reconverges, the reconvergence entry holds only
+    // the survivors.
+    for (uint32_t pc = 1; pc < 20; pc++)
+        s.advance();
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), lanes({2, 3}));
+}
+
+TEST(SimtStack, ExitOnlyReconvergence)
+{
+    // Divergence whose paths never rejoin (reconverge pc = sentinel).
+    SimtStack s;
+    s.reset(0, 0x3);
+    s.branch(0x1, 5, SimtStack::kNoReconverge);
+    EXPECT_EQ(s.pc(), 5u);
+    s.exitLanes(0x1);           // taken lane dies
+    EXPECT_EQ(s.pc(), 1u);      // fall-through lane resumes
+    EXPECT_EQ(s.activeMask(), 0x2u);
+    s.exitLanes(0x2);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    SimtStack s;
+    s.reset(0, 0xff);
+    s.branch(0x0f, 100, 200);           // outer split
+    EXPECT_EQ(s.pc(), 100u);
+    s.branch(0x03, 150, 180);           // inner split on the taken path
+    EXPECT_EQ(s.pc(), 150u);
+    EXPECT_EQ(s.activeMask(), 0x03u);
+    EXPECT_EQ(s.depth(), 5u);
+    // Drain inner taken path to 180.
+    for (uint32_t pc = 150; pc < 180; pc++)
+        s.advance();
+    EXPECT_EQ(s.pc(), 101u);            // inner fall path
+    EXPECT_EQ(s.activeMask(), 0x0cu);
+    for (uint32_t pc = 101; pc < 180; pc++)
+        s.advance();
+    EXPECT_EQ(s.pc(), 180u);            // inner reconverged
+    EXPECT_EQ(s.activeMask(), 0x0fu);
+    for (uint32_t pc = 180; pc < 200; pc++)
+        s.advance();
+    EXPECT_EQ(s.pc(), 1u);              // outer fall path
+    EXPECT_EQ(s.activeMask(), 0xf0u);
+}
+
+TEST(SimtStack, BranchDirectlyToReconvergencePoint)
+{
+    SimtStack s;
+    s.reset(0, 0xf);
+    // Taken target IS the reconvergence point: taken lanes wait there.
+    s.branch(lanes({0}), 20, 20);
+    // Not-taken path runs first (taken entry popped immediately).
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), lanes({1, 2, 3}));
+    for (uint32_t pc = 1; pc < 20; pc++)
+        s.advance();
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), 0xfu);
+}
+
+} // namespace

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * SM/GPU execution tests: whole small programs run through the
+ * cycle-level model, results checked in device memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simt/assembler.hpp"
+#include "simt/gpu.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+
+namespace {
+
+/** Run @p src over @p threads threads with a result buffer of one word
+ *  per thread at param[0]; returns the buffer. */
+std::vector<uint32_t>
+runKernel(const std::string &src, uint32_t threads,
+          GpuConfig cfg = test::smallConfig(),
+          SimStats *statsOut = nullptr)
+{
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(src));
+    uint32_t out = gpu.mallocGlobal(uint64_t(threads) * 4);
+    uint32_t params[2] = {out, threads};
+    gpu.toConst(0, params, sizeof(params));
+    gpu.launch(threads);
+    const SimStats &stats = gpu.run();
+    if (statsOut)
+        *statsOut = stats;
+    EXPECT_TRUE(gpu.finished()) << "kernel did not drain";
+    std::vector<uint32_t> result(threads);
+    gpu.fromGlobal(out, result.data(), threads * 4);
+    return result;
+}
+
+const char *kStoreTid = R"(
+    main:
+        mov.u32 r1, %tid;
+        ld.param.u32 r2, [0];
+        shl.u32 r3, r1, 2;
+        add.u32 r2, r2, r3;
+        st.global.u32 [r2+0], r1;
+        exit;
+)";
+
+TEST(SmExec, EveryThreadStoresItsTid)
+{
+    auto result = runKernel(kStoreTid, 256);
+    for (uint32_t i = 0; i < 256; i++)
+        EXPECT_EQ(result[i], i);
+}
+
+TEST(SmExec, RaggedLastWarp)
+{
+    auto result = runKernel(kStoreTid, 70);   // 2 full warps + 6 lanes
+    for (uint32_t i = 0; i < 70; i++)
+        EXPECT_EQ(result[i], i);
+}
+
+TEST(SmExec, GridLargerThanMachine)
+{
+    // More threads than all SMs can hold at once: refill must work.
+    GpuConfig cfg = test::smallConfig();
+    cfg.numSms = 2;
+    auto result = runKernel(kStoreTid, 8192, cfg);
+    for (uint32_t i = 0; i < 8192; i++)
+        ASSERT_EQ(result[i], i) << "tid " << i;
+}
+
+TEST(SmExec, DataDependentLoop)
+{
+    // result[tid] = sum(0..tid%7) computed with a loop.
+    auto result = runKernel(R"(
+        main:
+            mov.u32 r1, %tid;
+            rem.u32 r2, r1, 7;
+            mov.u32 r3, 0;
+            mov.u32 r4, 0;
+        loop:
+            setp.gt.u32 p0, r4, r2;
+            @p0 bra done;
+            add.u32 r3, r3, r4;
+            add.u32 r4, r4, 1;
+            bra loop;
+        done:
+            ld.param.u32 r5, [0];
+            shl.u32 r6, r1, 2;
+            add.u32 r5, r5, r6;
+            st.global.u32 [r5+0], r3;
+            exit;
+    )",
+                            128);
+    for (uint32_t i = 0; i < 128; i++) {
+        uint32_t n = i % 7;
+        EXPECT_EQ(result[i], n * (n + 1) / 2) << i;
+    }
+}
+
+TEST(SmExec, DivergentIfElse)
+{
+    auto result = runKernel(R"(
+        main:
+            mov.u32 r1, %tid;
+            and.u32 r2, r1, 1;
+            setp.eq.u32 p0, r2, 0;
+            @p0 bra even;
+            mul.u32 r3, r1, 3;
+            bra join;
+        even:
+            mul.u32 r3, r1, 2;
+        join:
+            ld.param.u32 r5, [0];
+            shl.u32 r6, r1, 2;
+            add.u32 r5, r5, r6;
+            st.global.u32 [r5+0], r3;
+            exit;
+    )",
+                            64);
+    for (uint32_t i = 0; i < 64; i++)
+        EXPECT_EQ(result[i], (i % 2) ? i * 3 : i * 2);
+}
+
+TEST(SmExec, PredicatedExecutionWithoutBranch)
+{
+    auto result = runKernel(R"(
+        main:
+            mov.u32 r1, %tid;
+            and.u32 r2, r1, 1;
+            setp.eq.u32 p0, r2, 0;
+            mov.u32 r3, 111;
+            @!p0 mov.u32 r3, 222;
+            ld.param.u32 r5, [0];
+            shl.u32 r6, r1, 2;
+            add.u32 r5, r5, r6;
+            st.global.u32 [r5+0], r3;
+            exit;
+    )",
+                            64);
+    for (uint32_t i = 0; i < 64; i++)
+        EXPECT_EQ(result[i], (i % 2) ? 222u : 111u);
+}
+
+TEST(SmExec, SharedMemoryPerSlotScratch)
+{
+    auto result = runKernel(R"(
+        main:
+            mov.u32 r1, %slot;
+            shl.u32 r1, r1, 2;
+            mov.u32 r2, %tid;
+            mul.u32 r3, r2, 7;
+            st.shared.u32 [r1+0], r3;
+            ld.shared.u32 r4, [r1+0];
+            ld.param.u32 r5, [0];
+            shl.u32 r6, r2, 2;
+            add.u32 r5, r5, r6;
+            st.global.u32 [r5+0], r4;
+            exit;
+    )",
+                            512);
+    for (uint32_t i = 0; i < 512; i++)
+        EXPECT_EQ(result[i], i * 7);
+}
+
+TEST(SmExec, LocalMemoryIsPrivate)
+{
+    auto result = runKernel(R"(
+        .local_per_thread 16
+        main:
+            mov.u32 r1, %tid;
+            mul.u32 r2, r1, 13;
+            st.local.u32 [4], r2;
+            ld.local.u32 r3, [4];
+            ld.param.u32 r5, [0];
+            shl.u32 r6, r1, 2;
+            add.u32 r5, r5, r6;
+            st.global.u32 [r5+0], r3;
+            exit;
+    )",
+                            128);
+    for (uint32_t i = 0; i < 128; i++)
+        EXPECT_EQ(result[i], i * 13);
+}
+
+TEST(SmExec, VectorLoadStore)
+{
+    GpuConfig cfg = test::smallConfig();
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(R"(
+        main:
+            mov.u32 r1, %tid;
+            shl.u32 r2, r1, 4;
+            ld.param.u32 r3, [0];
+            add.u32 r2, r2, r3
+            ld.global.v4.f32 r8, [r2+0];
+            add.f32 r8, r8, r11;
+            add.f32 r9, r9, r11;
+            st.global.v2.f32 [r2+0], r8;
+            exit;
+    )"));
+    uint32_t buf = gpu.mallocGlobal(32 * 16);
+    std::vector<float> init(32 * 4);
+    for (int i = 0; i < 32; i++) {
+        init[i * 4 + 0] = float(i);
+        init[i * 4 + 1] = 10.0f;
+        init[i * 4 + 2] = 20.0f;
+        init[i * 4 + 3] = 1.0f;
+    }
+    gpu.toGlobal(buf, init.data(), init.size() * 4);
+    uint32_t params[1] = {buf};
+    gpu.toConst(0, params, 4);
+    gpu.launch(32);
+    gpu.run();
+    std::vector<float> out(32 * 4);
+    gpu.fromGlobal(buf, out.data(), out.size() * 4);
+    for (int i = 0; i < 32; i++) {
+        EXPECT_FLOAT_EQ(out[i * 4 + 0], float(i) + 1.0f);
+        EXPECT_FLOAT_EQ(out[i * 4 + 1], 11.0f);
+        EXPECT_FLOAT_EQ(out[i * 4 + 2], 20.0f);   // untouched
+    }
+}
+
+TEST(SmExec, AtomicAddAggregatesAcrossWarpsAndSms)
+{
+    GpuConfig cfg = test::smallConfig();
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(R"(
+        main:
+            ld.param.u32 r1, [0];
+            atom.add.u32 r2, [r1+0], 1;
+            exit;
+    )"));
+    uint32_t counter = gpu.mallocGlobal(4);
+    uint32_t params[1] = {counter};
+    gpu.toConst(0, params, 4);
+    gpu.launch(1000);
+    gpu.run();
+    uint32_t value = 0;
+    gpu.fromGlobal(counter, &value, 4);
+    EXPECT_EQ(value, 1000u);
+}
+
+TEST(SmExec, AtomicCasAndExch)
+{
+    GpuConfig cfg = test::smallConfig();
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(R"(
+        main:
+            ld.param.u32 r1, [0];
+            // every thread tries cas(0 -> tid+1); exactly one wins
+            mov.u32 r2, %tid;
+            add.u32 r2, r2, 1;
+            atom.cas.u32 r3, [r1+0], 0, r2;
+            // count winners via exch on a flag word
+            setp.eq.u32 p0, r3, 0;
+            @!p0 exit;
+            atom.add.u32 r4, [r1+4], 1;
+            exit;
+    )"));
+    uint32_t buf = gpu.mallocGlobal(8);
+    uint32_t params[1] = {buf};
+    gpu.toConst(0, params, 4);
+    gpu.launch(256);
+    gpu.run();
+    uint32_t words[2];
+    gpu.fromGlobal(buf, words, 8);
+    EXPECT_NE(words[0], 0u);
+    EXPECT_EQ(words[1], 1u);    // exactly one CAS winner
+}
+
+TEST(SmExec, SfuAndMemoryLatencyAccrue)
+{
+    SimStats stats;
+    runKernel(R"(
+        main:
+            mov.f32 r1, 2.0;
+            sqrt.f32 r1, r1;
+            rcp.f32 r1, r1;
+            ld.param.u32 r2, [0];
+            mov.u32 r3, %tid;
+            shl.u32 r3, r3, 2;
+            add.u32 r2, r2, r3;
+            st.global.u32 [r2+0], r3;
+            exit;
+    )",
+              32, test::smallConfig(), &stats);
+    // One warp, several instructions with latency: cycles must exceed
+    // the pure instruction count.
+    EXPECT_GT(stats.cycles, 9u);
+    EXPECT_GT(stats.laneInstructions, 0u);
+}
+
+TEST(SmExec, IpcNeverExceedsMachineWidth)
+{
+    SimStats stats;
+    GpuConfig cfg = test::smallConfig();
+    runKernel(kStoreTid, 4096, cfg, &stats);
+    EXPECT_LE(stats.ipc(), double(cfg.numSms) * cfg.warpSize);
+    EXPECT_GT(stats.ipc(), 0.0);
+}
+
+TEST(SmExec, RunsOffProgramEndThrows)
+{
+    GpuConfig cfg = test::smallConfig();
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble("main:\n  nop;\n"));  // no exit
+    gpu.launch(32);
+    EXPECT_THROW(gpu.run(), std::runtime_error);
+}
+
+TEST(SmExec, ThreadsCompletedCounted)
+{
+    SimStats stats;
+    runKernel(kStoreTid, 300, test::smallConfig(), &stats);
+    EXPECT_EQ(stats.threadsLaunched, 300u);
+    EXPECT_EQ(stats.threadsCompleted, 300u);
+    EXPECT_EQ(stats.itemsCompleted, 300u);
+}
+
+} // namespace

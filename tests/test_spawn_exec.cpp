@@ -1,0 +1,205 @@
+/**
+ * @file
+ * End-to-end dynamic micro-kernel execution on the cycle model: spawn
+ * chains, state passing through spawn memory, warp re-formation,
+ * partial-warp flushing, slot recycling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simt/assembler.hpp"
+#include "simt/gpu.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+
+namespace {
+
+/**
+ * Collatz-style data-dependent chain: each thread starts from
+ * (tid % 19) + 3 and iterates n -> n/2 or 3n+1 until n == 1, counting
+ * steps. Every iteration is its own spawned micro-kernel thread; the
+ * step count accumulates in the 16-byte state record.
+ * State: +0 n, +4 steps, +8 tid, +12 pad.
+ */
+const char kCollatzSpawn[] = R"(
+    .entry gen
+    .microkernel step
+    .spawn_state 16
+    gen:
+        mov.u32 r1, %tid;
+        ld.param.u32 r2, [4]
+        setp.ge.u32 p0, r1, r2;
+        @p0 exit;
+        rem.u32 r3, r1, 19;
+        add.u32 r3, r3, 3;          // n
+        mov.u32 r4, 0;              // steps
+        mov.u32 r5, %spawnaddr;
+        st.spawn.u32 [r5+0], r3;
+        st.spawn.u32 [r5+4], r4;
+        st.spawn.u32 [r5+8], r1;
+        spawn step, r5;
+        exit;
+    step:
+        mov.u32 r2, %spawnaddr;
+        ld.spawn.u32 r1, [r2+0];    // state pointer
+        ld.spawn.u32 r3, [r1+0];    // n
+        ld.spawn.u32 r4, [r1+4];    // steps
+        setp.eq.u32 p0, r3, 1;
+        @p0 bra finish;
+        and.u32 r5, r3, 1;
+        setp.eq.u32 p1, r5, 0;
+        @p1 bra even;
+        mul.u32 r3, r3, 3;
+        add.u32 r3, r3, 1;
+        bra cont;
+    even:
+        shr.u32 r3, r3, 1;
+    cont:
+        add.u32 r4, r4, 1;
+        st.spawn.u32 [r1+0], r3;
+        st.spawn.u32 [r1+4], r4;
+        spawn step, r1;
+        exit;
+    finish:
+        ld.spawn.u32 r5, [r1+8];    // tid
+        ld.param.u32 r6, [0];
+        shl.u32 r7, r5, 2;
+        add.u32 r6, r6, r7;
+        st.global.u32 [r6+0], r4;
+        exit;
+)";
+
+uint32_t
+collatzSteps(uint32_t n)
+{
+    uint32_t steps = 0;
+    while (n != 1) {
+        n = (n % 2 == 0) ? n / 2 : 3 * n + 1;
+        steps++;
+    }
+    return steps;
+}
+
+struct SpawnRun {
+    std::vector<uint32_t> result;
+    SimStats stats;
+    Occupancy occupancy;
+};
+
+SpawnRun
+runCollatz(uint32_t threads, GpuConfig cfg)
+{
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(kCollatzSpawn));
+    uint32_t out = gpu.mallocGlobal(uint64_t(threads) * 4);
+    uint32_t params[2] = {out, threads};
+    gpu.toConst(0, params, sizeof(params));
+    gpu.launch(threads);
+    SpawnRun r;
+    r.stats = gpu.run();
+    r.occupancy = gpu.occupancy();
+    EXPECT_TRUE(gpu.finished()) << "spawn chain did not drain";
+    r.result.resize(threads);
+    gpu.fromGlobal(out, r.result.data(), threads * 4);
+    return r;
+}
+
+TEST(SpawnExec, CollatzChainsProduceCorrectCounts)
+{
+    SpawnRun r = runCollatz(256, test::smallConfig());
+    for (uint32_t i = 0; i < 256; i++)
+        ASSERT_EQ(r.result[i], collatzSteps(i % 19 + 3)) << "tid " << i;
+    EXPECT_GT(r.stats.dynamicThreadsSpawned, 256u);
+    EXPECT_GT(r.stats.dynamicWarpsFormed, 0u);
+    // Every ray ... item completes exactly once.
+    EXPECT_EQ(r.stats.itemsCompleted, 256u);
+}
+
+TEST(SpawnExec, SingleWarpNeedsPartialFlushes)
+{
+    // With only 13 threads nothing can ever fill a 32-wide warp: the
+    // run can only finish through forced partial-warp flushes.
+    SpawnRun r = runCollatz(13, test::smallConfig());
+    for (uint32_t i = 0; i < 13; i++)
+        EXPECT_EQ(r.result[i], collatzSteps(i % 19 + 3));
+    EXPECT_GT(r.stats.partialWarpFlushes, 0u);
+}
+
+TEST(SpawnExec, GridFarLargerThanStateSlots)
+{
+    // Grid is much larger than resident threads: launch-time threads
+    // must wait for freed spawn-state slots (Sec. IV-A1) and every item
+    // must still complete.
+    GpuConfig cfg = test::smallConfig();
+    cfg.numSms = 1;
+    SpawnRun r = runCollatz(4096, cfg);
+    for (uint32_t i = 0; i < 4096; i += 97)
+        ASSERT_EQ(r.result[i], collatzSteps(i % 19 + 3)) << i;
+    EXPECT_EQ(r.stats.itemsCompleted, 4096u);
+    EXPECT_EQ(r.stats.threadsLaunched, 4096u);
+}
+
+TEST(SpawnExec, BankConflictModelingOnlyChangesTiming)
+{
+    GpuConfig base = test::smallConfig();
+    SpawnRun clean = runCollatz(512, base);
+
+    GpuConfig conflicted = base;
+    conflicted.modelSpawnBankConflicts = true;
+    SpawnRun banked = runCollatz(512, conflicted);
+
+    EXPECT_EQ(clean.result, banked.result);
+    EXPECT_GT(banked.stats.bankConflictExtraCycles, 0u);
+    EXPECT_GE(banked.stats.cycles, clean.stats.cycles);
+}
+
+TEST(SpawnExec, DynamicWarpsReuseFreedSlots)
+{
+    // Total hardware threads is tiny (1 SM); chains are long; the
+    // number of dynamic threads vastly exceeds resident capacity.
+    GpuConfig cfg = test::smallConfig();
+    cfg.numSms = 1;
+    SpawnRun r = runCollatz(1024, cfg);
+    uint64_t resident = uint64_t(r.occupancy.threadsPerSm);
+    EXPECT_GT(r.stats.dynamicThreadsSpawned, resident * 4);
+    EXPECT_EQ(r.stats.itemsCompleted, 1024u);
+}
+
+TEST(SpawnExec, SpawnMemoryTrafficCounted)
+{
+    SpawnRun r = runCollatz(256, test::smallConfig());
+    EXPECT_GT(r.stats.spawnMemWriteBytes, 0u);
+    EXPECT_GT(r.stats.spawnMemReadBytes, 0u);
+    // Each spawned thread writes one 4-byte formation pointer in
+    // addition to its state stores.
+    EXPECT_GE(r.stats.spawnMemWriteBytes,
+              r.stats.dynamicThreadsSpawned * 4);
+}
+
+TEST(SpawnExec, MissingSpawnStateDeclarationThrows)
+{
+    GpuConfig cfg = test::smallConfig();
+    Gpu gpu(cfg);
+    EXPECT_THROW(gpu.loadProgram(assemble(R"(
+        .entry main
+        .microkernel mk
+        main:
+            spawn mk, r1;
+            exit;
+        mk:
+            exit;
+    )")),
+                 std::runtime_error);
+}
+
+TEST(SpawnExec, IdealMemorySpawnStillCorrect)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.idealMemory = true;
+    SpawnRun r = runCollatz(256, cfg);
+    for (uint32_t i = 0; i < 256; i++)
+        ASSERT_EQ(r.result[i], collatzSteps(i % 19 + 3));
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Spawn unit (LUT / partial warp pool / FIFO) unit tests — the paper's
+ * Sec. IV-C warp-formation hardware.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simt/assembler.hpp"
+#include "spawn/spawn_layout.hpp"
+#include "spawn/spawn_unit.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+
+namespace {
+
+class SpawnUnitTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        config_ = test::smallConfig();
+        program_ = assemble(R"(
+            .entry main
+            .microkernel mk_a
+            .microkernel mk_b
+            .spawn_state 48
+            main:
+                exit;
+            mk_a:
+                exit;
+            mk_b:
+                exit;
+        )");
+        layout_ = SpawnMemoryLayout::compute(48, 256, 2,
+                                             config_.warpSize);
+        store_ = Store("spawn", layout_.totalBytes);
+        unit_ = std::make_unique<SpawnUnit>(config_, program_, layout_);
+    }
+
+    /** Spawn @p n threads toward micro-kernel @p index. */
+    SpawnIssue spawnN(int index, int n, uint32_t firstDataPtr = 0)
+    {
+        std::vector<uint32_t> ptrs(config_.warpSize, 0);
+        uint64_t mask = 0;
+        for (int i = 0; i < n; i++) {
+            ptrs[i] = firstDataPtr + i * 48;
+            mask |= uint64_t{1} << i;
+        }
+        return unit_->spawn(program_.microKernels[index].pc, mask, ptrs,
+                            store_);
+    }
+
+    GpuConfig config_;
+    Program program_;
+    SpawnMemoryLayout layout_;
+    Store store_;
+    std::unique_ptr<SpawnUnit> unit_;
+};
+
+TEST_F(SpawnUnitTest, LayoutSizing)
+{
+    // entries = (256 + (2-1)*32) * 2 = 576, rounded to warp multiple.
+    EXPECT_EQ(layout_.dataSlots, 256u);
+    EXPECT_EQ(layout_.formationEntries, 576u);
+    EXPECT_EQ(layout_.formationBase, 256u * 48);
+    EXPECT_EQ(layout_.stateAddr(3), 3u * 48);
+    EXPECT_EQ(layout_.slotOf(5 * 48), 5u);
+    EXPECT_TRUE(layout_.inFormationRegion(layout_.formationBase));
+    EXPECT_FALSE(layout_.inFormationRegion(layout_.formationBase - 4));
+}
+
+TEST_F(SpawnUnitTest, PartialWarpAccumulates)
+{
+    spawnN(0, 10);
+    EXPECT_TRUE(unit_->fifoEmpty());
+    EXPECT_TRUE(unit_->hasPartialWarps());
+    EXPECT_EQ(unit_->partialThreadCount(), 10);
+    EXPECT_EQ(unit_->lutLine(0).count, 10u);
+    EXPECT_EQ(unit_->threadsSpawned(), 10u);
+
+    spawnN(0, 10);
+    EXPECT_EQ(unit_->lutLine(0).count, 20u);
+    EXPECT_TRUE(unit_->fifoEmpty());
+}
+
+TEST_F(SpawnUnitTest, WarpCompletesIntoFifo)
+{
+    spawnN(0, 20);
+    SpawnIssue issue = spawnN(0, 12, 20 * 48);
+    EXPECT_EQ(issue.warpsCompleted, 1);
+    EXPECT_EQ(unit_->fifoSize(), 1u);
+    EXPECT_EQ(unit_->lutLine(0).count, 0u);
+    EXPECT_EQ(unit_->warpsFormed(), 1u);
+
+    FormedWarp w = unit_->popWarp();
+    EXPECT_EQ(w.pc, program_.microKernels[0].pc);
+    EXPECT_EQ(w.threadCount, config_.warpSize);
+    // The formation region holds the 32 data pointers in spawn order.
+    EXPECT_EQ(store_.read32(w.regionAddr), 0u);
+    EXPECT_EQ(store_.read32(w.regionAddr + 19 * 4), 19u * 48);
+    EXPECT_EQ(store_.read32(w.regionAddr + 31 * 4), (20u + 11) * 48);
+}
+
+TEST_F(SpawnUnitTest, OverflowIntoSecondWarp)
+{
+    // 40 threads in one spawn: one full warp + 8 left in the new
+    // current region (the paper's overflow-address mechanism).
+    spawnN(0, 30);
+    std::vector<uint32_t> ptrs(config_.warpSize);
+    uint64_t mask = 0;
+    for (int i = 0; i < 32; i++) {
+        ptrs[i] = (30 + i) * 48;
+        mask |= uint64_t{1} << i;
+    }
+    SpawnIssue issue = unit_->spawn(program_.microKernels[0].pc, mask,
+                                    ptrs, store_);
+    EXPECT_EQ(issue.warpsCompleted, 1);
+    EXPECT_EQ(unit_->lutLine(0).count, 30u);    // 62 - 32
+    EXPECT_EQ(unit_->fifoSize(), 1u);
+
+    // All 62 store addresses must be unique.
+    std::set<uint64_t> seen;
+    for (uint64_t a : issue.storeAddrs) {
+        if (a == ~uint64_t{0})
+            continue;
+        EXPECT_TRUE(seen.insert(a).second) << "duplicate address " << a;
+    }
+}
+
+TEST_F(SpawnUnitTest, DistinctMicroKernelsUseDistinctLines)
+{
+    spawnN(0, 5);
+    spawnN(1, 7, 1024);
+    EXPECT_EQ(unit_->lutLine(0).count, 5u);
+    EXPECT_EQ(unit_->lutLine(1).count, 7u);
+    EXPECT_NE(unit_->lutLine(0).addr1, unit_->lutLine(1).addr1);
+}
+
+TEST_F(SpawnUnitTest, FlushLowestPcFirst)
+{
+    spawnN(1, 7);    // mk_b has the higher pc
+    spawnN(0, 5);    // mk_a lower pc
+    FormedWarp w = unit_->flushLowestPcPartial();
+    EXPECT_EQ(w.pc, program_.microKernels[0].pc);
+    EXPECT_EQ(w.threadCount, 5);
+    EXPECT_EQ(unit_->partialFlushes(), 1u);
+    EXPECT_TRUE(unit_->hasPartialWarps());     // mk_b still parked
+    FormedWarp w2 = unit_->flushLowestPcPartial();
+    EXPECT_EQ(w2.pc, program_.microKernels[1].pc);
+    EXPECT_EQ(w2.threadCount, 7);
+    EXPECT_FALSE(unit_->hasPartialWarps());
+}
+
+TEST_F(SpawnUnitTest, InactiveLanesGetNoAddress)
+{
+    std::vector<uint32_t> ptrs(config_.warpSize, 0);
+    ptrs[3] = 3 * 48;
+    ptrs[17] = 17 * 48;
+    SpawnIssue issue = unit_->spawn(program_.microKernels[0].pc,
+                                    (uint64_t{1} << 3) |
+                                        (uint64_t{1} << 17),
+                                    ptrs, store_);
+    for (size_t lane = 0; lane < issue.storeAddrs.size(); lane++) {
+        if (lane == 3 || lane == 17)
+            EXPECT_NE(issue.storeAddrs[lane], ~uint64_t{0});
+        else
+            EXPECT_EQ(issue.storeAddrs[lane], ~uint64_t{0});
+    }
+    EXPECT_EQ(unit_->partialThreadCount(), 2);
+}
+
+TEST_F(SpawnUnitTest, RegionReleaseAllowsRingReuse)
+{
+    // Fill-and-drain far past the ring capacity: with releases this
+    // must never throw.
+    for (int round = 0; round < 200; round++) {
+        spawnN(0, 32, uint32_t(round % 8) * 32 * 48);
+        FormedWarp w = unit_->popWarp();
+        unit_->releaseRegion(w.regionAddr);
+    }
+    EXPECT_EQ(unit_->warpsFormed(), 200u);
+}
+
+TEST_F(SpawnUnitTest, ExhaustionWithoutReleaseThrows)
+{
+    EXPECT_THROW(
+        {
+            for (int round = 0; round < 1000; round++) {
+                spawnN(0, 32);
+                unit_->popWarp();   // never released
+            }
+        },
+        std::runtime_error);
+}
+
+TEST_F(SpawnUnitTest, SpawnToUnknownPcThrows)
+{
+    std::vector<uint32_t> ptrs(config_.warpSize, 0);
+    EXPECT_THROW(unit_->spawn(9999, 1, ptrs, store_),
+                 std::runtime_error);
+}
+
+TEST(SpawnLayoutTest, PaperSizingExample)
+{
+    // Sec. IV-A2: size = NumThreads + (SpawnLocations-1)*WarpSize,
+    // doubled. With 800 threads, 4 locations, warp 32:
+    SpawnMemoryLayout l = SpawnMemoryLayout::compute(48, 800, 4, 32);
+    EXPECT_EQ(l.formationEntries, (800u + 3 * 32) * 2);
+    EXPECT_EQ(l.totalBytes, 800u * 48 + l.formationEntries * 4);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Statistics: occupancy binning, time windows, derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simt/stats.hpp"
+
+using namespace uksim;
+
+namespace {
+
+TEST(Stats, OccupancyBinning)
+{
+    SimStats s;
+    s.recordIssue(0, 1, 1000);      // bin 0 (W1:4)
+    s.recordIssue(0, 4, 1000);      // bin 0
+    s.recordIssue(0, 5, 1000);      // bin 1 (W5:8)
+    s.recordIssue(0, 17, 1000);     // bin 4 (W17:20)
+    s.recordIssue(0, 32, 1000);     // bin 7 (W29:32)
+    ASSERT_EQ(s.windows.size(), 1u);
+    EXPECT_EQ(s.windows[0].bins[0], 2u);
+    EXPECT_EQ(s.windows[0].bins[1], 1u);
+    EXPECT_EQ(s.windows[0].bins[4], 1u);
+    EXPECT_EQ(s.windows[0].bins[7], 1u);
+    EXPECT_EQ(s.warpIssues, 5u);
+    EXPECT_EQ(s.laneInstructions, 1u + 4 + 5 + 17 + 32);
+}
+
+TEST(Stats, WindowsSplitByCycle)
+{
+    SimStats s;
+    s.recordIssue(0, 32, 1000);
+    s.recordIssue(999, 32, 1000);
+    s.recordIssue(1000, 16, 1000);
+    s.recordIdle(2500, 1000);
+    ASSERT_EQ(s.windows.size(), 3u);
+    EXPECT_EQ(s.windows[0].bins[7], 2u);
+    EXPECT_EQ(s.windows[1].bins[3], 1u);
+    EXPECT_EQ(s.windows[2].idleIssueSlots, 1u);
+    EXPECT_EQ(s.windows[1].startCycle, 1000u);
+}
+
+TEST(Stats, DerivedMetrics)
+{
+    SimStats s;
+    s.cycles = 1000;
+    s.laneInstructions = 32000;
+    s.warpIssues = 2000;
+    EXPECT_DOUBLE_EQ(s.ipc(), 32.0);
+    EXPECT_DOUBLE_EQ(s.simtEfficiency(32), 0.5);
+
+    s.itemsCompleted = 500;
+    // 500 items over 1000 cycles at 1 GHz = 500M items/s.
+    EXPECT_DOUBLE_EQ(s.itemsPerSecond(1.0), 5e8);
+}
+
+TEST(Stats, ZeroCyclesSafe)
+{
+    SimStats s;
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(s.itemsPerSecond(1.3), 0.0);
+    EXPECT_DOUBLE_EQ(s.simtEfficiency(32), 0.0);
+}
+
+TEST(Stats, CsvSeries)
+{
+    SimStats s;
+    s.recordIssue(0, 32, 100);
+    s.recordIssue(150, 3, 100);
+    s.recordIdle(150, 100);
+    std::string csv = s.occupancyCsv();
+    EXPECT_NE(csv.find("W1:4"), std::string::npos);
+    EXPECT_NE(csv.find("W29:32"), std::string::npos);
+    // Two windows -> header + 2 rows.
+    int lines = 0;
+    for (char c : csv)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 3);
+}
+
+TEST(Stats, ZeroLaneIssueNotBinned)
+{
+    SimStats s;
+    s.recordIssue(0, 0, 100);
+    EXPECT_EQ(s.warpIssues, 1u);
+    EXPECT_TRUE(s.windows.empty());
+}
+
+} // namespace
