@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "example_kernels.hpp"
 #include "simt/assembler.hpp"
 #include "simt/gpu.hpp"
 
@@ -23,26 +24,7 @@ namespace {
 SimStats
 runPdomLoop(uint32_t threads, uint32_t maxIter)
 {
-    // Each thread loops (tid % maxIter) times — Fig. 2's loop B.
-    Program p = assemble(R"(
-        main:
-            mov.u32 r1, %tid;
-            rem.u32 r2, r1, )" + std::to_string(maxIter) + R"(;
-            mov.u32 r3, 0;
-        loop:
-            setp.ge.u32 p0, r3, r2;
-            @p0 bra done;
-            mul.u32 r4, r3, 2654435761;
-            xor.u32 r5, r5, r4;
-            add.u32 r3, r3, 1;
-            bra loop;
-        done:
-            ld.param.u32 r6, [0];
-            shl.u32 r7, r1, 2;
-            add.u32 r6, r6, r7;
-            st.global.u32 [r6+0], r5;
-            exit;
-    )");
+    Program p = assemble(examples::divergenceLoopSource(maxIter));
     GpuConfig cfg;
     cfg.numSms = 4;
     cfg.maxCycles = 100'000'000;
@@ -58,47 +40,7 @@ runPdomLoop(uint32_t threads, uint32_t maxIter)
 SimStats
 runSpawnLoop(uint32_t threads, uint32_t maxIter)
 {
-    // The same loop as a micro-kernel: each iteration is a spawned
-    // thread; threads at the same iteration pack into fresh warps.
-    Program p = assemble(R"(
-        .entry gen
-        .microkernel step
-        .spawn_state 16
-        gen:
-            mov.u32 r1, %tid;
-            rem.u32 r2, r1, )" + std::to_string(maxIter) + R"(;
-            mov.u32 r3, 0;
-            mov.u32 r5, 0;
-            mov.u32 r6, %spawnaddr;
-            st.spawn.u32 [r6+0], r2;   // remaining
-            st.spawn.u32 [r6+4], r5;   // acc
-            st.spawn.u32 [r6+8], r3;   // i
-            st.spawn.u32 [r6+12], r1;  // tid
-            spawn step, r6;
-            exit;
-        step:
-            mov.u32 r2, %spawnaddr;
-            ld.spawn.u32 r1, [r2+0];
-            ld.spawn.u32 r3, [r1+0];   // remaining
-            ld.spawn.u32 r5, [r1+4];   // acc
-            ld.spawn.u32 r4, [r1+8];   // i
-            setp.ge.u32 p0, r4, r3;
-            @p0 bra finish;
-            mul.u32 r6, r4, 2654435761;
-            xor.u32 r5, r5, r6;
-            add.u32 r4, r4, 1;
-            st.spawn.u32 [r1+4], r5;
-            st.spawn.u32 [r1+8], r4;
-            spawn step, r1;
-            exit;
-        finish:
-            ld.spawn.u32 r7, [r1+12];
-            ld.param.u32 r6, [0];
-            shl.u32 r8, r7, 2;
-            add.u32 r6, r6, r8;
-            st.global.u32 [r6+0], r5;
-            exit;
-    )");
+    Program p = assemble(examples::divergenceSpawnSource(maxIter));
     GpuConfig cfg;
     cfg.numSms = 4;
     cfg.maxCycles = 100'000'000;

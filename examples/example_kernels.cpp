@@ -1,0 +1,157 @@
+#include "example_kernels.hpp"
+
+namespace uksim::examples {
+
+const char *
+quickstartSource()
+{
+    // A kernel: out[tid] = tid * tid, computed with a data-dependent
+    // loop so some warps diverge.
+    return R"(
+        .const 4
+        main:
+            mov.u32 r1, %tid;
+            mov.u32 r2, 0;      // acc
+            mov.u32 r3, 0;      // i
+        loop:
+            setp.ge.u32 p0, r3, r1;
+            @p0 bra done;
+            add.u32 r2, r2, r1;
+            add.u32 r3, r3, 1;
+            bra loop;
+        done:
+            ld.param.u32 r4, [0];
+            shl.u32 r5, r1, 2;
+            add.u32 r4, r4, r5;
+            st.global.u32 [r4+0], r2;
+            exit;
+    )";
+}
+
+const char *
+collatzSource()
+{
+    return R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 16
+        .const 8
+        gen:
+            mov.u32 r1, %tid;
+            ld.param.u32 r2, [4];
+            setp.ge.u32 p0, r1, r2;
+            @p0 exit;
+            add.u32 r3, r1, 2;          // n = tid + 2
+            mov.u32 r4, 0;              // steps
+            mov.u32 r5, %spawnaddr;
+            st.spawn.u32 [r5+0], r3;
+            st.spawn.u32 [r5+4], r4;
+            st.spawn.u32 [r5+8], r1;
+            spawn step, r5;
+            exit;
+        step:
+            mov.u32 r2, %spawnaddr;
+            ld.spawn.u32 r1, [r2+0];
+            ld.spawn.u32 r3, [r1+0];    // n
+            ld.spawn.u32 r4, [r1+4];    // steps
+            setp.eq.u32 p0, r3, 1;
+            @p0 bra finish;
+            and.u32 r5, r3, 1;
+            setp.eq.u32 p1, r5, 0;
+            @p1 bra even;
+            mul.u32 r3, r3, 3;
+            add.u32 r3, r3, 1;
+            bra continue_;
+        even:
+            shr.u32 r3, r3, 1;
+        continue_:
+            add.u32 r4, r4, 1;
+            st.spawn.u32 [r1+0], r3;
+            st.spawn.u32 [r1+4], r4;
+            spawn step, r1;
+            exit;
+        finish:
+            ld.spawn.u32 r5, [r1+8];    // original tid
+            ld.param.u32 r6, [0];
+            shl.u32 r7, r5, 2;
+            add.u32 r6, r6, r7;
+            st.global.u32 [r6+0], r4;
+            exit;
+    )";
+}
+
+std::string
+divergenceLoopSource(uint32_t maxIter)
+{
+    // Each thread loops (tid % maxIter) times — Fig. 2's loop B.
+    return R"(
+        .const 4
+        main:
+            mov.u32 r1, %tid;
+            rem.u32 r2, r1, )" + std::to_string(maxIter) + R"(;
+            mov.u32 r3, 0;
+            mov.u32 r5, 0;
+        loop:
+            setp.ge.u32 p0, r3, r2;
+            @p0 bra done;
+            mul.u32 r4, r3, 2654435761;
+            xor.u32 r5, r5, r4;
+            add.u32 r3, r3, 1;
+            bra loop;
+        done:
+            ld.param.u32 r6, [0];
+            shl.u32 r7, r1, 2;
+            add.u32 r6, r6, r7;
+            st.global.u32 [r6+0], r5;
+            exit;
+    )";
+}
+
+std::string
+divergenceSpawnSource(uint32_t maxIter)
+{
+    // The same loop as a micro-kernel: each iteration is a spawned
+    // thread; threads at the same iteration pack into fresh warps.
+    return R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 16
+        .const 4
+        gen:
+            mov.u32 r1, %tid;
+            rem.u32 r2, r1, )" + std::to_string(maxIter) + R"(;
+            mov.u32 r3, 0;
+            mov.u32 r5, 0;
+            mov.u32 r6, %spawnaddr;
+            st.spawn.u32 [r6+0], r2;   // remaining
+            st.spawn.u32 [r6+4], r5;   // acc
+            st.spawn.u32 [r6+8], r3;   // i
+            st.spawn.u32 [r6+12], r1;  // tid
+            spawn step, r6;
+            exit;
+        step:
+            mov.u32 r2, %spawnaddr;
+            ld.spawn.u32 r1, [r2+0];
+            ld.spawn.u32 r3, [r1+0];   // remaining
+            ld.spawn.u32 r5, [r1+4];   // acc
+            ld.spawn.u32 r4, [r1+8];   // i
+            setp.ge.u32 p0, r4, r3;
+            @p0 bra finish;
+            mul.u32 r6, r4, 2654435761;
+            xor.u32 r5, r5, r6;
+            add.u32 r4, r4, 1;
+            st.spawn.u32 [r1+4], r5;
+            st.spawn.u32 [r1+8], r4;
+            spawn step, r1;
+            exit;
+        finish:
+            ld.spawn.u32 r7, [r1+12];
+            ld.param.u32 r6, [0];
+            shl.u32 r8, r7, 2;
+            add.u32 r6, r6, r8;
+            st.global.u32 [r6+0], r5;
+            exit;
+    )";
+}
+
+} // namespace uksim::examples

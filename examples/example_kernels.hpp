@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Assembly sources shared by the runnable examples, the `ukverify`
+ * linter's --builtin mode, and the verify_kernels ctest. Keeping the
+ * sources in one library means "example code drifted out of
+ * verifier-clean" fails `ctest` instead of rendering garbage.
+ */
+
+#ifndef UKSIM_EXAMPLES_EXAMPLE_KERNELS_HPP
+#define UKSIM_EXAMPLES_EXAMPLE_KERNELS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace uksim::examples {
+
+/** quickstart's divergent-loop kernel (out[tid] = tid * tid). */
+const char *quickstartSource();
+
+/** spawn_collatz's generator + step µ-kernel. */
+const char *collatzSource();
+
+/** divergence_explorer's PDOM loop, thread i runs i % maxIter times. */
+std::string divergenceLoopSource(uint32_t maxIter);
+
+/** The same loop expressed as a spawned µ-kernel per iteration. */
+std::string divergenceSpawnSource(uint32_t maxIter);
+
+} // namespace uksim::examples
+
+#endif // UKSIM_EXAMPLES_EXAMPLE_KERNELS_HPP

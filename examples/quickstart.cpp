@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "example_kernels.hpp"
 #include "simt/assembler.hpp"
 #include "simt/gpu.hpp"
 
@@ -15,26 +16,7 @@ using namespace uksim;
 int
 main()
 {
-    // A kernel: out[tid] = tid * tid, computed with a data-dependent
-    // loop so some warps diverge.
-    Program program = assemble(R"(
-        main:
-            mov.u32 r1, %tid;
-            mov.u32 r2, 0;      // acc
-            mov.u32 r3, 0;      // i
-        loop:
-            setp.ge.u32 p0, r3, r1;
-            @p0 bra done;
-            add.u32 r2, r2, r1;
-            add.u32 r3, r3, 1;
-            bra loop;
-        done:
-            ld.param.u32 r4, [0];
-            shl.u32 r5, r1, 2;
-            add.u32 r4, r4, r5;
-            st.global.u32 [r4+0], r2;
-            exit;
-    )");
+    Program program = assemble(examples::quickstartSource());
     std::printf("assembled %zu instructions, %d registers/thread\n",
                 program.size(), program.resources.registers);
 

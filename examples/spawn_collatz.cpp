@@ -13,59 +13,13 @@
 #include <cstdlib>
 #include <vector>
 
+#include "example_kernels.hpp"
 #include "simt/assembler.hpp"
 #include "simt/gpu.hpp"
 
 using namespace uksim;
 
 namespace {
-
-const char kKernel[] = R"(
-    .entry gen
-    .microkernel step
-    .spawn_state 16
-    gen:
-        mov.u32 r1, %tid;
-        ld.param.u32 r2, [4];
-        setp.ge.u32 p0, r1, r2;
-        @p0 exit;
-        add.u32 r3, r1, 2;          // n = tid + 2
-        mov.u32 r4, 0;              // steps
-        mov.u32 r5, %spawnaddr;
-        st.spawn.u32 [r5+0], r3;
-        st.spawn.u32 [r5+4], r4;
-        st.spawn.u32 [r5+8], r1;
-        spawn step, r5;
-        exit;
-    step:
-        mov.u32 r2, %spawnaddr;
-        ld.spawn.u32 r1, [r2+0];
-        ld.spawn.u32 r3, [r1+0];    // n
-        ld.spawn.u32 r4, [r1+4];    // steps
-        setp.eq.u32 p0, r3, 1;
-        @p0 bra finish;
-        and.u32 r5, r3, 1;
-        setp.eq.u32 p1, r5, 0;
-        @p1 bra even;
-        mul.u32 r3, r3, 3;
-        add.u32 r3, r3, 1;
-        bra continue_;
-    even:
-        shr.u32 r3, r3, 1;
-    continue_:
-        add.u32 r4, r4, 1;
-        st.spawn.u32 [r1+0], r3;
-        st.spawn.u32 [r1+4], r4;
-        spawn step, r1;
-        exit;
-    finish:
-        ld.spawn.u32 r5, [r1+8];    // original tid
-        ld.param.u32 r6, [0];
-        shl.u32 r7, r5, 2;
-        add.u32 r6, r6, r7;
-        st.global.u32 [r6+0], r4;
-        exit;
-)";
 
 uint32_t
 collatzReference(uint64_t n)
@@ -89,7 +43,7 @@ main(int argc, char **argv)
     cfg.numSms = 4;
     cfg.maxCycles = 500'000'000;
     Gpu gpu(cfg);
-    gpu.loadProgram(assemble(kKernel));
+    gpu.loadProgram(assemble(examples::collatzSource()));
 
     uint32_t out = gpu.mallocGlobal(uint64_t(count) * 4);
     uint32_t params[2] = {out, count};

@@ -325,6 +325,7 @@ class Parser
             if (!isIdent(arg))
                 fail("bad entry label");
             entryLabel_ = arg;
+            entryLine_ = line_;
         } else if (name == ".microkernel") {
             if (!isIdent(arg))
                 fail("bad microkernel label");
@@ -604,8 +605,8 @@ class Parser
         if (!entryLabel_.empty()) {
             auto it = prog_.labels.find(entryLabel_);
             if (it == prog_.labels.end())
-                throw AssemblerError(0, "undefined entry '" + entryLabel_ +
-                                        "'");
+                throw AssemblerError(entryLine_, "undefined entry '" +
+                                                 entryLabel_ + "'");
             prog_.entryPc = it->second;
             prog_.entryName = entryLabel_;
         }
@@ -632,13 +633,38 @@ class Parser
         }
         // Register bound check.
         int measured = prog_.measuredRegisterCount();
-        if (prog_.resources.registers == 0)
+        if (prog_.resources.registers == 0) {
             prog_.resources.registers = measured;
-        else if (measured > prog_.resources.registers)
-            throw AssemblerError(0, "program uses r" +
-                                    std::to_string(measured - 1) +
-                                    " beyond declared .reg " +
-                                    std::to_string(prog_.resources.registers));
+        } else if (measured > prog_.resources.registers) {
+            throw AssemblerError(
+                lineUsingRegister(measured - 1),
+                "program uses r" + std::to_string(measured - 1) +
+                    " beyond declared .reg " +
+                    std::to_string(prog_.resources.registers));
+        }
+    }
+
+    /** Source line of the first instruction touching register @p r. */
+    int lineUsingRegister(int r) const
+    {
+        for (const Instruction &inst : prog_.code) {
+            if (inst.dst >= 0 && inst.op != Opcode::SetP &&
+                inst.op != Opcode::VoteAll) {
+                int width = (inst.op == Opcode::Ld) ? inst.vecWidth : 1;
+                if (inst.dst + width - 1 >= r)
+                    return inst.line;
+            }
+            for (const Operand &o : inst.src) {
+                if (o.kind == OperandKind::Reg && o.reg >= r)
+                    return inst.line;
+            }
+            if (inst.op == Opcode::St &&
+                inst.src[1].kind == OperandKind::Reg &&
+                inst.src[1].reg + int(inst.vecWidth) - 1 >= r) {
+                return inst.line;
+            }
+        }
+        return 0;
     }
 
     Program prog_;
@@ -647,6 +673,7 @@ class Parser
     std::vector<PendingRef> refs_;
     std::vector<std::pair<std::string, int>> microLabels_;
     std::string entryLabel_;
+    int entryLine_ = 0;
     int line_ = 0;
 };
 

@@ -32,6 +32,13 @@ enum class SchedulingMode : uint8_t {
     Thread,
 };
 
+/** Static program verification applied when a program is loaded. */
+enum class VerifyMode : uint8_t {
+    Off,        ///< no verification (default; matches prior behavior)
+    Warn,       ///< print the diagnostic report to stderr, always load
+    Strict,     ///< throw std::runtime_error when the verifier finds errors
+};
+
 /** Full machine configuration. */
 struct GpuConfig {
     // --- Table I ----------------------------------------------------------
@@ -77,6 +84,9 @@ struct GpuConfig {
     // --- Scheduling -----------------------------------------------------------
     SchedulingMode scheduling = SchedulingMode::Thread;
     int blockSizeThreads = 64;          ///< 2 warps/block (Sec. VI-A)
+
+    /// Static µ-kernel verification run by Gpu::loadProgram (verifier.hpp).
+    VerifyMode verifyPrograms = VerifyMode::Off;
 
     // --- Run control ------------------------------------------------------------
     uint64_t maxCycles = 300000;        ///< paper simulates first 300k cycles

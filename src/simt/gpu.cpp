@@ -7,7 +7,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
+
+#include "simt/verifier.hpp"
 
 namespace uksim {
 
@@ -79,6 +82,16 @@ Gpu::computeOccupancy(const GpuConfig &config, const Program &program)
 void
 Gpu::loadProgram(Program program)
 {
+    if (config_.verifyPrograms != VerifyMode::Off) {
+        if (config_.verifyPrograms == VerifyMode::Strict) {
+            verifyOrThrow(program);
+        } else {
+            VerifyResult result = verify(program);
+            if (!result.diagnostics.empty())
+                std::fputs(result.report().c_str(), stderr);
+        }
+    }
+
     program_ = std::move(program);
     occupancy_ = computeOccupancy(config_, program_);
 

@@ -31,7 +31,8 @@ Program::measuredRegisterCount() const
             maxReg = std::max(maxReg, o.reg);
     };
     for (const Instruction &inst : code) {
-        if (inst.dst >= 0 && inst.op != Opcode::SetP) {
+        if (inst.dst >= 0 && inst.op != Opcode::SetP &&
+            inst.op != Opcode::VoteAll) {
             // Destination registers; vector loads write a register range.
             int width = (inst.op == Opcode::Ld) ? inst.vecWidth : 1;
             maxReg = std::max(maxReg, inst.dst + width - 1);

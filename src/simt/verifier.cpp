@@ -1,0 +1,939 @@
+/**
+ * @file
+ * µ-kernel program verifier: iterative dataflow lints over the CFG.
+ *
+ * The analysis mirrors the structure of cfg.cpp's post-dominator solver:
+ * a worklist fixpoint over basic blocks, but running forward from each
+ * entry point with a "definitely assigned" must-set (intersection meet)
+ * plus a "possibly assigned" may-set (union meet) per register file, and
+ * a small abstract-value lattice used to resolve spawn/const/local
+ * addresses statically:
+ *
+ *     Top  |  Const c  |  SpawnRaw+off  |  StatePtr+off
+ *
+ * SpawnRaw is the raw %spawnaddr value: the spawn-state record base in a
+ * launch thread, but the warp-formation word in a spawned µ-kernel
+ * (paper Fig. 6). A scalar ld.spawn through SpawnRaw inside a µ-kernel
+ * yields StatePtr, the parent's state-record base, which is what the
+ * `.spawn_state` bounds are checked against.
+ */
+
+#include "simt/verifier.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "simt/cfg.hpp"
+
+namespace uksim {
+
+std::string
+Diagnostic::format() const
+{
+    std::ostringstream os;
+    os << (severity == Severity::Error ? "error[" : "warning[") << id
+       << "] ";
+    if (line > 0)
+        os << "line " << line << " ";
+    os << "(pc " << pc;
+    if (!entry.empty())
+        os << ", entry '" << entry << "'";
+    os << "): " << message;
+    return os.str();
+}
+
+size_t
+VerifyResult::errorCount() const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diagnostics)
+        n += d.severity == Severity::Error ? 1 : 0;
+    return n;
+}
+
+size_t
+VerifyResult::warningCount() const
+{
+    return diagnostics.size() - errorCount();
+}
+
+std::string
+VerifyResult::report() const
+{
+    if (diagnostics.empty())
+        return "";
+    std::ostringstream os;
+    for (const Diagnostic &d : diagnostics)
+        os << d.format() << "\n";
+    os << errorCount() << " error(s), " << warningCount()
+       << " warning(s)\n";
+    return os.str();
+}
+
+namespace {
+
+/** Abstract register value used to resolve addresses statically. */
+struct AbsVal {
+    enum class Kind : uint8_t {
+        Top,        ///< statically unknown
+        Const,      ///< known 32-bit constant
+        SpawnRaw,   ///< %spawnaddr + c
+        StatePtr,   ///< spawn-state record base + c
+    };
+    Kind kind = Kind::Top;
+    uint32_t c = 0;
+
+    bool operator==(const AbsVal &o) const
+    {
+        return kind == o.kind && (kind == Kind::Top || c == o.c);
+    }
+
+    static AbsVal top() { return {}; }
+    static AbsVal konst(uint32_t v) { return {Kind::Const, v}; }
+};
+
+AbsVal
+meetVal(const AbsVal &a, const AbsVal &b)
+{
+    return a == b ? a : AbsVal::top();
+}
+
+/** Per-program-point dataflow state (one warp lane's register files). */
+struct LaneState {
+    uint64_t regMust = 0;   ///< definitely-assigned general registers
+    uint64_t regMay = 0;    ///< possibly-assigned (incl. predicated defs)
+    uint16_t predMust = 0;
+    uint16_t predMay = 0;
+    std::array<AbsVal, kMaxRegisters> val{};
+
+    bool merge(const LaneState &o)
+    {
+        LaneState before = *this;
+        regMust &= o.regMust;
+        regMay |= o.regMay;
+        predMust &= o.predMust;
+        predMay |= o.predMay;
+        for (int r = 0; r < kMaxRegisters; r++)
+            val[r] = meetVal(val[r], o.val[r]);
+        return regMust != before.regMust || regMay != before.regMay ||
+               predMust != before.predMust || predMay != before.predMay ||
+               val != before.val;
+    }
+};
+
+/** One analyzed entry point (launch entry or a .microkernel). */
+struct EntryInfo {
+    uint32_t pc = 0;
+    std::string name;
+    bool isMicroKernel = false;
+    int mkIndex = -1;   ///< index in program.microKernels, -1 for launch
+};
+
+struct EntryAnalysis {
+    EntryInfo info;
+    std::set<int> reachable;            ///< block ids
+    std::map<int, LaneState> in;        ///< block id -> IN state
+    std::set<int> spawnTargets;         ///< µ-kernel indices spawned
+    std::set<uint32_t> storeWords;      ///< state words stored (off / 4)
+    std::map<uint32_t, uint32_t> loadWords; ///< state word -> first pc
+};
+
+class Verifier
+{
+  public:
+    Verifier(const Program &program, VerifyResult &out)
+        : prog_(program), out_(out)
+    {
+    }
+
+    void run()
+    {
+        if (prog_.code.empty()) {
+            add(Severity::Error, "empty-program", 0, "",
+                "program has no instructions");
+            return;
+        }
+        globalChecks();
+        if (malformed_)
+            return;     // targets out of range: CFG cannot be built
+
+        cfg_ = std::make_unique<Cfg>(prog_);
+        collectEntries();
+        for (EntryAnalysis &ea : entries_) {
+            findReachable(ea);
+            solveDataflow(ea);
+            checkBlocks(ea);
+        }
+        structuralChecks();
+        spawnGraphChecks();
+    }
+
+  private:
+    // --- Diagnostic plumbing -----------------------------------------------
+    void add(Severity sev, const char *id, uint32_t pc,
+             const std::string &entry, const std::string &msg)
+    {
+        int line = pc < prog_.code.size() ? prog_.code[pc].line : 0;
+        out_.diagnostics.push_back({sev, id, pc, line, entry, msg});
+    }
+
+    /** Emit once per (pc, id) no matter how many entries reach the pc. */
+    void addOnce(Severity sev, const char *id, uint32_t pc,
+                 const std::string &entry, const std::string &msg)
+    {
+        if (emitted_.insert({pc, id}).second)
+            add(sev, id, pc, entry, msg);
+    }
+
+    // --- Global (entry-independent) checks ---------------------------------
+    void globalChecks()
+    {
+        const int declaredRegs =
+            prog_.resources.registers > 0 ? prog_.resources.registers
+                                          : kMaxRegisters;
+        auto checkReg = [&](uint32_t pc, int r, int width,
+                            const char *what) {
+            int hi = r + width - 1;
+            if (r < 0 || hi >= kMaxRegisters) {
+                add(Severity::Error, "reg-range", pc, "",
+                    std::string(what) + " r" + std::to_string(r) +
+                        (width > 1 ? ".." + std::to_string(hi) : "") +
+                        " outside the architectural register file (" +
+                        std::to_string(kMaxRegisters) + " registers)");
+            } else if (hi >= declaredRegs) {
+                add(Severity::Error, "reg-range", pc, "",
+                    std::string(what) + " r" + std::to_string(hi) +
+                        " beyond the .reg " +
+                        std::to_string(declaredRegs) + " declaration");
+            }
+        };
+        auto checkPred = [&](uint32_t pc, int p, const char *what) {
+            if (p < 0 || p >= kNumPredicates) {
+                add(Severity::Error, "pred-range", pc, "",
+                    std::string(what) + " p" + std::to_string(p) +
+                        " outside the predicate file (" +
+                        std::to_string(kNumPredicates) + " predicates)");
+            }
+        };
+
+        for (uint32_t pc = 0; pc < prog_.code.size(); pc++) {
+            const Instruction &inst = prog_.code[pc];
+            if (inst.guardPred >= kNumPredicates)
+                checkPred(pc, inst.guardPred, "guard predicate");
+            if (inst.dst >= 0 || inst.op == Opcode::SetP ||
+                inst.op == Opcode::VoteAll) {
+                if (inst.op == Opcode::SetP || inst.op == Opcode::VoteAll)
+                    checkPred(pc, inst.dst, "destination");
+                else
+                    checkReg(pc, inst.dst,
+                             inst.op == Opcode::Ld ? inst.vecWidth : 1,
+                             "destination");
+            }
+            for (int i = 0; i < 3; i++) {
+                const Operand &o = inst.src[i];
+                if (o.kind == OperandKind::Reg) {
+                    int width = (inst.op == Opcode::St && i == 1)
+                                    ? inst.vecWidth
+                                    : 1;
+                    checkReg(pc, o.reg, width, "source");
+                } else if (o.kind == OperandKind::Pred) {
+                    checkPred(pc, o.reg, "source");
+                }
+            }
+            if (inst.op == Opcode::Bar && inst.guardPred >= 0) {
+                add(Severity::Error, "bar-guarded", pc, "",
+                    "bar under a guard predicate: inactive lanes never "
+                    "reach the barrier, deadlocking the block");
+            }
+            if (inst.op == Opcode::Bra || inst.op == Opcode::Spawn) {
+                if (inst.target >= prog_.code.size()) {
+                    add(Severity::Error, "branch-target", pc, "",
+                        "target pc " + std::to_string(inst.target) +
+                            " outside the program");
+                    malformed_ = true;
+                }
+            }
+            if (inst.op == Opcode::Spawn && !malformed_ &&
+                prog_.microKernelIndex(inst.target) < 0) {
+                add(Severity::Error, "spawn-target", pc, "",
+                    "spawn target pc " + std::to_string(inst.target) +
+                        " is not a declared .microkernel entry");
+            }
+        }
+        if (prog_.entryPc >= prog_.code.size()) {
+            add(Severity::Error, "branch-target", 0, "",
+                "entry pc " + std::to_string(prog_.entryPc) +
+                    " outside the program");
+            malformed_ = true;
+        }
+        for (const MicroKernelEntry &mk : prog_.microKernels) {
+            if (mk.pc >= prog_.code.size()) {
+                add(Severity::Error, "branch-target", 0, "",
+                    "microkernel '" + mk.name + "' entry pc outside the "
+                    "program");
+                malformed_ = true;
+            }
+        }
+    }
+
+    // --- Entry enumeration ---------------------------------------------------
+    void collectEntries()
+    {
+        EntryAnalysis launch;
+        launch.info.pc = prog_.entryPc;
+        launch.info.name =
+            prog_.entryName.empty() ? "<entry>" : prog_.entryName;
+        entries_.push_back(std::move(launch));
+        for (size_t i = 0; i < prog_.microKernels.size(); i++) {
+            EntryAnalysis ea;
+            ea.info.pc = prog_.microKernels[i].pc;
+            ea.info.name = prog_.microKernels[i].name;
+            ea.info.isMicroKernel = true;
+            ea.info.mkIndex = static_cast<int>(i);
+            entries_.push_back(std::move(ea));
+        }
+    }
+
+    // --- Reachability ---------------------------------------------------------
+    void findReachable(EntryAnalysis &ea)
+    {
+        std::deque<int> work;
+        int start = cfg_->blockOf(ea.info.pc);
+        ea.reachable.insert(start);
+        work.push_back(start);
+        while (!work.empty()) {
+            int b = work.front();
+            work.pop_front();
+            for (int s : cfg_->blocks()[b].successors) {
+                if (s == Cfg::kVirtualExit)
+                    continue;
+                if (ea.reachable.insert(s).second)
+                    work.push_back(s);
+            }
+        }
+        // Control reaching a *different* entry point means a region falls
+        // through (or branches) past its exit into foreign code.
+        for (const EntryAnalysis &other : entries_) {
+            if (other.info.pc == ea.info.pc)
+                continue;
+            int ob = cfg_->blockOf(other.info.pc);
+            if (ea.reachable.count(ob) &&
+                cfg_->blocks()[ob].first == other.info.pc) {
+                addOnce(Severity::Error, "entry-overlap", other.info.pc,
+                        ea.info.name,
+                        "control flow from entry '" + ea.info.name +
+                            "' reaches entry '" + other.info.name +
+                            "' (missing exit?)");
+            }
+        }
+    }
+
+    // --- Abstract evaluation -------------------------------------------------
+    AbsVal evalOperand(const Operand &o, const LaneState &s,
+                       bool microKernel) const
+    {
+        switch (o.kind) {
+          case OperandKind::Reg:
+            return o.reg >= 0 && o.reg < kMaxRegisters ? s.val[o.reg]
+                                                       : AbsVal::top();
+          case OperandKind::Imm:
+            return AbsVal::konst(o.imm);
+          case OperandKind::Special:
+            if (o.sreg == SpecialReg::SpawnMemAddr) {
+                // In a launch thread %spawnaddr IS the state record; in
+                // a spawned µ-kernel it is the formation word.
+                return {microKernel ? AbsVal::Kind::SpawnRaw
+                                    : AbsVal::Kind::StatePtr,
+                        0};
+            }
+            return AbsVal::top();
+          default:
+            return AbsVal::top();
+        }
+    }
+
+    AbsVal evalAlu(const Instruction &inst, const LaneState &s,
+                   bool microKernel) const
+    {
+        const AbsVal a = evalOperand(inst.src[0], s, microKernel);
+        const AbsVal b = evalOperand(inst.src[1], s, microKernel);
+        const bool isPtr = [](const AbsVal &v) {
+            return v.kind == AbsVal::Kind::SpawnRaw ||
+                   v.kind == AbsVal::Kind::StatePtr;
+        } (a);
+
+        if (inst.op == Opcode::Mov)
+            return a;
+        if (inst.type == DataType::F32)
+            return AbsVal::top();   // float arithmetic is never an address
+
+        const bool aConst = a.kind == AbsVal::Kind::Const;
+        const bool bConst = b.kind == AbsVal::Kind::Const;
+        switch (inst.op) {
+          case Opcode::Add:
+            if (aConst && bConst)
+                return AbsVal::konst(a.c + b.c);
+            if (isPtr && bConst)
+                return {a.kind, a.c + b.c};
+            if (aConst && (b.kind == AbsVal::Kind::SpawnRaw ||
+                           b.kind == AbsVal::Kind::StatePtr))
+                return {b.kind, b.c + a.c};
+            return AbsVal::top();
+          case Opcode::Sub:
+            if (aConst && bConst)
+                return AbsVal::konst(a.c - b.c);
+            if (isPtr && bConst)
+                return {a.kind, a.c - b.c};
+            return AbsVal::top();
+          case Opcode::Mul:
+            return aConst && bConst ? AbsVal::konst(a.c * b.c)
+                                    : AbsVal::top();
+          case Opcode::Shl:
+            return aConst && bConst ? AbsVal::konst(a.c << (b.c & 31))
+                                    : AbsVal::top();
+          case Opcode::Shr:
+            if (!(aConst && bConst))
+                return AbsVal::top();
+            return inst.type == DataType::S32
+                       ? AbsVal::konst(uint32_t(int32_t(a.c) >>
+                                                (b.c & 31)))
+                       : AbsVal::konst(a.c >> (b.c & 31));
+          case Opcode::And:
+            return aConst && bConst ? AbsVal::konst(a.c & b.c)
+                                    : AbsVal::top();
+          case Opcode::Or:
+            return aConst && bConst ? AbsVal::konst(a.c | b.c)
+                                    : AbsVal::top();
+          case Opcode::Xor:
+            return aConst && bConst ? AbsVal::konst(a.c ^ b.c)
+                                    : AbsVal::top();
+          case Opcode::SelP:
+            return meetVal(a, b);   // same value either way -> keep it
+          default:
+            return AbsVal::top();
+        }
+    }
+
+    // --- Transfer function ----------------------------------------------------
+    void defineRegs(LaneState &s, int r, int width, bool guarded,
+                    AbsVal v) const
+    {
+        for (int i = r; i < r + width && i >= 0 && i < kMaxRegisters;
+             i++) {
+            const uint64_t bit = uint64_t{1} << i;
+            s.regMay |= bit;
+            AbsVal nv = (i == r) ? v : AbsVal::top();
+            if (guarded) {
+                // A predicated definition only *maybe* assigns: the
+                // value afterwards is the meet of old and new.
+                s.val[i] = meetVal(s.val[i], nv);
+            } else {
+                s.regMust |= bit;
+                s.val[i] = nv;
+            }
+        }
+    }
+
+    void definePred(LaneState &s, int p, bool guarded) const
+    {
+        if (p < 0 || p >= kNumPredicates)
+            return;
+        const uint16_t bit = uint16_t(1) << p;
+        s.predMay |= bit;
+        if (!guarded)
+            s.predMust |= bit;
+    }
+
+    void apply(const Instruction &inst, LaneState &s,
+               bool microKernel) const
+    {
+        const bool guarded = inst.guardPred >= 0;
+        switch (inst.op) {
+          case Opcode::SetP:
+          case Opcode::VoteAll:
+            definePred(s, inst.dst, guarded);
+            break;
+          case Opcode::Ld: {
+            AbsVal v = AbsVal::top();
+            if (inst.space == MemSpace::Spawn && inst.vecWidth == 1 &&
+                microKernel) {
+                AbsVal base = evalOperand(inst.src[0], s, microKernel);
+                if (base.kind == AbsVal::Kind::SpawnRaw)
+                    v = {AbsVal::Kind::StatePtr, 0};
+            }
+            defineRegs(s, inst.dst, inst.vecWidth, guarded, v);
+            break;
+          }
+          case Opcode::AtomAdd:
+          case Opcode::AtomExch:
+          case Opcode::AtomCas:
+            defineRegs(s, inst.dst, 1, guarded, AbsVal::top());
+            break;
+          case Opcode::St:
+          case Opcode::Bra:
+          case Opcode::Exit:
+          case Opcode::Bar:
+          case Opcode::Nop:
+          case Opcode::Spawn:
+            break;
+          default:
+            if (inst.dst >= 0) {
+                defineRegs(s, inst.dst, 1, guarded,
+                           evalAlu(inst, s, microKernel));
+            }
+            break;
+        }
+    }
+
+    // --- Dataflow fixpoint ----------------------------------------------------
+    void solveDataflow(EntryAnalysis &ea)
+    {
+        const int start = cfg_->blockOf(ea.info.pc);
+        ea.in[start] = LaneState{};
+        std::deque<int> work{start};
+        std::set<int> queued{start};
+
+        while (!work.empty()) {
+            int b = work.front();
+            work.pop_front();
+            queued.erase(b);
+
+            LaneState s = ea.in[b];
+            const BasicBlock &bb = cfg_->blocks()[b];
+            // An entry block in the middle of the stream can contain
+            // instructions before the entry pc (the CFG partitions the
+            // whole stream); start the walk at the entry pc itself.
+            uint32_t first = bb.first;
+            if (b == start && ea.info.pc > first)
+                first = ea.info.pc;
+            for (uint32_t pc = first; pc <= bb.last; pc++)
+                apply(prog_.code[pc], s, ea.info.isMicroKernel);
+
+            for (int succ : bb.successors) {
+                if (succ == Cfg::kVirtualExit)
+                    continue;
+                auto it = ea.in.find(succ);
+                bool changed;
+                if (it == ea.in.end()) {
+                    ea.in[succ] = s;
+                    changed = true;
+                } else {
+                    changed = it->second.merge(s);
+                }
+                if (changed && queued.insert(succ).second)
+                    work.push_back(succ);
+            }
+        }
+    }
+
+    // --- Check pass -----------------------------------------------------------
+    void useReg(const EntryAnalysis &ea, uint32_t pc, const LaneState &s,
+                int r)
+    {
+        if (r < 0 || r >= kMaxRegisters)
+            return;     // reg-range already reported
+        if (s.regMust >> r & 1)
+            return;
+        if (!useSeen_.insert({pc, r}).second)
+            return;
+        const bool partial = s.regMay >> r & 1;
+        add(Severity::Error, "reg-uninit", pc, ea.info.name,
+            "r" + std::to_string(r) + " may be read before it is "
+            "written" +
+                (partial ? " (only assigned under a guard predicate "
+                           "on some path)"
+                         : std::string(" (never assigned on any path "
+                                       "from entry '") +
+                               ea.info.name + "')"));
+    }
+
+    void usePred(const EntryAnalysis &ea, uint32_t pc,
+                 const LaneState &s, int p)
+    {
+        if (p < 0 || p >= kNumPredicates)
+            return;
+        if (s.predMust >> p & 1)
+            return;
+        if (!useSeen_.insert({pc, kMaxRegisters + p}).second)
+            return;
+        const bool partial = s.predMay >> p & 1;
+        add(Severity::Error, "pred-uninit", pc, ea.info.name,
+            "p" + std::to_string(p) + " may be read before it is set" +
+                (partial ? " (only set under a guard predicate on some "
+                           "path)"
+                         : ""));
+    }
+
+    /** Signed effective offset of base value + instruction offset. */
+    static int64_t effOffset(const AbsVal &base, const Instruction &inst)
+    {
+        return int64_t(int32_t(base.c + uint32_t(inst.memOffset)));
+    }
+
+    void checkSpawnAccess(EntryAnalysis &ea, uint32_t pc,
+                          const Instruction &inst, const LaneState &s)
+    {
+        const bool isStore = inst.op == Opcode::St;
+        if (prog_.resources.spawnStateBytes == 0) {
+            addOnce(Severity::Error, "spawn-state-undeclared", pc,
+                    ea.info.name,
+                    "spawn memory access but the program declares no "
+                    ".spawn_state record");
+            return;
+        }
+        AbsVal base = evalOperand(inst.src[0], s, ea.info.isMicroKernel);
+        if (base.kind == AbsVal::Kind::SpawnRaw) {
+            // µ-kernel dereference of the raw formation word.
+            const int64_t off = effOffset(base, inst);
+            if (isStore) {
+                addOnce(Severity::Error, "spawn-formation-store", pc,
+                        ea.info.name,
+                        "store through %spawnaddr inside a µ-kernel "
+                        "clobbers the warp-formation word");
+                return;
+            }
+            if (off != 0 || inst.vecWidth != 1) {
+                addOnce(Severity::Warning, "spawn-formation-offset", pc,
+                        ea.info.name,
+                        "µ-kernel reads %spawnaddr at offset " +
+                            std::to_string(off) + " x" +
+                            std::to_string(inst.vecWidth) +
+                            "; each thread owns exactly one 4-byte "
+                            "formation word at offset 0");
+            }
+            return;
+        }
+        if (base.kind != AbsVal::Kind::StatePtr)
+            return;     // dynamic address; not statically checkable
+        const int64_t off = effOffset(base, inst);
+        const int64_t bytes = int64_t(4) * inst.vecWidth;
+        const uint32_t stateBytes = prog_.resources.spawnStateBytes;
+        if (off < 0 || off + bytes > stateBytes) {
+            addOnce(Severity::Error, "spawn-state-oob", pc, ea.info.name,
+                    std::string(isStore ? "store to" : "load from") +
+                        " spawn-state bytes [" + std::to_string(off) +
+                        ", " + std::to_string(off + bytes) +
+                        ") outside the .spawn_state " +
+                        std::to_string(stateBytes) +
+                        " record (overruns into a neighbour's state "
+                        "or the formation region)");
+            return;
+        }
+        for (int64_t w = off / 4; w < (off + bytes) / 4; w++) {
+            if (isStore)
+                ea.storeWords.insert(uint32_t(w));
+            else
+                ea.loadWords.emplace(uint32_t(w), pc);
+        }
+    }
+
+    void checkMemAccess(EntryAnalysis &ea, uint32_t pc,
+                        const Instruction &inst, const LaneState &s)
+    {
+        if (inst.space == MemSpace::Spawn) {
+            checkSpawnAccess(ea, pc, inst, s);
+            return;
+        }
+        const AbsVal base =
+            evalOperand(inst.src[0], s, ea.info.isMicroKernel);
+        const int64_t bytes = int64_t(4) * inst.vecWidth;
+        switch (inst.space) {
+          case MemSpace::Const:
+          case MemSpace::Param: {
+            if (base.kind != AbsVal::Kind::Const)
+                return;
+            const int64_t off = effOffset(base, inst);
+            const uint32_t constBytes = prog_.resources.constBytes;
+            if (constBytes == 0) {
+                addOnce(Severity::Warning, "const-undeclared", pc,
+                        ea.info.name,
+                        "param/const access but the program declares "
+                        "no .const size to check against");
+            } else if (off < 0 || off + bytes > constBytes) {
+                addOnce(Severity::Error, "const-oob", pc, ea.info.name,
+                        "access to const bytes [" + std::to_string(off) +
+                            ", " + std::to_string(off + bytes) +
+                            ") outside the declared .const " +
+                            std::to_string(constBytes));
+            }
+            break;
+          }
+          case MemSpace::Shared:
+            if (prog_.resources.sharedBytes == 0) {
+                addOnce(Severity::Error, "shared-undeclared", pc,
+                        ea.info.name,
+                        "shared memory access but .shared_per_thread "
+                        "is 0");
+            }
+            break;
+          case MemSpace::Local: {
+            if (prog_.resources.localBytes == 0) {
+                addOnce(Severity::Error, "local-undeclared", pc,
+                        ea.info.name,
+                        "local memory access but .local_per_thread "
+                        "is 0");
+                break;
+            }
+            if (base.kind != AbsVal::Kind::Const)
+                break;
+            const int64_t off = effOffset(base, inst);
+            if (off < 0 ||
+                off + bytes > prog_.resources.localBytes) {
+                addOnce(Severity::Error, "local-oob", pc, ea.info.name,
+                        "access to local bytes [" + std::to_string(off) +
+                            ", " + std::to_string(off + bytes) +
+                            ") outside .local_per_thread " +
+                            std::to_string(prog_.resources.localBytes));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    void checkInstruction(EntryAnalysis &ea, uint32_t pc,
+                          const Instruction &inst, const LaneState &s)
+    {
+        // Uses are checked against the state *before* the instruction.
+        if (inst.guardPred >= 0)
+            usePred(ea, pc, s, inst.guardPred);
+        for (int i = 0; i < 3; i++) {
+            const Operand &o = inst.src[i];
+            if (o.kind == OperandKind::Reg) {
+                const int width = (inst.op == Opcode::St && i == 1)
+                                      ? inst.vecWidth
+                                      : 1;
+                for (int r = o.reg; r < o.reg + width; r++)
+                    useReg(ea, pc, s, r);
+            } else if (o.kind == OperandKind::Pred) {
+                usePred(ea, pc, s, o.reg);
+            }
+        }
+
+        if (inst.isMemory())
+            checkMemAccess(ea, pc, inst, s);
+
+        if (inst.op == Opcode::Spawn) {
+            if (prog_.resources.spawnStateBytes == 0) {
+                addOnce(Severity::Error, "spawn-state-undeclared", pc,
+                        ea.info.name,
+                        "spawn without a .spawn_state declaration");
+            }
+            int mk = prog_.microKernelIndex(inst.target);
+            if (mk >= 0)
+                ea.spawnTargets.insert(mk);
+        }
+    }
+
+    void checkBlocks(EntryAnalysis &ea)
+    {
+        const int start = cfg_->blockOf(ea.info.pc);
+        for (int b : ea.reachable) {
+            auto it = ea.in.find(b);
+            if (it == ea.in.end())
+                continue;
+            LaneState s = it->second;
+            const BasicBlock &bb = cfg_->blocks()[b];
+            uint32_t first = bb.first;
+            if (b == start && ea.info.pc > first)
+                first = ea.info.pc;
+            for (uint32_t pc = first; pc <= bb.last; pc++) {
+                checkInstruction(ea, pc, prog_.code[pc], s);
+                apply(prog_.code[pc], s, ea.info.isMicroKernel);
+            }
+        }
+    }
+
+    // --- Structural checks ----------------------------------------------------
+    void structuralChecks()
+    {
+        std::set<int> reachableAll;
+        for (const EntryAnalysis &ea : entries_)
+            reachableAll.insert(ea.reachable.begin(), ea.reachable.end());
+
+        for (size_t b = 0; b < cfg_->blocks().size(); b++) {
+            if (reachableAll.count(int(b)))
+                continue;
+            const BasicBlock &bb = cfg_->blocks()[b];
+            addOnce(Severity::Warning, "unreachable", bb.first, "",
+                    "instructions at pc " + std::to_string(bb.first) +
+                        ".." + std::to_string(bb.last) +
+                        " are unreachable from every entry point");
+        }
+
+        // Falling off the end: the last reachable instruction must leave
+        // the program unconditionally.
+        const uint32_t lastPc = uint32_t(prog_.code.size()) - 1;
+        if (reachableAll.count(cfg_->blockOf(lastPc))) {
+            const Instruction &last = prog_.code[lastPc];
+            const bool leaves =
+                (last.op == Opcode::Exit || last.op == Opcode::Bra) &&
+                last.guardPred < 0;
+            if (!leaves) {
+                addOnce(Severity::Error, "fall-off-end", lastPc, "",
+                        "control may run past the last instruction "
+                        "(no unconditional exit)");
+            }
+        }
+
+        // bar inside the divergent region of a guarded branch.
+        for (int d : reachableAll) {
+            const BasicBlock &db = cfg_->blocks()[d];
+            const Instruction &br = prog_.code[db.last];
+            if (br.op != Opcode::Bra || br.guardPred < 0)
+                continue;
+            const int rejoin = cfg_->immediatePostDominator(d);
+            std::set<int> seen;
+            std::deque<int> work;
+            for (int succ : db.successors) {
+                if (succ != Cfg::kVirtualExit && succ != rejoin &&
+                    seen.insert(succ).second) {
+                    work.push_back(succ);
+                }
+            }
+            while (!work.empty()) {
+                int b = work.front();
+                work.pop_front();
+                const BasicBlock &bb = cfg_->blocks()[b];
+                for (uint32_t pc = bb.first; pc <= bb.last; pc++) {
+                    if (prog_.code[pc].op == Opcode::Bar) {
+                        addOnce(Severity::Warning, "bar-divergent", pc,
+                                "",
+                                "bar reachable while the warp may be "
+                                "diverged at the branch on line " +
+                                    std::to_string(br.line) +
+                                    "; lanes on the other path never "
+                                    "arrive");
+                    }
+                }
+                for (int succ : bb.successors) {
+                    if (succ != Cfg::kVirtualExit && succ != rejoin &&
+                        seen.insert(succ).second) {
+                        work.push_back(succ);
+                    }
+                }
+            }
+        }
+
+        // bar in spawned code: dynamic threads are not part of a block.
+        for (const EntryAnalysis &ea : entries_) {
+            if (!ea.info.isMicroKernel)
+                continue;
+            for (int b : ea.reachable) {
+                const BasicBlock &bb = cfg_->blocks()[b];
+                for (uint32_t pc = bb.first; pc <= bb.last; pc++) {
+                    if (prog_.code[pc].op == Opcode::Bar) {
+                        addOnce(Severity::Warning, "bar-in-microkernel",
+                                pc, ea.info.name,
+                                "bar reachable from µ-kernel '" +
+                                    ea.info.name +
+                                    "'; spawned threads have no thread "
+                                    "block to synchronize with");
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Spawn graph: never-spawned + handoff coverage ----------------------
+    void spawnGraphChecks()
+    {
+        // Entry 0 is the launch entry; walk the spawn graph from it.
+        std::set<size_t> live{0};
+        std::deque<size_t> work{0};
+        while (!work.empty()) {
+            size_t e = work.front();
+            work.pop_front();
+            for (int mk : entries_[e].spawnTargets) {
+                size_t idx = size_t(mk) + 1;    // entries_[1..] = µ-kernels
+                if (live.insert(idx).second)
+                    work.push_back(idx);
+            }
+        }
+
+        for (size_t e = 1; e < entries_.size(); e++) {
+            EntryAnalysis &ea = entries_[e];
+            if (!live.count(e)) {
+                addOnce(Severity::Warning, "never-spawned", ea.info.pc,
+                        ea.info.name,
+                        "µ-kernel '" + ea.info.name +
+                            "' is never spawned by code reachable from "
+                            "the launch entry");
+                continue;
+            }
+            // Union of state words written by every reachable spawner.
+            std::set<uint32_t> covered;
+            std::vector<std::string> spawnerNames;
+            for (const EntryAnalysis &sp : entries_) {
+                if (!sp.spawnTargets.count(ea.info.mkIndex))
+                    continue;
+                covered.insert(sp.storeWords.begin(),
+                               sp.storeWords.end());
+                spawnerNames.push_back(sp.info.name);
+            }
+            for (const auto &[word, pc] : ea.loadWords) {
+                if (covered.count(word))
+                    continue;
+                std::string who;
+                for (size_t i = 0; i < spawnerNames.size(); i++)
+                    who += (i ? ", " : "") + spawnerNames[i];
+                addOnce(Severity::Warning, "spawn-handoff", pc,
+                        ea.info.name,
+                        "µ-kernel '" + ea.info.name +
+                            "' loads spawn-state bytes [" +
+                            std::to_string(word * 4) + ", " +
+                            std::to_string(word * 4 + 4) +
+                            ") that no reachable spawner (" + who +
+                            ") stores");
+            }
+        }
+    }
+
+    const Program &prog_;
+    VerifyResult &out_;
+    std::unique_ptr<Cfg> cfg_;
+    std::vector<EntryAnalysis> entries_;
+    std::set<std::pair<uint32_t, std::string>> emitted_;
+    std::set<std::pair<uint32_t, int>> useSeen_;
+    bool malformed_ = false;
+};
+
+} // anonymous namespace
+
+VerifyResult
+verify(const Program &program, const VerifyOptions &opts)
+{
+    (void)opts;     // options only affect failure gating, not analysis
+    VerifyResult result;
+    Verifier v(program, result);
+    v.run();
+    std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.line != b.line) {
+                             if (a.line == 0 || b.line == 0)
+                                 return b.line == 0;
+                             return a.line < b.line;
+                         }
+                         return a.pc < b.pc;
+                     });
+    return result;
+}
+
+void
+verifyOrThrow(const Program &program, const VerifyOptions &opts)
+{
+    VerifyResult result = verify(program, opts);
+    if (result.failed(opts)) {
+        throw std::runtime_error("program failed verification:\n" +
+                                 result.report());
+    }
+}
+
+} // namespace uksim

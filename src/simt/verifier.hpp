@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Static µ-kernel program verifier (dataflow lints).
+ *
+ * The paper's spawn mechanism (Sec. IV-A/IV-B) relies on hand-written
+ * assembly getting an unchecked contract right: the parent stores its
+ * continuation state into its `.spawn_state` record, `spawn`s a declared
+ * `.microkernel`, and the child reads back exactly what was stored
+ * through the warp-formation word `%spawnaddr` points at. The assembler
+ * only checks syntax and label resolution, so a kernel that reads an
+ * uninitialized register or overruns its state record silently renders
+ * garbage or corrupts the formation region.
+ *
+ * verify() runs classic iterative dataflow over the program's CFG,
+ * separately from each entry point (the launch entry and every
+ * `.microkernel`), and reports structured diagnostics:
+ *
+ *   reg-uninit / pred-uninit   register or predicate possibly read
+ *                              before any unguarded definition
+ *                              (a predicated `@p0 mov r1, ...` does NOT
+ *                              fully define r1)
+ *   reg-range / pred-range     index outside the `.reg` declaration or
+ *                              the architectural register files
+ *   spawn-state-oob            statically resolvable `ld.spawn`/`st.spawn`
+ *                              outside the `.spawn_state` record
+ *   spawn-formation-store      µ-kernel store through the raw
+ *                              `%spawnaddr` formation word
+ *   spawn-formation-offset     µ-kernel dereferences `%spawnaddr` at a
+ *                              nonzero offset (a neighbour lane's word)
+ *   spawn-state-undeclared     spawn memory used with `.spawn_state 0`
+ *   spawn-target               spawn of a pc that is not a `.microkernel`
+ *   spawn-handoff              µ-kernel loads a spawn-state word that no
+ *                              reachable spawner stores
+ *   never-spawned              `.microkernel` no reachable code spawns
+ *   const-oob                  static `const`/`param` address beyond `.const`
+ *   shared-undeclared          shared access with `.shared_per_thread 0`
+ *   local-undeclared           local access with `.local_per_thread 0`
+ *   local-oob                  static local address beyond `.local_per_thread`
+ *   unreachable                code no entry point reaches
+ *   entry-overlap              control flow from one entry point reaches
+ *                              another entry point (fall-through past a
+ *                              guarded exit, usually)
+ *   fall-off-end               control may run past the last instruction
+ *   bar-guarded                `bar` under a guard predicate
+ *   bar-divergent              `bar` inside a divergent region of a
+ *                              guarded branch (deadlock risk)
+ *   bar-in-microkernel         `bar` reachable from a spawned µ-kernel
+ *                              (dynamic threads have no thread block)
+ *
+ * The pass is pure static analysis on an assembled Program; it never
+ * executes code and is safe to run on hand-constructed programs too.
+ */
+
+#ifndef UKSIM_SIMT_VERIFIER_HPP
+#define UKSIM_SIMT_VERIFIER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/program.hpp"
+
+namespace uksim {
+
+/** Diagnostic severity. Errors indicate rendering-garbage-class bugs. */
+enum class Severity : uint8_t {
+    Warning,
+    Error,
+};
+
+/** One verifier finding, attributed to a pc and its source line. */
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    std::string id;         ///< stable catalogue id, e.g. "reg-uninit"
+    uint32_t pc = 0;        ///< instruction the finding anchors to
+    int line = 0;           ///< 1-based source line (0 when synthetic)
+    std::string entry;      ///< entry point analyzed ("" for global checks)
+    std::string message;
+
+    /** "error[reg-uninit] line 12 (pc 3, entry 'uk_trav'): ..." */
+    std::string format() const;
+};
+
+/** Verification knobs. */
+struct VerifyOptions {
+    /**
+     * Lenient mode keeps analyzing after errors and never throws; this
+     * struct exists so callers can promote warnings when gating CI.
+     */
+    bool warningsAsErrors = false;
+};
+
+/** All findings for one program. */
+struct VerifyResult {
+    std::vector<Diagnostic> diagnostics;
+
+    size_t errorCount() const;
+    size_t warningCount() const;
+
+    /** True when the program must not be launched under strict mode. */
+    bool failed(const VerifyOptions &opts = {}) const
+    {
+        return errorCount() > 0 ||
+               (opts.warningsAsErrors && warningCount() > 0);
+    }
+
+    /** Multi-line human-readable report ("" when clean). */
+    std::string report() const;
+};
+
+/**
+ * Statically verify @p program. Diagnostics come back sorted by source
+ * line then pc; every finding carries the instruction's source line as
+ * recorded by the assembler.
+ */
+VerifyResult verify(const Program &program, const VerifyOptions &opts = {});
+
+/**
+ * Convenience for launch paths: verify and throw std::runtime_error
+ * carrying the full report when @p program fails under @p opts.
+ */
+void verifyOrThrow(const Program &program, const VerifyOptions &opts = {});
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_VERIFIER_HPP

@@ -15,6 +15,9 @@ SpawnMemoryLayout::compute(uint32_t state_bytes, uint32_t resident_threads,
 {
     assert(state_bytes > 0 && resident_threads > 0 && warp_size > 0);
     SpawnMemoryLayout layout;
+    // State records are accessed as 4-byte words; round odd sizes up so
+    // neighbouring records never share a word.
+    state_bytes = (state_bytes + 3u) & ~3u;
     layout.stateBytes = state_bytes;
     layout.dataBase = 0;
     layout.dataSlots = resident_threads;

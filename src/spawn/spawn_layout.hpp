@@ -52,7 +52,8 @@ struct SpawnMemoryLayout {
     /**
      * Compute the layout (Sec. IV-A2 sizing rule).
      *
-     * @param state_bytes largest state record any micro-kernel passes.
+     * @param state_bytes largest state record any micro-kernel passes
+     *        (rounded up to a 4-byte multiple; records are word-addressed).
      * @param resident_threads threads that can be resident on the SM.
      * @param spawn_locations number of declared micro-kernels.
      * @param warp_size threads per warp.

@@ -116,8 +116,9 @@ TEST_P(AdaptiveRender, MatchesCpuReference)
     ASSERT_TRUE(r.ranToCompletion);
     for (size_t i = 0; i < r.hits.size(); i++) {
         ASSERT_EQ(r.hits[i].triId, ref.hits[i].triId) << "pixel " << i;
-        if (ref.hits[i].valid())
+        if (ref.hits[i].valid()) {
             ASSERT_EQ(r.hits[i].t, ref.hits[i].t) << "pixel " << i;
+        }
     }
 }
 

@@ -194,8 +194,9 @@ TEST(KdTree, SceneRaysFromCameraMatchBruteForce)
             Hit oracle = tree.intersectBruteForce(r);
             ASSERT_EQ(ours.valid(), oracle.valid())
                 << "pixel " << x << "," << y;
-            if (ours.valid())
+            if (ours.valid()) {
                 EXPECT_EQ(ours.t, oracle.t);
+            }
         }
     }
 }

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Edge-case tests for SpawnMemoryLayout::compute (paper Sec. IV-A2
+ * sizing rule) and the inFormationRegion address classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "spawn/spawn_layout.hpp"
+
+using namespace uksim;
+
+namespace {
+
+TEST(SpawnLayout, ZeroSpawnLocationsStillGetsFormationEntries)
+{
+    // Programs without .microkernel declarations still get at least one
+    // warp's worth of (doubled) formation entries.
+    SpawnMemoryLayout l = SpawnMemoryLayout::compute(16, 64, 0, 32);
+    EXPECT_EQ(l.dataSlots, 64u);
+    // entries = (64 + 0 * 32) * 2 = 128, already warp-aligned.
+    EXPECT_EQ(l.formationEntries, 128u);
+    EXPECT_EQ(l.formationBase, 64u * 16u);
+    EXPECT_EQ(l.totalBytes, l.formationBase + 128u * 4u);
+}
+
+TEST(SpawnLayout, UnalignedStateBytesRoundUpToWord)
+{
+    // 13-byte records would make neighbouring records share a 4-byte
+    // word; compute() rounds the record size up.
+    SpawnMemoryLayout l = SpawnMemoryLayout::compute(13, 8, 1, 32);
+    EXPECT_EQ(l.stateBytes, 16u);
+    EXPECT_EQ(l.stateAddr(1), 16u);
+    EXPECT_EQ(l.slotOf(l.stateAddr(7)), 7u);
+    EXPECT_EQ(l.formationBase, 8u * 16u);
+}
+
+TEST(SpawnLayout, FormationRegionDoubling)
+{
+    // Sec. IV-A2: NumThreads + (SpawnLocations-1) * WarpSize entries,
+    // then doubled so in-flight warps are not clobbered by the ring
+    // allocator wrapping around.
+    SpawnMemoryLayout l = SpawnMemoryLayout::compute(48, 256, 3, 32);
+    const uint32_t base = 256 + (3 - 1) * 32;   // 320
+    EXPECT_EQ(l.formationEntries, base * 2);    // 640, warp-aligned
+    // Doubling happens before warp rounding; an odd base still rounds.
+    SpawnMemoryLayout o = SpawnMemoryLayout::compute(48, 100, 2, 32);
+    const uint32_t raw = (100 + 32) * 2;        // 264
+    EXPECT_EQ(o.formationEntries, (raw + 31) / 32 * 32);
+}
+
+TEST(SpawnLayout, InFormationRegionBoundaries)
+{
+    SpawnMemoryLayout l = SpawnMemoryLayout::compute(16, 8, 1, 4);
+    const uint64_t lo = l.formationBase;
+    const uint64_t hi = l.formationBase + uint64_t(l.formationEntries) * 4;
+    EXPECT_FALSE(l.inFormationRegion(lo - 1));  // last state-record byte
+    EXPECT_TRUE(l.inFormationRegion(lo));       // first formation byte
+    EXPECT_TRUE(l.inFormationRegion(hi - 1));   // last formation byte
+    EXPECT_FALSE(l.inFormationRegion(hi));      // one past the end
+    EXPECT_FALSE(l.inFormationRegion(0));       // state region proper
+}
+
+TEST(SpawnLayout, StateAddrSlotRoundTrip)
+{
+    SpawnMemoryLayout l = SpawnMemoryLayout::compute(48, 800, 4, 32);
+    for (uint32_t slot : {0u, 1u, 799u}) {
+        EXPECT_EQ(l.slotOf(l.stateAddr(slot)), slot);
+        EXPECT_FALSE(l.inFormationRegion(l.stateAddr(slot)));
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * Tests for the static µ-kernel verifier: each diagnostic class fires on
+ * a minimal reproducer with correct pc/line attribution, clean programs
+ * come back clean, and the shipped benchmark/example kernels all pass
+ * strict verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "example_kernels.hpp"
+#include "kernels/raytrace_kernels.hpp"
+#include "simt/assembler.hpp"
+#include "simt/gpu.hpp"
+#include "simt/verifier.hpp"
+
+using namespace uksim;
+
+namespace {
+
+/** Find the first diagnostic with @p id, or nullptr. */
+const Diagnostic *
+findDiag(const VerifyResult &result, const std::string &id)
+{
+    for (const Diagnostic &d : result.diagnostics) {
+        if (d.id == id)
+            return &d;
+    }
+    return nullptr;
+}
+
+// --- Use-before-def ---------------------------------------------------------
+
+TEST(Verifier, UseBeforeDefRegister)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        add.u32 r2, r1, r3;
+        st.global.u32 [r1+0], r2;
+        exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "reg-uninit");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->severity, Severity::Error);
+    EXPECT_EQ(d->pc, 1u);      // the add
+    EXPECT_EQ(d->line, 3);     // source line of the add
+    EXPECT_NE(d->message.find("r3"), std::string::npos);
+    EXPECT_TRUE(r.failed());
+}
+
+TEST(Verifier, UseBeforeDefPredicate)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        @p0 exit;
+        st.global.u32 [r1+0], r1;
+        exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "pred-uninit");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->pc, 1u);
+    EXPECT_EQ(d->line, 3);
+}
+
+TEST(Verifier, PredicatedDefDoesNotFullyDefine)
+{
+    // @p0 mov r2 only *maybe* defines r2; reading it afterwards is an
+    // error, and the message says the definition was guarded.
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.eq.u32 p0, r1, 0;
+        @p0 mov.u32 r2, 5;
+        st.global.u32 [r1+0], r2;
+        exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "reg-uninit");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->pc, 3u);
+    EXPECT_EQ(d->line, 5);
+    EXPECT_NE(d->message.find("guard predicate"), std::string::npos);
+}
+
+TEST(Verifier, DefinedOnBothBranchArmsIsClean)
+{
+    // A diamond where both arms define r2: must-def is the intersection,
+    // so the merged state still has r2 defined.
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.eq.u32 p0, r1, 0;
+        @p0 bra other;
+        mov.u32 r2, 1;
+        bra join;
+    other:
+        mov.u32 r2, 2;
+    join:
+        st.global.u32 [r1+0], r2;
+        exit;
+    )"));
+    EXPECT_EQ(findDiag(r, "reg-uninit"), nullptr) << r.report();
+    EXPECT_FALSE(r.failed());
+}
+
+TEST(Verifier, LoopCarriedDefinitionIsClean)
+{
+    // r2 defined before the loop and updated inside: the back edge must
+    // not erase the definition.
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        mov.u32 r2, 0;
+    loop:
+        add.u32 r2, r2, 1;
+        setp.lt.u32 p0, r2, r1;
+        @p0 bra loop;
+        st.global.u32 [r1+0], r2;
+        exit;
+    )"));
+    EXPECT_EQ(findDiag(r, "reg-uninit"), nullptr) << r.report();
+}
+
+TEST(Verifier, VectorLoadDefinesRegisterRange)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        ld.global.v4.f32 r4, [r1+0];
+        add.f32 r8, r6, r7;
+        st.global.f32 [r1+0], r8;
+        exit;
+    )"));
+    // r6 and r7 come from the vector load; no uninit reads.
+    EXPECT_EQ(findDiag(r, "reg-uninit"), nullptr) << r.report();
+}
+
+// --- Range checks -----------------------------------------------------------
+
+TEST(Verifier, RegisterBeyondDeclaration)
+{
+    // The assembler itself rejects regs beyond .reg, so build the
+    // program by hand to exercise the verifier's own range check.
+    Program p = assemble(R"(main:
+        mov.u32 r1, 0;
+        st.global.u32 [r1+0], r1;
+        exit;
+    )");
+    p.resources.registers = 2;
+    p.code[0].dst = 9;      // mov.u32 r9, 0
+    VerifyResult r = verify(p);
+    const Diagnostic *d = findDiag(r, "reg-range");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->pc, 0u);
+    EXPECT_NE(d->message.find("r9"), std::string::npos);
+}
+
+TEST(Verifier, RegisterBeyondArchitecturalFile)
+{
+    Program p = assemble("main:\n mov.u32 r1, 0;\n exit;\n");
+    p.code[0].dst = kMaxRegisters + 3;
+    VerifyResult r = verify(p);
+    const Diagnostic *d = findDiag(r, "reg-range");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_NE(d->message.find("architectural"), std::string::npos);
+}
+
+TEST(Verifier, PredicateOutOfRange)
+{
+    Program p = assemble("main:\n setp.eq.u32 p0, %tid, 0;\n exit;\n");
+    p.code[0].dst = kNumPredicates;     // p8 does not exist
+    VerifyResult r = verify(p);
+    EXPECT_NE(findDiag(r, "pred-range"), nullptr) << r.report();
+}
+
+// --- Spawn-state bounds and handoff ----------------------------------------
+
+TEST(Verifier, SpawnStateOutOfBounds)
+{
+    VerifyResult r = verify(assemble(R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 16
+        gen:
+            mov.u32 r1, %spawnaddr;
+            mov.u32 r2, 7;
+            st.spawn.u32 [r1+16], r2;
+            spawn step, r1;
+            exit;
+        step:
+            exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "spawn-state-oob");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->severity, Severity::Error);
+    EXPECT_EQ(d->pc, 2u);
+    EXPECT_EQ(d->line, 8);
+    EXPECT_NE(d->message.find("[16, 20)"), std::string::npos);
+}
+
+TEST(Verifier, SpawnStateOffsetTrackedThroughArithmetic)
+{
+    // The offset is built with add, not an immediate in the address.
+    VerifyResult r = verify(assemble(R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 16
+        gen:
+            mov.u32 r1, %spawnaddr;
+            add.u32 r1, r1, 12;
+            mov.u32 r2, 7;
+            st.spawn.u32 [r1+8], r2;
+            spawn step, r1;
+            exit;
+        step:
+            exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "spawn-state-oob");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_NE(d->message.find("[20, 24)"), std::string::npos);
+}
+
+TEST(Verifier, MicroKernelStatePointerBounds)
+{
+    // Inside a µ-kernel the state pointer comes from dereferencing the
+    // formation word; offsets past .spawn_state through it are errors.
+    VerifyResult r = verify(assemble(R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 8
+        gen:
+            mov.u32 r1, %spawnaddr;
+            mov.u32 r2, 1;
+            st.spawn.u32 [r1+0], r2;
+            spawn step, r1;
+            exit;
+        step:
+            mov.u32 r2, %spawnaddr;
+            ld.spawn.u32 r1, [r2+0];
+            ld.spawn.u32 r3, [r1+8];
+            st.global.u32 [r3+0], r3;
+            exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "spawn-state-oob");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->entry, "step");
+}
+
+TEST(Verifier, SpawnHandoffCoverageWarning)
+{
+    // step loads word 1 ([+4]) that gen never stores.
+    VerifyResult r = verify(assemble(R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 16
+        gen:
+            mov.u32 r1, %spawnaddr;
+            mov.u32 r2, 1;
+            st.spawn.u32 [r1+0], r2;
+            spawn step, r1;
+            exit;
+        step:
+            mov.u32 r2, %spawnaddr;
+            ld.spawn.u32 r1, [r2+0];
+            ld.spawn.u32 r3, [r1+4];
+            st.global.u32 [r3+0], r3;
+            exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "spawn-handoff");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->severity, Severity::Warning);
+    EXPECT_EQ(d->entry, "step");
+    EXPECT_NE(d->message.find("[4, 8)"), std::string::npos);
+    EXPECT_FALSE(r.failed());
+    EXPECT_TRUE(r.failed({.warningsAsErrors = true}));
+}
+
+TEST(Verifier, SpawnHandoffUnionOverSpawners)
+{
+    // Collatz-style: the µ-kernel re-stores only part of the state it
+    // reads; the generator covers the rest. The union over spawners must
+    // not warn.
+    VerifyResult r = verify(assemble(examples::collatzSource()));
+    EXPECT_EQ(findDiag(r, "spawn-handoff"), nullptr) << r.report();
+}
+
+TEST(Verifier, MicroKernelFormationWordStore)
+{
+    VerifyResult r = verify(assemble(R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 8
+        gen:
+            mov.u32 r1, %spawnaddr;
+            mov.u32 r2, 1;
+            st.spawn.u32 [r1+0], r2;
+            spawn step, r1;
+            exit;
+        step:
+            mov.u32 r2, %spawnaddr;
+            st.spawn.u32 [r2+0], r2;
+            exit;
+    )"));
+    EXPECT_NE(findDiag(r, "spawn-formation-store"), nullptr) << r.report();
+}
+
+TEST(Verifier, NeverSpawnedMicroKernel)
+{
+    VerifyResult r = verify(assemble(R"(
+        .entry main
+        .microkernel orphan
+        .spawn_state 8
+        main:
+            exit;
+        orphan:
+            exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "never-spawned");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->entry, "orphan");
+}
+
+// --- Resource bounds ---------------------------------------------------------
+
+TEST(Verifier, ConstOutOfBounds)
+{
+    VerifyResult r = verify(assemble(R"(
+        .const 8
+        main:
+            ld.param.u32 r1, [8];
+            st.global.u32 [r1+0], r1;
+            exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "const-oob");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->pc, 0u);
+    EXPECT_EQ(d->line, 4);
+}
+
+TEST(Verifier, SharedWithoutDeclaration)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, 0;
+        ld.shared.u32 r2, [r1+0];
+        st.global.u32 [r1+0], r2;
+        exit;
+    )"));
+    EXPECT_NE(findDiag(r, "shared-undeclared"), nullptr) << r.report();
+}
+
+TEST(Verifier, LocalOutOfBounds)
+{
+    VerifyResult r = verify(assemble(R"(
+        .local_per_thread 16
+        main:
+            mov.u32 r1, 16;
+            ld.local.u32 r2, [r1+0];
+            st.global.u32 [r1+0], r2;
+            exit;
+    )"));
+    EXPECT_NE(findDiag(r, "local-oob"), nullptr) << r.report();
+}
+
+// --- Structural checks -------------------------------------------------------
+
+TEST(Verifier, UnreachableCode)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        exit;
+    dead:
+        st.global.u32 [r1+0], r1;
+        exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "unreachable");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->severity, Severity::Warning);
+    EXPECT_EQ(d->pc, 2u);
+    EXPECT_EQ(d->line, 5);
+}
+
+TEST(Verifier, FallThroughIntoAnotherEntry)
+{
+    // gen's guarded exit can fall through into the step µ-kernel.
+    VerifyResult r = verify(assemble(R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 8
+        gen:
+            mov.u32 r1, %tid;
+            setp.eq.u32 p0, r1, 0;
+            @p0 exit;
+        step:
+            mov.u32 r2, %spawnaddr;
+            exit;
+    )"));
+    EXPECT_NE(findDiag(r, "entry-overlap"), nullptr) << r.report();
+}
+
+TEST(Verifier, FallOffProgramEnd)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.eq.u32 p0, r1, 0;
+        @p0 exit;
+        mov.u32 r2, 0;
+    )"));
+    const Diagnostic *d = findDiag(r, "fall-off-end");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->pc, 3u);
+}
+
+TEST(Verifier, GuardedBarrier)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.eq.u32 p0, r1, 0;
+        @p0 bar;
+        exit;
+    )"));
+    EXPECT_NE(findDiag(r, "bar-guarded"), nullptr) << r.report();
+}
+
+TEST(Verifier, BarrierInDivergentRegion)
+{
+    // The bar sits on one arm of a guarded branch, before reconvergence.
+    VerifyResult r = verify(assemble(R"(
+        .shared_per_thread 4
+        main:
+            mov.u32 r1, %tid;
+            setp.eq.u32 p0, r1, 0;
+            @p0 bra skip;
+            bar;
+        skip:
+            st.global.u32 [r1+0], r1;
+            exit;
+    )"));
+    const Diagnostic *d = findDiag(r, "bar-divergent");
+    ASSERT_NE(d, nullptr) << r.report();
+    EXPECT_EQ(d->severity, Severity::Warning);
+}
+
+TEST(Verifier, BarrierAfterReconvergenceIsClean)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.eq.u32 p0, r1, 0;
+        @p0 bra skip;
+        mov.u32 r1, 0;
+    skip:
+        bar;
+        st.global.u32 [r1+0], r1;
+        exit;
+    )"));
+    EXPECT_EQ(findDiag(r, "bar-divergent"), nullptr) << r.report();
+    EXPECT_EQ(findDiag(r, "bar-guarded"), nullptr) << r.report();
+}
+
+TEST(Verifier, BarrierInMicroKernel)
+{
+    VerifyResult r = verify(assemble(R"(
+        .entry gen
+        .microkernel step
+        .spawn_state 8
+        gen:
+            mov.u32 r1, %spawnaddr;
+            mov.u32 r2, 0;
+            st.spawn.u32 [r1+0], r2;
+            spawn step, r1;
+            exit;
+        step:
+            bar;
+            exit;
+    )"));
+    EXPECT_NE(findDiag(r, "bar-in-microkernel"), nullptr) << r.report();
+}
+
+// --- Hand-built program robustness ------------------------------------------
+
+TEST(Verifier, BranchTargetOutsideProgram)
+{
+    Program p = assemble("main:\n bra main;\n");
+    p.code[0].target = 99;
+    VerifyResult r = verify(p);
+    EXPECT_NE(findDiag(r, "branch-target"), nullptr) << r.report();
+}
+
+TEST(Verifier, EmptyProgram)
+{
+    Program p;
+    VerifyResult r = verify(p);
+    EXPECT_NE(findDiag(r, "empty-program"), nullptr);
+    EXPECT_TRUE(r.failed());
+}
+
+// --- Result formatting / API -------------------------------------------------
+
+TEST(Verifier, DiagnosticFormatAndReport)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        add.u32 r2, r1, r3;
+        st.global.u32 [r2+0], r2;
+        exit;
+    )"));
+    ASSERT_GE(r.errorCount(), 1u);
+    std::string line = r.diagnostics[0].format();
+    EXPECT_NE(line.find("error[reg-uninit]"), std::string::npos) << line;
+    EXPECT_NE(line.find("line 2"), std::string::npos) << line;
+    EXPECT_NE(line.find("pc 0"), std::string::npos) << line;
+    std::string report = r.report();
+    EXPECT_NE(report.find("error(s)"), std::string::npos);
+    // Diagnostics come back sorted by source line.
+    for (size_t i = 1; i < r.diagnostics.size(); i++) {
+        if (r.diagnostics[i - 1].line > 0 && r.diagnostics[i].line > 0) {
+            EXPECT_LE(r.diagnostics[i - 1].line, r.diagnostics[i].line);
+        }
+    }
+}
+
+TEST(Verifier, VerifyOrThrowStrictAndLenient)
+{
+    Program bad = assemble(R"(main:
+        st.global.u32 [r1+0], r1;
+        exit;
+    )");
+    EXPECT_THROW(verifyOrThrow(bad), std::runtime_error);
+
+    Program warnOnly = assemble(R"(main:
+        exit;
+    dead:
+        exit;
+    )");
+    EXPECT_NO_THROW(verifyOrThrow(warnOnly));
+    EXPECT_THROW(verifyOrThrow(warnOnly, {.warningsAsErrors = true}),
+                 std::runtime_error);
+}
+
+TEST(Verifier, GpuLoadProgramHonorsVerifyMode)
+{
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    cfg.verifyPrograms = VerifyMode::Strict;
+    Gpu gpu(cfg);
+    Program bad = assemble(R"(main:
+        st.global.u32 [r1+0], r1;
+        exit;
+    )");
+    EXPECT_THROW(gpu.loadProgram(std::move(bad)), std::runtime_error);
+
+    Program good = assemble("main:\n exit;\n");
+    EXPECT_NO_THROW(gpu.loadProgram(std::move(good)));
+}
+
+// --- Shipped kernels must be verifier-clean ---------------------------------
+
+TEST(Verifier, ShippedKernelsVerifyClean)
+{
+    struct Case {
+        const char *name;
+        Program program;
+    };
+    Case cases[] = {
+        {"traditional", kernels::buildTraditional()},
+        {"microkernel", kernels::buildMicroKernel()},
+        {"persistent", kernels::buildPersistentThreads()},
+        {"adaptive", kernels::buildMicroKernelAdaptive()},
+        {"quickstart", assemble(examples::quickstartSource())},
+        {"collatz", assemble(examples::collatzSource())},
+        {"divergence-loop", assemble(examples::divergenceLoopSource(64))},
+        {"divergence-spawn", assemble(examples::divergenceSpawnSource(64))},
+    };
+    for (Case &c : cases) {
+        VerifyResult r = verify(c.program);
+        EXPECT_FALSE(r.failed({.warningsAsErrors = true}))
+            << c.name << ":\n" << r.report();
+    }
+}
+
+} // anonymous namespace

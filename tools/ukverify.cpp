@@ -1,0 +1,150 @@
+/**
+ * @file
+ * ukverify — static lint for uksim assembly.
+ *
+ * Assembles each `.uk` source file and runs the µ-kernel verifier over
+ * it, printing the diagnostic report and exiting nonzero when any input
+ * fails. `--builtin` additionally lints every kernel shipped in the
+ * repository (the ray-tracing benchmark kernels and the example
+ * kernels), which is what the `verify_kernels` ctest runs.
+ *
+ * Usage: ukverify [--werror] [--lenient] [--builtin] [file.uk ...]
+ *
+ *   --werror    treat warnings as errors (strict CI gating)
+ *   --lenient   print diagnostics but always exit 0
+ *   --builtin   lint the kernels compiled into the repository
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "example_kernels.hpp"
+#include "kernels/raytrace_kernels.hpp"
+#include "simt/assembler.hpp"
+#include "simt/verifier.hpp"
+
+using namespace uksim;
+
+namespace {
+
+struct Options {
+    bool werror = false;
+    bool lenient = false;
+    bool builtin = false;
+    std::vector<std::string> files;
+};
+
+/** Lint one assembled program; returns true when it passes. */
+bool
+lintProgram(const std::string &name, const Program &program,
+            const Options &opts)
+{
+    VerifyOptions vopts;
+    vopts.warningsAsErrors = opts.werror;
+    VerifyResult result = verify(program, vopts);
+    for (const Diagnostic &d : result.diagnostics)
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     d.format().c_str());
+    if (result.failed(vopts)) {
+        std::fprintf(stderr, "%s: FAILED (%zu error(s), %zu warning(s))\n",
+                     name.c_str(), result.errorCount(),
+                     result.warningCount());
+        return false;
+    }
+    std::printf("%s: ok (%zu instructions, %zu warning(s))\n",
+                name.c_str(), program.size(), result.warningCount());
+    return true;
+}
+
+/** Assemble and lint a source string; returns true when it passes. */
+bool
+lintSource(const std::string &name, const std::string &source,
+           const Options &opts)
+{
+    try {
+        return lintProgram(name, assemble(source), opts);
+    } catch (const AssemblerError &e) {
+        // what() already carries the "line N:" prefix.
+        std::fprintf(stderr, "%s: assembly error: %s\n", name.c_str(),
+                     e.what());
+        return false;
+    }
+}
+
+bool
+lintFile(const std::string &path, const Options &opts)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        return false;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+    return lintSource(path, source.str(), opts);
+}
+
+bool
+lintBuiltins(const Options &opts)
+{
+    bool ok = true;
+    ok &= lintProgram("kernels/traditional", kernels::buildTraditional(),
+                      opts);
+    ok &= lintProgram("kernels/microkernel", kernels::buildMicroKernel(),
+                      opts);
+    ok &= lintProgram("kernels/persistent-threads",
+                      kernels::buildPersistentThreads(), opts);
+    ok &= lintProgram("kernels/microkernel-adaptive",
+                      kernels::buildMicroKernelAdaptive(), opts);
+    ok &= lintSource("examples/quickstart",
+                     examples::quickstartSource(), opts);
+    ok &= lintSource("examples/collatz", examples::collatzSource(), opts);
+    ok &= lintSource("examples/divergence-loop",
+                     examples::divergenceLoopSource(64), opts);
+    ok &= lintSource("examples/divergence-spawn",
+                     examples::divergenceSpawnSource(64), opts);
+    return ok;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--werror") == 0) {
+            opts.werror = true;
+        } else if (std::strcmp(argv[i], "--lenient") == 0) {
+            opts.lenient = true;
+        } else if (std::strcmp(argv[i], "--builtin") == 0) {
+            opts.builtin = true;
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::printf("usage: ukverify [--werror] [--lenient] "
+                        "[--builtin] [file.uk ...]\n");
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            return 2;
+        } else {
+            opts.files.emplace_back(argv[i]);
+        }
+    }
+    if (!opts.builtin && opts.files.empty()) {
+        std::fprintf(stderr, "usage: ukverify [--werror] [--lenient] "
+                             "[--builtin] [file.uk ...]\n");
+        return 2;
+    }
+
+    bool ok = true;
+    if (opts.builtin)
+        ok &= lintBuiltins(opts);
+    for (const std::string &f : opts.files)
+        ok &= lintFile(f, opts);
+    return (ok || opts.lenient) ? 0 : 1;
+}
