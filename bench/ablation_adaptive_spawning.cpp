@@ -52,7 +52,7 @@ main(int argc, char **argv)
             ->Iterations(1);
     }
 
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Ablation: naive vs adaptive (vote-gated) spawning");
     benchmark::RunSpecifiedBenchmarks();
 
@@ -76,5 +76,6 @@ main(int argc, char **argv)
     std::printf("\n(the paper predicts this 'more advanced algorithm' "
                 "improves on naive spawning by avoiding the state "
                 "save/restore when a warp stays uniform)\n");
+    writeCsvIfRequested();
     return 0;
 }

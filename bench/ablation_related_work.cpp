@@ -52,7 +52,7 @@ main(int argc, char **argv)
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
 
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Ablation: related-work comparison (conference)");
     benchmark::RunSpecifiedBenchmarks();
 
@@ -74,5 +74,6 @@ main(int argc, char **argv)
                 "serialize — the latency cost the paper's Sec. VIII "
                 "calls out; production PT implementations amortize "
                 "the atomic over a warp-sized batch)\n");
+    writeCsvIfRequested();
     return 0;
 }

@@ -5,7 +5,74 @@
 
 #include "bench_common.hpp"
 
+#include <cstring>
+#include <fstream>
+
 namespace uksim::bench {
+
+namespace {
+std::string g_csvPath;
+} // namespace
+
+void
+initBench(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            g_csvPath = argv[++i];
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    benchmark::Initialize(&argc, argv);
+}
+
+trace::Registry &
+benchRegistry()
+{
+    static trace::Registry reg;
+    return reg;
+}
+
+std::string
+registryKey(const std::string &label)
+{
+    std::string key;
+    for (char c : label) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        key += ok ? c : '.';
+    }
+    // Collapse runs so "a//b" cannot produce an empty segment.
+    std::string clean;
+    for (char c : key) {
+        if (c == '.' && (clean.empty() || clean.back() == '.'))
+            continue;
+        clean += c;
+    }
+    while (!clean.empty() && clean.back() == '.')
+        clean.pop_back();
+    return clean.empty() ? "unnamed" : clean;
+}
+
+void
+writeCsvIfRequested()
+{
+    if (g_csvPath.empty())
+        return;
+    std::ofstream out(g_csvPath, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "bench: cannot write %s\n",
+                     g_csvPath.c_str());
+        return;
+    }
+    out << benchRegistry().csv();
+    std::printf("wrote %zu counters to %s\n", benchRegistry().size(),
+                g_csvPath.c_str());
+}
 
 void
 printDivergenceSeries(const SimStats &stats, const char *label)

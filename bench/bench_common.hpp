@@ -9,6 +9,11 @@
  *
  * Environment knobs: UKSIM_CYCLES, UKSIM_DETAIL, UKSIM_RES, UKSIM_SMS
  * scale the runs down for quick smoke tests.
+ *
+ * Every binary also accepts `--csv <path>`: headline metrics of each
+ * benchmark run are mirrored into a shared trace::Registry and written
+ * as machine-readable CSV on exit (for plotting scripts, instead of
+ * scraping the text tables).
  */
 
 #ifndef UKSIM_BENCH_BENCH_COMMON_HPP
@@ -23,8 +28,21 @@
 
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
+#include "trace/registry.hpp"
 
 namespace uksim::bench {
+
+/**
+ * Strip uksim-specific flags (`--csv <path>`) out of argv, then hand
+ * the rest to benchmark::Initialize. Call instead of Initialize.
+ */
+void initBench(int &argc, char **argv);
+
+/** Registry the binary's headline metrics accumulate into. */
+trace::Registry &benchRegistry();
+
+/** Write benchRegistry() to the `--csv` path (no-op without the flag). */
+void writeCsvIfRequested();
 
 /** Scene cache so each binary builds every kd-tree only once. */
 class SceneCache
@@ -62,6 +80,9 @@ baseExperiment()
     return cfg;
 }
 
+/** Registry-safe dotted key from an arbitrary label. */
+std::string registryKey(const std::string &label);
+
 /** Run one experiment and export its stats as benchmark counters. */
 inline harness::ExperimentResult
 runCounted(benchmark::State &state, const harness::ExperimentConfig &cfg)
@@ -74,6 +95,16 @@ runCounted(benchmark::State &state, const harness::ExperimentConfig &cfg)
     state.counters["Mrays_per_s"] = result.mraysPerSec;
     state.counters["IPC"] = result.ipc;
     state.counters["SIMT_eff"] = result.simtEfficiency;
+
+    const std::string key =
+        registryKey(cfg.label() + "." + cfg.sceneName);
+    trace::Registry &reg = benchRegistry();
+    reg.set(key + ".mrays_per_s", result.mraysPerSec);
+    reg.set(key + ".ipc", result.ipc);
+    reg.set(key + ".simt_efficiency", result.simtEfficiency);
+    reg.set(key + ".cycles", double(result.stats.cycles));
+    reg.set(key + ".issue_efficiency",
+            result.stats.stall.issueEfficiency());
     return result;
 }
 

@@ -83,7 +83,7 @@ main(int argc, char **argv)
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
 
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Figure 10: branching performance vs MIMD theoretical "
                 "(conference)");
     benchmark::RunSpecifiedBenchmarks();
@@ -111,5 +111,6 @@ main(int argc, char **argv)
                 g_mrays["PDOM ideal"] / g_mrays["PDOM"]);
     std::printf("u-kernel ideal-memory gain: %.2fx\n",
                 g_mrays["uK ideal"] / g_mrays["uK"]);
+    writeCsvIfRequested();
     return 0;
 }

@@ -34,7 +34,7 @@ BENCHMARK(BM_Fig3_PdomConference)
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Figure 3: PDOM divergence breakdown (conference)");
     benchmark::RunSpecifiedBenchmarks();
 
@@ -42,5 +42,6 @@ main(int argc, char **argv)
     std::printf("average IPC %.0f, SIMT efficiency %.2f "
                 "(paper: IPC 326, heavy W1:4 share)\n",
                 g_result.ipc, g_result.simtEfficiency);
+    writeCsvIfRequested();
     return 0;
 }

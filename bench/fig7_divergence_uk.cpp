@@ -47,7 +47,7 @@ BENCHMARK(BM_Fig7_MicroKernel)
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Figure 7: u-kernel divergence breakdown, "
                 "conflict-free spawn memory (conference)");
     benchmark::RunSpecifiedBenchmarks();
@@ -64,5 +64,6 @@ main(int argc, char **argv)
                 (unsigned long long)g_uk.stats.dynamicThreadsSpawned,
                 (unsigned long long)g_uk.stats.dynamicWarpsFormed,
                 (unsigned long long)g_uk.stats.partialWarpFlushes);
+    writeCsvIfRequested();
     return 0;
 }

@@ -20,6 +20,8 @@ struct Cell {
     double eff = 0;
 };
 std::map<std::string, std::map<std::string, Cell>> g_grid;
+// Chip statistics summed across all scenes, per approach.
+std::map<std::string, SimStats> g_aggregate;
 
 void
 runPoint(benchmark::State &state, const std::string &scene,
@@ -31,6 +33,7 @@ runPoint(benchmark::State &state, const std::string &scene,
     cfg.scheduling = sched;
     ExperimentResult r = runCounted(state, cfg);
     g_grid[scene][column] = {r.mraysPerSec, r.ipc, r.simtEfficiency};
+    g_aggregate[column] += r.stats;
 }
 
 } // namespace
@@ -65,7 +68,7 @@ main(int argc, char **argv)
             ->Iterations(1);
     }
 
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Figure 8: Mrays/s per scene and branching/scheduling "
                 "method");
     benchmark::RunSpecifiedBenchmarks();
@@ -103,5 +106,19 @@ main(int argc, char **argv)
                harness::fmt(row["Dynamic"].ipc, 0)});
     }
     std::printf("\n%s", e.str().c_str());
+
+    // Whole-suite aggregate (SimStats::operator+= across scenes): the
+    // cycle-weighted IPC/efficiency over all three scenes per approach.
+    harness::TextTable a;
+    a.header({"approach (all scenes)", "IPC", "SIMT eff",
+              "issue eff"});
+    for (const auto &[column, stats] : g_aggregate) {
+        GpuConfig base;
+        a.row({column, harness::fmt(stats.ipc(), 0),
+               harness::fmt(stats.simtEfficiency(base.warpSize), 2),
+               harness::fmt(stats.stall.issueEfficiency(), 2)});
+    }
+    std::printf("\n%s", a.str().c_str());
+    writeCsvIfRequested();
     return 0;
 }

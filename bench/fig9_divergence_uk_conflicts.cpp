@@ -59,7 +59,7 @@ BENCHMARK(BM_Fig9_UkWithConflicts)
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Figure 9: u-kernel divergence breakdown with spawn "
                 "memory bank conflicts (conference)");
     benchmark::RunSpecifiedBenchmarks();
@@ -78,5 +78,6 @@ main(int argc, char **argv)
            std::to_string(g_banked.stats.bankConflictExtraCycles)});
     std::printf("%s\n(paper: 326 / 615 (1.9x) / 429 (1.3x))\n",
                 t.str().c_str());
+    writeCsvIfRequested();
     return 0;
 }

@@ -39,7 +39,7 @@ BENCHMARK(BM_Table2_AssembleMicroKernel)->Unit(benchmark::kMicrosecond);
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Table II: kernel processor resource requirements per "
                 "thread");
     benchmark::RunSpecifiedBenchmarks();
@@ -83,5 +83,6 @@ main(int argc, char **argv)
                 blockOcc.threadsPerSm, warpOcc.threadsPerSm,
                 ukOcc.threadsPerSm, blockOcc.limiter, warpOcc.limiter,
                 ukOcc.limiter);
+    writeCsvIfRequested();
     return 0;
 }

@@ -34,7 +34,7 @@ main(int argc, char **argv)
     for (const std::string &scene : rt::benchmarkSceneNames())
         registerBuild(scene);
 
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Table III: benchmark scenes and kd-tree parameters");
     benchmark::RunSpecifiedBenchmarks();
 
@@ -63,5 +63,6 @@ main(int argc, char **argv)
                 "conference 283k — ours are procedural analogues that "
                 "preserve each scene's density distribution, not its "
                 "absolute size)\n");
+    writeCsvIfRequested();
     return 0;
 }

@@ -52,7 +52,7 @@ main(int argc, char **argv)
     for (const std::string &scene : rt::benchmarkSceneNames())
         registerCount(scene);
 
-    benchmark::Initialize(&argc, argv);
+    initBench(argc, argv);
     printHeader("Table IV: per-frame memory bandwidth, no caching "
                 "(computed from traversal/intersection counts)");
     benchmark::RunSpecifiedBenchmarks();
@@ -80,5 +80,6 @@ main(int argc, char **argv)
     std::printf("(state passing happens in on-chip spawn memory in the "
                 "simulator; the table charges it as memory traffic "
                 "exactly like the paper does)\n");
+    writeCsvIfRequested();
     return 0;
 }

@@ -7,8 +7,10 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "kernels/raytrace_kernels.hpp"
+#include "trace/export.hpp"
 
 namespace uksim::harness {
 
@@ -44,6 +46,58 @@ prepareScene(const std::string &name, const rt::SceneParams &params)
     return p;
 }
 
+namespace {
+
+struct NamedKernel {
+    const char *name;
+    KernelKind kind;
+    SchedulingMode scheduling;
+    bool bankConflicts;
+};
+
+constexpr NamedKernel kNamedKernels[] = {
+    {"pdom", KernelKind::Traditional, SchedulingMode::Thread, false},
+    {"pdom_block", KernelKind::Traditional, SchedulingMode::Block, false},
+    {"uk", KernelKind::MicroKernel, SchedulingMode::Thread, false},
+    {"uk_banked", KernelKind::MicroKernel, SchedulingMode::Thread, true},
+    {"uk_adaptive", KernelKind::MicroKernelAdaptive, SchedulingMode::Thread,
+     false},
+    {"pt", KernelKind::PersistentThreads, SchedulingMode::Thread, false},
+};
+
+constexpr const char *kNamedScenes[] = {"conference", "fairyforest",
+                                        "atrium"};
+
+} // namespace
+
+ExperimentConfig
+namedExperiment(const std::string &name)
+{
+    for (const NamedKernel &k : kNamedKernels) {
+        for (const char *scene : kNamedScenes) {
+            if (name != std::string(k.name) + "_" + scene)
+                continue;
+            ExperimentConfig config;
+            config.sceneName = scene;
+            config.kernel = k.kind;
+            config.scheduling = k.scheduling;
+            config.spawnBankConflicts = k.bankConflicts;
+            return config;
+        }
+    }
+    throw std::invalid_argument("unknown experiment config: " + name);
+}
+
+std::vector<std::string>
+namedExperimentNames()
+{
+    std::vector<std::string> names;
+    for (const NamedKernel &k : kNamedKernels)
+        for (const char *scene : kNamedScenes)
+            names.push_back(std::string(k.name) + "_" + scene);
+    return names;
+}
+
 ExperimentResult
 runExperiment(const PreparedScene &prepared, const ExperimentConfig &config)
 {
@@ -63,6 +117,8 @@ runExperiment(const PreparedScene &prepared, const ExperimentConfig &config)
             ? kernels::buildMicroKernelAdaptive()
             : kernels::buildPersistentThreads();
     gpu.loadProgram(std::move(program));
+    if (config.traceEvents)
+        gpu.eventTrace().enable(config.traceCapacity);
 
     kernels::DeviceScene dev =
         kernels::uploadScene(gpu, prepared.tree, prepared.scene.camera);
@@ -93,6 +149,17 @@ runExperiment(const PreparedScene &prepared, const ExperimentConfig &config)
     r.simtEfficiency = finalStats.simtEfficiency(gc.warpSize);
     r.mraysPerSec = finalStats.itemsPerSecond(gc.clockGhz) / 1e6;
     r.hits = kernels::downloadHits(gpu, dev);
+    for (int i = 0; i < gpu.numSms(); i++)
+        r.smStalls.push_back(gpu.sm(i).stallCounters());
+    if (config.traceEvents) {
+        r.chromeTrace = gpu.eventTrace().chromeTraceJson(
+            gpu.numSms(), gc.numMemPartitions);
+    }
+    if (config.exportCounters) {
+        trace::Registry reg = trace::buildRegistry(gpu);
+        r.counterCsv = reg.csv();
+        r.counterJson = reg.json();
+    }
     return r;
 }
 

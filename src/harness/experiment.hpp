@@ -17,6 +17,8 @@
 #include "rt/scenes.hpp"
 #include "simt/gpu.hpp"
 #include "simt/mimd.hpp"
+#include "trace/events.hpp"
+#include "trace/stall.hpp"
 
 namespace uksim::harness {
 
@@ -39,6 +41,12 @@ struct ExperimentConfig {
     rt::SceneParams sceneParams;
     GpuConfig baseConfig;
 
+    // Observability (src/trace/). Both default off; enabling them is
+    // guaranteed not to change any simulation statistic.
+    bool traceEvents = false;           ///< record the structured event trace
+    size_t traceCapacity = trace::EventTrace::kDefaultCapacity;
+    bool exportCounters = false;        ///< fill counterCsv / counterJson
+
     /** Human-readable configuration label ("µ-kernel Warp", ...). */
     std::string label() const;
 };
@@ -59,11 +67,28 @@ struct ExperimentResult {
     double mraysPerSec = 0.0;       ///< completed rays/s at the shader clock
     double simtEfficiency = 0.0;
     std::vector<rt::Hit> hits;      ///< downloaded hit records
+
+    // Observability exports (filled per ExperimentConfig flags).
+    std::vector<trace::StallCounters> smStalls;   ///< per-SM attribution
+    std::string chromeTrace;        ///< Chrome-trace JSON (traceEvents)
+    std::string counterCsv;         ///< registry CSV (exportCounters)
+    std::string counterJson;        ///< registry JSON (exportCounters)
 };
 
 /** Build one of the three benchmark scenes and its kd-tree. */
 PreparedScene prepareScene(const std::string &name,
                            const rt::SceneParams &params);
+
+/**
+ * Resolve a named configuration "<kernel>_<scene>" where kernel is one
+ * of pdom, pdom_block, uk, uk_banked, uk_adaptive, pt and scene is
+ * conference, fairyforest or atrium (e.g. "uk_conference").
+ * @throws std::invalid_argument for unknown names.
+ */
+ExperimentConfig namedExperiment(const std::string &name);
+
+/** All valid namedExperiment() names. */
+std::vector<std::string> namedExperimentNames();
 
 /** Run one experiment point. */
 ExperimentResult runExperiment(const PreparedScene &scene,

@@ -10,9 +10,9 @@
 
 namespace uksim {
 
-int
-bankConflictPasses(const std::vector<uint64_t> &addrs, uint64_t activeMask,
-                   int wordsPerLane, int numBanks)
+BankConflictInfo
+bankConflictAnalyze(const std::vector<uint64_t> &addrs, uint64_t activeMask,
+                    int wordsPerLane, int numBanks)
 {
     // Distinct words touched per bank; same-word accesses broadcast.
     std::vector<std::set<uint64_t>> words(numBanks);
@@ -27,12 +27,27 @@ bankConflictPasses(const std::vector<uint64_t> &addrs, uint64_t activeMask,
             words[word % numBanks].insert(word);
         }
     }
+    BankConflictInfo info;
     if (!any)
-        return 0;
+        return info;
     size_t worst = 1;
-    for (const auto &s : words)
-        worst = std::max(worst, s.size());
-    return static_cast<int>(worst);
+    info.passes = 1;
+    for (int b = 0; b < numBanks; b++) {
+        if (words[b].size() > worst) {
+            worst = words[b].size();
+            info.worstBank = b;
+        }
+    }
+    info.passes = static_cast<int>(worst);
+    return info;
+}
+
+int
+bankConflictPasses(const std::vector<uint64_t> &addrs, uint64_t activeMask,
+                   int wordsPerLane, int numBanks)
+{
+    return bankConflictAnalyze(addrs, activeMask, wordsPerLane, numBanks)
+        .passes;
 }
 
 } // namespace uksim

@@ -16,14 +16,29 @@
 
 namespace uksim {
 
+/** Conflict analysis of one warp access (observability hook). */
+struct BankConflictInfo {
+    int passes = 0;         ///< serialized passes (0 when no lane active)
+    int worstBank = -1;     ///< most-contended bank (-1 when conflict-free)
+};
+
 /**
- * Number of serialized passes a warp needs to access on-chip memory.
+ * Analyze the bank conflicts of one warp access.
  *
  * @param addrs per-lane byte addresses.
  * @param activeMask bit i set when lane i participates.
  * @param wordsPerLane consecutive 32-bit words each lane touches
  *                     (1 for scalar, 2/4 for vector accesses).
  * @param numBanks bank count (word-interleaved).
+ */
+BankConflictInfo bankConflictAnalyze(const std::vector<uint64_t> &addrs,
+                                     uint64_t activeMask,
+                                     int wordsPerLane,
+                                     int numBanks);
+
+/**
+ * Number of serialized passes a warp needs to access on-chip memory:
+ * bankConflictAnalyze(...).passes.
  * @return conflict degree >= 1 (0 when no lane is active).
  */
 int bankConflictPasses(const std::vector<uint64_t> &addrs,

@@ -35,20 +35,32 @@ DramModel::access(const Segment &seg, bool isWrite, uint64_t now)
     else
         ps.readBytes += bytes;
 
-    if (config_.idealMemory)
-        return now + 1;
+    uint64_t done;
+    if (config_.idealMemory) {
+        done = now + 1;
+    } else {
+        // Byte-granular service: the partition pipe moves
+        // bytesPerCyclePerPartition each cycle and small scattered
+        // requests share cycles (busyUntil_ is kept in byte-times). This
+        // mirrors the paper's byte-granular bandwidth accounting
+        // (Table IV).
+        const uint64_t bw = config_.bytesPerCyclePerPartition;
+        uint64_t arrive =
+            (now + config_.interconnectLatencyCycles) * bw;
+        uint64_t start = std::max(arrive, busyUntil_[p]);
+        busyUntil_[p] = start + bytes;
+        ps.busyCycles += (bytes + bw - 1) / bw;
+        done = (busyUntil_[p] + bw - 1) / bw + config_.dramLatencyCycles;
+    }
 
-    // Byte-granular service: the partition pipe moves
-    // bytesPerCyclePerPartition each cycle and small scattered requests
-    // share cycles (busyUntil_ is kept in byte-times). This mirrors the
-    // paper's byte-granular bandwidth accounting (Table IV).
-    const uint64_t bw = config_.bytesPerCyclePerPartition;
-    uint64_t arrive =
-        (now + config_.interconnectLatencyCycles) * bw;
-    uint64_t start = std::max(arrive, busyUntil_[p]);
-    busyUntil_[p] = start + bytes;
-    ps.busyCycles += (bytes + bw - 1) / bw;
-    return (busyUntil_[p] + bw - 1) / bw + config_.dramLatencyCycles;
+    if (trace_) {
+        trace_->record(trace::EventKind::MemRequest, now, trackBase_ + p,
+                       isWrite ? 1 : 0, 0, bytes,
+                       static_cast<uint32_t>(done - now));
+        trace_->record(trace::EventKind::MemReply, done, trackBase_ + p,
+                       isWrite ? 1 : 0, 0, bytes);
+    }
+    return done;
 }
 
 uint64_t

@@ -14,6 +14,7 @@
 
 #include "mem/coalescer.hpp"
 #include "simt/config.hpp"
+#include "trace/events.hpp"
 
 namespace uksim {
 
@@ -34,6 +35,17 @@ class DramModel
 {
   public:
     explicit DramModel(const GpuConfig &config);
+
+    /**
+     * Attach the structured event sink. Transactions record a
+     * mem_request span (request to completion) and a mem_reply instant
+     * on track @p track_base + partition.
+     */
+    void setTrace(trace::EventTrace *trace, int track_base)
+    {
+        trace_ = trace;
+        trackBase_ = track_base;
+    }
 
     /**
      * Issue one coalesced transaction.
@@ -68,6 +80,8 @@ class DramModel
     const GpuConfig &config_;
     std::vector<uint64_t> busyUntil_;
     std::vector<PartitionStats> stats_;
+    trace::EventTrace *trace_ = nullptr;
+    int trackBase_ = 0;
 };
 
 } // namespace uksim

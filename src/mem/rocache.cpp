@@ -68,6 +68,7 @@ ReadOnlyCache::fill(uint64_t addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = ++tick_;
+    fills_++;
 }
 
 void
@@ -76,8 +77,10 @@ ReadOnlyCache::invalidate(uint64_t addr)
     const uint64_t tag = addr / lineBytes_;
     Line *set = &lines_[setOf(addr) * ways_];
     for (int w = 0; w < ways_; w++) {
-        if (set[w].valid && set[w].tag == tag)
+        if (set[w].valid && set[w].tag == tag) {
             set[w].valid = false;
+            invalidations_++;
+        }
     }
 }
 

@@ -45,6 +45,8 @@ class ReadOnlyCache
 
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
+    uint64_t fills() const { return fills_; }
+    uint64_t invalidations() const { return invalidations_; }
     uint32_t lineBytes() const { return lineBytes_; }
 
   private:
@@ -63,6 +65,8 @@ class ReadOnlyCache
     uint64_t tick_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t fills_ = 0;
+    uint64_t invalidations_ = 0;
 };
 
 } // namespace uksim

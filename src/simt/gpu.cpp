@@ -20,7 +20,10 @@ Gpu::Gpu(GpuConfig config)
       const_("const", 64 * 1024),
       local_("local", 0)
 {
+    stats_.setWindowCycles(config_.statsWindowCycles);
     dram_ = std::make_unique<DramModel>(config_);
+    // Memory-partition event tracks sit after the SM tracks.
+    dram_->setTrace(&trace_, config_.numSms);
     if (config_.texL2BytesPerPartition > 0) {
         for (int p = 0; p < config_.numMemPartitions; p++) {
             texL2_.push_back(std::make_unique<ReadOnlyCache>(
@@ -230,7 +233,7 @@ Gpu::fillSm(Sm &sm)
     //    otherwise never make progress again.
     if (sm.spawnEnabled() && sm.liveWarps() == 0 &&
         sm.spawnUnit()->fifoEmpty() && sm.spawnUnit()->hasPartialWarps()) {
-        sm.launchDynamicWarp(sm.spawnUnit()->flushLowestPcPartial());
+        sm.launchDynamicWarp(sm.spawnUnit()->flushLowestPcPartial(cycle_));
     }
 }
 

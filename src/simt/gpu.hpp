@@ -24,6 +24,7 @@
 #include "simt/program.hpp"
 #include "simt/sm.hpp"
 #include "simt/stats.hpp"
+#include "trace/events.hpp"
 
 namespace uksim {
 
@@ -78,6 +79,21 @@ class Gpu : public SmServices
     Sm &sm(int i) { return *sms_.at(i); }
     int numSms() const { return static_cast<int>(sms_.size()); }
 
+    /** Per-partition read-only L2 by index (nullptr when disabled). */
+    const ReadOnlyCache *texL2(int partition) const
+    {
+        return partition < static_cast<int>(texL2_.size())
+                   ? texL2_[partition].get()
+                   : nullptr;
+    }
+
+    /**
+     * Structured event trace. Disabled by default; call
+     * eventTrace().enable(capacity) before run() to record. Tracing is
+     * observation-only: enabling it changes no simulation statistic.
+     */
+    trace::EventTrace &eventTrace() override { return trace_; }
+
     /** Compute occupancy for a program under a config (pure; for tests). */
     static Occupancy computeOccupancy(const GpuConfig &config,
                                       const Program &program);
@@ -90,6 +106,10 @@ class Gpu : public SmServices
     ReadOnlyCache *texL2For(uint64_t addr) override;
     void scheduleMemWakeup(uint64_t cycle, int smId, int warpSlot) override;
     SimStats &stats() override { return stats_; }
+    bool gridExhausted() const override
+    {
+        return nextTid_ >= gridThreads_;
+    }
     void onItemCompleted() override { stats_.itemsCompleted++; }
     void onInitialThreadExit() override { stats_.threadsCompleted++; }
 
@@ -102,7 +122,6 @@ class Gpu : public SmServices
     };
 
     void fillSm(Sm &sm);
-    bool gridExhausted() const { return nextTid_ >= gridThreads_; }
     void finalizeStats();
 
     GpuConfig config_;
@@ -110,6 +129,7 @@ class Gpu : public SmServices
     Store global_;
     Store const_;
     Store local_;
+    trace::EventTrace trace_;
     std::unique_ptr<DramModel> dram_;
     std::vector<std::unique_ptr<ReadOnlyCache>> texL2_;
     std::vector<std::unique_ptr<Sm>> sms_;

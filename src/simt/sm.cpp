@@ -60,8 +60,8 @@ Sm::configureOccupancy(int resident_warps)
             state, threads, program_.spawnLocationCount(),
             config_.warpSize);
         spawnStore_ = Store("spawn", spawnLayout_.totalBytes);
-        spawnUnit_ = std::make_unique<SpawnUnit>(config_, program_,
-                                                 spawnLayout_);
+        spawnUnit_ = std::make_unique<SpawnUnit>(
+            config_, program_, spawnLayout_, &services_.eventTrace(), id_);
         freeStateSlots_.clear();
         for (int s = threads - 1; s >= 0; s--)
             freeStateSlots_.push_back(static_cast<uint32_t>(s));
@@ -242,12 +242,55 @@ Sm::readOperand(const Operand &op, const Warp &w, int lane) const
 }
 
 void
+Sm::recordStall(trace::StallReason reason)
+{
+    stallCounters_.record(reason);
+    services_.stats().stall.record(reason);
+}
+
+trace::StallReason
+Sm::classifyIdle() const
+{
+    bool anyValid = false, anyMem = false, anyBarrier = false;
+    for (const Warp &w : warps_) {
+        if (!w.valid)
+            continue;
+        anyValid = true;
+        if (w.outstandingMem > 0)
+            anyMem = true;
+        else if (w.waitingBarrier)
+            anyBarrier = true;
+    }
+    if (anyValid) {
+        // Memory waits dominate the attribution: a mem-stalled warp is
+        // what keeps barrier partners (and the issue slot) waiting.
+        if (anyMem)
+            return trace::StallReason::Scoreboard;
+        if (anyBarrier)
+            return trace::StallReason::Barrier;
+        // Every live warp is waiting on an in-flight ALU/SFU result
+        // (readyAt > now): a scoreboard wait on the result register.
+        return trace::StallReason::Scoreboard;
+    }
+    if (!services_.gridExhausted())
+        return trace::StallReason::NoWarps;
+    if (spawnEnabled() && (!spawnUnit_->fifoEmpty() ||
+                           spawnUnit_->hasPartialWarps())) {
+        return trace::StallReason::FifoEmpty;
+    }
+    return trace::StallReason::Drained;
+}
+
+void
 Sm::step(uint64_t now)
 {
-    if (warps_.empty())
+    if (warps_.empty()) {
+        recordStall(trace::StallReason::NoWarps);
         return;
+    }
     if (issueBlockedUntil_ > now) {
-        services_.stats().recordIdle(now, config_.statsWindowCycles);
+        services_.stats().recordIdle(now);
+        recordStall(trace::StallReason::BankConflict);
         return;
     }
     const int n = residentWarps();
@@ -256,11 +299,13 @@ Sm::step(uint64_t now)
         Warp &w = warps_[slot];
         if (w.issuable(now)) {
             rrCursor_ = (slot + 1) % n;
+            recordStall(trace::StallReason::Issued);
             issue(w, now);
             return;
         }
     }
-    services_.stats().recordIdle(now, config_.statsWindowCycles);
+    services_.stats().recordIdle(now);
+    recordStall(classifyIdle());
 }
 
 void
@@ -273,7 +318,12 @@ Sm::issue(Warp &w, uint64_t now)
     const uint64_t mask = w.stack.activeMask();
 
     SimStats &stats = services_.stats();
-    stats.recordIssue(now, popcount(mask), config_.statsWindowCycles);
+    stats.recordIssue(now, popcount(mask));
+
+    trace::EventTrace &sink = services_.eventTrace();
+    sink.record(trace::EventKind::Issue, now, id_, w.hwSlot, pc,
+                uint64_t(popcount(mask)), 1);
+    const size_t depthBefore = w.stack.depth();
 
     uint64_t commitMask = mask;
     if (inst.guardPred >= 0) {
@@ -342,6 +392,17 @@ Sm::issue(Warp &w, uint64_t now)
             w.readyAt = now + config_.sfuLatencyCycles;
         w.stack.advance();
         break;
+    }
+
+    if (w.valid && !w.stack.empty()) {
+        const size_t depthAfter = w.stack.depth();
+        if (depthAfter > depthBefore) {
+            sink.record(trace::EventKind::Diverge, now, id_, w.hwSlot, pc,
+                        depthAfter);
+        } else if (depthAfter < depthBefore) {
+            sink.record(trace::EventKind::Reconverge, now, id_, w.hwSlot,
+                        pc, depthAfter);
+        }
     }
 
     if (w.valid && w.stack.empty())
@@ -586,6 +647,10 @@ Sm::execMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
         if (passes > 1) {
             issueBlockedUntil_ = now + passes;
             stats.bankConflictExtraCycles += passes - 1;
+            services_.eventTrace().record(trace::EventKind::BankConflict,
+                                          now, id_, w.hwSlot, w.stack.pc(),
+                                          uint64_t(passes - 1),
+                                          uint32_t(passes - 1));
         }
         if (isStore)
             stats.onChipWriteBytes += bytes;
@@ -620,7 +685,7 @@ Sm::execSpawn(Warp &w, const Instruction &inst, uint64_t commitMask,
     }
 
     SpawnIssue issue = spawnUnit_->spawn(inst.target, commitMask, laneData_,
-                                         spawnStore_);
+                                         spawnStore_, now);
     const int n = popcount(commitMask);
     stats.dynamicThreadsSpawned += n;
     stats.spawnMemWriteBytes += 4u * n;
@@ -635,6 +700,10 @@ Sm::execSpawn(Warp &w, const Instruction &inst, uint64_t commitMask,
     if (passes > 1) {
         issueBlockedUntil_ = now + passes;
         stats.bankConflictExtraCycles += passes - 1;
+        services_.eventTrace().record(trace::EventKind::BankConflict, now,
+                                      id_, w.hwSlot, w.stack.pc(),
+                                      uint64_t(passes - 1),
+                                      uint32_t(passes - 1));
     }
 }
 

@@ -25,6 +25,8 @@
 #include "simt/warp.hpp"
 #include "spawn/spawn_layout.hpp"
 #include "spawn/spawn_unit.hpp"
+#include "trace/events.hpp"
+#include "trace/stall.hpp"
 
 namespace uksim {
 
@@ -46,6 +48,10 @@ class SmServices
     virtual void scheduleMemWakeup(uint64_t cycle, int smId,
                                    int warpSlot) = 0;
     virtual SimStats &stats() = 0;
+    /** Structured event sink (disabled sinks cost one inlined branch). */
+    virtual trace::EventTrace &eventTrace() = 0;
+    /** True when the launch grid has no threads left to place. */
+    virtual bool gridExhausted() const = 0;
     /** A work item (ray) fully completed. */
     virtual void onItemCompleted() = 0;
     /** A launch-grid thread exited. */
@@ -111,6 +117,15 @@ class Sm
     Store &spawnStore() { return spawnStore_; }
     const Warp &warp(int slot) const { return warps_.at(slot); }
 
+    /** Per-SM issue-slot attribution (one reason recorded per cycle). */
+    const trace::StallCounters &stallCounters() const
+    {
+        return stallCounters_;
+    }
+
+    /** Per-SM read-only texture L1, or nullptr when disabled. */
+    const ReadOnlyCache *texL1() const { return texL1_.get(); }
+
     // Register file access (exposed for tests).
     uint32_t readReg(int threadSlot, int reg) const;
     void writeReg(int threadSlot, int reg, uint32_t value);
@@ -145,6 +160,11 @@ class Sm
     void retireWarp(Warp &w);
     void retireLane(Warp &w, int lane);
 
+    /** Record this cycle's issue-slot outcome (per-SM and chip-wide). */
+    void recordStall(trace::StallReason reason);
+    /** Why no warp could issue this cycle (some warp context exists). */
+    trace::StallReason classifyIdle() const;
+
     ResidentBlock *findBlock(uint32_t blockId);
 
     const int id_;
@@ -162,6 +182,8 @@ class Sm
     std::unique_ptr<SpawnUnit> spawnUnit_;
     std::vector<uint32_t> freeStateSlots_;
     std::vector<ResidentBlock> blocks_;
+
+    trace::StallCounters stallCounters_;
 
     int rrCursor_ = 0;
     uint64_t issueBlockedUntil_ = 0;

@@ -10,22 +10,31 @@
 
 namespace uksim {
 
-OccupancyWindow &
-SimStats::windowFor(uint64_t cycle, uint64_t windowCycles)
+void
+SimStats::setWindowCycles(uint64_t window_cycles)
 {
-    assert(windowCycles > 0);
-    size_t idx = cycle / windowCycles;
+    assert(window_cycles > 0);
+    assert((windows.empty() || window_cycles == windowCycles_) &&
+           "window size must not change once the series exists");
+    windowCycles_ = window_cycles;
+}
+
+OccupancyWindow &
+SimStats::windowFor(uint64_t cycle)
+{
+    assert(windowCycles_ > 0);
+    size_t idx = cycle / windowCycles_;
     while (windows.size() <= idx) {
         OccupancyWindow w;
-        w.startCycle = windows.size() * windowCycles;
-        w.cycles = windowCycles;
+        w.startCycle = windows.size() * windowCycles_;
+        w.cycles = windowCycles_;
         windows.push_back(w);
     }
     return windows[idx];
 }
 
 void
-SimStats::recordIssue(uint64_t cycle, int activeLanes, uint64_t windowCycles)
+SimStats::recordIssue(uint64_t cycle, int activeLanes)
 {
     warpIssues++;
     laneInstructions += activeLanes;
@@ -34,14 +43,66 @@ SimStats::recordIssue(uint64_t cycle, int activeLanes, uint64_t windowCycles)
     int bin = (activeLanes - 1) / 4;
     if (bin >= kOccupancyBins)
         bin = kOccupancyBins - 1;
-    windowFor(cycle, windowCycles).bins[bin]++;
+    windowFor(cycle).bins[bin]++;
 }
 
 void
-SimStats::recordIdle(uint64_t cycle, uint64_t windowCycles)
+SimStats::recordIdle(uint64_t cycle)
 {
     idleIssueSlots++;
-    windowFor(cycle, windowCycles).idleIssueSlots++;
+    windowFor(cycle).idleIssueSlots++;
+}
+
+SimStats &
+SimStats::operator+=(const SimStats &other)
+{
+    cycles += other.cycles;
+    warpIssues += other.warpIssues;
+    laneInstructions += other.laneInstructions;
+    committedLaneInstructions += other.committedLaneInstructions;
+    idleIssueSlots += other.idleIssueSlots;
+
+    threadsLaunched += other.threadsLaunched;
+    threadsCompleted += other.threadsCompleted;
+    itemsCompleted += other.itemsCompleted;
+    dynamicThreadsSpawned += other.dynamicThreadsSpawned;
+    dynamicWarpsFormed += other.dynamicWarpsFormed;
+    partialWarpFlushes += other.partialWarpFlushes;
+
+    dramReadBytes += other.dramReadBytes;
+    dramWriteBytes += other.dramWriteBytes;
+    dramTransactions += other.dramTransactions;
+    onChipReadBytes += other.onChipReadBytes;
+    onChipWriteBytes += other.onChipWriteBytes;
+    spawnMemReadBytes += other.spawnMemReadBytes;
+    spawnMemWriteBytes += other.spawnMemWriteBytes;
+    bankConflictExtraCycles += other.bankConflictExtraCycles;
+    texL1Hits += other.texL1Hits;
+    texL1Misses += other.texL1Misses;
+    texL2Hits += other.texL2Hits;
+    texL2Misses += other.texL2Misses;
+
+    stall += other.stall;
+
+    if (!other.windows.empty()) {
+        assert((windows.empty() ||
+                windowCycles_ == other.windowCycles_) &&
+               "cannot merge occupancy series with different window sizes");
+        if (windows.empty())
+            windowCycles_ = other.windowCycles_;
+        if (windows.size() < other.windows.size())
+            windows.resize(other.windows.size());
+        for (size_t i = 0; i < other.windows.size(); i++) {
+            OccupancyWindow &dst = windows[i];
+            const OccupancyWindow &src = other.windows[i];
+            dst.startCycle = src.startCycle;
+            dst.cycles = src.cycles;
+            for (int b = 0; b < kOccupancyBins; b++)
+                dst.bins[b] += src.bins[b];
+            dst.idleIssueSlots += src.idleIssueSlots;
+        }
+    }
+    return *this;
 }
 
 std::string

@@ -1,7 +1,8 @@
 /**
  * @file
  * Simulation statistics, including the AerialVision-style warp-occupancy
- * time series used for the paper's Figures 3, 7 and 9.
+ * time series used for the paper's Figures 3, 7 and 9, and the chip-wide
+ * issue-slot stall attribution (trace/stall.hpp).
  */
 
 #ifndef UKSIM_SIMT_STATS_HPP
@@ -11,6 +12,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "trace/stall.hpp"
 
 namespace uksim {
 
@@ -28,6 +31,8 @@ struct OccupancyWindow {
     std::array<uint64_t, kOccupancyBins> bins{};
     /// SM-cycles with no warp issued at all.
     uint64_t idleIssueSlots = 0;
+
+    bool operator==(const OccupancyWindow &other) const = default;
 };
 
 /** Counters for one complete simulation. */
@@ -62,6 +67,12 @@ struct SimStats {
     uint64_t texL2Hits = 0;
     uint64_t texL2Misses = 0;
 
+    /**
+     * Chip-wide issue-slot attribution: every SM classifies each cycle
+     * into exactly one reason, so stall.total() == numSms * cycles.
+     */
+    trace::StallCounters stall;
+
     /// Divergence-breakdown time series.
     std::vector<OccupancyWindow> windows;
 
@@ -92,16 +103,36 @@ struct SimStats {
                       : 0.0;
     }
 
+    /**
+     * Fix the occupancy-series window size. Set once at run start (the
+     * Gpu does this from GpuConfig::statsWindowCycles) — changing it
+     * after windows exist would corrupt the series, so that asserts.
+     */
+    void setWindowCycles(uint64_t window_cycles);
+    uint64_t windowCycles() const { return windowCycles_; }
+
     /** Merge occupancy of one warp issue into the time series. */
-    void recordIssue(uint64_t cycle, int activeLanes, uint64_t windowCycles);
+    void recordIssue(uint64_t cycle, int activeLanes);
     /** Record an SM issue slot that went idle. */
-    void recordIdle(uint64_t cycle, uint64_t windowCycles);
+    void recordIdle(uint64_t cycle);
 
     /** CSV of the divergence-breakdown series (one row per window). */
     std::string occupancyCsv() const;
 
+    /**
+     * Accumulate another run's counters (bench aggregation across
+     * configurations). Occupancy windows merge index-aligned, which
+     * requires both series to use the same window size.
+     */
+    SimStats &operator+=(const SimStats &other);
+
+    bool operator==(const SimStats &other) const = default;
+
   private:
-    OccupancyWindow &windowFor(uint64_t cycle, uint64_t windowCycles);
+    OccupancyWindow &windowFor(uint64_t cycle);
+
+    /// Occupancy-series bucket width in cycles (see setWindowCycles).
+    uint64_t windowCycles_ = 5000;
 };
 
 } // namespace uksim

@@ -11,8 +11,10 @@
 namespace uksim {
 
 SpawnUnit::SpawnUnit(const GpuConfig &config, const Program &program,
-                     const SpawnMemoryLayout &layout)
-    : config_(config), program_(program), layout_(layout)
+                     const SpawnMemoryLayout &layout,
+                     trace::EventTrace *trace, int smId)
+    : config_(config), program_(program), layout_(layout), trace_(trace),
+      smId_(smId)
 {
     const uint32_t regionBytes = config.warpSize * 4;
     numRegions_ = layout.formationEntries * 4 / regionBytes;
@@ -61,7 +63,8 @@ SpawnUnit::releaseRegion(uint32_t regionAddr)
 
 SpawnIssue
 SpawnUnit::spawn(uint32_t targetPc, uint64_t mask,
-                 const std::vector<uint32_t> &dataPtrs, Store &spawnStore)
+                 const std::vector<uint32_t> &dataPtrs, Store &spawnStore,
+                 uint64_t now)
 {
     int index = program_.microKernelIndex(targetPc);
     if (index < 0)
@@ -71,6 +74,7 @@ SpawnUnit::spawn(uint32_t targetPc, uint64_t mask,
     SpawnIssue issue;
     issue.storeAddrs.assign(dataPtrs.size(), ~uint64_t{0});
     const uint64_t warpsBefore = warpsFormed_;
+    const uint64_t threadsBefore = threadsSpawned_;
 
     for (size_t lane = 0; lane < dataPtrs.size(); lane++) {
         if (!(mask >> lane & 1))
@@ -92,6 +96,10 @@ SpawnUnit::spawn(uint32_t targetPc, uint64_t mask,
             w.threadCount = config_.warpSize;
             fifo_.push_back(w);
             warpsFormed_++;
+            if (trace_) {
+                trace_->record(trace::EventKind::WarpFormed, now, smId_, 0,
+                               w.pc, uint64_t(w.threadCount));
+            }
             // Overflow address becomes current; a fresh region is
             // installed as the new overflow.
             line.addr1 = line.addr2;
@@ -100,6 +108,10 @@ SpawnUnit::spawn(uint32_t targetPc, uint64_t mask,
         }
     }
     issue.warpsCompleted = static_cast<int>(warpsFormed_ - warpsBefore);
+    if (trace_) {
+        trace_->record(trace::EventKind::Spawn, now, smId_, 0, targetPc,
+                       threadsSpawned_ - threadsBefore);
+    }
     return issue;
 }
 
@@ -132,7 +144,7 @@ SpawnUnit::partialThreadCount() const
 }
 
 FormedWarp
-SpawnUnit::flushLowestPcPartial()
+SpawnUnit::flushLowestPcPartial(uint64_t now)
 {
     LutLine *best = nullptr;
     for (LutLine &line : lut_) {
@@ -149,6 +161,10 @@ SpawnUnit::flushLowestPcPartial()
     best->addr2 = allocRegion();
     best->count = 0;
     partialFlushes_++;
+    if (trace_) {
+        trace_->record(trace::EventKind::PartialFlush, now, smId_, 0, w.pc,
+                       uint64_t(w.threadCount));
+    }
     return w;
 }
 

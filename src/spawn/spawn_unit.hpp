@@ -27,6 +27,7 @@
 #include "simt/config.hpp"
 #include "simt/program.hpp"
 #include "spawn/spawn_layout.hpp"
+#include "trace/events.hpp"
 
 namespace uksim {
 
@@ -53,9 +54,12 @@ class SpawnUnit
      * @param config machine configuration.
      * @param program program whose micro-kernels define the LUT lines.
      * @param layout spawn memory layout of this SM.
+     * @param trace optional event sink (warp formation / flush events).
+     * @param smId owning SM id, used as the trace track.
      */
     SpawnUnit(const GpuConfig &config, const Program &program,
-              const SpawnMemoryLayout &layout);
+              const SpawnMemoryLayout &layout,
+              trace::EventTrace *trace = nullptr, int smId = 0);
 
     /**
      * Execute a spawn instruction for all active lanes.
@@ -64,10 +68,11 @@ class SpawnUnit
      * @param mask active lanes.
      * @param dataPtrs per-lane state-record pointers (rd values).
      * @param spawnStore the SM's spawn memory backing store.
+     * @param now current cycle (only stamps trace events).
      */
     SpawnIssue spawn(uint32_t targetPc, uint64_t mask,
                      const std::vector<uint32_t> &dataPtrs,
-                     Store &spawnStore);
+                     Store &spawnStore, uint64_t now = 0);
 
     bool fifoEmpty() const { return fifo_.empty(); }
     size_t fifoSize() const { return fifo_.size(); }
@@ -84,8 +89,9 @@ class SpawnUnit
     /**
      * Force the partial warp with the lowest entry pc out of the pool
      * (Sec. IV-D: only used when nothing else is schedulable).
+     * @param now current cycle (only stamps the trace event).
      */
-    FormedWarp flushLowestPcPartial();
+    FormedWarp flushLowestPcPartial(uint64_t now = 0);
 
     // Counters for SimStats.
     uint64_t threadsSpawned() const { return threadsSpawned_; }
@@ -118,6 +124,8 @@ class SpawnUnit
     const GpuConfig &config_;
     const Program &program_;
     const SpawnMemoryLayout &layout_;
+    trace::EventTrace *trace_;      ///< may be null (untraced unit tests)
+    const int smId_;
 
     std::vector<LutLine> lut_;
     std::deque<FormedWarp> fifo_;

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Event-trace ring buffer and Chrome-trace export.
+ */
+
+#include "trace/events.hpp"
+
+#include <sstream>
+
+namespace uksim::trace {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Issue: return "issue";
+      case EventKind::MemRequest: return "mem_request";
+      case EventKind::MemReply: return "mem_reply";
+      case EventKind::Spawn: return "spawn";
+      case EventKind::WarpFormed: return "warp_formed";
+      case EventKind::PartialFlush: return "partial_flush";
+      case EventKind::Diverge: return "diverge";
+      case EventKind::Reconverge: return "reconverge";
+      case EventKind::BankConflict: return "bank_conflict";
+    }
+    return "unknown";
+}
+
+void
+EventTrace::enable(size_t capacity)
+{
+    ring_.assign(capacity ? capacity : 1, Event{});
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+    enabled_ = true;
+}
+
+void
+EventTrace::disable()
+{
+    enabled_ = false;
+    ring_.clear();
+    head_ = 0;
+    count_ = 0;
+}
+
+void
+EventTrace::push(const Event &e)
+{
+    if (count_ == ring_.size())
+        dropped_++;
+    else
+        count_++;
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+}
+
+std::vector<Event>
+EventTrace::ordered() const
+{
+    std::vector<Event> out;
+    out.reserve(count_);
+    const size_t start = (head_ + ring_.size() - count_) % ring_.size();
+    for (size_t i = 0; i < count_; i++)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+EventTrace::chromeTraceJson(int numSms, int numPartitions) const
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+    };
+
+    for (int sm = 0; sm < numSms; sm++) {
+        sep();
+        os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << sm
+           << ", \"args\": {\"name\": \"SM " << sm << "\"}}";
+    }
+    for (int p = 0; p < numPartitions; p++) {
+        sep();
+        os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": "
+           << numSms + p << ", \"args\": {\"name\": \"DRAM partition "
+           << p << "\"}}";
+    }
+
+    for (const Event &e : ordered()) {
+        sep();
+        os << "{\"name\": \"" << eventKindName(e.kind) << "\", ";
+        if (e.dur > 0) {
+            os << "\"ph\": \"X\", \"dur\": " << e.dur << ", ";
+        } else {
+            os << "\"ph\": \"i\", \"s\": \"t\", ";
+        }
+        os << "\"ts\": " << e.cycle << ", \"pid\": " << e.pid
+           << ", \"tid\": " << e.tid << ", \"args\": {\"pc\": " << e.pc
+           << ", \"value\": " << e.arg << "}}";
+    }
+
+    os << "\n]}\n";
+    return os.str();
+}
+
+} // namespace uksim::trace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Structured warp-level event trace.
+ *
+ * A ring buffer of fixed-size records (issue, memory request/reply,
+ * spawn, warp formation, partial flush, divergence/reconvergence),
+ * exported as Chrome-trace/Perfetto JSON with one track per SM and one
+ * per memory partition (load `.trace.json` in chrome://tracing or
+ * https://ui.perfetto.dev).
+ *
+ * Tracing is off by default and must be bit-for-bit neutral to the
+ * simulation: record() never touches simulation state, and its
+ * disabled fast path is a single inlined branch. Building with
+ * -DUKSIM_DISABLE_EVENT_TRACE compiles record() down to an empty
+ * inline no-op for paranoid performance runs.
+ */
+
+#ifndef UKSIM_TRACE_EVENTS_HPP
+#define UKSIM_TRACE_EVENTS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uksim::trace {
+
+/** What happened. Names match the Chrome-trace event names. */
+enum class EventKind : uint8_t {
+    Issue,          ///< warp instruction issued (arg = active lanes)
+    MemRequest,     ///< coalesced DRAM transaction issued (arg = bytes)
+    MemReply,       ///< DRAM transaction completed (arg = bytes)
+    Spawn,          ///< spawn instruction executed (arg = threads spawned)
+    WarpFormed,     ///< spawn unit completed a full warp (arg = threads)
+    PartialFlush,   ///< partially formed warp force-flushed (arg = threads)
+    Diverge,        ///< branch split the warp (arg = stack depth after)
+    Reconverge,     ///< reconvergence point popped (arg = stack depth after)
+    BankConflict,   ///< serialized on-chip access (arg = extra passes)
+};
+
+constexpr int kNumEventKinds = 9;
+
+const char *eventKindName(EventKind kind);
+
+/** One trace record. Track = (pid, tid): SM/warp or partition. */
+struct Event {
+    uint64_t cycle = 0;
+    uint64_t arg = 0;       ///< kind-specific payload (see EventKind)
+    uint32_t pc = 0;        ///< program counter (0 when meaningless)
+    uint32_t dur = 0;       ///< duration in cycles (0 = instant event)
+    int16_t pid = 0;        ///< SM id, or numSms + partition for memory
+    int16_t tid = 0;        ///< warp slot (or 0 on memory tracks)
+    EventKind kind = EventKind::Issue;
+};
+
+/** Ring-buffered event sink. Disabled (and free) unless enable()d. */
+class EventTrace
+{
+  public:
+    /** Start recording into a ring of @p capacity records. */
+    void enable(size_t capacity = kDefaultCapacity);
+    void disable();
+    bool enabled() const { return enabled_; }
+
+    /** Records currently held (<= capacity). */
+    size_t size() const { return count_; }
+    size_t capacity() const { return ring_.size(); }
+    /** Records overwritten because the ring wrapped. */
+    uint64_t dropped() const { return dropped_; }
+
+    /** Record one event. No-op (one inlined branch) when disabled. */
+    void record(EventKind kind, uint64_t cycle, int pid, int tid,
+                uint32_t pc, uint64_t arg, uint32_t dur = 0)
+    {
+#if defined(UKSIM_DISABLE_EVENT_TRACE)
+        (void)kind; (void)cycle; (void)pid; (void)tid;
+        (void)pc; (void)arg; (void)dur;
+#else
+        if (!enabled_)
+            return;
+        push(Event{cycle, arg, pc, dur, static_cast<int16_t>(pid),
+                   static_cast<int16_t>(tid), kind});
+#endif
+    }
+
+    /** Held events in recording order (oldest first). */
+    std::vector<Event> ordered() const;
+
+    /**
+     * Chrome-trace JSON ("traceEvents" array object format). Emits
+     * process-name metadata labelling pids 0..numSms-1 as "SM i" and
+     * numSms..numSms+numPartitions-1 as "DRAM partition p"; one
+     * timestamp unit equals one shader cycle.
+     */
+    std::string chromeTraceJson(int numSms, int numPartitions) const;
+
+    static constexpr size_t kDefaultCapacity = 1u << 20;
+
+  private:
+    void push(const Event &e);
+
+    std::vector<Event> ring_;
+    size_t head_ = 0;       ///< next write position
+    size_t count_ = 0;
+    uint64_t dropped_ = 0;
+    bool enabled_ = false;
+};
+
+} // namespace uksim::trace
+
+#endif // UKSIM_TRACE_EVENTS_HPP

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Registry export implementation.
+ */
+
+#include "trace/export.hpp"
+
+#include <string>
+
+#include "mem/rocache.hpp"
+#include "simt/gpu.hpp"
+
+namespace uksim::trace {
+
+namespace {
+
+void
+defineStalls(Registry &reg, const std::string &prefix,
+             const StallCounters &stalls)
+{
+    for (int i = 0; i < kNumStallReasons; i++) {
+        const StallReason r = static_cast<StallReason>(i);
+        reg.define(prefix + stallReasonName(r),
+                   static_cast<double>(stalls.count(r)));
+    }
+}
+
+void
+defineCache(Registry &reg, const std::string &prefix,
+            const ReadOnlyCache &cache)
+{
+    reg.define(prefix + "hits", static_cast<double>(cache.hits()));
+    reg.define(prefix + "misses", static_cast<double>(cache.misses()));
+    reg.define(prefix + "fills", static_cast<double>(cache.fills()));
+    reg.define(prefix + "invalidations",
+               static_cast<double>(cache.invalidations()));
+}
+
+} // namespace
+
+Registry
+buildRegistry(Gpu &gpu)
+{
+    Registry reg;
+    const SimStats &s = gpu.stats();
+    const GpuConfig &config = gpu.config();
+
+    // Chip-wide SimStats counters.
+    reg.define("sim.cycles", static_cast<double>(s.cycles));
+    reg.define("sim.warp_issues", static_cast<double>(s.warpIssues));
+    reg.define("sim.lane_instructions",
+               static_cast<double>(s.laneInstructions));
+    reg.define("sim.committed_lane_instructions",
+               static_cast<double>(s.committedLaneInstructions));
+    reg.define("sim.idle_issue_slots",
+               static_cast<double>(s.idleIssueSlots));
+    reg.define("sim.threads_launched",
+               static_cast<double>(s.threadsLaunched));
+    reg.define("sim.threads_completed",
+               static_cast<double>(s.threadsCompleted));
+    reg.define("sim.items_completed",
+               static_cast<double>(s.itemsCompleted));
+    reg.define("sim.dynamic_threads_spawned",
+               static_cast<double>(s.dynamicThreadsSpawned));
+    reg.define("sim.dynamic_warps_formed",
+               static_cast<double>(s.dynamicWarpsFormed));
+    reg.define("sim.partial_warp_flushes",
+               static_cast<double>(s.partialWarpFlushes));
+    reg.define("sim.dram_read_bytes", static_cast<double>(s.dramReadBytes));
+    reg.define("sim.dram_write_bytes",
+               static_cast<double>(s.dramWriteBytes));
+    reg.define("sim.dram_transactions",
+               static_cast<double>(s.dramTransactions));
+    reg.define("sim.onchip_read_bytes",
+               static_cast<double>(s.onChipReadBytes));
+    reg.define("sim.onchip_write_bytes",
+               static_cast<double>(s.onChipWriteBytes));
+    reg.define("sim.spawn_mem_read_bytes",
+               static_cast<double>(s.spawnMemReadBytes));
+    reg.define("sim.spawn_mem_write_bytes",
+               static_cast<double>(s.spawnMemWriteBytes));
+    reg.define("sim.bank_conflict_extra_cycles",
+               static_cast<double>(s.bankConflictExtraCycles));
+    reg.define("sim.ipc", s.ipc());
+    reg.define("sim.simt_efficiency", s.simtEfficiency(config.warpSize));
+
+    // Chip-wide issue-slot attribution.
+    defineStalls(reg, "stall.", s.stall);
+
+    // Per-SM breakdowns.
+    for (int i = 0; i < gpu.numSms(); i++) {
+        Sm &sm = gpu.sm(i);
+        const std::string base = "sm." + std::to_string(i) + ".";
+        defineStalls(reg, base + "stall.", sm.stallCounters());
+        if (const ReadOnlyCache *l1 = sm.texL1())
+            defineCache(reg, base + "texl1.", *l1);
+        if (sm.spawnEnabled()) {
+            const SpawnUnit &su = *sm.spawnUnit();
+            reg.define(base + "spawn.threads_spawned",
+                       static_cast<double>(su.threadsSpawned()));
+            reg.define(base + "spawn.warps_formed",
+                       static_cast<double>(su.warpsFormed()));
+            reg.define(base + "spawn.partial_flushes",
+                       static_cast<double>(su.partialFlushes()));
+        }
+    }
+
+    // Per-partition DRAM traffic and texture L2.
+    const std::vector<PartitionStats> &parts = gpu.dram().partitionStats();
+    for (size_t p = 0; p < parts.size(); p++) {
+        const std::string base = "dram.partition." + std::to_string(p) + ".";
+        reg.define(base + "read_bytes",
+                   static_cast<double>(parts[p].readBytes));
+        reg.define(base + "write_bytes",
+                   static_cast<double>(parts[p].writeBytes));
+        reg.define(base + "transactions",
+                   static_cast<double>(parts[p].transactions));
+        reg.define(base + "busy_cycles",
+                   static_cast<double>(parts[p].busyCycles));
+    }
+    for (int p = 0; p < config.numMemPartitions; p++) {
+        if (const ReadOnlyCache *l2 = gpu.texL2(p))
+            defineCache(reg, "dram.l2." + std::to_string(p) + ".", *l2);
+    }
+
+    return reg;
+}
+
+} // namespace uksim::trace

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Mirrors a finished simulation's statistics into a hierarchical counter
+ * Registry (trace/registry.hpp).
+ *
+ * SimStats stays a plain aggregate (cheap to copy and compare, which the
+ * tracing-neutrality tests rely on); this module is the one place that
+ * knows how to flatten the whole machine — chip totals, per-SM stall
+ * attribution and caches, per-partition DRAM traffic — into dotted
+ * counter names for CSV/JSON export.
+ */
+
+#ifndef UKSIM_TRACE_EXPORT_HPP
+#define UKSIM_TRACE_EXPORT_HPP
+
+#include "trace/registry.hpp"
+
+namespace uksim {
+
+class Gpu;
+
+namespace trace {
+
+/**
+ * Build a Registry snapshot of @p gpu after run().
+ *
+ * Naming scheme:
+ *  - sim.*                           chip-wide SimStats counters
+ *  - stall.<reason>                  chip-wide issue-slot attribution
+ *  - sm.<i>.stall.<reason>           per-SM issue-slot attribution
+ *  - sm.<i>.texl1.*                  per-SM texture L1 counters
+ *  - sm.<i>.spawn.*                  per-SM spawn-unit counters
+ *  - dram.partition.<p>.*            per-partition DRAM traffic
+ *  - dram.l2.<p>.*                   per-partition texture L2 counters
+ */
+Registry buildRegistry(Gpu &gpu);
+
+} // namespace trace
+} // namespace uksim
+
+#endif // UKSIM_TRACE_EXPORT_HPP

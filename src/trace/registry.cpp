@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Counter registry implementation.
+ */
+
+#include "trace/registry.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace uksim::trace {
+
+namespace {
+
+std::vector<std::string>
+splitName(const std::string &name)
+{
+    std::vector<std::string> segments;
+    size_t start = 0;
+    while (true) {
+        size_t dot = name.find('.', start);
+        if (dot == std::string::npos) {
+            segments.push_back(name.substr(start));
+            break;
+        }
+        segments.push_back(name.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return segments;
+}
+
+/** Tree used only while rendering the nested JSON. */
+struct Node {
+    std::map<std::string, Node> children;
+    double value = 0.0;
+    bool leaf = false;
+};
+
+void
+emitNode(std::ostringstream &os, const Node &node, int indent)
+{
+    if (node.leaf) {
+        os << Registry::formatValue(node.value);
+        return;
+    }
+    os << "{";
+    bool first = true;
+    for (const auto &[key, child] : node.children) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n" << std::string(size_t(indent) + 2, ' ') << "\"" << key
+           << "\": ";
+        emitNode(os, child, indent + 2);
+    }
+    os << "\n" << std::string(size_t(indent), ' ') << "}";
+}
+
+} // anonymous namespace
+
+std::string
+Registry::formatValue(double value)
+{
+    // Counters are integers; keep them exact and unadorned. Derived
+    // metrics print with enough digits to round-trip.
+    if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+void
+Registry::validate(const std::string &name) const
+{
+    auto fail = [&](const char *why) {
+        throw std::invalid_argument("trace::Registry: bad counter name '" +
+                                    name + "': " + why);
+    };
+    if (name.empty())
+        fail("empty");
+    bool segmentEmpty = true;
+    for (char c : name) {
+        if (c == '.') {
+            if (segmentEmpty)
+                fail("empty dotted segment");
+            segmentEmpty = true;
+            continue;
+        }
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '-') {
+            fail("allowed characters are [a-zA-Z0-9_.-]");
+        }
+        segmentEmpty = false;
+    }
+    if (segmentEmpty)
+        fail("empty dotted segment");
+}
+
+void
+Registry::define(const std::string &name, double value)
+{
+    validate(name);
+    if (counters_.count(name)) {
+        throw std::invalid_argument("trace::Registry: counter '" + name +
+                                    "' already defined");
+    }
+    // An existing leaf may not become an interior node...
+    for (size_t dot = name.find('.'); dot != std::string::npos;
+         dot = name.find('.', dot + 1)) {
+        const std::string prefix = name.substr(0, dot);
+        if (counters_.count(prefix)) {
+            throw std::invalid_argument(
+                "trace::Registry: counter '" + name +
+                "' conflicts with existing leaf '" + prefix + "'");
+        }
+    }
+    // ...and an interior node may not become a leaf.
+    const std::string asPrefix = name + ".";
+    auto it = counters_.lower_bound(asPrefix);
+    if (it != counters_.end() && it->first.compare(0, asPrefix.size(),
+                                                   asPrefix) == 0) {
+        throw std::invalid_argument(
+            "trace::Registry: counter '" + name +
+            "' conflicts with existing subtree '" + it->first + "'");
+    }
+    counters_.emplace(name, value);
+}
+
+void
+Registry::set(const std::string &name, double value)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        define(name, value);
+    else
+        it->second = value;
+}
+
+void
+Registry::add(const std::string &name, double delta)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        define(name, delta);
+    else
+        it->second += delta;
+}
+
+bool
+Registry::contains(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+double
+Registry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        throw std::out_of_range("trace::Registry: no counter '" + name +
+                                "'");
+    }
+    return it->second;
+}
+
+std::string
+Registry::csv() const
+{
+    std::ostringstream os;
+    os << "name,value\n";
+    for (const auto &[name, value] : counters_)
+        os << name << "," << formatValue(value) << "\n";
+    return os.str();
+}
+
+std::string
+Registry::json() const
+{
+    Node root;
+    for (const auto &[name, value] : counters_) {
+        Node *node = &root;
+        for (const std::string &segment : splitName(name))
+            node = &node->children[segment];
+        node->leaf = true;
+        node->value = value;
+    }
+    std::ostringstream os;
+    emitNode(os, root, 0);
+    os << "\n";
+    return os.str();
+}
+
+} // namespace uksim::trace

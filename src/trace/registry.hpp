@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Hierarchical counter registry.
+ *
+ * Counters live under dotted names ("sm.3.stall.scoreboard",
+ * "dram.partition.5.read_bytes"). The registry is the export surface of
+ * the observability subsystem: simulation components mirror their
+ * counters into it after a run and tools dump it as CSV (flat) or JSON
+ * (nested by name segment). Names form a strict hierarchy — a name can
+ * be a leaf or an interior node, never both — and duplicate definitions
+ * are rejected, so two components can't silently publish the same
+ * counter.
+ *
+ * Values are doubles: integral counters up to 2^53 are represented
+ * exactly, and derived metrics (IPC, efficiency) fit the same table.
+ */
+
+#ifndef UKSIM_TRACE_REGISTRY_HPP
+#define UKSIM_TRACE_REGISTRY_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace uksim::trace {
+
+/** Dotted-name counter registry with CSV/JSON dump. */
+class Registry
+{
+  public:
+    /**
+     * Register a new counter. Throws std::invalid_argument when the
+     * name is malformed, already defined, or conflicts with the
+     * hierarchy (an existing leaf would become an interior node or
+     * vice versa).
+     */
+    void define(const std::string &name, double value);
+
+    /** Upsert: define if missing (same validation), else overwrite. */
+    void set(const std::string &name, double value);
+
+    /** Add @p delta to an existing counter (defines it at 0 first). */
+    void add(const std::string &name, double delta);
+
+    bool contains(const std::string &name) const;
+
+    /** Value of @p name; throws std::out_of_range when missing. */
+    double get(const std::string &name) const;
+
+    size_t size() const { return counters_.size(); }
+    bool empty() const { return counters_.empty(); }
+
+    /** All counters in name order. */
+    const std::map<std::string, double> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Flat dump: header line "name,value", one row per counter. */
+    std::string csv() const;
+
+    /** Nested dump: one JSON object level per dotted segment. */
+    std::string json() const;
+
+    /** Render one value the way csv()/json() do (ints stay ints). */
+    static std::string formatValue(double value);
+
+  private:
+    void validate(const std::string &name) const;
+
+    std::map<std::string, double> counters_;
+};
+
+} // namespace uksim::trace
+
+#endif // UKSIM_TRACE_REGISTRY_HPP

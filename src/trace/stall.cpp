@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Stall-attribution implementation.
+ */
+
+#include "trace/stall.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace uksim::trace {
+
+const char *
+stallReasonName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::Issued: return "issued";
+      case StallReason::Scoreboard: return "scoreboard";
+      case StallReason::Barrier: return "barrier";
+      case StallReason::FifoEmpty: return "fifo_empty";
+      case StallReason::BankConflict: return "bank_conflict";
+      case StallReason::NoWarps: return "no_warps";
+      case StallReason::Drained: return "drained";
+    }
+    return "unknown";
+}
+
+uint64_t
+StallCounters::total() const
+{
+    uint64_t t = 0;
+    for (uint64_t c : counts)
+        t += c;
+    return t;
+}
+
+double
+StallCounters::issueEfficiency() const
+{
+    uint64_t t = total();
+    return t ? double(count(StallReason::Issued)) / double(t) : 0.0;
+}
+
+StallCounters &
+StallCounters::operator+=(const StallCounters &other)
+{
+    for (int i = 0; i < kNumStallReasons; i++)
+        counts[i] += other.counts[i];
+    return *this;
+}
+
+std::string
+stallBreakdownTable(const StallCounters &chip, const std::string &label)
+{
+    std::ostringstream os;
+    const uint64_t total = chip.total();
+    os << "--- issue-slot breakdown: " << label << " ---\n";
+    for (int i = 0; i < kNumStallReasons; i++) {
+        const StallReason r = static_cast<StallReason>(i);
+        const uint64_t c = chip.counts[i];
+        const double share = total ? 100.0 * double(c) / double(total) : 0.0;
+        char line[96];
+        std::snprintf(line, sizeof(line), "%-14s %14llu  %5.1f%%\n",
+                      stallReasonName(r),
+                      static_cast<unsigned long long>(c), share);
+        os << line;
+    }
+    char foot[96];
+    std::snprintf(foot, sizeof(foot), "%-14s %14llu  issue efficiency %.1f%%\n",
+                  "total", static_cast<unsigned long long>(total),
+                  100.0 * chip.issueEfficiency());
+    os << foot;
+    return os.str();
+}
+
+} // namespace uksim::trace

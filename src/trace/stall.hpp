@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Issue-slot stall attribution.
+ *
+ * Every SM classifies each cycle's issue slot into exactly one
+ * StallReason: either a warp instruction issued, or the slot went idle
+ * for a specific architectural cause. The taxonomy is exhaustive and
+ * the classification deterministic, so for any simulation
+ *
+ *     sum over reasons of counts == numSms * cycles
+ *
+ * which is the invariant `uktrace` and the test suite assert. This is
+ * the AerialVision-style "why is the machine idle" breakdown the paper
+ * leans on in Figs. 3/7/9, extended from *that* a slot idled to *why*.
+ */
+
+#ifndef UKSIM_TRACE_STALL_HPP
+#define UKSIM_TRACE_STALL_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace uksim::trace {
+
+/**
+ * Why an SM's issue slot spent a cycle the way it did. Precedence when
+ * several warps are blocked for different reasons: memory/scoreboard
+ * waits dominate barriers (a memory-stalled warp is the one holding the
+ * barrier back), and structural reasons only apply with no live warps.
+ */
+enum class StallReason : uint8_t {
+    Issued = 0,     ///< a warp instruction issued this cycle
+    /// Operand/result not ready: outstanding off-chip access or an
+    /// in-flight ALU/SFU result (classic scoreboard wait).
+    Scoreboard,
+    Barrier,        ///< all unblocked warps are parked at a bar
+    /// Spawn mode: no live warps and the new-warp FIFO is empty while
+    /// threads are still parked in partially formed warps.
+    FifoEmpty,
+    /// On-chip bank-conflict serialization is holding the issue stage.
+    BankConflict,
+    /// No resident warps and launch-grid work exists but could not be
+    /// placed (warp slots or spawn-state slots exhausted).
+    NoWarps,
+    /// Grid exhausted and nothing left to form: the SM is done.
+    Drained,
+};
+
+constexpr int kNumStallReasons = 7;
+
+/** Stable lowercase identifier ("issued", "scoreboard", ...). */
+const char *stallReasonName(StallReason reason);
+
+/** Per-SM (or chip-wide) accumulator: one count per reason. */
+struct StallCounters {
+    std::array<uint64_t, kNumStallReasons> counts{};
+
+    void record(StallReason reason)
+    {
+        counts[static_cast<int>(reason)]++;
+    }
+
+    uint64_t count(StallReason reason) const
+    {
+        return counts[static_cast<int>(reason)];
+    }
+
+    /** Sum over all reasons (== cycles observed for one SM). */
+    uint64_t total() const;
+
+    /** Fraction of slots that issued (0 when nothing observed). */
+    double issueEfficiency() const;
+
+    StallCounters &operator+=(const StallCounters &other);
+    bool operator==(const StallCounters &other) const = default;
+};
+
+/**
+ * Fixed-width breakdown table: one row per reason with count and share
+ * of all issue slots. @p label names the configuration in the title.
+ */
+std::string stallBreakdownTable(const StallCounters &chip,
+                                const std::string &label);
+
+} // namespace uksim::trace
+
+#endif // UKSIM_TRACE_STALL_HPP

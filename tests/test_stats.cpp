@@ -1,6 +1,7 @@
 /**
  * @file
- * Statistics: occupancy binning, time windows, derived metrics.
+ * Statistics: occupancy binning, time windows, derived metrics,
+ * cross-run aggregation.
  */
 
 #include <gtest/gtest.h>
@@ -14,11 +15,12 @@ namespace {
 TEST(Stats, OccupancyBinning)
 {
     SimStats s;
-    s.recordIssue(0, 1, 1000);      // bin 0 (W1:4)
-    s.recordIssue(0, 4, 1000);      // bin 0
-    s.recordIssue(0, 5, 1000);      // bin 1 (W5:8)
-    s.recordIssue(0, 17, 1000);     // bin 4 (W17:20)
-    s.recordIssue(0, 32, 1000);     // bin 7 (W29:32)
+    s.setWindowCycles(1000);
+    s.recordIssue(0, 1);        // bin 0 (W1:4)
+    s.recordIssue(0, 4);        // bin 0
+    s.recordIssue(0, 5);        // bin 1 (W5:8)
+    s.recordIssue(0, 17);       // bin 4 (W17:20)
+    s.recordIssue(0, 32);       // bin 7 (W29:32)
     ASSERT_EQ(s.windows.size(), 1u);
     EXPECT_EQ(s.windows[0].bins[0], 2u);
     EXPECT_EQ(s.windows[0].bins[1], 1u);
@@ -31,15 +33,27 @@ TEST(Stats, OccupancyBinning)
 TEST(Stats, WindowsSplitByCycle)
 {
     SimStats s;
-    s.recordIssue(0, 32, 1000);
-    s.recordIssue(999, 32, 1000);
-    s.recordIssue(1000, 16, 1000);
-    s.recordIdle(2500, 1000);
+    s.setWindowCycles(1000);
+    s.recordIssue(0, 32);
+    s.recordIssue(999, 32);
+    s.recordIssue(1000, 16);
+    s.recordIdle(2500);
     ASSERT_EQ(s.windows.size(), 3u);
     EXPECT_EQ(s.windows[0].bins[7], 2u);
     EXPECT_EQ(s.windows[1].bins[3], 1u);
     EXPECT_EQ(s.windows[2].idleIssueSlots, 1u);
     EXPECT_EQ(s.windows[1].startCycle, 1000u);
+}
+
+TEST(Stats, WindowCyclesFixedOnceSeriesExists)
+{
+    SimStats s;
+    s.setWindowCycles(500);
+    s.setWindowCycles(250);     // fine: no windows yet
+    s.recordIssue(0, 8);
+    s.setWindowCycles(250);     // same value: still fine
+    EXPECT_EQ(s.windowCycles(), 250u);
+    ASSERT_EQ(s.windows.size(), 1u);
 }
 
 TEST(Stats, DerivedMetrics)
@@ -67,9 +81,10 @@ TEST(Stats, ZeroCyclesSafe)
 TEST(Stats, CsvSeries)
 {
     SimStats s;
-    s.recordIssue(0, 32, 100);
-    s.recordIssue(150, 3, 100);
-    s.recordIdle(150, 100);
+    s.setWindowCycles(100);
+    s.recordIssue(0, 32);
+    s.recordIssue(150, 3);
+    s.recordIdle(150);
     std::string csv = s.occupancyCsv();
     EXPECT_NE(csv.find("W1:4"), std::string::npos);
     EXPECT_NE(csv.find("W29:32"), std::string::npos);
@@ -83,9 +98,84 @@ TEST(Stats, CsvSeries)
 TEST(Stats, ZeroLaneIssueNotBinned)
 {
     SimStats s;
-    s.recordIssue(0, 0, 100);
+    s.setWindowCycles(100);
+    s.recordIssue(0, 0);
     EXPECT_EQ(s.warpIssues, 1u);
     EXPECT_TRUE(s.windows.empty());
+}
+
+TEST(Stats, AccumulateScalarsAndStalls)
+{
+    SimStats a;
+    a.cycles = 100;
+    a.warpIssues = 40;
+    a.laneInstructions = 900;
+    a.dramReadBytes = 64;
+    a.stall.record(trace::StallReason::Issued);
+    a.stall.record(trace::StallReason::Scoreboard);
+
+    SimStats b;
+    b.cycles = 50;
+    b.warpIssues = 10;
+    b.laneInstructions = 100;
+    b.dramWriteBytes = 32;
+    b.stall.record(trace::StallReason::Issued);
+
+    a += b;
+    EXPECT_EQ(a.cycles, 150u);
+    EXPECT_EQ(a.warpIssues, 50u);
+    EXPECT_EQ(a.laneInstructions, 1000u);
+    EXPECT_EQ(a.dramReadBytes, 64u);
+    EXPECT_EQ(a.dramWriteBytes, 32u);
+    EXPECT_EQ(a.stall.count(trace::StallReason::Issued), 2u);
+    EXPECT_EQ(a.stall.count(trace::StallReason::Scoreboard), 1u);
+    EXPECT_EQ(a.stall.total(), 3u);
+}
+
+TEST(Stats, AccumulateMergesWindowsIndexAligned)
+{
+    SimStats a;
+    a.setWindowCycles(100);
+    a.recordIssue(0, 32);
+    a.recordIdle(50);
+
+    SimStats b;
+    b.setWindowCycles(100);
+    b.recordIssue(0, 32);
+    b.recordIssue(150, 8);      // b has one more window than a
+
+    a += b;
+    ASSERT_EQ(a.windows.size(), 2u);
+    EXPECT_EQ(a.windows[0].bins[7], 2u);
+    EXPECT_EQ(a.windows[0].idleIssueSlots, 1u);
+    EXPECT_EQ(a.windows[1].bins[1], 1u);
+    EXPECT_EQ(a.windows[1].startCycle, 100u);
+}
+
+TEST(Stats, AccumulateIntoEmptyAdoptsSeries)
+{
+    SimStats b;
+    b.setWindowCycles(100);
+    b.recordIssue(0, 16);
+    b.recordIssue(120, 16);
+
+    SimStats a;
+    a.setWindowCycles(100);
+    a += b;
+    ASSERT_EQ(a.windows.size(), 2u);
+    EXPECT_EQ(a.windows[0].bins[3], 1u);
+    EXPECT_EQ(a.windows[1].bins[3], 1u);
+}
+
+TEST(Stats, EqualityIsFieldwise)
+{
+    SimStats a;
+    a.setWindowCycles(100);
+    a.recordIssue(0, 32);
+    SimStats b = a;
+    EXPECT_TRUE(a == b);
+    b.stall.record(trace::StallReason::Barrier);
+    EXPECT_FALSE(a == b);
 }
 
 } // namespace

@@ -1,0 +1,631 @@
+/**
+ * @file
+ * Observability subsystem: stall attribution invariant, counter
+ * registry semantics, Chrome-trace export, and tracing neutrality
+ * (enabling the event trace must not change simulation results).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simt/assembler.hpp"
+#include "simt/gpu.hpp"
+#include "test_common.hpp"
+#include "trace/events.hpp"
+#include "trace/export.hpp"
+#include "trace/registry.hpp"
+#include "trace/stall.hpp"
+
+using namespace uksim;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser, just enough to round-trip our own exports.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    const JsonValue &at(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+    bool has(const std::string &key) const
+    {
+        return fields.count(key) != 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing garbage after JSON value");
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            pos_++;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end of JSON");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+        pos_++;
+    }
+
+    JsonValue value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true", JsonValue::Type::Bool);
+          case 'f': return literal("false", JsonValue::Type::Bool);
+          case 'n': return literal("null", JsonValue::Type::Null);
+          default: return number();
+        }
+    }
+
+    JsonValue literal(const std::string &word, JsonValue::Type type)
+    {
+        if (text_.compare(pos_, word.size(), word) != 0)
+            throw std::runtime_error("bad literal at offset " +
+                                     std::to_string(pos_));
+        pos_ += word.size();
+        JsonValue v;
+        v.type = type;
+        v.boolean = word == "true";
+        return v;
+    }
+
+    JsonValue number()
+    {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            pos_++;
+        if (pos_ == start)
+            throw std::runtime_error("bad number at offset " +
+                                     std::to_string(start));
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    JsonValue string()
+    {
+        expect('"');
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                throw std::runtime_error("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    throw std::runtime_error("bad escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case 'n': v.str += '\n'; break;
+                  case 't': v.str += '\t'; break;
+                  case 'u': pos_ += 4; v.str += '?'; break;
+                  default: v.str += e; break;
+                }
+            } else {
+                v.str += c;
+            }
+        }
+        return v;
+    }
+
+    JsonValue array()
+    {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        if (peek() == ']') {
+            pos_++;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(value());
+            char c = peek();
+            pos_++;
+            if (c == ']')
+                break;
+            if (c != ',')
+                throw std::runtime_error("expected ',' in array");
+        }
+        return v;
+    }
+
+    JsonValue object()
+    {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        if (peek() == '}') {
+            pos_++;
+            return v;
+        }
+        while (true) {
+            JsonValue key = string();
+            expect(':');
+            v.fields[key.str] = value();
+            char c = peek();
+            pos_++;
+            if (c == '}')
+                break;
+            if (c != ',')
+                throw std::runtime_error("expected ',' in object");
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Crafted kernels.
+// ---------------------------------------------------------------------------
+
+/** Data-dependent loop: heavy intra-warp divergence, no memory. */
+const char kDivergentLoop[] = R"(
+    main:
+        mov.u32 r1, %tid;
+        rem.u32 r2, r1, 7;
+    loop:
+        setp.eq.u32 p0, r2, 0;
+        @p0 exit;
+        sub.u32 r2, r2, 1;
+        bra loop;
+)";
+
+/** Global load + store: generates DRAM traffic and memory stalls. */
+const char kGlobalStore[] = R"(
+    main:
+        mov.u32 r1, %tid;
+        shl.u32 r2, r1, 2;
+        ld.param.u32 r3, [0];
+        add.u32 r2, r2, r3;
+        ld.global.u32 r4, [r2+0];
+        add.u32 r4, r4, r1;
+        st.global.u32 [r2+0], r4;
+        exit;
+)";
+
+/** Spawn chain with state records (exercises the spawn-event hooks). */
+const char kSpawnChain[] = R"(
+    .entry gen
+    .microkernel step
+    .spawn_state 16
+    gen:
+        mov.u32 r1, %tid;
+        rem.u32 r3, r1, 5;
+        add.u32 r3, r3, 1;
+        mov.u32 r5, %spawnaddr;
+        st.spawn.u32 [r5+0], r3;
+        spawn step, r5;
+        exit;
+    step:
+        mov.u32 r2, %spawnaddr;
+        ld.spawn.u32 r1, [r2+0];
+        ld.spawn.u32 r3, [r1+0];
+        setp.eq.u32 p0, r3, 0;
+        @p0 exit;
+        sub.u32 r3, r3, 1;
+        st.spawn.u32 [r1+0], r3;
+        spawn step, r1;
+        exit;
+)";
+
+/** Run a program to completion, optionally with the event trace on. */
+SimStats
+runProgram(const char *source, uint32_t threads, GpuConfig cfg,
+           bool traced)
+{
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(source));
+    if (traced)
+        gpu.eventTrace().enable();
+    uint32_t buf = gpu.mallocGlobal(uint64_t(threads) * 4);
+    uint32_t params[2] = {buf, threads};
+    gpu.toConst(0, params, sizeof(params));
+    gpu.launch(threads);
+    SimStats stats = gpu.run();
+    EXPECT_TRUE(gpu.finished());
+    return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Stall attribution.
+// ---------------------------------------------------------------------------
+
+void
+expectInvariant(const char *source, uint32_t threads, GpuConfig cfg)
+{
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(source));
+    uint32_t buf = gpu.mallocGlobal(uint64_t(threads) * 4);
+    uint32_t params[2] = {buf, threads};
+    gpu.toConst(0, params, sizeof(params));
+    gpu.launch(threads);
+    const SimStats &stats = gpu.run();
+
+    // Every SM classifies every cycle into exactly one reason.
+    trace::StallCounters chip;
+    for (int i = 0; i < gpu.numSms(); i++) {
+        const trace::StallCounters &sm = gpu.sm(i).stallCounters();
+        EXPECT_EQ(sm.total(), stats.cycles) << "sm " << i;
+        chip += sm;
+    }
+    EXPECT_EQ(chip.total(),
+              uint64_t(gpu.numSms()) * stats.cycles);
+    // The chip-wide mirror in SimStats agrees with the per-SM counters.
+    EXPECT_TRUE(chip == stats.stall);
+    // Issued slots match the issue counter.
+    EXPECT_EQ(stats.stall.count(trace::StallReason::Issued),
+              stats.warpIssues);
+}
+
+TEST(StallAttribution, SumsToSmsTimesCyclesDivergent)
+{
+    expectInvariant(kDivergentLoop, 512, test::smallConfig());
+}
+
+TEST(StallAttribution, SumsToSmsTimesCyclesMemory)
+{
+    expectInvariant(kGlobalStore, 512, test::smallConfig());
+}
+
+TEST(StallAttribution, SumsToSmsTimesCyclesSpawn)
+{
+    expectInvariant(kSpawnChain, 256, test::smallConfig());
+}
+
+TEST(StallAttribution, SumsToSmsTimesCyclesSpawnBanked)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.modelSpawnBankConflicts = true;
+    expectInvariant(kSpawnChain, 256, cfg);
+}
+
+TEST(StallAttribution, BankedSpawnMemoryChargesConflictCycles)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.modelSpawnBankConflicts = true;
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(kSpawnChain));
+    uint32_t buf = gpu.mallocGlobal(256 * 4);
+    uint32_t params[2] = {buf, 256};
+    gpu.toConst(0, params, sizeof(params));
+    gpu.launch(256);
+    const SimStats &stats = gpu.run();
+    // 32 sequential formation stores over 16 banks serialize into
+    // extra passes, which the issue slot must account for (Fig. 9).
+    EXPECT_GT(stats.stall.count(trace::StallReason::BankConflict), 0u);
+}
+
+TEST(StallAttribution, MemoryKernelShowsScoreboardStalls)
+{
+    GpuConfig cfg = test::smallConfig();
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(kGlobalStore));
+    uint32_t buf = gpu.mallocGlobal(512 * 4);
+    uint32_t params[2] = {buf, 512};
+    gpu.toConst(0, params, sizeof(params));
+    gpu.launch(512);
+    const SimStats &stats = gpu.run();
+    // Loads go to DRAM; every warp blocks on the reply.
+    EXPECT_GT(stats.stall.count(trace::StallReason::Scoreboard), 0u);
+}
+
+TEST(StallAttribution, BreakdownTableListsEveryReason)
+{
+    trace::StallCounters c;
+    c.record(trace::StallReason::Issued);
+    c.record(trace::StallReason::Scoreboard);
+    std::string table = trace::stallBreakdownTable(c, "unit");
+    for (int i = 0; i < trace::kNumStallReasons; i++) {
+        EXPECT_NE(table.find(trace::stallReasonName(
+                      static_cast<trace::StallReason>(i))),
+                  std::string::npos);
+    }
+    EXPECT_NE(table.find("unit"), std::string::npos);
+    EXPECT_NE(table.find("total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing neutrality: observation must not perturb the machine.
+// ---------------------------------------------------------------------------
+
+TEST(TraceNeutrality, TracedAndUntracedStatsIdentical)
+{
+    GpuConfig cfg = test::smallConfig();
+    SimStats off = runProgram(kSpawnChain, 256, cfg, false);
+    SimStats on = runProgram(kSpawnChain, 256, cfg, true);
+    EXPECT_TRUE(off == on);
+}
+
+TEST(TraceNeutrality, TracedAndUntracedStatsIdenticalWithConflicts)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.modelSpawnBankConflicts = true;
+    SimStats off = runProgram(kSpawnChain, 256, cfg, false);
+    SimStats on = runProgram(kSpawnChain, 256, cfg, true);
+    EXPECT_TRUE(off == on);
+}
+
+TEST(TraceNeutrality, TracedAndUntracedStatsIdenticalMemory)
+{
+    GpuConfig cfg = test::smallConfig();
+    SimStats off = runProgram(kGlobalStore, 512, cfg, false);
+    SimStats on = runProgram(kGlobalStore, 512, cfg, true);
+    EXPECT_TRUE(off == on);
+}
+
+// ---------------------------------------------------------------------------
+// Event ring buffer.
+// ---------------------------------------------------------------------------
+
+TEST(EventTrace, DisabledRecordIsFree)
+{
+    trace::EventTrace t;
+    t.record(trace::EventKind::Issue, 1, 0, 0, 0, 32);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_FALSE(t.enabled());
+}
+
+TEST(EventTrace, RingOverwritesOldestAndCountsDrops)
+{
+    trace::EventTrace t;
+    t.enable(4);
+    for (uint64_t c = 0; c < 6; c++)
+        t.record(trace::EventKind::Issue, c, 0, 0, 0, c);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.dropped(), 2u);
+    std::vector<trace::Event> ev = t.ordered();
+    ASSERT_EQ(ev.size(), 4u);
+    EXPECT_EQ(ev.front().cycle, 2u);    // oldest two were overwritten
+    EXPECT_EQ(ev.back().cycle, 5u);
+}
+
+TEST(EventTrace, ChromeTraceJsonRoundTrips)
+{
+    trace::EventTrace t;
+    t.enable(64);
+    t.record(trace::EventKind::Issue, 10, 0, 3, 0x40, 32, 1);
+    t.record(trace::EventKind::MemRequest, 12, 2, 0, 0, 128, 40);
+    t.record(trace::EventKind::Spawn, 15, 1, 0, 0x80, 7);
+
+    JsonValue doc = JsonParser(t.chromeTraceJson(2, 1)).parse();
+    ASSERT_EQ(doc.type, JsonValue::Type::Object);
+    EXPECT_TRUE(doc.has("displayTimeUnit"));
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_EQ(events.type, JsonValue::Type::Array);
+
+    int metadata = 0, spans = 0, instants = 0;
+    bool sawSmName = false, sawDramName = false;
+    for (const JsonValue &e : events.items) {
+        const std::string &ph = e.at("ph").str;
+        if (ph == "M") {
+            metadata++;
+            const std::string &n = e.at("args").at("name").str;
+            sawSmName |= n == "SM 0";
+            sawDramName |= n == "DRAM partition 0";
+        } else if (ph == "X") {
+            spans++;
+            EXPECT_GT(e.at("dur").number, 0.0);
+        } else if (ph == "i") {
+            instants++;
+        }
+        if (ph != "M") {
+            EXPECT_TRUE(e.has("ts"));
+            EXPECT_TRUE(e.has("pid"));
+        }
+    }
+    EXPECT_EQ(metadata, 3);     // 2 SMs + 1 partition
+    EXPECT_EQ(spans, 2);        // issue + mem_request carry durations
+    EXPECT_EQ(instants, 1);     // spawn
+    EXPECT_TRUE(sawSmName);
+    EXPECT_TRUE(sawDramName);
+}
+
+TEST(EventTrace, FullRunTraceParsesAndCoversTracks)
+{
+    GpuConfig cfg = test::smallConfig();
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(kSpawnChain));
+    gpu.eventTrace().enable();
+    uint32_t buf = gpu.mallocGlobal(256 * 4);
+    uint32_t params[2] = {buf, 256};
+    gpu.toConst(0, params, sizeof(params));
+    gpu.launch(256);
+    gpu.run();
+
+    std::string json = gpu.eventTrace().chromeTraceJson(
+        gpu.numSms(), cfg.numMemPartitions);
+    JsonValue doc = JsonParser(json).parse();
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_GT(events.items.size(), 0u);
+
+    std::map<std::string, int> byName;
+    for (const JsonValue &e : events.items)
+        if (e.at("ph").str != "M")
+            byName[e.at("name").str]++;
+    EXPECT_GT(byName["issue"], 0);
+    EXPECT_GT(byName["spawn"], 0);
+    EXPECT_GT(byName["warp_formed"], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(Registry, DefineGetAndDump)
+{
+    trace::Registry reg;
+    reg.define("sm.0.stall.issued", 42);
+    reg.define("sm.0.stall.barrier", 7);
+    reg.define("sim.ipc", 3.5);
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_TRUE(reg.contains("sim.ipc"));
+    EXPECT_DOUBLE_EQ(reg.get("sm.0.stall.issued"), 42.0);
+    EXPECT_THROW(reg.get("nope"), std::out_of_range);
+
+    std::string csv = reg.csv();
+    EXPECT_NE(csv.find("name,value"), std::string::npos);
+    EXPECT_NE(csv.find("sm.0.stall.issued,42"), std::string::npos);
+    EXPECT_NE(csv.find("sim.ipc,3.5"), std::string::npos);
+}
+
+TEST(Registry, DuplicateDefineRejected)
+{
+    trace::Registry reg;
+    reg.define("a.b", 1);
+    EXPECT_THROW(reg.define("a.b", 2), std::invalid_argument);
+    // set() upserts instead.
+    reg.set("a.b", 2);
+    EXPECT_DOUBLE_EQ(reg.get("a.b"), 2.0);
+}
+
+TEST(Registry, LeafInteriorConflictsRejected)
+{
+    trace::Registry reg;
+    reg.define("sm.0.stall", 1);
+    // "sm.0.stall" is a leaf; it cannot also become an interior node.
+    EXPECT_THROW(reg.define("sm.0.stall.issued", 1),
+                 std::invalid_argument);
+    // And an existing subtree cannot be shadowed by a leaf.
+    reg.define("dram.partition.0.read_bytes", 64);
+    EXPECT_THROW(reg.define("dram.partition", 1), std::invalid_argument);
+}
+
+TEST(Registry, MalformedNamesRejected)
+{
+    trace::Registry reg;
+    EXPECT_THROW(reg.define("", 0), std::invalid_argument);
+    EXPECT_THROW(reg.define(".a", 0), std::invalid_argument);
+    EXPECT_THROW(reg.define("a.", 0), std::invalid_argument);
+    EXPECT_THROW(reg.define("a..b", 0), std::invalid_argument);
+    EXPECT_THROW(reg.define("a b", 0), std::invalid_argument);
+}
+
+TEST(Registry, AddAccumulates)
+{
+    trace::Registry reg;
+    reg.add("hits", 3);
+    reg.add("hits", 4);
+    EXPECT_DOUBLE_EQ(reg.get("hits"), 7.0);
+}
+
+TEST(Registry, JsonNestsAndRoundTrips)
+{
+    trace::Registry reg;
+    reg.define("sm.0.stall.issued", 42);
+    reg.define("sm.1.stall.issued", 13);
+    reg.define("sim.cycles", 1000);
+    reg.define("sim.ipc", 3.25);
+
+    JsonValue doc = JsonParser(reg.json()).parse();
+    ASSERT_EQ(doc.type, JsonValue::Type::Object);
+    EXPECT_DOUBLE_EQ(
+        doc.at("sm").at("0").at("stall").at("issued").number, 42.0);
+    EXPECT_DOUBLE_EQ(
+        doc.at("sm").at("1").at("stall").at("issued").number, 13.0);
+    EXPECT_DOUBLE_EQ(doc.at("sim").at("cycles").number, 1000.0);
+    EXPECT_DOUBLE_EQ(doc.at("sim").at("ipc").number, 3.25);
+}
+
+TEST(Registry, FormatValueKeepsIntegersExact)
+{
+    EXPECT_EQ(trace::Registry::formatValue(42), "42");
+    EXPECT_EQ(trace::Registry::formatValue(0), "0");
+    EXPECT_EQ(trace::Registry::formatValue(1e15), "1000000000000000");
+    EXPECT_EQ(trace::Registry::formatValue(2.5), "2.5");
+}
+
+// ---------------------------------------------------------------------------
+// Registry export of a full run.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryExport, PublishesMachineHierarchy)
+{
+    GpuConfig cfg = test::smallConfig();
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(kSpawnChain));
+    uint32_t buf = gpu.mallocGlobal(256 * 4);
+    uint32_t params[2] = {buf, 256};
+    gpu.toConst(0, params, sizeof(params));
+    gpu.launch(256);
+    const SimStats &stats = gpu.run();
+
+    trace::Registry reg = trace::buildRegistry(gpu);
+    EXPECT_DOUBLE_EQ(reg.get("sim.cycles"), double(stats.cycles));
+    EXPECT_DOUBLE_EQ(reg.get("stall.issued"),
+                     double(stats.stall.count(trace::StallReason::Issued)));
+
+    // Per-SM stall counters exist and sum to the chip-wide view.
+    double issued = 0;
+    for (int i = 0; i < gpu.numSms(); i++)
+        issued += reg.get("sm." + std::to_string(i) + ".stall.issued");
+    EXPECT_DOUBLE_EQ(issued, reg.get("stall.issued"));
+
+    // DRAM partition traffic sums to the chip totals.
+    double readBytes = 0;
+    for (int p = 0; p < cfg.numMemPartitions; p++)
+        readBytes += reg.get("dram.partition." + std::to_string(p) +
+                             ".read_bytes");
+    EXPECT_DOUBLE_EQ(readBytes, double(gpu.dram().totalReadBytes()));
+
+    // Spawn-unit counters are published per SM.
+    EXPECT_TRUE(reg.contains("sm.0.spawn.threads_spawned"));
+    // The dump is parseable JSON.
+    EXPECT_NO_THROW(JsonParser(reg.json()).parse());
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * uktrace — run one named experiment configuration under full
+ * observability and export what the machine did.
+ *
+ * Runs "<kernel>_<scene>" (see harness::namedExperiment), prints the
+ * chip-wide issue-slot stall breakdown and a run summary, dumps the
+ * hierarchical counter registry, and writes the structured event trace
+ * as Chrome-trace JSON (load it in chrome://tracing or Perfetto).
+ *
+ * Usage: uktrace [--config <name>] [--cycles N] [--window N]
+ *                [--csv <path>] [--json <path>] [--trace <path>]
+ *                [--no-trace] [--list]
+ *
+ *   --config <name>  configuration to run (default uk_conference)
+ *   --cycles N       cap simulated cycles (default: paper's 300000)
+ *   --window N       occupancy-series window size in cycles
+ *   --csv <path>     write the counter registry as CSV (default stdout)
+ *   --json <path>    also write the counter registry as nested JSON
+ *   --trace <path>   Chrome-trace output path (default <config>.trace.json)
+ *   --no-trace       skip event tracing entirely
+ *   --list           print the valid --config names and exit
+ *
+ * The tool self-checks the attribution invariant — stall reasons must
+ * sum to exactly numSms x cycles, chip-wide and per SM — and exits
+ * nonzero if the accounting ever leaks a cycle.
+ *
+ * Environment overrides (UKSIM_CYCLES, UKSIM_DETAIL, UKSIM_RES,
+ * UKSIM_SMS) apply as in the bench binaries.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "trace/stall.hpp"
+
+using namespace uksim;
+
+namespace {
+
+struct Options {
+    std::string config = "uk_conference";
+    std::string csvPath;
+    std::string jsonPath;
+    std::string tracePath;
+    uint64_t cycles = 0;        ///< 0 = keep the config default
+    uint64_t window = 0;        ///< 0 = keep the config default
+    bool noTrace = false;
+    bool list = false;
+};
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+                 "usage: uktrace [--config <name>] [--cycles N] "
+                 "[--window N]\n"
+                 "               [--csv <path>] [--json <path>] "
+                 "[--trace <path>]\n"
+                 "               [--no-trace] [--list]\n");
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "uktrace: cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+/**
+ * Verify the attribution invariant: every SM classifies every cycle
+ * into exactly one reason.
+ */
+bool
+checkInvariant(const harness::ExperimentResult &r, uint64_t cycles)
+{
+    bool ok = true;
+    const uint64_t numSms = r.smStalls.size();
+    if (r.stats.stall.total() != numSms * cycles) {
+        std::fprintf(stderr,
+                     "uktrace: INVARIANT VIOLATION: chip stall total %llu "
+                     "!= %llu SMs x %llu cycles\n",
+                     (unsigned long long)r.stats.stall.total(),
+                     (unsigned long long)numSms,
+                     (unsigned long long)cycles);
+        ok = false;
+    }
+    for (size_t i = 0; i < r.smStalls.size(); i++) {
+        if (r.smStalls[i].total() != cycles) {
+            std::fprintf(stderr,
+                         "uktrace: INVARIANT VIOLATION: sm %zu stall "
+                         "total %llu != %llu cycles\n",
+                         i, (unsigned long long)r.smStalls[i].total(),
+                         (unsigned long long)cycles);
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; i++) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "uktrace: %s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--config") == 0) {
+            opts.config = value("--config");
+        } else if (std::strcmp(argv[i], "--cycles") == 0) {
+            opts.cycles = std::strtoull(value("--cycles"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--window") == 0) {
+            opts.window = std::strtoull(value("--window"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opts.csvPath = value("--csv");
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opts.jsonPath = value("--json");
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            opts.tracePath = value("--trace");
+        } else if (std::strcmp(argv[i], "--no-trace") == 0) {
+            opts.noTrace = true;
+        } else if (std::strcmp(argv[i], "--list") == 0) {
+            opts.list = true;
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "uktrace: unknown option '%s'\n", argv[i]);
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    if (opts.list) {
+        for (const std::string &name : harness::namedExperimentNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    harness::ExperimentConfig config;
+    try {
+        config = harness::namedExperiment(opts.config);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "uktrace: %s (try --list)\n", e.what());
+        return 2;
+    }
+    harness::applyEnvOverrides(config);
+    if (opts.cycles)
+        config.maxCycles = opts.cycles;
+    if (opts.window)
+        config.baseConfig.statsWindowCycles = opts.window;
+    config.exportCounters = true;
+    config.traceEvents = !opts.noTrace;
+
+    std::printf("uktrace: %s (%s, scene %s)\n", opts.config.c_str(),
+                config.label().c_str(), config.sceneName.c_str());
+    harness::PreparedScene scene =
+        harness::prepareScene(config.sceneName, config.sceneParams);
+    harness::ExperimentResult r = harness::runExperiment(scene, config);
+
+    std::printf("cycles %llu  IPC %.2f  SIMT eff %.1f%%  %.2f Mrays/s  "
+                "%s\n\n",
+                (unsigned long long)r.stats.cycles, r.ipc,
+                100.0 * r.simtEfficiency, r.mraysPerSec,
+                r.ranToCompletion ? "completed" : "cycle-capped");
+    std::fputs(trace::stallBreakdownTable(r.stats.stall, opts.config)
+                   .c_str(),
+               stdout);
+    std::printf("\n");
+
+    bool ok = checkInvariant(r, r.stats.cycles);
+
+    if (opts.csvPath.empty()) {
+        std::fputs(r.counterCsv.c_str(), stdout);
+    } else {
+        ok &= writeFile(opts.csvPath, r.counterCsv);
+        std::printf("counters: %s\n", opts.csvPath.c_str());
+    }
+    if (!opts.jsonPath.empty()) {
+        ok &= writeFile(opts.jsonPath, r.counterJson);
+        std::printf("counters (json): %s\n", opts.jsonPath.c_str());
+    }
+    if (!opts.noTrace) {
+        std::string path = opts.tracePath.empty()
+                               ? opts.config + ".trace.json"
+                               : opts.tracePath;
+        ok &= writeFile(path, r.chromeTrace);
+        std::printf("event trace: %s (load in chrome://tracing)\n",
+                    path.c_str());
+    }
+    return ok ? 0 : 1;
+}
