@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_spawning.dir/ablation_adaptive_spawning.cpp.o"
+  "CMakeFiles/ablation_adaptive_spawning.dir/ablation_adaptive_spawning.cpp.o.d"
+  "ablation_adaptive_spawning"
+  "ablation_adaptive_spawning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_spawning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

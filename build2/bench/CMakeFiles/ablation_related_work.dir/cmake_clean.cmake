@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_related_work.dir/ablation_related_work.cpp.o"
+  "CMakeFiles/ablation_related_work.dir/ablation_related_work.cpp.o.d"
+  "ablation_related_work"
+  "ablation_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

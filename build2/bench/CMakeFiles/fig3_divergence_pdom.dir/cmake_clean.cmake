@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_divergence_pdom.dir/fig3_divergence_pdom.cpp.o"
+  "CMakeFiles/fig3_divergence_pdom.dir/fig3_divergence_pdom.cpp.o.d"
+  "fig3_divergence_pdom"
+  "fig3_divergence_pdom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_divergence_pdom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_divergence_uk.dir/fig7_divergence_uk.cpp.o"
+  "CMakeFiles/fig7_divergence_uk.dir/fig7_divergence_uk.cpp.o.d"
+  "fig7_divergence_uk"
+  "fig7_divergence_uk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_divergence_uk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

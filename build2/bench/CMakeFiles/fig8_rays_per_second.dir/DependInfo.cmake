@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_rays_per_second.cpp" "bench/CMakeFiles/fig8_rays_per_second.dir/fig8_rays_per_second.cpp.o" "gcc" "bench/CMakeFiles/fig8_rays_per_second.dir/fig8_rays_per_second.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/bench/CMakeFiles/uksim_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/harness/CMakeFiles/uksim_harness.dir/DependInfo.cmake"
+  "/root/repo/build2/src/kernels/CMakeFiles/uksim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/uksim_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/rt/CMakeFiles/uksim_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rays_per_second.dir/fig8_rays_per_second.cpp.o"
+  "CMakeFiles/fig8_rays_per_second.dir/fig8_rays_per_second.cpp.o.d"
+  "fig8_rays_per_second"
+  "fig8_rays_per_second.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rays_per_second.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_divergence_uk_conflicts.dir/fig9_divergence_uk_conflicts.cpp.o"
+  "CMakeFiles/fig9_divergence_uk_conflicts.dir/fig9_divergence_uk_conflicts.cpp.o.d"
+  "fig9_divergence_uk_conflicts"
+  "fig9_divergence_uk_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_divergence_uk_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

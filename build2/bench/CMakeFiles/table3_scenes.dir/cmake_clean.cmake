@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_scenes.dir/table3_scenes.cpp.o"
+  "CMakeFiles/table3_scenes.dir/table3_scenes.cpp.o.d"
+  "table3_scenes"
+  "table3_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

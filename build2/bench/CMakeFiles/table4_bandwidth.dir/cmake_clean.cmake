@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_bandwidth.dir/table4_bandwidth.cpp.o"
+  "CMakeFiles/table4_bandwidth.dir/table4_bandwidth.cpp.o.d"
+  "table4_bandwidth"
+  "table4_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

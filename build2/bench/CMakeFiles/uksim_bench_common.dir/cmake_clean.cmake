@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uksim_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/uksim_bench_common.dir/bench_common.cpp.o.d"
+  "libuksim_bench_common.a"
+  "libuksim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uksim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

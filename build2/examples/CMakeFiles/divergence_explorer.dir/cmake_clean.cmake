@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divergence_explorer.dir/divergence_explorer.cpp.o"
+  "CMakeFiles/divergence_explorer.dir/divergence_explorer.cpp.o.d"
+  "divergence_explorer"
+  "divergence_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divergence_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_scene.dir/render_scene.cpp.o"
+  "CMakeFiles/render_scene.dir/render_scene.cpp.o.d"
+  "render_scene"
+  "render_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spawn_collatz.dir/spawn_collatz.cpp.o"
+  "CMakeFiles/spawn_collatz.dir/spawn_collatz.cpp.o.d"
+  "spawn_collatz"
+  "spawn_collatz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spawn_collatz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spawn_collatz.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uksim_example_kernels.dir/example_kernels.cpp.o"
+  "CMakeFiles/uksim_example_kernels.dir/example_kernels.cpp.o.d"
+  "libuksim_example_kernels.a"
+  "libuksim_example_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uksim_example_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for uksim_example_kernels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bank.cpp" "src/CMakeFiles/uksim_core.dir/mem/bank.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/mem/bank.cpp.o.d"
+  "/root/repo/src/mem/coalescer.cpp" "src/CMakeFiles/uksim_core.dir/mem/coalescer.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/mem/coalescer.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/uksim_core.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/rocache.cpp" "src/CMakeFiles/uksim_core.dir/mem/rocache.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/mem/rocache.cpp.o.d"
+  "/root/repo/src/simt/assembler.cpp" "src/CMakeFiles/uksim_core.dir/simt/assembler.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/assembler.cpp.o.d"
+  "/root/repo/src/simt/cfg.cpp" "src/CMakeFiles/uksim_core.dir/simt/cfg.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/cfg.cpp.o.d"
+  "/root/repo/src/simt/executor.cpp" "src/CMakeFiles/uksim_core.dir/simt/executor.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/executor.cpp.o.d"
+  "/root/repo/src/simt/gpu.cpp" "src/CMakeFiles/uksim_core.dir/simt/gpu.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/gpu.cpp.o.d"
+  "/root/repo/src/simt/isa.cpp" "src/CMakeFiles/uksim_core.dir/simt/isa.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/isa.cpp.o.d"
+  "/root/repo/src/simt/mimd.cpp" "src/CMakeFiles/uksim_core.dir/simt/mimd.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/mimd.cpp.o.d"
+  "/root/repo/src/simt/program.cpp" "src/CMakeFiles/uksim_core.dir/simt/program.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/program.cpp.o.d"
+  "/root/repo/src/simt/simt_stack.cpp" "src/CMakeFiles/uksim_core.dir/simt/simt_stack.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/simt_stack.cpp.o.d"
+  "/root/repo/src/simt/sm.cpp" "src/CMakeFiles/uksim_core.dir/simt/sm.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/sm.cpp.o.d"
+  "/root/repo/src/simt/stats.cpp" "src/CMakeFiles/uksim_core.dir/simt/stats.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/stats.cpp.o.d"
+  "/root/repo/src/simt/verifier.cpp" "src/CMakeFiles/uksim_core.dir/simt/verifier.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/simt/verifier.cpp.o.d"
+  "/root/repo/src/spawn/spawn_layout.cpp" "src/CMakeFiles/uksim_core.dir/spawn/spawn_layout.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/spawn/spawn_layout.cpp.o.d"
+  "/root/repo/src/spawn/spawn_unit.cpp" "src/CMakeFiles/uksim_core.dir/spawn/spawn_unit.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/spawn/spawn_unit.cpp.o.d"
+  "/root/repo/src/trace/events.cpp" "src/CMakeFiles/uksim_core.dir/trace/events.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/trace/events.cpp.o.d"
+  "/root/repo/src/trace/export.cpp" "src/CMakeFiles/uksim_core.dir/trace/export.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/trace/export.cpp.o.d"
+  "/root/repo/src/trace/registry.cpp" "src/CMakeFiles/uksim_core.dir/trace/registry.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/trace/registry.cpp.o.d"
+  "/root/repo/src/trace/stall.cpp" "src/CMakeFiles/uksim_core.dir/trace/stall.cpp.o" "gcc" "src/CMakeFiles/uksim_core.dir/trace/stall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

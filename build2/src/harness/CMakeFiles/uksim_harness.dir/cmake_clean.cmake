@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uksim_harness.dir/experiment.cpp.o"
+  "CMakeFiles/uksim_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/uksim_harness.dir/table.cpp.o"
+  "CMakeFiles/uksim_harness.dir/table.cpp.o.d"
+  "libuksim_harness.a"
+  "libuksim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uksim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/kernel_resources.cpp" "src/kernels/CMakeFiles/uksim_kernels.dir/kernel_resources.cpp.o" "gcc" "src/kernels/CMakeFiles/uksim_kernels.dir/kernel_resources.cpp.o.d"
+  "/root/repo/src/kernels/raytrace_kernels.cpp" "src/kernels/CMakeFiles/uksim_kernels.dir/raytrace_kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/uksim_kernels.dir/raytrace_kernels.cpp.o.d"
+  "/root/repo/src/kernels/scene_upload.cpp" "src/kernels/CMakeFiles/uksim_kernels.dir/scene_upload.cpp.o" "gcc" "src/kernels/CMakeFiles/uksim_kernels.dir/scene_upload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/uksim_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/rt/CMakeFiles/uksim_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uksim_kernels.dir/kernel_resources.cpp.o"
+  "CMakeFiles/uksim_kernels.dir/kernel_resources.cpp.o.d"
+  "CMakeFiles/uksim_kernels.dir/raytrace_kernels.cpp.o"
+  "CMakeFiles/uksim_kernels.dir/raytrace_kernels.cpp.o.d"
+  "CMakeFiles/uksim_kernels.dir/scene_upload.cpp.o"
+  "CMakeFiles/uksim_kernels.dir/scene_upload.cpp.o.d"
+  "libuksim_kernels.a"
+  "libuksim_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uksim_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

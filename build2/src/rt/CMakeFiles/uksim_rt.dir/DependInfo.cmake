@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/camera.cpp" "src/rt/CMakeFiles/uksim_rt.dir/camera.cpp.o" "gcc" "src/rt/CMakeFiles/uksim_rt.dir/camera.cpp.o.d"
+  "/root/repo/src/rt/cpu_tracer.cpp" "src/rt/CMakeFiles/uksim_rt.dir/cpu_tracer.cpp.o" "gcc" "src/rt/CMakeFiles/uksim_rt.dir/cpu_tracer.cpp.o.d"
+  "/root/repo/src/rt/image.cpp" "src/rt/CMakeFiles/uksim_rt.dir/image.cpp.o" "gcc" "src/rt/CMakeFiles/uksim_rt.dir/image.cpp.o.d"
+  "/root/repo/src/rt/kdtree.cpp" "src/rt/CMakeFiles/uksim_rt.dir/kdtree.cpp.o" "gcc" "src/rt/CMakeFiles/uksim_rt.dir/kdtree.cpp.o.d"
+  "/root/repo/src/rt/scene.cpp" "src/rt/CMakeFiles/uksim_rt.dir/scene.cpp.o" "gcc" "src/rt/CMakeFiles/uksim_rt.dir/scene.cpp.o.d"
+  "/root/repo/src/rt/scenes.cpp" "src/rt/CMakeFiles/uksim_rt.dir/scenes.cpp.o" "gcc" "src/rt/CMakeFiles/uksim_rt.dir/scenes.cpp.o.d"
+  "/root/repo/src/rt/triangle.cpp" "src/rt/CMakeFiles/uksim_rt.dir/triangle.cpp.o" "gcc" "src/rt/CMakeFiles/uksim_rt.dir/triangle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

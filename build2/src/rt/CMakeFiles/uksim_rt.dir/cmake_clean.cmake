@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uksim_rt.dir/camera.cpp.o"
+  "CMakeFiles/uksim_rt.dir/camera.cpp.o.d"
+  "CMakeFiles/uksim_rt.dir/cpu_tracer.cpp.o"
+  "CMakeFiles/uksim_rt.dir/cpu_tracer.cpp.o.d"
+  "CMakeFiles/uksim_rt.dir/image.cpp.o"
+  "CMakeFiles/uksim_rt.dir/image.cpp.o.d"
+  "CMakeFiles/uksim_rt.dir/kdtree.cpp.o"
+  "CMakeFiles/uksim_rt.dir/kdtree.cpp.o.d"
+  "CMakeFiles/uksim_rt.dir/scene.cpp.o"
+  "CMakeFiles/uksim_rt.dir/scene.cpp.o.d"
+  "CMakeFiles/uksim_rt.dir/scenes.cpp.o"
+  "CMakeFiles/uksim_rt.dir/scenes.cpp.o.d"
+  "CMakeFiles/uksim_rt.dir/triangle.cpp.o"
+  "CMakeFiles/uksim_rt.dir/triangle.cpp.o.d"
+  "libuksim_rt.a"
+  "libuksim_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uksim_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuksim_rt.a"
+)

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_uk.cpp" "tests/CMakeFiles/uksim_tests.dir/test_adaptive_uk.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_adaptive_uk.cpp.o.d"
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/uksim_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_assembler_errors.cpp" "tests/CMakeFiles/uksim_tests.dir/test_assembler_errors.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_assembler_errors.cpp.o.d"
+  "/root/repo/tests/test_cfg.cpp" "tests/CMakeFiles/uksim_tests.dir/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_cfg.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/uksim_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/uksim_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_integration_render.cpp" "tests/CMakeFiles/uksim_tests.dir/test_integration_render.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_integration_render.cpp.o.d"
+  "/root/repo/tests/test_kdtree.cpp" "tests/CMakeFiles/uksim_tests.dir/test_kdtree.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_kdtree.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/uksim_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_mimd.cpp" "tests/CMakeFiles/uksim_tests.dir/test_mimd.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_mimd.cpp.o.d"
+  "/root/repo/tests/test_persistent_threads.cpp" "tests/CMakeFiles/uksim_tests.dir/test_persistent_threads.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_persistent_threads.cpp.o.d"
+  "/root/repo/tests/test_rocache.cpp" "tests/CMakeFiles/uksim_tests.dir/test_rocache.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_rocache.cpp.o.d"
+  "/root/repo/tests/test_rt_math.cpp" "tests/CMakeFiles/uksim_tests.dir/test_rt_math.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_rt_math.cpp.o.d"
+  "/root/repo/tests/test_scenes.cpp" "tests/CMakeFiles/uksim_tests.dir/test_scenes.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_scenes.cpp.o.d"
+  "/root/repo/tests/test_scheduling.cpp" "tests/CMakeFiles/uksim_tests.dir/test_scheduling.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_scheduling.cpp.o.d"
+  "/root/repo/tests/test_simt_stack.cpp" "tests/CMakeFiles/uksim_tests.dir/test_simt_stack.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_simt_stack.cpp.o.d"
+  "/root/repo/tests/test_sm_exec.cpp" "tests/CMakeFiles/uksim_tests.dir/test_sm_exec.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_sm_exec.cpp.o.d"
+  "/root/repo/tests/test_spawn_exec.cpp" "tests/CMakeFiles/uksim_tests.dir/test_spawn_exec.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_spawn_exec.cpp.o.d"
+  "/root/repo/tests/test_spawn_layout.cpp" "tests/CMakeFiles/uksim_tests.dir/test_spawn_layout.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_spawn_layout.cpp.o.d"
+  "/root/repo/tests/test_spawn_unit.cpp" "tests/CMakeFiles/uksim_tests.dir/test_spawn_unit.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_spawn_unit.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/uksim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/uksim_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_verifier.cpp" "tests/CMakeFiles/uksim_tests.dir/test_verifier.cpp.o" "gcc" "tests/CMakeFiles/uksim_tests.dir/test_verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/harness/CMakeFiles/uksim_harness.dir/DependInfo.cmake"
+  "/root/repo/build2/examples/CMakeFiles/uksim_example_kernels.dir/DependInfo.cmake"
+  "/root/repo/build2/src/kernels/CMakeFiles/uksim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/uksim_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/rt/CMakeFiles/uksim_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

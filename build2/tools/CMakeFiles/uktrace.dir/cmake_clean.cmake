@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uktrace.dir/uktrace.cpp.o"
+  "CMakeFiles/uktrace.dir/uktrace.cpp.o.d"
+  "uktrace"
+  "uktrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uktrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for uktrace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukverify.dir/ukverify.cpp.o"
+  "CMakeFiles/ukverify.dir/ukverify.cpp.o.d"
+  "ukverify"
+  "ukverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build2/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(verify_kernels "/root/repo/build2/tools/ukverify" "--builtin" "--werror")
+set_tests_properties(verify_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(uktrace_invariant "/root/repo/build2/tools/uktrace" "--config" "uk_conference" "--cycles" "4000" "--csv" "uktrace_test.csv" "--trace" "uktrace_test.trace.json")
+set_tests_properties(uktrace_invariant PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
