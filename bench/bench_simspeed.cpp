@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Simulator host-speed benchmark: simulated kilocycles per wall-clock
+ * second for the serial engine and for the parallel cycle engine at
+ * several host thread counts, on the micro-kernel ray-tracing workload.
+ *
+ * This measures the simulator, not the modelled machine: the simulated
+ * statistics are asserted bit-identical across all thread counts, so
+ * the only thing that varies is wall time.
+ *
+ * Usage:
+ *   bench_simspeed [--smoke] [--out PATH] [--threads N1,N2,...]
+ *
+ * --smoke     tiny workload for CI (a few seconds total)
+ * --out PATH  JSON output path (default BENCH_simspeed.json)
+ * --threads   comma-separated host thread counts (default 1,2,4 plus
+ *             the hardware concurrency when larger)
+ *
+ * Output: a text table and a JSON report of the form
+ *   {"benchmark":"simspeed","host_cores":C,"results":[
+ *     {"threads":T,"sim_cycles":N,"wall_seconds":S,
+ *      "sim_kcycles_per_sec":K,"speedup_vs_serial":X,
+ *      "bit_identical":true}, ...]}
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+using namespace uksim;
+using namespace uksim::harness;
+
+namespace {
+
+struct Options {
+    bool smoke = false;
+    std::string outPath = "BENCH_simspeed.json";
+    std::vector<int> threads;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            opt.outPath = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            std::string list = argv[++i];
+            size_t pos = 0;
+            while (pos < list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                int n = std::atoi(list.substr(pos, comma - pos).c_str());
+                if (n > 0)
+                    opt.threads.push_back(n);
+                pos = comma + 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--out PATH] "
+                         "[--threads N1,N2,...]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    if (opt.threads.empty()) {
+        opt.threads = {1, 2, 4};
+        int hw = static_cast<int>(std::thread::hardware_concurrency());
+        if (hw > 4)
+            opt.threads.push_back(hw);
+    }
+    return opt;
+}
+
+struct RunResult {
+    int threads = 0;
+    uint64_t simCycles = 0;
+    double wallSeconds = 0.0;
+    double kcyclesPerSec = 0.0;
+    bool bitIdentical = true;   ///< stats match the serial run exactly
+};
+
+ExperimentConfig
+makeConfig(const Options &opt, int hostThreads)
+{
+    ExperimentConfig cfg;
+    cfg.sceneName = "conference";
+    cfg.kernel = KernelKind::MicroKernel;
+    cfg.sceneParams.detail = opt.smoke ? 4 : 10;
+    cfg.sceneParams.imageWidth = opt.smoke ? 32 : 64;
+    cfg.sceneParams.imageHeight = opt.smoke ? 32 : 64;
+    cfg.maxCycles = opt.smoke ? 5000 : 50000;
+    cfg.baseConfig.maxCycles = cfg.maxCycles;
+    cfg.baseConfig.hostThreads = hostThreads;
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    // This benchmark sets thread counts explicitly per run; the
+    // UKSIM_THREADS override would silently make every run identical.
+    unsetenv("UKSIM_THREADS");
+
+    ExperimentConfig probe = makeConfig(opt, 1);
+    std::printf("bench_simspeed: %s, %dx%d, detail %d, %llu-cycle window, "
+                "%d SMs\n",
+                probe.sceneName.c_str(), probe.sceneParams.imageWidth,
+                probe.sceneParams.imageHeight, probe.sceneParams.detail,
+                static_cast<unsigned long long>(probe.maxCycles),
+                probe.baseConfig.numSms);
+    const int hostCores =
+        static_cast<int>(std::thread::hardware_concurrency());
+    std::printf("host cores: %d\n\n", hostCores);
+
+    PreparedScene scene = prepareScene(probe.sceneName, probe.sceneParams);
+
+    std::vector<RunResult> results;
+    const SimStats *serialStats = nullptr;
+    std::vector<SimStats> allStats;
+    allStats.reserve(opt.threads.size());
+
+    for (int threads : opt.threads) {
+        ExperimentConfig cfg = makeConfig(opt, threads);
+        // Warm-up pass: touches the scene upload path and page cache so
+        // the timed pass measures steady-state simulation speed.
+        if (results.empty())
+            runExperiment(scene, cfg);
+
+        auto t0 = std::chrono::steady_clock::now();
+        ExperimentResult r = runExperiment(scene, cfg);
+        auto t1 = std::chrono::steady_clock::now();
+
+        RunResult rr;
+        rr.threads = threads;
+        rr.simCycles = r.stats.cycles;
+        rr.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+        rr.kcyclesPerSec = rr.wallSeconds > 0.0
+                               ? double(rr.simCycles) / rr.wallSeconds /
+                                     1000.0
+                               : 0.0;
+        allStats.push_back(r.stats);
+        if (!serialStats)
+            serialStats = &allStats.front();
+        rr.bitIdentical = allStats.back() == *serialStats;
+        results.push_back(rr);
+    }
+
+    TextTable table;
+    table.header({"threads", "sim kcycles", "wall s", "sim kcycles/s",
+                  "speedup", "bit-identical"});
+    const double serialRate = results.front().kcyclesPerSec;
+    for (const RunResult &r : results) {
+        table.row({std::to_string(r.threads),
+                   fmt(double(r.simCycles) / 1000.0, 1),
+                   fmt(r.wallSeconds, 3), fmt(r.kcyclesPerSec, 1),
+                   fmt(serialRate > 0 ? r.kcyclesPerSec / serialRate : 0.0,
+                       2),
+                   r.bitIdentical ? "yes" : "NO"});
+    }
+    std::fputs(table.str().c_str(), stdout);
+
+    FILE *f = std::fopen(opt.outPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", opt.outPath.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"simspeed\",\n"
+                 "  \"workload\": {\"scene\": \"%s\", \"kernel\": "
+                 "\"uk\", \"resolution\": %d, \"detail\": %d, "
+                 "\"max_cycles\": %llu},\n"
+                 "  \"host_cores\": %d,\n  \"smoke\": %s,\n"
+                 "  \"results\": [\n",
+                 probe.sceneName.c_str(), probe.sceneParams.imageWidth,
+                 probe.sceneParams.detail,
+                 static_cast<unsigned long long>(probe.maxCycles),
+                 hostCores, opt.smoke ? "true" : "false");
+    bool allIdentical = true;
+    for (size_t i = 0; i < results.size(); i++) {
+        const RunResult &r = results[i];
+        allIdentical = allIdentical && r.bitIdentical;
+        std::fprintf(
+            f,
+            "    {\"threads\": %d, \"sim_cycles\": %llu, "
+            "\"wall_seconds\": %.6f, \"sim_kcycles_per_sec\": %.2f, "
+            "\"speedup_vs_serial\": %.3f, \"bit_identical\": %s}%s\n",
+            r.threads, static_cast<unsigned long long>(r.simCycles),
+            r.wallSeconds, r.kcyclesPerSec,
+            serialRate > 0 ? r.kcyclesPerSec / serialRate : 0.0,
+            r.bitIdentical ? "true" : "false",
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", opt.outPath.c_str());
+
+    if (!allIdentical) {
+        std::fprintf(stderr,
+                     "ERROR: threaded run diverged from serial stats\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,20 +1,33 @@
 /**
  * @file
  * Bank-conflict model implementation.
+ *
+ * This runs once per on-chip warp access — every shared/spawn memory
+ * instruction, every cycle — so the analysis is allocation-free: lane
+ * words are deduplicated in a stack array (<= 64 lanes x 4 words) and
+ * per-bank degrees counted in a stack table. A set-based fallback keeps
+ * exact semantics for configurations outside those bounds.
  */
 
 #include "mem/bank.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <set>
 
 namespace uksim {
 
+namespace {
+
+constexpr int kMaxStackBanks = 1024;
+constexpr int kMaxStackWordsPerLane = 4;    ///< ISA vector widths: 1/2/4
+
 BankConflictInfo
-bankConflictAnalyze(const std::vector<uint64_t> &addrs, uint64_t activeMask,
-                    int wordsPerLane, int numBanks)
+analyzeLarge(const std::vector<uint64_t> &addrs, uint64_t activeMask,
+             int wordsPerLane, int numBanks)
 {
-    // Distinct words touched per bank; same-word accesses broadcast.
+    // Cold fallback preserving the original set-based semantics for
+    // configurations outside the stack-table bounds.
     std::vector<std::set<uint64_t>> words(numBanks);
     bool any = false;
     for (size_t lane = 0; lane < addrs.size(); lane++) {
@@ -35,6 +48,59 @@ bankConflictAnalyze(const std::vector<uint64_t> &addrs, uint64_t activeMask,
     for (int b = 0; b < numBanks; b++) {
         if (words[b].size() > worst) {
             worst = words[b].size();
+            info.worstBank = b;
+        }
+    }
+    info.passes = static_cast<int>(worst);
+    return info;
+}
+
+} // anonymous namespace
+
+BankConflictInfo
+bankConflictAnalyze(const std::vector<uint64_t> &addrs, uint64_t activeMask,
+                    int wordsPerLane, int numBanks)
+{
+    if (numBanks > kMaxStackBanks || wordsPerLane > kMaxStackWordsPerLane)
+        return analyzeLarge(addrs, activeMask, wordsPerLane, numBanks);
+
+    uint64_t live = activeMask;
+    if (addrs.size() < 64)
+        live &= (uint64_t{1} << addrs.size()) - 1;
+
+    BankConflictInfo info;
+    if (live == 0)
+        return info;
+
+    // Distinct words touched by the warp; same-word accesses broadcast.
+    uint64_t words[64 * kMaxStackWordsPerLane];
+    int numWords = 0;
+    for (uint64_t m = live; m; m &= m - 1) {
+        const uint64_t word0 = addrs[std::countr_zero(m)] / 4;
+        for (int w = 0; w < wordsPerLane; w++) {
+            const uint64_t word = word0 + w;
+            bool dup = false;
+            for (int i = 0; i < numWords; i++) {
+                if (words[i] == word) {
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup)
+                words[numWords++] = word;
+        }
+    }
+
+    uint16_t counts[kMaxStackBanks];
+    std::fill(counts, counts + numBanks, uint16_t{0});
+    for (int i = 0; i < numWords; i++)
+        counts[words[i] % numBanks]++;
+
+    size_t worst = 1;
+    info.passes = 1;
+    for (int b = 0; b < numBanks; b++) {
+        if (counts[b] > worst) {
+            worst = counts[b];
             info.worstBank = b;
         }
     }

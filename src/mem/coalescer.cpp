@@ -6,17 +6,21 @@
 #include "mem/coalescer.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace uksim {
 
-std::vector<Segment>
+void
 coalesce(const std::vector<uint64_t> &addrs, uint64_t activeMask,
-         uint32_t accessBytes, uint32_t segmentBytes)
+         uint32_t accessBytes, uint32_t segmentBytes,
+         std::vector<Segment> &out)
 {
     assert(segmentBytes && (segmentBytes & (segmentBytes - 1)) == 0);
-    std::vector<Segment> out;
-    std::vector<uint64_t> seen;     // deduped lane addresses
+    out.clear();
+    // Deduped lane addresses; a warp has at most 64 lanes.
+    uint64_t seen[64];
+    int numSeen = 0;
     auto touch = [&](uint64_t base, uint32_t bytes) {
         for (Segment &s : out) {
             if (s.addr == base) {
@@ -27,20 +31,22 @@ coalesce(const std::vector<uint64_t> &addrs, uint64_t activeMask,
         out.push_back({base, segmentBytes, bytes});
     };
     const uint64_t mask = ~uint64_t(segmentBytes - 1);
-    for (size_t lane = 0; lane < addrs.size(); lane++) {
-        if (!(activeMask >> lane & 1))
-            continue;
+    uint64_t live = activeMask;
+    if (addrs.size() < 64)
+        live &= (uint64_t{1} << addrs.size()) - 1;
+    for (uint64_t m = live; m; m &= m - 1) {
+        const int lane = std::countr_zero(m);
         const uint64_t addr = addrs[lane];
         bool dup = false;
-        for (uint64_t a : seen) {
-            if (a == addr) {
+        for (int i = 0; i < numSeen; i++) {
+            if (seen[i] == addr) {
                 dup = true;
                 break;
             }
         }
         if (dup)
             continue;   // broadcast: same word served once
-        seen.push_back(addr);
+        seen[numSeen++] = addr;
         uint64_t first = addr & mask;
         uint64_t last = (addr + accessBytes - 1) & mask;
         if (last == first) {
@@ -56,6 +62,14 @@ coalesce(const std::vector<uint64_t> &addrs, uint64_t activeMask,
         if (s.touched > s.bytes)
             s.touched = s.bytes;    // overlapping lanes clamp to the line
     }
+}
+
+std::vector<Segment>
+coalesce(const std::vector<uint64_t> &addrs, uint64_t activeMask,
+         uint32_t accessBytes, uint32_t segmentBytes)
+{
+    std::vector<Segment> out;
+    coalesce(addrs, activeMask, accessBytes, segmentBytes, out);
     return out;
 }
 

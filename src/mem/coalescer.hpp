@@ -37,6 +37,15 @@ std::vector<Segment> coalesce(const std::vector<uint64_t> &addrs,
                               uint32_t accessBytes,
                               uint32_t segmentBytes);
 
+/**
+ * Allocation-free variant for the per-cycle hot path: clears @p out and
+ * fills it with the coalesced segments, reusing its capacity. Internal
+ * dedup state lives on the stack.
+ */
+void coalesce(const std::vector<uint64_t> &addrs, uint64_t activeMask,
+              uint32_t accessBytes, uint32_t segmentBytes,
+              std::vector<Segment> &out);
+
 } // namespace uksim
 
 #endif // UKSIM_MEM_COALESCER_HPP

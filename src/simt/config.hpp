@@ -93,6 +93,16 @@ struct GpuConfig {
     uint32_t statsWindowCycles = 5000;  ///< AerialVision-style time buckets
     double clockGhz = 1.30;             ///< FX5800 shader clock
 
+    /**
+     * Host threads driving the cycle engine (simulator speed knob, not a
+     * modelled quantity). 1 = serial. With N > 1 the SMs are sharded
+     * across N threads per cycle; results are bit-identical to the
+     * serial engine at any thread count (DESIGN.md "Parallel cycle
+     * engine"). Overridable at run time via UKSIM_THREADS; clamped to
+     * [1, numSms].
+     */
+    int hostThreads = 1;
+
     /** Warp slots per SM. */
     int maxWarpsPerSm() const { return maxThreadsPerSm / warpSize; }
 };

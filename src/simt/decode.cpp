@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Decode-table construction.
+ */
+
+#include "simt/decode.hpp"
+
+#include "simt/simt_stack.hpp"
+
+namespace uksim {
+
+namespace {
+
+ExecClass
+classify(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Bra: return ExecClass::Bra;
+      case Opcode::Exit: return ExecClass::Exit;
+      case Opcode::Bar: return ExecClass::Bar;
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::AtomAdd:
+      case Opcode::AtomExch:
+      case Opcode::AtomCas: return ExecClass::Mem;
+      case Opcode::Spawn: return ExecClass::Spawn;
+      case Opcode::VoteAll: return ExecClass::VoteAll;
+      case Opcode::Nop: return ExecClass::Nop;
+      case Opcode::SetP: return ExecClass::SetP;
+      case Opcode::SelP: return ExecClass::SelP;
+      default: return ExecClass::Alu;
+    }
+}
+
+} // anonymous namespace
+
+void
+DecodedProgram::build(const Program &program, const GpuConfig &config)
+{
+    insts_.clear();
+    insts_.reserve(program.size());
+    for (uint32_t pc = 0; pc < program.size(); pc++) {
+        const Instruction &inst = program.code[pc];
+        DecodedInst d;
+        d.inst = &inst;
+        d.cls = classify(inst);
+        d.guardPred = static_cast<int8_t>(inst.guardPred);
+        d.guardNegated = inst.guardNegated;
+        d.readsB = inst.src[1].kind != OperandKind::None &&
+                   inst.src[1].kind != OperandKind::Pred;
+        d.readsC = inst.src[2].kind == OperandKind::Reg ||
+                   inst.src[2].kind == OperandKind::Imm ||
+                   inst.src[2].kind == OperandKind::Special;
+        d.issueLatency = inst.isSfu()
+                             ? static_cast<uint16_t>(config.sfuLatencyCycles)
+                             : uint16_t{1};
+        d.target = inst.target;
+        d.reconvergePc = inst.reconvergePc >= program.size()
+                             ? SimtStack::kNoReconverge
+                             : inst.reconvergePc;
+        insts_.push_back(d);
+    }
+}
+
+} // namespace uksim

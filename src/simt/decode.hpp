@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Pre-resolved per-program decode table.
+ *
+ * Built once when a program is loaded: every instruction is classified
+ * into an execution class and the fields the per-cycle issue loop needs
+ * (guard, operand shape, issue latency, pre-clamped reconvergence pc)
+ * are flattened into one dense record per pc. The SM's inner loop then
+ * dispatches on the class and does index arithmetic instead of
+ * re-interrogating the wide Instruction struct every cycle.
+ *
+ * The table is immutable after build() and shared read-only by all SMs,
+ * so it is safe to consult from the parallel phase of the cycle engine.
+ */
+
+#ifndef UKSIM_SIMT_DECODE_HPP
+#define UKSIM_SIMT_DECODE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/config.hpp"
+#include "simt/program.hpp"
+
+namespace uksim {
+
+/** Issue-loop dispatch class of one instruction. */
+enum class ExecClass : uint8_t {
+    Alu,        ///< arithmetic / moves / conversions (incl. SFU ops)
+    SetP,       ///< predicate compare
+    SelP,       ///< predicated select
+    VoteAll,    ///< warp-wide predicate AND
+    Bra,        ///< branch (divergence point)
+    Exit,       ///< thread exit
+    Bar,        ///< block barrier
+    Mem,        ///< Ld / St / atomics (any space)
+    Spawn,      ///< dynamic thread creation
+    Nop,
+};
+
+/** Dense pre-decoded record for one instruction. */
+struct DecodedInst {
+    const Instruction *inst = nullptr;  ///< original wide decoding
+    ExecClass cls = ExecClass::Nop;
+    int8_t guardPred = -1;              ///< guard predicate, -1 = always
+    bool guardNegated = false;
+    bool readsB = false;    ///< src[1] feeds the ALU (not None / Pred)
+    bool readsC = false;    ///< src[2] feeds the ALU (Reg / Imm / Special)
+    uint16_t issueLatency = 1;  ///< cycles until the warp may issue again
+    uint32_t target = 0;        ///< branch / spawn target pc
+    uint32_t reconvergePc = 0;  ///< pre-clamped to SimtStack::kNoReconverge
+};
+
+/** The decode table of one loaded program. */
+class DecodedProgram
+{
+  public:
+    /**
+     * Build the table. @p program must outlive this object and must not
+     * be mutated afterwards (records point into program.code).
+     */
+    void build(const Program &program, const GpuConfig &config);
+
+    const DecodedInst &at(uint32_t pc) const { return insts_[pc]; }
+    size_t size() const { return insts_.size(); }
+
+  private:
+    std::vector<DecodedInst> insts_;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_DECODE_HPP

@@ -8,11 +8,33 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "simt/verifier.hpp"
 
 namespace uksim {
+
+namespace {
+
+/**
+ * Resolve the host thread count: config value, overridden by
+ * UKSIM_THREADS when set, clamped to [1, numSms] (more shards than SMs
+ * cannot help, and the determinism contract only needs >= 1).
+ */
+int
+resolveHostThreads(const GpuConfig &config)
+{
+    int threads = config.hostThreads;
+    if (const char *env = std::getenv("UKSIM_THREADS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            threads = v;
+    }
+    return std::clamp(threads, 1, std::max(1, config.numSms));
+}
+
+} // anonymous namespace
 
 Gpu::Gpu(GpuConfig config)
     : config_(config),
@@ -30,6 +52,18 @@ Gpu::Gpu(GpuConfig config)
                 config_.texL2BytesPerPartition,
                 config_.coalesceSegmentBytes, config_.texCacheWays));
         }
+    }
+    hostThreads_ = resolveHostThreads(config_);
+    if (hostThreads_ > 1) {
+        pool_ = std::make_unique<WorkerPool>(hostThreads_);
+        stepJob_ = [this](int t) {
+            const int n = static_cast<int>(sms_.size());
+            const int shards = pool_->threads();
+            const int lo = n * t / shards;
+            const int hi = n * (t + 1) / shards;
+            for (int i = lo; i < hi; i++)
+                sms_[i]->step(cycle_);
+        };
     }
 }
 
@@ -96,11 +130,13 @@ Gpu::loadProgram(Program program)
     }
 
     program_ = std::move(program);
+    decoded_.build(program_, config_);
     occupancy_ = computeOccupancy(config_, program_);
 
     sms_.clear();
     for (int i = 0; i < config_.numSms; i++) {
-        sms_.push_back(std::make_unique<Sm>(i, config_, program_, *this));
+        sms_.push_back(
+            std::make_unique<Sm>(i, config_, program_, decoded_, *this));
         sms_.back()->configureOccupancy(occupancy_.warpsPerSm);
     }
 
@@ -184,14 +220,11 @@ Gpu::fillSm(Sm &sm)
     if (!gridExhausted()) {
         if (config_.scheduling == SchedulingMode::Block) {
             const uint32_t blockSize = config_.blockSizeThreads;
-            int warpsPerBlock =
-                std::max(1u, blockSize / config_.warpSize);
             uint32_t remaining = gridThreads_ - nextTid_;
             uint32_t blockThreads =
                 std::min<uint32_t>(blockSize, remaining);
             int warpsNeeded = static_cast<int>(
                 (blockThreads + config_.warpSize - 1) / config_.warpSize);
-            (void)warpsPerBlock;
             if (sm.freeWarpSlots() >= warpsNeeded &&
                 (!sm.spawnEnabled() ||
                  sm.freeStateSlots() >= static_cast<int>(blockThreads))) {
@@ -200,10 +233,10 @@ Gpu::fillSm(Sm &sm)
                 while (launchedThreads < blockThreads) {
                     uint32_t n = std::min<uint32_t>(
                         config_.warpSize, blockThreads - launchedThreads);
-                    std::vector<uint32_t> tids(n);
+                    launchTids_.resize(n);
                     for (uint32_t i = 0; i < n; i++)
-                        tids[i] = nextTid_ + i;
-                    bool ok = sm.launchInitialWarp(tids, blockId);
+                        launchTids_[i] = nextTid_ + i;
+                    bool ok = sm.launchInitialWarp(launchTids_, blockId);
                     assert(ok);
                     (void)ok;
                     nextTid_ += n;
@@ -216,11 +249,11 @@ Gpu::fillSm(Sm &sm)
             uint32_t n = std::min<uint32_t>(config_.warpSize, remaining);
             if (!sm.spawnEnabled() ||
                 sm.freeStateSlots() >= static_cast<int>(n)) {
-                std::vector<uint32_t> tids(n);
+                launchTids_.resize(n);
                 for (uint32_t i = 0; i < n; i++)
-                    tids[i] = nextTid_ + i;
+                    launchTids_[i] = nextTid_ + i;
                 uint32_t blockId = nextTid_ / config_.blockSizeThreads;
-                bool ok = sm.launchInitialWarp(tids, blockId);
+                bool ok = sm.launchInitialWarp(launchTids_, blockId);
                 assert(ok);
                 (void)ok;
                 nextTid_ += n;
@@ -260,6 +293,7 @@ Gpu::finished() const
 void
 Gpu::stepCycle()
 {
+    // --- Coordinator: wake-ups and warp placement (serial) -------------------
     while (!events_.empty() && events_.top().cycle <= cycle_) {
         MemEvent e = events_.top();
         events_.pop();
@@ -267,8 +301,25 @@ Gpu::stepCycle()
     }
     for (auto &sm : sms_)
         fillSm(*sm);
-    for (auto &sm : sms_)
-        sm->step(cycle_);
+
+    // --- Parallel phase: SMs step against SM-local state only ----------------
+    if (pool_) {
+        pool_->parallelFor(stepJob_);
+    } else {
+        for (auto &sm : sms_)
+            sm->step(cycle_);
+    }
+
+    // --- Merge phase: canonical SM-id order --------------------------------
+    // Trace buffers drain and deferred global/local accesses replay in
+    // ascending SM id, which is exactly the order the serial engine
+    // performed them mid-step — so every thread count produces the same
+    // bits (stats, memory images, trace content including ring drops).
+    for (auto &sm : sms_) {
+        sm->drainTrace(trace_);
+        sm->serviceDeferredMem(cycle_);
+    }
+
     cycle_++;
 }
 
@@ -280,22 +331,33 @@ Gpu::run()
     while (cycle_ < config_.maxCycles && !finished())
         stepCycle();
     ranToCompletion_ = finished();
-    finalizeStats();
+    return stats();
+}
+
+const SimStats &
+Gpu::stats() const
+{
+    refreshStats();
     return stats_;
 }
 
 void
-Gpu::finalizeStats()
+Gpu::refreshStats() const
 {
-    stats_.cycles = cycle_;
-    stats_.dynamicWarpsFormed = 0;
-    stats_.partialWarpFlushes = 0;
-    for (auto &sm : sms_) {
+    SimStats merged;
+    merged.setWindowCycles(config_.statsWindowCycles);
+    for (const auto &sm : sms_)
+        merged += sm->localStats();
+    merged.cycles = cycle_;
+    merged.dynamicWarpsFormed = 0;
+    merged.partialWarpFlushes = 0;
+    for (const auto &sm : sms_) {
         if (sm->spawnEnabled()) {
-            stats_.dynamicWarpsFormed += sm->spawnUnit()->warpsFormed();
-            stats_.partialWarpFlushes += sm->spawnUnit()->partialFlushes();
+            merged.dynamicWarpsFormed += sm->spawnUnit()->warpsFormed();
+            merged.partialWarpFlushes += sm->spawnUnit()->partialFlushes();
         }
     }
+    stats_ = std::move(merged);
 }
 
 } // namespace uksim

@@ -8,6 +8,12 @@
  * launch grid under block or thread scheduling, gives dynamic warps
  * priority for freed warp slots, and force-flushes partial warps only
  * when an SM would otherwise go idle for good (paper Sec. IV-D).
+ *
+ * The per-cycle loop is the deterministic parallel engine: SMs step in
+ * parallel shards (GpuConfig::hostThreads / UKSIM_THREADS), accumulating
+ * into per-SM statistics and trace buffers, and the coordinator then
+ * merges buffers and services deferred global/local memory accesses in
+ * canonical SM-id order. Results are bit-identical at any thread count.
  */
 
 #ifndef UKSIM_SIMT_GPU_HPP
@@ -21,9 +27,11 @@
 #include "mem/dram.hpp"
 #include "mem/store.hpp"
 #include "simt/config.hpp"
+#include "simt/decode.hpp"
 #include "simt/program.hpp"
 #include "simt/sm.hpp"
 #include "simt/stats.hpp"
+#include "simt/worker_pool.hpp"
 #include "trace/events.hpp"
 
 namespace uksim {
@@ -51,6 +59,9 @@ class Gpu : public SmServices
     const GpuConfig &config() const { return config_; }
     const Occupancy &occupancy() const { return occupancy_; }
 
+    /** Resolved host thread count (config + UKSIM_THREADS override). */
+    int hostThreads() const { return hostThreads_; }
+
     // --- Host memory API ---------------------------------------------------
     /** Allocate @p bytes of device global memory; returns the address. */
     uint32_t mallocGlobal(uint64_t bytes, uint32_t align = 256);
@@ -73,8 +84,13 @@ class Gpu : public SmServices
 
     bool finished() const;
     uint64_t cycle() const { return cycle_; }
-    const SimStats &stats() const { return stats_; }
-    SimStats &mutableStats() { return stats_; }
+
+    /**
+     * Chip-wide statistics: the SM-id-ordered sum of the per-SM shards
+     * plus the chip counters (cycle count, spawn-unit totals). Merged on
+     * demand, so it is valid mid-run as well as after run().
+     */
+    const SimStats &stats() const;
 
     Sm &sm(int i) { return *sms_.at(i); }
     int numSms() const { return static_cast<int>(sms_.size()); }
@@ -105,13 +121,10 @@ class Gpu : public SmServices
     DramModel &dram() override { return *dram_; }
     ReadOnlyCache *texL2For(uint64_t addr) override;
     void scheduleMemWakeup(uint64_t cycle, int smId, int warpSlot) override;
-    SimStats &stats() override { return stats_; }
     bool gridExhausted() const override
     {
         return nextTid_ >= gridThreads_;
     }
-    void onItemCompleted() override { stats_.itemsCompleted++; }
-    void onInitialThreadExit() override { stats_.threadsCompleted++; }
 
   private:
     struct MemEvent {
@@ -122,10 +135,11 @@ class Gpu : public SmServices
     };
 
     void fillSm(Sm &sm);
-    void finalizeStats();
+    void refreshStats() const;
 
     GpuConfig config_;
     Program program_;
+    DecodedProgram decoded_;
     Store global_;
     Store const_;
     Store local_;
@@ -134,10 +148,19 @@ class Gpu : public SmServices
     std::vector<std::unique_ptr<ReadOnlyCache>> texL2_;
     std::vector<std::unique_ptr<Sm>> sms_;
     Occupancy occupancy_;
-    SimStats stats_;
+    /// Merged chip-wide view, rebuilt from the shards by stats().
+    mutable SimStats stats_;
+
+    int hostThreads_ = 1;
+    std::unique_ptr<WorkerPool> pool_;
+    /// Persistent parallel-phase job (avoids per-cycle allocation).
+    std::function<void(int)> stepJob_;
 
     std::priority_queue<MemEvent, std::vector<MemEvent>,
                         std::greater<MemEvent>> events_;
+
+    /// Reusable launch-tid scratch for fillSm (no per-launch allocation).
+    std::vector<uint32_t> launchTids_;
 
     uint64_t cycle_ = 0;
     uint64_t globalBrk_ = 0;

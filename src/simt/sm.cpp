@@ -10,7 +10,6 @@
 #include <stdexcept>
 
 #include "mem/bank.hpp"
-#include "mem/coalescer.hpp"
 #include "simt/executor.hpp"
 
 namespace uksim {
@@ -26,10 +25,12 @@ popcount(uint64_t v)
 } // anonymous namespace
 
 Sm::Sm(int id, const GpuConfig &config, const Program &program,
-       SmServices &services)
-    : id_(id), config_(config), program_(program), services_(services),
-      shared_("shared", config.onChipBytesPerSm)
+       const DecodedProgram &decoded, SmServices &services)
+    : id_(id), config_(config), program_(program), decoded_(decoded),
+      services_(services), shared_("shared", config.onChipBytesPerSm)
 {
+    localStats_.setWindowCycles(config.statsWindowCycles);
+    traceBuf_.bind(&services_.eventTrace());
     if (config_.texL1BytesPerSm > 0) {
         texL1_ = std::make_unique<ReadOnlyCache>(
             config_.texL1BytesPerSm, config_.coalesceSegmentBytes,
@@ -61,7 +62,7 @@ Sm::configureOccupancy(int resident_warps)
             config_.warpSize);
         spawnStore_ = Store("spawn", spawnLayout_.totalBytes);
         spawnUnit_ = std::make_unique<SpawnUnit>(
-            config_, program_, spawnLayout_, &services_.eventTrace(), id_);
+            config_, program_, spawnLayout_, &traceBuf_, id_);
         freeStateSlots_.clear();
         for (int s = threads - 1; s >= 0; s--)
             freeStateSlots_.push_back(static_cast<uint32_t>(s));
@@ -118,7 +119,7 @@ Sm::findBlock(uint32_t blockId)
 }
 
 bool
-Sm::launchInitialWarp(const std::vector<uint32_t> &tids, uint32_t blockId)
+Sm::launchInitialWarp(std::span<const uint32_t> tids, uint32_t blockId)
 {
     assert(!tids.empty() &&
            tids.size() <= static_cast<size_t>(config_.warpSize));
@@ -163,7 +164,7 @@ Sm::launchInitialWarp(const std::vector<uint32_t> &tids, uint32_t blockId)
     }
     blk->warpsLive++;
 
-    services_.stats().threadsLaunched += tids.size();
+    localStats_.threadsLaunched += tids.size();
     return true;
 }
 
@@ -244,8 +245,7 @@ Sm::readOperand(const Operand &op, const Warp &w, int lane) const
 void
 Sm::recordStall(trace::StallReason reason)
 {
-    stallCounters_.record(reason);
-    services_.stats().stall.record(reason);
+    localStats_.stall.record(reason);
 }
 
 trace::StallReason
@@ -289,7 +289,7 @@ Sm::step(uint64_t now)
         return;
     }
     if (issueBlockedUntil_ > now) {
-        services_.stats().recordIdle(now);
+        localStats_.recordIdle(now);
         recordStall(trace::StallReason::BankConflict);
         return;
     }
@@ -304,7 +304,7 @@ Sm::step(uint64_t now)
             return;
         }
     }
-    services_.stats().recordIdle(now);
+    localStats_.recordIdle(now);
     recordStall(classifyIdle());
 }
 
@@ -312,84 +312,71 @@ void
 Sm::issue(Warp &w, uint64_t now)
 {
     const uint32_t pc = w.stack.pc();
-    if (pc >= program_.size())
+    if (pc >= decoded_.size())
         throw std::runtime_error("warp ran off the end of the program");
-    const Instruction &inst = program_.at(pc);
+    const DecodedInst &d = decoded_.at(pc);
     const uint64_t mask = w.stack.activeMask();
 
-    SimStats &stats = services_.stats();
-    stats.recordIssue(now, popcount(mask));
-
-    trace::EventTrace &sink = services_.eventTrace();
-    sink.record(trace::EventKind::Issue, now, id_, w.hwSlot, pc,
-                uint64_t(popcount(mask)), 1);
+    localStats_.recordIssue(now, popcount(mask));
+    traceBuf_.record(trace::EventKind::Issue, now, id_, w.hwSlot, pc,
+                     uint64_t(popcount(mask)), 1);
     const size_t depthBefore = w.stack.depth();
 
     uint64_t commitMask = mask;
-    if (inst.guardPred >= 0) {
+    if (d.guardPred >= 0) {
         commitMask = 0;
-        for (int lane = 0; lane < config_.warpSize; lane++) {
-            if (!(mask >> lane & 1))
-                continue;
-            bool p = readPred(threadSlot(w, lane), inst.guardPred);
-            if (p != inst.guardNegated)
+        const int base = w.hwSlot * config_.warpSize;
+        for (uint64_t m = mask; m; m &= m - 1) {
+            const int lane = std::countr_zero(m);
+            bool p = readPred(base + lane, d.guardPred);
+            if (p != d.guardNegated)
                 commitMask |= uint64_t{1} << lane;
         }
     }
-    stats.committedLaneInstructions += popcount(commitMask);
+    localStats_.committedLaneInstructions += popcount(commitMask);
 
-    w.readyAt = now + 1;
+    w.readyAt = now + d.issueLatency;
 
-    switch (inst.op) {
-      case Opcode::Bra: {
-        uint32_t rpc = inst.reconvergePc >= program_.size()
-                           ? SimtStack::kNoReconverge
-                           : inst.reconvergePc;
-        w.stack.branch(commitMask, inst.target, rpc);
+    switch (d.cls) {
+      case ExecClass::Bra:
+        w.stack.branch(commitMask, d.target, d.reconvergePc);
         break;
-      }
-      case Opcode::Exit:
+      case ExecClass::Exit:
         execExit(w, commitMask);
         break;
-      case Opcode::Bar:
+      case ExecClass::Bar:
         execBarrier(w, now);
         break;
-      case Opcode::Ld:
-      case Opcode::St:
-      case Opcode::AtomAdd:
-      case Opcode::AtomExch:
-      case Opcode::AtomCas:
-        execMemory(w, inst, commitMask, now);
+      case ExecClass::Mem:
+        execMemory(w, d, commitMask, now);
         w.stack.advance();
         break;
-      case Opcode::Spawn:
-        execSpawn(w, inst, commitMask, now);
+      case ExecClass::Spawn:
+        execSpawn(w, *d.inst, commitMask, now);
         w.stack.advance();
         break;
-      case Opcode::VoteAll: {
+      case ExecClass::VoteAll: {
         // Warp-wide AND over the active lanes' source predicate; every
         // active lane receives the result.
+        const int base = w.hwSlot * config_.warpSize;
+        const int srcPred = d.inst->src[0].reg;
         bool all = true;
-        for (int lane = 0; lane < config_.warpSize; lane++) {
-            if (!(mask >> lane & 1))
-                continue;
-            if (!readPred(threadSlot(w, lane), inst.src[0].reg))
+        for (uint64_t m = mask; m; m &= m - 1) {
+            if (!readPred(base + std::countr_zero(m), srcPred)) {
                 all = false;
+                break;
+            }
         }
-        for (int lane = 0; lane < config_.warpSize; lane++) {
-            if (mask >> lane & 1)
-                writePred(threadSlot(w, lane), inst.dst, all);
-        }
+        for (uint64_t m = mask; m; m &= m - 1)
+            writePred(base + std::countr_zero(m), d.inst->dst, all);
         w.stack.advance();
         break;
       }
-      case Opcode::Nop:
+      case ExecClass::Nop:
         w.stack.advance();
         break;
       default:
-        execAlu(w, inst, commitMask, now);
-        if (inst.isSfu())
-            w.readyAt = now + config_.sfuLatencyCycles;
+        execAlu(w, d, commitMask);
         w.stack.advance();
         break;
     }
@@ -397,11 +384,11 @@ Sm::issue(Warp &w, uint64_t now)
     if (w.valid && !w.stack.empty()) {
         const size_t depthAfter = w.stack.depth();
         if (depthAfter > depthBefore) {
-            sink.record(trace::EventKind::Diverge, now, id_, w.hwSlot, pc,
-                        depthAfter);
+            traceBuf_.record(trace::EventKind::Diverge, now, id_,
+                             w.hwSlot, pc, depthAfter);
         } else if (depthAfter < depthBefore) {
-            sink.record(trace::EventKind::Reconverge, now, id_, w.hwSlot,
-                        pc, depthAfter);
+            traceBuf_.record(trace::EventKind::Reconverge, now, id_,
+                             w.hwSlot, pc, depthAfter);
         }
     }
 
@@ -410,55 +397,57 @@ Sm::issue(Warp &w, uint64_t now)
 }
 
 void
-Sm::execAlu(Warp &w, const Instruction &inst, uint64_t commitMask,
-            uint64_t now)
+Sm::execAlu(Warp &w, const DecodedInst &d, uint64_t commitMask)
 {
-    (void)now;
-    for (int lane = 0; lane < config_.warpSize; lane++) {
-        if (!(commitMask >> lane & 1))
-            continue;
-        const int slot = threadSlot(w, lane);
-        const uint32_t a = readOperand(inst.src[0], w, lane);
-        uint32_t b = 0;
-        if (inst.src[1].kind != OperandKind::None &&
-            inst.src[1].kind != OperandKind::Pred) {
-            b = readOperand(inst.src[1], w, lane);
+    const Instruction &inst = *d.inst;
+    const int base = w.hwSlot * config_.warpSize;
+    switch (d.cls) {
+      case ExecClass::SetP:
+        for (uint64_t m = commitMask; m; m &= m - 1) {
+            const int lane = std::countr_zero(m);
+            const uint32_t a = readOperand(inst.src[0], w, lane);
+            const uint32_t b =
+                d.readsB ? readOperand(inst.src[1], w, lane) : 0;
+            writePred(base + lane, inst.dst,
+                      evalCmp(inst.cmp, inst.type, a, b));
         }
-
-        if (inst.op == Opcode::SetP) {
-            writePred(slot, inst.dst, evalCmp(inst.cmp, inst.type, a, b));
-        } else if (inst.op == Opcode::SelP) {
+        break;
+      case ExecClass::SelP:
+        for (uint64_t m = commitMask; m; m &= m - 1) {
+            const int lane = std::countr_zero(m);
+            const int slot = base + lane;
+            const uint32_t a = readOperand(inst.src[0], w, lane);
+            const uint32_t b =
+                d.readsB ? readOperand(inst.src[1], w, lane) : 0;
             bool p = readPred(slot, inst.src[2].reg);
             writeReg(slot, inst.dst, p ? a : b);
-        } else {
-            uint32_t c = 0;
-            if (inst.src[2].kind == OperandKind::Reg ||
-                inst.src[2].kind == OperandKind::Imm ||
-                inst.src[2].kind == OperandKind::Special) {
-                c = readOperand(inst.src[2], w, lane);
-            }
-            writeReg(slot, inst.dst, evalAlu(inst, a, b, c));
         }
+        break;
+      default:
+        for (uint64_t m = commitMask; m; m &= m - 1) {
+            const int lane = std::countr_zero(m);
+            const uint32_t a = readOperand(inst.src[0], w, lane);
+            const uint32_t b =
+                d.readsB ? readOperand(inst.src[1], w, lane) : 0;
+            const uint32_t c =
+                d.readsC ? readOperand(inst.src[2], w, lane) : 0;
+            writeReg(base + lane, inst.dst, evalAlu(inst, a, b, c));
+        }
+        break;
     }
 }
 
 void
-Sm::execMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
+Sm::execMemory(Warp &w, const DecodedInst &d, uint64_t commitMask,
                uint64_t now)
 {
-    SimStats &stats = services_.stats();
-    const int width = inst.vecWidth;
-    const uint32_t accessBytes = 4u * width;
-    const bool isStore = inst.op == Opcode::St;
-    const bool isAtomic = inst.isAtomic();
-
+    const Instruction &inst = *d.inst;
     if (commitMask == 0)
         return;
 
     laneAddrs_.assign(config_.warpSize, 0);
-    for (int lane = 0; lane < config_.warpSize; lane++) {
-        if (!(commitMask >> lane & 1))
-            continue;
+    for (uint64_t m = commitMask; m; m &= m - 1) {
+        const int lane = std::countr_zero(m);
         uint64_t addr = readOperand(inst.src[0], w, lane);
         addr = uint64_t(int64_t(addr) + inst.memOffset);
         if (inst.space == MemSpace::Local) {
@@ -476,20 +465,44 @@ Sm::execMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
         laneAddrs_[lane] = addr;
     }
 
-    // --- Functional access ---------------------------------------------------
+    if (inst.space == MemSpace::Global || inst.space == MemSpace::Local) {
+        // Global and local accesses touch chip-shared state (the backing
+        // stores, DRAM timing, the texture L2s). Defer the whole access
+        // to the coordinator phase so it executes in SM-id order; the
+        // warp already issued and cannot issue again this cycle, so the
+        // lane addresses captured above stay valid.
+        assert(pendingMem_.inst == nullptr &&
+               "one memory instruction per SM per cycle");
+        pendingMem_ = {&d, w.hwSlot, commitMask};
+        return;
+    }
+
+    execOnChipMemory(w, inst, commitMask, now);
+}
+
+/// Const / shared / spawn accesses: all state touched is SM-local (the
+/// const store is read-only during simulation), so these execute
+/// immediately inside the parallel phase.
+void
+Sm::execOnChipMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
+                     uint64_t now)
+{
+    const int width = inst.vecWidth;
+    const uint32_t accessBytes = 4u * width;
+    const bool isStore = inst.op == Opcode::St;
+    const bool isAtomic = inst.isAtomic();
+
     Store *store = nullptr;
     switch (inst.space) {
-      case MemSpace::Global: store = &services_.globalStore(); break;
-      case MemSpace::Local: store = &services_.localStore(); break;
       case MemSpace::Const:
       case MemSpace::Param: store = &services_.constStore(); break;
       case MemSpace::Shared: store = &shared_; break;
       case MemSpace::Spawn: store = &spawnStore_; break;
+      default: assert(false && "off-chip space in on-chip path"); return;
     }
 
-    for (int lane = 0; lane < config_.warpSize; lane++) {
-        if (!(commitMask >> lane & 1))
-            continue;
+    for (uint64_t m = commitMask; m; m &= m - 1) {
+        const int lane = std::countr_zero(m);
         const int slot = threadSlot(w, lane);
         const uint64_t addr = laneAddrs_[lane];
         if (isAtomic) {
@@ -538,103 +551,12 @@ Sm::execMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
     const uint64_t bytes = uint64_t(activeLanes) * accessBytes;
 
     switch (inst.space) {
-      case MemSpace::Global:
-      case MemSpace::Local: {
-        auto segments = coalesce(laneAddrs_, commitMask, accessBytes,
-                                 config_.coalesceSegmentBytes);
-        if (config_.idealMemory) {
-            uint64_t segBytes = 0;
-            for (const Segment &s : segments)
-                segBytes += s.touched;
-            if (isStore)
-                stats.dramWriteBytes += segBytes;
-            else
-                stats.dramReadBytes += segBytes;
-            stats.dramTransactions += segments.size();
-            w.readyAt = now + 1;
-            break;
-        }
-
-        if (isStore || isAtomic) {
-            // Write-through, no-allocate: stores and atomics go to
-            // DRAM and invalidate any cached copies of the lines.
-            uint64_t segBytes = 0;
-            for (const Segment &s : segments) {
-                segBytes += s.touched;
-                if (texL1_)
-                    texL1_->invalidate(s.addr);
-                if (ReadOnlyCache *l2 = services_.texL2For(s.addr))
-                    l2->invalidate(s.addr);
-            }
-            stats.dramWriteBytes += segBytes;
-            if (isAtomic)
-                stats.dramReadBytes += segBytes;
-            stats.dramTransactions += segments.size();
-            uint64_t done =
-                services_.dram().accessAll(segments, true, now);
-            if (isAtomic) {
-                // Atomics return the old value: the warp must wait for
-                // the full read-modify-write round trip.
-                done = services_.dram().accessAll(segments, true, done);
-                w.outstandingMem++;
-                services_.scheduleMemWakeup(done, id_, w.hwSlot);
-            } else {
-                // Plain stores retire through the write queue with no
-                // register dependence: the warp continues immediately
-                // while the partitions absorb the bandwidth.
-                w.readyAt = now + 1;
-            }
-            break;
-        }
-
-        // Loads probe the read-only texture-path hierarchy.
-        uint64_t done = now + 1;
-        bool waited = false;
-        for (const Segment &s : segments) {
-            if (texL1_ && texL1_->probe(s.addr)) {
-                stats.texL1Hits++;
-                done = std::max(done,
-                                now + config_.texL1HitLatencyCycles);
-                continue;
-            }
-            if (texL1_)
-                stats.texL1Misses++;
-            ReadOnlyCache *l2 = services_.texL2For(s.addr);
-            if (l2 && l2->probe(s.addr)) {
-                stats.texL2Hits++;
-                done = std::max(done,
-                                now + config_.texL2HitLatencyCycles);
-                if (texL1_)
-                    texL1_->fill(s.addr);
-                continue;
-            }
-            if (l2)
-                stats.texL2Misses++;
-            stats.dramReadBytes += s.touched;
-            stats.dramTransactions++;
-            done = std::max(done,
-                            services_.dram().access(s, false, now));
-            if (texL1_)
-                texL1_->fill(s.addr);
-            if (l2)
-                l2->fill(s.addr);
-        }
-        if (done > now + 1) {
-            waited = true;
-            w.outstandingMem++;
-            services_.scheduleMemWakeup(done, id_, w.hwSlot);
-        }
-        if (!waited)
-            w.readyAt = now + 1;
-        break;
-      }
       case MemSpace::Const:
       case MemSpace::Param:
         // Constant memory is cached on chip (Sec. IV-A).
         w.readyAt = now + config_.onChipLatencyCycles;
         break;
-      case MemSpace::Shared:
-      case MemSpace::Spawn: {
+      default: {
         bool model = inst.space == MemSpace::Shared
                          ? config_.modelSharedBankConflicts
                          : config_.modelSpawnBankConflicts;
@@ -646,25 +568,164 @@ Sm::execMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
         w.readyAt = now + config_.onChipLatencyCycles + passes - 1;
         if (passes > 1) {
             issueBlockedUntil_ = now + passes;
-            stats.bankConflictExtraCycles += passes - 1;
-            services_.eventTrace().record(trace::EventKind::BankConflict,
-                                          now, id_, w.hwSlot, w.stack.pc(),
-                                          uint64_t(passes - 1),
-                                          uint32_t(passes - 1));
+            localStats_.bankConflictExtraCycles += passes - 1;
+            traceBuf_.record(trace::EventKind::BankConflict, now, id_,
+                             w.hwSlot, w.stack.pc(),
+                             uint64_t(passes - 1), uint32_t(passes - 1));
         }
         if (isStore)
-            stats.onChipWriteBytes += bytes;
+            localStats_.onChipWriteBytes += bytes;
         else
-            stats.onChipReadBytes += bytes;
+            localStats_.onChipReadBytes += bytes;
         if (inst.space == MemSpace::Spawn) {
             if (isStore)
-                stats.spawnMemWriteBytes += bytes;
+                localStats_.spawnMemWriteBytes += bytes;
             else
-                stats.spawnMemReadBytes += bytes;
+                localStats_.spawnMemReadBytes += bytes;
         }
         break;
       }
     }
+}
+
+void
+Sm::serviceDeferredMem(uint64_t now)
+{
+    if (pendingMem_.inst == nullptr)
+        return;
+    const DecodedInst &d = *pendingMem_.inst;
+    const Instruction &inst = *d.inst;
+    Warp &w = warps_[pendingMem_.warpSlot];
+    const uint64_t commitMask = pendingMem_.commitMask;
+    pendingMem_.inst = nullptr;
+
+    const int width = inst.vecWidth;
+    const uint32_t accessBytes = 4u * width;
+    const bool isStore = inst.op == Opcode::St;
+    const bool isAtomic = inst.isAtomic();
+
+    // --- Functional access ---------------------------------------------------
+    Store *store = inst.space == MemSpace::Global
+                       ? &services_.globalStore()
+                       : &services_.localStore();
+    for (uint64_t m = commitMask; m; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        const int slot = threadSlot(w, lane);
+        const uint64_t addr = laneAddrs_[lane];
+        if (isAtomic) {
+            uint32_t old = store->read32(addr);
+            uint32_t operand = readOperand(inst.src[1], w, lane);
+            uint32_t next = old;
+            if (inst.op == Opcode::AtomAdd) {
+                next = (inst.type == DataType::F32)
+                           ? floatBits(bitsToFloat(old) +
+                                       bitsToFloat(operand))
+                           : old + operand;
+            } else if (inst.op == Opcode::AtomExch) {
+                next = operand;
+            } else {    // AtomCas
+                uint32_t expected = operand;
+                uint32_t newval = readOperand(inst.src[2], w, lane);
+                next = (old == expected) ? newval : old;
+            }
+            store->write32(addr, next);
+            writeReg(slot, inst.dst, old);
+        } else if (isStore) {
+            for (int e = 0; e < width; e++) {
+                store->write32(addr + 4u * e,
+                               readReg(slot, inst.src[1].reg + e));
+            }
+        } else {
+            for (int e = 0; e < width; e++)
+                writeReg(slot, inst.dst + e, store->read32(addr + 4u * e));
+        }
+    }
+
+    // --- Timing ---------------------------------------------------------------
+    coalesce(laneAddrs_, commitMask, accessBytes,
+             config_.coalesceSegmentBytes, segScratch_);
+    const std::vector<Segment> &segments = segScratch_;
+
+    if (config_.idealMemory) {
+        uint64_t segBytes = 0;
+        for (const Segment &s : segments)
+            segBytes += s.touched;
+        if (isStore)
+            localStats_.dramWriteBytes += segBytes;
+        else
+            localStats_.dramReadBytes += segBytes;
+        localStats_.dramTransactions += segments.size();
+        w.readyAt = now + 1;
+        return;
+    }
+
+    if (isStore || isAtomic) {
+        // Write-through, no-allocate: stores and atomics go to
+        // DRAM and invalidate any cached copies of the lines.
+        uint64_t segBytes = 0;
+        for (const Segment &s : segments) {
+            segBytes += s.touched;
+            if (texL1_)
+                texL1_->invalidate(s.addr);
+            if (ReadOnlyCache *l2 = services_.texL2For(s.addr))
+                l2->invalidate(s.addr);
+        }
+        localStats_.dramWriteBytes += segBytes;
+        if (isAtomic)
+            localStats_.dramReadBytes += segBytes;
+        localStats_.dramTransactions += segments.size();
+        uint64_t done = services_.dram().accessAll(segments, true, now);
+        if (isAtomic) {
+            // Atomics return the old value: the warp must wait for
+            // the full read-modify-write round trip.
+            done = services_.dram().accessAll(segments, true, done);
+            w.outstandingMem++;
+            services_.scheduleMemWakeup(done, id_, w.hwSlot);
+        } else {
+            // Plain stores retire through the write queue with no
+            // register dependence: the warp continues immediately
+            // while the partitions absorb the bandwidth.
+            w.readyAt = now + 1;
+        }
+        return;
+    }
+
+    // Loads probe the read-only texture-path hierarchy.
+    uint64_t done = now + 1;
+    bool waited = false;
+    for (const Segment &s : segments) {
+        if (texL1_ && texL1_->probe(s.addr)) {
+            localStats_.texL1Hits++;
+            done = std::max(done, now + config_.texL1HitLatencyCycles);
+            continue;
+        }
+        if (texL1_)
+            localStats_.texL1Misses++;
+        ReadOnlyCache *l2 = services_.texL2For(s.addr);
+        if (l2 && l2->probe(s.addr)) {
+            localStats_.texL2Hits++;
+            done = std::max(done, now + config_.texL2HitLatencyCycles);
+            if (texL1_)
+                texL1_->fill(s.addr);
+            continue;
+        }
+        if (l2)
+            localStats_.texL2Misses++;
+        localStats_.dramReadBytes += s.touched;
+        localStats_.dramTransactions++;
+        done = std::max(done, services_.dram().access(s, false, now));
+        if (texL1_)
+            texL1_->fill(s.addr);
+        if (l2)
+            l2->fill(s.addr);
+    }
+    if (done > now + 1) {
+        waited = true;
+        w.outstandingMem++;
+        services_.scheduleMemWakeup(done, id_, w.hwSlot);
+    }
+    if (!waited)
+        w.readyAt = now + 1;
 }
 
 void
@@ -675,11 +736,9 @@ Sm::execSpawn(Warp &w, const Instruction &inst, uint64_t commitMask,
     if (commitMask == 0)
         return;
 
-    SimStats &stats = services_.stats();
     laneData_.assign(config_.warpSize, 0);
-    for (int lane = 0; lane < config_.warpSize; lane++) {
-        if (!(commitMask >> lane & 1))
-            continue;
+    for (uint64_t m = commitMask; m; m &= m - 1) {
+        const int lane = std::countr_zero(m);
         laneData_[lane] = readReg(threadSlot(w, lane), inst.src[0].reg);
         w.lanes[lane].spawned = true;
     }
@@ -687,9 +746,9 @@ Sm::execSpawn(Warp &w, const Instruction &inst, uint64_t commitMask,
     SpawnIssue issue = spawnUnit_->spawn(inst.target, commitMask, laneData_,
                                          spawnStore_, now);
     const int n = popcount(commitMask);
-    stats.dynamicThreadsSpawned += n;
-    stats.spawnMemWriteBytes += 4u * n;
-    stats.onChipWriteBytes += 4u * n;
+    localStats_.dynamicThreadsSpawned += n;
+    localStats_.spawnMemWriteBytes += 4u * n;
+    localStats_.onChipWriteBytes += 4u * n;
 
     int passes = 1;
     if (config_.modelSpawnBankConflicts && !config_.idealMemory) {
@@ -699,11 +758,10 @@ Sm::execSpawn(Warp &w, const Instruction &inst, uint64_t commitMask,
     w.readyAt = now + config_.onChipLatencyCycles + passes - 1;
     if (passes > 1) {
         issueBlockedUntil_ = now + passes;
-        stats.bankConflictExtraCycles += passes - 1;
-        services_.eventTrace().record(trace::EventKind::BankConflict, now,
-                                      id_, w.hwSlot, w.stack.pc(),
-                                      uint64_t(passes - 1),
-                                      uint32_t(passes - 1));
+        localStats_.bankConflictExtraCycles += passes - 1;
+        traceBuf_.record(trace::EventKind::BankConflict, now, id_,
+                         w.hwSlot, w.stack.pc(), uint64_t(passes - 1),
+                         uint32_t(passes - 1));
     }
 }
 
@@ -712,27 +770,25 @@ Sm::retireLane(Warp &w, int lane)
 {
     LaneInfo &li = w.lanes[lane];
     if (!li.dynamic)
-        services_.onInitialThreadExit();
+        localStats_.threadsCompleted++;
     if (spawnEnabled()) {
         // A thread exiting from the last micro-kernel of its chain (no
         // child spawned) releases the ray's state slot (Sec. IV-A1).
         if (!li.spawned && li.stateSlot != 0xffffffffu) {
             freeStateSlots_.push_back(li.stateSlot);
             li.stateSlot = 0xffffffffu;
-            services_.onItemCompleted();
+            localStats_.itemsCompleted++;
         }
     } else {
-        services_.onItemCompleted();
+        localStats_.itemsCompleted++;
     }
 }
 
 void
 Sm::execExit(Warp &w, uint64_t commitMask)
 {
-    for (int lane = 0; lane < config_.warpSize; lane++) {
-        if (commitMask >> lane & 1)
-            retireLane(w, lane);
-    }
+    for (uint64_t m = commitMask; m; m &= m - 1)
+        retireLane(w, std::countr_zero(m));
     w.stack.exitLanes(commitMask);
 }
 

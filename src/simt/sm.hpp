@@ -7,6 +7,15 @@
  * spawn unit (when the program declares micro-kernels). One warp
  * instruction issues per cycle; the 8 SPs pipeline its 32 lanes over 4
  * sub-cycles at full throughput, so the per-SM IPC ceiling is warpSize.
+ *
+ * Threading contract (parallel cycle engine): step() touches only
+ * SM-local state — per-SM statistics, the per-SM event buffer, shared /
+ * spawn stores, and read-only chip state (program, decode table, const
+ * store, grid cursor) — so distinct SMs may step concurrently. Anything
+ * that mutates shared chip state (global/local stores, DRAM timing, the
+ * texture L2s, the wakeup queue) is deferred into a single PendingMem
+ * slot and replayed by the coordinator via serviceDeferredMem() in
+ * canonical SM-id order, which reproduces the serial engine bit for bit.
  */
 
 #ifndef UKSIM_SIMT_SM_HPP
@@ -14,12 +23,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "mem/coalescer.hpp"
 #include "mem/dram.hpp"
 #include "mem/rocache.hpp"
 #include "mem/store.hpp"
 #include "simt/config.hpp"
+#include "simt/decode.hpp"
 #include "simt/program.hpp"
 #include "simt/stats.hpp"
 #include "simt/warp.hpp"
@@ -31,8 +43,10 @@
 namespace uksim {
 
 /**
- * Services an SM needs from the chip level (device memory, DRAM timing,
- * wake-up events and global statistics). Implemented by Gpu.
+ * Services an SM needs from the chip level (device memory, DRAM timing
+ * and wake-up events). Implemented by Gpu. Only eventTrace(),
+ * constStore() and gridExhausted() may be used from the parallel phase;
+ * the mutating services are coordinator-phase only (serviceDeferredMem).
  */
 class SmServices
 {
@@ -47,15 +61,10 @@ class SmServices
     /** Wake warp @p warpSlot of SM @p smId at @p cycle. */
     virtual void scheduleMemWakeup(uint64_t cycle, int smId,
                                    int warpSlot) = 0;
-    virtual SimStats &stats() = 0;
     /** Structured event sink (disabled sinks cost one inlined branch). */
     virtual trace::EventTrace &eventTrace() = 0;
     /** True when the launch grid has no threads left to place. */
     virtual bool gridExhausted() const = 0;
-    /** A work item (ray) fully completed. */
-    virtual void onItemCompleted() = 0;
-    /** A launch-grid thread exited. */
-    virtual void onInitialThreadExit() = 0;
 };
 
 /** One streaming multiprocessor. */
@@ -63,7 +72,7 @@ class Sm
 {
   public:
     Sm(int id, const GpuConfig &config, const Program &program,
-       SmServices &services);
+       const DecodedProgram &decoded, SmServices &services);
 
     /**
      * Size warp contexts and (for micro-kernel programs) the spawn
@@ -81,6 +90,7 @@ class Sm
     /** Spawn support is active (program declares micro-kernels). */
     bool spawnEnabled() const { return spawnUnit_ != nullptr; }
     SpawnUnit *spawnUnit() { return spawnUnit_.get(); }
+    const SpawnUnit *spawnUnit() const { return spawnUnit_.get(); }
     const SpawnMemoryLayout &spawnLayout() const { return spawnLayout_; }
 
     /** Free spawn-state slots (gates initial launches in spawn mode). */
@@ -98,7 +108,7 @@ class Sm
      * @return false when no warp slot (or, in spawn mode, not enough
      *         spawn-state slots) is available.
      */
-    bool launchInitialWarp(const std::vector<uint32_t> &tids,
+    bool launchInitialWarp(std::span<const uint32_t> tids,
                            uint32_t blockId);
 
     /** Launch a formed dynamic warp from the FIFO / partial flush. */
@@ -106,6 +116,19 @@ class Sm
 
     /** Advance one cycle: issue at most one warp instruction. */
     void step(uint64_t now);
+
+    /**
+     * Replay this cycle's deferred global/local memory instruction (if
+     * any) against the shared stores, DRAM model and texture L2s.
+     * Coordinator-phase only; call once per cycle in SM-id order.
+     */
+    void serviceDeferredMem(uint64_t now);
+
+    /** Flush this cycle's buffered trace events into the master ring. */
+    void drainTrace(trace::EventTrace &master)
+    {
+        traceBuf_.drainInto(master);
+    }
 
     /** Off-chip access completion callback. */
     void memWakeup(int warpSlot, uint64_t now);
@@ -117,10 +140,16 @@ class Sm
     Store &spawnStore() { return spawnStore_; }
     const Warp &warp(int slot) const { return warps_.at(slot); }
 
+    /**
+     * This SM's shard of the simulation statistics. The chip-wide view
+     * is the SM-id-ordered sum of all shards (Gpu::stats()).
+     */
+    const SimStats &localStats() const { return localStats_; }
+
     /** Per-SM issue-slot attribution (one reason recorded per cycle). */
     const trace::StallCounters &stallCounters() const
     {
-        return stallCounters_;
+        return localStats_.stall;
     }
 
     /** Per-SM read-only texture L1, or nullptr when disabled. */
@@ -139,6 +168,13 @@ class Sm
         int warpsAtBarrier = 0;
     };
 
+    /** This cycle's deferred global/local memory instruction. */
+    struct PendingMem {
+        const DecodedInst *inst = nullptr;  ///< null = nothing pending
+        int warpSlot = 0;
+        uint64_t commitMask = 0;
+    };
+
     /** Per-lane hardware thread slot. */
     int threadSlot(const Warp &w, int lane) const
     {
@@ -149,10 +185,11 @@ class Sm
     uint32_t specialValue(SpecialReg sreg, const Warp &w, int lane) const;
 
     void issue(Warp &w, uint64_t now);
-    void execAlu(Warp &w, const Instruction &inst, uint64_t commitMask,
-                 uint64_t now);
-    void execMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
+    void execAlu(Warp &w, const DecodedInst &d, uint64_t commitMask);
+    void execMemory(Warp &w, const DecodedInst &d, uint64_t commitMask,
                     uint64_t now);
+    void execOnChipMemory(Warp &w, const Instruction &inst,
+                          uint64_t commitMask, uint64_t now);
     void execSpawn(Warp &w, const Instruction &inst, uint64_t commitMask,
                    uint64_t now);
     void execExit(Warp &w, uint64_t commitMask);
@@ -160,7 +197,7 @@ class Sm
     void retireWarp(Warp &w);
     void retireLane(Warp &w, int lane);
 
-    /** Record this cycle's issue-slot outcome (per-SM and chip-wide). */
+    /** Record this cycle's issue-slot outcome into the local shard. */
     void recordStall(trace::StallReason reason);
     /** Why no warp could issue this cycle (some warp context exists). */
     trace::StallReason classifyIdle() const;
@@ -170,6 +207,7 @@ class Sm
     const int id_;
     const GpuConfig &config_;
     const Program &program_;
+    const DecodedProgram &decoded_;
     SmServices &services_;
 
     std::vector<Warp> warps_;
@@ -183,7 +221,11 @@ class Sm
     std::vector<uint32_t> freeStateSlots_;
     std::vector<ResidentBlock> blocks_;
 
-    trace::StallCounters stallCounters_;
+    /// This SM's statistics shard (includes the stall attribution).
+    SimStats localStats_;
+    /// Per-SM event buffer, drained by the coordinator each cycle.
+    trace::EventBuffer traceBuf_;
+    PendingMem pendingMem_;
 
     int rrCursor_ = 0;
     uint64_t issueBlockedUntil_ = 0;
@@ -193,6 +235,7 @@ class Sm
     // Scratch buffers reused every issue to avoid per-cycle allocation.
     std::vector<uint64_t> laneAddrs_;
     std::vector<uint32_t> laneData_;
+    std::vector<Segment> segScratch_;
 };
 
 } // namespace uksim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Worker-pool implementation.
+ */
+
+#include "simt/worker_pool.hpp"
+
+#include <cassert>
+
+namespace uksim {
+
+namespace {
+
+/// Spin iterations before parking. Short: on a loaded machine parking
+/// quickly is cheaper than contending for the core.
+constexpr int kSpinIters = 256;
+
+} // anonymous namespace
+
+WorkerPool::WorkerPool(int threads) : numThreads_(threads)
+{
+    assert(threads >= 2);
+    workers_.reserve(threads - 1);
+    for (int slot = 1; slot < threads; slot++)
+        workers_.emplace_back([this, slot] { workerMain(slot); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    stop_.store(true, std::memory_order_release);
+    jobGen_.fetch_add(1, std::memory_order_release);
+    jobGen_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+WorkerPool::runSlot(int slot)
+{
+    try {
+        (*job_)(slot);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        if (!error_)
+            error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        pending_.notify_all();
+}
+
+void
+WorkerPool::workerMain(int slot)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        uint64_t gen = jobGen_.load(std::memory_order_acquire);
+        for (int i = 0; gen == seen && i < kSpinIters; i++) {
+            std::this_thread::yield();
+            gen = jobGen_.load(std::memory_order_acquire);
+        }
+        while (gen == seen) {
+            jobGen_.wait(seen, std::memory_order_acquire);
+            gen = jobGen_.load(std::memory_order_acquire);
+        }
+        seen = gen;
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        runSlot(slot);
+    }
+}
+
+void
+WorkerPool::parallelFor(const std::function<void(int)> &fn)
+{
+    job_ = &fn;
+    error_ = nullptr;
+    pending_.store(numThreads_, std::memory_order_release);
+    jobGen_.fetch_add(1, std::memory_order_release);
+    jobGen_.notify_all();
+
+    runSlot(0);
+
+    int left = pending_.load(std::memory_order_acquire);
+    for (int i = 0; left != 0 && i < kSpinIters; i++) {
+        std::this_thread::yield();
+        left = pending_.load(std::memory_order_acquire);
+    }
+    while (left != 0) {
+        pending_.wait(left, std::memory_order_acquire);
+        left = pending_.load(std::memory_order_acquire);
+    }
+    job_ = nullptr;
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+} // namespace uksim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Persistent worker pool for the parallel cycle engine.
+ *
+ * One pool instance lives for the whole simulation; per-cycle dispatch
+ * must therefore be cheap. A job is published by bumping a generation
+ * counter; workers spin briefly and then park on an atomic wait (futex),
+ * so an oversubscribed run (more threads than cores) degrades gracefully
+ * instead of burning cycles in a spin loop.
+ */
+
+#ifndef UKSIM_SIMT_WORKER_POOL_HPP
+#define UKSIM_SIMT_WORKER_POOL_HPP
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uksim {
+
+/**
+ * Fixed-size pool running the same callable on every slot index.
+ *
+ * parallelFor(fn) invokes fn(0) on the calling thread and fn(1..N-1) on
+ * the workers, returning once all slots finished. The first exception
+ * thrown by any slot is rethrown on the caller.
+ */
+class WorkerPool
+{
+  public:
+    /** @p threads total slots, including the caller's slot 0 (>= 2). */
+    explicit WorkerPool(int threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    int threads() const { return numThreads_; }
+
+    /** Run @p fn(slot) for every slot; blocks until all are done. */
+    void parallelFor(const std::function<void(int)> &fn);
+
+  private:
+    void workerMain(int slot);
+    void runSlot(int slot);
+
+    int numThreads_;
+    const std::function<void(int)> *job_ = nullptr;
+    std::atomic<uint64_t> jobGen_{0};
+    std::atomic<int> pending_{0};
+    std::atomic<bool> stop_{false};
+    std::mutex errorMutex_;
+    std::exception_ptr error_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_WORKER_POOL_HPP

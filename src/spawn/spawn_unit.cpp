@@ -12,7 +12,7 @@ namespace uksim {
 
 SpawnUnit::SpawnUnit(const GpuConfig &config, const Program &program,
                      const SpawnMemoryLayout &layout,
-                     trace::EventTrace *trace, int smId)
+                     trace::EventBuffer *trace, int smId)
     : config_(config), program_(program), layout_(layout), trace_(trace),
       smId_(smId)
 {

@@ -55,11 +55,13 @@ class SpawnUnit
      * @param program program whose micro-kernels define the LUT lines.
      * @param layout spawn memory layout of this SM.
      * @param trace optional event sink (warp formation / flush events).
+     *        A per-SM buffer, not the shared ring: the unit may be
+     *        called from the parallel phase of the cycle engine.
      * @param smId owning SM id, used as the trace track.
      */
     SpawnUnit(const GpuConfig &config, const Program &program,
               const SpawnMemoryLayout &layout,
-              trace::EventTrace *trace = nullptr, int smId = 0);
+              trace::EventBuffer *trace = nullptr, int smId = 0);
 
     /**
      * Execute a spawn instruction for all active lanes.
@@ -124,7 +126,7 @@ class SpawnUnit
     const GpuConfig &config_;
     const Program &program_;
     const SpawnMemoryLayout &layout_;
-    trace::EventTrace *trace_;      ///< may be null (untraced unit tests)
+    trace::EventBuffer *trace_;     ///< may be null (untraced unit tests)
     const int smId_;
 
     std::vector<LutLine> lut_;

@@ -56,6 +56,16 @@ EventTrace::push(const Event &e)
     head_ = (head_ + 1) % ring_.size();
 }
 
+void
+EventBuffer::drainInto(EventTrace &master)
+{
+    if (pending_.empty())
+        return;
+    for (const Event &e : pending_)
+        master.append(e);
+    pending_.clear();
+}
+
 std::vector<Event>
 EventTrace::ordered() const
 {

@@ -82,6 +82,17 @@ class EventTrace
 #endif
     }
 
+    /** Append a pre-built record (EventBuffer drain). No-op if disabled. */
+    void append(const Event &e)
+    {
+#if !defined(UKSIM_DISABLE_EVENT_TRACE)
+        if (enabled_)
+            push(e);
+#else
+        (void)e;
+#endif
+    }
+
     /** Held events in recording order (oldest first). */
     std::vector<Event> ordered() const;
 
@@ -103,6 +114,51 @@ class EventTrace
     size_t count_ = 0;
     uint64_t dropped_ = 0;
     bool enabled_ = false;
+};
+
+/**
+ * Per-SM pending-event buffer for the parallel cycle engine.
+ *
+ * During the parallel phase of a cycle each SM (and its spawn unit)
+ * appends events here instead of touching the shared ring; the
+ * coordinator drains every buffer into the master trace in canonical
+ * SM-id order at the end of the cycle. This keeps record() race-free
+ * without locks and makes the master trace content — including which
+ * records the ring drops — independent of the host thread count.
+ *
+ * Recording is gated on the bound master's enabled flag, so a disabled
+ * trace still costs only one inlined branch.
+ */
+class EventBuffer
+{
+  public:
+    /** Bind the master trace whose enabled flag gates recording. */
+    void bind(const EventTrace *master) { master_ = master; }
+
+    /** Record one event (same signature as EventTrace::record). */
+    void record(EventKind kind, uint64_t cycle, int pid, int tid,
+                uint32_t pc, uint64_t arg, uint32_t dur = 0)
+    {
+#if defined(UKSIM_DISABLE_EVENT_TRACE)
+        (void)kind; (void)cycle; (void)pid; (void)tid;
+        (void)pc; (void)arg; (void)dur;
+#else
+        if (!master_ || !master_->enabled())
+            return;
+        pending_.push_back(Event{cycle, arg, pc, dur,
+                                 static_cast<int16_t>(pid),
+                                 static_cast<int16_t>(tid), kind});
+#endif
+    }
+
+    bool empty() const { return pending_.empty(); }
+
+    /** Append all pending events to @p master in order, then clear. */
+    void drainInto(EventTrace &master);
+
+  private:
+    const EventTrace *master_ = nullptr;
+    std::vector<Event> pending_;
 };
 
 } // namespace uksim::trace

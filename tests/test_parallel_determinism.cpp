@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Determinism contract of the parallel cycle engine: simulating with any
+ * number of host threads must produce exactly the bits of the serial
+ * engine — statistics (including the stall attribution and occupancy
+ * windows), per-SM counters, rendered images, and trace content.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "simt/worker_pool.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+using namespace uksim::harness;
+
+namespace {
+
+/**
+ * The CI matrix exports UKSIM_THREADS, which overrides
+ * GpuConfig::hostThreads inside Gpu. This suite sets thread counts
+ * explicitly per run, so neutralize the override for its duration.
+ */
+class ParallelDeterminism : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (const char *env = std::getenv("UKSIM_THREADS")) {
+            saved_ = env;
+            hadEnv_ = true;
+            unsetenv("UKSIM_THREADS");
+        }
+    }
+
+    void TearDown() override
+    {
+        if (hadEnv_)
+            setenv("UKSIM_THREADS", saved_.c_str(), 1);
+    }
+
+    static ExperimentConfig
+    baseExperiment(KernelKind kind, int hostThreads, bool traceEvents)
+    {
+        ExperimentConfig cfg;
+        cfg.sceneName = "conference";
+        cfg.sceneParams.detail = 4;
+        cfg.sceneParams.imageWidth = 32;
+        cfg.sceneParams.imageHeight = 32;
+        cfg.kernel = kind;
+        cfg.baseConfig = test::smallConfig();   // 4 SMs
+        cfg.baseConfig.hostThreads = hostThreads;
+        cfg.maxCycles = cfg.baseConfig.maxCycles;
+        cfg.traceEvents = traceEvents;
+        return cfg;
+    }
+
+    static ExperimentResult
+    runAt(const PreparedScene &scene, KernelKind kind, int hostThreads,
+          bool traceEvents = false)
+    {
+        return runExperiment(scene,
+                             baseExperiment(kind, hostThreads, traceEvents));
+    }
+
+    static void
+    expectIdentical(const ExperimentResult &serial,
+                    const ExperimentResult &threaded, int threads)
+    {
+        SCOPED_TRACE("hostThreads=" + std::to_string(threads));
+        // SimStats::operator== covers every counter, the full stall
+        // attribution, and the occupancy time series.
+        EXPECT_TRUE(serial.stats == threaded.stats);
+        ASSERT_EQ(serial.smStalls.size(), threaded.smStalls.size());
+        for (size_t i = 0; i < serial.smStalls.size(); i++)
+            EXPECT_TRUE(serial.smStalls[i] == threaded.smStalls[i])
+                << "per-SM stall counters differ on SM " << i;
+        ASSERT_EQ(serial.hits.size(), threaded.hits.size());
+        for (size_t i = 0; i < serial.hits.size(); i++) {
+            EXPECT_EQ(serial.hits[i].triId, threaded.hits[i].triId)
+                << "pixel " << i;
+            EXPECT_EQ(floatBits(serial.hits[i].t),
+                      floatBits(threaded.hits[i].t))
+                << "pixel " << i;
+        }
+    }
+
+  private:
+    std::string saved_;
+    bool hadEnv_ = false;
+};
+
+TEST_F(ParallelDeterminism, TraditionalKernelBitIdentical)
+{
+    ExperimentConfig probe =
+        baseExperiment(KernelKind::Traditional, 1, false);
+    PreparedScene scene = prepareScene(probe.sceneName, probe.sceneParams);
+
+    ExperimentResult serial = runAt(scene, KernelKind::Traditional, 1);
+    ASSERT_TRUE(serial.ranToCompletion);
+    for (int threads : {2, 4}) {
+        ExperimentResult r = runAt(scene, KernelKind::Traditional, threads);
+        ASSERT_TRUE(r.ranToCompletion);
+        expectIdentical(serial, r, threads);
+    }
+}
+
+TEST_F(ParallelDeterminism, MicroKernelBitIdentical)
+{
+    // Exercises the spawn unit, dynamic warp formation and spawn memory
+    // under sharded stepping.
+    ExperimentConfig probe =
+        baseExperiment(KernelKind::MicroKernel, 1, false);
+    PreparedScene scene = prepareScene(probe.sceneName, probe.sceneParams);
+
+    ExperimentResult serial = runAt(scene, KernelKind::MicroKernel, 1);
+    ASSERT_TRUE(serial.ranToCompletion);
+    for (int threads : {2, 4}) {
+        ExperimentResult r = runAt(scene, KernelKind::MicroKernel, threads);
+        ASSERT_TRUE(r.ranToCompletion);
+        expectIdentical(serial, r, threads);
+    }
+}
+
+TEST_F(ParallelDeterminism, TraceContentThreadCountIndependent)
+{
+    // The event buffers drain in SM-id order each cycle, so the master
+    // ring — including which records it drops — must not depend on the
+    // thread count. Chrome-trace JSON is a full serialization of the
+    // ring, so string equality is content equality.
+    ExperimentConfig probe =
+        baseExperiment(KernelKind::MicroKernel, 1, true);
+    PreparedScene scene = prepareScene(probe.sceneName, probe.sceneParams);
+
+    ExperimentResult serial =
+        runAt(scene, KernelKind::MicroKernel, 1, true);
+    ExperimentResult threaded =
+        runAt(scene, KernelKind::MicroKernel, 4, true);
+    EXPECT_FALSE(serial.chromeTrace.empty());
+    EXPECT_EQ(serial.chromeTrace, threaded.chromeTrace);
+    EXPECT_TRUE(serial.stats == threaded.stats);
+}
+
+TEST_F(ParallelDeterminism, StallInvariantHoldsUnderThreads)
+{
+    ExperimentConfig probe =
+        baseExperiment(KernelKind::Traditional, 4, false);
+    PreparedScene scene = prepareScene(probe.sceneName, probe.sceneParams);
+    ExperimentResult r = runAt(scene, KernelKind::Traditional, 4);
+    EXPECT_EQ(r.stats.stall.total(),
+              uint64_t(probe.baseConfig.numSms) * r.stats.cycles);
+}
+
+TEST(WorkerPool, RunsEverySlotAndPropagatesExceptions)
+{
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.threads(), 4);
+
+    std::vector<int> hits(4, 0);
+    for (int round = 0; round < 100; round++) {
+        pool.parallelFor([&](int slot) { hits[slot]++; });
+    }
+    for (int slot = 0; slot < 4; slot++)
+        EXPECT_EQ(hits[slot], 100);
+
+    EXPECT_THROW(pool.parallelFor([](int slot) {
+                     if (slot == 2)
+                         throw std::runtime_error("boom");
+                 }),
+                 std::runtime_error);
+
+    // The pool stays usable after an exception.
+    pool.parallelFor([&](int slot) { hits[slot]++; });
+    for (int slot = 0; slot < 4; slot++)
+        EXPECT_EQ(hits[slot], 101);
+}
+
+} // namespace
