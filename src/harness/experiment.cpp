@@ -5,6 +5,8 @@
 
 #include "harness/experiment.hpp"
 
+#include <climits>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -145,6 +147,13 @@ runExperiment(const PreparedScene &prepared, const ExperimentConfig &config)
     const SimStats &finalStats = r.stats;
     r.occupancy = gpu.occupancy();
     r.ranToCompletion = gpu.finished();
+    r.outcome = gpu.outcome();
+    r.faults = gpu.faults();
+    if (config.captureFlightRecord || r.outcome != RunOutcome::Completed) {
+        std::ostringstream dump;
+        gpu.dumpState(dump);
+        r.flightRecord = dump.str();
+    }
     r.ipc = finalStats.ipc();
     r.simtEfficiency = finalStats.simtEfficiency(gc.warpSize);
     r.mraysPerSec = finalStats.itemsPerSecond(gc.clockGhz) / 1e6;
@@ -175,20 +184,74 @@ runMimdBound(const PreparedScene &prepared, const GpuConfig &baseConfig,
     return runMimdIdeal(gpu, dev.rayCount);
 }
 
+std::optional<uint64_t>
+parseU64(const char *text)
+{
+    if (!text || *text == '\0')
+        return std::nullopt;
+    uint64_t value = 0;
+    for (const char *p = text; *p; p++) {
+        if (*p < '0' || *p > '9')
+            return std::nullopt;
+        const uint64_t digit = uint64_t(*p - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return std::nullopt;    // overflow
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+std::optional<int>
+parseInt(const char *text)
+{
+    std::optional<uint64_t> v = parseU64(text);
+    if (!v || *v > uint64_t(INT_MAX))
+        return std::nullopt;
+    return static_cast<int>(*v);
+}
+
+namespace {
+
+uint64_t
+envU64(const char *name, const char *value)
+{
+    std::optional<uint64_t> v = parseU64(value);
+    if (!v) {
+        throw std::invalid_argument(std::string(name) +
+                                    ": malformed numeric value '" +
+                                    value + "'");
+    }
+    return *v;
+}
+
+int
+envInt(const char *name, const char *value)
+{
+    std::optional<int> v = parseInt(value);
+    if (!v) {
+        throw std::invalid_argument(std::string(name) +
+                                    ": malformed numeric value '" +
+                                    value + "'");
+    }
+    return *v;
+}
+
+} // anonymous namespace
+
 void
 applyEnvOverrides(ExperimentConfig &config)
 {
     if (const char *v = std::getenv("UKSIM_CYCLES"))
-        config.maxCycles = std::strtoull(v, nullptr, 10);
+        config.maxCycles = envU64("UKSIM_CYCLES", v);
     if (const char *v = std::getenv("UKSIM_DETAIL"))
-        config.sceneParams.detail = std::atoi(v);
+        config.sceneParams.detail = envInt("UKSIM_DETAIL", v);
     if (const char *v = std::getenv("UKSIM_RES")) {
-        int res = std::atoi(v);
+        int res = envInt("UKSIM_RES", v);
         config.sceneParams.imageWidth = res;
         config.sceneParams.imageHeight = res;
     }
     if (const char *v = std::getenv("UKSIM_SMS"))
-        config.baseConfig.numSms = std::atoi(v);
+        config.baseConfig.numSms = envInt("UKSIM_SMS", v);
 }
 
 std::string

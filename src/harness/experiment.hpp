@@ -8,7 +8,9 @@
 #ifndef UKSIM_HARNESS_EXPERIMENT_HPP
 #define UKSIM_HARNESS_EXPERIMENT_HPP
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,9 @@ struct ExperimentConfig {
     bool traceEvents = false;           ///< record the structured event trace
     size_t traceCapacity = trace::EventTrace::kDefaultCapacity;
     bool exportCounters = false;        ///< fill counterCsv / counterJson
+    /// Always fill ExperimentResult::flightRecord, even on a clean
+    /// Completed run (it is captured automatically otherwise).
+    bool captureFlightRecord = false;
 
     /** Human-readable configuration label ("µ-kernel Warp", ...). */
     std::string label() const;
@@ -63,6 +68,12 @@ struct ExperimentResult {
     SimStats stats;
     Occupancy occupancy;
     bool ranToCompletion = false;   ///< all rays finished within maxCycles
+    /// Completed / CycleLimit / Deadlock / Faulted (fault.hpp).
+    RunOutcome outcome = RunOutcome::Completed;
+    /// Guest faults recorded by the run (nonempty under Trap/HaltGrid).
+    std::vector<SimFault> faults;
+    /// Flight-recorder JSON; captured whenever outcome != Completed.
+    std::string flightRecord;
     double ipc = 0.0;
     double mraysPerSec = 0.0;       ///< completed rays/s at the shader clock
     double simtEfficiency = 0.0;
@@ -100,9 +111,21 @@ MimdResult runMimdBound(const PreparedScene &scene,
                         const rt::SceneParams &params);
 
 /**
+ * Strict full-string decimal parse with overflow checking: returns
+ * nullopt for empty strings, trailing garbage ("12x"), signs, or values
+ * that do not fit. Shared by the CLI tools and env-override parsing so
+ * malformed numeric flags are rejected loudly instead of truncated.
+ */
+std::optional<uint64_t> parseU64(const char *text);
+/** parseU64 restricted to [0, INT_MAX]. */
+std::optional<int> parseInt(const char *text);
+
+/**
  * Apply environment overrides so long benches can be scaled down:
  * UKSIM_CYCLES (max simulated cycles), UKSIM_DETAIL (scene detail),
  * UKSIM_RES (square image resolution), UKSIM_SMS (SM count).
+ * @throws std::invalid_argument naming the variable when a set value is
+ *         not a well-formed in-range decimal number.
  */
 void applyEnvOverrides(ExperimentConfig &config);
 

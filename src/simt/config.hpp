@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "simt/fault.hpp"
+
 namespace uksim {
 
 /** How the GPU dispatches launch-time work onto SMs (Sec. VI). */
@@ -87,6 +89,25 @@ struct GpuConfig {
 
     /// Static µ-kernel verification run by Gpu::loadProgram (verifier.hpp).
     VerifyMode verifyPrograms = VerifyMode::Off;
+
+    // --- Fault handling (fault.hpp) -----------------------------------------
+    /// What applying a guest fault does: Throw (legacy, default), Trap
+    /// (kill the warp, mark the run Faulted, keep going) or HaltGrid.
+    FaultPolicy faultPolicy = FaultPolicy::Throw;
+    /**
+     * Forward-progress watchdog: classify the run as Deadlock when no
+     * warp issues, no memory wake-up is delivered and none is in flight
+     * for this many consecutive cycles. 0 (default) disables the
+     * watchdog entirely — observation-neutral.
+     */
+    uint64_t watchdogCycles = 0;
+    /**
+     * Fault-injection knob (tests only): when nonzero, clamp every
+     * spawn unit's formation-region ring to at most this many regions so
+     * SpawnRegionExhausted can be forced deterministically on small
+     * kernels. 0 = real layout-derived ring size.
+     */
+    uint32_t injectMaxFormationRegions = 0;
 
     // --- Run control ------------------------------------------------------------
     uint64_t maxCycles = 300000;        ///< paper simulates first 300k cycles

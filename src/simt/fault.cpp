@@ -1,0 +1,116 @@
+#include "simt/fault.hpp"
+
+#include <sstream>
+
+namespace uksim {
+
+const char *faultCodeName(FaultCode code)
+{
+    switch (code) {
+    case FaultCode::None: return "none";
+    case FaultCode::PcOutOfRange: return "pc_out_of_range";
+    case FaultCode::BadOperandKind: return "bad_operand_kind";
+    case FaultCode::BadMemSpace: return "bad_mem_space";
+    case FaultCode::MemOutOfBounds: return "mem_out_of_bounds";
+    case FaultCode::SpawnRegionExhausted: return "spawn_region_exhausted";
+    case FaultCode::SpawnNoLutLine: return "spawn_no_lut_line";
+    case FaultCode::SpawnLutOverflow: return "spawn_lut_overflow";
+    }
+    return "unknown";
+}
+
+const char *faultCodeHint(FaultCode code)
+{
+    switch (code) {
+    case FaultCode::None:
+        return "no fault";
+    case FaultCode::PcOutOfRange:
+        return "warp ran off the end of the program; check for a missing "
+               "exit or a branch to a label outside the kernel";
+    case FaultCode::BadOperandKind:
+        return "corrupt instruction image: operand kind is not one the "
+               "machine decodes";
+    case FaultCode::BadMemSpace:
+        return "memory instruction names a space the machine does not "
+               "model on this path";
+    case FaultCode::MemOutOfBounds:
+        return "device memory access outside its backing store; check "
+               "buffer sizes and address arithmetic";
+    case FaultCode::SpawnRegionExhausted:
+        return "spawn memory formation region exhausted; shrink "
+               ".spawn_state, spawn fewer threads, or grow "
+               "spawnMemFormationEntries";
+    case FaultCode::SpawnNoLutLine:
+        return "spawn to pc without a LUT line; spawn targets must be "
+               "declared .microkernel entries";
+    case FaultCode::SpawnLutOverflow:
+        return "more micro-kernels than the spawn LUT can hold; grow "
+               "spawnLutBytes or merge micro-kernels";
+    }
+    return "unknown fault";
+}
+
+const char *faultPolicyName(FaultPolicy policy)
+{
+    switch (policy) {
+    case FaultPolicy::Throw: return "throw";
+    case FaultPolicy::Trap: return "trap";
+    case FaultPolicy::HaltGrid: return "halt_grid";
+    }
+    return "unknown";
+}
+
+const char *runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+    case RunOutcome::Completed: return "completed";
+    case RunOutcome::CycleLimit: return "cycle_limit";
+    case RunOutcome::Deadlock: return "deadlock";
+    case RunOutcome::Faulted: return "faulted";
+    }
+    return "unknown";
+}
+
+std::string SimFault::describe() const
+{
+    std::ostringstream os;
+    // Keep the legacy message phrases first so call sites (and tests)
+    // matching on the old std::runtime_error text keep working.
+    switch (code) {
+    case FaultCode::None:
+        os << "no fault";
+        break;
+    case FaultCode::PcOutOfRange:
+        os << "warp ran off the end of the program";
+        break;
+    case FaultCode::BadOperandKind:
+        os << "bad operand kind " << addr;
+        break;
+    case FaultCode::BadMemSpace:
+        os << "bad memory space " << addr;
+        break;
+    case FaultCode::MemOutOfBounds:
+        os << "memory access out of bounds at addr " << addr;
+        break;
+    case FaultCode::SpawnRegionExhausted:
+        os << "spawn memory formation region exhausted";
+        break;
+    case FaultCode::SpawnNoLutLine:
+        os << "spawn to pc without a LUT line";
+        break;
+    case FaultCode::SpawnLutOverflow:
+        os << "more micro-kernels than the spawn LUT can hold";
+        break;
+    }
+    os << " [" << faultCodeName(code) << " cycle=" << cycle;
+    if (smId >= 0)
+        os << " sm=" << smId;
+    if (warpSlot >= 0)
+        os << " warp=" << warpSlot;
+    if (lane >= 0)
+        os << " lane=" << lane;
+    os << " pc=" << pc << "]";
+    return os.str();
+}
+
+} // namespace uksim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Structured guest-fault model.
+ *
+ * Guest misbehavior at runtime — a warp running off the end of the
+ * program, a spawn to a PC with no LUT line, spawn formation-region
+ * exhaustion, an out-of-bounds device memory access, or a corrupt
+ * operand/space encoding — is reported as a typed SimFault record
+ * (fault code, cycle, SM/warp/lane, PC, faulting address) instead of a
+ * bare std::runtime_error with no machine state attached.
+ *
+ * Faults are detected inside the parallel phase of the cycle engine but
+ * only *applied* by the coordinator in canonical SM-id order during the
+ * serial merge phase, so fault handling is deterministic and
+ * bit-identical at any host thread count. GpuConfig::faultPolicy picks
+ * what applying a fault means:
+ *
+ *  - Throw:    raise a GuestFault exception (legacy behavior, default);
+ *  - Trap:     kill the faulting warp, mark the run Faulted, keep
+ *              simulating — the rest of the grid still drains;
+ *  - HaltGrid: stop the simulation cleanly at the end of the faulting
+ *              cycle with all machine state intact for post-mortem.
+ */
+
+#ifndef UKSIM_SIMT_FAULT_HPP
+#define UKSIM_SIMT_FAULT_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace uksim {
+
+/** What went wrong inside the guest program. */
+enum class FaultCode : uint8_t {
+    None = 0,
+    /// A warp's PC reached or passed the end of the program (fall off
+    /// the end, or a poisoned branch/reconvergence target).
+    PcOutOfRange,
+    /// An instruction carried an operand kind the decoder does not
+    /// recognize (corrupt or hand-mutated program image).
+    BadOperandKind,
+    /// A memory instruction named a space the machine does not model.
+    BadMemSpace,
+    /// A load/store/atomic address fell outside its backing store.
+    MemOutOfBounds,
+    /// The spawn-memory formation-region ring had no free region for a
+    /// forming warp (Sec. IV-A2 sizing violated, or injected).
+    SpawnRegionExhausted,
+    /// `spawn` targeted a PC with no spawn-LUT line (not a declared
+    /// micro-kernel entry).
+    SpawnNoLutLine,
+    /// The program declares more micro-kernels than the spawn LUT holds
+    /// (load-time fault: raised by loadProgram, cycle 0).
+    SpawnLutOverflow,
+};
+
+constexpr int kNumFaultCodes = 8;
+
+/** Stable lowercase identifier ("pc_out_of_range", ...). */
+const char *faultCodeName(FaultCode code);
+
+/** One-line likely-cause hint for diagnostics and the README table. */
+const char *faultCodeHint(FaultCode code);
+
+/** What applying a guest fault does (GpuConfig::faultPolicy). */
+enum class FaultPolicy : uint8_t {
+    Throw,      ///< raise GuestFault (legacy, default)
+    Trap,       ///< kill the faulting warp, mark run Faulted, continue
+    HaltGrid,   ///< stop cleanly at end of the faulting cycle
+};
+
+const char *faultPolicyName(FaultPolicy policy);
+
+/**
+ * How a simulation ended. Ordered by severity so merged views
+ * (SimStats::operator+=) keep the worst outcome.
+ */
+enum class RunOutcome : uint8_t {
+    Completed = 0,  ///< grid drained inside maxCycles, no faults
+    CycleLimit,     ///< maxCycles elapsed with work still in flight
+    Deadlock,       ///< watchdog: no forward progress for N cycles
+    Faulted,        ///< at least one guest fault was recorded
+};
+
+const char *runOutcomeName(RunOutcome outcome);
+
+/** One recorded guest fault, with full attribution. */
+struct SimFault {
+    FaultCode code = FaultCode::None;
+    uint64_t cycle = 0;
+    int smId = -1;
+    int warpSlot = -1;      ///< -1 when not warp-specific (chip level)
+    int lane = -1;          ///< -1 when warp-wide
+    uint32_t pc = 0;        ///< PC of the faulting instruction
+    uint64_t addr = 0;      ///< faulting address / spawn target / raw kind
+
+    /** Human-readable one-line description with attribution. */
+    std::string describe() const;
+
+    bool operator==(const SimFault &other) const = default;
+};
+
+/**
+ * Exception carrying a SimFault. Derives from std::runtime_error so
+ * pre-fault-model call sites catching the legacy type keep working.
+ */
+class GuestFault : public std::runtime_error
+{
+  public:
+    explicit GuestFault(const SimFault &fault)
+        : std::runtime_error(fault.describe()), fault_(fault)
+    {
+    }
+
+    const SimFault &fault() const { return fault_; }
+
+  private:
+    SimFault fault_;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_FAULT_HPP

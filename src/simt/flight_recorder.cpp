@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Post-mortem flight recorder: Gpu::dumpState.
+ *
+ * Serializes the full machine state as JSON for fault / deadlock /
+ * cycle-limit post-mortems: run outcome and recorded faults, chip-wide
+ * stall attribution, per-SM warp states with SIMT-stack snapshots, spawn
+ * LUT / formation-region / FIFO occupancy, and the tail of the event
+ * ring (when tracing was enabled). Consumed by tools/ukdump and the
+ * harness; schema documented in DESIGN.md ("Fault handling").
+ */
+
+#include <ostream>
+
+#include "simt/gpu.hpp"
+
+namespace uksim {
+
+namespace {
+
+constexpr int kDumpVersion = 1;
+/// Tail of the event ring included in the dump.
+constexpr size_t kDumpLastEvents = 256;
+
+/// Lowercase hex with 0x prefix (lane masks).
+void
+hexMask(std::ostream &os, uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    char buf[16];
+    int n = 0;
+    do {
+        buf[n++] = digits[v & 0xf];
+        v >>= 4;
+    } while (v);
+    os << "\"0x";
+    while (n)
+        os << buf[--n];
+    os << "\"";
+}
+
+} // anonymous namespace
+
+void
+Gpu::dumpState(std::ostream &os) const
+{
+    const SimStats &chip = stats();
+
+    os << "{\n";
+    os << "  \"version\": " << kDumpVersion << ",\n";
+    os << "  \"cycle\": " << cycle_ << ",\n";
+    os << "  \"outcome\": \"" << runOutcomeName(outcome()) << "\",\n";
+    os << "  \"config\": {\n";
+    os << "    \"num_sms\": " << config_.numSms << ",\n";
+    os << "    \"warp_size\": " << config_.warpSize << ",\n";
+    os << "    \"max_cycles\": " << config_.maxCycles << ",\n";
+    os << "    \"fault_policy\": \""
+       << faultPolicyName(config_.faultPolicy) << "\",\n";
+    os << "    \"watchdog_cycles\": " << config_.watchdogCycles << "\n";
+    os << "  },\n";
+    os << "  \"occupancy\": {\n";
+    os << "    \"warps_per_sm\": " << occupancy_.warpsPerSm << ",\n";
+    os << "    \"threads_per_sm\": " << occupancy_.threadsPerSm << ",\n";
+    os << "    \"limiter\": \"" << occupancy_.limiter << "\"\n";
+    os << "  },\n";
+
+    os << "  \"faults\": [";
+    for (size_t i = 0; i < faults_.size(); i++) {
+        const SimFault &f = faults_[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"code\": \"" << faultCodeName(f.code)
+           << "\", \"cycle\": " << f.cycle << ", \"sm\": " << f.smId
+           << ", \"warp\": " << f.warpSlot << ", \"lane\": " << f.lane
+           << ", \"pc\": " << f.pc << ", \"addr\": " << f.addr
+           << ", \"hint\": \"" << faultCodeHint(f.code) << "\"}";
+    }
+    os << (faults_.empty() ? "],\n" : "\n  ],\n");
+
+    os << "  \"stall\": {";
+    for (int r = 0; r < trace::kNumStallReasons; r++) {
+        os << (r ? ", " : "") << "\""
+           << trace::stallReasonName(static_cast<trace::StallReason>(r))
+           << "\": " << chip.stall.counts[r];
+    }
+    os << "},\n";
+
+    os << "  \"sms\": [";
+    for (size_t s = 0; s < sms_.size(); s++) {
+        const Sm &sm = *sms_[s];
+        os << (s ? ",\n    " : "\n    ") << "{\"id\": " << sm.id()
+           << ", \"live_warps\": " << sm.liveWarps();
+        if (sm.spawnEnabled())
+            os << ", \"free_state_slots\": " << sm.freeStateSlots();
+        os << ", \"warps\": [";
+        bool firstWarp = true;
+        for (int wslot = 0; wslot < sm.residentWarps(); wslot++) {
+            const Warp &w = sm.warp(wslot);
+            if (!w.valid)
+                continue;
+            os << (firstWarp ? "\n      " : ",\n      ");
+            firstWarp = false;
+            os << "{\"slot\": " << w.hwSlot << ", \"dynamic\": "
+               << (w.dynamic ? "true" : "false")
+               << ", \"block\": " << w.blockId
+               << ", \"ready_at\": " << w.readyAt
+               << ", \"outstanding_mem\": " << w.outstandingMem
+               << ", \"waiting_barrier\": "
+               << (w.waitingBarrier ? "true" : "false")
+               << ", \"faulted\": " << (w.faulted ? "true" : "false")
+               << ", \"stack\": [";
+            const auto &entries = w.stack.entries();
+            for (size_t e = 0; e < entries.size(); e++) {
+                os << (e ? ", " : "") << "{\"pc\": " << entries[e].pc
+                   << ", \"rpc\": " << entries[e].rpc << ", \"mask\": ";
+                hexMask(os, entries[e].mask);
+                os << "}";
+            }
+            os << "]}";
+        }
+        os << (firstWarp ? "]" : "\n    ]");
+        if (sm.spawnEnabled()) {
+            const SpawnUnit &unit = *sm.spawnUnit();
+            os << ", \"spawn\": {\"fifo_warps\": " << unit.fifoSize()
+               << ", \"partial_threads\": " << unit.partialThreadCount()
+               << ", \"free_regions\": " << unit.freeRegionCount()
+               << ", \"num_regions\": " << unit.numRegions()
+               << ", \"lut\": [";
+            const int lines =
+                static_cast<int>(program_.microKernels.size());
+            for (int l = 0; l < lines; l++) {
+                const SpawnUnit::LutLine &line = unit.lutLine(l);
+                os << (l ? ", " : "") << "{\"pc\": " << line.pc
+                   << ", \"count\": " << line.count << "}";
+            }
+            os << "]}";
+        }
+        os << "}";
+    }
+    os << (sms_.empty() ? "],\n" : "\n  ],\n");
+
+    // Tail of the event ring (empty unless tracing was enabled).
+    os << "  \"events\": [";
+    const std::vector<trace::Event> events = trace_.ordered();
+    const size_t first =
+        events.size() > kDumpLastEvents ? events.size() - kDumpLastEvents
+                                        : 0;
+    for (size_t i = first; i < events.size(); i++) {
+        const trace::Event &e = events[i];
+        os << (i > first ? ",\n    " : "\n    ");
+        os << "{\"kind\": \"" << trace::eventKindName(e.kind)
+           << "\", \"cycle\": " << e.cycle << ", \"pid\": " << e.pid
+           << ", \"tid\": " << e.tid << ", \"pc\": " << e.pc
+           << ", \"arg\": " << e.arg << "}";
+    }
+    os << (events.size() == first ? "]\n" : "\n  ]\n");
+    os << "}\n";
+}
+
+} // namespace uksim

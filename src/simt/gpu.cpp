@@ -144,6 +144,14 @@ Gpu::loadProgram(Program program)
     uint64_t localBytes = uint64_t(program_.resources.localBytes) *
                           config_.numSms * config_.maxThreadsPerSm;
     local_.resize(localBytes);
+
+    // Fresh program, fresh fault / watchdog state.
+    faults_.clear();
+    flushFaulted_.assign(config_.numSms, 0);
+    haltRequested_ = false;
+    deadlocked_ = false;
+    lastWarpIssueTotal_ = 0;
+    noProgressCycles_ = 0;
 }
 
 uint32_t
@@ -266,7 +274,40 @@ Gpu::fillSm(Sm &sm)
     //    otherwise never make progress again.
     if (sm.spawnEnabled() && sm.liveWarps() == 0 &&
         sm.spawnUnit()->fifoEmpty() && sm.spawnUnit()->hasPartialWarps()) {
+        if (sm.spawnUnit()->freeRegionCount() == 0) {
+            // The flush needs one fresh overflow region and the ring is
+            // dry: a chip-level exhaustion fault, not an abort.
+            handleFlushExhaustion(sm);
+            return;
+        }
         sm.launchDynamicWarp(sm.spawnUnit()->flushLowestPcPartial(cycle_));
+    }
+}
+
+void
+Gpu::handleFlushExhaustion(Sm &sm)
+{
+    const int smId = sm.id();
+    if (flushFaulted_[smId])
+        return;
+    flushFaulted_[smId] = 1;
+
+    SimFault f;
+    f.code = FaultCode::SpawnRegionExhausted;
+    f.cycle = cycle_;
+    f.smId = smId;
+    faults_.push_back(f);
+    switch (config_.faultPolicy) {
+    case FaultPolicy::Throw:
+        throw GuestFault(f);
+    case FaultPolicy::Trap:
+        // Abandon the parked partial warps so the SM reports drained
+        // instead of spinning on a flush that can never happen.
+        sm.spawnUnit()->dropPartialWarps();
+        break;
+    case FaultPolicy::HaltGrid:
+        haltRequested_ = true;
+        break;
     }
 }
 
@@ -294,10 +335,12 @@ void
 Gpu::stepCycle()
 {
     // --- Coordinator: wake-ups and warp placement (serial) -------------------
+    bool woke = false;
     while (!events_.empty() && events_.top().cycle <= cycle_) {
         MemEvent e = events_.top();
         events_.pop();
         sms_[e.smId]->memWakeup(e.warpSlot, cycle_);
+        woke = true;
     }
     for (auto &sm : sms_)
         fillSm(*sm);
@@ -320,7 +363,52 @@ Gpu::stepCycle()
         sm->serviceDeferredMem(cycle_);
     }
 
+    // Faults detected this cycle (parallel phase or deferred replay) are
+    // applied here, in SM-id order — deterministic at any thread count.
+    processFaults();
+
+    // --- Forward-progress watchdog (off by default) --------------------------
+    if (config_.watchdogCycles > 0) {
+        uint64_t issues = 0;
+        for (const auto &sm : sms_)
+            issues += sm->localStats().warpIssues;
+        // An in-flight memory event is pending progress, so long DRAM
+        // waits (hundreds of idle cycles) never trip a small watchdog.
+        const bool progress =
+            woke || issues != lastWarpIssueTotal_ || !events_.empty();
+        lastWarpIssueTotal_ = issues;
+        if (progress) {
+            noProgressCycles_ = 0;
+        } else if (++noProgressCycles_ >= config_.watchdogCycles &&
+                   !finished()) {
+            deadlocked_ = true;
+        }
+    }
+
     cycle_++;
+}
+
+void
+Gpu::processFaults()
+{
+    for (auto &sm : sms_) {
+        if (!sm->hasPendingFaults())
+            continue;
+        for (const SimFault &f : sm->takeFaults()) {
+            faults_.push_back(f);
+            switch (config_.faultPolicy) {
+            case FaultPolicy::Throw:
+                throw GuestFault(f);
+            case FaultPolicy::Trap:
+                if (f.warpSlot >= 0)
+                    sm->killWarp(f.warpSlot, cycle_);
+                break;
+            case FaultPolicy::HaltGrid:
+                haltRequested_ = true;
+                break;
+            }
+        }
+    }
 }
 
 const SimStats &
@@ -328,10 +416,24 @@ Gpu::run()
 {
     if (!launched_)
         throw std::runtime_error("run before launch");
-    while (cycle_ < config_.maxCycles && !finished())
+    while (cycle_ < config_.maxCycles && !finished() && !haltRequested_ &&
+           !deadlocked_) {
         stepCycle();
+    }
     ranToCompletion_ = finished();
     return stats();
+}
+
+RunOutcome
+Gpu::outcome() const
+{
+    if (!faults_.empty())
+        return RunOutcome::Faulted;
+    if (deadlocked_)
+        return RunOutcome::Deadlock;
+    if (finished())
+        return RunOutcome::Completed;
+    return RunOutcome::CycleLimit;
 }
 
 const SimStats &
@@ -349,6 +451,7 @@ Gpu::refreshStats() const
     for (const auto &sm : sms_)
         merged += sm->localStats();
     merged.cycles = cycle_;
+    merged.outcome = outcome();
     merged.dynamicWarpsFormed = 0;
     merged.partialWarpFlushes = 0;
     for (const auto &sm : sms_) {

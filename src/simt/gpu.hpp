@@ -20,6 +20,7 @@
 #define UKSIM_SIMT_GPU_HPP
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -85,6 +86,29 @@ class Gpu : public SmServices
     bool finished() const;
     uint64_t cycle() const { return cycle_; }
 
+    // --- Fault handling and post-mortem (fault.hpp) -------------------------
+    /**
+     * How the run ended so far: Faulted if any guest fault was recorded,
+     * else Deadlock if the watchdog tripped, else Completed when the
+     * grid has drained, else CycleLimit.
+     */
+    RunOutcome outcome() const;
+
+    /** Every guest fault recorded so far, in application order. */
+    const std::vector<SimFault> &faults() const { return faults_; }
+
+    /** Watchdog verdict (requires GpuConfig::watchdogCycles > 0). */
+    bool deadlocked() const { return deadlocked_; }
+
+    /**
+     * Post-mortem flight recorder: write a JSON snapshot of the machine
+     * (per-SM warp states with SIMT-stack entries, spawn LUT / region /
+     * FIFO occupancy, stall attribution, recorded faults, the last
+     * entries of the event ring) to @p os. Valid at any point; meant for
+     * fault / deadlock / cycle-limit post-mortems (flight_recorder.cpp).
+     */
+    void dumpState(std::ostream &os) const;
+
     /**
      * Chip-wide statistics: the SM-id-ordered sum of the per-SM shards
      * plus the chip counters (cycle count, spawn-unit totals). Merged on
@@ -136,6 +160,13 @@ class Gpu : public SmServices
 
     void fillSm(Sm &sm);
     void refreshStats() const;
+    /**
+     * Serial-phase fault pass: collect queued faults in SM-id order and
+     * apply the configured policy (throw / kill warp / halt grid).
+     */
+    void processFaults();
+    /** Flush path found the formation ring dry: chip-level fault. */
+    void handleFlushExhaustion(Sm &sm);
 
     GpuConfig config_;
     Program program_;
@@ -168,6 +199,18 @@ class Gpu : public SmServices
     uint32_t nextTid_ = 0;
     bool launched_ = false;
     bool ranToCompletion_ = false;
+
+    // --- Fault handling ------------------------------------------------------
+    /// Applied guest faults, in deterministic SM-id / cycle order.
+    std::vector<SimFault> faults_;
+    /// Per-SM once-latch for the flush-exhaustion chip fault.
+    std::vector<uint8_t> flushFaulted_;
+    bool haltRequested_ = false;    ///< HaltGrid policy tripped
+
+    // --- Forward-progress watchdog (off when watchdogCycles == 0) ----------
+    uint64_t lastWarpIssueTotal_ = 0;
+    uint64_t noProgressCycles_ = 0;
+    bool deadlocked_ = false;
 };
 
 } // namespace uksim

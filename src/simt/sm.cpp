@@ -141,6 +141,7 @@ Sm::launchInitialWarp(std::span<const uint32_t> tids, uint32_t blockId)
     slot->readyAt = 0;
     slot->outstandingMem = 0;
     slot->waitingBarrier = false;
+    slot->faulted = false;
 
     uint64_t mask = 0;
     for (size_t lane = 0; lane < tids.size(); lane++) {
@@ -188,6 +189,7 @@ Sm::launchDynamicWarp(const FormedWarp &formed)
     slot->readyAt = 0;
     slot->outstandingMem = 0;
     slot->waitingBarrier = false;
+    slot->faulted = false;
 
     uint64_t mask = 0;
     for (int lane = 0; lane < formed.threadCount; lane++) {
@@ -227,7 +229,7 @@ Sm::specialValue(SpecialReg sreg, const Warp &w, int lane) const
 }
 
 uint32_t
-Sm::readOperand(const Operand &op, const Warp &w, int lane) const
+Sm::readOperand(const Operand &op, const Warp &w, int lane)
 {
     switch (op.kind) {
       case OperandKind::Reg:
@@ -237,8 +239,94 @@ Sm::readOperand(const Operand &op, const Warp &w, int lane) const
       case OperandKind::Special:
         return specialValue(op.sreg, w, lane);
       default:
-        assert(false && "bad operand kind");
+        // Corrupt instruction image: a guest fault, never a silent zero
+        // (this used to be a release-unsafe assert).
+        raiseFault(FaultCode::BadOperandKind, w.hwSlot, lane,
+                   uint64_t(static_cast<uint8_t>(op.kind)));
         return 0;
+    }
+}
+
+void
+Sm::raiseFault(FaultCode code, int warpSlot, int lane, uint64_t addr)
+{
+    SimFault f;
+    f.code = code;
+    f.cycle = faultCycle_;
+    f.smId = id_;
+    f.warpSlot = warpSlot;
+    f.lane = lane;
+    f.pc = faultPc_;
+    f.addr = addr;
+    pendingFaults_.push_back(f);
+    if (warpSlot >= 0)
+        warps_[warpSlot].faulted = true;
+}
+
+std::vector<SimFault>
+Sm::takeFaults()
+{
+    std::vector<SimFault> out = std::move(pendingFaults_);
+    pendingFaults_.clear();
+    return out;
+}
+
+void
+Sm::killWarp(int warpSlot, uint64_t now)
+{
+    Warp &w = warps_.at(warpSlot);
+    if (!w.valid)
+        return;
+    // A warp faults while issuing (or replaying its own deferred memory
+    // access), so it can never be parked on an off-chip wait.
+    assert(w.outstandingMem == 0);
+
+    if (spawnEnabled()) {
+        // Dead threads that still own a spawn-state slot release it;
+        // lanes that already spawned handed ownership to the child.
+        // (Lanes that exited earlier hold the sentinel.)
+        for (LaneInfo &li : w.lanes) {
+            if (!li.spawned && li.stateSlot != 0xffffffffu) {
+                freeStateSlots_.push_back(li.stateSlot);
+                li.stateSlot = 0xffffffffu;
+            }
+        }
+    }
+
+    const bool wasAtBarrier = w.waitingBarrier;
+    w.valid = false;
+    w.faulted = false;
+    w.waitingBarrier = false;
+    w.stack.reset(0, 0);
+
+    if (!w.dynamic) {
+        ResidentBlock *blk = findBlock(w.blockId);
+        if (blk) {
+            blk->warpsLive--;
+            if (wasAtBarrier)
+                blk->warpsAtBarrier--;
+            if (blk->warpsLive <= 0) {
+                for (size_t i = 0; i < blocks_.size(); i++) {
+                    if (&blocks_[i] == blk) {
+                        blocks_.erase(blocks_.begin() + i);
+                        blk = nullptr;
+                        break;
+                    }
+                }
+            } else if (blk->warpsAtBarrier >= blk->warpsLive) {
+                // The dead warp can never reach the barrier its block
+                // partners are parked at: release them so the grid
+                // drains instead of hanging.
+                for (Warp &other : warps_) {
+                    if (other.valid && other.blockId == w.blockId &&
+                        other.waitingBarrier) {
+                        other.waitingBarrier = false;
+                        other.readyAt = now + 1;
+                    }
+                }
+                blk->warpsAtBarrier = 0;
+            }
+        }
     }
 }
 
@@ -284,6 +372,7 @@ Sm::classifyIdle() const
 void
 Sm::step(uint64_t now)
 {
+    faultCycle_ = now;
     if (warps_.empty()) {
         recordStall(trace::StallReason::NoWarps);
         return;
@@ -312,8 +401,13 @@ void
 Sm::issue(Warp &w, uint64_t now)
 {
     const uint32_t pc = w.stack.pc();
-    if (pc >= decoded_.size())
-        throw std::runtime_error("warp ran off the end of the program");
+    faultPc_ = pc;
+    if (pc >= decoded_.size()) {
+        // Fall off the end of the program or a poisoned branch target:
+        // freeze the warp and let the coordinator apply the policy.
+        raiseFault(FaultCode::PcOutOfRange, w.hwSlot, -1, pc);
+        return;
+    }
     const DecodedInst &d = decoded_.at(pc);
     const uint64_t mask = w.stack.activeMask();
 
@@ -473,7 +567,7 @@ Sm::execMemory(Warp &w, const DecodedInst &d, uint64_t commitMask,
         // lane addresses captured above stay valid.
         assert(pendingMem_.inst == nullptr &&
                "one memory instruction per SM per cycle");
-        pendingMem_ = {&d, w.hwSlot, commitMask};
+        pendingMem_ = {&d, w.hwSlot, commitMask, w.stack.pc()};
         return;
     }
 
@@ -498,11 +592,19 @@ Sm::execOnChipMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
       case MemSpace::Param: store = &services_.constStore(); break;
       case MemSpace::Shared: store = &shared_; break;
       case MemSpace::Spawn: store = &spawnStore_; break;
-      default: assert(false && "off-chip space in on-chip path"); return;
+      default:
+        // Corrupt space encoding: a guest fault, never a silent no-op
+        // (this used to be a release-unsafe assert).
+        raiseFault(FaultCode::BadMemSpace, w.hwSlot, -1,
+                   uint64_t(static_cast<uint8_t>(inst.space)));
+        return;
     }
 
+    int curLane = -1;
+    try {
     for (uint64_t m = commitMask; m; m &= m - 1) {
         const int lane = std::countr_zero(m);
+        curLane = lane;
         const int slot = threadSlot(w, lane);
         const uint64_t addr = laneAddrs_[lane];
         if (isAtomic) {
@@ -544,6 +646,13 @@ Sm::execOnChipMemory(Warp &w, const Instruction &inst, uint64_t commitMask,
                 writeReg(slot, inst.dst + e, value);
             }
         }
+    }
+    } catch (const MemoryFault &) {
+        // Lanes before the faulting one already committed; the warp is
+        // frozen here and the coordinator applies the policy.
+        raiseFault(FaultCode::MemOutOfBounds, w.hwSlot, curLane,
+                   curLane >= 0 ? laneAddrs_[curLane] : 0);
+        return;
     }
 
     // --- Timing ---------------------------------------------------------------
@@ -597,6 +706,8 @@ Sm::serviceDeferredMem(uint64_t now)
     const Instruction &inst = *d.inst;
     Warp &w = warps_[pendingMem_.warpSlot];
     const uint64_t commitMask = pendingMem_.commitMask;
+    faultCycle_ = now;
+    faultPc_ = pendingMem_.pc;
     pendingMem_.inst = nullptr;
 
     const int width = inst.vecWidth;
@@ -608,8 +719,11 @@ Sm::serviceDeferredMem(uint64_t now)
     Store *store = inst.space == MemSpace::Global
                        ? &services_.globalStore()
                        : &services_.localStore();
+    int curLane = -1;
+    try {
     for (uint64_t m = commitMask; m; m &= m - 1) {
         const int lane = std::countr_zero(m);
+        curLane = lane;
         const int slot = threadSlot(w, lane);
         const uint64_t addr = laneAddrs_[lane];
         if (isAtomic) {
@@ -639,6 +753,14 @@ Sm::serviceDeferredMem(uint64_t now)
             for (int e = 0; e < width; e++)
                 writeReg(slot, inst.dst + e, store->read32(addr + 4u * e));
         }
+    }
+    } catch (const MemoryFault &) {
+        // Raised in the serial merge phase; the coordinator's fault pass
+        // at the end of this cycle applies the policy. No wake-up has
+        // been scheduled, so the warp carries no outstanding access.
+        raiseFault(FaultCode::MemOutOfBounds, w.hwSlot, curLane,
+                   curLane >= 0 ? laneAddrs_[curLane] : 0);
+        return;
     }
 
     // --- Timing ---------------------------------------------------------------
@@ -740,11 +862,19 @@ Sm::execSpawn(Warp &w, const Instruction &inst, uint64_t commitMask,
     for (uint64_t m = commitMask; m; m &= m - 1) {
         const int lane = std::countr_zero(m);
         laneData_[lane] = readReg(threadSlot(w, lane), inst.src[0].reg);
-        w.lanes[lane].spawned = true;
     }
 
     SpawnIssue issue = spawnUnit_->spawn(inst.target, commitMask, laneData_,
                                          spawnStore_, now);
+    if (issue.fault != FaultCode::None) {
+        // The unit mutated nothing (all-or-nothing), and the lanes'
+        // spawned flags are still clear, so their state slots stay owned
+        // by these threads until the policy decides their fate.
+        raiseFault(issue.fault, w.hwSlot, -1, inst.target);
+        return;
+    }
+    for (uint64_t m = commitMask; m; m &= m - 1)
+        w.lanes[std::countr_zero(m)].spawned = true;
     const int n = popcount(commitMask);
     localStats_.dynamicThreadsSpawned += n;
     localStats_.spawnMemWriteBytes += 4u * n;

@@ -82,6 +82,7 @@ class Sm
      */
     void configureOccupancy(int resident_warps);
 
+    int id() const { return id_; }
     int residentWarps() const { return static_cast<int>(warps_.size()); }
     int liveWarps() const;
     int freeWarpSlots() const;
@@ -133,6 +134,22 @@ class Sm
     /** Off-chip access completion callback. */
     void memWakeup(int warpSlot, uint64_t now);
 
+    // --- Guest-fault trap path (fault.hpp) ----------------------------------
+    // Faults detected during step() are queued SM-locally (the faulting
+    // warp is frozen via Warp::faulted) and collected by the coordinator
+    // in SM-id order during the serial merge phase, which applies the
+    // configured FaultPolicy. Deterministic at any host thread count.
+    bool hasPendingFaults() const { return !pendingFaults_.empty(); }
+    /** Move out (and clear) this cycle's queued faults. */
+    std::vector<SimFault> takeFaults();
+    /**
+     * Trap policy: tear down a faulted warp without retiring its work.
+     * Releases the dead threads' spawn-state slots (spawned lanes handed
+     * theirs to the child) and the block bookkeeping, releasing barrier
+     * partners that can now never be joined.
+     */
+    void killWarp(int warpSlot, uint64_t now);
+
     /** Total launch-grid size, for the %ntid special register. */
     void setGridThreads(uint32_t n) { gridThreads_ = n; }
 
@@ -173,6 +190,7 @@ class Sm
         const DecodedInst *inst = nullptr;  ///< null = nothing pending
         int warpSlot = 0;
         uint64_t commitMask = 0;
+        uint32_t pc = 0;        ///< issuing pc, for fault attribution
     };
 
     /** Per-lane hardware thread slot. */
@@ -181,8 +199,15 @@ class Sm
         return w.hwSlot * config_.warpSize + lane;
     }
 
-    uint32_t readOperand(const Operand &op, const Warp &w, int lane) const;
+    uint32_t readOperand(const Operand &op, const Warp &w, int lane);
     uint32_t specialValue(SpecialReg sreg, const Warp &w, int lane) const;
+
+    /**
+     * Queue a guest fault (code + attribution from faultCycle_/faultPc_)
+     * and freeze the faulting warp until the coordinator applies the
+     * fault policy. @p warpSlot may be -1 for SM-wide faults.
+     */
+    void raiseFault(FaultCode code, int warpSlot, int lane, uint64_t addr);
 
     void issue(Warp &w, uint64_t now);
     void execAlu(Warp &w, const DecodedInst &d, uint64_t commitMask);
@@ -226,6 +251,11 @@ class Sm
     /// Per-SM event buffer, drained by the coordinator each cycle.
     trace::EventBuffer traceBuf_;
     PendingMem pendingMem_;
+
+    /// Faults queued this cycle, collected by the coordinator.
+    std::vector<SimFault> pendingFaults_;
+    uint64_t faultCycle_ = 0;   ///< cycle stamped on raised faults
+    uint32_t faultPc_ = 0;      ///< pc stamped on raised faults
 
     int rrCursor_ = 0;
     uint64_t issueBlockedUntil_ = 0;

@@ -57,6 +57,8 @@ SimStats &
 SimStats::operator+=(const SimStats &other)
 {
     cycles += other.cycles;
+    if (other.outcome > outcome)
+        outcome = other.outcome;
     warpIssues += other.warpIssues;
     laneInstructions += other.laneInstructions;
     committedLaneInstructions += other.committedLaneInstructions;

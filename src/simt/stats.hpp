@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "simt/fault.hpp"
 #include "trace/stall.hpp"
 
 namespace uksim {
@@ -38,6 +39,8 @@ struct OccupancyWindow {
 /** Counters for one complete simulation. */
 struct SimStats {
     uint64_t cycles = 0;
+    /// How the run ended (fault.hpp); merged views keep the worst.
+    RunOutcome outcome = RunOutcome::Completed;
     uint64_t warpIssues = 0;
     /// Sum over issues of popcount(active mask) — thread instructions.
     uint64_t laneInstructions = 0;

@@ -35,12 +35,15 @@ struct Warp {
     uint64_t readyAt = 0;       ///< earliest cycle the warp may issue
     int outstandingMem = 0;     ///< in-flight off-chip accesses
     bool waitingBarrier = false;
+    /// Raised a guest fault this cycle; frozen until the coordinator
+    /// applies the fault policy in the serial merge phase.
+    bool faulted = false;
 
     /** True when the warp can issue at @p now. */
     bool issuable(uint64_t now) const
     {
-        return valid && !waitingBarrier && outstandingMem == 0 &&
-               readyAt <= now && !stack.empty();
+        return valid && !faulted && !waitingBarrier &&
+               outstandingMem == 0 && readyAt <= now && !stack.empty();
     }
 };
 

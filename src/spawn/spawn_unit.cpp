@@ -5,8 +5,8 @@
 
 #include "spawn/spawn_unit.hpp"
 
+#include <bit>
 #include <cassert>
-#include <stdexcept>
 
 namespace uksim {
 
@@ -18,14 +18,20 @@ SpawnUnit::SpawnUnit(const GpuConfig &config, const Program &program,
 {
     const uint32_t regionBytes = config.warpSize * 4;
     numRegions_ = layout.formationEntries * 4 / regionBytes;
+    if (config.injectMaxFormationRegions > 0 &&
+        numRegions_ > config.injectMaxFormationRegions) {
+        numRegions_ = config.injectMaxFormationRegions;
+    }
+    freeRegions_ = numRegions_;
     regionLive_.assign(numRegions_, false);
 
     // One LUT line per declared micro-kernel; the 1 KB LUT of Table I
     // holds 1024/12 = 85 lines, far more than any of our programs need.
     const size_t lineBytes = 12;    // counter + two addresses
     if (program.microKernels.size() * lineBytes > config.spawnLutBytes) {
-        throw std::runtime_error("program declares more micro-kernels than "
-                                 "the spawn LUT can hold");
+        throw GuestFault(
+            {FaultCode::SpawnLutOverflow, 0, smId, -1, -1, 0,
+             uint64_t(program.microKernels.size())});
     }
     lut_.resize(program.microKernels.size());
     for (size_t i = 0; i < lut_.size(); i++) {
@@ -33,6 +39,13 @@ SpawnUnit::SpawnUnit(const GpuConfig &config, const Program &program,
         lut_[i].count = 0;
         lut_[i].addr1 = allocRegion();
         lut_[i].addr2 = allocRegion();
+        if (lut_[i].addr1 == kNoRegion || lut_[i].addr2 == kNoRegion) {
+            // Load-time fault: the ring cannot even seat the LUT's
+            // current + overflow regions (only reachable via the
+            // injectMaxFormationRegions knob or a degenerate layout).
+            throw GuestFault({FaultCode::SpawnRegionExhausted, 0, smId,
+                              -1, -1, lut_[i].pc, numRegions_});
+        }
     }
 }
 
@@ -45,11 +58,12 @@ SpawnUnit::allocRegion()
         uint32_t idx = (nextRegion_ + probe) % numRegions_;
         if (!regionLive_[idx]) {
             regionLive_[idx] = true;
+            freeRegions_--;
             nextRegion_ = (idx + 1) % numRegions_;
             return layout_.formationBase + idx * regionBytes;
         }
     }
-    throw std::runtime_error("spawn memory formation region exhausted");
+    return kNoRegion;
 }
 
 void
@@ -59,6 +73,7 @@ SpawnUnit::releaseRegion(uint32_t regionAddr)
     uint32_t idx = (regionAddr - layout_.formationBase) / regionBytes;
     assert(idx < numRegions_ && regionLive_[idx]);
     regionLive_[idx] = false;
+    freeRegions_++;
 }
 
 SpawnIssue
@@ -66,13 +81,28 @@ SpawnUnit::spawn(uint32_t targetPc, uint64_t mask,
                  const std::vector<uint32_t> &dataPtrs, Store &spawnStore,
                  uint64_t now)
 {
-    int index = program_.microKernelIndex(targetPc);
-    if (index < 0)
-        throw std::runtime_error("spawn to pc without a LUT line");
-    LutLine &line = lut_[index];
-
     SpawnIssue issue;
     issue.storeAddrs.assign(dataPtrs.size(), ~uint64_t{0});
+
+    int index = program_.microKernelIndex(targetPc);
+    if (index < 0) {
+        issue.fault = FaultCode::SpawnNoLutLine;
+        return issue;
+    }
+    LutLine &line = lut_[index];
+
+    // All-or-nothing exhaustion check: every warp this spawn completes
+    // installs one fresh overflow region, so if the ring cannot supply
+    // them all, fault before mutating anything — the unit stays
+    // consistent and remains usable after the SM traps the warp.
+    const uint32_t lanes = uint32_t(std::popcount(mask));
+    const uint32_t willComplete =
+        (line.count + lanes) / uint32_t(config_.warpSize);
+    if (willComplete > freeRegions_) {
+        issue.fault = FaultCode::SpawnRegionExhausted;
+        return issue;
+    }
+
     const uint64_t warpsBefore = warpsFormed_;
     const uint64_t threadsBefore = threadsSpawned_;
 
@@ -101,9 +131,11 @@ SpawnUnit::spawn(uint32_t targetPc, uint64_t mask,
                                w.pc, uint64_t(w.threadCount));
             }
             // Overflow address becomes current; a fresh region is
-            // installed as the new overflow.
+            // installed as the new overflow (guaranteed free by the
+            // pre-check above).
             line.addr1 = line.addr2;
             line.addr2 = allocRegion();
+            assert(line.addr2 != kNoRegion);
             line.count = 0;
         }
     }
@@ -113,6 +145,19 @@ SpawnUnit::spawn(uint32_t targetPc, uint64_t mask,
                        threadsSpawned_ - threadsBefore);
     }
     return issue;
+}
+
+void
+SpawnUnit::dropPartialWarps()
+{
+    for (LutLine &line : lut_) {
+        if (line.count == 0)
+            continue;
+        // Rewind the formation cursor so the line's current region is
+        // clean again; the parked threads are abandoned for good.
+        line.addr1 -= line.count * 4;
+        line.count = 0;
+    }
 }
 
 FormedWarp
@@ -158,7 +203,10 @@ SpawnUnit::flushLowestPcPartial(uint64_t now)
     w.regionAddr = best->addr1 - best->count * 4;
     w.threadCount = static_cast<int>(best->count);
     best->addr1 = best->addr2;
+    // The caller (Gpu::fillSm) guards on freeRegionCount() > 0 and
+    // drops partial warps instead of flushing when the ring is dry.
     best->addr2 = allocRegion();
+    assert(best->addr2 != kNoRegion);
     best->count = 0;
     partialFlushes_++;
     if (trace_) {

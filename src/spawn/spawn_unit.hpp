@@ -44,6 +44,13 @@ struct SpawnIssue {
     /// used by the timing model for traffic and bank conflicts.
     std::vector<uint64_t> storeAddrs;
     int warpsCompleted = 0;
+    /**
+     * Guest fault raised by this spawn (fault.hpp), or None. A faulting
+     * spawn is all-or-nothing: no LUT line, formation region, counter or
+     * spawn-memory word was touched, so the unit stays consistent and
+     * the SM can raise the fault through its trap path.
+     */
+    FaultCode fault = FaultCode::None;
 };
 
 /** Dynamic thread creation unit of one SM. */
@@ -63,6 +70,9 @@ class SpawnUnit
               const SpawnMemoryLayout &layout,
               trace::EventBuffer *trace = nullptr, int smId = 0);
 
+    /// allocRegion() sentinel: the formation-region ring is exhausted.
+    static constexpr uint32_t kNoRegion = 0xffffffffu;
+
     /**
      * Execute a spawn instruction for all active lanes.
      *
@@ -71,6 +81,9 @@ class SpawnUnit
      * @param dataPtrs per-lane state-record pointers (rd values).
      * @param spawnStore the SM's spawn memory backing store.
      * @param now current cycle (only stamps trace events).
+     * @return the issue record; on guest misbehavior (unknown target pc,
+     *         formation-region exhaustion) SpawnIssue::fault is set and
+     *         the unit's state is untouched.
      */
     SpawnIssue spawn(uint32_t targetPc, uint64_t mask,
                      const std::vector<uint32_t> &dataPtrs,
@@ -94,6 +107,18 @@ class SpawnUnit
      * @param now current cycle (only stamps the trace event).
      */
     FormedWarp flushLowestPcPartial(uint64_t now = 0);
+
+    /**
+     * Abandon every partially formed warp (zero all LUT counters). Used
+     * by the Trap fault policy when a forced flush cannot get a fresh
+     * formation region: the parked threads are lost — their state slots
+     * stay allocated — but the SM can drain instead of spinning.
+     */
+    void dropPartialWarps();
+
+    // Formation-region ring occupancy (flight recorder / fillSm guard).
+    uint32_t freeRegionCount() const { return freeRegions_; }
+    uint32_t numRegions() const { return numRegions_; }
 
     // Counters for SimStats.
     uint64_t threadsSpawned() const { return threadsSpawned_; }
@@ -133,6 +158,7 @@ class SpawnUnit
     std::deque<FormedWarp> fifo_;
     uint32_t nextRegion_ = 0;       ///< ring cursor (region index)
     uint32_t numRegions_ = 0;
+    uint32_t freeRegions_ = 0;      ///< O(1) mirror of regionLive_
     std::vector<bool> regionLive_;
 
     uint64_t threadsSpawned_ = 0;

@@ -70,6 +70,8 @@ std::vector<Event>
 EventTrace::ordered() const
 {
     std::vector<Event> out;
+    if (ring_.empty() || count_ == 0)
+        return out;     // tracing disabled or nothing recorded
     out.reserve(count_);
     const size_t start = (head_ + ring_.size() - count_) % ring_.size();
     for (size_t i = 0; i < count_; i++)

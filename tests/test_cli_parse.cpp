@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Strict numeric parsing shared by the CLI tools and the UKSIM_*
+ * environment overrides: malformed values must be rejected loudly, not
+ * silently truncated the way atoi/strtoul would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "harness/experiment.hpp"
+
+using namespace uksim::harness;
+
+namespace {
+
+TEST(ParseU64, AcceptsPlainDecimal)
+{
+    EXPECT_EQ(parseU64("0"), 0u);
+    EXPECT_EQ(parseU64("123"), 123u);
+    EXPECT_EQ(parseU64("300000"), 300000u);
+    EXPECT_EQ(parseU64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsMalformedInput)
+{
+    EXPECT_EQ(parseU64(nullptr), std::nullopt);
+    EXPECT_EQ(parseU64(""), std::nullopt);
+    EXPECT_EQ(parseU64("12x"), std::nullopt);   // atoi would return 12
+    EXPECT_EQ(parseU64("x12"), std::nullopt);
+    EXPECT_EQ(parseU64("-3"), std::nullopt);
+    EXPECT_EQ(parseU64("+3"), std::nullopt);
+    EXPECT_EQ(parseU64(" 12"), std::nullopt);
+    EXPECT_EQ(parseU64("1 2"), std::nullopt);
+    EXPECT_EQ(parseU64("1.5"), std::nullopt);
+}
+
+TEST(ParseU64, RejectsOverflow)
+{
+    EXPECT_EQ(parseU64("18446744073709551616"), std::nullopt);
+    EXPECT_EQ(parseU64("99999999999999999999999"), std::nullopt);
+}
+
+TEST(ParseInt, EnforcesIntRange)
+{
+    EXPECT_EQ(parseInt("2147483647"), INT_MAX);
+    EXPECT_EQ(parseInt("2147483648"), std::nullopt);
+    EXPECT_EQ(parseInt("30"), 30);
+    EXPECT_EQ(parseInt("12x"), std::nullopt);
+}
+
+/** Scoped UKSIM_* variable that restores the prior value on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *prior = std::getenv(name)) {
+            saved_ = prior;
+            hadPrior_ = true;
+        }
+        setenv(name, value, 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadPrior_)
+            setenv(name_, saved_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    std::string saved_;
+    bool hadPrior_ = false;
+};
+
+TEST(EnvOverrides, AppliesWellFormedValues)
+{
+    ScopedEnv cycles("UKSIM_CYCLES", "12345");
+    ScopedEnv sms("UKSIM_SMS", "7");
+    ExperimentConfig config;
+    applyEnvOverrides(config);
+    EXPECT_EQ(config.maxCycles, 12345u);
+    EXPECT_EQ(config.baseConfig.numSms, 7);
+}
+
+TEST(EnvOverrides, ThrowsNamingTheVariable)
+{
+    ScopedEnv cycles("UKSIM_CYCLES", "12x");
+    ExperimentConfig config;
+    try {
+        applyEnvOverrides(config);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("UKSIM_CYCLES"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("12x"), std::string::npos) << msg;
+    }
+    // The config is untouched by the rejected value.
+    EXPECT_EQ(config.maxCycles, ExperimentConfig().maxCycles);
+}
+
+TEST(EnvOverrides, RejectsOutOfRangeSmCount)
+{
+    ScopedEnv sms("UKSIM_SMS", "99999999999999999999");
+    ExperimentConfig config;
+    EXPECT_THROW(applyEnvOverrides(config), std::invalid_argument);
+}
+
+} // namespace

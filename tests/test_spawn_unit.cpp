@@ -185,23 +185,35 @@ TEST_F(SpawnUnitTest, RegionReleaseAllowsRingReuse)
     EXPECT_EQ(unit_->warpsFormed(), 200u);
 }
 
-TEST_F(SpawnUnitTest, ExhaustionWithoutReleaseThrows)
+TEST_F(SpawnUnitTest, ExhaustionWithoutReleaseFaults)
 {
-    EXPECT_THROW(
-        {
-            for (int round = 0; round < 1000; round++) {
-                spawnN(0, 32);
-                unit_->popWarp();   // never released
-            }
-        },
-        std::runtime_error);
+    // Spawn-and-pop without ever releasing: the ring eventually runs
+    // dry. The unit reports SpawnRegionExhausted on the SpawnIssue
+    // without mutating any state, so the caller's trap handler sees a
+    // consistent unit.
+    SpawnIssue issue;
+    int rounds = 0;
+    for (; rounds < 1000; rounds++) {
+        issue = spawnN(0, 32);
+        if (issue.fault != FaultCode::None)
+            break;
+        unit_->popWarp();   // never released
+    }
+    EXPECT_EQ(issue.fault, FaultCode::SpawnRegionExhausted);
+    EXPECT_LT(rounds, 1000);
+    EXPECT_EQ(issue.warpsCompleted, 0);
+    EXPECT_EQ(unit_->freeRegionCount(), 0u);
+    // All-or-nothing: the failed spawn left the LUT line untouched.
+    EXPECT_EQ(unit_->lutLine(0).count, 0u);
 }
 
-TEST_F(SpawnUnitTest, SpawnToUnknownPcThrows)
+TEST_F(SpawnUnitTest, SpawnToUnknownPcFaults)
 {
     std::vector<uint32_t> ptrs(config_.warpSize, 0);
-    EXPECT_THROW(unit_->spawn(9999, 1, ptrs, store_),
-                 std::runtime_error);
+    SpawnIssue issue = unit_->spawn(9999, 1, ptrs, store_);
+    EXPECT_EQ(issue.fault, FaultCode::SpawnNoLutLine);
+    EXPECT_EQ(issue.warpsCompleted, 0);
+    EXPECT_EQ(unit_->threadsSpawned(), 0u);
 }
 
 TEST(SpawnLayoutTest, PaperSizingExample)

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * ukdump — run one named experiment configuration and write the
+ * post-mortem flight-recorder dump (Gpu::dumpState JSON).
+ *
+ * Meant for debugging misbehaving runs: pick a fault policy, optionally
+ * arm the forward-progress watchdog, cap the cycle budget, and inspect
+ * the machine state the run ended in — per-SM warp states with
+ * SIMT-stack snapshots, spawn LUT / formation-region occupancy, stall
+ * attribution, recorded guest faults, and the tail of the event ring.
+ *
+ * Usage: ukdump [--config <name>] [--cycles N] [--policy trap|halt|throw]
+ *               [--watchdog N] [--out <path>] [--list]
+ *
+ *   --config <name>   configuration to run (default uk_conference)
+ *   --cycles N        cap simulated cycles (default: paper's 300000)
+ *   --policy <p>      fault policy (default trap — keep simulating)
+ *   --watchdog N      arm the deadlock watchdog at N stuck cycles
+ *   --out <path>      dump path (default <config>.dump.json)
+ *   --list            print the valid --config names and exit
+ *
+ * Exit status: 0 for any simulated outcome (including Faulted /
+ * Deadlock — the dump is the product), 1 for I/O or internal errors,
+ * 2 for usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+using namespace uksim;
+
+namespace {
+
+struct Options {
+    std::string config = "uk_conference";
+    std::string outPath;
+    uint64_t cycles = 0;        ///< 0 = keep the config default
+    uint64_t watchdog = 0;      ///< 0 = watchdog off
+    FaultPolicy policy = FaultPolicy::Trap;
+    bool list = false;
+};
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+                 "usage: ukdump [--config <name>] [--cycles N] "
+                 "[--policy trap|halt|throw]\n"
+                 "              [--watchdog N] [--out <path>] [--list]\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; i++) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "ukdump: %s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto numeric = [](const char *flag, const char *text) -> uint64_t {
+            std::optional<uint64_t> v = harness::parseU64(text);
+            if (!v) {
+                std::fprintf(stderr,
+                             "ukdump: %s: malformed numeric value '%s'\n",
+                             flag, text);
+                std::exit(2);
+            }
+            return *v;
+        };
+        if (std::strcmp(argv[i], "--config") == 0) {
+            opts.config = value("--config");
+        } else if (std::strcmp(argv[i], "--cycles") == 0) {
+            opts.cycles = numeric("--cycles", value("--cycles"));
+        } else if (std::strcmp(argv[i], "--watchdog") == 0) {
+            opts.watchdog = numeric("--watchdog", value("--watchdog"));
+        } else if (std::strcmp(argv[i], "--out") == 0) {
+            opts.outPath = value("--out");
+        } else if (std::strcmp(argv[i], "--policy") == 0) {
+            const char *p = value("--policy");
+            if (std::strcmp(p, "trap") == 0) {
+                opts.policy = FaultPolicy::Trap;
+            } else if (std::strcmp(p, "halt") == 0) {
+                opts.policy = FaultPolicy::HaltGrid;
+            } else if (std::strcmp(p, "throw") == 0) {
+                opts.policy = FaultPolicy::Throw;
+            } else {
+                std::fprintf(stderr,
+                             "ukdump: unknown policy '%s' "
+                             "(trap|halt|throw)\n", p);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--list") == 0) {
+            opts.list = true;
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "ukdump: unknown option '%s'\n", argv[i]);
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    if (opts.list) {
+        for (const std::string &name : harness::namedExperimentNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    harness::ExperimentConfig config;
+    try {
+        config = harness::namedExperiment(opts.config);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "ukdump: %s (try --list)\n", e.what());
+        return 2;
+    }
+    try {
+        harness::applyEnvOverrides(config);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "ukdump: %s\n", e.what());
+        return 2;
+    }
+    if (opts.cycles)
+        config.maxCycles = opts.cycles;
+    config.baseConfig.faultPolicy = opts.policy;
+    config.baseConfig.watchdogCycles = opts.watchdog;
+    config.captureFlightRecord = true;
+
+    try {
+        harness::PreparedScene scene =
+            harness::prepareScene(config.sceneName, config.sceneParams);
+        harness::ExperimentResult r =
+            harness::runExperiment(scene, config);
+
+        std::printf("ukdump: %s  outcome %s  cycles %llu  %zu fault(s)\n",
+                    opts.config.c_str(), runOutcomeName(r.outcome),
+                    (unsigned long long)r.stats.cycles, r.faults.size());
+        for (const SimFault &f : r.faults)
+            std::printf("  %s\n", f.describe().c_str());
+
+        const std::string path = opts.outPath.empty()
+                                     ? opts.config + ".dump.json"
+                                     : opts.outPath;
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "ukdump: cannot write %s\n",
+                         path.c_str());
+            return 1;
+        }
+        out << r.flightRecord;
+        std::printf("flight record: %s\n", path.c_str());
+        return 0;
+    } catch (const GuestFault &e) {
+        // --policy throw: the fault aborts the run; still one line out.
+        std::fprintf(stderr, "ukdump: guest fault: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ukdump: error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -31,6 +31,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
 
@@ -120,12 +121,22 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
+        auto numeric = [](const char *flag, const char *text) -> uint64_t {
+            std::optional<uint64_t> v = harness::parseU64(text);
+            if (!v) {
+                std::fprintf(stderr,
+                             "uktrace: %s: malformed numeric value '%s'\n",
+                             flag, text);
+                std::exit(2);
+            }
+            return *v;
+        };
         if (std::strcmp(argv[i], "--config") == 0) {
             opts.config = value("--config");
         } else if (std::strcmp(argv[i], "--cycles") == 0) {
-            opts.cycles = std::strtoull(value("--cycles"), nullptr, 10);
+            opts.cycles = numeric("--cycles", value("--cycles"));
         } else if (std::strcmp(argv[i], "--window") == 0) {
-            opts.window = std::strtoull(value("--window"), nullptr, 10);
+            opts.window = numeric("--window", value("--window"));
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opts.csvPath = value("--csv");
         } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -160,7 +171,13 @@ main(int argc, char **argv)
         std::fprintf(stderr, "uktrace: %s (try --list)\n", e.what());
         return 2;
     }
-    harness::applyEnvOverrides(config);
+    try {
+        harness::applyEnvOverrides(config);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "uktrace: %s\n", e.what());
+        return 2;
+    }
+    try {
     if (opts.cycles)
         config.maxCycles = opts.cycles;
     if (opts.window)
@@ -178,7 +195,7 @@ main(int argc, char **argv)
                 "%s\n\n",
                 (unsigned long long)r.stats.cycles, r.ipc,
                 100.0 * r.simtEfficiency, r.mraysPerSec,
-                r.ranToCompletion ? "completed" : "cycle-capped");
+                runOutcomeName(r.outcome));
     std::fputs(trace::stallBreakdownTable(r.stats.stall, opts.config)
                    .c_str(),
                stdout);
@@ -205,4 +222,9 @@ main(int argc, char **argv)
                     path.c_str());
     }
     return ok ? 0 : 1;
+    } catch (const std::exception &e) {
+        // One-line diagnostic and a nonzero exit, never a raw abort.
+        std::fprintf(stderr, "uktrace: error: %s\n", e.what());
+        return 1;
+    }
 }

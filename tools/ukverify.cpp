@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -141,10 +142,17 @@ main(int argc, char **argv)
         return 2;
     }
 
-    bool ok = true;
-    if (opts.builtin)
-        ok &= lintBuiltins(opts);
-    for (const std::string &f : opts.files)
-        ok &= lintFile(f, opts);
-    return (ok || opts.lenient) ? 0 : 1;
+    // Any escaping exception (I/O, bad_alloc, verifier internals) turns
+    // into a one-line diagnostic and a nonzero exit, never a raw abort.
+    try {
+        bool ok = true;
+        if (opts.builtin)
+            ok &= lintBuiltins(opts);
+        for (const std::string &f : opts.files)
+            ok &= lintFile(f, opts);
+        return (ok || opts.lenient) ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ukverify: error: %s\n", e.what());
+        return 1;
+    }
 }
