@@ -2,25 +2,35 @@
  * @file
  * Simulator host-speed benchmark: simulated kilocycles per wall-clock
  * second for the serial engine and for the parallel cycle engine at
- * several host thread counts, on the micro-kernel ray-tracing workload.
+ * several host thread counts, with the event-driven idle-cycle
+ * fast-forward both off and on, on the micro-kernel ray-tracing
+ * workload.
  *
  * This measures the simulator, not the modelled machine: the simulated
- * statistics are asserted bit-identical across all thread counts, so
- * the only thing that varies is wall time.
+ * statistics are asserted bit-identical across all thread counts AND
+ * across both fast-forward settings, so the only thing that varies is
+ * wall time. The non-smoke workload is deliberately memory-bound (see
+ * makeConfig) so the fast-forward legs exercise long skippable spans.
  *
  * Usage:
  *   bench_simspeed [--smoke] [--out PATH] [--threads N1,N2,...]
+ *                  [--fast-forward on|off|both]
  *
- * --smoke     tiny workload for CI (a few seconds total)
- * --out PATH  JSON output path (default BENCH_simspeed.json)
- * --threads   comma-separated host thread counts (default 1,2,4 plus
- *             the hardware concurrency when larger)
+ * --smoke          tiny workload for CI (a few seconds total)
+ * --out PATH       JSON output path (default BENCH_simspeed.json)
+ * --threads        comma-separated host thread counts (default 1,2,4
+ *                  plus the hardware concurrency when larger)
+ * --fast-forward   which engine legs to run (default both)
  *
  * Output: a text table and a JSON report of the form
  *   {"benchmark":"simspeed","host_cores":C,"results":[
- *     {"threads":T,"sim_cycles":N,"wall_seconds":S,
+ *     {"threads":T,"fast_forward":B,"sim_cycles":N,"wall_seconds":S,
  *      "sim_kcycles_per_sec":K,"speedup_vs_serial":X,
+ *      "cycles_skipped":N,"jumps":N,"largest_jump":N,
  *      "bit_identical":true}, ...]}
+ * where speedup_vs_serial is relative to the first leg (serial,
+ * fast-forward off when that leg is enabled) and bit_identical compares
+ * every leg's SimStats against that same reference.
  */
 
 #include <chrono>
@@ -43,6 +53,8 @@ struct Options {
     bool smoke = false;
     std::string outPath = "BENCH_simspeed.json";
     std::vector<int> threads;
+    bool legOff = true;     ///< run the fast-forward-off leg
+    bool legOn = true;      ///< run the fast-forward-on leg
 };
 
 Options
@@ -67,10 +79,22 @@ parseArgs(int argc, char **argv)
                     opt.threads.push_back(n);
                 pos = comma + 1;
             }
+        } else if (arg == "--fast-forward" && i + 1 < argc) {
+            std::string mode = argv[++i];
+            if (mode == "on") {
+                opt.legOff = false;
+            } else if (mode == "off") {
+                opt.legOn = false;
+            } else if (mode != "both") {
+                std::fprintf(stderr,
+                             "--fast-forward takes on|off|both\n");
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--out PATH] "
-                         "[--threads N1,N2,...]\n",
+                         "[--threads N1,N2,...] "
+                         "[--fast-forward on|off|both]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -86,24 +110,43 @@ parseArgs(int argc, char **argv)
 
 struct RunResult {
     int threads = 0;
+    bool fastForward = false;
     uint64_t simCycles = 0;
     double wallSeconds = 0.0;
     double kcyclesPerSec = 0.0;
-    bool bitIdentical = true;   ///< stats match the serial run exactly
+    uint64_t cyclesSkipped = 0;
+    uint64_t jumps = 0;
+    uint64_t largestJump = 0;
+    bool bitIdentical = true;   ///< stats match the reference run exactly
 };
 
+/**
+ * The measured workload is the memory-bound shape of the micro-kernel
+ * conference trace: a small ray grid (one warp per SM, so nothing hides
+ * DRAM latency) with the texture caches off (every kd-tree/triangle
+ * read pays the full off-chip round trip) and a cycle budget that lets
+ * the grid drain completely. This is the regime the idle-cycle
+ * fast-forward targets — long quiescent spans between DRAM wake-ups —
+ * and it still exercises the full uk spawn/formation path for the
+ * host-thread scaling legs.
+ */
 ExperimentConfig
-makeConfig(const Options &opt, int hostThreads)
+makeConfig(const Options &opt, int hostThreads, bool fastForward)
 {
     ExperimentConfig cfg;
     cfg.sceneName = "conference";
     cfg.kernel = KernelKind::MicroKernel;
     cfg.sceneParams.detail = opt.smoke ? 4 : 10;
-    cfg.sceneParams.imageWidth = opt.smoke ? 32 : 64;
-    cfg.sceneParams.imageHeight = opt.smoke ? 32 : 64;
-    cfg.maxCycles = opt.smoke ? 5000 : 50000;
+    cfg.sceneParams.imageWidth = opt.smoke ? 32 : 16;
+    cfg.sceneParams.imageHeight = opt.smoke ? 32 : 16;
+    cfg.maxCycles = opt.smoke ? 5000 : 2000000;
     cfg.baseConfig.maxCycles = cfg.maxCycles;
     cfg.baseConfig.hostThreads = hostThreads;
+    cfg.baseConfig.fastForward = fastForward;
+    if (!opt.smoke) {
+        cfg.baseConfig.texL1BytesPerSm = 0;
+        cfg.baseConfig.texL2BytesPerPartition = 0;
+    }
     return cfg;
 }
 
@@ -114,11 +157,19 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
-    // This benchmark sets thread counts explicitly per run; the
-    // UKSIM_THREADS override would silently make every run identical.
+    // This benchmark sets thread counts and the fast-forward switch
+    // explicitly per run; the environment overrides would silently make
+    // every leg identical.
     unsetenv("UKSIM_THREADS");
+    unsetenv("UKSIM_FASTFWD");
 
-    ExperimentConfig probe = makeConfig(opt, 1);
+    std::vector<bool> legs;
+    if (opt.legOff)
+        legs.push_back(false);
+    if (opt.legOn)
+        legs.push_back(true);
+
+    ExperimentConfig probe = makeConfig(opt, 1, false);
     std::printf("bench_simspeed: %s, %dx%d, detail %d, %llu-cycle window, "
                 "%d SMs\n",
                 probe.sceneName.c_str(), probe.sceneParams.imageWidth,
@@ -132,46 +183,53 @@ main(int argc, char **argv)
     PreparedScene scene = prepareScene(probe.sceneName, probe.sceneParams);
 
     std::vector<RunResult> results;
-    const SimStats *serialStats = nullptr;
     std::vector<SimStats> allStats;
-    allStats.reserve(opt.threads.size());
+    allStats.reserve(opt.threads.size() * legs.size());
 
     for (int threads : opt.threads) {
-        ExperimentConfig cfg = makeConfig(opt, threads);
-        // Warm-up pass: touches the scene upload path and page cache so
-        // the timed pass measures steady-state simulation speed.
-        if (results.empty())
-            runExperiment(scene, cfg);
+        for (bool ff : legs) {
+            ExperimentConfig cfg = makeConfig(opt, threads, ff);
+            // Warm-up pass: touches the scene upload path and page cache
+            // so the timed passes measure steady-state simulation speed.
+            if (results.empty())
+                runExperiment(scene, cfg);
 
-        auto t0 = std::chrono::steady_clock::now();
-        ExperimentResult r = runExperiment(scene, cfg);
-        auto t1 = std::chrono::steady_clock::now();
+            auto t0 = std::chrono::steady_clock::now();
+            ExperimentResult r = runExperiment(scene, cfg);
+            auto t1 = std::chrono::steady_clock::now();
 
-        RunResult rr;
-        rr.threads = threads;
-        rr.simCycles = r.stats.cycles;
-        rr.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
-        rr.kcyclesPerSec = rr.wallSeconds > 0.0
-                               ? double(rr.simCycles) / rr.wallSeconds /
-                                     1000.0
-                               : 0.0;
-        allStats.push_back(r.stats);
-        if (!serialStats)
-            serialStats = &allStats.front();
-        rr.bitIdentical = allStats.back() == *serialStats;
-        results.push_back(rr);
+            RunResult rr;
+            rr.threads = threads;
+            rr.fastForward = ff;
+            rr.simCycles = r.stats.cycles;
+            rr.wallSeconds =
+                std::chrono::duration<double>(t1 - t0).count();
+            rr.kcyclesPerSec =
+                rr.wallSeconds > 0.0
+                    ? double(rr.simCycles) / rr.wallSeconds / 1000.0
+                    : 0.0;
+            rr.cyclesSkipped = r.fastForward.cyclesSkipped;
+            rr.jumps = r.fastForward.jumps;
+            rr.largestJump = r.fastForward.largestJump;
+            allStats.push_back(r.stats);
+            rr.bitIdentical = allStats.back() == allStats.front();
+            results.push_back(rr);
+        }
     }
 
     TextTable table;
-    table.header({"threads", "sim kcycles", "wall s", "sim kcycles/s",
-                  "speedup", "bit-identical"});
+    table.header({"threads", "fastfwd", "sim kcycles", "wall s",
+                  "sim kcycles/s", "speedup", "skipped", "jumps",
+                  "bit-identical"});
     const double serialRate = results.front().kcyclesPerSec;
     for (const RunResult &r : results) {
-        table.row({std::to_string(r.threads),
+        table.row({std::to_string(r.threads), r.fastForward ? "on" : "off",
                    fmt(double(r.simCycles) / 1000.0, 1),
                    fmt(r.wallSeconds, 3), fmt(r.kcyclesPerSec, 1),
                    fmt(serialRate > 0 ? r.kcyclesPerSec / serialRate : 0.0,
                        2),
+                   std::to_string(r.cyclesSkipped),
+                   std::to_string(r.jumps),
                    r.bitIdentical ? "yes" : "NO"});
     }
     std::fputs(table.str().c_str(), stdout);
@@ -185,12 +243,14 @@ main(int argc, char **argv)
                  "{\n  \"benchmark\": \"simspeed\",\n"
                  "  \"workload\": {\"scene\": \"%s\", \"kernel\": "
                  "\"uk\", \"resolution\": %d, \"detail\": %d, "
-                 "\"max_cycles\": %llu},\n"
+                 "\"max_cycles\": %llu, \"tex_caches\": %s},\n"
                  "  \"host_cores\": %d,\n  \"smoke\": %s,\n"
                  "  \"results\": [\n",
                  probe.sceneName.c_str(), probe.sceneParams.imageWidth,
                  probe.sceneParams.detail,
                  static_cast<unsigned long long>(probe.maxCycles),
+                 probe.baseConfig.texL2BytesPerPartition == 0 ? "\"off\""
+                                                              : "\"on\"",
                  hostCores, opt.smoke ? "true" : "false");
     bool allIdentical = true;
     for (size_t i = 0; i < results.size(); i++) {
@@ -198,12 +258,19 @@ main(int argc, char **argv)
         allIdentical = allIdentical && r.bitIdentical;
         std::fprintf(
             f,
-            "    {\"threads\": %d, \"sim_cycles\": %llu, "
+            "    {\"threads\": %d, \"fast_forward\": %s, "
+            "\"sim_cycles\": %llu, "
             "\"wall_seconds\": %.6f, \"sim_kcycles_per_sec\": %.2f, "
-            "\"speedup_vs_serial\": %.3f, \"bit_identical\": %s}%s\n",
-            r.threads, static_cast<unsigned long long>(r.simCycles),
-            r.wallSeconds, r.kcyclesPerSec,
+            "\"speedup_vs_serial\": %.3f, \"cycles_skipped\": %llu, "
+            "\"jumps\": %llu, \"largest_jump\": %llu, "
+            "\"bit_identical\": %s}%s\n",
+            r.threads, r.fastForward ? "true" : "false",
+            static_cast<unsigned long long>(r.simCycles), r.wallSeconds,
+            r.kcyclesPerSec,
             serialRate > 0 ? r.kcyclesPerSec / serialRate : 0.0,
+            static_cast<unsigned long long>(r.cyclesSkipped),
+            static_cast<unsigned long long>(r.jumps),
+            static_cast<unsigned long long>(r.largestJump),
             r.bitIdentical ? "true" : "false",
             i + 1 < results.size() ? "," : "");
     }
@@ -213,7 +280,8 @@ main(int argc, char **argv)
 
     if (!allIdentical) {
         std::fprintf(stderr,
-                     "ERROR: threaded run diverged from serial stats\n");
+                     "ERROR: a leg diverged from the reference stats "
+                     "(threads/fast-forward must not change results)\n");
         return 1;
     }
     return 0;

@@ -156,6 +156,8 @@ runExperiment(const PreparedScene &prepared, const ExperimentConfig &config)
     }
     r.ipc = finalStats.ipc();
     r.simtEfficiency = finalStats.simtEfficiency(gc.warpSize);
+    r.fastForward = gpu.fastForwardStats();
+    r.fastForwardEnabled = gpu.fastForwardEnabled();
     r.mraysPerSec = finalStats.itemsPerSecond(gc.clockGhz) / 1e6;
     r.hits = kernels::downloadHits(gpu, dev);
     for (int i = 0; i < gpu.numSms(); i++)

@@ -77,6 +77,10 @@ struct ExperimentResult {
     double ipc = 0.0;
     double mraysPerSec = 0.0;       ///< completed rays/s at the shader clock
     double simtEfficiency = 0.0;
+    /// Engine-side fast-forward counters (zeros when disabled). Not part
+    /// of SimStats: stats must be bit-identical across FF settings.
+    FastForwardStats fastForward;
+    bool fastForwardEnabled = false;
     std::vector<rt::Hit> hits;      ///< downloaded hit records
 
     // Observability exports (filled per ExperimentConfig flags).

@@ -90,6 +90,21 @@ struct GpuConfig {
     /// Static µ-kernel verification run by Gpu::loadProgram (verifier.hpp).
     VerifyMode verifyPrograms = VerifyMode::Off;
 
+    /**
+     * Event-driven idle-cycle fast-forward (simulator speed knob, not a
+     * modelled quantity). When a cycle completes with no memory wake-up
+     * delivered, no warp placed and no warp issued on any SM, the
+     * machine provably cannot act again before the next scheduled event
+     * (DRAM wake-up, ALU/SFU ready time, bank-conflict gate expiry), so
+     * the engine advances the clock to that event in one jump and
+     * bulk-accounts the skipped cycles. Every observable — statistics,
+     * stall attribution (sum == SMs x cycles), occupancy windows, fault
+     * lists, watchdog verdicts, trace content — is bit-identical to the
+     * naive cycle-by-cycle run (DESIGN.md "Idle-cycle fast-forward").
+     * Overridable at run time via UKSIM_FASTFWD=0/1|off|on.
+     */
+    bool fastForward = true;
+
     // --- Fault handling (fault.hpp) -----------------------------------------
     /// What applying a guest fault does: Throw (legacy, default), Trap
     /// (kill the warp, mark the run Faulted, keep going) or HaltGrid.

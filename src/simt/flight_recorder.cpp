@@ -84,6 +84,14 @@ Gpu::dumpState(std::ostream &os) const
     }
     os << "},\n";
 
+    // Engine observability, not simulation state: strip this block when
+    // comparing dumps across fast-forward settings.
+    os << "  \"fast_forward\": {\"enabled\": "
+       << (fastForward_ ? "true" : "false")
+       << ", \"cycles_skipped\": " << ffStats_.cyclesSkipped
+       << ", \"jumps\": " << ffStats_.jumps
+       << ", \"largest_jump\": " << ffStats_.largestJump << "},\n";
+
     os << "  \"sms\": [";
     for (size_t s = 0; s < sms_.size(); s++) {
         const Sm &sm = *sms_[s];

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "simt/verifier.hpp"
 
@@ -34,6 +35,25 @@ resolveHostThreads(const GpuConfig &config)
     return std::clamp(threads, 1, std::max(1, config.numSms));
 }
 
+/**
+ * Resolve the fast-forward switch: config value, overridden by
+ * UKSIM_FASTFWD when set (1/on/true enables, 0/off/false disables;
+ * anything else leaves the config value alone).
+ */
+bool
+resolveFastForward(const GpuConfig &config)
+{
+    bool enabled = config.fastForward;
+    if (const char *env = std::getenv("UKSIM_FASTFWD")) {
+        std::string v(env);
+        if (v == "1" || v == "on" || v == "true")
+            enabled = true;
+        else if (v == "0" || v == "off" || v == "false")
+            enabled = false;
+    }
+    return enabled;
+}
+
 } // anonymous namespace
 
 Gpu::Gpu(GpuConfig config)
@@ -54,6 +74,7 @@ Gpu::Gpu(GpuConfig config)
         }
     }
     hostThreads_ = resolveHostThreads(config_);
+    fastForward_ = resolveFastForward(config_);
     if (hostThreads_ > 1) {
         pool_ = std::make_unique<WorkerPool>(hostThreads_);
         stepJob_ = [this](int t) {
@@ -145,13 +166,14 @@ Gpu::loadProgram(Program program)
                           config_.numSms * config_.maxThreadsPerSm;
     local_.resize(localBytes);
 
-    // Fresh program, fresh fault / watchdog state.
+    // Fresh program, fresh fault / watchdog / fast-forward state.
     faults_.clear();
     flushFaulted_.assign(config_.numSms, 0);
     haltRequested_ = false;
     deadlocked_ = false;
     lastWarpIssueTotal_ = 0;
     noProgressCycles_ = 0;
+    ffStats_ = FastForwardStats{};
 }
 
 uint32_t
@@ -212,16 +234,16 @@ Gpu::scheduleMemWakeup(uint64_t cycle, int smId, int warpSlot)
     events_.push({cycle, smId, warpSlot});
 }
 
-void
+bool
 Gpu::fillSm(Sm &sm)
 {
     if (sm.freeWarpSlots() == 0)
-        return;
+        return false;
 
     // 1. Dynamic warps have scheduling priority (Sec. IV-D).
     if (sm.spawnEnabled() && !sm.spawnUnit()->fifoEmpty()) {
         sm.launchDynamicWarp(sm.spawnUnit()->popWarp());
-        return;
+        return true;
     }
 
     // 2. Launch-grid work.
@@ -250,7 +272,7 @@ Gpu::fillSm(Sm &sm)
                     nextTid_ += n;
                     launchedThreads += n;
                 }
-                return;
+                return true;
             }
         } else {
             uint32_t remaining = gridThreads_ - nextTid_;
@@ -265,7 +287,7 @@ Gpu::fillSm(Sm &sm)
                 assert(ok);
                 (void)ok;
                 nextTid_ += n;
-                return;
+                return true;
             }
         }
     }
@@ -276,12 +298,16 @@ Gpu::fillSm(Sm &sm)
         sm.spawnUnit()->fifoEmpty() && sm.spawnUnit()->hasPartialWarps()) {
         if (sm.spawnUnit()->freeRegionCount() == 0) {
             // The flush needs one fresh overflow region and the ring is
-            // dry: a chip-level exhaustion fault, not an abort.
+            // dry: a chip-level exhaustion fault, not an abort. That
+            // mutates machine state (fault list, dropped partials), so
+            // it counts as the chip having acted this cycle.
             handleFlushExhaustion(sm);
-            return;
+            return true;
         }
         sm.launchDynamicWarp(sm.spawnUnit()->flushLowestPcPartial(cycle_));
+        return true;
     }
+    return false;
 }
 
 void
@@ -342,8 +368,11 @@ Gpu::stepCycle()
         sms_[e.smId]->memWakeup(e.warpSlot, cycle_);
         woke = true;
     }
-    for (auto &sm : sms_)
-        fillSm(*sm);
+    bool filled = false;
+    for (auto &sm : sms_) {
+        if (fillSm(*sm))
+            filled = true;
+    }
 
     // --- Parallel phase: SMs step against SM-local state only ----------------
     if (pool_) {
@@ -358,9 +387,12 @@ Gpu::stepCycle()
     // ascending SM id, which is exactly the order the serial engine
     // performed them mid-step — so every thread count produces the same
     // bits (stats, memory images, trace content including ring drops).
+    bool anyIssued = false;
     for (auto &sm : sms_) {
         sm->drainTrace(trace_);
         sm->serviceDeferredMem(cycle_);
+        if (sm->issuedLastStep())
+            anyIssued = true;
     }
 
     // Faults detected this cycle (parallel phase or deferred replay) are
@@ -386,6 +418,69 @@ Gpu::stepCycle()
     }
 
     cycle_++;
+
+    // --- Idle-cycle fast-forward ---------------------------------------------
+    // A cycle that completed with no wake-up, no warp placement and no
+    // issue anywhere is inert: the machine state is frozen until the
+    // next scheduled event, so the cycles up to it can be skipped in
+    // bulk. Detection is end-of-cycle (three flag checks) rather than a
+    // prologue scan, so busy cycles pay essentially nothing for it.
+    if (fastForward_ && !woke && !filled && !anyIssued)
+        fastForwardIdleSpan();
+}
+
+void
+Gpu::fastForwardIdleSpan()
+{
+    if (haltRequested_ || deadlocked_ || cycle_ >= config_.maxCycles ||
+        finished()) {
+        return;
+    }
+
+    // Next cycle anything can happen: the earliest queued DRAM wake-up
+    // or the earliest SM-local ready time (ALU latency, bank-conflict
+    // gate expiry). UINT64_MAX when nothing at all is scheduled.
+    uint64_t wake = events_.empty() ? UINT64_MAX : events_.top().cycle;
+    for (const auto &sm : sms_) {
+        wake = std::min(wake, sm->nextEventCycle(cycle_));
+        if (wake <= cycle_)
+            return;
+    }
+
+    uint64_t target = std::min(wake, config_.maxCycles);
+
+    // Watchdog fidelity: with no event in flight, naive stepping counts
+    // every span cycle as no-progress, so cap the jump at the exact trip
+    // cycle and raise the verdict there. With an event in flight the
+    // naive loop sees progress every cycle and the counter stays reset.
+    bool tripWatchdog = false;
+    if (config_.watchdogCycles > 0 && events_.empty()) {
+        const uint64_t tripAt =
+            cycle_ + (config_.watchdogCycles - noProgressCycles_);
+        if (tripAt <= target) {
+            target = tripAt;
+            tripWatchdog = true;
+        }
+    }
+    if (target <= cycle_)
+        return;
+
+    const uint64_t span = target - cycle_;
+    for (auto &sm : sms_)
+        sm->skipCycles(cycle_, span);
+    if (config_.watchdogCycles > 0) {
+        if (!events_.empty())
+            noProgressCycles_ = 0;
+        else
+            noProgressCycles_ += span;
+        if (tripWatchdog && !finished())
+            deadlocked_ = true;
+    }
+
+    ffStats_.cyclesSkipped += span;
+    ffStats_.jumps++;
+    ffStats_.largestJump = std::max(ffStats_.largestJump, span);
+    cycle_ = target;
 }
 
 void

@@ -37,6 +37,18 @@
 
 namespace uksim {
 
+/**
+ * Engine-side counters for the idle-cycle fast-forward layer. These
+ * live outside SimStats on purpose: SimStats is the bit-identity
+ * contract (fast-forward on and off must produce equal SimStats), while
+ * these describe how the engine got there.
+ */
+struct FastForwardStats {
+    uint64_t cyclesSkipped = 0;     ///< total cycles bulk-accounted
+    uint64_t jumps = 0;             ///< number of fast-forward jumps
+    uint64_t largestJump = 0;       ///< longest single jump, in cycles
+};
+
 /** Occupancy derived from a program's resource declarations. */
 struct Occupancy {
     int warpsPerSm = 0;
@@ -62,6 +74,12 @@ class Gpu : public SmServices
 
     /** Resolved host thread count (config + UKSIM_THREADS override). */
     int hostThreads() const { return hostThreads_; }
+
+    /** Resolved fast-forward switch (config + UKSIM_FASTFWD override). */
+    bool fastForwardEnabled() const { return fastForward_; }
+
+    /** Fast-forward engine counters (zeros when disabled). */
+    const FastForwardStats &fastForwardStats() const { return ffStats_; }
 
     // --- Host memory API ---------------------------------------------------
     /** Allocate @p bytes of device global memory; returns the address. */
@@ -158,7 +176,24 @@ class Gpu : public SmServices
         bool operator>(const MemEvent &o) const { return cycle > o.cycle; }
     };
 
-    void fillSm(Sm &sm);
+    /**
+     * Place work on @p sm (dynamic FIFO, launch grid, partial flush).
+     * @return true when the chip acted — launched a warp, flushed a
+     *         partial, or raised the flush-exhaustion fault — i.e. the
+     *         cycle cannot be part of a quiescent span.
+     */
+    bool fillSm(Sm &sm);
+    /**
+     * Event-driven idle-cycle skip. Called right after an inert cycle
+     * (no wake-up, no fill, no SM issued): computes the next cycle at
+     * which anything can happen — the earliest DRAM wake-up, the
+     * earliest SM-local ready time, the cycle limit, the watchdog trip —
+     * bulk-accounts the provably idle span into the per-SM stall /
+     * occupancy shards, and advances the clock in one step. Every
+     * observable (SimStats, stall sums, faults, traces, memory images)
+     * is bit-identical to naive stepping.
+     */
+    void fastForwardIdleSpan();
     void refreshStats() const;
     /**
      * Serial-phase fault pass: collect queued faults in SM-id order and
@@ -211,6 +246,10 @@ class Gpu : public SmServices
     uint64_t lastWarpIssueTotal_ = 0;
     uint64_t noProgressCycles_ = 0;
     bool deadlocked_ = false;
+
+    // --- Idle-cycle fast-forward (config.fastForward / UKSIM_FASTFWD) ------
+    bool fastForward_ = true;
+    FastForwardStats ffStats_;
 };
 
 } // namespace uksim

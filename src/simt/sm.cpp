@@ -5,6 +5,7 @@
 
 #include "simt/sm.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <stdexcept>
@@ -51,6 +52,7 @@ Sm::configureOccupancy(int resident_warps)
     const int threads = resident_warps * config_.warpSize;
     regs_.assign(size_t(threads) * kMaxRegisters, 0);
     preds_.assign(size_t(threads) * kNumPredicates, 0);
+    touchIdleScan();
 
     if (!program_.microKernels.empty()) {
         uint32_t state = program_.resources.spawnStateBytes;
@@ -135,6 +137,7 @@ Sm::launchInitialWarp(std::span<const uint32_t> tids, uint32_t blockId)
     if (spawnEnabled() && freeStateSlots_.size() < tids.size())
         return false;
 
+    touchIdleScan();
     slot->valid = true;
     slot->blockId = blockId;
     slot->dynamic = false;
@@ -183,6 +186,7 @@ Sm::launchDynamicWarp(const FormedWarp &formed)
     if (!slot)
         return false;
 
+    touchIdleScan();
     slot->valid = true;
     slot->blockId = 0xffffffffu;
     slot->dynamic = true;
@@ -280,6 +284,7 @@ Sm::killWarp(int warpSlot, uint64_t now)
     // A warp faults while issuing (or replaying its own deferred memory
     // access), so it can never be parked on an off-chip wait.
     assert(w.outstandingMem == 0);
+    touchIdleScan();
 
     if (spawnEnabled()) {
         // Dead threads that still own a spawn-state slot release it;
@@ -339,22 +344,25 @@ Sm::recordStall(trace::StallReason reason)
 trace::StallReason
 Sm::classifyIdle() const
 {
-    bool anyValid = false, anyMem = false, anyBarrier = false;
-    for (const Warp &w : warps_) {
-        if (!w.valid)
-            continue;
-        anyValid = true;
-        if (w.outstandingMem > 0)
-            anyMem = true;
-        else if (w.waitingBarrier)
-            anyBarrier = true;
+    if (!idleScanValid_) {
+        idleScan_ = IdleScan{};
+        for (const Warp &w : warps_) {
+            if (!w.valid)
+                continue;
+            idleScan_.anyValid = true;
+            if (w.outstandingMem > 0)
+                idleScan_.anyMem = true;
+            else if (w.waitingBarrier)
+                idleScan_.anyBarrier = true;
+        }
+        idleScanValid_ = true;
     }
-    if (anyValid) {
+    if (idleScan_.anyValid) {
         // Memory waits dominate the attribution: a mem-stalled warp is
         // what keeps barrier partners (and the issue slot) waiting.
-        if (anyMem)
+        if (idleScan_.anyMem)
             return trace::StallReason::Scoreboard;
-        if (anyBarrier)
+        if (idleScan_.anyBarrier)
             return trace::StallReason::Barrier;
         // Every live warp is waiting on an in-flight ALU/SFU result
         // (readyAt > now): a scoreboard wait on the result register.
@@ -373,6 +381,7 @@ void
 Sm::step(uint64_t now)
 {
     faultCycle_ = now;
+    issuedLastStep_ = false;
     if (warps_.empty()) {
         recordStall(trace::StallReason::NoWarps);
         return;
@@ -389,6 +398,7 @@ Sm::step(uint64_t now)
         if (w.issuable(now)) {
             rrCursor_ = (slot + 1) % n;
             recordStall(trace::StallReason::Issued);
+            issuedLastStep_ = true;
             issue(w, now);
             return;
         }
@@ -400,6 +410,7 @@ Sm::step(uint64_t now)
 void
 Sm::issue(Warp &w, uint64_t now)
 {
+    touchIdleScan();
     const uint32_t pc = w.stack.pc();
     faultPc_ = pc;
     if (pc >= decoded_.size()) {
@@ -702,6 +713,7 @@ Sm::serviceDeferredMem(uint64_t now)
 {
     if (pendingMem_.inst == nullptr)
         return;
+    touchIdleScan();
     const DecodedInst &d = *pendingMem_.inst;
     const Instruction &inst = *d.inst;
     Warp &w = warps_[pendingMem_.warpSlot];
@@ -970,9 +982,55 @@ Sm::memWakeup(int warpSlot, uint64_t now)
 {
     Warp &w = warps_.at(warpSlot);
     assert(w.outstandingMem > 0);
+    touchIdleScan();
     w.outstandingMem--;
     if (w.outstandingMem == 0 && w.readyAt < now)
         w.readyAt = now;
+}
+
+uint64_t
+Sm::nextEventCycle(uint64_t now) const
+{
+    uint64_t next = UINT64_MAX;
+    // The bank-conflict gate is itself an event: the cycle it lapses,
+    // the stall classification flips away from BankConflict, so a skip
+    // must never jump across it.
+    if (issueBlockedUntil_ > now)
+        next = issueBlockedUntil_;
+    for (const Warp &w : warps_) {
+        // Warps parked on an off-chip access, a barrier or a fault
+        // freeze wake via external events (the chip wakeup queue, a
+        // barrier partner's issue, the fault policy) — never by the
+        // clock alone — so they contribute nothing here.
+        if (!w.valid || w.faulted || w.waitingBarrier ||
+            w.outstandingMem > 0 || w.stack.empty()) {
+            continue;
+        }
+        uint64_t ready = std::max(w.readyAt, issueBlockedUntil_);
+        if (ready < next)
+            next = ready;
+        if (next <= now)
+            return now;
+    }
+    return std::max(next, now);
+}
+
+void
+Sm::skipCycles(uint64_t fromCycle, uint64_t count)
+{
+    // Mirror step()'s per-cycle bookkeeping for a span where every
+    // input to it is frozen: same stall reason each cycle, and the
+    // no-resident-warp-contexts case records no idle slot (step()
+    // returns before recordIdle there).
+    if (warps_.empty()) {
+        localStats_.stall.record(trace::StallReason::NoWarps, count);
+        return;
+    }
+    trace::StallReason reason = issueBlockedUntil_ > fromCycle
+                                    ? trace::StallReason::BankConflict
+                                    : classifyIdle();
+    localStats_.stall.record(reason, count);
+    localStats_.recordIdleSpan(fromCycle, count);
 }
 
 } // namespace uksim

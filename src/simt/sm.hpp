@@ -118,6 +118,31 @@ class Sm
     /** Advance one cycle: issue at most one warp instruction. */
     void step(uint64_t now);
 
+    /** True when the last step() call issued a warp instruction. */
+    bool issuedLastStep() const { return issuedLastStep_; }
+
+    /**
+     * Earliest cycle >= @p now at which this SM could act on its own —
+     * the minimum over the ready times of warps that are not parked on
+     * an external wake-up (off-chip access, barrier release, fault
+     * freeze), each gated by the bank-conflict issue block, plus the
+     * gate expiry itself (the stall classification flips from
+     * BankConflict when it lapses). Mem-parked warps are excluded: their
+     * wake-ups live in the chip-level event queue. Returns @p now when a
+     * warp is issuable immediately and UINT64_MAX when nothing is
+     * scheduled (the SM only moves again via external events or fills).
+     */
+    uint64_t nextEventCycle(uint64_t now) const;
+
+    /**
+     * Fast-forward bulk accounting: attribute @p count consecutive
+     * provably idle cycles starting at @p fromCycle exactly as @p count
+     * naive step() calls would have — one stall reason per cycle (the
+     * classifier inputs are frozen across the span, so the reason is
+     * constant) and the matching idle occupancy-window entries.
+     */
+    void skipCycles(uint64_t fromCycle, uint64_t count);
+
     /**
      * Replay this cycle's deferred global/local memory instruction (if
      * any) against the shared stores, DRAM model and texture L2s.
@@ -226,6 +251,8 @@ class Sm
     void recordStall(trace::StallReason reason);
     /** Why no warp could issue this cycle (some warp context exists). */
     trace::StallReason classifyIdle() const;
+    /** Invalidate the memoized classifyIdle warp scan. */
+    void touchIdleScan() { idleScanValid_ = false; }
 
     ResidentBlock *findBlock(uint32_t blockId);
 
@@ -259,6 +286,23 @@ class Sm
 
     int rrCursor_ = 0;
     uint64_t issueBlockedUntil_ = 0;
+    bool issuedLastStep_ = false;
+
+    /**
+     * Memoized classifyIdle warp scan. The (anyValid, anyMem,
+     * anyBarrier) triple only changes when warp state mutates — launch,
+     * issue, wake-up, deferred-memory replay, warp kill — so idle
+     * stretches reuse one scan instead of walking all warp slots every
+     * cycle. The cheap inputs (grid cursor, spawn FIFO) are read fresh
+     * on every call.
+     */
+    struct IdleScan {
+        bool anyValid = false;
+        bool anyMem = false;
+        bool anyBarrier = false;
+    };
+    mutable IdleScan idleScan_;
+    mutable bool idleScanValid_ = false;
     uint32_t nextDynamicTid_ = 0;
     uint32_t gridThreads_ = 0;
 

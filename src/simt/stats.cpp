@@ -5,6 +5,7 @@
 
 #include "simt/stats.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -51,6 +52,21 @@ SimStats::recordIdle(uint64_t cycle)
 {
     idleIssueSlots++;
     windowFor(cycle).idleIssueSlots++;
+}
+
+void
+SimStats::recordIdleSpan(uint64_t startCycle, uint64_t count)
+{
+    idleIssueSlots += count;
+    while (count > 0) {
+        OccupancyWindow &w = windowFor(startCycle);
+        const uint64_t windowEnd =
+            (startCycle / windowCycles_ + 1) * windowCycles_;
+        const uint64_t n = std::min(count, windowEnd - startCycle);
+        w.idleIssueSlots += n;
+        startCycle += n;
+        count -= n;
+    }
 }
 
 SimStats &

@@ -118,6 +118,13 @@ struct SimStats {
     void recordIssue(uint64_t cycle, int activeLanes);
     /** Record an SM issue slot that went idle. */
     void recordIdle(uint64_t cycle);
+    /**
+     * Bulk recordIdle for @p count consecutive idle cycles starting at
+     * @p startCycle (fast-forwarded span). Extends the occupancy series
+     * exactly as @p count recordIdle calls would — same windows, same
+     * per-window idle counts — just without the per-cycle loop.
+     */
+    void recordIdleSpan(uint64_t startCycle, uint64_t count);
 
     /** CSV of the divergence-breakdown series (one row per window). */
     std::string occupancyCsv() const;

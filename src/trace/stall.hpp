@@ -61,6 +61,16 @@ struct StallCounters {
         counts[static_cast<int>(reason)]++;
     }
 
+    /**
+     * Bulk attribution for a fast-forwarded idle span: @p n consecutive
+     * cycles that all classified to the same @p reason (the classifier
+     * inputs are provably frozen across a skipped span).
+     */
+    void record(StallReason reason, uint64_t n)
+    {
+        counts[static_cast<int>(reason)] += n;
+    }
+
     uint64_t count(StallReason reason) const
     {
         return counts[static_cast<int>(reason)];

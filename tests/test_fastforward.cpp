@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Event-driven idle-cycle fast-forward: the engine may skip provably
+ * quiescent cycles in bulk, but every observable — SimStats (including
+ * the stall attribution and occupancy series), fault records, run
+ * outcomes, flight-recorder dumps — must be bit-identical to naive
+ * per-cycle stepping, at any host thread count and under any fault
+ * policy. The only thing fast-forward is allowed to change is wall
+ * time, reported via Gpu::fastForwardStats().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simt/assembler.hpp"
+#include "simt/gpu.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+
+namespace {
+
+/**
+ * Memory-bound kernel: one DRAM round trip (~hundreds of cycles) per
+ * warp with nothing else to issue — the quintessential skippable span.
+ */
+const char kMemLoad[] = R"(
+    .entry main
+    main:
+        mov.u32 r1, 0;
+        ld.global.u32 r0, [r1+0];
+        exit;
+)";
+
+/** Minimal spawn program: every launch thread spawns one child. */
+const char kSpawnOnce[] = R"(
+    .entry main
+    .microkernel mk
+    .spawn_state 16
+    main:
+        mov.u32 r5, %spawnaddr;
+        spawn mk, r5;
+        exit;
+    mk:
+        exit;
+)";
+
+/** Global load far beyond the allocated store (guest fault). */
+const char kMemOutOfBounds[] = R"(
+    .entry main
+    main:
+        mov.u32 r1, 4026531840;
+        ld.global.u32 r0, [r1+0];
+        exit;
+)";
+
+/**
+ * Warp 0 parks at a barrier warp 1 never reaches: a genuine deadlock
+ * whose tail is one endless quiescent span.
+ */
+const char kBarrierDeadlock[] = R"(
+    .entry main
+    main:
+        mov.u32 r0, %tid;
+        setp.lt.u32 p0, r0, 32;
+        @p0 bra waiter;
+        nop;
+        nop;
+        nop;
+        nop;
+        nop;
+        nop;
+        exit;
+    waiter:
+        bar;
+        exit;
+)";
+
+struct SimRun {
+    RunOutcome outcome = RunOutcome::Completed;
+    std::vector<SimFault> faults;
+    SimStats stats;
+    std::string dump;
+    FastForwardStats ff;
+    bool ffEnabled = false;
+};
+
+SimRun
+runProgram(const char *source, const GpuConfig &cfg, uint32_t threads)
+{
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(source));
+    gpu.mallocGlobal(4096);     // make address 0 a legal load
+    gpu.launch(threads);
+    try {
+        gpu.run();
+    } catch (const GuestFault &) {
+        // Throw policy: the fault is recorded before the throw; keep
+        // the machine state for comparison.
+    }
+    SimRun r;
+    r.outcome = gpu.outcome();
+    r.faults = gpu.faults();
+    r.stats = gpu.stats();
+    r.ff = gpu.fastForwardStats();
+    r.ffEnabled = gpu.fastForwardEnabled();
+    std::ostringstream os;
+    gpu.dumpState(os);
+    r.dump = os.str();
+    return r;
+}
+
+/**
+ * The "fast_forward" dump block reports how the engine ran, not what it
+ * simulated, so it legitimately differs across fast-forward settings.
+ * Remove it before comparing dumps for bit-identity.
+ */
+std::string
+stripFastForwardBlock(std::string dump)
+{
+    const size_t start = dump.find("  \"fast_forward\": ");
+    if (start == std::string::npos)
+        return dump;
+    const size_t end = dump.find('\n', start);
+    dump.erase(start, end == std::string::npos
+                          ? std::string::npos
+                          : end - start + 1);
+    return dump;
+}
+
+/** Neutralize the CI matrix's env overrides; tests pin both knobs. */
+class FastForward : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        saveEnv("UKSIM_THREADS");
+        saveEnv("UKSIM_FASTFWD");
+        config_ = test::smallConfig();
+    }
+
+    void TearDown() override
+    {
+        for (const auto &[name, value] : saved_) {
+            if (value.has_value())
+                setenv(name.c_str(), value->c_str(), 1);
+            else
+                unsetenv(name.c_str());
+        }
+    }
+
+    GpuConfig config_;
+
+  private:
+    void saveEnv(const char *name)
+    {
+        const char *env = std::getenv(name);
+        saved_.emplace_back(name, env ? std::optional<std::string>(env)
+                                      : std::nullopt);
+        unsetenv(name);
+    }
+
+    std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
+
+// ---------------------------------------------------------------------
+// Bit-identity matrix: kernels x fault policies x host thread counts.
+// ---------------------------------------------------------------------
+
+TEST_F(FastForward, BitIdenticalAcrossKernelsPoliciesAndThreads)
+{
+    struct Kernel {
+        const char *name;
+        const char *source;
+        uint32_t threads;
+    };
+    const Kernel kernels[] = {
+        {"pdom-mem", kMemLoad, 64},
+        {"uk-spawn", kSpawnOnce, 128},
+    };
+    for (const Kernel &k : kernels) {
+        for (FaultPolicy policy : {FaultPolicy::Throw, FaultPolicy::Trap}) {
+            for (int threads : {1, 2, 4}) {
+                SCOPED_TRACE(std::string(k.name) + " policy=" +
+                             faultPolicyName(policy) + " threads=" +
+                             std::to_string(threads));
+                GpuConfig cfg = config_;
+                cfg.faultPolicy = policy;
+                cfg.hostThreads = threads;
+
+                cfg.fastForward = false;
+                SimRun naive = runProgram(k.source, cfg, k.threads);
+                cfg.fastForward = true;
+                SimRun fast = runProgram(k.source, cfg, k.threads);
+
+                EXPECT_EQ(fast.outcome, naive.outcome);
+                EXPECT_EQ(fast.faults, naive.faults);
+                EXPECT_TRUE(fast.stats == naive.stats);
+                EXPECT_TRUE(fast.stats.stall == naive.stats.stall);
+                EXPECT_EQ(stripFastForwardBlock(fast.dump),
+                          stripFastForwardBlock(naive.dump));
+                EXPECT_EQ(naive.ff.cyclesSkipped, 0u);
+            }
+        }
+    }
+}
+
+TEST_F(FastForward, StallSumInvariantHoldsAfterSkips)
+{
+    config_.fastForward = true;
+    SimRun r = runProgram(kMemLoad, config_, 64);
+    EXPECT_EQ(r.outcome, RunOutcome::Completed);
+    // The skipped spans were bulk-attributed, never dropped: every SM
+    // still classified every cycle into exactly one stall reason.
+    EXPECT_GT(r.ff.cyclesSkipped, 0u);
+    EXPECT_EQ(r.stats.stall.total(),
+              uint64_t(config_.numSms) * r.stats.cycles);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog interaction.
+// ---------------------------------------------------------------------
+
+TEST_F(FastForward, JumpLargerThanWatchdogWindowIsProgress)
+{
+    // One DRAM round trip is far longer than the watchdog window. The
+    // fast-forward jump lands past several windows' worth of cycles in
+    // one step; the in-flight wake-up means the naive loop saw progress
+    // every cycle, and the jump must count the same way — no spurious
+    // deadlock verdict.
+    config_.numSms = 1;
+    config_.watchdogCycles = 16;
+
+    config_.fastForward = false;
+    SimRun naive = runProgram(kMemLoad, config_, 32);
+    config_.fastForward = true;
+    SimRun fast = runProgram(kMemLoad, config_, 32);
+
+    EXPECT_EQ(naive.outcome, RunOutcome::Completed);
+    EXPECT_EQ(fast.outcome, RunOutcome::Completed);
+    EXPECT_GT(fast.ff.largestJump, config_.watchdogCycles);
+    EXPECT_TRUE(fast.stats == naive.stats);
+}
+
+TEST_F(FastForward, BarrierDeadlockVerdictIdentical)
+{
+    // A genuine deadlock: after the last issue the machine is one
+    // endless quiescent span with no event in flight. Fast-forward must
+    // trip the watchdog at the exact naive cycle, not rocket past it to
+    // the cycle cap.
+    config_.scheduling = SchedulingMode::Block;
+    config_.blockSizeThreads = 64;
+    config_.watchdogCycles = 1000;
+    config_.maxCycles = 100000;
+
+    config_.fastForward = false;
+    SimRun naive = runProgram(kBarrierDeadlock, config_, 64);
+    config_.fastForward = true;
+    SimRun fast = runProgram(kBarrierDeadlock, config_, 64);
+
+    EXPECT_EQ(naive.outcome, RunOutcome::Deadlock);
+    EXPECT_EQ(fast.outcome, RunOutcome::Deadlock);
+    EXPECT_EQ(fast.stats.cycles, naive.stats.cycles);
+    EXPECT_LT(fast.stats.cycles, 5000u);
+    EXPECT_TRUE(fast.stats == naive.stats);
+    EXPECT_EQ(stripFastForwardBlock(fast.dump),
+              stripFastForwardBlock(naive.dump));
+}
+
+TEST_F(FastForward, CycleLimitReachedAtExactCap)
+{
+    // Watchdog off: the deadlocked tail burns the whole budget. The
+    // jump is capped at maxCycles, so the run ends at exactly the cap
+    // with the full idle tail attributed.
+    config_.scheduling = SchedulingMode::Block;
+    config_.blockSizeThreads = 64;
+    config_.watchdogCycles = 0;
+    config_.maxCycles = 20000;
+
+    config_.fastForward = false;
+    SimRun naive = runProgram(kBarrierDeadlock, config_, 64);
+    config_.fastForward = true;
+    SimRun fast = runProgram(kBarrierDeadlock, config_, 64);
+
+    EXPECT_EQ(naive.outcome, RunOutcome::CycleLimit);
+    EXPECT_EQ(fast.outcome, RunOutcome::CycleLimit);
+    EXPECT_EQ(fast.stats.cycles, 20000u);
+    EXPECT_TRUE(fast.stats == naive.stats);
+    // Nearly the whole budget was one skip.
+    EXPECT_GT(fast.ff.largestJump, 10000u);
+}
+
+// ---------------------------------------------------------------------
+// Fault attribution.
+// ---------------------------------------------------------------------
+
+TEST_F(FastForward, FaultAttributionIdentical)
+{
+    for (FaultPolicy policy : {FaultPolicy::Throw, FaultPolicy::Trap}) {
+        SCOPED_TRACE(faultPolicyName(policy));
+        GpuConfig cfg = config_;
+        cfg.faultPolicy = policy;
+
+        cfg.fastForward = false;
+        SimRun naive = runProgram(kMemOutOfBounds, cfg, 32);
+        cfg.fastForward = true;
+        SimRun fast = runProgram(kMemOutOfBounds, cfg, 32);
+
+        EXPECT_EQ(naive.outcome, RunOutcome::Faulted);
+        EXPECT_EQ(fast.outcome, RunOutcome::Faulted);
+        ASSERT_FALSE(naive.faults.empty());
+        EXPECT_EQ(fast.faults, naive.faults);
+        EXPECT_EQ(fast.faults.front().cycle, naive.faults.front().cycle);
+        EXPECT_EQ(fast.faults.front().pc, naive.faults.front().pc);
+        EXPECT_TRUE(fast.stats == naive.stats);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Skip statistics and knobs.
+// ---------------------------------------------------------------------
+
+TEST_F(FastForward, SkipStatisticsRecorded)
+{
+    config_.fastForward = true;
+    SimRun on = runProgram(kMemLoad, config_, 64);
+    EXPECT_TRUE(on.ffEnabled);
+    EXPECT_GT(on.ff.cyclesSkipped, 0u);
+    EXPECT_GT(on.ff.jumps, 0u);
+    EXPECT_GT(on.ff.largestJump, 0u);
+    EXPECT_LE(on.ff.largestJump, on.ff.cyclesSkipped);
+    EXPECT_NE(on.dump.find("\"fast_forward\": {\"enabled\": true"),
+              std::string::npos);
+    EXPECT_NE(on.dump.find("\"cycles_skipped\": "), std::string::npos);
+
+    config_.fastForward = false;
+    SimRun off = runProgram(kMemLoad, config_, 64);
+    EXPECT_FALSE(off.ffEnabled);
+    EXPECT_EQ(off.ff.cyclesSkipped, 0u);
+    EXPECT_EQ(off.ff.jumps, 0u);
+    EXPECT_EQ(off.ff.largestJump, 0u);
+    EXPECT_NE(off.dump.find("\"fast_forward\": {\"enabled\": false"),
+              std::string::npos);
+}
+
+TEST_F(FastForward, EnvOverrideControlsTheSwitch)
+{
+    config_.fastForward = true;
+    for (const char *off : {"0", "off", "false"}) {
+        SCOPED_TRACE(off);
+        setenv("UKSIM_FASTFWD", off, 1);
+        SimRun r = runProgram(kMemLoad, config_, 32);
+        EXPECT_FALSE(r.ffEnabled);
+        EXPECT_EQ(r.ff.cyclesSkipped, 0u);
+    }
+    config_.fastForward = false;
+    for (const char *on : {"1", "on", "true"}) {
+        SCOPED_TRACE(on);
+        setenv("UKSIM_FASTFWD", on, 1);
+        SimRun r = runProgram(kMemLoad, config_, 32);
+        EXPECT_TRUE(r.ffEnabled);
+        EXPECT_GT(r.ff.cyclesSkipped, 0u);
+    }
+    unsetenv("UKSIM_FASTFWD");
+}
+
+} // namespace

@@ -148,6 +148,12 @@ main(int argc, char **argv)
         std::printf("ukdump: %s  outcome %s  cycles %llu  %zu fault(s)\n",
                     opts.config.c_str(), runOutcomeName(r.outcome),
                     (unsigned long long)r.stats.cycles, r.faults.size());
+        std::printf("fast-forward: %s  skipped %llu cycle(s) in %llu "
+                    "jump(s), largest %llu\n",
+                    r.fastForwardEnabled ? "on" : "off",
+                    (unsigned long long)r.fastForward.cyclesSkipped,
+                    (unsigned long long)r.fastForward.jumps,
+                    (unsigned long long)r.fastForward.largestJump);
         for (const SimFault &f : r.faults)
             std::printf("  %s\n", f.describe().c_str());
 
