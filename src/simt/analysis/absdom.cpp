@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Interval arithmetic for the abstract value domain.
+ */
+
+#include "simt/analysis/absdom.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace uksim::analysis {
+
+namespace {
+
+constexpr uint64_t kMaxU32 = Interval::kMaxU32;
+
+/** [lo, hi] + [lo, hi], Top on 32-bit overflow (no wraparound model). */
+Interval
+addIv(const Interval &a, const Interval &b)
+{
+    if (a.hi + b.hi > kMaxU32)
+        return Interval::full();
+    return {a.lo + b.lo, a.hi + b.hi};
+}
+
+/** a - b, Top when the result could go below zero. */
+Interval
+subIv(const Interval &a, const Interval &b)
+{
+    if (a.lo < b.hi)
+        return Interval::full();
+    return {a.lo - b.hi, a.hi - b.lo};
+}
+
+Interval
+mulIv(const Interval &a, const Interval &b)
+{
+    // Both bounds are non-negative, so the extremes are lo*lo / hi*hi.
+    if (a.hi != 0 && b.hi > kMaxU32 / a.hi)
+        return Interval::full();
+    return {a.lo * b.lo, a.hi * b.hi};
+}
+
+Interval
+shlIv(const Interval &a, uint32_t k)
+{
+    k &= 31;
+    if (a.hi > (kMaxU32 >> k))
+        return Interval::full();
+    return {a.lo << k, a.hi << k};
+}
+
+} // anonymous namespace
+
+Interval
+joinInterval(const Interval &a, const Interval &b)
+{
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+AbsValue
+joinValue(const AbsValue &a, const AbsValue &b)
+{
+    if (a.base != b.base || a.scale != b.scale)
+        return AbsValue::top();
+    return {a.base, a.scale, joinInterval(a.iv, b.iv)};
+}
+
+AbsValue
+widenValue(const AbsValue &prev, const AbsValue &next)
+{
+    if (prev.base != next.base || prev.scale != next.scale)
+        return AbsValue::top();
+    Interval w = prev.iv;
+    if (next.iv.lo < prev.iv.lo)
+        w.lo = 0;
+    if (next.iv.hi > prev.iv.hi)
+        w.hi = kMaxU32;
+    return {prev.base, prev.scale, w};
+}
+
+std::string
+AbsValue::str() const
+{
+    std::ostringstream os;
+    switch (base) {
+      case Base::SpawnRaw: os << "spawnraw+"; break;
+      case Base::StatePtr: os << "state+"; break;
+      case Base::Slot:     os << "slot*" << scale << "+"; break;
+      case Base::Num:      break;
+    }
+    if (iv.isFull())
+        os << "top";
+    else
+        os << "[" << iv.lo << "," << iv.hi << "]";
+    return os.str();
+}
+
+AbsValue
+evalOperand(const Operand &o, const AbsRegFile &regs, bool microKernel)
+{
+    switch (o.kind) {
+      case OperandKind::Reg:
+        return o.reg >= 0 && o.reg < kMaxRegisters ? regs[o.reg]
+                                                   : AbsValue::top();
+      case OperandKind::Imm:
+        return AbsValue::konst(o.imm);
+      case OperandKind::Special:
+        if (o.sreg == SpecialReg::SpawnMemAddr) {
+            // In a launch thread %spawnaddr IS the state record; in a
+            // spawned µ-kernel it is the formation word (Fig. 6).
+            return AbsValue::make(microKernel ? AbsValue::Base::SpawnRaw
+                                              : AbsValue::Base::StatePtr,
+                                  Interval::konst(0));
+        }
+        if (o.sreg == SpecialReg::Slot) {
+            return AbsValue::make(AbsValue::Base::Slot,
+                                  Interval::konst(0), 1);
+        }
+        return AbsValue::top();
+      default:
+        return AbsValue::top();
+    }
+}
+
+AbsValue
+evalArith(const Instruction &inst, const AbsRegFile &regs,
+          bool microKernel)
+{
+    const AbsValue a = evalOperand(inst.src[0], regs, microKernel);
+    const AbsValue b = evalOperand(inst.src[1], regs, microKernel);
+
+    if (inst.op == Opcode::Mov)
+        return a;
+    if (inst.op == Opcode::SelP)
+        return joinValue(a, b);     // either value; keep the hull
+    if (inst.type == DataType::F32)
+        return AbsValue::top();     // float arithmetic is never an address
+
+    const bool aNum = a.base == AbsValue::Base::Num;
+    const bool bNum = b.base == AbsValue::Base::Num;
+    const bool symA = !aNum;        // pointer-like or slot-scaled
+
+    switch (inst.op) {
+      case Opcode::Add:
+        if (aNum && bNum)
+            return {AbsValue::Base::Num, 0, addIv(a.iv, b.iv)};
+        if (symA && bNum) {
+            Interval s = addIv(a.iv, b.iv);
+            return s.isFull() ? AbsValue::top()
+                              : AbsValue::make(a.base, s, a.scale);
+        }
+        if (aNum && !bNum) {
+            Interval s = addIv(a.iv, b.iv);
+            return s.isFull() ? AbsValue::top()
+                              : AbsValue::make(b.base, s, b.scale);
+        }
+        return AbsValue::top();
+      case Opcode::Sub:
+        if (aNum && bNum)
+            return {AbsValue::Base::Num, 0, subIv(a.iv, b.iv)};
+        if (symA && bNum) {
+            Interval s = subIv(a.iv, b.iv);
+            return s.isFull() ? AbsValue::top()
+                              : AbsValue::make(a.base, s, a.scale);
+        }
+        return AbsValue::top();
+      case Opcode::Mul:
+        if (aNum && bNum)
+            return {AbsValue::Base::Num, 0, mulIv(a.iv, b.iv)};
+        // %slot * const stride (either operand order): scale the base.
+        if (a.base == AbsValue::Base::Slot && b.isConst() &&
+            b.iv.lo > 0 && a.scale <= kMaxU32 / b.iv.lo) {
+            Interval s = mulIv(a.iv, b.iv);
+            if (!s.isFull()) {
+                return AbsValue::make(AbsValue::Base::Slot, s,
+                                      a.scale * uint32_t(b.iv.lo));
+            }
+        }
+        if (b.base == AbsValue::Base::Slot && a.isConst() &&
+            a.iv.lo > 0 && b.scale <= kMaxU32 / a.iv.lo) {
+            Interval s = mulIv(a.iv, b.iv);
+            if (!s.isFull()) {
+                return AbsValue::make(AbsValue::Base::Slot, s,
+                                      b.scale * uint32_t(a.iv.lo));
+            }
+        }
+        return AbsValue::top();
+      case Opcode::Mad: {
+        // d = a * b + c: fold through the same add/mul rules.
+        Instruction mul = inst;
+        mul.op = Opcode::Mul;
+        const AbsValue prod = evalArith(mul, regs, microKernel);
+        const AbsValue c = evalOperand(inst.src[2], regs, microKernel);
+        if (prod.base == AbsValue::Base::Num &&
+            c.base == AbsValue::Base::Num) {
+            return {AbsValue::Base::Num, 0, addIv(prod.iv, c.iv)};
+        }
+        return AbsValue::top();
+      }
+      case Opcode::Div:
+        if (inst.type != DataType::U32 || !(aNum && bNum))
+            return AbsValue::top();
+        if (b.iv.lo == 0)
+            return AbsValue::top();     // possible div-by-zero
+        return {AbsValue::Base::Num, 0,
+                Interval::range(a.iv.lo / b.iv.hi, a.iv.hi / b.iv.lo)};
+      case Opcode::Rem:
+        if (inst.type != DataType::U32 || !(aNum && bNum))
+            return AbsValue::top();
+        if (b.iv.lo == 0)
+            return AbsValue::top();
+        return {AbsValue::Base::Num, 0,
+                Interval::range(0, std::min(a.iv.hi, b.iv.hi - 1))};
+      case Opcode::Min:
+        if (inst.type != DataType::U32 || !(aNum && bNum))
+            return AbsValue::top();
+        return {AbsValue::Base::Num, 0,
+                Interval::range(std::min(a.iv.lo, b.iv.lo),
+                                std::min(a.iv.hi, b.iv.hi))};
+      case Opcode::Max:
+        if (inst.type != DataType::U32 || !(aNum && bNum))
+            return AbsValue::top();
+        return {AbsValue::Base::Num, 0,
+                Interval::range(std::max(a.iv.lo, b.iv.lo),
+                                std::max(a.iv.hi, b.iv.hi))};
+      case Opcode::And:
+        if (!(aNum && bNum))
+            return AbsValue::top();
+        if (a.isConst() && b.isConst())
+            return AbsValue::konst(uint32_t(a.iv.lo) & uint32_t(b.iv.lo));
+        // x & m never exceeds either operand: the mask bound that makes
+        // `and r, r, 3` a provably in-bounds table index.
+        return {AbsValue::Base::Num, 0,
+                Interval::range(0, std::min(a.iv.hi, b.iv.hi))};
+      case Opcode::Or:
+        if (aNum && bNum && a.isConst() && b.isConst())
+            return AbsValue::konst(uint32_t(a.iv.lo) | uint32_t(b.iv.lo));
+        return AbsValue::top();
+      case Opcode::Xor:
+        if (aNum && bNum && a.isConst() && b.isConst())
+            return AbsValue::konst(uint32_t(a.iv.lo) ^ uint32_t(b.iv.lo));
+        return AbsValue::top();
+      case Opcode::Not:
+        if (aNum && a.isConst())
+            return AbsValue::konst(~uint32_t(a.iv.lo));
+        return AbsValue::top();
+      case Opcode::Shl:
+        if (!bNum || !b.isConst())
+            return AbsValue::top();
+        if (aNum)
+            return {AbsValue::Base::Num, 0,
+                    shlIv(a.iv, uint32_t(b.iv.lo))};
+        return AbsValue::top();
+      case Opcode::Shr: {
+        if (!(aNum && bNum) || !b.isConst())
+            return AbsValue::top();
+        const uint32_t k = uint32_t(b.iv.lo) & 31;
+        if (inst.type == DataType::S32) {
+            // Arithmetic shift only folds when provably non-negative.
+            if (a.iv.hi > 0x7fffffffULL)
+                return AbsValue::top();
+        }
+        return {AbsValue::Base::Num, 0,
+                Interval::range(a.iv.lo >> k, a.iv.hi >> k)};
+      }
+      case Opcode::MulHi:
+        if (aNum && bNum && a.isConst() && b.isConst()) {
+            return AbsValue::konst(
+                uint32_t((a.iv.lo * b.iv.lo) >> 32));
+        }
+        return AbsValue::top();
+      case Opcode::Cvt:
+        // Bit-preserving integer conversions keep the bounds.
+        if (inst.type != DataType::F32 && inst.srcType == DataType::U32)
+            return a;
+        return AbsValue::top();
+      default:
+        return AbsValue::top();
+    }
+}
+
+} // namespace uksim::analysis

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Abstract value domain shared by the verifier and the analysis passes.
+ *
+ * PR 1's verifier resolved addresses with a constant-only lattice
+ * (Top | Const | SpawnRaw+c | StatePtr+c); this generalizes the offset
+ * to a u32 *interval* and adds a fourth symbolic base for the canonical
+ * per-thread shared-memory addressing pattern `%slot * stride + off`:
+ *
+ *     value =  base  +  [lo, hi]
+ *     base  ∈  { Num, SpawnRaw, StatePtr, Slot·scale }
+ *
+ * - Num:      a plain number; [lo, hi] bounds the 32-bit value itself.
+ *   A singleton interval is exactly the old Const.
+ * - SpawnRaw: the raw %spawnaddr value — the state-record base in a
+ *   launch thread's view, the warp-formation word in a µ-kernel.
+ * - StatePtr: the parent's spawn-state record base (what `.spawn_state`
+ *   bounds are checked against).
+ * - Slot:     %slot * scale; when scale equals the program's declared
+ *   .shared_per_thread stride, offsets within [0, stride) are provably
+ *   inside the thread's own shared slice.
+ *
+ * Arithmetic folds intervals through the integer ALU ops the assembler
+ * emits for addressing (add/sub/mul/div/rem/min/max/and/or/xor/shl/shr/
+ * mad/selp). Offsets are treated as non-wrapping: any computation that
+ * could exceed 32 bits degrades to Top rather than modelling wraparound
+ * (a kernel relying on address wraparound is beyond lint scope).
+ *
+ * The interval join has unbounded ascending chains under loop-carried
+ * increments, so fixpoints over this domain must widen: widenValue()
+ * pushes any grown bound to the lattice extreme (see dataflow.hpp).
+ */
+
+#ifndef UKSIM_ANALYSIS_ABSDOM_HPP
+#define UKSIM_ANALYSIS_ABSDOM_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "simt/isa.hpp"
+
+namespace uksim::analysis {
+
+/** Inclusive u32 interval [lo, hi], kept in u64 to simplify overflow. */
+struct Interval {
+    static constexpr uint64_t kMaxU32 = 0xffffffffULL;
+
+    uint64_t lo = 0;
+    uint64_t hi = kMaxU32;
+
+    static Interval full() { return {0, kMaxU32}; }
+    static Interval konst(uint32_t v) { return {v, v}; }
+    static Interval range(uint64_t lo, uint64_t hi) { return {lo, hi}; }
+
+    bool isFull() const { return lo == 0 && hi == kMaxU32; }
+    bool isConst() const { return lo == hi; }
+
+    bool operator==(const Interval &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+    bool operator!=(const Interval &o) const { return !(*this == o); }
+};
+
+/** Convex hull of two intervals. */
+Interval joinInterval(const Interval &a, const Interval &b);
+
+/** An abstract register value: symbolic base plus interval offset. */
+struct AbsValue {
+    enum class Base : uint8_t {
+        Num,        ///< plain number, interval bounds the value
+        SpawnRaw,   ///< raw %spawnaddr + interval
+        StatePtr,   ///< spawn-state record base + interval
+        Slot,       ///< %slot * scale + interval
+    };
+
+    Base base = Base::Num;
+    uint32_t scale = 0;     ///< Slot base only: the %slot multiplier
+    Interval iv = Interval::full();
+
+    static AbsValue top() { return {}; }
+    static AbsValue konst(uint32_t v)
+    {
+        return {Base::Num, 0, Interval::konst(v)};
+    }
+    static AbsValue make(Base b, Interval iv, uint32_t scale = 0)
+    {
+        return {b, scale, iv};
+    }
+
+    bool isTop() const { return base == Base::Num && iv.isFull(); }
+    bool isConst() const { return base == Base::Num && iv.isConst(); }
+    /** True for the pointer-like bases checked against declared sizes. */
+    bool isPointer() const
+    {
+        return base == Base::SpawnRaw || base == Base::StatePtr;
+    }
+
+    bool operator==(const AbsValue &o) const
+    {
+        return base == o.base && scale == o.scale && iv == o.iv;
+    }
+    bool operator!=(const AbsValue &o) const { return !(*this == o); }
+
+    /** Debug rendering, e.g. "state+[0,12]" or "[64,64]". */
+    std::string str() const;
+};
+
+/** Lattice join: same base joins intervals, mixed bases degrade to Top. */
+AbsValue joinValue(const AbsValue &a, const AbsValue &b);
+
+/**
+ * Widening join for loop fixpoints: like joinValue, but any bound of
+ * @p next that grew past @p prev jumps to the lattice extreme so chains
+ * like i0=0, i1=[0,1], i2=[0,2], ... terminate.
+ */
+AbsValue widenValue(const AbsValue &prev, const AbsValue &next);
+
+/** Per-lane abstract register file. */
+using AbsRegFile = std::array<AbsValue, kMaxRegisters>;
+
+/**
+ * Abstract value of @p o under register file @p regs. %spawnaddr
+ * evaluates to StatePtr in a launch thread and SpawnRaw in a µ-kernel
+ * (@p microKernel); %slot evaluates to Slot·1.
+ */
+AbsValue evalOperand(const Operand &o, const AbsRegFile &regs,
+                     bool microKernel);
+
+/**
+ * Abstract value written to @p inst's (first) destination register, for
+ * ALU / mov / cvt / selp instructions. Returns Top for anything the
+ * domain does not fold.
+ */
+AbsValue evalArith(const Instruction &inst, const AbsRegFile &regs,
+                   bool microKernel);
+
+} // namespace uksim::analysis
+
+#endif // UKSIM_ANALYSIS_ABSDOM_HPP

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Spawn-placement advice derived from the uniformity classification.
+ */
+
+#include "simt/analysis/advisor.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace uksim::analysis {
+
+namespace {
+
+/** Blocks reachable from @p start without passing through @p stop. */
+std::set<int>
+regionFrom(const Cfg &cfg, int start, int stop)
+{
+    std::set<int> region;
+    if (start == Cfg::kVirtualExit || start == stop)
+        return region;
+    std::vector<int> work{start};
+    region.insert(start);
+    while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        for (int s : cfg.blocks()[b].successors) {
+            if (s != Cfg::kVirtualExit && s != stop &&
+                region.insert(s).second) {
+                work.push_back(s);
+            }
+        }
+    }
+    return region;
+}
+
+size_t
+countInsts(const Cfg &cfg, const std::set<int> &region)
+{
+    size_t n = 0;
+    for (int b : region) {
+        const BasicBlock &bb = cfg.blocks()[b];
+        n += bb.last - bb.first + 1;
+    }
+    return n;
+}
+
+bool
+containsOp(const Program &prog, const Cfg &cfg, const std::set<int> &region,
+           Opcode op)
+{
+    for (int b : region) {
+        const BasicBlock &bb = cfg.blocks()[b];
+        for (uint32_t pc = bb.first; pc <= bb.last; pc++)
+            if (prog.code[pc].op == op)
+                return true;
+    }
+    return false;
+}
+
+/** Region leaves only into itself or @p rejoin (no side exits). */
+bool
+selfContained(const Cfg &cfg, const std::set<int> &region, int rejoin)
+{
+    for (int b : region) {
+        for (int s : cfg.blocks()[b].successors) {
+            if (s == Cfg::kVirtualExit || s == rejoin)
+                continue;
+            if (!region.count(s))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+AdvisorResult
+advise(const Program &program, const Cfg &cfg,
+       const UniformityResult &uniformity)
+{
+    AdvisorResult result;
+    auto add = [&](const char *kind, uint32_t pc, int block,
+                   std::string msg) {
+        Advice a;
+        a.kind = kind;
+        a.pc = pc;
+        a.line = pc < program.code.size() ? program.code[pc].line : 0;
+        a.block = block;
+        a.message = std::move(msg);
+        result.advice.push_back(std::move(a));
+    };
+
+    for (const BranchInfo &br : uniformity.branches) {
+        if (!br.divergent || br.isExit)
+            continue;
+        const int rejoin = cfg.immediatePostDominator(br.block);
+        if (rejoin == Cfg::kVirtualExit)
+            continue;   // no rejoin point to spawn a continuation for
+
+        const std::vector<int> regionVec = cfg.influenceRegion(br.block);
+        const std::set<int> region(regionVec.begin(), regionVec.end());
+        const size_t insts = countInsts(cfg, region);
+
+        if (!containsOp(program, cfg, region, Opcode::Spawn) &&
+            insts >= kSpawnAdviceMinInsts) {
+            add("spawn-candidate", br.pc, br.block,
+                "divergent branch (sources: " +
+                    divergenceSourceNames(br.sources) + ") guards " +
+                    std::to_string(insts) +
+                    " instructions with no spawn; a µ-kernel "
+                    "continuation here would let the hardware re-form "
+                    "dense warps");
+        }
+
+        // DARM-style melding: both arms exist, never touch each other,
+        // rejoin only at the post-dominator, and carry no spawn/bar.
+        const Instruction &inst = program.code[br.pc];
+        const BasicBlock &bb = cfg.blocks()[br.block];
+        const int taken = cfg.blockOf(inst.target);
+        int fall = Cfg::kVirtualExit;
+        for (int s : bb.successors)
+            if (s != taken)
+                fall = s;
+        const std::set<int> thenR = regionFrom(cfg, fall, rejoin);
+        const std::set<int> elseR = regionFrom(cfg, taken, rejoin);
+        bool disjoint = !thenR.empty() && !elseR.empty();
+        for (int b : thenR)
+            disjoint = disjoint && !elseR.count(b);
+        if (disjoint && selfContained(cfg, thenR, rejoin) &&
+            selfContained(cfg, elseR, rejoin) &&
+            !containsOp(program, cfg, thenR, Opcode::Spawn) &&
+            !containsOp(program, cfg, elseR, Opcode::Spawn) &&
+            !containsOp(program, cfg, thenR, Opcode::Bar) &&
+            !containsOp(program, cfg, elseR, Opcode::Bar)) {
+            add("meld-candidate", br.pc, br.block,
+                "then/else regions (" +
+                    std::to_string(countInsts(cfg, thenR)) + "/" +
+                    std::to_string(countInsts(cfg, elseR)) +
+                    " instructions) are disjoint and self-contained; "
+                    "they could be melded into one lane-predicated "
+                    "region instead of diverging");
+        }
+    }
+
+    for (const auto &[pc, guardTaint] : uniformity.spawnGuards) {
+        const Instruction &inst = program.code[pc];
+        if (inst.guardPred >= 0 && guardTaint == 0) {
+            add("spawn-on-uniform", pc, cfg.blockOf(pc),
+                "spawn guarded by a warp-uniform predicate: all lanes "
+                "take it together, paying spawn overhead without any "
+                "divergence to remove (branch around it instead, or "
+                "drop the guard)");
+        }
+    }
+
+    std::stable_sort(result.advice.begin(), result.advice.end(),
+                     [](const Advice &a, const Advice &b) {
+                         return a.pc < b.pc;
+                     });
+    return result;
+}
+
+} // namespace uksim::analysis

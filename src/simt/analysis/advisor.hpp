@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Spawn-placement advisor.
+ *
+ * The paper's thesis is that warp divergence from *irregular* control
+ * flow is best attacked by spawning the divergent continuation as a
+ * dynamic µ-kernel so the hardware can re-form dense warps. This pass
+ * turns the uniformity classification into concrete placement advice:
+ *
+ *   spawn-candidate    a divergent, rejoining branch guards a
+ *                      non-trivial region that contains no `spawn`:
+ *                      restructuring the region as a µ-kernel would let
+ *                      the spawn unit reform warps (paper Sec. IV-B);
+ *   spawn-on-uniform   a `spawn` guarded by a warp-uniform predicate:
+ *                      every lane takes it together, so it pays the
+ *                      spawn overhead without any divergence to remove;
+ *   meld-candidate     a divergent branch whose then/else regions are
+ *                      disjoint, self-contained and spawn/barrier-free:
+ *                      the regions could be melded DARM-style (see
+ *                      PAPERS.md) instead of spawned — useful where
+ *                      spawn-memory capacity is the bottleneck.
+ *
+ * Advice is *not* a diagnostic: it never fails verification and is
+ * surfaced only through `ukverify --analyze`.
+ */
+
+#ifndef UKSIM_ANALYSIS_ADVISOR_HPP
+#define UKSIM_ANALYSIS_ADVISOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/analysis/uniformity.hpp"
+#include "simt/cfg.hpp"
+#include "simt/program.hpp"
+
+namespace uksim::analysis {
+
+/** Branch regions below this instruction count are not worth a spawn. */
+constexpr size_t kSpawnAdviceMinInsts = 4;
+
+/** One piece of placement advice. */
+struct Advice {
+    std::string kind;       ///< "spawn-candidate" / "spawn-on-uniform" /
+                            ///< "meld-candidate"
+    uint32_t pc = 0;
+    int line = 0;
+    int block = -1;
+    std::string message;
+};
+
+struct AdvisorResult {
+    std::vector<Advice> advice;     ///< pc order, kind order within a pc
+};
+
+/** Derive placement advice from @p uniformity over @p program. */
+AdvisorResult advise(const Program &program, const Cfg &cfg,
+                     const UniformityResult &uniformity);
+
+} // namespace uksim::analysis
+
+#endif // UKSIM_ANALYSIS_ADVISOR_HPP

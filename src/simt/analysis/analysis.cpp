@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Analysis façade: run all passes, render text and JSON reports.
+ */
+
+#include "simt/analysis/analysis.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "simt/cfg.hpp"
+
+namespace uksim::analysis {
+
+namespace {
+
+/** The CFG constructor asserts targets are in range; mirror verify()'s
+ *  malformed gate so analyzeProgram() never feeds it a bad program. */
+bool
+cfgBuildable(const Program &prog)
+{
+    if (prog.code.empty() || prog.entryPc >= prog.code.size())
+        return false;
+    for (const MicroKernelEntry &mk : prog.microKernels)
+        if (mk.pc >= prog.code.size())
+            return false;
+    for (const Instruction &inst : prog.code) {
+        if ((inst.op == Opcode::Bra || inst.op == Opcode::Spawn) &&
+            inst.target >= prog.code.size()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+const char *
+branchKind(const BranchInfo &b)
+{
+    if (b.isExit)
+        return "exit";
+    return b.conditional ? "conditional" : "unconditional";
+}
+
+} // anonymous namespace
+
+ProgramAnalysis
+analyzeProgram(const Program &program)
+{
+    ProgramAnalysis a;
+    a.verify = uksim::verify(program);
+    if (!cfgBuildable(program))
+        return a;
+    Cfg cfg(program);
+    a.uniformity = analyzeUniformity(program, cfg);
+    a.advisor = advise(program, cfg, a.uniformity);
+    a.analyzed = true;
+    return a;
+}
+
+std::string
+renderReport(const Program &program, const ProgramAnalysis &a)
+{
+    (void)program;
+    std::ostringstream os;
+    if (!a.analyzed) {
+        os << "analysis skipped: program is malformed (see diagnostics)\n";
+        return os.str();
+    }
+
+    os << "branches (" << a.uniformity.branches.size() << " total, "
+       << a.uniformity.divergentBranchCount() << " divergent, "
+       << a.uniformity.uniformBranchCount() << " uniform-conditional):\n";
+    for (const BranchInfo &b : a.uniformity.branches) {
+        os << "  pc " << b.pc;
+        if (b.line > 0)
+            os << " line " << b.line;
+        os << " [" << branchKind(b) << "] ";
+        if (!b.conditional)
+            os << "uniform (unconditional)";
+        else if (b.divergent)
+            os << "divergent (sources: "
+               << divergenceSourceNames(b.sources) << ")";
+        else
+            os << "uniform";
+        os << "\n";
+    }
+
+    const AccessStats &st = a.verify.accesses;
+    os << "accesses: " << st.total << " total, " << st.provedConst
+       << " const-proven, " << st.provedRange << " range-proven, "
+       << st.unproven << " unproven, " << st.unbounded << " unbounded, "
+       << st.outOfBounds << " out-of-bounds\n";
+
+    if (!a.advisor.advice.empty()) {
+        os << "advice:\n";
+        for (const Advice &ad : a.advisor.advice) {
+            os << "  pc " << ad.pc;
+            if (ad.line > 0)
+                os << " line " << ad.line;
+            os << " [" << ad.kind << "] " << ad.message << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    return os.str();
+}
+
+std::string
+toJson(const std::string &name, const Program &program,
+       const ProgramAnalysis &a, int indent)
+{
+    const std::string in0(size_t(indent) * 2, ' ');
+    const std::string in1(size_t(indent + 1) * 2, ' ');
+    const std::string in2(size_t(indent + 2) * 2, ' ');
+    std::ostringstream os;
+    auto str = [](const std::string &s) {
+        return "\"" + jsonEscape(s) + "\"";
+    };
+
+    os << in0 << "{\n";
+    os << in1 << "\"name\": " << str(name) << ",\n";
+    os << in1 << "\"entry\": " << str(program.entryName) << ",\n";
+    os << in1 << "\"analyzed\": " << (a.analyzed ? "true" : "false")
+       << ",\n";
+
+    os << in1 << "\"diagnostics\": [";
+    for (size_t i = 0; i < a.verify.diagnostics.size(); i++) {
+        const Diagnostic &d = a.verify.diagnostics[i];
+        os << (i ? ",\n" : "\n") << in2 << "{\"severity\": "
+           << (d.severity == Severity::Error ? "\"error\""
+                                             : "\"warning\"")
+           << ", \"id\": " << str(d.id) << ", \"pc\": " << d.pc
+           << ", \"block\": " << d.block << ", \"line\": " << d.line
+           << ", \"entry\": " << str(d.entry)
+           << ", \"message\": " << str(d.message) << "}";
+    }
+    os << (a.verify.diagnostics.empty() ? "" : "\n" + in1) << "],\n";
+
+    const AccessStats &st = a.verify.accesses;
+    os << in1 << "\"accesses\": {\"total\": " << st.total
+       << ", \"provedConst\": " << st.provedConst
+       << ", \"provedRange\": " << st.provedRange
+       << ", \"unproven\": " << st.unproven
+       << ", \"unbounded\": " << st.unbounded
+       << ", \"outOfBounds\": " << st.outOfBounds << "},\n";
+
+    os << in1 << "\"branches\": [";
+    for (size_t i = 0; i < a.uniformity.branches.size(); i++) {
+        const BranchInfo &b = a.uniformity.branches[i];
+        os << (i ? ",\n" : "\n") << in2 << "{\"pc\": " << b.pc
+           << ", \"line\": " << b.line << ", \"block\": " << b.block
+           << ", \"kind\": \"" << branchKind(b) << "\""
+           << ", \"divergent\": " << (b.divergent ? "true" : "false")
+           << ", \"sources\": "
+           << str(divergenceSourceNames(b.sources)) << ", \"entries\": [";
+        for (size_t e = 0; e < b.entries.size(); e++)
+            os << (e ? ", " : "") << str(b.entries[e]);
+        os << "]}";
+    }
+    os << (a.uniformity.branches.empty() ? "" : "\n" + in1) << "],\n";
+
+    os << in1 << "\"advice\": [";
+    for (size_t i = 0; i < a.advisor.advice.size(); i++) {
+        const Advice &ad = a.advisor.advice[i];
+        os << (i ? ",\n" : "\n") << in2 << "{\"kind\": " << str(ad.kind)
+           << ", \"pc\": " << ad.pc << ", \"line\": " << ad.line
+           << ", \"block\": " << ad.block
+           << ", \"message\": " << str(ad.message) << "}";
+    }
+    os << (a.advisor.advice.empty() ? "" : "\n" + in1) << "],\n";
+
+    os << in1 << "\"summary\": {\"errors\": " << a.verify.errorCount()
+       << ", \"warnings\": " << a.verify.warningCount()
+       << ", \"branches\": " << a.uniformity.branches.size()
+       << ", \"divergentBranches\": "
+       << a.uniformity.divergentBranchCount()
+       << ", \"uniformBranches\": "
+       << a.uniformity.uniformBranchCount()
+       << ", \"advice\": " << a.advisor.advice.size() << "}\n";
+    os << in0 << "}";
+    return os.str();
+}
+
+} // namespace uksim::analysis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * One-call façade over the analysis framework.
+ *
+ * analyzeProgram() builds the CFG once and runs every client pass —
+ * verifier lints (range-powered bounds + liveness lints), uniformity /
+ * divergence classification, and the spawn-placement advisor — then
+ * renderReport() / toJson() turn the combined result into the
+ * human-readable and machine-readable forms `ukverify --analyze`
+ * surfaces.
+ *
+ * The JSON schema is versioned ("ukverify-json-1") and covered by a
+ * golden-file test; extend it by adding fields, never by renaming or
+ * reordering existing ones.
+ */
+
+#ifndef UKSIM_ANALYSIS_ANALYSIS_HPP
+#define UKSIM_ANALYSIS_ANALYSIS_HPP
+
+#include <string>
+
+#include "simt/analysis/advisor.hpp"
+#include "simt/analysis/liveness.hpp"
+#include "simt/analysis/uniformity.hpp"
+#include "simt/program.hpp"
+#include "simt/verifier.hpp"
+
+namespace uksim::analysis {
+
+/** JSON schema identifier emitted by toJson(). */
+inline constexpr const char *kJsonSchema = "ukverify-json-1";
+
+/** Combined result of every pass over one program. */
+struct ProgramAnalysis {
+    VerifyResult verify;            ///< diagnostics + access stats
+    UniformityResult uniformity;    ///< only when the CFG was buildable
+    AdvisorResult advisor;
+    bool analyzed = false;          ///< false when malformed (no CFG)
+};
+
+/** Run verifier + uniformity + advisor over @p program. */
+ProgramAnalysis analyzeProgram(const Program &program);
+
+/**
+ * Human-readable analysis report (branch table, access summary,
+ * advice); diagnostics are NOT included — callers print
+ * verify.report() separately.
+ */
+std::string renderReport(const Program &program, const ProgramAnalysis &a);
+
+/**
+ * Stable-schema JSON object for one analyzed program, as one element
+ * of ukverify's "programs" array. @p name is the caller-chosen program
+ * name (file path or builtin id).
+ */
+std::string toJson(const std::string &name, const Program &program,
+                   const ProgramAnalysis &a, int indent = 2);
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace uksim::analysis
+
+#endif // UKSIM_ANALYSIS_ANALYSIS_HPP

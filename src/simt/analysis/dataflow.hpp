@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Reusable iterative dataflow engine over the program CFG.
+ *
+ * The verifier (PR 1) and the post-dominator solver (cfg.cpp) each
+ * hand-rolled a worklist fixpoint; this factors the engine out so new
+ * client passes — uniformity, value-range, liveness — are just a
+ * lattice plus transfer functions. A Domain supplies:
+ *
+ *     struct Domain {
+ *         struct State;                       // the lattice element
+ *         State boundary() const;             // entry (fwd) / exit (bwd)
+ *         // Join `from` into `into`; true when `into` changed. When
+ *         // `widen` is set the merge must accelerate (jump grown bounds
+ *         // to lattice extremes) so infinite-height domains terminate.
+ *         bool merge(State &into, const State &from, bool widen) const;
+ *         // Apply one instruction. Forward solves call this in pc
+ *         // order, backward solves in reverse pc order.
+ *         void transfer(uint32_t pc, const Instruction &inst,
+ *                       State &state) const;
+ *     };
+ *
+ * The solver runs per entry point (launch entry or a `.microkernel`):
+ * only blocks reachable from the entry participate, and the entry block
+ * is walked from the entry pc itself (the CFG partitions the whole
+ * instruction stream, so an entry in mid-stream can share a block with
+ * preceding foreign instructions).
+ *
+ * Termination: the worklist converges for any monotone transfer over a
+ * finite-height lattice, including self-loop blocks and irreducible
+ * regions (the engine is order-insensitive, not structural). For
+ * infinite-height domains (intervals) the engine invokes merge with
+ * widen=true once a block's input has changed kWidenAfter times.
+ */
+
+#ifndef UKSIM_ANALYSIS_DATAFLOW_HPP
+#define UKSIM_ANALYSIS_DATAFLOW_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "simt/cfg.hpp"
+#include "simt/program.hpp"
+
+namespace uksim::analysis {
+
+/** Block-input changes tolerated before merges start widening. */
+constexpr int kWidenAfter = 8;
+
+template <typename Domain>
+class DataflowSolver
+{
+  public:
+    using State = typename Domain::State;
+
+    DataflowSolver(const Program &program, const Cfg &cfg,
+                   const Domain &domain)
+        : prog_(program), cfg_(cfg), dom_(domain)
+    {
+    }
+
+    /** Blocks reachable from the entry passed to the last solve. */
+    const std::set<int> &reachable() const { return reachable_; }
+
+    /** True when block @p b received a state during the last solve. */
+    bool hasState(int b) const { return state_.count(b) != 0; }
+
+    /**
+     * Fixpoint state at block @p b: the IN state (before the first
+     * instruction) after a forward solve, the OUT state (after the last
+     * instruction, i.e. live-out for liveness) after a backward solve.
+     */
+    const State &stateAt(int b) const { return state_.at(b); }
+
+    /**
+     * First pc the solver considers inside block @p b: the entry pc for
+     * the entry block, the block's first instruction otherwise.
+     */
+    uint32_t firstPc(int b) const
+    {
+        const BasicBlock &bb = cfg_.blocks()[b];
+        if (b == startBlock_ && entryPc_ > bb.first)
+            return entryPc_;
+        return bb.first;
+    }
+
+    /** Forward fixpoint from @p entryPc. */
+    void solveForward(uint32_t entryPc)
+    {
+        begin(entryPc);
+        reachable_.insert(startBlock_);
+        state_[startBlock_] = dom_.boundary();
+        std::deque<int> work{startBlock_};
+        std::set<int> queued{startBlock_};
+        while (!work.empty()) {
+            const int b = work.front();
+            work.pop_front();
+            queued.erase(b);
+
+            State s = state_.at(b);
+            const BasicBlock &bb = cfg_.blocks()[b];
+            for (uint32_t pc = firstPc(b); pc <= bb.last; pc++)
+                dom_.transfer(pc, prog_.code[pc], s);
+
+            for (int succ : bb.successors) {
+                if (succ == Cfg::kVirtualExit)
+                    continue;
+                if (propagate(succ, s) && queued.insert(succ).second)
+                    work.push_back(succ);
+            }
+        }
+    }
+
+    /**
+     * Backward fixpoint over the blocks reachable from @p entryPc. All
+     * reachable blocks are seeded with the boundary state (a block with
+     * no reachable successor — a virtual-exit block, or a cycle with no
+     * exit — takes the boundary as its OUT), then states propagate
+     * along reverse edges until fixpoint.
+     */
+    void solveBackward(uint32_t entryPc)
+    {
+        begin(entryPc);
+        computeReachable();
+        std::deque<int> work;
+        std::set<int> queued;
+        for (int b : reachable_) {
+            state_[b] = dom_.boundary();
+            work.push_back(b);
+            queued.insert(b);
+        }
+        while (!work.empty()) {
+            const int b = work.front();
+            work.pop_front();
+            queued.erase(b);
+
+            State s = state_.at(b);
+            const BasicBlock &bb = cfg_.blocks()[b];
+            const uint32_t first = firstPc(b);
+            for (uint32_t pc = bb.last + 1; pc-- > first;)
+                dom_.transfer(pc, prog_.code[pc], s);
+
+            for (int pred : cfg_.predecessors(b)) {
+                if (!reachable_.count(pred))
+                    continue;
+                // The entry block's pre-entry instructions belong to a
+                // different entry point; edges into mid-block entry pcs
+                // do not exist, so a predecessor of the entry block
+                // jumps to its first pc — only propagate when the walk
+                // covers the whole block.
+                if (b == startBlock_ &&
+                    first != cfg_.blocks()[b].first) {
+                    continue;
+                }
+                if (propagate(pred, s) && queued.insert(pred).second)
+                    work.push_back(pred);
+            }
+        }
+    }
+
+  private:
+    void begin(uint32_t entryPc)
+    {
+        entryPc_ = entryPc;
+        startBlock_ = cfg_.blockOf(entryPc);
+        state_.clear();
+        reachable_.clear();
+        mergeCount_.clear();
+    }
+
+    void computeReachable()
+    {
+        std::deque<int> work{startBlock_};
+        reachable_.insert(startBlock_);
+        while (!work.empty()) {
+            const int b = work.front();
+            work.pop_front();
+            for (int s : cfg_.blocks()[b].successors) {
+                if (s != Cfg::kVirtualExit &&
+                    reachable_.insert(s).second) {
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    /** Merge @p s into block @p b's stored state; true when changed. */
+    bool propagate(int b, const State &s)
+    {
+        reachable_.insert(b);
+        auto it = state_.find(b);
+        if (it == state_.end()) {
+            state_.emplace(b, s);
+            return true;
+        }
+        const bool widen = ++mergeCount_[b] > kWidenAfter;
+        return dom_.merge(it->second, s, widen);
+    }
+
+    const Program &prog_;
+    const Cfg &cfg_;
+    const Domain &dom_;
+    uint32_t entryPc_ = 0;
+    int startBlock_ = 0;
+    std::set<int> reachable_;
+    std::map<int, State> state_;
+    std::map<int, int> mergeCount_;
+};
+
+} // namespace uksim::analysis
+
+#endif // UKSIM_ANALYSIS_DATAFLOW_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Entry-point enumeration shared by the analysis passes.
+ *
+ * Every pass runs once per entry point: the launch entry plus each
+ * declared `.microkernel` (spawned threads start there with a fresh
+ * register file, so dataflow facts never cross an entry boundary).
+ */
+
+#ifndef UKSIM_ANALYSIS_ENTRIES_HPP
+#define UKSIM_ANALYSIS_ENTRIES_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/program.hpp"
+
+namespace uksim::analysis {
+
+/** One analysis entry point (launch entry or a .microkernel). */
+struct EntryPoint {
+    uint32_t pc = 0;
+    std::string name;
+    bool isMicroKernel = false;
+    int mkIndex = -1;   ///< index in program.microKernels, -1 for launch
+};
+
+/** Launch entry first, then µ-kernels in declaration order. */
+inline std::vector<EntryPoint>
+entryPoints(const Program &prog)
+{
+    std::vector<EntryPoint> out;
+    EntryPoint launch;
+    launch.pc = prog.entryPc;
+    launch.name = prog.entryName.empty() ? "<entry>" : prog.entryName;
+    out.push_back(std::move(launch));
+    for (size_t i = 0; i < prog.microKernels.size(); i++) {
+        EntryPoint mk;
+        mk.pc = prog.microKernels[i].pc;
+        mk.name = prog.microKernels[i].name;
+        mk.isMicroKernel = true;
+        mk.mkIndex = static_cast<int>(i);
+        out.push_back(std::move(mk));
+    }
+    return out;
+}
+
+} // namespace uksim::analysis
+
+#endif // UKSIM_ANALYSIS_ENTRIES_HPP

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Backward liveness solve and dead-definition collection.
+ */
+
+#include "simt/analysis/liveness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "simt/analysis/dataflow.hpp"
+#include "simt/analysis/entries.hpp"
+
+namespace uksim::analysis {
+
+namespace {
+
+/** Live sets as bitmasks: bit r of regs / bit p of preds. */
+struct LiveState {
+    uint64_t regs = 0;
+    uint16_t preds = 0;
+};
+
+struct LiveDomain {
+    using State = LiveState;
+
+    /** Exit boundary: nothing is live after the program ends. */
+    State boundary() const { return {}; }
+
+    bool merge(State &into, const State &from, bool /*widen*/) const
+    {
+        const State before = into;
+        into.regs |= from.regs;
+        into.preds |= from.preds;
+        return into.regs != before.regs || into.preds != before.preds;
+    }
+
+    static void useReg(State &s, int r, int width = 1)
+    {
+        for (int i = r; i < r + width; i++)
+            if (i >= 0 && i < kMaxRegisters)
+                s.regs |= uint64_t{1} << i;
+    }
+    static void usePred(State &s, int p)
+    {
+        if (p >= 0 && p < kNumPredicates)
+            s.preds |= uint16_t(1) << p;
+    }
+
+    void transfer(uint32_t /*pc*/, const Instruction &inst,
+                  State &s) const
+    {
+        // live-before = (live-after \ unguarded defs) ∪ uses. A guarded
+        // def is not a kill: lanes with the guard false keep the value.
+        const bool kills = inst.guardPred < 0;
+        switch (inst.op) {
+          case Opcode::SetP:
+          case Opcode::VoteAll:
+            if (kills && inst.dst >= 0 && inst.dst < kNumPredicates)
+                s.preds &= uint16_t(~(uint16_t(1) << inst.dst));
+            break;
+          case Opcode::Ld:
+          case Opcode::AtomAdd:
+          case Opcode::AtomExch:
+          case Opcode::AtomCas: {
+            const int w = inst.op == Opcode::Ld ? inst.vecWidth : 1;
+            if (kills) {
+                for (int i = inst.dst; i < inst.dst + w; i++)
+                    if (i >= 0 && i < kMaxRegisters)
+                        s.regs &= ~(uint64_t{1} << i);
+            }
+            break;
+          }
+          case Opcode::St:
+          case Opcode::Bra:
+          case Opcode::Exit:
+          case Opcode::Bar:
+          case Opcode::Nop:
+          case Opcode::Spawn:
+            break;
+          default:
+            if (kills && inst.dst >= 0 && inst.dst < kMaxRegisters)
+                s.regs &= ~(uint64_t{1} << inst.dst);
+            break;
+        }
+
+        usePred(s, inst.guardPred);
+        for (int i = 0; i < 3; i++) {
+            const Operand &o = inst.src[i];
+            if (o.kind == OperandKind::Reg) {
+                const int width = (inst.op == Opcode::St && i == 1)
+                                      ? inst.vecWidth
+                                      : 1;
+                useReg(s, o.reg, width);
+            } else if (o.kind == OperandKind::Pred) {
+                usePred(s, o.reg);
+            }
+        }
+    }
+};
+
+/** The (isPred, index) a pure instruction defines, if its result is
+ *  fully dead given the live-after state; nullopt otherwise. */
+std::optional<std::pair<bool, int>>
+deadDefinition(const Instruction &inst, const LiveState &after)
+{
+    switch (inst.op) {
+      case Opcode::SetP:
+      case Opcode::VoteAll:
+        if (inst.dst >= 0 && inst.dst < kNumPredicates &&
+            !(after.preds >> inst.dst & 1)) {
+            return std::make_pair(true, inst.dst);
+        }
+        return std::nullopt;
+      case Opcode::Ld: {
+        // A load has no side effect; dead only when every loaded
+        // register is dead.
+        if (inst.dst < 0 ||
+            inst.dst + inst.vecWidth > kMaxRegisters) {
+            return std::nullopt;
+        }
+        for (int i = inst.dst; i < inst.dst + inst.vecWidth; i++)
+            if (after.regs >> i & 1)
+                return std::nullopt;
+        return std::make_pair(false, inst.dst);
+      }
+      case Opcode::AtomAdd:
+      case Opcode::AtomExch:
+      case Opcode::AtomCas:     // memory side effect: never dead
+      case Opcode::St:
+      case Opcode::Bra:
+      case Opcode::Exit:
+      case Opcode::Bar:
+      case Opcode::Nop:
+      case Opcode::Spawn:
+        return std::nullopt;
+      default:
+        if (inst.dst >= 0 && inst.dst < kMaxRegisters &&
+            !(after.regs >> inst.dst & 1)) {
+            return std::make_pair(false, inst.dst);
+        }
+        return std::nullopt;
+    }
+}
+
+} // anonymous namespace
+
+LivenessResult
+analyzeLiveness(const Program &program, const Cfg &cfg)
+{
+    struct PcFacts {
+        std::set<std::string> reachedFrom;
+        std::set<std::string> deadFrom;
+        bool isPred = false;
+        int index = 0;
+        int block = -1;
+    };
+    std::map<uint32_t, PcFacts> facts;
+
+    LiveDomain dom;
+    DataflowSolver<LiveDomain> solver(program, cfg, dom);
+    for (const EntryPoint &entry : entryPoints(program)) {
+        solver.solveBackward(entry.pc);
+        for (int b : solver.reachable()) {
+            LiveState s = solver.stateAt(b);   // live-OUT of the block
+            const BasicBlock &bb = cfg.blocks()[b];
+            const uint32_t first = solver.firstPc(b);
+            for (uint32_t pc = bb.last + 1; pc-- > first;) {
+                const Instruction &inst = program.code[pc];
+                auto &f = facts[pc];
+                f.reachedFrom.insert(entry.name);
+                if (auto dead = deadDefinition(inst, s)) {
+                    f.deadFrom.insert(entry.name);
+                    f.isPred = dead->first;
+                    f.index = dead->second;
+                    f.block = b;
+                }
+                dom.transfer(pc, inst, s);
+            }
+        }
+    }
+
+    LivenessResult result;
+    for (const auto &[pc, f] : facts) {
+        if (f.deadFrom.empty() || f.deadFrom != f.reachedFrom)
+            continue;
+        DeadDef d;
+        d.pc = pc;
+        d.line = program.code[pc].line;
+        d.block = f.block;
+        d.isPred = f.isPred;
+        d.index = f.index;
+        d.entries.assign(f.deadFrom.begin(), f.deadFrom.end());
+        result.deadDefs.push_back(std::move(d));
+    }
+    return result;
+}
+
+} // namespace uksim::analysis

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Backward liveness analysis and the dead-definition lint.
+ *
+ * Classic may-liveness over the CFG, per entry point, using the shared
+ * dataflow engine in backward mode: a register / predicate is live at a
+ * point when some path from that point reads it before an unguarded
+ * redefinition (a guarded `@p mov` does not kill — lanes with the guard
+ * false keep the old value).
+ *
+ * The client lint reports *dead definitions*: side-effect-free
+ * instructions (ALU, mov/cvt/selp, scalar loads, setp/vote) whose
+ * result is live on no path. A pc reachable from several entry points
+ * is only reported when the definition is dead from every one of them —
+ * a helper block shared by a launch kernel and a µ-kernel often feeds a
+ * use that exists in only one of the two.
+ */
+
+#ifndef UKSIM_ANALYSIS_LIVENESS_HPP
+#define UKSIM_ANALYSIS_LIVENESS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/cfg.hpp"
+#include "simt/program.hpp"
+
+namespace uksim::analysis {
+
+/** A definition whose result is never read on any path. */
+struct DeadDef {
+    uint32_t pc = 0;
+    int line = 0;
+    int block = -1;
+    bool isPred = false;    ///< predicate (pN) vs general register (rN)
+    int index = 0;          ///< register / predicate number
+    std::vector<std::string> entries;   ///< entries it is dead from
+};
+
+struct LivenessResult {
+    std::vector<DeadDef> deadDefs;      ///< pc order
+};
+
+/** Solve liveness from every entry and collect dead definitions. */
+LivenessResult analyzeLiveness(const Program &program, const Cfg &cfg);
+
+} // namespace uksim::analysis
+
+#endif // UKSIM_ANALYSIS_LIVENESS_HPP

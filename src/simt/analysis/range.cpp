@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Interval-vs-segment access classification.
+ */
+
+#include "simt/analysis/range.hpp"
+
+namespace uksim::analysis {
+
+const char *
+accessProofName(AccessProof p)
+{
+    switch (p) {
+      case AccessProof::Unbounded:   return "unbounded";
+      case AccessProof::ProvedConst: return "const";
+      case AccessProof::ProvedRange: return "range";
+      case AccessProof::Unproven:    return "unproven";
+      case AccessProof::OutOfBounds: return "out-of-bounds";
+    }
+    return "?";
+}
+
+AccessCheck
+checkOffsetRange(const Interval &iv, int32_t memOffset, uint32_t bytes,
+                 uint32_t limit)
+{
+    AccessCheck c;
+    c.limit = limit;
+    if (iv.isFull())
+        return c;       // offset unknown: nothing provable either way
+    c.lo = int64_t(iv.lo) + memOffset;
+    c.hi = int64_t(iv.hi) + memOffset;
+    const int64_t b = int64_t(bytes);
+    if (c.lo >= 0 && c.hi + b <= int64_t(limit)) {
+        c.proof = iv.isConst() ? AccessProof::ProvedConst
+                               : AccessProof::ProvedRange;
+    } else if (c.hi < 0) {
+        // Every possible start is below the segment.
+        c.proof = AccessProof::OutOfBounds;
+    } else if (c.lo + b > int64_t(limit) &&
+               c.hi + b <= int64_t(Interval::kMaxU32) + 1) {
+        // Every possible access overruns the end; the wrap guard keeps
+        // a range that could wrap past 2^32 merely Unproven.
+        c.proof = AccessProof::OutOfBounds;
+    }
+    return c;
+}
+
+AccessProof
+mergeProof(AccessProof a, AccessProof b)
+{
+    auto rank = [](AccessProof p) {
+        switch (p) {
+          case AccessProof::Unbounded:   return 0;
+          case AccessProof::ProvedConst: return 1;
+          case AccessProof::ProvedRange: return 2;
+          case AccessProof::Unproven:    return 3;
+          case AccessProof::OutOfBounds: return 4;
+        }
+        return 3;
+    };
+    return rank(a) >= rank(b) ? a : b;
+}
+
+} // namespace uksim::analysis

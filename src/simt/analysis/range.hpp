@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Value-range bounds checking for memory accesses.
+ *
+ * PR 1's verifier could only check an access when its address resolved
+ * to a single constant. With the interval domain (absdom.hpp) an access
+ * is classified by the *range* of byte offsets it may touch:
+ *
+ *   - ProvedConst:  in bounds, offset is a single constant (what the
+ *                   old constant-only checker could already do);
+ *   - ProvedRange:  in bounds for every value of a non-trivial interval
+ *                   or a symbolic %slot-stride pattern — the new power;
+ *   - OutOfBounds:  *every* value in the range overruns the segment
+ *                   (a definite bug, reported as a diagnostic);
+ *   - Unproven:     the range straddles the bound or the base did not
+ *                   resolve; possible-but-unproven overruns stay silent
+ *                   to keep the lint usable on real kernels;
+ *   - Unbounded:    the space has no declared size to check against
+ *                   (global memory / atomics).
+ *
+ * Definite-OOB claims are deliberately conservative about 32-bit
+ * wraparound: when the top of the range could wrap past 2^32 the access
+ * is left Unproven rather than flagged.
+ */
+
+#ifndef UKSIM_ANALYSIS_RANGE_HPP
+#define UKSIM_ANALYSIS_RANGE_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simt/analysis/absdom.hpp"
+
+namespace uksim::analysis {
+
+/** Static classification of one memory access. */
+enum class AccessProof : uint8_t {
+    Unbounded,
+    ProvedConst,
+    ProvedRange,
+    Unproven,
+    OutOfBounds,
+};
+
+/** Human-readable proof name ("const", "range", ...). */
+const char *accessProofName(AccessProof p);
+
+/** Outcome of checking one access against a segment bound. */
+struct AccessCheck {
+    AccessProof proof = AccessProof::Unproven;
+    int64_t lo = 0;         ///< lowest possible starting byte offset
+    int64_t hi = 0;         ///< highest possible starting byte offset
+    uint32_t limit = 0;     ///< segment size the access was checked against
+};
+
+/**
+ * Check an access of @p bytes at offset `iv + memOffset` against a
+ * segment of @p limit bytes. @p iv is the interval part of the resolved
+ * base (the symbolic base — StatePtr, Slot·stride — is the segment
+ * start and is the caller's concern).
+ */
+AccessCheck checkOffsetRange(const Interval &iv, int32_t memOffset,
+                             uint32_t bytes, uint32_t limit);
+
+/** Per-program access statistics (one entry per memory instruction). */
+struct AccessStats {
+    size_t total = 0;
+    size_t unbounded = 0;
+    size_t provedConst = 0;
+    size_t provedRange = 0;
+    size_t unproven = 0;
+    size_t outOfBounds = 0;
+};
+
+/**
+ * Fold one per-entry classification into the per-pc summary: a pc
+ * reachable from several entries keeps the weakest claim (OutOfBounds >
+ * Unproven > ProvedRange > ProvedConst > Unbounded).
+ */
+AccessProof mergeProof(AccessProof a, AccessProof b);
+
+} // namespace uksim::analysis
+
+#endif // UKSIM_ANALYSIS_RANGE_HPP

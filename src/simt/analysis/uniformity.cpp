@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Uniformity taint fixpoint (see uniformity.hpp for the model).
+ */
+
+#include "simt/analysis/uniformity.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "simt/analysis/dataflow.hpp"
+#include "simt/analysis/entries.hpp"
+
+namespace uksim::analysis {
+
+namespace {
+
+/** Per-point taint state: a provenance mask per register / predicate. */
+struct TaintState {
+    std::array<uint16_t, kMaxRegisters> regs{};
+    std::array<uint16_t, kNumPredicates> preds{};
+};
+
+struct TaintDomain {
+    using State = TaintState;
+
+    const Cfg *cfg = nullptr;
+    /** Blocks currently known to run under divergent control. */
+    const std::set<int> *divBlocks = nullptr;
+
+    State boundary() const { return {}; }
+
+    bool merge(State &into, const State &from, bool /*widen*/) const
+    {
+        bool changed = false;
+        for (int r = 0; r < kMaxRegisters; r++) {
+            const uint16_t m = into.regs[r] | from.regs[r];
+            changed |= m != into.regs[r];
+            into.regs[r] = m;
+        }
+        for (int p = 0; p < kNumPredicates; p++) {
+            const uint16_t m = into.preds[p] | from.preds[p];
+            changed |= m != into.preds[p];
+            into.preds[p] = m;
+        }
+        return changed;
+    }
+
+    uint16_t operandTaint(const Operand &o, const State &s) const
+    {
+        switch (o.kind) {
+          case OperandKind::Reg:
+            return o.reg >= 0 && o.reg < kMaxRegisters ? s.regs[o.reg]
+                                                       : 0;
+          case OperandKind::Pred:
+            return o.reg >= 0 && o.reg < kNumPredicates ? s.preds[o.reg]
+                                                        : 0;
+          case OperandKind::Special:
+            switch (o.sreg) {
+              case SpecialReg::Tid:          return kDivTid;
+              case SpecialReg::LaneId:       return kDivLane;
+              case SpecialReg::Slot:         return kDivSlot;
+              case SpecialReg::SpawnMemAddr: return kDivSpawnAddr;
+              // %ntid, %ctaid, %warpid, %smid are identical on every
+              // lane of a warp (blocks are warp-multiples).
+              default:                       return 0;
+            }
+          default:
+            return 0;
+        }
+    }
+
+    void transfer(uint32_t pc, const Instruction &inst, State &s) const
+    {
+        // Any definition inside a divergent branch's influence region
+        // mixes per-path values at the rejoin point.
+        const uint16_t ctl =
+            divBlocks->count(cfg->blockOf(pc)) ? kDivControl : 0;
+        // A guarded def keeps the old value on lanes whose guard is
+        // false, so the result also depends on the guard predicate.
+        uint16_t guard = 0;
+        if (inst.guardPred >= 0 && inst.guardPred < kNumPredicates)
+            guard = s.preds[inst.guardPred];
+
+        auto defReg = [&](int r, int width, uint16_t taint) {
+            for (int i = r; i < r + width && i >= 0 && i < kMaxRegisters;
+                 i++) {
+                uint16_t t = taint | ctl | guard;
+                if (inst.guardPred >= 0)
+                    t |= s.regs[i];     // old value may survive
+                s.regs[i] = t;
+            }
+        };
+        auto defPred = [&](int p, uint16_t taint) {
+            if (p < 0 || p >= kNumPredicates)
+                return;
+            uint16_t t = taint | ctl | guard;
+            if (inst.guardPred >= 0)
+                t |= s.preds[p];
+            s.preds[p] = t;
+        };
+
+        switch (inst.op) {
+          case Opcode::SetP:
+            defPred(inst.dst, operandTaint(inst.src[0], s) |
+                                  operandTaint(inst.src[1], s));
+            break;
+          case Opcode::VoteAll:
+            // The vote result is identical on every lane that executes
+            // it: the operand's lane-variance is voted away.
+            defPred(inst.dst, 0);
+            break;
+          case Opcode::SelP:
+            if (inst.dst >= 0) {
+                defReg(inst.dst, 1,
+                       operandTaint(inst.src[0], s) |
+                           operandTaint(inst.src[1], s) |
+                           operandTaint(inst.src[2], s));
+            }
+            break;
+          case Opcode::Ld: {
+            const uint16_t addr = operandTaint(inst.src[0], s);
+            uint16_t taint;
+            if (inst.space == MemSpace::Local ||
+                inst.space == MemSpace::Spawn) {
+                taint = kDivMemory;     // per-thread backing store
+            } else if (addr != 0) {
+                taint = addr | kDivMemory;  // lane-varying address
+            } else {
+                taint = 0;  // same address on every lane -> same value
+            }
+            defReg(inst.dst, inst.vecWidth, taint);
+            break;
+          }
+          case Opcode::AtomAdd:
+          case Opcode::AtomExch:
+          case Opcode::AtomCas:
+            // Returns the pre-op value: distinct per lane by design.
+            defReg(inst.dst, 1, kDivAtomic);
+            break;
+          case Opcode::St:
+          case Opcode::Bra:
+          case Opcode::Exit:
+          case Opcode::Bar:
+          case Opcode::Nop:
+          case Opcode::Spawn:
+            break;
+          default:
+            if (inst.dst >= 0) {
+                uint16_t t = 0;
+                for (const Operand &o : inst.src)
+                    t |= operandTaint(o, s);
+                defReg(inst.dst, 1, t);
+            }
+            break;
+        }
+    }
+};
+
+/** Guard-predicate taint at each branch point of one solved entry. */
+struct EntrySolve {
+    const Program &prog;
+    const Cfg &cfg;
+    const EntryPoint &entry;
+    std::set<int> divBlocks;
+    TaintDomain dom;
+    DataflowSolver<TaintDomain> solver;
+
+    EntrySolve(const Program &p, const Cfg &c, const EntryPoint &e)
+        : prog(p), cfg(c), entry(e), dom{&c, &divBlocks},
+          solver(p, c, dom)
+    {
+    }
+
+    /**
+     * Visit every conditional branch / guarded exit reachable from the
+     * entry with the taint of its guard predicate at that point.
+     */
+    template <typename Fn>
+    void forEachBranch(Fn &&fn)
+    {
+        for (int b : solver.reachable()) {
+            TaintState s = solver.stateAt(b);
+            const BasicBlock &bb = cfg.blocks()[b];
+            for (uint32_t pc = solver.firstPc(b); pc <= bb.last; pc++) {
+                const Instruction &inst = prog.code[pc];
+                const bool isBranch =
+                    inst.op == Opcode::Bra || inst.op == Opcode::Exit ||
+                    inst.op == Opcode::Spawn;
+                if (isBranch) {
+                    uint16_t taint = 0;
+                    if (inst.guardPred >= 0 &&
+                        inst.guardPred < kNumPredicates) {
+                        taint = s.preds[inst.guardPred];
+                    }
+                    fn(pc, b, inst, taint);
+                }
+                dom.transfer(pc, inst, s);
+            }
+        }
+    }
+
+    void run()
+    {
+        // Two-level fixpoint: solving taint can prove more branches
+        // divergent, whose influence regions add control taint, which
+        // can make further branches divergent. The region set only
+        // grows, so this converges in at most |blocks| rounds.
+        for (;;) {
+            solver.solveForward(entry.pc);
+            std::set<int> next = divBlocks;
+            forEachBranch([&](uint32_t, int b, const Instruction &inst,
+                              uint16_t taint) {
+                if (inst.op != Opcode::Bra || inst.guardPred < 0 ||
+                    taint == 0) {
+                    return;
+                }
+                // Only rejoining branches mix values (see header).
+                if (cfg.immediatePostDominator(b) == Cfg::kVirtualExit)
+                    return;
+                for (int r : cfg.influenceRegion(b))
+                    next.insert(r);
+            });
+            if (next == divBlocks)
+                break;
+            divBlocks.swap(next);
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::string
+divergenceSourceNames(uint16_t mask)
+{
+    static const std::pair<uint16_t, const char *> kNames[] = {
+        {kDivTid, "tid"},           {kDivLane, "laneid"},
+        {kDivSlot, "slot"},         {kDivSpawnAddr, "spawnaddr"},
+        {kDivMemory, "memory"},     {kDivAtomic, "atomic"},
+        {kDivControl, "control"},
+    };
+    std::string out;
+    for (const auto &[bit, name] : kNames) {
+        if (mask & bit) {
+            if (!out.empty())
+                out += ",";
+            out += name;
+        }
+    }
+    return out;
+}
+
+size_t
+UniformityResult::divergentBranchCount() const
+{
+    size_t n = 0;
+    for (const BranchInfo &b : branches)
+        n += b.divergent ? 1 : 0;
+    return n;
+}
+
+size_t
+UniformityResult::uniformBranchCount() const
+{
+    size_t n = 0;
+    for (const BranchInfo &b : branches)
+        n += (b.conditional && !b.divergent) ? 1 : 0;
+    return n;
+}
+
+const BranchInfo *
+UniformityResult::branchAt(uint32_t pc) const
+{
+    for (const BranchInfo &b : branches)
+        if (b.pc == pc)
+            return &b;
+    return nullptr;
+}
+
+UniformityResult
+analyzeUniformity(const Program &program, const Cfg &cfg)
+{
+    UniformityResult result;
+    std::map<uint32_t, BranchInfo> byPc;
+
+    for (const EntryPoint &entry : entryPoints(program)) {
+        EntrySolve solve(program, cfg, entry);
+        solve.run();
+        result.divergentBlocks[entry.name] = solve.divBlocks;
+
+        solve.forEachBranch([&](uint32_t pc, int b,
+                                const Instruction &inst, uint16_t taint) {
+            if (inst.op == Opcode::Spawn) {
+                result.spawnGuards[pc] |= taint;
+                return;
+            }
+            BranchInfo &info = byPc[pc];
+            info.pc = pc;
+            info.line = inst.line;
+            info.block = b;
+            info.conditional = inst.guardPred >= 0;
+            info.isExit = inst.op == Opcode::Exit;
+            if (std::find(info.entries.begin(), info.entries.end(),
+                          entry.name) == info.entries.end()) {
+                info.entries.push_back(entry.name);
+            }
+            if (info.conditional && taint != 0) {
+                info.divergent = true;
+                info.sources |= taint;
+            }
+        });
+    }
+
+    // Unguarded exits are not branch points; everything else is
+    // reported, including unconditional bra (trivially uniform).
+    for (auto &[pc, info] : byPc) {
+        if (info.isExit && !info.conditional)
+            continue;
+        result.branches.push_back(std::move(info));
+    }
+    return result;
+}
+
+} // namespace uksim::analysis

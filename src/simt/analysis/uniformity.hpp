@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Uniformity / divergence analysis.
+ *
+ * Classifies every branch in the program as warp-uniform (all lanes of
+ * any warp take the same direction) or potentially divergent, by
+ * propagating a taint from lane-varying sources through a forward
+ * dataflow fixpoint per entry point:
+ *
+ *   - data sources: %tid, %laneid, %slot, %spawnaddr, atomic return
+ *     values, loads at lane-varying addresses, and loads from the
+ *     per-thread Local / Spawn spaces;
+ *   - control: a definition inside the *influence region* of a
+ *     divergent branch (the blocks a warp may execute with a partial
+ *     mask, cfg.influenceRegion) mixes values from different paths when
+ *     the paths rejoin, so it is tainted with kDivControl.
+ *
+ * vote.all is the re-uniforming primitive: its result is identical on
+ * every lane that executes it, so the vote's operand taint is dropped
+ * (only control taint survives). This is exactly why the paper's
+ * adaptive traversal (vote.all at the reconvergence point of the loop
+ * body, then a warp-wide back-edge branch) reads as uniform here.
+ *
+ * Control taint is only applied for branches that *rejoin*: when a
+ * branch's immediate post-dominator is the virtual exit (e.g. the
+ * canonical `@p exit` early-out, or a loop whose paths all leave the
+ * program separately) the split lanes never mix values at a join point,
+ * so the region is not tainted — matching how production divergence
+ * analyses treat sync dependence. The two-level fixpoint (taint solve
+ * <-> divergent-region discovery) is monotone in the region set and
+ * terminates in at most |blocks| rounds.
+ */
+
+#ifndef UKSIM_ANALYSIS_UNIFORMITY_HPP
+#define UKSIM_ANALYSIS_UNIFORMITY_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simt/cfg.hpp"
+#include "simt/program.hpp"
+
+namespace uksim::analysis {
+
+/** Provenance bits for a lane-varying (divergent) value. */
+enum DivergenceSource : uint16_t {
+    kDivTid = 1u << 0,          ///< %tid
+    kDivLane = 1u << 1,         ///< %laneid
+    kDivSlot = 1u << 2,         ///< %slot (per-thread hardware slot)
+    kDivSpawnAddr = 1u << 3,    ///< %spawnaddr (per-thread record)
+    kDivMemory = 1u << 4,       ///< load at a lane-varying address or
+                                ///< from a per-thread space
+    kDivAtomic = 1u << 5,       ///< atomic return value
+    kDivControl = 1u << 6,      ///< defined under divergent control
+};
+
+/** "tid,memory,control" rendering of a provenance mask ("" = uniform). */
+std::string divergenceSourceNames(uint16_t mask);
+
+/** Classification of one branch point (Bra or guarded exit). */
+struct BranchInfo {
+    uint32_t pc = 0;
+    int line = 0;
+    int block = -1;             ///< basic block the branch terminates
+    bool conditional = false;   ///< guarded; unconditional bra otherwise
+    bool isExit = false;        ///< guarded exit (warp-splitting too)
+    bool divergent = false;     ///< divergent from at least one entry
+    uint16_t sources = 0;       ///< union of taint over divergent entries
+    std::vector<std::string> entries;   ///< entry points that reach it
+};
+
+/** Whole-program uniformity classification. */
+struct UniformityResult {
+    /** Every Bra and guarded Exit reachable from any entry, pc order. */
+    std::vector<BranchInfo> branches;
+    /** Per entry: blocks inside some divergent branch's influence region. */
+    std::map<std::string, std::set<int>> divergentBlocks;
+    /** Guard-predicate taint at each reachable `spawn` (0 = uniform). */
+    std::map<uint32_t, uint16_t> spawnGuards;
+
+    size_t divergentBranchCount() const;
+    /** Conditional branches proven warp-uniform. */
+    size_t uniformBranchCount() const;
+    const BranchInfo *branchAt(uint32_t pc) const;
+};
+
+/** Run the taint fixpoint from every entry point of @p program. */
+UniformityResult analyzeUniformity(const Program &program, const Cfg &cfg);
+
+} // namespace uksim::analysis
+
+#endif // UKSIM_ANALYSIS_UNIFORMITY_HPP

@@ -95,7 +95,38 @@ Cfg::Cfg(const Program &program)
         }
     }
 
+    preds_.assign(blocks_.size(), {});
+    for (size_t i = 0; i < blocks_.size(); i++) {
+        for (int s : blocks_[i].successors) {
+            if (s != kVirtualExit)
+                preds_[s].push_back(static_cast<int>(i));
+        }
+    }
+
     computePostDominators();
+}
+
+std::vector<int>
+Cfg::influenceRegion(int branchBlock) const
+{
+    const int rejoin = ipdom_.at(branchBlock);
+    std::set<int> region;
+    std::vector<int> work;
+    for (int s : blocks_[branchBlock].successors) {
+        if (s != kVirtualExit && s != rejoin && region.insert(s).second)
+            work.push_back(s);
+    }
+    while (!work.empty()) {
+        int b = work.back();
+        work.pop_back();
+        for (int s : blocks_[b].successors) {
+            if (s != kVirtualExit && s != rejoin &&
+                region.insert(s).second) {
+                work.push_back(s);
+            }
+        }
+    }
+    return {region.begin(), region.end()};
 }
 
 void

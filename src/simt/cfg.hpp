@@ -65,11 +65,29 @@ class Cfg
      */
     uint32_t reconvergencePc(uint32_t branchPc, uint32_t exitSentinel) const;
 
+    /** Predecessor block ids of block @p id (virtual exit excluded). */
+    const std::vector<int> &predecessors(int id) const
+    {
+        return preds_.at(id);
+    }
+
+    /**
+     * Influence region of the branch terminating block @p branchBlock:
+     * every block reachable from the branch's successors without passing
+     * through the branch's immediate post-dominator. These are exactly
+     * the blocks a warp may execute with a partial lane mask while the
+     * branch is diverged; the post-dominator itself (where paths rejoin)
+     * is excluded. When the branch only reconverges at thread exit the
+     * region spans everything reachable. Returned sorted by block id.
+     */
+    std::vector<int> influenceRegion(int branchBlock) const;
+
   private:
     void computePostDominators();
 
     std::vector<BasicBlock> blocks_;
     std::vector<int> blockOf_;              ///< pc -> block id
+    std::vector<std::vector<int>> preds_;   ///< reverse edges
     std::vector<std::vector<uint64_t>> pdom_; ///< bitset per block
     std::vector<int> ipdom_;
     size_t words_ = 0;

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Diagnostic formatting and ordering shared by verifier and analysis.
+ */
+
+#include "simt/diag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace uksim {
+
+std::string
+Diagnostic::format() const
+{
+    std::ostringstream os;
+    os << (severity == Severity::Error ? "error[" : "warning[") << id
+       << "] ";
+    if (line > 0)
+        os << "line " << line << " ";
+    os << "(pc " << pc;
+    if (!entry.empty())
+        os << ", entry '" << entry << "'";
+    os << "): " << message;
+    return os.str();
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic> &diags)
+{
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.line != b.line) {
+                             if (a.line == 0 || b.line == 0)
+                                 return b.line == 0;
+                             return a.line < b.line;
+                         }
+                         return a.pc < b.pc;
+                     });
+}
+
+} // namespace uksim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared structured diagnostics for the verifier and the analysis
+ * framework.
+ *
+ * Every static-analysis finding — verifier lint, range proof failure,
+ * liveness lint — is reported through the same Diagnostic struct so the
+ * CLI, the JSON emitter and the tests see one shape: a stable catalogue
+ * id, the anchoring pc, the basic-block id in the program CFG, the
+ * 1-based source line recorded by the assembler's line table, the entry
+ * point under analysis, and a human-readable message.
+ *
+ * DiagnosticSink centralizes the (pc, id) deduplication policy: a
+ * program point reachable from several entry points (or re-visited by
+ * several passes) reports each finding class once.
+ */
+
+#ifndef UKSIM_SIMT_DIAG_HPP
+#define UKSIM_SIMT_DIAG_HPP
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uksim {
+
+/** Diagnostic severity. Errors indicate rendering-garbage-class bugs. */
+enum class Severity : uint8_t {
+    Warning,
+    Error,
+};
+
+/** One static-analysis finding, attributed to a pc and its source line. */
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    std::string id;         ///< stable catalogue id, e.g. "reg-uninit"
+    uint32_t pc = 0;        ///< instruction the finding anchors to
+    int block = -1;         ///< basic-block id in the CFG (-1 synthetic)
+    int line = 0;           ///< 1-based source line (0 when synthetic)
+    std::string entry;      ///< entry point analyzed ("" for global checks)
+    std::string message;
+
+    /** "error[reg-uninit] line 12 (pc 3, entry 'uk_trav'): ..." */
+    std::string format() const;
+};
+
+/**
+ * Appends diagnostics to a caller-owned vector, deduplicating repeated
+ * findings of the same id on the same pc (the same program point is
+ * commonly revisited once per entry point that reaches it).
+ */
+class DiagnosticSink
+{
+  public:
+    explicit DiagnosticSink(std::vector<Diagnostic> &out) : out_(out) {}
+
+    /** Append unconditionally. */
+    void add(Diagnostic d) { out_.push_back(std::move(d)); }
+
+    /** Append unless (pc, id) was already reported; true when kept. */
+    bool addOnce(Diagnostic d)
+    {
+        if (!seen_.insert({d.pc, d.id}).second)
+            return false;
+        out_.push_back(std::move(d));
+        return true;
+    }
+
+  private:
+    std::vector<Diagnostic> &out_;
+    std::set<std::pair<uint32_t, std::string>> seen_;
+};
+
+/** Stable report order: by source line (synthetic last), then pc. */
+void sortDiagnostics(std::vector<Diagnostic> &diags);
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_DIAG_HPP

@@ -2,26 +2,27 @@
  * @file
  * µ-kernel program verifier: iterative dataflow lints over the CFG.
  *
- * The analysis mirrors the structure of cfg.cpp's post-dominator solver:
- * a worklist fixpoint over basic blocks, but running forward from each
- * entry point with a "definitely assigned" must-set (intersection meet)
- * plus a "possibly assigned" may-set (union meet) per register file, and
- * a small abstract-value lattice used to resolve spawn/const/local
+ * The fixpoint machinery lives in analysis/dataflow.hpp; the verifier
+ * supplies a definedness domain (must/may assigned bits per register
+ * file) fused with the interval abstract-value domain of
+ * analysis/absdom.hpp, used to resolve spawn/const/local/shared
  * addresses statically:
  *
- *     Top  |  Const c  |  SpawnRaw+off  |  StatePtr+off
+ *     value  =  {Num | SpawnRaw | StatePtr | Slot·scale}  +  [lo, hi]
  *
  * SpawnRaw is the raw %spawnaddr value: the spawn-state record base in a
  * launch thread, but the warp-formation word in a spawned µ-kernel
  * (paper Fig. 6). A scalar ld.spawn through SpawnRaw inside a µ-kernel
  * yields StatePtr, the parent's state-record base, which is what the
- * `.spawn_state` bounds are checked against.
+ * `.spawn_state` bounds are checked against. Bounds checks run through
+ * analysis/range.hpp: proven-in-bounds accesses are counted, definite
+ * overruns (every value in the range out of bounds) are diagnostics,
+ * and possible overruns stay silent.
  */
 
 #include "simt/verifier.hpp"
 
 #include <algorithm>
-#include <array>
 #include <deque>
 #include <map>
 #include <memory>
@@ -29,24 +30,13 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "simt/analysis/absdom.hpp"
+#include "simt/analysis/dataflow.hpp"
+#include "simt/analysis/entries.hpp"
+#include "simt/analysis/liveness.hpp"
 #include "simt/cfg.hpp"
 
 namespace uksim {
-
-std::string
-Diagnostic::format() const
-{
-    std::ostringstream os;
-    os << (severity == Severity::Error ? "error[" : "warning[") << id
-       << "] ";
-    if (line > 0)
-        os << "line " << line << " ";
-    os << "(pc " << pc;
-    if (!entry.empty())
-        os << ", entry '" << entry << "'";
-    os << "): " << message;
-    return os.str();
-}
 
 size_t
 VerifyResult::errorCount() const
@@ -78,31 +68,10 @@ VerifyResult::report() const
 
 namespace {
 
-/** Abstract register value used to resolve addresses statically. */
-struct AbsVal {
-    enum class Kind : uint8_t {
-        Top,        ///< statically unknown
-        Const,      ///< known 32-bit constant
-        SpawnRaw,   ///< %spawnaddr + c
-        StatePtr,   ///< spawn-state record base + c
-    };
-    Kind kind = Kind::Top;
-    uint32_t c = 0;
-
-    bool operator==(const AbsVal &o) const
-    {
-        return kind == o.kind && (kind == Kind::Top || c == o.c);
-    }
-
-    static AbsVal top() { return {}; }
-    static AbsVal konst(uint32_t v) { return {Kind::Const, v}; }
-};
-
-AbsVal
-meetVal(const AbsVal &a, const AbsVal &b)
-{
-    return a == b ? a : AbsVal::top();
-}
+using analysis::AbsValue;
+using analysis::AccessCheck;
+using analysis::AccessProof;
+using analysis::Interval;
 
 /** Per-program-point dataflow state (one warp lane's register files). */
 struct LaneState {
@@ -110,45 +79,139 @@ struct LaneState {
     uint64_t regMay = 0;    ///< possibly-assigned (incl. predicated defs)
     uint16_t predMust = 0;
     uint16_t predMay = 0;
-    std::array<AbsVal, kMaxRegisters> val{};
+    analysis::AbsRegFile val{};     ///< defaults to Top
 
-    bool merge(const LaneState &o)
+    bool merge(const LaneState &o, bool widen)
     {
-        LaneState before = *this;
+        const uint64_t rm = regMust, ry = regMay;
+        const uint16_t pm = predMust, py = predMay;
         regMust &= o.regMust;
         regMay |= o.regMay;
         predMust &= o.predMust;
         predMay |= o.predMay;
-        for (int r = 0; r < kMaxRegisters; r++)
-            val[r] = meetVal(val[r], o.val[r]);
-        return regMust != before.regMust || regMay != before.regMay ||
-               predMust != before.predMust || predMay != before.predMay ||
-               val != before.val;
+        bool valChanged = false;
+        for (int r = 0; r < kMaxRegisters; r++) {
+            AbsValue j = analysis::joinValue(val[r], o.val[r]);
+            if (widen)
+                j = analysis::widenValue(val[r], j);
+            if (j != val[r]) {
+                val[r] = j;
+                valChanged = true;
+            }
+        }
+        return regMust != rm || regMay != ry || predMust != pm ||
+               predMay != py || valChanged;
     }
 };
 
-/** One analyzed entry point (launch entry or a .microkernel). */
-struct EntryInfo {
-    uint32_t pc = 0;
-    std::string name;
-    bool isMicroKernel = false;
-    int mkIndex = -1;   ///< index in program.microKernels, -1 for launch
+void
+defineRegs(LaneState &s, int r, int width, bool guarded, AbsValue v)
+{
+    for (int i = r; i < r + width && i >= 0 && i < kMaxRegisters; i++) {
+        const uint64_t bit = uint64_t{1} << i;
+        s.regMay |= bit;
+        AbsValue nv = (i == r) ? v : AbsValue::top();
+        if (guarded) {
+            // A predicated definition only *maybe* assigns: the value
+            // afterwards is the join of old and new.
+            s.val[i] = analysis::joinValue(s.val[i], nv);
+        } else {
+            s.regMust |= bit;
+            s.val[i] = nv;
+        }
+    }
+}
+
+void
+definePred(LaneState &s, int p, bool guarded)
+{
+    if (p < 0 || p >= kNumPredicates)
+        return;
+    const uint16_t bit = uint16_t(1) << p;
+    s.predMay |= bit;
+    if (!guarded)
+        s.predMust |= bit;
+}
+
+/** Transfer function shared by the fixpoint and the check replay. */
+void
+applyTransfer(const Instruction &inst, LaneState &s, bool microKernel)
+{
+    const bool guarded = inst.guardPred >= 0;
+    switch (inst.op) {
+      case Opcode::SetP:
+      case Opcode::VoteAll:
+        definePred(s, inst.dst, guarded);
+        break;
+      case Opcode::Ld: {
+        AbsValue v = AbsValue::top();
+        if (inst.space == MemSpace::Spawn && inst.vecWidth == 1 &&
+            microKernel) {
+            AbsValue base =
+                analysis::evalOperand(inst.src[0], s.val, microKernel);
+            if (base.base == AbsValue::Base::SpawnRaw)
+                v = AbsValue::make(AbsValue::Base::StatePtr,
+                                   Interval::konst(0));
+        }
+        defineRegs(s, inst.dst, inst.vecWidth, guarded, v);
+        break;
+      }
+      case Opcode::AtomAdd:
+      case Opcode::AtomExch:
+      case Opcode::AtomCas:
+        defineRegs(s, inst.dst, 1, guarded, AbsValue::top());
+        break;
+      case Opcode::St:
+      case Opcode::Bra:
+      case Opcode::Exit:
+      case Opcode::Bar:
+      case Opcode::Nop:
+      case Opcode::Spawn:
+        break;
+      default:
+        if (inst.dst >= 0) {
+            defineRegs(s, inst.dst, 1, guarded,
+                       analysis::evalArith(inst, s.val, microKernel));
+        }
+        break;
+    }
+}
+
+/** Definedness + abstract-value domain for the shared dataflow engine. */
+struct DefDomain {
+    using State = LaneState;
+
+    bool microKernel = false;
+
+    State boundary() const { return {}; }
+    bool merge(State &into, const State &from, bool widen) const
+    {
+        return into.merge(from, widen);
+    }
+    void transfer(uint32_t /*pc*/, const Instruction &inst,
+                  State &s) const
+    {
+        applyTransfer(inst, s, microKernel);
+    }
 };
 
 struct EntryAnalysis {
-    EntryInfo info;
+    analysis::EntryPoint info;
     std::set<int> reachable;            ///< block ids
     std::map<int, LaneState> in;        ///< block id -> IN state
     std::set<int> spawnTargets;         ///< µ-kernel indices spawned
-    std::set<uint32_t> storeWords;      ///< state words stored (off / 4)
-    std::map<uint32_t, uint32_t> loadWords; ///< state word -> first pc
+    std::set<uint32_t> storeWords;      ///< state words possibly stored
+    std::map<uint32_t, uint32_t> storeWordFirstPc; ///< definite stores
+    std::map<uint32_t, uint32_t> loadWords; ///< definite load word -> pc
+    std::set<uint32_t> loadedWordsAll;  ///< incl. range-proven loads
+    bool dynamicSpawnLoad = false;      ///< unresolved ld.spawn exists
 };
 
 class Verifier
 {
   public:
     Verifier(const Program &program, VerifyResult &out)
-        : prog_(program), out_(out)
+        : prog_(program), out_(out), sink_(out.diagnostics)
     {
     }
 
@@ -164,31 +227,70 @@ class Verifier
             return;     // targets out of range: CFG cannot be built
 
         cfg_ = std::make_unique<Cfg>(prog_);
-        collectEntries();
+        for (const analysis::EntryPoint &ep : analysis::entryPoints(prog_)) {
+            EntryAnalysis ea;
+            ea.info = ep;
+            entries_.push_back(std::move(ea));
+        }
         for (EntryAnalysis &ea : entries_) {
-            findReachable(ea);
-            solveDataflow(ea);
+            solveEntry(ea);
             checkBlocks(ea);
         }
+        overlapChecks();
         structuralChecks();
         spawnGraphChecks();
+        livenessChecks();
+
+        for (const auto &[pc, proof] : accessProof_) {
+            (void)pc;
+            out_.accesses.total++;
+            switch (proof) {
+              case AccessProof::Unbounded:
+                out_.accesses.unbounded++;
+                break;
+              case AccessProof::ProvedConst:
+                out_.accesses.provedConst++;
+                break;
+              case AccessProof::ProvedRange:
+                out_.accesses.provedRange++;
+                break;
+              case AccessProof::Unproven:
+                out_.accesses.unproven++;
+                break;
+              case AccessProof::OutOfBounds:
+                out_.accesses.outOfBounds++;
+                break;
+            }
+        }
     }
 
   private:
     // --- Diagnostic plumbing -----------------------------------------------
+    Diagnostic make(Severity sev, const char *id, uint32_t pc,
+                    const std::string &entry, const std::string &msg)
+    {
+        Diagnostic d;
+        d.severity = sev;
+        d.id = id;
+        d.pc = pc;
+        d.block = cfg_ && pc < prog_.code.size() ? cfg_->blockOf(pc) : -1;
+        d.line = pc < prog_.code.size() ? prog_.code[pc].line : 0;
+        d.entry = entry;
+        d.message = msg;
+        return d;
+    }
+
     void add(Severity sev, const char *id, uint32_t pc,
              const std::string &entry, const std::string &msg)
     {
-        int line = pc < prog_.code.size() ? prog_.code[pc].line : 0;
-        out_.diagnostics.push_back({sev, id, pc, line, entry, msg});
+        sink_.add(make(sev, id, pc, entry, msg));
     }
 
     /** Emit once per (pc, id) no matter how many entries reach the pc. */
     void addOnce(Severity sev, const char *id, uint32_t pc,
                  const std::string &entry, const std::string &msg)
     {
-        if (emitted_.insert({pc, id}).second)
-            add(sev, id, pc, entry, msg);
+        sink_.addOnce(make(sev, id, pc, entry, msg));
     }
 
     // --- Global (entry-independent) checks ---------------------------------
@@ -282,252 +384,36 @@ class Verifier
         }
     }
 
-    // --- Entry enumeration ---------------------------------------------------
-    void collectEntries()
+    // --- Dataflow solve + entry overlap --------------------------------------
+    void solveEntry(EntryAnalysis &ea)
     {
-        EntryAnalysis launch;
-        launch.info.pc = prog_.entryPc;
-        launch.info.name =
-            prog_.entryName.empty() ? "<entry>" : prog_.entryName;
-        entries_.push_back(std::move(launch));
-        for (size_t i = 0; i < prog_.microKernels.size(); i++) {
-            EntryAnalysis ea;
-            ea.info.pc = prog_.microKernels[i].pc;
-            ea.info.name = prog_.microKernels[i].name;
-            ea.info.isMicroKernel = true;
-            ea.info.mkIndex = static_cast<int>(i);
-            entries_.push_back(std::move(ea));
-        }
+        DefDomain dom;
+        dom.microKernel = ea.info.isMicroKernel;
+        analysis::DataflowSolver<DefDomain> solver(prog_, *cfg_, dom);
+        solver.solveForward(ea.info.pc);
+        ea.reachable = solver.reachable();
+        for (int b : ea.reachable)
+            if (solver.hasState(b))
+                ea.in.emplace(b, solver.stateAt(b));
     }
 
-    // --- Reachability ---------------------------------------------------------
-    void findReachable(EntryAnalysis &ea)
+    void overlapChecks()
     {
-        std::deque<int> work;
-        int start = cfg_->blockOf(ea.info.pc);
-        ea.reachable.insert(start);
-        work.push_back(start);
-        while (!work.empty()) {
-            int b = work.front();
-            work.pop_front();
-            for (int s : cfg_->blocks()[b].successors) {
-                if (s == Cfg::kVirtualExit)
+        // Control reaching a *different* entry point means a region
+        // falls through (or branches) past its exit into foreign code.
+        for (const EntryAnalysis &ea : entries_) {
+            for (const EntryAnalysis &other : entries_) {
+                if (other.info.pc == ea.info.pc)
                     continue;
-                if (ea.reachable.insert(s).second)
-                    work.push_back(s);
-            }
-        }
-        // Control reaching a *different* entry point means a region falls
-        // through (or branches) past its exit into foreign code.
-        for (const EntryAnalysis &other : entries_) {
-            if (other.info.pc == ea.info.pc)
-                continue;
-            int ob = cfg_->blockOf(other.info.pc);
-            if (ea.reachable.count(ob) &&
-                cfg_->blocks()[ob].first == other.info.pc) {
-                addOnce(Severity::Error, "entry-overlap", other.info.pc,
-                        ea.info.name,
-                        "control flow from entry '" + ea.info.name +
-                            "' reaches entry '" + other.info.name +
-                            "' (missing exit?)");
-            }
-        }
-    }
-
-    // --- Abstract evaluation -------------------------------------------------
-    AbsVal evalOperand(const Operand &o, const LaneState &s,
-                       bool microKernel) const
-    {
-        switch (o.kind) {
-          case OperandKind::Reg:
-            return o.reg >= 0 && o.reg < kMaxRegisters ? s.val[o.reg]
-                                                       : AbsVal::top();
-          case OperandKind::Imm:
-            return AbsVal::konst(o.imm);
-          case OperandKind::Special:
-            if (o.sreg == SpecialReg::SpawnMemAddr) {
-                // In a launch thread %spawnaddr IS the state record; in
-                // a spawned µ-kernel it is the formation word.
-                return {microKernel ? AbsVal::Kind::SpawnRaw
-                                    : AbsVal::Kind::StatePtr,
-                        0};
-            }
-            return AbsVal::top();
-          default:
-            return AbsVal::top();
-        }
-    }
-
-    AbsVal evalAlu(const Instruction &inst, const LaneState &s,
-                   bool microKernel) const
-    {
-        const AbsVal a = evalOperand(inst.src[0], s, microKernel);
-        const AbsVal b = evalOperand(inst.src[1], s, microKernel);
-        const bool isPtr = [](const AbsVal &v) {
-            return v.kind == AbsVal::Kind::SpawnRaw ||
-                   v.kind == AbsVal::Kind::StatePtr;
-        } (a);
-
-        if (inst.op == Opcode::Mov)
-            return a;
-        if (inst.type == DataType::F32)
-            return AbsVal::top();   // float arithmetic is never an address
-
-        const bool aConst = a.kind == AbsVal::Kind::Const;
-        const bool bConst = b.kind == AbsVal::Kind::Const;
-        switch (inst.op) {
-          case Opcode::Add:
-            if (aConst && bConst)
-                return AbsVal::konst(a.c + b.c);
-            if (isPtr && bConst)
-                return {a.kind, a.c + b.c};
-            if (aConst && (b.kind == AbsVal::Kind::SpawnRaw ||
-                           b.kind == AbsVal::Kind::StatePtr))
-                return {b.kind, b.c + a.c};
-            return AbsVal::top();
-          case Opcode::Sub:
-            if (aConst && bConst)
-                return AbsVal::konst(a.c - b.c);
-            if (isPtr && bConst)
-                return {a.kind, a.c - b.c};
-            return AbsVal::top();
-          case Opcode::Mul:
-            return aConst && bConst ? AbsVal::konst(a.c * b.c)
-                                    : AbsVal::top();
-          case Opcode::Shl:
-            return aConst && bConst ? AbsVal::konst(a.c << (b.c & 31))
-                                    : AbsVal::top();
-          case Opcode::Shr:
-            if (!(aConst && bConst))
-                return AbsVal::top();
-            return inst.type == DataType::S32
-                       ? AbsVal::konst(uint32_t(int32_t(a.c) >>
-                                                (b.c & 31)))
-                       : AbsVal::konst(a.c >> (b.c & 31));
-          case Opcode::And:
-            return aConst && bConst ? AbsVal::konst(a.c & b.c)
-                                    : AbsVal::top();
-          case Opcode::Or:
-            return aConst && bConst ? AbsVal::konst(a.c | b.c)
-                                    : AbsVal::top();
-          case Opcode::Xor:
-            return aConst && bConst ? AbsVal::konst(a.c ^ b.c)
-                                    : AbsVal::top();
-          case Opcode::SelP:
-            return meetVal(a, b);   // same value either way -> keep it
-          default:
-            return AbsVal::top();
-        }
-    }
-
-    // --- Transfer function ----------------------------------------------------
-    void defineRegs(LaneState &s, int r, int width, bool guarded,
-                    AbsVal v) const
-    {
-        for (int i = r; i < r + width && i >= 0 && i < kMaxRegisters;
-             i++) {
-            const uint64_t bit = uint64_t{1} << i;
-            s.regMay |= bit;
-            AbsVal nv = (i == r) ? v : AbsVal::top();
-            if (guarded) {
-                // A predicated definition only *maybe* assigns: the
-                // value afterwards is the meet of old and new.
-                s.val[i] = meetVal(s.val[i], nv);
-            } else {
-                s.regMust |= bit;
-                s.val[i] = nv;
-            }
-        }
-    }
-
-    void definePred(LaneState &s, int p, bool guarded) const
-    {
-        if (p < 0 || p >= kNumPredicates)
-            return;
-        const uint16_t bit = uint16_t(1) << p;
-        s.predMay |= bit;
-        if (!guarded)
-            s.predMust |= bit;
-    }
-
-    void apply(const Instruction &inst, LaneState &s,
-               bool microKernel) const
-    {
-        const bool guarded = inst.guardPred >= 0;
-        switch (inst.op) {
-          case Opcode::SetP:
-          case Opcode::VoteAll:
-            definePred(s, inst.dst, guarded);
-            break;
-          case Opcode::Ld: {
-            AbsVal v = AbsVal::top();
-            if (inst.space == MemSpace::Spawn && inst.vecWidth == 1 &&
-                microKernel) {
-                AbsVal base = evalOperand(inst.src[0], s, microKernel);
-                if (base.kind == AbsVal::Kind::SpawnRaw)
-                    v = {AbsVal::Kind::StatePtr, 0};
-            }
-            defineRegs(s, inst.dst, inst.vecWidth, guarded, v);
-            break;
-          }
-          case Opcode::AtomAdd:
-          case Opcode::AtomExch:
-          case Opcode::AtomCas:
-            defineRegs(s, inst.dst, 1, guarded, AbsVal::top());
-            break;
-          case Opcode::St:
-          case Opcode::Bra:
-          case Opcode::Exit:
-          case Opcode::Bar:
-          case Opcode::Nop:
-          case Opcode::Spawn:
-            break;
-          default:
-            if (inst.dst >= 0) {
-                defineRegs(s, inst.dst, 1, guarded,
-                           evalAlu(inst, s, microKernel));
-            }
-            break;
-        }
-    }
-
-    // --- Dataflow fixpoint ----------------------------------------------------
-    void solveDataflow(EntryAnalysis &ea)
-    {
-        const int start = cfg_->blockOf(ea.info.pc);
-        ea.in[start] = LaneState{};
-        std::deque<int> work{start};
-        std::set<int> queued{start};
-
-        while (!work.empty()) {
-            int b = work.front();
-            work.pop_front();
-            queued.erase(b);
-
-            LaneState s = ea.in[b];
-            const BasicBlock &bb = cfg_->blocks()[b];
-            // An entry block in the middle of the stream can contain
-            // instructions before the entry pc (the CFG partitions the
-            // whole stream); start the walk at the entry pc itself.
-            uint32_t first = bb.first;
-            if (b == start && ea.info.pc > first)
-                first = ea.info.pc;
-            for (uint32_t pc = first; pc <= bb.last; pc++)
-                apply(prog_.code[pc], s, ea.info.isMicroKernel);
-
-            for (int succ : bb.successors) {
-                if (succ == Cfg::kVirtualExit)
-                    continue;
-                auto it = ea.in.find(succ);
-                bool changed;
-                if (it == ea.in.end()) {
-                    ea.in[succ] = s;
-                    changed = true;
-                } else {
-                    changed = it->second.merge(s);
+                int ob = cfg_->blockOf(other.info.pc);
+                if (ea.reachable.count(ob) &&
+                    cfg_->blocks()[ob].first == other.info.pc) {
+                    addOnce(Severity::Error, "entry-overlap",
+                            other.info.pc, ea.info.name,
+                            "control flow from entry '" + ea.info.name +
+                                "' reaches entry '" + other.info.name +
+                                "' (missing exit?)");
                 }
-                if (changed && queued.insert(succ).second)
-                    work.push_back(succ);
             }
         }
     }
@@ -570,10 +456,21 @@ class Verifier
                          : ""));
     }
 
-    /** Signed effective offset of base value + instruction offset. */
-    static int64_t effOffset(const AbsVal &base, const Instruction &inst)
+    void recordAccess(uint32_t pc, AccessProof proof)
     {
-        return int64_t(int32_t(base.c + uint32_t(inst.memOffset)));
+        auto [it, inserted] = accessProof_.emplace(pc, proof);
+        if (!inserted)
+            it->second = analysis::mergeProof(it->second, proof);
+    }
+
+    static std::string rangeText(const AccessCheck &c, uint32_t bytes)
+    {
+        if (c.lo == c.hi) {
+            return "[" + std::to_string(c.lo) + ", " +
+                   std::to_string(c.lo + bytes) + ")";
+        }
+        return "[" + std::to_string(c.lo) + ", " +
+               std::to_string(c.hi + bytes) + ") (range-resolved)";
     }
 
     void checkSpawnAccess(EntryAnalysis &ea, uint32_t pc,
@@ -585,51 +482,87 @@ class Verifier
                     ea.info.name,
                     "spawn memory access but the program declares no "
                     ".spawn_state record");
+            recordAccess(pc, AccessProof::Unproven);
             return;
         }
-        AbsVal base = evalOperand(inst.src[0], s, ea.info.isMicroKernel);
-        if (base.kind == AbsVal::Kind::SpawnRaw) {
+        const uint32_t bytes = 4u * inst.vecWidth;
+        AbsValue base = analysis::evalOperand(inst.src[0], s.val,
+                                              ea.info.isMicroKernel);
+        if (base.base == AbsValue::Base::SpawnRaw) {
             // µ-kernel dereference of the raw formation word.
-            const int64_t off = effOffset(base, inst);
             if (isStore) {
                 addOnce(Severity::Error, "spawn-formation-store", pc,
                         ea.info.name,
                         "store through %spawnaddr inside a µ-kernel "
                         "clobbers the warp-formation word");
+                recordAccess(pc, AccessProof::Unproven);
                 return;
             }
-            if (off != 0 || inst.vecWidth != 1) {
+            // Each thread owns exactly one 4-byte word at offset 0.
+            const AccessCheck c =
+                analysis::checkOffsetRange(base.iv, inst.memOffset,
+                                           bytes, 4);
+            if (c.proof != AccessProof::ProvedConst ||
+                inst.vecWidth != 1) {
                 addOnce(Severity::Warning, "spawn-formation-offset", pc,
                         ea.info.name,
                         "µ-kernel reads %spawnaddr at offset " +
-                            std::to_string(off) + " x" +
-                            std::to_string(inst.vecWidth) +
+                            std::to_string(c.lo) +
+                            (c.lo == c.hi ? ""
+                                          : ".." + std::to_string(c.hi)) +
+                            " x" + std::to_string(inst.vecWidth) +
                             "; each thread owns exactly one 4-byte "
                             "formation word at offset 0");
+                recordAccess(pc, AccessProof::Unproven);
+            } else {
+                recordAccess(pc, c.proof);
             }
             return;
         }
-        if (base.kind != AbsVal::Kind::StatePtr)
-            return;     // dynamic address; not statically checkable
-        const int64_t off = effOffset(base, inst);
-        const int64_t bytes = int64_t(4) * inst.vecWidth;
+        if (base.base != AbsValue::Base::StatePtr) {
+            // Dynamic address; not statically checkable.
+            recordAccess(pc, AccessProof::Unproven);
+            if (!isStore)
+                ea.dynamicSpawnLoad = true;
+            return;
+        }
         const uint32_t stateBytes = prog_.resources.spawnStateBytes;
-        if (off < 0 || off + bytes > stateBytes) {
+        const AccessCheck c = analysis::checkOffsetRange(
+            base.iv, inst.memOffset, bytes, stateBytes);
+        recordAccess(pc, c.proof);
+        switch (c.proof) {
+          case AccessProof::OutOfBounds:
             addOnce(Severity::Error, "spawn-state-oob", pc, ea.info.name,
                     std::string(isStore ? "store to" : "load from") +
-                        " spawn-state bytes [" + std::to_string(off) +
-                        ", " + std::to_string(off + bytes) +
-                        ") outside the .spawn_state " +
+                        " spawn-state bytes " + rangeText(c, bytes) +
+                        " outside the .spawn_state " +
                         std::to_string(stateBytes) +
                         " record (overruns into a neighbour's state "
                         "or the formation region)");
-            return;
-        }
-        for (int64_t w = off / 4; w < (off + bytes) / 4; w++) {
-            if (isStore)
-                ea.storeWords.insert(uint32_t(w));
-            else
-                ea.loadWords.emplace(uint32_t(w), pc);
+            break;
+          case AccessProof::ProvedConst:
+          case AccessProof::ProvedRange: {
+            const bool definite = c.lo == c.hi;
+            for (int64_t w = c.lo / 4; w < (c.hi + bytes) / 4; w++) {
+                const uint32_t word = uint32_t(w);
+                if (isStore) {
+                    ea.storeWords.insert(word);
+                    if (definite)
+                        ea.storeWordFirstPc.emplace(word, pc);
+                } else {
+                    ea.loadedWordsAll.insert(word);
+                    if (definite)
+                        ea.loadWords.emplace(word, pc);
+                }
+            }
+            break;
+          }
+          default:
+            // Possibly out of bounds: stays silent, but an unresolved
+            // load suppresses the unused-field lint.
+            if (!isStore)
+                ea.dynamicSpawnLoad = true;
+            break;
         }
     }
 
@@ -640,60 +573,101 @@ class Verifier
             checkSpawnAccess(ea, pc, inst, s);
             return;
         }
-        const AbsVal base =
-            evalOperand(inst.src[0], s, ea.info.isMicroKernel);
-        const int64_t bytes = int64_t(4) * inst.vecWidth;
+        const AbsValue base = analysis::evalOperand(
+            inst.src[0], s.val, ea.info.isMicroKernel);
+        const uint32_t bytes = 4u * inst.vecWidth;
         switch (inst.space) {
           case MemSpace::Const:
           case MemSpace::Param: {
-            if (base.kind != AbsVal::Kind::Const)
+            if (base.base != AbsValue::Base::Num) {
+                recordAccess(pc, AccessProof::Unproven);
                 return;
-            const int64_t off = effOffset(base, inst);
+            }
             const uint32_t constBytes = prog_.resources.constBytes;
             if (constBytes == 0) {
-                addOnce(Severity::Warning, "const-undeclared", pc,
-                        ea.info.name,
-                        "param/const access but the program declares "
-                        "no .const size to check against");
-            } else if (off < 0 || off + bytes > constBytes) {
+                if (!base.iv.isFull()) {
+                    addOnce(Severity::Warning, "const-undeclared", pc,
+                            ea.info.name,
+                            "param/const access but the program declares "
+                            "no .const size to check against");
+                }
+                recordAccess(pc, AccessProof::Unproven);
+                return;
+            }
+            const AccessCheck c = analysis::checkOffsetRange(
+                base.iv, inst.memOffset, bytes, constBytes);
+            recordAccess(pc, c.proof);
+            if (c.proof == AccessProof::OutOfBounds) {
                 addOnce(Severity::Error, "const-oob", pc, ea.info.name,
-                        "access to const bytes [" + std::to_string(off) +
-                            ", " + std::to_string(off + bytes) +
-                            ") outside the declared .const " +
+                        "access to const bytes " + rangeText(c, bytes) +
+                            " outside the declared .const " +
                             std::to_string(constBytes));
             }
             break;
           }
-          case MemSpace::Shared:
-            if (prog_.resources.sharedBytes == 0) {
+          case MemSpace::Shared: {
+            const uint32_t stride = prog_.resources.sharedBytes;
+            if (stride == 0) {
                 addOnce(Severity::Error, "shared-undeclared", pc,
                         ea.info.name,
                         "shared memory access but .shared_per_thread "
                         "is 0");
+                recordAccess(pc, AccessProof::Unproven);
+                return;
+            }
+            // The provable pattern is %slot * stride + off: the access
+            // stays inside the thread's own declared slice.
+            if (base.base != AbsValue::Base::Slot ||
+                base.scale != stride) {
+                recordAccess(pc, AccessProof::Unproven);
+                return;
+            }
+            AccessCheck c = analysis::checkOffsetRange(
+                base.iv, inst.memOffset, bytes, stride);
+            // Symbolic-base proofs are range proofs: the constant-only
+            // checker could never see through %slot.
+            if (c.proof == AccessProof::ProvedConst)
+                c.proof = AccessProof::ProvedRange;
+            recordAccess(pc, c.proof);
+            if (c.proof == AccessProof::OutOfBounds) {
+                addOnce(Severity::Warning, "shared-oob", pc,
+                        ea.info.name,
+                        "access to shared bytes " + rangeText(c, bytes) +
+                            " past the thread's .shared_per_thread " +
+                            std::to_string(stride) +
+                            " slice (always lands in another thread's "
+                            "slice)");
             }
             break;
+          }
           case MemSpace::Local: {
-            if (prog_.resources.localBytes == 0) {
+            const uint32_t localBytes = prog_.resources.localBytes;
+            if (localBytes == 0) {
                 addOnce(Severity::Error, "local-undeclared", pc,
                         ea.info.name,
                         "local memory access but .local_per_thread "
                         "is 0");
-                break;
+                recordAccess(pc, AccessProof::Unproven);
+                return;
             }
-            if (base.kind != AbsVal::Kind::Const)
-                break;
-            const int64_t off = effOffset(base, inst);
-            if (off < 0 ||
-                off + bytes > prog_.resources.localBytes) {
+            if (base.base != AbsValue::Base::Num) {
+                recordAccess(pc, AccessProof::Unproven);
+                return;
+            }
+            const AccessCheck c = analysis::checkOffsetRange(
+                base.iv, inst.memOffset, bytes, localBytes);
+            recordAccess(pc, c.proof);
+            if (c.proof == AccessProof::OutOfBounds) {
                 addOnce(Severity::Error, "local-oob", pc, ea.info.name,
-                        "access to local bytes [" + std::to_string(off) +
-                            ", " + std::to_string(off + bytes) +
-                            ") outside .local_per_thread " +
-                            std::to_string(prog_.resources.localBytes));
+                        "access to local bytes " + rangeText(c, bytes) +
+                            " outside .local_per_thread " +
+                            std::to_string(localBytes));
             }
             break;
           }
           default:
+            // Global memory (and atomics) has no declared bound.
+            recordAccess(pc, AccessProof::Unbounded);
             break;
         }
     }
@@ -746,7 +720,7 @@ class Verifier
                 first = ea.info.pc;
             for (uint32_t pc = first; pc <= bb.last; pc++) {
                 checkInstruction(ea, pc, prog_.code[pc], s);
-                apply(prog_.code[pc], s, ea.info.isMicroKernel);
+                applyTransfer(prog_.code[pc], s, ea.info.isMicroKernel);
             }
         }
     }
@@ -789,18 +763,7 @@ class Verifier
             const Instruction &br = prog_.code[db.last];
             if (br.op != Opcode::Bra || br.guardPred < 0)
                 continue;
-            const int rejoin = cfg_->immediatePostDominator(d);
-            std::set<int> seen;
-            std::deque<int> work;
-            for (int succ : db.successors) {
-                if (succ != Cfg::kVirtualExit && succ != rejoin &&
-                    seen.insert(succ).second) {
-                    work.push_back(succ);
-                }
-            }
-            while (!work.empty()) {
-                int b = work.front();
-                work.pop_front();
+            for (int b : cfg_->influenceRegion(d)) {
                 const BasicBlock &bb = cfg_->blocks()[b];
                 for (uint32_t pc = bb.first; pc <= bb.last; pc++) {
                     if (prog_.code[pc].op == Opcode::Bar) {
@@ -811,12 +774,6 @@ class Verifier
                                     std::to_string(br.line) +
                                     "; lanes on the other path never "
                                     "arrive");
-                    }
-                }
-                for (int succ : bb.successors) {
-                    if (succ != Cfg::kVirtualExit && succ != rejoin &&
-                        seen.insert(succ).second) {
-                        work.push_back(succ);
                     }
                 }
             }
@@ -842,7 +799,7 @@ class Verifier
         }
     }
 
-    // --- Spawn graph: never-spawned + handoff coverage ----------------------
+    // --- Spawn graph: never-spawned + handoff + unused fields ---------------
     void spawnGraphChecks()
     {
         // Entry 0 is the launch entry; walk the spawn graph from it.
@@ -894,14 +851,58 @@ class Verifier
                             ") stores");
             }
         }
+
+        // spawn-state-unused: a word some entry definitely stores but no
+        // reachable code ever loads. Spawn-memory capacity bounds how
+        // many threads can be outstanding (paper Sec. VI), so dead
+        // state words are wasted capacity. Any unresolved ld.spawn
+        // could read anything, so it suppresses the lint.
+        bool anyDynamicLoad = false;
+        std::set<uint32_t> loadedAll;
+        for (const EntryAnalysis &ea : entries_) {
+            anyDynamicLoad |= ea.dynamicSpawnLoad;
+            loadedAll.insert(ea.loadedWordsAll.begin(),
+                             ea.loadedWordsAll.end());
+        }
+        if (anyDynamicLoad)
+            return;
+        std::map<uint32_t, uint32_t> stores;    // word -> first store pc
+        for (const EntryAnalysis &ea : entries_)
+            for (const auto &[word, pc] : ea.storeWordFirstPc)
+                stores.emplace(word, pc);
+        for (const auto &[word, pc] : stores) {
+            if (loadedAll.count(word))
+                continue;
+            addOnce(Severity::Warning, "spawn-state-unused", pc, "",
+                    "spawn-state bytes [" + std::to_string(word * 4) +
+                        ", " + std::to_string(word * 4 + 4) +
+                        ") are stored but never loaded by any entry; "
+                        "shrinking .spawn_state frees spawn-memory "
+                        "capacity");
+        }
+    }
+
+    // --- Liveness lints -------------------------------------------------------
+    void livenessChecks()
+    {
+        const analysis::LivenessResult live =
+            analysis::analyzeLiveness(prog_, *cfg_);
+        for (const analysis::DeadDef &d : live.deadDefs) {
+            const std::string name =
+                (d.isPred ? "p" : "r") + std::to_string(d.index);
+            addOnce(Severity::Warning, "dead-def", d.pc, "",
+                    name + " is written here but its value is never "
+                    "read on any path (dead definition)");
+        }
     }
 
     const Program &prog_;
     VerifyResult &out_;
+    DiagnosticSink sink_;
     std::unique_ptr<Cfg> cfg_;
     std::vector<EntryAnalysis> entries_;
-    std::set<std::pair<uint32_t, std::string>> emitted_;
     std::set<std::pair<uint32_t, int>> useSeen_;
+    std::map<uint32_t, AccessProof> accessProof_;
     bool malformed_ = false;
 };
 
@@ -914,15 +915,7 @@ verify(const Program &program, const VerifyOptions &opts)
     VerifyResult result;
     Verifier v(program, result);
     v.run();
-    std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
-                     [](const Diagnostic &a, const Diagnostic &b) {
-                         if (a.line != b.line) {
-                             if (a.line == 0 || b.line == 0)
-                                 return b.line == 0;
-                             return a.line < b.line;
-                         }
-                         return a.pc < b.pc;
-                     });
+    sortDiagnostics(result.diagnostics);
     return result;
 }
 

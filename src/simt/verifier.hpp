@@ -11,9 +11,13 @@
  * uninitialized register or overruns its state record silently renders
  * garbage or corrupts the formation region.
  *
- * verify() runs classic iterative dataflow over the program's CFG,
- * separately from each entry point (the launch entry and every
- * `.microkernel`), and reports structured diagnostics:
+ * verify() runs iterative dataflow over the program's CFG (via the
+ * engine in analysis/dataflow.hpp), separately from each entry point
+ * (the launch entry and every `.microkernel`). Addresses resolve
+ * through the interval abstract domain (analysis/absdom.hpp), so bounds
+ * checks are range-powered: an access indexed by `tid & 3` or
+ * `%slot * stride + off` is proven or refuted, not just skipped, and
+ * result.accesses reports how every memory instruction classified.
  *
  *   reg-uninit / pred-uninit   register or predicate possibly read
  *                              before any unguarded definition
@@ -21,21 +25,30 @@
  *                              fully define r1)
  *   reg-range / pred-range     index outside the `.reg` declaration or
  *                              the architectural register files
- *   spawn-state-oob            statically resolvable `ld.spawn`/`st.spawn`
- *                              outside the `.spawn_state` record
+ *   spawn-state-oob            `ld.spawn`/`st.spawn` whose whole offset
+ *                              range lies outside the `.spawn_state`
+ *                              record
  *   spawn-formation-store      µ-kernel store through the raw
  *                              `%spawnaddr` formation word
  *   spawn-formation-offset     µ-kernel dereferences `%spawnaddr` at a
- *                              nonzero offset (a neighbour lane's word)
+ *                              possibly-nonzero offset (a neighbour
+ *                              lane's word)
  *   spawn-state-undeclared     spawn memory used with `.spawn_state 0`
  *   spawn-target               spawn of a pc that is not a `.microkernel`
  *   spawn-handoff              µ-kernel loads a spawn-state word that no
  *                              reachable spawner stores
+ *   spawn-state-unused         a spawn-state word is stored but no
+ *                              reachable code ever loads it (the record
+ *                              is spawn-memory capacity, Sec. VI)
  *   never-spawned              `.microkernel` no reachable code spawns
- *   const-oob                  static `const`/`param` address beyond `.const`
+ *   const-oob                  `const`/`param` offset range beyond `.const`
  *   shared-undeclared          shared access with `.shared_per_thread 0`
+ *   shared-oob                 `%slot * stride + off` access provably
+ *                              overruns the thread's declared slice
  *   local-undeclared           local access with `.local_per_thread 0`
- *   local-oob                  static local address beyond `.local_per_thread`
+ *   local-oob                  local offset range beyond `.local_per_thread`
+ *   dead-def                   side-effect-free result never read on any
+ *                              path from any entry (analysis/liveness)
  *   unreachable                code no entry point reaches
  *   entry-overlap              control flow from one entry point reaches
  *                              another entry point (fall-through past a
@@ -46,6 +59,10 @@
  *                              guarded branch (deadlock risk)
  *   bar-in-microkernel         `bar` reachable from a spawned µ-kernel
  *                              (dynamic threads have no thread block)
+ *
+ * Out-of-bounds diagnostics fire only when *every* value in the
+ * resolved range is out of bounds; an access that merely might overrun
+ * stays silent (and is counted as unproven in result.accesses).
  *
  * The pass is pure static analysis on an assembled Program; it never
  * executes code and is safe to run on hand-constructed programs too.
@@ -58,28 +75,11 @@
 #include <string>
 #include <vector>
 
+#include "simt/analysis/range.hpp"
+#include "simt/diag.hpp"
 #include "simt/program.hpp"
 
 namespace uksim {
-
-/** Diagnostic severity. Errors indicate rendering-garbage-class bugs. */
-enum class Severity : uint8_t {
-    Warning,
-    Error,
-};
-
-/** One verifier finding, attributed to a pc and its source line. */
-struct Diagnostic {
-    Severity severity = Severity::Error;
-    std::string id;         ///< stable catalogue id, e.g. "reg-uninit"
-    uint32_t pc = 0;        ///< instruction the finding anchors to
-    int line = 0;           ///< 1-based source line (0 when synthetic)
-    std::string entry;      ///< entry point analyzed ("" for global checks)
-    std::string message;
-
-    /** "error[reg-uninit] line 12 (pc 3, entry 'uk_trav'): ..." */
-    std::string format() const;
-};
 
 /** Verification knobs. */
 struct VerifyOptions {
@@ -93,6 +93,9 @@ struct VerifyOptions {
 /** All findings for one program. */
 struct VerifyResult {
     std::vector<Diagnostic> diagnostics;
+    /** How every reachable memory access classified under the range
+     *  domain (merged across entry points, weakest claim wins). */
+    analysis::AccessStats accesses;
 
     size_t errorCount() const;
     size_t warningCount() const;
@@ -111,7 +114,7 @@ struct VerifyResult {
 /**
  * Statically verify @p program. Diagnostics come back sorted by source
  * line then pc; every finding carries the instruction's source line as
- * recorded by the assembler.
+ * recorded by the assembler and the basic-block id in the program CFG.
  */
 VerifyResult verify(const Program &program, const VerifyOptions &opts = {});
 

@@ -1,0 +1,24 @@
+# Run a command and require an exact exit code (ctest's WILL_FAIL can
+# only distinguish zero from nonzero; the ukverify contract
+# distinguishes 1 "findings" from 2 "usage/load error").
+#
+# Usage:
+#   cmake -DTOOL=<exe> -DTOOL_ARGS=<;-list> -DEXPECT_RC=<n>
+#         [-DWORKDIR=<dir>] -P expect_exit.cmake
+if(NOT DEFINED TOOL OR NOT DEFINED EXPECT_RC)
+    message(FATAL_ERROR "expect_exit.cmake needs -DTOOL and -DEXPECT_RC")
+endif()
+if(NOT DEFINED WORKDIR)
+    set(WORKDIR ".")
+endif()
+execute_process(
+    COMMAND ${TOOL} ${TOOL_ARGS}
+    WORKING_DIRECTORY ${WORKDIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL ${EXPECT_RC})
+    message(FATAL_ERROR
+            "${TOOL} ${TOOL_ARGS}: exit code ${rc}, expected "
+            "${EXPECT_RC}\nstdout:\n${out}\nstderr:\n${err}")
+endif()

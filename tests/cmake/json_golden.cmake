@@ -1,0 +1,31 @@
+# Golden-file test for `ukverify --json`: the emitted document must
+# match the checked-in expectation byte for byte. Schema changes are
+# deliberate: regenerate with
+#     ukverify --json tests/data/analysis_clean.uk \
+#         > tests/data/analysis_clean.expected.json
+# (from the repository root, so the embedded "name" stays relative)
+# and bump kJsonSchema when a field changes meaning.
+#
+# Usage:
+#   cmake -DTOOL=<exe> -DINPUT=<rel path> -DEXPECTED=<abs path>
+#         -DWORKDIR=<repo root> -P json_golden.cmake
+foreach(var TOOL INPUT EXPECTED WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "json_golden.cmake needs -D${var}")
+    endif()
+endforeach()
+execute_process(
+    COMMAND ${TOOL} --json ${INPUT}
+    WORKING_DIRECTORY ${WORKDIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE got
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${TOOL} --json ${INPUT} exited ${rc}\n${err}")
+endif()
+file(READ ${EXPECTED} want)
+if(NOT got STREQUAL want)
+    message(FATAL_ERROR
+            "JSON output drifted from ${EXPECTED}.\n"
+            "--- expected ---\n${want}\n--- got ---\n${got}")
+endif()

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Spawn-placement advisor tests: divergent regions without a spawn are
+ * flagged as spawn candidates, uniform-guarded spawns are flagged as
+ * paying overhead for nothing, meldable then/else diamonds are
+ * suggested, and trivial regions stay quiet.
+ */
+
+#include <gtest/gtest.h>
+
+#include "example_kernels.hpp"
+#include "simt/analysis/advisor.hpp"
+#include "simt/analysis/uniformity.hpp"
+#include "simt/assembler.hpp"
+#include "simt/cfg.hpp"
+
+using namespace uksim;
+using namespace uksim::analysis;
+
+namespace {
+
+AdvisorResult
+adviseOn(const Program &p)
+{
+    Cfg cfg(p);
+    return advise(p, cfg, analyzeUniformity(p, cfg));
+}
+
+const Advice *
+findAdvice(const AdvisorResult &r, const std::string &kind)
+{
+    for (const Advice &a : r.advice) {
+        if (a.kind == kind)
+            return &a;
+    }
+    return nullptr;
+}
+
+TEST(Advisor, DivergentRegionWithoutSpawnIsACandidate)
+{
+    // A tid-divergent branch guarding a non-trivial rejoining region:
+    // the paper's motivating shape for a µ-kernel continuation.
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.lt.u32 p0, r1, 7;
+        @p0 bra skip;
+        add.u32 r2, r1, 1;
+        mul.u32 r2, r2, 3;
+        xor.u32 r2, r2, r1;
+        st.global.u32 [r1+0], r2;
+        skip:
+        st.global.u32 [r1+4], r1;
+        exit;
+    )");
+    AdvisorResult r = adviseOn(p);
+    const Advice *a = findAdvice(r, "spawn-candidate");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->pc, 2u);
+}
+
+TEST(Advisor, TinyRegionGetsNoSpawnAdvice)
+{
+    // The divergent region is below kSpawnAdviceMinInsts: spawning
+    // would cost more than the divergence it removes.
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.lt.u32 p0, r1, 7;
+        @p0 bra skip;
+        add.u32 r2, r1, 1;
+        skip:
+        st.global.u32 [r1+0], r1;
+        exit;
+    )");
+    AdvisorResult r = adviseOn(p);
+    EXPECT_EQ(findAdvice(r, "spawn-candidate"), nullptr);
+}
+
+TEST(Advisor, UniformBranchGetsNoSpawnAdvice)
+{
+    // Param-bounded loop: warp-uniform, nothing to re-form.
+    Program p = assemble(R"(
+        .const 8
+        main:
+        mov.u32 r9, %tid;
+        ld.param.u32 r1, [0];
+        mov.u32 r2, 0;
+        loop:
+        add.u32 r2, r2, 1;
+        mul.u32 r3, r2, 3;
+        xor.u32 r4, r3, r2;
+        st.global.u32 [r9+0], r4;
+        setp.lt.u32 p0, r2, r1;
+        @p0 bra loop;
+        exit;
+    )");
+    AdvisorResult r = adviseOn(p);
+    EXPECT_EQ(findAdvice(r, "spawn-candidate"), nullptr);
+}
+
+TEST(Advisor, RegionContainingSpawnIsNotACandidate)
+{
+    // The divergence-spawn example already restructured its divergent
+    // loop as a µ-kernel: the advisor has nothing to add.
+    Program p = assemble(examples::divergenceSpawnSource(64));
+    AdvisorResult r = adviseOn(p);
+    EXPECT_EQ(findAdvice(r, "spawn-candidate"), nullptr);
+}
+
+TEST(Advisor, DivergenceLoopExampleIsACandidate)
+{
+    // ...while the plain divergence-loop example (same computation, no
+    // spawn) is exactly what the advisor exists to flag.
+    Program p = assemble(examples::divergenceLoopSource(64));
+    AdvisorResult r = adviseOn(p);
+    EXPECT_NE(findAdvice(r, "spawn-candidate"), nullptr);
+}
+
+TEST(Advisor, UniformGuardedSpawnIsFlagged)
+{
+    // The spawn's guard comes from a parameter: every lane takes it
+    // together, so the spawn pays overhead without removing divergence.
+    Program p = assemble(R"(
+        .entry main
+        .microkernel uk
+        .spawn_state 4
+        .const 4
+        main:
+        mov.u32 r1, %tid;
+        mov.u32 r6, %spawnaddr;
+        st.spawn.u32 [r6+0], r1;
+        ld.param.u32 r2, [0];
+        setp.eq.u32 p0, r2, 1;
+        @p0 spawn uk, r6;
+        exit;
+        uk:
+        mov.u32 r2, %spawnaddr;
+        ld.spawn.u32 r3, [r2+0];
+        ld.spawn.u32 r4, [r3+0];
+        st.global.u32 [r4+0], r4;
+        exit;
+    )");
+    AdvisorResult r = adviseOn(p);
+    const Advice *a = findAdvice(r, "spawn-on-uniform");
+    ASSERT_NE(a, nullptr);
+}
+
+TEST(Advisor, DivergentGuardedSpawnIsNotFlagged)
+{
+    Program p = assemble(R"(
+        .entry main
+        .microkernel uk
+        .spawn_state 4
+        main:
+        mov.u32 r1, %tid;
+        mov.u32 r6, %spawnaddr;
+        st.spawn.u32 [r6+0], r1;
+        setp.lt.u32 p0, r1, 7;
+        @p0 spawn uk, r6;
+        exit;
+        uk:
+        mov.u32 r2, %spawnaddr;
+        ld.spawn.u32 r3, [r2+0];
+        ld.spawn.u32 r4, [r3+0];
+        st.global.u32 [r4+0], r4;
+        exit;
+    )");
+    AdvisorResult r = adviseOn(p);
+    EXPECT_EQ(findAdvice(r, "spawn-on-uniform"), nullptr);
+}
+
+TEST(Advisor, DisjointDiamondIsAMeldCandidate)
+{
+    // Classic if/else diamond with self-contained arms and no
+    // spawn/barrier: meldable DARM-style.
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.lt.u32 p0, r1, 7;
+        @p0 bra then;
+        add.u32 r2, r1, 1;
+        mul.u32 r2, r2, 3;
+        xor.u32 r2, r2, r1;
+        add.u32 r2, r2, 9;
+        bra join;
+        then:
+        sub.u32 r2, r1, 1;
+        join:
+        st.global.u32 [r1+0], r2;
+        exit;
+    )");
+    AdvisorResult r = adviseOn(p);
+    const Advice *a = findAdvice(r, "meld-candidate");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->pc, 2u);
+}
+
+TEST(Advisor, BarrierInArmBlocksMelding)
+{
+    // bar.sync inside an arm must not be pulled under lane predication.
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.lt.u32 p0, r1, 7;
+        @p0 bra then;
+        add.u32 r2, r1, 1;
+        mul.u32 r2, r2, 3;
+        xor.u32 r2, r2, r1;
+        add.u32 r2, r2, 9;
+        bra join;
+        then:
+        bar;
+        sub.u32 r2, r1, 1;
+        join:
+        st.global.u32 [r1+0], r2;
+        exit;
+    )");
+    AdvisorResult r = adviseOn(p);
+    EXPECT_EQ(findAdvice(r, "meld-candidate"), nullptr);
+}
+
+TEST(Advisor, AdviceIsSortedByPc)
+{
+    Program p = assemble(examples::divergenceLoopSource(64));
+    AdvisorResult r = adviseOn(p);
+    for (size_t i = 1; i < r.advice.size(); i++)
+        EXPECT_LE(r.advice[i - 1].pc, r.advice[i].pc);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Liveness / dead-definition tests: dead ALU results and scalar loads
+ * are reported, loop-carried and guarded definitions are not, effectful
+ * instructions are never "dead", and the verifier surfaces the lint as
+ * a `dead-def` warning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simt/analysis/liveness.hpp"
+#include "simt/assembler.hpp"
+#include "simt/cfg.hpp"
+#include "simt/verifier.hpp"
+
+using namespace uksim;
+using namespace uksim::analysis;
+
+namespace {
+
+LivenessResult
+analyze(const Program &p)
+{
+    Cfg cfg(p);
+    return analyzeLiveness(p, cfg);
+}
+
+const DeadDef *
+deadAt(const LivenessResult &r, uint32_t pc)
+{
+    for (const DeadDef &d : r.deadDefs) {
+        if (d.pc == pc)
+            return &d;
+    }
+    return nullptr;
+}
+
+TEST(Liveness, DeadAluResultIsReported)
+{
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        add.u32 r2, r1, 5;      // r2 never read
+        st.global.u32 [r1+0], r1;
+        exit;
+    )");
+    LivenessResult r = analyze(p);
+    const DeadDef *d = deadAt(r, 1);
+    ASSERT_NE(d, nullptr);
+    EXPECT_FALSE(d->isPred);
+    EXPECT_EQ(d->index, 2);
+    EXPECT_EQ(d->line, 3);
+}
+
+TEST(Liveness, DeadScalarLoadIsReported)
+{
+    Program p = assemble(R"(
+        .const 8
+        main:
+        mov.u32 r1, %tid;
+        ld.param.u32 r5, [4];   // result unused
+        st.global.u32 [r1+0], r1;
+        exit;
+    )");
+    LivenessResult r = analyze(p);
+    EXPECT_NE(deadAt(r, 1), nullptr);
+}
+
+TEST(Liveness, DeadPredicateIsReported)
+{
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.lt.u32 p3, r1, 7;  // p3 never guards anything
+        st.global.u32 [r1+0], r1;
+        exit;
+    )");
+    LivenessResult r = analyze(p);
+    const DeadDef *d = deadAt(r, 1);
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->isPred);
+    EXPECT_EQ(d->index, 3);
+}
+
+TEST(Liveness, StoreAndAtomicAreNeverDead)
+{
+    // Stores have no destination; an atomic's side effect makes it
+    // meaningful even when its returned value is ignored.
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        atom.add.u32 r9, [r1+0], r1;    // r9 unused but NOT a dead def
+        st.global.u32 [r1+0], r1;
+        exit;
+    )");
+    LivenessResult r = analyze(p);
+    EXPECT_EQ(deadAt(r, 1), nullptr);
+    EXPECT_EQ(deadAt(r, 2), nullptr);
+}
+
+TEST(Liveness, LoopCarriedValueIsLive)
+{
+    // r2's update feeds the next iteration's compare: live around the
+    // back edge even though no read follows in straight-line order.
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        mov.u32 r2, 0;
+        loop:
+        add.u32 r2, r2, 1;
+        setp.lt.u32 p0, r2, 10;
+        @p0 bra loop;
+        st.global.u32 [r1+0], r1;
+        exit;
+    )");
+    LivenessResult r = analyze(p);
+    EXPECT_EQ(deadAt(r, 2), nullptr);
+    EXPECT_EQ(deadAt(r, 1), nullptr);
+}
+
+TEST(Liveness, GuardedRedefinitionDoesNotKill)
+{
+    // @p0 mov r2 only redefines r2 on some lanes: the unconditional
+    // mov before it is still read on lanes where p0 is false.
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.lt.u32 p0, r1, 7;
+        mov.u32 r2, 1;
+        @p0 mov.u32 r2, 2;
+        st.global.u32 [r1+0], r2;
+        exit;
+    )");
+    LivenessResult r = analyze(p);
+    EXPECT_EQ(deadAt(r, 2), nullptr) << "guarded redefinition killed "
+                                        "the preceding def";
+    EXPECT_EQ(deadAt(r, 3), nullptr);
+}
+
+TEST(Liveness, UnguardedRedefinitionKills)
+{
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        mov.u32 r2, 1;          // dead: overwritten before any read
+        mov.u32 r2, 2;
+        st.global.u32 [r1+0], r2;
+        exit;
+    )");
+    LivenessResult r = analyze(p);
+    EXPECT_NE(deadAt(r, 1), nullptr);
+    EXPECT_EQ(deadAt(r, 2), nullptr);
+}
+
+TEST(Liveness, WideLoadWithOnePartUsedIsNotDead)
+{
+    // ld.v2 defines r4 and r5; r5 alone being read keeps the load.
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        ld.global.v2.u32 r4, [r1+0];
+        st.global.u32 [r1+0], r5;
+        exit;
+    )");
+    LivenessResult r = analyze(p);
+    EXPECT_EQ(deadAt(r, 1), nullptr);
+}
+
+TEST(Liveness, DeadOnlyFromSomeEntriesIsNotReported)
+{
+    // A two-entry program (launch + µ-kernel): defs that are read on
+    // every entry's paths never show up, even when the solves run
+    // separately per entry over shared blocks.
+    Program p = assemble(R"(
+        .entry main
+        .microkernel uk
+        .spawn_state 4
+        main:
+        mov.u32 r1, %tid;
+        mov.u32 r6, %spawnaddr;
+        st.spawn.u32 [r6+0], r1;
+        spawn uk, r6;
+        exit;
+        uk:
+        mov.u32 r2, %spawnaddr;
+        ld.spawn.u32 r3, [r2+0];
+        ld.spawn.u32 r4, [r3+0];
+        bra tail;
+        tail:
+        mov.u32 r5, 7;
+        st.global.u32 [r4+0], r5;
+        exit;
+    )");
+    LivenessResult r = analyze(p);
+    for (const DeadDef &d : r.deadDefs)
+        EXPECT_TRUE(false) << "unexpected dead def at pc " << d.pc;
+}
+
+TEST(Liveness, VerifierSurfacesDeadDefWarning)
+{
+    VerifyResult r = verify(assemble(R"(main:
+        mov.u32 r1, %tid;
+        add.u32 r2, r1, 5;
+        st.global.u32 [r1+0], r1;
+        exit;
+    )"));
+    const Diagnostic *found = nullptr;
+    for (const Diagnostic &d : r.diagnostics) {
+        if (d.id == "dead-def")
+            found = &d;
+    }
+    ASSERT_NE(found, nullptr) << r.report();
+    EXPECT_EQ(found->severity, Severity::Warning);
+    EXPECT_EQ(found->pc, 1u);
+    EXPECT_NE(found->message.find("r2"), std::string::npos);
+    // Warning-severity: clean under default gating, fails under strict.
+    EXPECT_FALSE(r.failed());
+    EXPECT_TRUE(r.failed({.warningsAsErrors = true}));
+}
+
+} // namespace

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Uniformity / divergence classification tests: lane-varying sources
+ * taint branches, warp-uniform control stays clean, vote.all
+ * re-uniforms, control dependence only applies across rejoining
+ * branches — and every branch in every shipped kernel is classified.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "example_kernels.hpp"
+#include "kernels/raytrace_kernels.hpp"
+#include "simt/analysis/uniformity.hpp"
+#include "simt/assembler.hpp"
+#include "simt/cfg.hpp"
+
+using namespace uksim;
+using namespace uksim::analysis;
+
+namespace {
+
+UniformityResult
+analyze(const Program &p)
+{
+    Cfg cfg(p);
+    return analyzeUniformity(p, cfg);
+}
+
+/** The conditional branch whose target is @p label. */
+const BranchInfo *
+branchTargeting(const UniformityResult &r, const Program &p,
+                const char *label)
+{
+    const uint32_t target = p.labels.at(label);
+    for (uint32_t pc = 0; pc < p.code.size(); pc++) {
+        const Instruction &inst = p.code[pc];
+        if (inst.op == Opcode::Bra && inst.guardPred >= 0 &&
+            inst.target == target) {
+            return r.branchAt(pc);
+        }
+    }
+    return nullptr;
+}
+
+TEST(Uniformity, TidBranchIsDivergent)
+{
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.lt.u32 p0, r1, 7;
+        @p0 bra skip;
+        mov.u32 r2, 1;
+        skip:
+        exit;
+    )");
+    UniformityResult r = analyze(p);
+    const BranchInfo *b = r.branchAt(2);
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->conditional);
+    EXPECT_TRUE(b->divergent);
+    EXPECT_TRUE(b->sources & kDivTid);
+    EXPECT_EQ(divergenceSourceNames(b->sources), "tid");
+    EXPECT_EQ(r.divergentBranchCount(), 1u);
+}
+
+TEST(Uniformity, ParamBoundedLoopIsUniform)
+{
+    // Loop trip count comes from a parameter: every lane of every warp
+    // sees the same bound, so the back-edge is warp-uniform.
+    Program p = assemble(R"(
+        .const 8
+        main:
+        ld.param.u32 r1, [0];
+        mov.u32 r2, 0;
+        loop:
+        add.u32 r2, r2, 1;
+        setp.lt.u32 p0, r2, r1;
+        @p0 bra loop;
+        exit;
+    )");
+    UniformityResult r = analyze(p);
+    EXPECT_EQ(r.divergentBranchCount(), 0u);
+    EXPECT_EQ(r.uniformBranchCount(), 1u);
+    const BranchInfo *b = r.branchAt(4);
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->divergent);
+    EXPECT_EQ(b->sources, 0u);
+}
+
+TEST(Uniformity, VoteAllReUniformsDivergentPredicate)
+{
+    // p0 is tid-tainted, but vote.all produces the same value on every
+    // lane: the branch on p1 is warp-uniform. This is the paper's
+    // adaptive-traversal idiom (vote at the reconvergence point, then a
+    // warp-wide branch).
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.lt.u32 p0, r1, 16;
+        vote.all p1, p0;
+        @p1 bra skip;
+        mov.u32 r2, 1;
+        skip:
+        exit;
+    )");
+    UniformityResult r = analyze(p);
+    const BranchInfo *b = r.branchAt(3);
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->divergent) << divergenceSourceNames(b->sources);
+    EXPECT_EQ(r.uniformBranchCount(), 1u);
+}
+
+TEST(Uniformity, ControlDependenceTaintsValuesAcrossJoin)
+{
+    // r2 is assigned different constants on the two sides of a
+    // tid-divergent if/else; after the join, lanes of one warp hold
+    // different r2 values, so the branch on r2 is control-tainted.
+    Program p = assemble(R"(main:
+        mov.u32 r1, %tid;
+        setp.lt.u32 p0, r1, 7;
+        @p0 bra then;
+        mov.u32 r2, 1;
+        bra join;
+        then:
+        mov.u32 r2, 2;
+        join:
+        setp.eq.u32 p1, r2, 1;
+        @p1 bra skip;
+        mov.u32 r3, 1;
+        skip:
+        exit;
+    )");
+    UniformityResult r = analyze(p);
+    const BranchInfo *b = branchTargeting(r, p, "skip");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->divergent);
+    EXPECT_TRUE(b->sources & kDivControl);
+}
+
+TEST(Uniformity, GuardedExitDoesNotTaintFollowingCode)
+{
+    // `@p0 exit` splits the warp but the paths never rejoin (the
+    // immediate post-dominator is the virtual exit), so values defined
+    // after it are not mixed across lanes — the param-bounded loop
+    // stays uniform.
+    Program p = assemble(R"(
+        .const 8
+        main:
+        mov.u32 r1, %tid;
+        setp.ge.u32 p0, r1, 64;
+        @p0 exit;
+        ld.param.u32 r2, [0];
+        mov.u32 r3, 0;
+        loop:
+        add.u32 r3, r3, 1;
+        setp.lt.u32 p1, r3, r2;
+        @p1 bra loop;
+        exit;
+    )");
+    UniformityResult r = analyze(p);
+    const BranchInfo *back = branchTargeting(r, p, "loop");
+    ASSERT_NE(back, nullptr);
+    EXPECT_FALSE(back->divergent)
+        << divergenceSourceNames(back->sources);
+    // The guarded exit itself is reported as a divergent warp-splitting
+    // point.
+    const BranchInfo *ex = r.branchAt(2);
+    ASSERT_NE(ex, nullptr);
+    EXPECT_TRUE(ex->isExit);
+    EXPECT_TRUE(ex->divergent);
+}
+
+TEST(Uniformity, SpawnGuardTaintIsRecorded)
+{
+    Program p = assemble(R"(
+        .entry main
+        .microkernel uk
+        .spawn_state 4
+        .const 4
+        main:
+        mov.u32 r1, %tid;
+        mov.u32 r6, %spawnaddr;
+        st.spawn.u32 [r6+0], r1;
+        setp.lt.u32 p0, r1, 7;
+        @p0 spawn uk, r6;
+        exit;
+        uk:
+        mov.u32 r2, %spawnaddr;
+        ld.spawn.u32 r3, [r2+0];
+        ld.spawn.u32 r4, [r3+0];
+        exit;
+    )");
+    UniformityResult r = analyze(p);
+    ASSERT_EQ(r.spawnGuards.size(), 1u);
+    EXPECT_NE(r.spawnGuards.begin()->second & kDivTid, 0);
+}
+
+TEST(Uniformity, LaneVaryingLoadAddressTaintsResult)
+{
+    // A global load at a tid-derived address returns lane-varying data;
+    // branching on it is memory-divergent.
+    Program p = assemble(R"(
+        .const 4
+        main:
+        mov.u32 r1, %tid;
+        ld.param.u32 r2, [0];
+        shl.u32 r3, r1, 2;
+        add.u32 r3, r2, r3;
+        ld.global.u32 r4, [r3+0];
+        setp.eq.u32 p0, r4, 0;
+        @p0 bra skip;
+        mov.u32 r5, 1;
+        skip:
+        exit;
+    )");
+    UniformityResult r = analyze(p);
+    const BranchInfo *b = branchTargeting(r, p, "skip");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->divergent);
+    EXPECT_TRUE(b->sources & kDivMemory);
+}
+
+// --- Shipped kernels --------------------------------------------------------
+
+struct NamedProgram {
+    const char *name;
+    Program program;
+};
+
+/** Pcs of blocks reachable from the launch entry or any µ-kernel. */
+std::set<uint32_t>
+reachablePcs(const Program &p)
+{
+    Cfg cfg(p);
+    std::set<int> blocks;
+    std::vector<int> work;
+    auto seed = [&](uint32_t pc) {
+        const int b = cfg.blockOf(pc);
+        if (blocks.insert(b).second)
+            work.push_back(b);
+    };
+    seed(p.entryPc);
+    for (const MicroKernelEntry &mk : p.microKernels)
+        seed(mk.pc);
+    while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        for (int s : cfg.blocks()[b].successors) {
+            if (s != Cfg::kVirtualExit && blocks.insert(s).second)
+                work.push_back(s);
+        }
+    }
+    std::set<uint32_t> pcs;
+    for (int b : blocks) {
+        for (uint32_t pc = cfg.blocks()[b].first;
+             pc <= cfg.blocks()[b].last; pc++) {
+            pcs.insert(pc);
+        }
+    }
+    return pcs;
+}
+
+std::vector<NamedProgram>
+shippedPrograms()
+{
+    std::vector<NamedProgram> v;
+    v.push_back({"traditional", kernels::buildTraditional()});
+    v.push_back({"microkernel", kernels::buildMicroKernel()});
+    v.push_back({"persistent-threads", kernels::buildPersistentThreads()});
+    v.push_back({"microkernel-adaptive",
+                 kernels::buildMicroKernelAdaptive()});
+    v.push_back({"quickstart", assemble(examples::quickstartSource())});
+    v.push_back({"collatz", assemble(examples::collatzSource())});
+    v.push_back({"divergence-loop",
+                 assemble(examples::divergenceLoopSource(64))});
+    v.push_back({"divergence-spawn",
+                 assemble(examples::divergenceSpawnSource(64))});
+    return v;
+}
+
+TEST(Uniformity, EveryShippedBranchIsClassified)
+{
+    for (const NamedProgram &np : shippedPrograms()) {
+        UniformityResult r = analyze(np.program);
+        for (const BranchInfo &b : r.branches) {
+            // Classification is total: a conditional branch is either
+            // divergent with at least one source, or uniform with none.
+            if (b.divergent)
+                EXPECT_NE(b.sources, 0u) << np.name << " pc " << b.pc;
+            else
+                EXPECT_EQ(b.sources, 0u) << np.name << " pc " << b.pc;
+            EXPECT_FALSE(b.entries.empty())
+                << np.name << " pc " << b.pc;
+        }
+        // The table only contains real branch points, and it contains
+        // every Bra reachable from some entry point.
+        std::set<uint32_t> tablePcs;
+        for (const BranchInfo &b : r.branches) {
+            EXPECT_TRUE(np.program.code[b.pc].op == Opcode::Bra ||
+                        np.program.code[b.pc].op == Opcode::Exit)
+                << np.name << " pc " << b.pc;
+            tablePcs.insert(b.pc);
+        }
+        const std::set<uint32_t> reach = reachablePcs(np.program);
+        for (uint32_t pc = 0; pc < np.program.code.size(); pc++) {
+            if (np.program.code[pc].op == Opcode::Bra &&
+                reach.count(pc)) {
+                EXPECT_TRUE(tablePcs.count(pc))
+                    << np.name << ": reachable bra at pc " << pc
+                    << " is unclassified";
+            }
+        }
+    }
+}
+
+TEST(Uniformity, DivergenceHeavyKernelsHaveDivergentBranches)
+{
+    // The ray-tracing benchmark kernels and the divergence examples are
+    // divergence-heavy by design: the analysis must find divergence.
+    for (const NamedProgram &np : shippedPrograms()) {
+        UniformityResult r = analyze(np.program);
+        EXPECT_GE(r.divergentBranchCount(), 1u) << np.name;
+    }
+}
+
+TEST(Uniformity, AdaptiveKernelVoteBranchesAreUniform)
+{
+    // The adaptive µ-kernel's whole point: vote.all collapses the
+    // per-lane continue/spawn decision into a warp-uniform branch. The
+    // non-adaptive µ-kernel has no uniform conditional branch at all.
+    UniformityResult adaptive =
+        analyze(kernels::buildMicroKernelAdaptive());
+    EXPECT_GE(adaptive.uniformBranchCount(), 2u);
+    UniformityResult plain = analyze(kernels::buildMicroKernel());
+    EXPECT_EQ(plain.uniformBranchCount(), 0u);
+}
+
+} // namespace

@@ -1,18 +1,29 @@
 /**
  * @file
- * ukverify — static lint for uksim assembly.
+ * ukverify — static lint and analysis CLI for uksim assembly.
  *
  * Assembles each `.uk` source file and runs the µ-kernel verifier over
- * it, printing the diagnostic report and exiting nonzero when any input
- * fails. `--builtin` additionally lints every kernel shipped in the
- * repository (the ray-tracing benchmark kernels and the example
- * kernels), which is what the `verify_kernels` ctest runs.
+ * it, printing the diagnostic report. `--builtin` additionally lints
+ * every kernel shipped in the repository (the ray-tracing benchmark
+ * kernels and the example kernels), which is what the `verify_kernels`
+ * ctest runs. `--analyze` runs the full analysis framework — branch
+ * uniformity/divergence classification, range-proven access statistics
+ * and the spawn-placement advisor — and `--json` emits everything as
+ * one schema-stable JSON document on stdout.
  *
- * Usage: ukverify [--werror] [--lenient] [--builtin] [file.uk ...]
+ * Usage: ukverify [--werror] [--lenient] [--builtin] [--analyze]
+ *                 [--json] [file.uk ...]
  *
  *   --werror    treat warnings as errors (strict CI gating)
  *   --lenient   print diagnostics but always exit 0
  *   --builtin   lint the kernels compiled into the repository
+ *   --analyze   also report branch uniformity, access proofs, advice
+ *   --json      machine-readable output (implies --analyze)
+ *
+ * Exit codes (stable, scripting contract):
+ *   0  every input is clean under the selected gating
+ *   1  at least one input has findings (or failed to assemble)
+ *   2  usage error or unreadable input file
  */
 
 #include <cstdio>
@@ -25,6 +36,7 @@
 
 #include "example_kernels.hpp"
 #include "kernels/raytrace_kernels.hpp"
+#include "simt/analysis/analysis.hpp"
 #include "simt/assembler.hpp"
 #include "simt/verifier.hpp"
 
@@ -36,80 +48,101 @@ struct Options {
     bool werror = false;
     bool lenient = false;
     bool builtin = false;
+    bool analyze = false;
+    bool json = false;
     std::vector<std::string> files;
 };
 
-/** Lint one assembled program; returns true when it passes. */
-bool
-lintProgram(const std::string &name, const Program &program,
-            const Options &opts)
-{
-    VerifyOptions vopts;
-    vopts.warningsAsErrors = opts.werror;
-    VerifyResult result = verify(program, vopts);
-    for (const Diagnostic &d : result.diagnostics)
-        std::fprintf(stderr, "%s: %s\n", name.c_str(),
-                     d.format().c_str());
-    if (result.failed(vopts)) {
-        std::fprintf(stderr, "%s: FAILED (%zu error(s), %zu warning(s))\n",
-                     name.c_str(), result.errorCount(),
-                     result.warningCount());
-        return false;
-    }
-    std::printf("%s: ok (%zu instructions, %zu warning(s))\n",
-                name.c_str(), program.size(), result.warningCount());
-    return true;
-}
+struct Runner {
+    explicit Runner(const Options &o) : opts(o) {}
 
-/** Assemble and lint a source string; returns true when it passes. */
-bool
-lintSource(const std::string &name, const std::string &source,
-           const Options &opts)
-{
-    try {
-        return lintProgram(name, assemble(source), opts);
-    } catch (const AssemblerError &e) {
-        // what() already carries the "line N:" prefix.
-        std::fprintf(stderr, "%s: assembly error: %s\n", name.c_str(),
-                     e.what());
-        return false;
-    }
-}
+    const Options &opts;
+    std::vector<std::string> jsonPrograms;
+    bool sawFindings = false;
+    bool sawLoadError = false;
 
-bool
-lintFile(const std::string &path, const Options &opts)
-{
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
-        return false;
-    }
-    std::ostringstream source;
-    source << in.rdbuf();
-    return lintSource(path, source.str(), opts);
-}
+    /** Lint (and optionally analyze) one assembled program. */
+    void runProgram(const std::string &name, const Program &program)
+    {
+        VerifyOptions vopts;
+        vopts.warningsAsErrors = opts.werror;
 
-bool
-lintBuiltins(const Options &opts)
-{
-    bool ok = true;
-    ok &= lintProgram("kernels/traditional", kernels::buildTraditional(),
-                      opts);
-    ok &= lintProgram("kernels/microkernel", kernels::buildMicroKernel(),
-                      opts);
-    ok &= lintProgram("kernels/persistent-threads",
-                      kernels::buildPersistentThreads(), opts);
-    ok &= lintProgram("kernels/microkernel-adaptive",
-                      kernels::buildMicroKernelAdaptive(), opts);
-    ok &= lintSource("examples/quickstart",
-                     examples::quickstartSource(), opts);
-    ok &= lintSource("examples/collatz", examples::collatzSource(), opts);
-    ok &= lintSource("examples/divergence-loop",
-                     examples::divergenceLoopSource(64), opts);
-    ok &= lintSource("examples/divergence-spawn",
-                     examples::divergenceSpawnSource(64), opts);
-    return ok;
-}
+        if (opts.analyze) {
+            analysis::ProgramAnalysis a =
+                analysis::analyzeProgram(program);
+            if (opts.json) {
+                jsonPrograms.push_back(
+                    analysis::toJson(name, program, a, /*indent=*/1));
+            } else {
+                for (const Diagnostic &d : a.verify.diagnostics)
+                    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                                 d.format().c_str());
+                std::printf("%s:\n%s", name.c_str(),
+                            analysis::renderReport(program, a).c_str());
+            }
+            if (a.verify.failed(vopts))
+                sawFindings = true;
+            return;
+        }
+
+        VerifyResult result = verify(program, vopts);
+        for (const Diagnostic &d : result.diagnostics)
+            std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                         d.format().c_str());
+        if (result.failed(vopts)) {
+            std::fprintf(stderr,
+                         "%s: FAILED (%zu error(s), %zu warning(s))\n",
+                         name.c_str(), result.errorCount(),
+                         result.warningCount());
+            sawFindings = true;
+            return;
+        }
+        std::printf("%s: ok (%zu instructions, %zu warning(s))\n",
+                    name.c_str(), program.size(),
+                    result.warningCount());
+    }
+
+    void runSource(const std::string &name, const std::string &source)
+    {
+        try {
+            runProgram(name, assemble(source));
+        } catch (const AssemblerError &e) {
+            // what() already carries the "line N:" prefix.
+            std::fprintf(stderr, "%s: assembly error: %s\n",
+                         name.c_str(), e.what());
+            sawFindings = true;
+        }
+    }
+
+    void runFile(const std::string &path)
+    {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+            sawLoadError = true;
+            return;
+        }
+        std::ostringstream source;
+        source << in.rdbuf();
+        runSource(path, source.str());
+    }
+
+    void runBuiltins()
+    {
+        runProgram("kernels/traditional", kernels::buildTraditional());
+        runProgram("kernels/microkernel", kernels::buildMicroKernel());
+        runProgram("kernels/persistent-threads",
+                   kernels::buildPersistentThreads());
+        runProgram("kernels/microkernel-adaptive",
+                   kernels::buildMicroKernelAdaptive());
+        runSource("examples/quickstart", examples::quickstartSource());
+        runSource("examples/collatz", examples::collatzSource());
+        runSource("examples/divergence-loop",
+                  examples::divergenceLoopSource(64));
+        runSource("examples/divergence-spawn",
+                  examples::divergenceSpawnSource(64));
+    }
+};
 
 } // anonymous namespace
 
@@ -124,10 +157,16 @@ main(int argc, char **argv)
             opts.lenient = true;
         } else if (std::strcmp(argv[i], "--builtin") == 0) {
             opts.builtin = true;
+        } else if (std::strcmp(argv[i], "--analyze") == 0) {
+            opts.analyze = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opts.json = true;
+            opts.analyze = true;
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             std::printf("usage: ukverify [--werror] [--lenient] "
-                        "[--builtin] [file.uk ...]\n");
+                        "[--builtin] [--analyze] [--json] "
+                        "[file.uk ...]\n");
             return 0;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
@@ -138,21 +177,37 @@ main(int argc, char **argv)
     }
     if (!opts.builtin && opts.files.empty()) {
         std::fprintf(stderr, "usage: ukverify [--werror] [--lenient] "
-                             "[--builtin] [file.uk ...]\n");
+                             "[--builtin] [--analyze] [--json] "
+                             "[file.uk ...]\n");
         return 2;
     }
 
     // Any escaping exception (I/O, bad_alloc, verifier internals) turns
     // into a one-line diagnostic and a nonzero exit, never a raw abort.
     try {
-        bool ok = true;
+        Runner runner(opts);
         if (opts.builtin)
-            ok &= lintBuiltins(opts);
+            runner.runBuiltins();
         for (const std::string &f : opts.files)
-            ok &= lintFile(f, opts);
-        return (ok || opts.lenient) ? 0 : 1;
+            runner.runFile(f);
+
+        if (opts.json) {
+            std::printf("{\n  \"schema\": \"%s\",\n  \"programs\": [\n",
+                        analysis::kJsonSchema);
+            for (size_t i = 0; i < runner.jsonPrograms.size(); i++)
+                std::printf("%s%s\n", runner.jsonPrograms[i].c_str(),
+                            i + 1 < runner.jsonPrograms.size() ? ","
+                                                               : "");
+            std::printf("  ]\n}\n");
+        }
+
+        if (runner.sawLoadError)
+            return 2;
+        if (runner.sawFindings)
+            return opts.lenient ? 0 : 1;
+        return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ukverify: error: %s\n", e.what());
-        return 1;
+        return 2;
     }
 }
