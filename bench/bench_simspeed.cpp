@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "harness/cli_args.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 
@@ -61,26 +62,18 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        if (arg == "--smoke") {
+    harness::cli::ArgReader args("bench_simspeed", argc, argv);
+    while (args.next()) {
+        if (args.is("--smoke")) {
             opt.smoke = true;
-        } else if (arg == "--out" && i + 1 < argc) {
-            opt.outPath = argv[++i];
-        } else if (arg == "--threads" && i + 1 < argc) {
-            std::string list = argv[++i];
-            size_t pos = 0;
-            while (pos < list.size()) {
-                size_t comma = list.find(',', pos);
-                if (comma == std::string::npos)
-                    comma = list.size();
-                int n = std::atoi(list.substr(pos, comma - pos).c_str());
+        } else if (args.is("--out")) {
+            opt.outPath = args.value();
+        } else if (args.is("--threads")) {
+            for (int n : args.intList())
                 if (n > 0)
                     opt.threads.push_back(n);
-                pos = comma + 1;
-            }
-        } else if (arg == "--fast-forward" && i + 1 < argc) {
-            std::string mode = argv[++i];
+        } else if (args.is("--fast-forward")) {
+            std::string mode = args.value();
             if (mode == "on") {
                 opt.legOff = false;
             } else if (mode == "off") {

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * sweep_serve — drive a paper-style configuration sweep through the
+ * serve batch engine.
+ *
+ * Builds the cross product of kernels x scenes as one batch and runs
+ * it twice through a ServerEngine sharing one result cache: the first
+ * pass computes (deduplicating scenes/kd-trees across jobs), the
+ * second pass must be 100% cache hits. That is the serve subsystem's
+ * value proposition for figure regeneration — tweak one experiment
+ * point, re-run the sweep, and only that point recomputes — and the
+ * bench asserts it instead of assuming it (exit 1 when the second
+ * pass misses or any job fails).
+ *
+ * Usage: sweep_serve [--smoke] [--cache DIR] [--workers N]
+ *                    [--cycles N] [--detail N] [--res N] [--sms N]
+ *
+ *   --smoke    tiny scaled-down sweep (2 kernels x 2 scenes, small
+ *              scene/cycle budget) for CI
+ *   --cache    cache directory (default: BENCH_sweep_cache)
+ *   --workers  worker processes (default 0 = in-process)
+ *
+ * Exit status: 0 when both passes succeed and the second is all
+ * cache hits, 1 otherwise, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "harness/cli_args.hpp"
+#include "serve/engine.hpp"
+
+using namespace uksim;
+
+namespace {
+
+struct Options {
+    bool smoke = false;
+    std::string cacheDir = "BENCH_sweep_cache";
+    int workers = 0;
+    uint64_t cycles = 0;
+    int detail = 0;
+    int res = 0;
+    int sms = 0;
+};
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+                 "usage: sweep_serve [--smoke] [--cache DIR] "
+                 "[--workers N]\n"
+                 "                   [--cycles N] [--detail N] [--res N] "
+                 "[--sms N]\n");
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    harness::cli::ArgReader args("sweep_serve", argc, argv);
+    while (args.next()) {
+        if (args.isHelp()) {
+            usage(stdout);
+            std::exit(0);
+        } else if (args.is("--smoke")) {
+            opts.smoke = true;
+        } else if (args.is("--cache")) {
+            opts.cacheDir = args.value();
+        } else if (args.is("--workers")) {
+            opts.workers = args.i32();
+        } else if (args.is("--cycles")) {
+            opts.cycles = args.u64();
+        } else if (args.is("--detail")) {
+            opts.detail = args.i32();
+        } else if (args.is("--res")) {
+            opts.res = args.i32();
+        } else if (args.is("--sms")) {
+            opts.sms = args.i32();
+        } else {
+            args.unknown(usage);
+        }
+    }
+    return opts;
+}
+
+std::vector<serve::JobSpec>
+buildSweep(const Options &opts)
+{
+    const std::vector<std::string> kernels =
+        opts.smoke ? std::vector<std::string>{"pdom", "uk"}
+                   : std::vector<std::string>{"pdom", "uk", "uk_banked",
+                                              "uk_adaptive", "pt"};
+    const std::vector<std::string> scenes =
+        opts.smoke ? std::vector<std::string>{"conference", "atrium"}
+                   : std::vector<std::string>{"conference", "fairyforest",
+                                              "atrium"};
+    std::vector<serve::JobSpec> jobs;
+    for (const std::string &k : kernels) {
+        for (const std::string &s : scenes) {
+            serve::JobSpec spec;
+            spec.name = k + "_" + s;
+            spec.label = spec.name;
+            spec.cycles = opts.cycles ? opts.cycles
+                          : opts.smoke ? 6000
+                                       : 0;
+            spec.detail = opts.detail ? opts.detail : opts.smoke ? 2 : 0;
+            spec.res = opts.res ? opts.res : opts.smoke ? 16 : 0;
+            spec.sms = opts.sms ? opts.sms : opts.smoke ? 2 : 0;
+            jobs.push_back(spec);
+        }
+    }
+    return jobs;
+}
+
+int
+runPass(serve::ServerEngine &engine,
+        const std::vector<serve::JobSpec> &jobs, const char *label,
+        bool expectAllHits)
+{
+    const serve::BatchManifest m = engine.runBatch(jobs, nullptr);
+    std::printf("sweep_serve: %s: %d computed, %d cache hits, %d failed\n",
+                label, m.computed, m.cacheHits, m.failed);
+    for (const serve::JobReport &r : m.jobs) {
+        std::printf("  %-24s %-11s %s cycles=%llu items=%llu ipc=%.3f\n",
+                    r.spec.label.c_str(), r.outcome.c_str(),
+                    r.cacheHit ? "hit " : "miss",
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.items), r.ipc);
+    }
+    if (m.failed > 0) {
+        std::fprintf(stderr, "sweep_serve: %s: %d job(s) failed\n", label,
+                     m.failed);
+        return 1;
+    }
+    if (expectAllHits && m.computed != 0) {
+        std::fprintf(stderr,
+                     "sweep_serve: %s: expected all cache hits, got %d "
+                     "computed\n",
+                     label, m.computed);
+        return 1;
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    try {
+        serve::EngineOptions eo;
+        eo.cacheDir = opts.cacheDir;
+        eo.workers = opts.workers;
+        serve::ServerEngine engine(eo);
+        const std::vector<serve::JobSpec> jobs = buildSweep(opts);
+        if (int rc = runPass(engine, jobs, "pass 1", false))
+            return rc;
+        if (int rc = runPass(engine, jobs, "pass 2 (cached)", true))
+            return rc;
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep_serve: %s\n", e.what());
+        return 1;
+    }
+}

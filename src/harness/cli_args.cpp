@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared strict CLI argument reader (cli_args.hpp).
+ */
+
+#include "harness/cli_args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/experiment.hpp"
+
+namespace uksim::harness::cli {
+
+bool
+ArgReader::is(const char *flag) const
+{
+    return std::strcmp(argv_[i_], flag) == 0;
+}
+
+const char *
+ArgReader::value()
+{
+    const char *flag = argv_[i_];
+    if (i_ + 1 >= argc_) {
+        std::fprintf(stderr, "%s: %s needs a value\n", tool_, flag);
+        std::exit(2);
+    }
+    return argv_[++i_];
+}
+
+uint64_t
+ArgReader::u64()
+{
+    const char *flag = argv_[i_];
+    return parseU64OrExit(tool_, flag, value());
+}
+
+int
+ArgReader::i32()
+{
+    const char *flag = argv_[i_];
+    return parseIntOrExit(tool_, flag, value());
+}
+
+std::vector<int>
+ArgReader::intList()
+{
+    const char *flag = argv_[i_];
+    const std::string list = value();
+    std::vector<int> out;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string piece = list.substr(pos, comma - pos);
+        out.push_back(parseIntOrExit(tool_, flag, piece.c_str()));
+        pos = comma + 1;
+        if (comma == list.size())
+            break;
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "%s: %s: malformed numeric value ''\n",
+                     tool_, flag);
+        std::exit(2);
+    }
+    return out;
+}
+
+void
+ArgReader::unknown(void (*usage)(std::FILE *))
+{
+    std::fprintf(stderr, "%s: unknown option '%s'\n", tool_, argv_[i_]);
+    if (usage)
+        usage(stderr);
+    std::exit(2);
+}
+
+uint64_t
+ArgReader::parseU64OrExit(const char *tool, const char *flag,
+                          const char *text)
+{
+    std::optional<uint64_t> v = parseU64(text);
+    if (!v) {
+        std::fprintf(stderr, "%s: %s: malformed numeric value '%s'\n",
+                     tool, flag, text);
+        std::exit(2);
+    }
+    return *v;
+}
+
+int
+ArgReader::parseIntOrExit(const char *tool, const char *flag,
+                          const char *text)
+{
+    std::optional<int> v = parseInt(text);
+    if (!v) {
+        std::fprintf(stderr, "%s: %s: malformed numeric value '%s'\n",
+                     tool, flag, text);
+        std::exit(2);
+    }
+    return *v;
+}
+
+} // namespace uksim::harness::cli

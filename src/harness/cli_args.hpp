@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared strict CLI argument reader for the uksim tools and benches.
+ *
+ * Every tool in tools/ and bench/ parses the same way: a flat argv walk
+ * with `--flag` / `--flag value` pairs, strict full-string numeric
+ * parsing (harness::parseU64 / parseInt), and a stable exit-2 usage
+ * contract with one-line diagnostics of the exact form the ctest suite
+ * pins ("<tool>: <flag> needs a value", "<tool>: <flag>: malformed
+ * numeric value '<text>'"). This header is that walk, written once, so
+ * a new tool cannot drift from the contract by hand-rolling it.
+ */
+
+#ifndef UKSIM_HARNESS_CLI_ARGS_HPP
+#define UKSIM_HARNESS_CLI_ARGS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uksim::harness::cli {
+
+/**
+ * Strict argv cursor. Typical use:
+ *
+ *   cli::ArgReader args("uktool", argc, argv);
+ *   while (args.next()) {
+ *       if (args.is("--cycles"))      opts.cycles = args.u64();
+ *       else if (args.is("--out"))    opts.out = args.value();
+ *       else if (args.is("--list"))   opts.list = true;
+ *       else if (args.isHelp())       { usage(stdout); return 0; }
+ *       else                          args.unknown(&usage);  // exits 2
+ *   }
+ *
+ * value()/u64()/i32() consume the *next* argv entry as the current
+ * flag's value and exit 2 with the pinned diagnostic when it is missing
+ * or malformed. Numeric parsing is harness::parseU64: full-string
+ * decimal with overflow checking, no signs, no trailing garbage.
+ */
+class ArgReader
+{
+  public:
+    ArgReader(const char *tool, int argc, char **argv)
+        : tool_(tool), argc_(argc), argv_(argv)
+    {
+    }
+
+    /** Advance to the next argument; false when argv is exhausted. */
+    bool next()
+    {
+        return ++i_ < argc_;
+    }
+
+    /** The current argument string. */
+    const char *arg() const { return argv_[i_]; }
+
+    /** Is the current argument exactly @p flag? */
+    bool is(const char *flag) const;
+
+    /** Is the current argument --help or -h? */
+    bool isHelp() const { return is("--help") || is("-h"); }
+
+    /** Does the current argument start with "-" (i.e. look like a flag)? */
+    bool looksLikeFlag() const { return argv_[i_][0] == '-'; }
+
+    /**
+     * Consume and return the current flag's value (the next argv
+     * entry). Exits 2 with "<tool>: <flag> needs a value" when argv
+     * ends first.
+     */
+    const char *value();
+
+    /** value() parsed as a strict decimal uint64_t; exits 2 if malformed. */
+    uint64_t u64();
+
+    /** value() parsed as a strict decimal int in [0, INT_MAX]. */
+    int i32();
+
+    /**
+     * value() split on commas, each piece parsed as a strict decimal
+     * int. Exits 2 naming the flag when any piece is malformed or the
+     * list is empty.
+     */
+    std::vector<int> intList();
+
+    /**
+     * Report the current argument as unknown and exit 2. When @p usage
+     * is non-null it is invoked with stderr first.
+     */
+    [[noreturn]] void unknown(void (*usage)(std::FILE *) = nullptr);
+
+    /**
+     * Parse @p text for @p flag with the pinned malformed-value
+     * diagnostic (exit 2). Exposed for tools that take numbers from
+     * sources other than the next argv slot.
+     */
+    static uint64_t parseU64OrExit(const char *tool, const char *flag,
+                                   const char *text);
+    static int parseIntOrExit(const char *tool, const char *flag,
+                              const char *text);
+
+    const char *tool() const { return tool_; }
+
+  private:
+    const char *tool_;
+    int argc_;
+    char **argv_;
+    int i_ = 0;
+};
+
+} // namespace uksim::harness::cli
+
+#endif // UKSIM_HARNESS_CLI_ARGS_HPP

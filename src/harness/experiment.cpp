@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "harness/serialize.hpp"
 #include "kernels/raytrace_kernels.hpp"
 #include "trace/export.hpp"
 
@@ -100,25 +101,31 @@ namedExperimentNames()
     return names;
 }
 
-ExperimentResult
-runExperiment(const PreparedScene &prepared, const ExperimentConfig &config)
+GpuConfig
+resolvedGpuConfig(const ExperimentConfig &config)
 {
     GpuConfig gc = config.baseConfig;
     gc.scheduling = config.scheduling;
     gc.modelSpawnBankConflicts = config.spawnBankConflicts;
     gc.idealMemory = config.idealMemory;
     gc.maxCycles = config.maxCycles;
+    return gc;
+}
+
+ExperimentResult
+runExperiment(const PreparedScene &prepared, const ExperimentConfig &config)
+{
+    return runExperiment(prepared, config, RunHooks{});
+}
+
+ExperimentResult
+runExperiment(const PreparedScene &prepared, const ExperimentConfig &config,
+              const RunHooks &hooks)
+{
+    const GpuConfig gc = resolvedGpuConfig(config);
 
     Gpu gpu(gc);
-    Program program =
-        config.kernel == KernelKind::Traditional
-            ? kernels::buildTraditional()
-        : config.kernel == KernelKind::MicroKernel
-            ? kernels::buildMicroKernel()
-        : config.kernel == KernelKind::MicroKernelAdaptive
-            ? kernels::buildMicroKernelAdaptive()
-            : kernels::buildPersistentThreads();
-    gpu.loadProgram(std::move(program));
+    gpu.loadProgram(kernelProgram(config.kernel));
     if (config.traceEvents)
         gpu.eventTrace().enable(config.traceCapacity);
 
@@ -133,7 +140,28 @@ runExperiment(const PreparedScene &prepared, const ExperimentConfig &config)
     } else {
         gpu.launch(dev.rayCount);
     }
-    const SimStats &stats = gpu.run();
+    if (hooks.chunkCycles > 0) {
+        // Chunked execution: pause on exact cycle boundaries so the
+        // hook can snapshot / report progress, then continue. The
+        // interleaving is bit-identical to one uninterrupted run().
+        for (;;) {
+            const uint64_t stop =
+                std::min(gpu.cycle() + hooks.chunkCycles, gc.maxCycles);
+            gpu.runUntil(stop);
+            if (gpu.finished() || gpu.deadlocked() ||
+                gpu.cycle() >= gc.maxCycles) {
+                break;
+            }
+            if (hooks.onChunk)
+                hooks.onChunk(gpu, gpu.cycle());
+            // A stop short of the boundary means the engine halted
+            // (HaltGrid fault policy) and will not advance further.
+            if (gpu.cycle() < stop)
+                break;
+        }
+    }
+    gpu.run();      // settles terminal bookkeeping (ranToCompletion)
+    const SimStats &stats = gpu.stats();
 
     ExperimentResult r;
     r.stats = stats;

@@ -9,6 +9,7 @@
 #define UKSIM_HARNESS_EXPERIMENT_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -105,9 +106,36 @@ ExperimentConfig namedExperiment(const std::string &name);
 /** All valid namedExperiment() names. */
 std::vector<std::string> namedExperimentNames();
 
+/**
+ * The effective machine configuration an ExperimentConfig resolves to:
+ * baseConfig with the scheduling / bank-conflict / ideal-memory /
+ * cycle-budget overrides applied, exactly as runExperiment does. The
+ * serve subsystem hashes this resolved form so two specs that resolve
+ * identically share one cache entry.
+ */
+GpuConfig resolvedGpuConfig(const ExperimentConfig &config);
+
+/**
+ * Optional instrumentation for runExperiment: when chunkCycles > 0 the
+ * engine pauses every chunkCycles simulated cycles (landing on the
+ * boundary exactly; see Gpu::runUntil) and invokes onChunk with the
+ * live machine. Pausing is bit-neutral — the final ExperimentResult is
+ * identical to an unhooked run — which is what the serve subsystem's
+ * snapshot/resume and progress streaming are built on.
+ */
+struct RunHooks {
+    uint64_t chunkCycles = 0;
+    std::function<void(Gpu &gpu, uint64_t cycle)> onChunk;
+};
+
 /** Run one experiment point. */
 ExperimentResult runExperiment(const PreparedScene &scene,
                                const ExperimentConfig &config);
+
+/** Run one experiment point with pause hooks (bit-identical results). */
+ExperimentResult runExperiment(const PreparedScene &scene,
+                               const ExperimentConfig &config,
+                               const RunHooks &hooks);
 
 /** MIMD-theoretical bound for the scene (traditional kernel). */
 MimdResult runMimdBound(const PreparedScene &scene,

@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Canonical serialization of experiment configurations and results
+ * (serialize.hpp).
+ */
+
+#include "harness/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "kernels/raytrace_kernels.hpp"
+
+namespace uksim::harness {
+
+// --- ByteWriter / ByteReader --------------------------------------------------
+
+void
+ByteWriter::u16(uint16_t v)
+{
+    bytes_.push_back(uint8_t(v));
+    bytes_.push_back(uint8_t(v >> 8));
+}
+
+void
+ByteWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        bytes_.push_back(uint8_t(v >> (8 * i)));
+}
+
+void
+ByteWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        bytes_.push_back(uint8_t(v >> (8 * i)));
+}
+
+void
+ByteWriter::f32(float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u32(bits);
+}
+
+void
+ByteWriter::f64(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+}
+
+void
+ByteWriter::str(std::string_view s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void
+ByteReader::need(size_t n) const
+{
+    if (pos_ + n > len_)
+        throw std::runtime_error("truncated result payload");
+}
+
+uint8_t
+ByteReader::u8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+uint16_t
+ByteReader::u16()
+{
+    need(2);
+    uint16_t v = uint16_t(data_[pos_]) | uint16_t(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+}
+
+uint32_t
+ByteReader::u32()
+{
+    need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v |= uint32_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+uint64_t
+ByteReader::u64()
+{
+    need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= uint64_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+float
+ByteReader::f32()
+{
+    const uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    const uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+std::string
+ByteReader::str()
+{
+    const uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+// --- Job preimage -------------------------------------------------------------
+
+rt::KdTree::BuildParams
+sceneBuildParams()
+{
+    // Must match prepareScene (experiment.cpp): fat Radius-CUDA-era
+    // leaves. Kept here so the job hash covers the real build inputs.
+    rt::KdTree::BuildParams build;
+    build.leafTarget = 14;
+    build.maxDepth = 20;
+    return build;
+}
+
+Program
+kernelProgram(KernelKind kind)
+{
+    switch (kind) {
+    case KernelKind::Traditional:
+        return kernels::buildTraditional();
+    case KernelKind::MicroKernel:
+        return kernels::buildMicroKernel();
+    case KernelKind::MicroKernelAdaptive:
+        return kernels::buildMicroKernelAdaptive();
+    case KernelKind::PersistentThreads:
+        return kernels::buildPersistentThreads();
+    }
+    throw std::invalid_argument("unknown kernel kind");
+}
+
+std::vector<uint8_t>
+canonicalProgramBytes(const Program &program)
+{
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(program.code.size()));
+    for (const Instruction &ins : program.code) {
+        w.u8(static_cast<uint8_t>(ins.op));
+        w.u8(static_cast<uint8_t>(ins.type));
+        w.u8(static_cast<uint8_t>(ins.srcType));
+        w.u8(static_cast<uint8_t>(ins.cmp));
+        w.u8(static_cast<uint8_t>(ins.space));
+        w.u8(ins.vecWidth);
+        w.i32(ins.dst);
+        for (const Operand &src : ins.src) {
+            w.u8(static_cast<uint8_t>(src.kind));
+            w.i32(src.reg);
+            w.u32(src.imm);
+            w.u8(static_cast<uint8_t>(src.sreg));
+        }
+        w.i32(ins.guardPred);
+        w.boolean(ins.guardNegated);
+        w.i32(ins.memOffset);
+        w.u32(ins.target);
+        w.u32(ins.reconvergePc);
+        // ins.line is diagnostic-only and deliberately excluded.
+    }
+    w.u32(program.entryPc);
+    w.u32(static_cast<uint32_t>(program.microKernels.size()));
+    for (const MicroKernelEntry &mk : program.microKernels)
+        w.u32(mk.pc);    // LUT way = vector index; names are diagnostic
+    w.i32(program.resources.registers);
+    w.u32(program.resources.sharedBytes);
+    w.u32(program.resources.localBytes);
+    w.u32(program.resources.globalBytes);
+    w.u32(program.resources.constBytes);
+    w.u32(program.resources.spawnStateBytes);
+    return w.take();
+}
+
+namespace {
+
+/**
+ * Every semantic GpuConfig field, in declaration order. hostThreads,
+ * fastForward and verifyPrograms are excluded: the first two are
+ * engine knobs proven bit-neutral (the whole premise of the result
+ * cache), and program verification can only reject a load, never
+ * change what a loaded program computes.
+ */
+void
+writeGpuConfig(ByteWriter &w, const GpuConfig &gc)
+{
+    w.i32(gc.numSms);
+    w.i32(gc.warpSize);
+    w.i32(gc.spPerSm);
+    w.i32(gc.maxThreadsPerSm);
+    w.i32(gc.maxBlocksPerSm);
+    w.i32(gc.registersPerSm);
+    w.u32(gc.onChipBytesPerSm);
+    w.u32(gc.spawnLutBytes);
+    w.i32(gc.numMemPartitions);
+    w.i32(gc.bytesPerCyclePerPartition);
+    w.i32(gc.dramLatencyCycles);
+    w.i32(gc.interconnectLatencyCycles);
+    w.i32(gc.onChipLatencyCycles);
+    w.i32(gc.sfuLatencyCycles);
+    w.i32(gc.coalesceSegmentBytes);
+    w.i32(gc.numOnChipBanks);
+    w.u32(gc.texL1BytesPerSm);
+    w.u32(gc.texL2BytesPerPartition);
+    w.i32(gc.texL1HitLatencyCycles);
+    w.i32(gc.texL2HitLatencyCycles);
+    w.i32(gc.texCacheWays);
+    w.boolean(gc.modelSharedBankConflicts);
+    w.boolean(gc.modelSpawnBankConflicts);
+    w.boolean(gc.idealMemory);
+    w.u8(static_cast<uint8_t>(gc.scheduling));
+    w.i32(gc.blockSizeThreads);
+    w.u8(static_cast<uint8_t>(gc.faultPolicy));
+    w.u64(gc.watchdogCycles);
+    w.u32(gc.injectMaxFormationRegions);
+    w.u64(gc.maxCycles);
+    w.u32(gc.statsWindowCycles);
+    w.f64(gc.clockGhz);
+}
+
+} // anonymous namespace
+
+std::vector<uint8_t>
+canonicalJobBytes(const ExperimentConfig &config, const Program &program)
+{
+    ByteWriter w;
+    w.str(kJobBytesSchema);
+
+    const std::vector<uint8_t> prog = canonicalProgramBytes(program);
+    w.str(std::string_view(reinterpret_cast<const char *>(prog.data()),
+                           prog.size()));
+
+    // Scene identity: name, generation parameters, kd-tree build
+    // parameters. Together these determine every device byte the
+    // kernel reads.
+    w.str(config.sceneName);
+    w.i32(config.sceneParams.detail);
+    w.i32(config.sceneParams.imageWidth);
+    w.i32(config.sceneParams.imageHeight);
+    w.u32(config.sceneParams.seed);
+    const rt::KdTree::BuildParams build = sceneBuildParams();
+    w.i32(build.maxDepth);
+    w.i32(build.leafTarget);
+    w.i32(build.sahBins);
+    w.f32(build.traversalCost);
+    w.f32(build.intersectCost);
+
+    // Kernel selection + the resolved machine configuration (the
+    // ExperimentConfig overrides applied exactly as runExperiment does,
+    // so two specs that resolve identically share one hash).
+    w.u8(static_cast<uint8_t>(config.kernel));
+    writeGpuConfig(w, resolvedGpuConfig(config));
+    return w.take();
+}
+
+std::vector<uint8_t>
+canonicalJobBytes(const ExperimentConfig &config)
+{
+    return canonicalJobBytes(config, kernelProgram(config.kernel));
+}
+
+// --- Result payload -----------------------------------------------------------
+
+namespace {
+
+void
+writeStallCounters(ByteWriter &w, const trace::StallCounters &c)
+{
+    for (int r = 0; r < trace::kNumStallReasons; r++)
+        w.u64(c.counts[r]);
+}
+
+trace::StallCounters
+readStallCounters(ByteReader &r)
+{
+    trace::StallCounters c;
+    for (int i = 0; i < trace::kNumStallReasons; i++)
+        c.counts[i] = r.u64();
+    return c;
+}
+
+void
+writeStats(ByteWriter &w, const SimStats &s)
+{
+    w.u64(s.cycles);
+    w.u8(static_cast<uint8_t>(s.outcome));
+    w.u64(s.warpIssues);
+    w.u64(s.laneInstructions);
+    w.u64(s.committedLaneInstructions);
+    w.u64(s.idleIssueSlots);
+    w.u64(s.threadsLaunched);
+    w.u64(s.threadsCompleted);
+    w.u64(s.itemsCompleted);
+    w.u64(s.dynamicThreadsSpawned);
+    w.u64(s.dynamicWarpsFormed);
+    w.u64(s.partialWarpFlushes);
+    w.u64(s.dramReadBytes);
+    w.u64(s.dramWriteBytes);
+    w.u64(s.dramTransactions);
+    w.u64(s.onChipReadBytes);
+    w.u64(s.onChipWriteBytes);
+    w.u64(s.spawnMemReadBytes);
+    w.u64(s.spawnMemWriteBytes);
+    w.u64(s.bankConflictExtraCycles);
+    w.u64(s.texL1Hits);
+    w.u64(s.texL1Misses);
+    w.u64(s.texL2Hits);
+    w.u64(s.texL2Misses);
+    writeStallCounters(w, s.stall);
+    w.u64(s.windowCycles());
+    w.u32(static_cast<uint32_t>(s.windows.size()));
+    for (const OccupancyWindow &win : s.windows) {
+        w.u64(win.startCycle);
+        w.u64(win.cycles);
+        for (uint64_t bin : win.bins)
+            w.u64(bin);
+        w.u64(win.idleIssueSlots);
+    }
+}
+
+SimStats
+readStats(ByteReader &r)
+{
+    SimStats s;
+    s.cycles = r.u64();
+    s.outcome = static_cast<RunOutcome>(r.u8());
+    s.warpIssues = r.u64();
+    s.laneInstructions = r.u64();
+    s.committedLaneInstructions = r.u64();
+    s.idleIssueSlots = r.u64();
+    s.threadsLaunched = r.u64();
+    s.threadsCompleted = r.u64();
+    s.itemsCompleted = r.u64();
+    s.dynamicThreadsSpawned = r.u64();
+    s.dynamicWarpsFormed = r.u64();
+    s.partialWarpFlushes = r.u64();
+    s.dramReadBytes = r.u64();
+    s.dramWriteBytes = r.u64();
+    s.dramTransactions = r.u64();
+    s.onChipReadBytes = r.u64();
+    s.onChipWriteBytes = r.u64();
+    s.spawnMemReadBytes = r.u64();
+    s.spawnMemWriteBytes = r.u64();
+    s.bankConflictExtraCycles = r.u64();
+    s.texL1Hits = r.u64();
+    s.texL1Misses = r.u64();
+    s.texL2Hits = r.u64();
+    s.texL2Misses = r.u64();
+    s.stall = readStallCounters(r);
+    s.setWindowCycles(r.u64());     // before any window exists
+    const uint32_t numWindows = r.u32();
+    s.windows.reserve(numWindows);
+    for (uint32_t i = 0; i < numWindows; i++) {
+        OccupancyWindow win;
+        win.startCycle = r.u64();
+        win.cycles = r.u64();
+        for (uint64_t &bin : win.bins)
+            bin = r.u64();
+        win.idleIssueSlots = r.u64();
+        s.windows.push_back(win);
+    }
+    return s;
+}
+
+/// Occupancy::limiter must round-trip to the exact interned pointer
+/// values computeOccupancy uses, so re-serialization is byte-identical.
+const char *
+internLimiter(const std::string &s)
+{
+    static constexpr const char *kLimiters[] = {"", "registers", "threads",
+                                                "shared", "blocks"};
+    for (const char *l : kLimiters)
+        if (s == l)
+            return l;
+    throw std::runtime_error("corrupt result payload: unknown limiter '" +
+                             s + "'");
+}
+
+} // anonymous namespace
+
+std::vector<uint8_t>
+serializeResult(const ExperimentResult &result)
+{
+    ByteWriter w;
+    w.str(kResultBytesSchema);
+    writeStats(w, result.stats);
+    w.i32(result.occupancy.warpsPerSm);
+    w.i32(result.occupancy.threadsPerSm);
+    w.i32(result.occupancy.blocksPerSm);
+    w.str(result.occupancy.limiter);
+    w.boolean(result.ranToCompletion);
+    w.u8(static_cast<uint8_t>(result.outcome));
+    w.u32(static_cast<uint32_t>(result.faults.size()));
+    for (const SimFault &f : result.faults) {
+        w.u8(static_cast<uint8_t>(f.code));
+        w.u64(f.cycle);
+        w.i32(f.smId);
+        w.i32(f.warpSlot);
+        w.i32(f.lane);
+        w.u32(f.pc);
+        w.u64(f.addr);
+    }
+    w.f64(result.ipc);
+    w.f64(result.mraysPerSec);
+    w.f64(result.simtEfficiency);
+    w.u32(static_cast<uint32_t>(result.hits.size()));
+    for (const rt::Hit &h : result.hits) {
+        w.f32(h.t);
+        w.i32(h.triId);
+    }
+    w.u32(static_cast<uint32_t>(result.smStalls.size()));
+    for (const trace::StallCounters &c : result.smStalls)
+        writeStallCounters(w, c);
+    return w.take();
+}
+
+ExperimentResult
+deserializeResult(const std::vector<uint8_t> &payload)
+{
+    ByteReader r(payload.data(), payload.size());
+    if (r.str() != kResultBytesSchema)
+        throw std::runtime_error("bad result payload schema");
+    ExperimentResult result;
+    result.stats = readStats(r);
+    result.occupancy.warpsPerSm = r.i32();
+    result.occupancy.threadsPerSm = r.i32();
+    result.occupancy.blocksPerSm = r.i32();
+    result.occupancy.limiter = internLimiter(r.str());
+    result.ranToCompletion = r.boolean();
+    result.outcome = static_cast<RunOutcome>(r.u8());
+    const uint32_t numFaults = r.u32();
+    result.faults.reserve(numFaults);
+    for (uint32_t i = 0; i < numFaults; i++) {
+        SimFault f;
+        f.code = static_cast<FaultCode>(r.u8());
+        f.cycle = r.u64();
+        f.smId = r.i32();
+        f.warpSlot = r.i32();
+        f.lane = r.i32();
+        f.pc = r.u32();
+        f.addr = r.u64();
+        result.faults.push_back(f);
+    }
+    result.ipc = r.f64();
+    result.mraysPerSec = r.f64();
+    result.simtEfficiency = r.f64();
+    const uint32_t numHits = r.u32();
+    result.hits.reserve(numHits);
+    for (uint32_t i = 0; i < numHits; i++) {
+        rt::Hit h;
+        h.t = r.f32();
+        h.triId = r.i32();
+        result.hits.push_back(h);
+    }
+    const uint32_t numSms = r.u32();
+    result.smStalls.reserve(numSms);
+    for (uint32_t i = 0; i < numSms; i++)
+        result.smStalls.push_back(readStallCounters(r));
+    if (!r.atEnd())
+        throw std::runtime_error("trailing bytes in result payload");
+    return result;
+}
+
+} // namespace uksim::harness

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Canonical serialization of experiment configurations and results.
+ *
+ * The engine is bit-identical at any host thread count and with
+ * idle-cycle fast-forward on or off, so a simulation is a pure function
+ * of (assembled program, scene + kd-tree build parameters, GpuConfig).
+ * This file defines the *canonical byte form* of that triple — the
+ * preimage the serve subsystem hashes to key its result cache — and a
+ * lossless binary serialization of ExperimentResult so cached results
+ * can be returned byte-identically.
+ *
+ * Canonicalization rules (DESIGN.md "Simulation as a service"):
+ *  - every byte is written explicitly little-endian, so hashes and
+ *    payloads are identical across host endianness;
+ *  - engine knobs that are *proven* not to change results are excluded
+ *    from the job preimage: GpuConfig::hostThreads, GpuConfig::fastForward
+ *    and the observability switches (traceEvents / exportCounters /
+ *    captureFlightRecord / verifyPrograms). Everything else — including
+ *    faultPolicy, watchdogCycles and the fault-injection knob — is
+ *    semantic and included;
+ *  - diagnostic-only program metadata (source line numbers, label
+ *    names, entry-point names) is excluded; the executed instruction
+ *    stream, entry PCs and resource declarations are included;
+ *  - the result payload contains exactly the identity-contract fields
+ *    (SimStats, occupancy, outcome, faults, derived rates, hit records,
+ *    per-SM stall shards) and none of the engine-side extras
+ *    (FastForwardStats, flight record, traces, counter dumps), which
+ *    legitimately differ between runs that must share a cache entry.
+ *
+ * Both byte forms carry a versioned magic ("uksim-job-1",
+ * "uksim-result-1"); any field change must bump it.
+ */
+
+#ifndef UKSIM_HARNESS_SERIALIZE_HPP
+#define UKSIM_HARNESS_SERIALIZE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace uksim::harness {
+
+/// Version tag prefixed to the job-hash preimage.
+inline constexpr const char *kJobBytesSchema = "uksim-job-1";
+/// Version tag prefixed to the serialized result payload.
+inline constexpr const char *kResultBytesSchema = "uksim-result-1";
+
+/** Little-endian append-only byte sink for canonical forms. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v) { bytes_.push_back(v); }
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void f32(float v);
+    void f64(double v);
+    void boolean(bool v) { u8(v ? 1 : 0); }
+    /** u32 length + raw bytes. */
+    void str(std::string_view s);
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/**
+ * Strict reader over a canonical byte form; every accessor throws
+ * std::runtime_error("truncated result payload") past the end.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+    float f32();
+    double f64();
+    bool boolean() { return u8() != 0; }
+    std::string str();
+
+    bool atEnd() const { return pos_ == len_; }
+
+  private:
+    void need(size_t n) const;
+
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_ = 0;
+};
+
+/** The kd-tree build parameters prepareScene uses (part of the job key). */
+rt::KdTree::BuildParams sceneBuildParams();
+
+/** Build the assembled program an ExperimentConfig's kernel selects. */
+Program kernelProgram(KernelKind kind);
+
+/**
+ * Canonical bytes of the executed program image: instruction stream,
+ * entry PC, micro-kernel entry table, resource declarations. Excludes
+ * diagnostic metadata (line numbers, label/entry names).
+ */
+std::vector<uint8_t> canonicalProgramBytes(const Program &program);
+
+/**
+ * Canonical job preimage: schema tag, program bytes, scene identity
+ * (name, SceneParams, kd build parameters) and every semantic GpuConfig
+ * / ExperimentConfig field, per the exclusion rules above. Hash this
+ * (serve::jobHash) to key the result cache.
+ */
+std::vector<uint8_t> canonicalJobBytes(const ExperimentConfig &config,
+                                       const Program &program);
+
+/** canonicalJobBytes with the program built from config.kernel. */
+std::vector<uint8_t> canonicalJobBytes(const ExperimentConfig &config);
+
+/**
+ * Serialize the identity-contract portion of @p result. Two runs of the
+ * same canonical job produce byte-identical payloads at any thread
+ * count and fast-forward setting; the serve tests enforce this.
+ */
+std::vector<uint8_t> serializeResult(const ExperimentResult &result);
+
+/**
+ * Parse a payload produced by serializeResult.
+ * @throws std::runtime_error on a bad magic, version, or truncation.
+ * Round-trip guarantee: serializeResult(deserializeResult(p)) == p.
+ */
+ExperimentResult deserializeResult(const std::vector<uint8_t> &payload);
+
+} // namespace uksim::harness
+
+#endif // UKSIM_HARNESS_SERIALIZE_HPP

@@ -1,0 +1,725 @@
+/**
+ * @file
+ * Batch engine implementation (engine.hpp).
+ *
+ * Worker-mode plumbing: each computing job forks a child that runs
+ * the executor and reports over an inherited pipe as single-line JSON
+ * ({"ev": "progress"|"snapshot"|"error"|"done", ...}). The result
+ * payload itself travels through a spool file (atomic write), not the
+ * pipe, so a crash mid-write can never hand the parent a torn
+ * payload. The parent multiplexes live pipes with poll(), translates
+ * worker lines into protocol events, and reaps children with waitpid:
+ * a signal death re-queues the job (resuming from its snapshot when
+ * one is valid), a clean nonzero exit is a deterministic job failure.
+ */
+
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/serialize.hpp"
+#include "serve/executor.hpp"
+#include "serve/sha256.hpp"
+#include "trace/registry.hpp"
+
+namespace uksim::serve {
+
+namespace {
+
+void
+emitEvent(const EventSink &sink, const std::string &line)
+{
+    if (sink)
+        sink(line);
+}
+
+void
+writeFileAtomic(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+    const std::string tmp =
+        path + ".tmp." + std::to_string(uint64_t(::getpid()));
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("spool: cannot write " + tmp);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              std::streamsize(bytes.size()));
+    out.close();
+    if (!out)
+        throw std::runtime_error("spool: short write " + tmp);
+    std::filesystem::rename(tmp, path);
+}
+
+std::optional<std::vector<uint8_t>>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+}
+
+/// Write one full line to a raw fd (worker child side; no stdio).
+void
+writeLineFd(int fd, const std::string &text)
+{
+    std::string line = text;
+    line.push_back('\n');
+    size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+        if (n <= 0)
+            return;     // parent is gone; nothing useful to do
+        off += size_t(n);
+    }
+}
+
+std::string
+progressFields(const trace::ProgressSample &s)
+{
+    const double ipc =
+        s.cycle ? double(s.laneInstructions) / double(s.cycle) : 0.0;
+    std::ostringstream os;
+    os << "\"cycle\": " << s.cycle << ", \"items\": " << s.itemsCompleted
+       << ", \"instructions\": " << s.laneInstructions
+       << ", \"ipc\": " << trace::Registry::formatValue(ipc);
+    return os.str();
+}
+
+} // anonymous namespace
+
+std::string
+BatchManifest::json() const
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"ukserve-manifest-1\", \"jobs\": [";
+    for (size_t i = 0; i < jobs.size(); i++) {
+        const JobReport &r = jobs[i];
+        os << (i ? ", " : "") << "{\"label\": \""
+           << jsonEscape(r.spec.label) << "\", \"hash\": \""
+           << jsonEscape(r.hash) << "\", \"outcome\": \""
+           << jsonEscape(r.outcome) << "\", \"cache\": \""
+           << (r.cacheHit ? "hit" : "miss") << "\", \"attempts\": "
+           << r.attempts << ", \"resumed\": "
+           << (r.resumed ? "true" : "false") << ", \"cycles\": "
+           << r.cycles << ", \"items\": " << r.items << ", \"ipc\": "
+           << trace::Registry::formatValue(r.ipc)
+           << ", \"result_sha256\": \"" << jsonEscape(r.resultSha256)
+           << "\"";
+        if (!r.error.empty())
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        os << "}";
+    }
+    os << "], \"cache_hits\": " << cacheHits << ", \"computed\": "
+       << computed << ", \"failed\": " << failed << ", \"resumed\": "
+       << resumed << "}";
+    return os.str();
+}
+
+/** One job flowing through runBatch (engine-internal). */
+struct ServerEngine::PendingJob {
+    size_t index = 0;               ///< submit order
+    harness::ExperimentConfig config;
+    std::string hash;
+    JobReport report;
+    bool resolved = false;          ///< config/hash are valid
+    bool done = false;
+    std::vector<uint8_t> payload;   ///< canonical result bytes when done
+    PendingJob *duplicateOf = nullptr;
+};
+
+ServerEngine::ServerEngine(EngineOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cacheDir)
+{
+    if (opts_.workers > 0 && opts_.spoolDir.empty()) {
+        if (opts_.cacheDir.empty()) {
+            throw std::invalid_argument(
+                "serve: worker processes need a spool directory");
+        }
+        opts_.spoolDir = opts_.cacheDir + "/spool";
+    }
+    if (opts_.maxAttempts < 1)
+        opts_.maxAttempts = 1;
+}
+
+const harness::PreparedScene &
+ServerEngine::preparedScene(const harness::ExperimentConfig &config)
+{
+    const rt::SceneParams &p = config.sceneParams;
+    std::ostringstream key;
+    key << config.sceneName << ":" << p.detail << ":" << p.imageWidth
+        << ":" << p.imageHeight << ":" << p.seed;
+    auto it = scenes_.find(key.str());
+    if (it == scenes_.end()) {
+        it = scenes_
+                 .emplace(key.str(),
+                          harness::prepareScene(config.sceneName, p))
+                 .first;
+    }
+    return it->second;
+}
+
+std::string
+ServerEngine::snapshotPathFor(const std::string &hash) const
+{
+    return opts_.spoolDir + "/" + hash + ".snap.json";
+}
+
+std::string
+ServerEngine::payloadPathFor(const std::string &hash) const
+{
+    return opts_.spoolDir + "/" + hash + ".payload";
+}
+
+namespace {
+
+/// Fill the run-summary report fields from a canonical payload.
+void
+reportFromPayload(JobReport &report, const std::vector<uint8_t> &payload)
+{
+    const harness::ExperimentResult r =
+        harness::deserializeResult(payload);
+    report.outcome = runOutcomeName(r.outcome);
+    report.cycles = r.stats.cycles;
+    report.items = r.stats.itemsCompleted;
+    report.ipc = r.ipc;
+    report.resultSha256 = sha256Hex(payload);
+}
+
+std::string
+jobDoneLine(const JobReport &r, size_t index)
+{
+    std::ostringstream os;
+    os << "{\"event\": \"job_done\", \"job\": " << index
+       << ", \"label\": \"" << jsonEscape(r.spec.label) << "\""
+       << ", \"hash\": \"" << jsonEscape(r.hash) << "\""
+       << ", \"cache\": \"" << (r.cacheHit ? "hit" : "miss") << "\""
+       << ", \"outcome\": \"" << jsonEscape(r.outcome) << "\""
+       << ", \"attempts\": " << r.attempts << ", \"resumed\": "
+       << (r.resumed ? "true" : "false") << ", \"cycles\": " << r.cycles
+       << ", \"items\": " << r.items << ", \"ipc\": "
+       << trace::Registry::formatValue(r.ipc)
+       << ", \"result_sha256\": \"" << jsonEscape(r.resultSha256)
+       << "\"}";
+    return os.str();
+}
+
+std::string
+jobFailedLine(const JobReport &r, size_t index)
+{
+    std::ostringstream os;
+    os << "{\"event\": \"job_failed\", \"job\": " << index
+       << ", \"label\": \"" << jsonEscape(r.spec.label) << "\""
+       << ", \"attempts\": " << r.attempts << ", \"error\": \""
+       << jsonEscape(r.error) << "\"}";
+    return os.str();
+}
+
+} // anonymous namespace
+
+void
+ServerEngine::runInProcess(PendingJob &job, const EventSink &sink)
+{
+    std::ostringstream started;
+    started << "{\"event\": \"job_started\", \"job\": " << job.index
+            << ", \"label\": \"" << jsonEscape(job.report.spec.label)
+            << "\", \"hash\": \"" << job.hash << "\", \"attempt\": 1}";
+    emitEvent(sink, started.str());
+
+    ExecOptions eo;
+    eo.snapshotCycles = opts_.snapshotCycles;
+    if (eo.snapshotCycles && !opts_.spoolDir.empty())
+        eo.snapshotPath = snapshotPathFor(job.hash);
+    eo.onProgress = [&](const trace::ProgressSample &s) {
+        std::ostringstream os;
+        os << "{\"event\": \"progress\", \"job\": " << job.index << ", "
+           << progressFields(s) << "}";
+        emitEvent(sink, os.str());
+    };
+    eo.onSnapshot = [&](const Snapshot &snap) {
+        std::ostringstream os;
+        os << "{\"event\": \"snapshot\", \"job\": " << job.index
+           << ", \"cycle\": " << snap.cycle << ", \"index\": "
+           << snap.index << "}";
+        emitEvent(sink, os.str());
+    };
+
+    Snapshot snap;
+    bool haveSnap = false;
+    if (!eo.snapshotPath.empty()) {
+        if (auto s = readSnapshotFile(eo.snapshotPath);
+            s && s->jobHash == job.hash &&
+            s->chunkCycles == opts_.snapshotCycles) {
+            snap = *s;
+            haveSnap = true;
+        }
+    }
+
+    for (int attempt = 1;; attempt++) {
+        job.report.attempts = attempt;
+        try {
+            eo.resumeFrom = haveSnap ? &snap : nullptr;
+            if (haveSnap) {
+                std::ostringstream os;
+                os << "{\"event\": \"job_resumed\", \"job\": "
+                   << job.index << ", \"from_cycle\": " << snap.cycle
+                   << "}";
+                emitEvent(sink, os.str());
+            }
+            ExecResult exec =
+                executeJob(preparedScene(job.config), job.config,
+                           job.hash, eo);
+            job.payload = std::move(exec.payload);
+            job.report.resumed = exec.resumeVerified;
+            job.report.counterJson = exec.result.counterJson;
+            reportFromPayload(job.report, job.payload);
+            cache_.store(job.hash, job.payload);
+            if (!eo.snapshotPath.empty()) {
+                std::error_code ec;
+                std::filesystem::remove(eo.snapshotPath, ec);
+            }
+            job.done = true;
+            emitEvent(sink, jobDoneLine(job.report, job.index));
+            return;
+        } catch (const SnapshotMismatch &e) {
+            std::ostringstream os;
+            os << "{\"event\": \"snapshot_rejected\", \"job\": "
+               << job.index << ", \"error\": \"" << jsonEscape(e.what())
+               << "\"}";
+            emitEvent(sink, os.str());
+            std::error_code ec;
+            std::filesystem::remove(eo.snapshotPath, ec);
+            haveSnap = false;
+            if (attempt >= opts_.maxAttempts) {
+                job.report.outcome = "error";
+                job.report.error = e.what();
+                job.done = true;
+                emitEvent(sink, jobFailedLine(job.report, job.index));
+                return;
+            }
+        } catch (const std::exception &e) {
+            // Deterministic simulation/setup failure — retrying would
+            // reproduce it bit-for-bit, so fail immediately.
+            job.report.outcome = "error";
+            job.report.error = e.what();
+            job.done = true;
+            emitEvent(sink, jobFailedLine(job.report, job.index));
+            return;
+        }
+    }
+}
+
+int
+ServerEngine::workerChildMain(int fd, PendingJob &job, int attempt,
+                              const Snapshot *resume)
+{
+    try {
+        ExecOptions eo;
+        eo.snapshotCycles = opts_.snapshotCycles;
+        if (eo.snapshotCycles && !opts_.spoolDir.empty())
+            eo.snapshotPath = snapshotPathFor(job.hash);
+        eo.resumeFrom = resume;
+        eo.onProgress = [&](const trace::ProgressSample &s) {
+            writeLineFd(fd, "{\"ev\": \"progress\", " +
+                                progressFields(s) + "}");
+        };
+        eo.onSnapshot = [&](const Snapshot &snap) {
+            std::ostringstream os;
+            os << "{\"ev\": \"snapshot\", \"cycle\": " << snap.cycle
+               << ", \"index\": " << snap.index << "}";
+            writeLineFd(fd, os.str());
+            // Crash-injection hook: die the hard way right after a
+            // snapshot is durable, first attempt only.
+            if (attempt == 0 && job.report.spec.killAfterSnapshots > 0 &&
+                snap.index >=
+                    uint64_t(job.report.spec.killAfterSnapshots)) {
+                ::raise(SIGKILL);
+            }
+        };
+        ExecResult exec = executeJob(preparedScene(job.config),
+                                     job.config, job.hash, eo);
+        if (job.report.spec.counters && !exec.result.counterJson.empty()) {
+            const std::string &cj = exec.result.counterJson;
+            writeFileAtomic(payloadPathFor(job.hash) + ".counters",
+                            std::vector<uint8_t>(cj.begin(), cj.end()));
+        }
+        writeFileAtomic(payloadPathFor(job.hash), exec.payload);
+        std::ostringstream os;
+        os << "{\"ev\": \"done\", \"resumed\": "
+           << (exec.resumeVerified ? "true" : "false") << "}";
+        writeLineFd(fd, os.str());
+        return 0;
+    } catch (const SnapshotMismatch &e) {
+        writeLineFd(fd, std::string("{\"ev\": \"error\", \"message\": \"") +
+                            jsonEscape(e.what()) + "\"}");
+        return 3;
+    } catch (const std::exception &e) {
+        writeLineFd(fd, std::string("{\"ev\": \"error\", \"message\": \"") +
+                            jsonEscape(e.what()) + "\"}");
+        return 1;
+    }
+}
+
+/** Parent-side bookkeeping for one live worker process. */
+struct ServerEngine::RunningWorker {
+    pid_t pid = -1;
+    int fd = -1;
+    PendingJob *job = nullptr;
+    int attempt = 0;            ///< 0-based
+    bool resumedFromSnapshot = false;
+    std::string buf;            ///< partial-line accumulator
+    bool gotDone = false;
+    bool doneResumed = false;
+    std::string errorMessage;
+};
+
+void
+ServerEngine::handleWorkerLine(RunningWorker &w, const std::string &line,
+                               const EventSink &sink)
+{
+    JsonValue v;
+    try {
+        v = parseJson(line);
+    } catch (const JsonError &) {
+        return;     // torn line from a dying worker; ignore
+    }
+    const std::string ev = v.stringOr("ev", "");
+    if (ev == "progress") {
+        std::ostringstream os;
+        os << "{\"event\": \"progress\", \"job\": " << w.job->index
+           << ", \"cycle\": " << v.u64Or("cycle", 0) << ", \"items\": "
+           << v.u64Or("items", 0) << ", \"instructions\": "
+           << v.u64Or("instructions", 0) << ", \"ipc\": "
+           << trace::Registry::formatValue(v.numberOr("ipc", 0.0))
+           << "}";
+        emitEvent(sink, os.str());
+    } else if (ev == "snapshot") {
+        std::ostringstream os;
+        os << "{\"event\": \"snapshot\", \"job\": " << w.job->index
+           << ", \"cycle\": " << v.u64Or("cycle", 0) << ", \"index\": "
+           << v.u64Or("index", 0) << "}";
+        emitEvent(sink, os.str());
+    } else if (ev == "error") {
+        w.errorMessage = v.stringOr("message", "worker error");
+    } else if (ev == "done") {
+        w.gotDone = true;
+        w.doneResumed = v.boolOr("resumed", false);
+    }
+}
+
+void
+ServerEngine::finishWorker(RunningWorker &w, int status,
+                           std::deque<std::pair<PendingJob *, int>> &work,
+                           const EventSink &sink)
+{
+    PendingJob &job = *w.job;
+    job.report.attempts = w.attempt + 1;
+    const std::string spath = opts_.snapshotCycles && !opts_.spoolDir.empty()
+                                  ? snapshotPathFor(job.hash)
+                                  : std::string();
+
+    auto fail = [&](const std::string &why) {
+        job.report.outcome = "error";
+        job.report.error = why;
+        job.done = true;
+        emitEvent(sink, jobFailedLine(job.report, job.index));
+    };
+
+    if (WIFSIGNALED(status)) {
+        std::ostringstream os;
+        os << "{\"event\": \"worker_crashed\", \"job\": " << job.index
+           << ", \"signal\": " << WTERMSIG(status) << ", \"attempt\": "
+           << w.attempt + 1 << "}";
+        emitEvent(sink, os.str());
+        if (w.attempt + 1 < opts_.maxAttempts) {
+            work.emplace_back(&job, w.attempt + 1);
+        } else {
+            fail("worker killed by signal " +
+                 std::to_string(WTERMSIG(status)) + " after " +
+                 std::to_string(w.attempt + 1) + " attempts");
+        }
+        return;
+    }
+
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    if (code == 0 && w.gotDone) {
+        auto payload = readFileBytes(payloadPathFor(job.hash));
+        if (!payload || payload->empty()) {
+            fail("worker produced no result payload");
+            return;
+        }
+        job.payload = std::move(*payload);
+        job.report.resumed = w.doneResumed;
+        try {
+            reportFromPayload(job.report, job.payload);
+        } catch (const std::exception &e) {
+            fail(std::string("spooled payload unreadable: ") + e.what());
+            return;
+        }
+        if (job.report.spec.counters) {
+            if (auto cj =
+                    readFileBytes(payloadPathFor(job.hash) + ".counters"))
+                job.report.counterJson.assign(cj->begin(), cj->end());
+        }
+        cache_.store(job.hash, job.payload);
+        std::error_code ec;
+        std::filesystem::remove(payloadPathFor(job.hash), ec);
+        std::filesystem::remove(payloadPathFor(job.hash) + ".counters",
+                                ec);
+        if (!spath.empty())
+            std::filesystem::remove(spath, ec);
+        job.done = true;
+        emitEvent(sink, jobDoneLine(job.report, job.index));
+        return;
+    }
+    if (code == 3) {    // snapshot rejected by fingerprint check
+        std::ostringstream os;
+        os << "{\"event\": \"snapshot_rejected\", \"job\": " << job.index
+           << ", \"error\": \"" << jsonEscape(w.errorMessage) << "\"}";
+        emitEvent(sink, os.str());
+        std::error_code ec;
+        if (!spath.empty())
+            std::filesystem::remove(spath, ec);
+        if (w.attempt + 1 < opts_.maxAttempts)
+            work.emplace_back(&job, w.attempt + 1);
+        else
+            fail(w.errorMessage.empty() ? "snapshot rejected"
+                                        : w.errorMessage);
+        return;
+    }
+    fail(w.errorMessage.empty()
+             ? "worker exited with code " + std::to_string(code)
+             : w.errorMessage);
+}
+
+void
+ServerEngine::runWorkerPool(std::vector<PendingJob *> &queue,
+                            const EventSink &sink)
+{
+    std::deque<std::pair<PendingJob *, int>> work;
+    for (PendingJob *p : queue)
+        work.emplace_back(p, 0);
+    std::vector<RunningWorker> running;
+
+    auto spawn = [&](PendingJob *job, int attempt) {
+        // Build the scene in the parent: forked children share it
+        // copy-on-write instead of each rebuilding the kd-tree.
+        preparedScene(job->config);
+
+        Snapshot snap;
+        bool haveSnap = false;
+        if (opts_.snapshotCycles && !opts_.spoolDir.empty()) {
+            if (auto s = readSnapshotFile(snapshotPathFor(job->hash));
+                s && s->jobHash == job->hash &&
+                s->chunkCycles == opts_.snapshotCycles) {
+                snap = *s;
+                haveSnap = true;
+            }
+        }
+
+        int fds[2];
+        if (::pipe(fds) != 0)
+            throw std::runtime_error("serve: pipe() failed");
+        std::fflush(nullptr);   // don't let the child double-flush stdio
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(fds[0]);
+            ::close(fds[1]);
+            throw std::runtime_error("serve: fork() failed");
+        }
+        if (pid == 0) {
+            ::close(fds[0]);
+            const int code = workerChildMain(
+                fds[1], *job, attempt, haveSnap ? &snap : nullptr);
+            ::close(fds[1]);
+            ::_exit(code);
+        }
+        ::close(fds[1]);
+
+        std::ostringstream started;
+        started << "{\"event\": \"job_started\", \"job\": " << job->index
+                << ", \"label\": \""
+                << jsonEscape(job->report.spec.label) << "\", \"hash\": \""
+                << job->hash << "\", \"attempt\": " << attempt + 1 << "}";
+        emitEvent(sink, started.str());
+        if (haveSnap) {
+            std::ostringstream os;
+            os << "{\"event\": \"job_resumed\", \"job\": " << job->index
+               << ", \"from_cycle\": " << snap.cycle << "}";
+            emitEvent(sink, os.str());
+        }
+
+        RunningWorker w;
+        w.pid = pid;
+        w.fd = fds[0];
+        w.job = job;
+        w.attempt = attempt;
+        w.resumedFromSnapshot = haveSnap;
+        running.push_back(std::move(w));
+    };
+
+    while (!work.empty() || !running.empty()) {
+        while (!work.empty() && int(running.size()) < opts_.workers) {
+            auto [job, attempt] = work.front();
+            work.pop_front();
+            spawn(job, attempt);
+        }
+        std::vector<struct pollfd> fds(running.size());
+        for (size_t i = 0; i < running.size(); i++) {
+            fds[i].fd = running[i].fd;
+            fds[i].events = POLLIN;
+            fds[i].revents = 0;
+        }
+        if (::poll(fds.data(), nfds_t(fds.size()), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error("serve: poll() failed");
+        }
+        for (size_t i = 0; i < running.size();) {
+            RunningWorker &w = running[i];
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
+                i++;
+                continue;
+            }
+            char buf[4096];
+            const ssize_t n = ::read(w.fd, buf, sizeof(buf));
+            if (n > 0) {
+                w.buf.append(buf, size_t(n));
+                size_t nl;
+                while ((nl = w.buf.find('\n')) != std::string::npos) {
+                    handleWorkerLine(w, w.buf.substr(0, nl), sink);
+                    w.buf.erase(0, nl + 1);
+                }
+                i++;
+                continue;
+            }
+            // EOF (or error): the child is finishing or dead — reap it.
+            ::close(w.fd);
+            int status = 0;
+            while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+            }
+            finishWorker(w, status, work, sink);
+            running.erase(running.begin() + long(i));
+            fds.erase(fds.begin() + long(i));
+        }
+    }
+}
+
+BatchManifest
+ServerEngine::runBatch(const std::vector<JobSpec> &jobs,
+                       const EventSink &sink)
+{
+    std::vector<PendingJob> pending(jobs.size());
+    std::map<std::string, PendingJob *> firstByHash;
+    for (size_t i = 0; i < jobs.size(); i++) {
+        PendingJob &p = pending[i];
+        p.index = i;
+        p.report.spec = jobs[i];
+        try {
+            p.config = resolveJobSpec(jobs[i]);
+            p.hash = jobHash(p.config);
+            p.report.hash = p.hash;
+            p.resolved = true;
+        } catch (const std::exception &e) {
+            p.report.outcome = "error";
+            p.report.error = e.what();
+            p.done = true;
+            emitEvent(sink, jobFailedLine(p.report, p.index));
+            continue;
+        }
+        auto [it, inserted] = firstByHash.emplace(p.hash, &p);
+        if (!inserted)
+            p.duplicateOf = it->second;
+    }
+
+    // Unique jobs: serve from the on-disk cache, queue the rest.
+    std::vector<PendingJob *> compute;
+    for (PendingJob &p : pending) {
+        if (p.done || p.duplicateOf)
+            continue;
+        if (auto hit = cache_.load(p.hash)) {
+            p.payload = std::move(*hit);
+            p.report.cacheHit = true;
+            try {
+                reportFromPayload(p.report, p.payload);
+            } catch (const std::exception &e) {
+                // Verified entry that still fails to parse: treat as a
+                // schema change, recompute.
+                (void)e;
+                p.payload.clear();
+                p.report.cacheHit = false;
+                compute.push_back(&p);
+                continue;
+            }
+            p.done = true;
+            emitEvent(sink, jobDoneLine(p.report, p.index));
+        } else {
+            compute.push_back(&p);
+        }
+    }
+
+    if (!compute.empty()) {
+        if (opts_.workers > 0) {
+            runWorkerPool(compute, sink);
+        } else {
+            for (PendingJob *p : compute)
+                runInProcess(*p, sink);
+        }
+    }
+
+    // Duplicates inherit the first job's result as in-batch cache hits.
+    for (PendingJob &p : pending) {
+        if (!p.duplicateOf)
+            continue;
+        PendingJob &src = *p.duplicateOf;
+        if (!src.done || src.report.outcome == "error") {
+            p.report.outcome = "error";
+            p.report.error = src.report.error.empty()
+                                 ? "duplicate of a failed job"
+                                 : src.report.error;
+            p.done = true;
+            emitEvent(sink, jobFailedLine(p.report, p.index));
+            continue;
+        }
+        p.payload = src.payload;
+        p.report.cacheHit = true;
+        p.report.outcome = src.report.outcome;
+        p.report.cycles = src.report.cycles;
+        p.report.items = src.report.items;
+        p.report.ipc = src.report.ipc;
+        p.report.resultSha256 = src.report.resultSha256;
+        p.done = true;
+        emitEvent(sink, jobDoneLine(p.report, p.index));
+    }
+
+    BatchManifest manifest;
+    for (PendingJob &p : pending) {
+        if (p.report.outcome == "error")
+            manifest.failed++;
+        else if (p.report.cacheHit)
+            manifest.cacheHits++;
+        else
+            manifest.computed++;
+        if (p.report.resumed)
+            manifest.resumed++;
+        manifest.jobs.push_back(std::move(p.report));
+    }
+    return manifest;
+}
+
+} // namespace uksim::serve

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The serve batch engine: job queue, worker pool, cache, recovery.
+ *
+ * A ServerEngine owns the shared expensive state of a batch server —
+ * prepared scenes with their kd-trees (built once per distinct scene
+ * identity and reused across jobs), the content-addressed result
+ * cache, and the spool directory for snapshots and in-flight results
+ * — and executes submitted batches:
+ *
+ *  - Jobs are deduplicated by canonical hash before anything runs:
+ *    within a batch, only the first job with a given hash computes;
+ *    the rest are served as cache hits, as are jobs whose hash is
+ *    already in the on-disk cache from an earlier batch or server.
+ *
+ *  - With workers > 0 each computing job runs in a forked worker
+ *    *process*, so a crashing or killed job cannot take the server
+ *    down. A worker that dies (e.g. SIGKILL) is retried: if it left a
+ *    valid snapshot the retry resumes from it with the fingerprint
+ *    verified (serve/executor.hpp); otherwise it restarts fresh.
+ *    workers == 0 executes in-process (the deterministic path unit
+ *    tests use; it also honors leftover snapshots).
+ *
+ *  - Per-job lifecycle events (job_started, progress, snapshot,
+ *    job_resumed, job_done, job_failed) stream through an EventSink
+ *    as single-line JSON; the batch ends with a manifest summarizing
+ *    every job and the cache hit/computed/failed/resumed counts.
+ */
+
+#ifndef UKSIM_SERVE_ENGINE_HPP
+#define UKSIM_SERVE_ENGINE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "serve/job.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/snapshot.hpp"
+
+namespace uksim::serve {
+
+/** Server-wide engine configuration. */
+struct EngineOptions {
+    std::string cacheDir;       ///< result cache root ("" = cache disabled)
+    std::string spoolDir;       ///< snapshots + in-flight results ("" = none)
+    int workers = 0;            ///< forked worker processes (0 = in-process)
+    uint64_t snapshotCycles = 0;///< snapshot cadence (0 = no snapshots)
+    int maxAttempts = 3;        ///< attempts per job before it fails
+};
+
+/** Sink for single-line JSON protocol events (no trailing newline). */
+using EventSink = std::function<void(const std::string &line)>;
+
+/** Per-job entry of a batch manifest. */
+struct JobReport {
+    JobSpec spec;
+    std::string hash;           ///< canonical job hash ("" if resolve failed)
+    std::string outcome;        ///< runOutcomeName string, or "error"
+    bool cacheHit = false;
+    bool resumed = false;       ///< a verified snapshot resume happened
+    int attempts = 0;           ///< compute attempts (0 for cache hits)
+    uint64_t cycles = 0;
+    uint64_t items = 0;
+    double ipc = 0.0;
+    std::string resultSha256;   ///< digest of the canonical result payload
+    std::string error;          ///< failure description when outcome=="error"
+    std::string counterJson;    ///< registry JSON (spec.counters, computed only)
+};
+
+/** Summary of one runBatch call. */
+struct BatchManifest {
+    std::vector<JobReport> jobs;    ///< submit order
+    int cacheHits = 0;
+    int computed = 0;
+    int failed = 0;
+    int resumed = 0;
+    /** Single-line JSON ("ukserve-manifest-1"). */
+    std::string json() const;
+};
+
+/** Batch execution engine (see file header). */
+class ServerEngine
+{
+  public:
+    explicit ServerEngine(EngineOptions opts);
+
+    /**
+     * Execute a batch, streaming events to @p sink (which may be
+     * empty). Never throws for per-job failures — they become
+     * "error" entries in the manifest.
+     */
+    BatchManifest runBatch(const std::vector<JobSpec> &jobs,
+                           const EventSink &sink);
+
+    ResultCache &cache() { return cache_; }
+    const EngineOptions &options() const { return opts_; }
+
+    /** Scene+kd-tree for @p config, built once and shared (dedupe). */
+    const harness::PreparedScene &
+    preparedScene(const harness::ExperimentConfig &config);
+
+  private:
+    struct PendingJob;
+    struct RunningWorker;
+
+    void runInProcess(PendingJob &job, const EventSink &sink);
+    void runWorkerPool(std::vector<PendingJob *> &queue,
+                       const EventSink &sink);
+    /// Worker-child body; returns the process exit code (0 ok, 1
+    /// deterministic failure, 3 snapshot rejected).
+    int workerChildMain(int fd, PendingJob &job, int attempt,
+                        const Snapshot *resume);
+    void handleWorkerLine(RunningWorker &worker, const std::string &line,
+                          const EventSink &sink);
+    void finishWorker(RunningWorker &worker, int status,
+                      std::deque<std::pair<PendingJob *, int>> &work,
+                      const EventSink &sink);
+    std::string snapshotPathFor(const std::string &hash) const;
+    std::string payloadPathFor(const std::string &hash) const;
+
+    EngineOptions opts_;
+    ResultCache cache_;
+    std::map<std::string, harness::PreparedScene> scenes_;
+};
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_ENGINE_HPP

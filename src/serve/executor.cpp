@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Single-job executor implementation (executor.hpp).
+ */
+
+#include "serve/executor.hpp"
+
+#include <sstream>
+
+#include "harness/serialize.hpp"
+#include "serve/sha256.hpp"
+
+namespace uksim::serve {
+
+namespace {
+
+std::string
+stateFingerprint(Gpu &gpu)
+{
+    std::ostringstream dump;
+    gpu.dumpState(dump);
+    return sha256Hex(dump.str());
+}
+
+} // anonymous namespace
+
+ExecResult
+executeJob(const harness::PreparedScene &scene,
+           const harness::ExperimentConfig &config,
+           const std::string &hash, const ExecOptions &opts)
+{
+    ExecResult exec;
+    if (opts.resumeFrom && opts.resumeFrom->chunkCycles &&
+        opts.resumeFrom->chunkCycles != opts.snapshotCycles) {
+        // The fingerprint is only comparable when replay pauses land
+        // on the same cycles the original run paused on.
+        throw SnapshotMismatch("resume cadence " +
+                               std::to_string(opts.snapshotCycles) +
+                               " != snapshot cadence " +
+                               std::to_string(opts.resumeFrom->chunkCycles));
+    }
+
+    uint64_t snapshotIndex =
+        opts.resumeFrom ? opts.resumeFrom->index : 0;
+    harness::RunHooks hooks;
+    hooks.chunkCycles = opts.snapshotCycles;
+    hooks.onChunk = [&](Gpu &gpu, uint64_t cycle) {
+        exec.progress.record(gpu.stats(),
+                             gpu.fastForwardStats().cyclesSkipped);
+        if (opts.onProgress)
+            opts.onProgress(exec.progress.samples().back());
+
+        const bool verifyHere =
+            opts.resumeFrom && cycle == opts.resumeFrom->cycle;
+        const bool persistHere = !opts.snapshotPath.empty();
+        if (!verifyHere && !persistHere)
+            return;
+        const std::string fingerprint = stateFingerprint(gpu);
+        if (verifyHere) {
+            if (fingerprint != opts.resumeFrom->stateSha256) {
+                throw SnapshotMismatch(
+                    "state fingerprint mismatch at cycle " +
+                    std::to_string(cycle) + ": replay " + fingerprint +
+                    " != snapshot " + opts.resumeFrom->stateSha256);
+            }
+            exec.resumeVerified = true;
+        }
+        if (persistHere) {
+            Snapshot snap;
+            snap.jobHash = hash;
+            snap.cycle = cycle;
+            snap.chunkCycles = opts.snapshotCycles;
+            snap.index = ++snapshotIndex;
+            snap.stateSha256 = fingerprint;
+            snap.itemsCompleted = gpu.stats().itemsCompleted;
+            writeSnapshotFile(opts.snapshotPath, snap);
+            if (opts.onSnapshot)
+                opts.onSnapshot(snap);
+        }
+    };
+
+    exec.result = harness::runExperiment(scene, config, hooks);
+    if (opts.resumeFrom && !exec.resumeVerified) {
+        // The run finished before reaching the snapshot cycle — the
+        // snapshot cannot belong to this job/configuration.
+        throw SnapshotMismatch("run ended at cycle " +
+                               std::to_string(exec.result.stats.cycles) +
+                               " before snapshot cycle " +
+                               std::to_string(opts.resumeFrom->cycle));
+    }
+    exec.payload = harness::serializeResult(exec.result);
+    return exec;
+}
+
+} // namespace uksim::serve

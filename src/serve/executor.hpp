@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Single-job executor: chunked runs, snapshots, verified resume.
+ *
+ * executeJob runs one resolved experiment through the harness with the
+ * serve subsystem's instrumentation attached: at every snapshot-cadence
+ * pause it samples progress, fingerprints the machine (sha256 of the
+ * flight-recorder dump) and writes an atomic snapshot file. On resume
+ * it replays with the same cadence and *verifies* the fingerprint at
+ * the snapshot cycle — a mismatch throws SnapshotMismatch and the
+ * caller falls back to a fresh run. Because pausing is bit-neutral
+ * (harness::RunHooks contract), the result payload is identical to an
+ * uninstrumented runExperiment for the same configuration.
+ */
+
+#ifndef UKSIM_SERVE_EXECUTOR_HPP
+#define UKSIM_SERVE_EXECUTOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "serve/snapshot.hpp"
+#include "trace/progress.hpp"
+
+namespace uksim::serve {
+
+/** Resume fingerprint did not match: replay diverged from the original. */
+class SnapshotMismatch : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Instrumentation knobs for one executeJob call. */
+struct ExecOptions {
+    /// Pause cadence in simulated cycles (0 = run uninterrupted; no
+    /// snapshots, no progress samples).
+    uint64_t snapshotCycles = 0;
+    /// Snapshot file to (re)write at each pause; empty = don't persist.
+    std::string snapshotPath;
+    /// Snapshot to resume from: replay to snap.cycle with its cadence,
+    /// verify the state fingerprint, then continue.
+    const Snapshot *resumeFrom = nullptr;
+    /// Called after each snapshot is durably written (the worker's
+    /// SIGKILL test hook and snapshot events hang off this).
+    std::function<void(const Snapshot &snap)> onSnapshot;
+    /// Called at every pause with the latest sample.
+    std::function<void(const trace::ProgressSample &sample)> onProgress;
+};
+
+/** Everything one job execution produces. */
+struct ExecResult {
+    harness::ExperimentResult result;
+    std::vector<uint8_t> payload;       ///< canonical result bytes
+    trace::ProgressSeries progress;
+    /// True when resumeFrom was given and its fingerprint matched.
+    bool resumeVerified = false;
+};
+
+/**
+ * Run one job.
+ * @param hash canonical job hash (recorded in snapshots).
+ * @throws SnapshotMismatch when resume verification fails.
+ */
+ExecResult executeJob(const harness::PreparedScene &scene,
+                      const harness::ExperimentConfig &config,
+                      const std::string &hash, const ExecOptions &opts);
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_EXECUTOR_HPP

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Job specification parsing / resolution (job.hpp).
+ */
+
+#include "serve/job.hpp"
+
+#include <climits>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/serialize.hpp"
+#include "serve/sha256.hpp"
+
+namespace uksim::serve {
+
+namespace {
+
+/// Keys accepted in a job object; anything else is rejected so a typo
+/// ("cycels") fails the submit instead of silently running the default.
+constexpr const char *kJobKeys[] = {
+    "name",   "label",    "cycles",   "detail",
+    "res",    "sms",      "watchdog", "policy",
+    "counters", "kill_after_snapshots",
+};
+
+int
+intField(const JsonValue &v, const std::string &key)
+{
+    const uint64_t raw = v.u64Or(key, 0);
+    if (raw > uint64_t(INT_MAX))
+        throw JsonError("job field out of range: " + key, 0);
+    return int(raw);
+}
+
+} // anonymous namespace
+
+JobSpec
+jobSpecFromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        throw JsonError("job must be an object", 0);
+    for (const auto &[key, value] : v.object) {
+        (void)value;
+        bool known = false;
+        for (const char *k : kJobKeys)
+            known = known || key == k;
+        if (!known)
+            throw JsonError("unknown job field: " + key, 0);
+    }
+    JobSpec spec;
+    spec.name = v.stringAt("name");
+    spec.label = v.stringOr("label", spec.name);
+    spec.cycles = v.u64Or("cycles", 0);
+    spec.detail = intField(v, "detail");
+    spec.res = intField(v, "res");
+    spec.sms = intField(v, "sms");
+    spec.watchdog = v.u64Or("watchdog", 0);
+    spec.policy = v.stringOr("policy", "");
+    spec.counters = v.boolOr("counters", false);
+    spec.killAfterSnapshots = intField(v, "kill_after_snapshots");
+    return spec;
+}
+
+std::string
+jobSpecToJson(const JobSpec &spec)
+{
+    std::ostringstream os;
+    os << "{\"name\": \"" << jsonEscape(spec.name) << "\"";
+    if (spec.label != spec.name)
+        os << ", \"label\": \"" << jsonEscape(spec.label) << "\"";
+    if (spec.cycles)
+        os << ", \"cycles\": " << spec.cycles;
+    if (spec.detail)
+        os << ", \"detail\": " << spec.detail;
+    if (spec.res)
+        os << ", \"res\": " << spec.res;
+    if (spec.sms)
+        os << ", \"sms\": " << spec.sms;
+    if (spec.watchdog)
+        os << ", \"watchdog\": " << spec.watchdog;
+    if (!spec.policy.empty())
+        os << ", \"policy\": \"" << jsonEscape(spec.policy) << "\"";
+    if (spec.counters)
+        os << ", \"counters\": true";
+    if (spec.killAfterSnapshots)
+        os << ", \"kill_after_snapshots\": " << spec.killAfterSnapshots;
+    os << "}";
+    return os.str();
+}
+
+harness::ExperimentConfig
+resolveJobSpec(const JobSpec &spec)
+{
+    harness::ExperimentConfig config = harness::namedExperiment(spec.name);
+    if (spec.cycles)
+        config.maxCycles = spec.cycles;
+    if (spec.detail)
+        config.sceneParams.detail = spec.detail;
+    if (spec.res) {
+        config.sceneParams.imageWidth = spec.res;
+        config.sceneParams.imageHeight = spec.res;
+    }
+    if (spec.sms)
+        config.baseConfig.numSms = spec.sms;
+    if (spec.watchdog)
+        config.baseConfig.watchdogCycles = spec.watchdog;
+    if (!spec.policy.empty()) {
+        if (spec.policy == "trap")
+            config.baseConfig.faultPolicy = FaultPolicy::Trap;
+        else if (spec.policy == "halt")
+            config.baseConfig.faultPolicy = FaultPolicy::HaltGrid;
+        else if (spec.policy == "throw")
+            config.baseConfig.faultPolicy = FaultPolicy::Throw;
+        else
+            throw std::invalid_argument("unknown fault policy: " +
+                                        spec.policy);
+    }
+    // Observability only — never reaches the resolved GpuConfig, so it
+    // cannot perturb the canonical job hash.
+    config.exportCounters = spec.counters;
+    return config;
+}
+
+std::string
+jobHash(const harness::ExperimentConfig &config)
+{
+    return sha256Hex(harness::canonicalJobBytes(config));
+}
+
+} // namespace uksim::serve

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Job specifications for the serve subsystem.
+ *
+ * A JobSpec is the client-visible description of one simulation job:
+ * a named experiment configuration ("uk_conference", ...) plus the
+ * same scale-down knobs the CLI tools expose (cycles, scene detail,
+ * resolution, SM count, watchdog, fault policy). Specs travel on the
+ * wire as JSON objects inside a "submit" batch and resolve
+ * deterministically — no environment variables are consulted — to a
+ * harness::ExperimentConfig, from which the canonical job hash is
+ * computed (harness/serialize.hpp). Two specs that resolve to the
+ * same configuration share one cache entry by construction.
+ */
+
+#ifndef UKSIM_SERVE_JOB_HPP
+#define UKSIM_SERVE_JOB_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "serve/json.hpp"
+
+namespace uksim::serve {
+
+/** One batch job as submitted by a client. */
+struct JobSpec {
+    std::string name;           ///< namedExperiment name (required)
+    std::string label;          ///< client tag echoed in events (default: name)
+    uint64_t cycles = 0;        ///< max simulated cycles (0 = config default)
+    int detail = 0;             ///< scene detail override (0 = default)
+    int res = 0;                ///< square image resolution (0 = default)
+    int sms = 0;                ///< SM count override (0 = default)
+    uint64_t watchdog = 0;      ///< deadlock watchdog cycles (0 = default)
+    std::string policy;         ///< "trap" | "halt" | "throw" | "" (default)
+    bool counters = false;      ///< include registry counter JSON in job_done
+    /**
+     * Test hook: on the job's first attempt in a worker process, raise
+     * SIGKILL immediately after the N-th snapshot is written (0 = off).
+     * Exercises the crash/resume path deterministically.
+     */
+    int killAfterSnapshots = 0;
+};
+
+/**
+ * Parse one job object from a submit batch.
+ * @throws JsonError on missing/mistyped fields or unknown keys.
+ */
+JobSpec jobSpecFromJson(const JsonValue &v);
+
+/** Format a spec as one JSON object (inverse of jobSpecFromJson). */
+std::string jobSpecToJson(const JobSpec &spec);
+
+/**
+ * Resolve a spec to the experiment configuration it denotes. Pure:
+ * depends only on the spec (never on the environment).
+ * @throws std::invalid_argument for unknown names / policies.
+ */
+harness::ExperimentConfig resolveJobSpec(const JobSpec &spec);
+
+/** Canonical job hash: sha256 hex of canonicalJobBytes(resolved spec). */
+std::string jobHash(const harness::ExperimentConfig &config);
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_JOB_HPP

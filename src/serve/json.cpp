@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Minimal strict JSON parser + escape helper (json.hpp).
+ */
+
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace uksim::serve {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const char *what) const
+    {
+        throw JsonError(what, pos_);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            pos_++;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        pos_++;
+    }
+
+    bool consumeLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    JsonValue parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        skipWs();
+        const char c = peek();
+        switch (c) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.string = parseString();
+            return v;
+        }
+        case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return makeBool(true);
+        case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return makeBool(false);
+        case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return JsonValue{};
+        default:
+            return parseNumber();
+        }
+    }
+
+    static JsonValue makeBool(bool b)
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = b;
+        return v;
+    }
+
+    JsonValue parseObject(int depth)
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            pos_++;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.object[std::move(key)] = parseValue(depth + 1);
+            skipWs();
+            const char c = peek();
+            pos_++;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    JsonValue parseArray(int depth)
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            pos_++;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parseValue(depth + 1));
+            skipWs();
+            const char c = peek();
+            pos_++;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                const uint32_t cp = parseHex4();
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    uint32_t parseHex4()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; i++) {
+            if (pos_ >= text_.size())
+                fail("unterminated \\u escape");
+            const char c = text_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= uint32_t(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= uint32_t(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= uint32_t(c - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        return v;
+    }
+
+    static void appendUtf8(std::string &out, uint32_t cp)
+    {
+        // BMP only; surrogate pairs are not needed for protocol
+        // messages (the writer never emits them) and decode as two
+        // 3-byte sequences, which round-trips through our own writer.
+        if (cp < 0x80) {
+            out.push_back(char(cp));
+        } else if (cp < 0x800) {
+            out.push_back(char(0xc0 | (cp >> 6)));
+            out.push_back(char(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(char(0xe0 | (cp >> 12)));
+            out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(char(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        const size_t start = pos_;
+        if (peek() == '-')
+            pos_++;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            pos_++;
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + pos_;
+        auto [end, ec] = std::from_chars(first, last, v.number);
+        if (ec != std::errc() || end != last) {
+            pos_ = start;
+            fail("malformed number");
+        }
+        return v;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+} // anonymous namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->string : fallback;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isBool() ? v->boolean : fallback;
+}
+
+uint64_t
+JsonValue::u64Or(const std::string &key, uint64_t fallback) const
+{
+    const JsonValue *v = find(key);
+    if (!v || !v->isNumber() || v->number < 0)
+        return fallback;
+    return static_cast<uint64_t>(v->number);
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw JsonError("missing field '" + key + "'", 0);
+    return *v;
+}
+
+const std::string &
+JsonValue::stringAt(const std::string &key) const
+{
+    const JsonValue &v = at(key);
+    if (!v.isString())
+        throw JsonError("field '" + key + "' must be a string", 0);
+    return v.string;
+}
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace uksim::serve

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal JSON reader/writer for the serve wire protocol.
+ *
+ * The repository writes JSON by hand in several places (flight
+ * recorder, counter registry, analysis reports) but never had to *read*
+ * it until the serve subsystem's line-delimited request protocol and
+ * snapshot files. This is a small strict recursive-descent parser —
+ * objects, arrays, strings (with \uXXXX escapes), doubles/integers,
+ * bools, null — plus the escape helper the writers share. It is not a
+ * general-purpose library: inputs are single-line protocol messages and
+ * snapshot files we wrote ourselves, so limits are tight (64 levels of
+ * nesting) and errors are exceptions.
+ */
+
+#ifndef UKSIM_SERVE_JSON_HPP
+#define UKSIM_SERVE_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace uksim::serve {
+
+/** Error thrown for malformed JSON, with a byte offset in the message. */
+class JsonError : public std::runtime_error
+{
+  public:
+    JsonError(const std::string &what, size_t offset)
+        : std::runtime_error(what + " at offset " +
+                             std::to_string(offset)),
+          offset_(offset)
+    {
+    }
+    size_t offset() const { return offset_; }
+
+  private:
+    size_t offset_;
+};
+
+/** One parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /// Insertion order is not preserved; protocol fields are looked up
+    /// by name, never iterated positionally.
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isBool() const { return kind == Kind::Bool; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Typed member accessors with defaults (for optional fields). */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+    double numberOr(const std::string &key, double fallback) const;
+    bool boolOr(const std::string &key, bool fallback) const;
+    uint64_t u64Or(const std::string &key, uint64_t fallback) const;
+
+    /**
+     * Required-member accessors: throw JsonError(offset 0) naming the
+     * missing/mistyped key, so protocol handlers get one-line errors.
+     */
+    const JsonValue &at(const std::string &key) const;
+    const std::string &stringAt(const std::string &key) const;
+};
+
+/**
+ * Parse one complete JSON document; trailing non-whitespace is an
+ * error. @throws JsonError.
+ */
+JsonValue parseJson(std::string_view text);
+
+/** Escape @p s for embedding in a JSON string literal (no quotes added). */
+std::string jsonEscape(std::string_view s);
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_JSON_HPP

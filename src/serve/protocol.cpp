@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Protocol session implementation (protocol.hpp).
+ */
+
+#include "serve/protocol.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "serve/json.hpp"
+
+namespace uksim::serve {
+
+Session::Session(ServerEngine &engine, std::istream &in, std::ostream &out)
+    : engine_(engine), in_(in), out_(out)
+{
+}
+
+void
+Session::send(const std::string &line)
+{
+    // Flush per event: clients block on lines, and a worker crash on
+    // our side must not swallow buffered progress.
+    out_ << line << "\n" << std::flush;
+}
+
+void
+Session::handleSubmit(const JsonValue &request)
+{
+    const JsonValue *batch = request.find("batch");
+    if (!batch || !batch->isArray() || batch->array.empty()) {
+        send("{\"event\": \"error\", \"message\": \"submit needs a "
+             "non-empty batch array\"}");
+        return;
+    }
+    std::vector<JobSpec> jobs;
+    try {
+        for (const JsonValue &j : batch->array)
+            jobs.push_back(jobSpecFromJson(j));
+    } catch (const JsonError &e) {
+        send(std::string("{\"event\": \"error\", \"message\": \"") +
+             jsonEscape(e.what()) + "\"}");
+        return;
+    }
+    const std::string batchId = request.stringOr("batch_id", "");
+    {
+        std::ostringstream os;
+        os << "{\"event\": \"batch_accepted\", \"batch_id\": \""
+           << jsonEscape(batchId) << "\", \"jobs\": " << jobs.size()
+           << "}";
+        send(os.str());
+    }
+    const BatchManifest manifest = engine_.runBatch(
+        jobs, [this](const std::string &line) { send(line); });
+    std::ostringstream os;
+    os << "{\"event\": \"batch_done\", \"batch_id\": \""
+       << jsonEscape(batchId) << "\", \"manifest\": " << manifest.json()
+       << "}";
+    send(os.str());
+}
+
+bool
+Session::handleLine(const std::string &line)
+{
+    // Ignore blank lines so `printf '...\n\n'` style clients work.
+    if (line.find_first_not_of(" \t\r") == std::string::npos)
+        return true;
+    JsonValue request;
+    try {
+        request = parseJson(line);
+    } catch (const JsonError &e) {
+        send(std::string("{\"event\": \"error\", \"message\": \"") +
+             jsonEscape(e.what()) + "\"}");
+        return true;
+    }
+    const std::string op = request.stringOr("op", "");
+    if (op == "ping") {
+        send(std::string("{\"event\": \"pong\", \"schema\": \"") +
+             kProtocolSchema + "\"}");
+    } else if (op == "list") {
+        std::ostringstream os;
+        os << "{\"event\": \"configs\", \"names\": [";
+        bool first = true;
+        for (const std::string &name : harness::namedExperimentNames()) {
+            os << (first ? "" : ", ") << "\"" << name << "\"";
+            first = false;
+        }
+        os << "]}";
+        send(os.str());
+    } else if (op == "submit") {
+        handleSubmit(request);
+    } else if (op == "shutdown") {
+        send("{\"event\": \"shutdown\"}");
+        return false;
+    } else {
+        send(std::string("{\"event\": \"error\", \"message\": \"unknown "
+                         "op: ") +
+             jsonEscape(op) + "\"}");
+    }
+    return true;
+}
+
+bool
+Session::run()
+{
+    std::string line;
+    while (std::getline(in_, line)) {
+        if (!handleLine(line))
+            return true;
+    }
+    return false;
+}
+
+} // namespace uksim::serve

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Line-delimited JSON request protocol ("ukserve-json-1").
+ *
+ * One request per line, one or more single-line JSON events back:
+ *
+ *   {"op": "ping"}
+ *     -> {"event": "pong", "schema": "ukserve-json-1"}
+ *   {"op": "list"}
+ *     -> {"event": "configs", "names": ["pdom_conference", ...]}
+ *   {"op": "submit", "batch": [<job>...], "batch_id": "optional"}
+ *     -> {"event": "batch_accepted", "batch_id": ..., "jobs": N}
+ *        per-job streams: job_started / progress / snapshot /
+ *        job_resumed / worker_crashed / snapshot_rejected /
+ *        job_done / job_failed
+ *     -> {"event": "batch_done", "batch_id": ..., "manifest": {...}}
+ *   {"op": "shutdown"}
+ *     -> {"event": "shutdown"}  (and the session loop returns)
+ *
+ * Job objects are serve/job.hpp specs. A malformed line or unknown op
+ * produces {"event": "error", "message": ...} and the session keeps
+ * serving — one bad request must not kill a batch client.
+ *
+ * Session is transport-agnostic: it reads an istream and writes an
+ * ostream, so the same code serves the daemon's stdin pipe mode, a
+ * TCP connection (serve/tcp.hpp) and in-memory stringstream tests.
+ */
+
+#ifndef UKSIM_SERVE_PROTOCOL_HPP
+#define UKSIM_SERVE_PROTOCOL_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/engine.hpp"
+
+namespace uksim::serve {
+
+/// Wire protocol schema identifier; bump when the grammar changes.
+inline constexpr const char *kProtocolSchema = "ukserve-json-1";
+
+/** One client session over a line stream (see file header). */
+class Session
+{
+  public:
+    Session(ServerEngine &engine, std::istream &in, std::ostream &out);
+
+    /**
+     * Serve requests until EOF or a shutdown op.
+     * @return true when the client requested shutdown (the daemon's
+     *         TCP accept loop exits), false on plain EOF.
+     */
+    bool run();
+
+    /**
+     * Handle one request line (empty lines are ignored).
+     * @return false when the line was a shutdown request.
+     */
+    bool handleLine(const std::string &line);
+
+  private:
+    void send(const std::string &line);
+    void handleSubmit(const class JsonValue &request);
+
+    ServerEngine &engine_;
+    std::istream &in_;
+    std::ostream &out_;
+};
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_PROTOCOL_HPP

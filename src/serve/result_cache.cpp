@@ -1,0 +1,126 @@
+/**
+ * @file
+ * On-disk result cache implementation (result_cache.hpp).
+ *
+ * Entry file layout (all integers little-endian):
+ *   bytes 0..7    magic "ukcache1"
+ *   bytes 8..15   payload length
+ *   bytes 16..    payload
+ *   last 32 bytes sha256(payload)
+ */
+
+#include "serve/result_cache.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "serve/sha256.hpp"
+
+namespace uksim::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'u', 'k', 'c', 'a', 'c', 'h', 'e', '1'};
+
+} // anonymous namespace
+
+ResultCache::ResultCache(std::string dir)
+    : dir_(std::move(dir))
+{
+}
+
+std::string
+ResultCache::entryPath(const std::string &hash) const
+{
+    // Shard by the leading hash byte so a big cache does not put tens
+    // of thousands of files in one directory.
+    return dir_ + "/" + hash.substr(0, 2) + "/" + hash + ".result";
+}
+
+std::optional<std::vector<uint8_t>>
+ResultCache::load(const std::string &hash) const
+{
+    if (!enabled())
+        return std::nullopt;
+    std::ifstream in(entryPath(hash), std::ios::binary);
+    if (!in) {
+        stats_.misses++;
+        return std::nullopt;
+    }
+    std::vector<uint8_t> file((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    const size_t overhead = sizeof(kMagic) + 8 + 32;
+    if (file.size() < overhead ||
+        std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+        stats_.corrupt++;
+        return std::nullopt;
+    }
+    uint64_t len = 0;
+    for (int i = 0; i < 8; i++)
+        len |= uint64_t(file[sizeof(kMagic) + i]) << (8 * i);
+    if (len != file.size() - overhead) {
+        stats_.corrupt++;
+        return std::nullopt;
+    }
+    std::vector<uint8_t> payload(file.begin() + sizeof(kMagic) + 8,
+                                 file.end() - 32);
+    const std::string digest = sha256Hex(payload);
+    std::string stored;
+    stored.reserve(64);
+    static const char *hex = "0123456789abcdef";
+    for (size_t i = file.size() - 32; i < file.size(); i++) {
+        stored.push_back(hex[file[i] >> 4]);
+        stored.push_back(hex[file[i] & 0xf]);
+    }
+    if (digest != stored) {
+        stats_.corrupt++;
+        return std::nullopt;
+    }
+    stats_.hits++;
+    return payload;
+}
+
+void
+ResultCache::store(const std::string &hash,
+                   const std::vector<uint8_t> &payload)
+{
+    if (!enabled())
+        return;
+    const std::string path = entryPath(hash);
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+
+    std::vector<uint8_t> file;
+    file.reserve(sizeof(kMagic) + 8 + payload.size() + 32);
+    file.insert(file.end(), kMagic, kMagic + sizeof(kMagic));
+    const uint64_t len = payload.size();
+    for (int i = 0; i < 8; i++)
+        file.push_back(uint8_t(len >> (8 * i)));
+    file.insert(file.end(), payload.begin(), payload.end());
+
+    Sha256 h;
+    h.update(payload.data(), payload.size());
+    const auto digest = h.digest();
+    file.insert(file.end(), digest.begin(), digest.end());
+
+    // Unique-per-process temp name; rename is atomic within the dir.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(uint64_t(::getpid()));
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("cache: cannot write " + tmp);
+    out.write(reinterpret_cast<const char *>(file.data()),
+              std::streamsize(file.size()));
+    out.close();
+    if (!out)
+        throw std::runtime_error("cache: short write " + tmp);
+    std::filesystem::rename(tmp, path);
+    stats_.stores++;
+}
+
+} // namespace uksim::serve

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Content-addressed on-disk cache of experiment results.
+ *
+ * Entries are keyed by the canonical job hash (serve/job.hpp): the
+ * sha256 of the versioned byte serialization of (assembled program,
+ * scene identity + kd-tree build parameters, resolved GpuConfig). The
+ * engine is bit-deterministic over everything the hash excludes (host
+ * thread count, fast-forward, observability), so a hit can be returned
+ * byte-for-byte in place of a run.
+ *
+ * Entry files carry a magic header, payload length and a sha256
+ * digest of the payload. A truncated, corrupted or hand-poisoned
+ * entry fails verification and reads as a miss — the job simply
+ * recomputes and rewrites the entry; the cache can never serve bytes
+ * it cannot prove it stored. Writes go through a temp file + rename
+ * in the same directory, so concurrent workers racing on one entry
+ * at worst both write the same (deterministic) bytes.
+ */
+
+#ifndef UKSIM_SERVE_RESULT_CACHE_HPP
+#define UKSIM_SERVE_RESULT_CACHE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uksim::serve {
+
+/** On-disk content-addressed result store. */
+class ResultCache
+{
+  public:
+    /** Counters for manifest / test assertions. */
+    struct Stats {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t stores = 0;
+        uint64_t corrupt = 0;   ///< entries that failed verification
+    };
+
+    /**
+     * @param dir cache root, created on first store; empty string
+     *            disables the cache (every load is a miss, stores are
+     *            dropped).
+     */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Path an entry for @p hash lives at (whether or not it exists). */
+    std::string entryPath(const std::string &hash) const;
+
+    /**
+     * Fetch and verify an entry. Returns the payload on a verified
+     * hit; nullopt on miss or on a corrupt entry (counted separately).
+     */
+    std::optional<std::vector<uint8_t>> load(const std::string &hash) const;
+
+    /** Atomically write an entry (temp file + rename). */
+    void store(const std::string &hash,
+               const std::vector<uint8_t> &payload);
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    std::string dir_;
+    mutable Stats stats_;
+};
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_RESULT_CACHE_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SHA-256 for the serve subsystem's content addressing.
+ *
+ * The result cache keys entries by a canonical job hash and verifies
+ * stored payloads against a digest of their bytes; both need a hash
+ * that is stable across runs, platforms and endianness, with enough
+ * collision resistance that distinct jobs can never alias a cache
+ * entry. Straight FIPS 180-4 SHA-256, no dependencies; correctness is
+ * pinned by the standard test vectors in tests/test_serialize.cpp.
+ */
+
+#ifndef UKSIM_SERVE_SHA256_HPP
+#define UKSIM_SERVE_SHA256_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uksim::serve {
+
+/** Incremental SHA-256 (FIPS 180-4). */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(const void *data, size_t len);
+    void update(std::string_view s) { update(s.data(), s.size()); }
+    void update(const std::vector<uint8_t> &v) { update(v.data(), v.size()); }
+
+    /** Finalize and return the 32-byte digest (object must be reset after). */
+    std::array<uint8_t, 32> digest();
+
+    /** Finalize and return the digest as 64 lowercase hex characters. */
+    std::string hexDigest();
+
+  private:
+    void processBlock(const uint8_t *block);
+
+    std::array<uint32_t, 8> state_;
+    uint64_t totalBytes_ = 0;
+    std::array<uint8_t, 64> buffer_;
+    size_t bufferLen_ = 0;
+};
+
+/** One-shot digest of @p len bytes as lowercase hex. */
+std::string sha256Hex(const void *data, size_t len);
+inline std::string sha256Hex(std::string_view s)
+{
+    return sha256Hex(s.data(), s.size());
+}
+inline std::string sha256Hex(const std::vector<uint8_t> &v)
+{
+    return sha256Hex(v.data(), v.size());
+}
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_SHA256_HPP

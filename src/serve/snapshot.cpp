@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Snapshot serialization (snapshot.hpp).
+ */
+
+#include "serve/snapshot.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "serve/json.hpp"
+
+namespace uksim::serve {
+
+std::string
+snapshotToJson(const Snapshot &snap)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"" << kSnapshotSchema << "\""
+       << ", \"job\": \"" << jsonEscape(snap.jobHash) << "\""
+       << ", \"cycle\": " << snap.cycle
+       << ", \"chunk_cycles\": " << snap.chunkCycles
+       << ", \"index\": " << snap.index
+       << ", \"state_sha256\": \"" << jsonEscape(snap.stateSha256) << "\""
+       << ", \"items\": " << snap.itemsCompleted << "}";
+    return os.str();
+}
+
+Snapshot
+snapshotFromJson(std::string_view text)
+{
+    const JsonValue v = parseJson(text);
+    if (v.stringOr("schema", "") != kSnapshotSchema)
+        throw JsonError("snapshot schema is not uksnap-json-1", 0);
+    Snapshot snap;
+    snap.jobHash = v.stringAt("job");
+    snap.cycle = v.u64Or("cycle", 0);
+    snap.chunkCycles = v.u64Or("chunk_cycles", 0);
+    snap.index = v.u64Or("index", 0);
+    snap.stateSha256 = v.stringAt("state_sha256");
+    snap.itemsCompleted = v.u64Or("items", 0);
+    if (snap.cycle == 0 || snap.chunkCycles == 0)
+        throw JsonError("snapshot missing cycle / chunk_cycles", 0);
+    return snap;
+}
+
+void
+writeSnapshotFile(const std::string &path, const Snapshot &snap)
+{
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+    const std::string tmp =
+        path + ".tmp." + std::to_string(uint64_t(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << snapshotToJson(snap) << "\n";
+    }
+    std::filesystem::rename(tmp, path);
+}
+
+std::optional<Snapshot>
+readSnapshotFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    try {
+        return snapshotFromJson(buf.str());
+    } catch (const JsonError &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace uksim::serve

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Job snapshots for crash recovery.
+ *
+ * The engine is bit-deterministic, so a snapshot does not need to
+ * serialize microarchitectural state: it records *where* a run was
+ * (job hash, cycle, chunk cadence) plus a sha256 fingerprint of the
+ * flight-recorder dump at that cycle. Resume replays the job with the
+ * same chunk cadence up to the snapshot cycle, re-dumps, and verifies
+ * the fingerprint matches before continuing — proving bit-identical
+ * re-execution rather than assuming it. A fingerprint mismatch (e.g.
+ * the binary or scene changed under the spool) rejects the snapshot
+ * and the job restarts from scratch.
+ *
+ * Snapshot files are single-line JSON with a versioned "schema" field
+ * ("uksnap-json-1"), written atomically (temp + rename) so a crash
+ * mid-write leaves either the previous snapshot or none.
+ */
+
+#ifndef UKSIM_SERVE_SNAPSHOT_HPP
+#define UKSIM_SERVE_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace uksim::serve {
+
+/// Snapshot schema identifier; bump when the format changes shape.
+inline constexpr const char *kSnapshotSchema = "uksnap-json-1";
+
+/** One recovery point of a running job. */
+struct Snapshot {
+    std::string jobHash;        ///< canonical job hash (serve/job.hpp)
+    uint64_t cycle = 0;         ///< simulated cycle the snapshot was taken at
+    uint64_t chunkCycles = 0;   ///< pause cadence used (resume must match)
+    uint64_t index = 0;         ///< 1-based count of snapshots written
+    std::string stateSha256;    ///< sha256 hex of Gpu::dumpState at cycle
+    uint64_t itemsCompleted = 0;///< progress indicator for events
+};
+
+/** Format as one single-line JSON object. */
+std::string snapshotToJson(const Snapshot &snap);
+
+/**
+ * Parse a snapshot document.
+ * @throws JsonError on malformed JSON or a wrong/missing schema field.
+ */
+Snapshot snapshotFromJson(std::string_view text);
+
+/** Atomically write @p snap to @p path (temp file + rename). */
+void writeSnapshotFile(const std::string &path, const Snapshot &snap);
+
+/**
+ * Read and parse a snapshot file; nullopt when the file is missing or
+ * unparsable (a torn or stale snapshot degrades to a fresh start, it
+ * never aborts recovery).
+ */
+std::optional<Snapshot> readSnapshotFile(const std::string &path);
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_SNAPSHOT_HPP

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * TCP transport implementation (tcp.hpp).
+ *
+ * Sessions are stream-based, so the connection fd is wrapped in a
+ * small read/write streambuf instead of teaching the protocol about
+ * sockets.
+ */
+
+#include "serve/tcp.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <streambuf>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+
+namespace uksim::serve {
+
+namespace {
+
+/** Bidirectional streambuf over one connected socket fd. */
+class FdStreamBuf : public std::streambuf
+{
+  public:
+    explicit FdStreamBuf(int fd)
+        : fd_(fd)
+    {
+        setg(rbuf_, rbuf_, rbuf_);
+        setp(wbuf_, wbuf_ + sizeof(wbuf_));
+    }
+
+  protected:
+    int_type
+    underflow() override
+    {
+        if (gptr() < egptr())
+            return traits_type::to_int_type(*gptr());
+        ssize_t n;
+        do {
+            n = ::read(fd_, rbuf_, sizeof(rbuf_));
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return traits_type::eof();
+        setg(rbuf_, rbuf_, rbuf_ + n);
+        return traits_type::to_int_type(*gptr());
+    }
+
+    int_type
+    overflow(int_type ch) override
+    {
+        if (flushWrite() != 0)
+            return traits_type::eof();
+        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+            *pptr() = traits_type::to_char_type(ch);
+            pbump(1);
+        }
+        return traits_type::not_eof(ch);
+    }
+
+    int
+    sync() override
+    {
+        return flushWrite();
+    }
+
+  private:
+    int
+    flushWrite()
+    {
+        const char *p = pbase();
+        while (p < pptr()) {
+            ssize_t n;
+            do {
+                n = ::write(fd_, p, size_t(pptr() - p));
+            } while (n < 0 && errno == EINTR);
+            if (n <= 0)
+                return -1;
+            p += n;
+        }
+        setp(wbuf_, wbuf_ + sizeof(wbuf_));
+        return 0;
+    }
+
+    int fd_;
+    char rbuf_[4096];
+    char wbuf_[4096];
+};
+
+} // anonymous namespace
+
+TcpServer::TcpServer(ServerEngine &engine, uint16_t port)
+    : engine_(engine)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("serve: socket() failed");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 4) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("serve: cannot listen on 127.0.0.1:" +
+                                 std::to_string(port));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpServer::~TcpServer()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+void
+TcpServer::serve()
+{
+    for (;;) {
+        int fd;
+        do {
+            fd = ::accept(listenFd_, nullptr, nullptr);
+        } while (fd < 0 && errno == EINTR);
+        if (fd < 0)
+            throw std::runtime_error("serve: accept() failed");
+        bool shutdown = false;
+        {
+            FdStreamBuf buf(fd);
+            std::istream in(&buf);
+            std::ostream out(&buf);
+            Session session(engine_, in, out);
+            shutdown = session.run();
+            out.flush();
+        }
+        ::close(fd);
+        if (shutdown)
+            return;
+    }
+}
+
+} // namespace uksim::serve

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal TCP transport for the serve protocol.
+ *
+ * Binds a loopback listening socket and serves protocol sessions
+ * (serve/protocol.hpp) one connection at a time — batch jobs already
+ * parallelize through the worker pool, so connection concurrency
+ * buys nothing and would let two batches race on one cache. Port 0
+ * picks an ephemeral port; port() reports the bound one, which the
+ * daemon prints so scripts can connect.
+ *
+ * Loopback only by design: the protocol has no authentication, so it
+ * must not be reachable off-host.
+ */
+
+#ifndef UKSIM_SERVE_TCP_HPP
+#define UKSIM_SERVE_TCP_HPP
+
+#include <cstdint>
+
+#include "serve/engine.hpp"
+
+namespace uksim::serve {
+
+/** Loopback TCP accept loop over protocol Sessions. */
+class TcpServer
+{
+  public:
+    /**
+     * Bind and listen on 127.0.0.1:@p port (0 = ephemeral).
+     * @throws std::runtime_error on socket/bind/listen failure.
+     */
+    TcpServer(ServerEngine &engine, uint16_t port);
+    ~TcpServer();
+
+    TcpServer(const TcpServer &) = delete;
+    TcpServer &operator=(const TcpServer &) = delete;
+
+    /** The actually-bound port. */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Accept and serve connections until a client sends the shutdown
+     * op (clean daemon exit path).
+     */
+    void serve();
+
+  private:
+    ServerEngine &engine_;
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+};
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_TCP_HPP

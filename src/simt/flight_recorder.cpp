@@ -18,6 +18,13 @@ namespace uksim {
 
 namespace {
 
+/**
+ * Versioned schema tag, mirroring ukverify's "ukverify-json-1": any
+ * field addition, removal or rename must bump this string (and the
+ * numeric version), because the snapshot/resume layer fingerprints
+ * whole dumps and the ukdump golden ctest pins the byte layout.
+ */
+constexpr const char *kDumpSchema = "ukdump-json-1";
 constexpr int kDumpVersion = 1;
 /// Tail of the event ring included in the dump.
 constexpr size_t kDumpLastEvents = 256;
@@ -47,6 +54,7 @@ Gpu::dumpState(std::ostream &os) const
     const SimStats &chip = stats();
 
     os << "{\n";
+    os << "  \"schema\": \"" << kDumpSchema << "\",\n";
     os << "  \"version\": " << kDumpVersion << ",\n";
     os << "  \"cycle\": " << cycle_ << ",\n";
     os << "  \"outcome\": \"" << runOutcomeName(outcome()) << "\",\n";

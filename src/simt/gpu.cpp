@@ -447,7 +447,7 @@ Gpu::fastForwardIdleSpan()
             return;
     }
 
-    uint64_t target = std::min(wake, config_.maxCycles);
+    uint64_t target = std::min({wake, config_.maxCycles, runStop_});
 
     // Watchdog fidelity: with no event in flight, naive stepping counts
     // every span cycle as no-progress, so cap the jump at the exact trip
@@ -509,13 +509,32 @@ Gpu::processFaults()
 const SimStats &
 Gpu::run()
 {
+    return runUntil(config_.maxCycles);
+}
+
+const SimStats &
+Gpu::runUntil(uint64_t stopCycle)
+{
     if (!launched_)
         throw std::runtime_error("run before launch");
-    while (cycle_ < config_.maxCycles && !finished() && !haltRequested_ &&
+    // Bound the fast-forward jump target too: a pause boundary must be
+    // hit exactly, or snapshot replay could not land on the recorded
+    // cycle. Splitting one idle jump into jump-to-stop + resume leaves
+    // every SimStats observable bit-identical (idle-span accounting is
+    // additive over any partition of the span); only the engine-side
+    // FastForwardStats (jump count, largest jump) can differ, and those
+    // are outside the identity contract by design.
+    runStop_ = stopCycle;
+    const uint64_t stop = std::min(stopCycle, config_.maxCycles);
+    while (cycle_ < stop && !finished() && !haltRequested_ &&
            !deadlocked_) {
         stepCycle();
     }
-    ranToCompletion_ = finished();
+    runStop_ = UINT64_MAX;
+    if (cycle_ >= config_.maxCycles || finished() || haltRequested_ ||
+        deadlocked_) {
+        ranToCompletion_ = finished();
+    }
     return stats();
 }
 

@@ -98,6 +98,18 @@ class Gpu : public SmServices
      */
     const SimStats &run();
 
+    /**
+     * Simulate until @p stopCycle (clamped to config.maxCycles), the
+     * grid drains, or a halt/deadlock verdict — whichever comes first.
+     * The engine lands on @p stopCycle exactly (fast-forward jumps are
+     * capped at it), so a caller can pause, snapshot the machine via
+     * dumpState, and continue with another runUntil: the interleaving
+     * is bit-identical to one uninterrupted run(). This is the
+     * chunked-execution primitive behind the serve subsystem's
+     * snapshot/resume (src/serve/executor.hpp).
+     */
+    const SimStats &runUntil(uint64_t stopCycle);
+
     /** Single-step one cycle (exposed for tests). */
     void stepCycle();
 
@@ -250,6 +262,9 @@ class Gpu : public SmServices
     // --- Idle-cycle fast-forward (config.fastForward / UKSIM_FASTFWD) ------
     bool fastForward_ = true;
     FastForwardStats ffStats_;
+    /// Pause boundary of the active runUntil (UINT64_MAX outside one):
+    /// fast-forward jumps may not overshoot it.
+    uint64_t runStop_ = UINT64_MAX;
 };
 
 } // namespace uksim

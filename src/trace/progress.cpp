@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-job progress sampling (progress.hpp).
+ */
+
+#include "trace/progress.hpp"
+
+#include <sstream>
+
+#include "simt/stats.hpp"
+#include "trace/registry.hpp"
+
+namespace uksim::trace {
+
+void
+ProgressSeries::record(const SimStats &stats, uint64_t cyclesSkipped)
+{
+    ProgressSample s;
+    s.cycle = stats.cycles;
+    s.itemsCompleted = stats.itemsCompleted;
+    s.laneInstructions = stats.laneInstructions;
+    s.warpIssues = stats.warpIssues;
+    s.cyclesSkipped = cyclesSkipped;
+    samples_.push_back(s);
+}
+
+namespace {
+
+void
+sampleFields(std::ostream &os, const ProgressSample &s)
+{
+    const double ipc =
+        s.cycle ? double(s.laneInstructions) / double(s.cycle) : 0.0;
+    os << "\"cycle\": " << s.cycle << ", \"items\": " << s.itemsCompleted
+       << ", \"instructions\": " << s.laneInstructions
+       << ", \"ipc\": " << Registry::formatValue(ipc);
+}
+
+} // anonymous namespace
+
+std::string
+ProgressSeries::lastSampleFields() const
+{
+    std::ostringstream os;
+    if (!samples_.empty())
+        sampleFields(os, samples_.back());
+    return os.str();
+}
+
+std::string
+ProgressSeries::json() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < samples_.size(); i++) {
+        os << (i ? ", " : "") << "{";
+        sampleFields(os, samples_[i]);
+        os << ", \"cycles_skipped\": " << samples_[i].cyclesSkipped << "}";
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace uksim::trace

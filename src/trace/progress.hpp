@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-job progress sampling for the serve subsystem.
+ *
+ * A ProgressSeries records one sample per execution chunk (the pause
+ * points Gpu::runUntil lands on) from the live SimStats — cycles, items
+ * completed, instructions, fast-forward skip counters — and formats
+ * single-line JSON progress events for the wire protocol plus a
+ * compact series array for batch manifests. It reuses the counter
+ * registry's number formatting so a progress stream and a registry
+ * dump never disagree on how a value prints.
+ *
+ * Sampling is observation-only by construction: it reads the merged
+ * SimStats view and never touches engine state.
+ */
+
+#ifndef UKSIM_TRACE_PROGRESS_HPP
+#define UKSIM_TRACE_PROGRESS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uksim {
+struct SimStats;
+}
+
+namespace uksim::trace {
+
+/** One progress sample at a chunk boundary. */
+struct ProgressSample {
+    uint64_t cycle = 0;
+    uint64_t itemsCompleted = 0;
+    uint64_t laneInstructions = 0;
+    uint64_t warpIssues = 0;
+    uint64_t cyclesSkipped = 0;     ///< fast-forward skips so far
+};
+
+/** Chunk-boundary progress recorder with JSON export. */
+class ProgressSeries
+{
+  public:
+    /** Record one sample from the live merged stats. */
+    void record(const SimStats &stats, uint64_t cyclesSkipped);
+
+    const std::vector<ProgressSample> &samples() const { return samples_; }
+    bool empty() const { return samples_.empty(); }
+
+    /**
+     * The latest sample as one protocol event payload fragment:
+     * `"cycle": N, "items": N, "instructions": N, "ipc": X` (no braces,
+     * so callers can splice job attribution around it).
+     */
+    std::string lastSampleFields() const;
+
+    /** The whole series as a JSON array of sample objects. */
+    std::string json() const;
+
+  private:
+    std::vector<ProgressSample> samples_;
+};
+
+} // namespace uksim::trace
+
+#endif // UKSIM_TRACE_PROGRESS_HPP

@@ -1,0 +1,52 @@
+# Golden-file test for the flight-recorder dump schema: a pinned tiny
+# run's `ukdump` output must match the checked-in expectation byte for
+# byte (the engine's identity contract makes the dump deterministic;
+# the schema field "ukdump-json-1" versions the format). Regenerate
+# deliberately after a schema bump with:
+#     UKSIM_SMS=2 UKSIM_RES=16 UKSIM_DETAIL=2 UKSIM_FASTFWD=1 \
+#     UKSIM_THREADS=1 build/tools/ukdump \
+#         --config uk_conference --cycles 3000 \
+#         --out tests/data/ukdump_small.expected.json
+#
+# Usage:
+#   cmake -DTOOL=<ukdump> -DEXPECTED=<abs path> -DWORKDIR=<dir>
+#         -P dump_golden.cmake
+foreach(var TOOL EXPECTED WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "dump_golden.cmake needs -D${var}")
+    endif()
+endforeach()
+
+set(ENV{UKSIM_SMS} 2)
+set(ENV{UKSIM_RES} 16)
+set(ENV{UKSIM_DETAIL} 2)
+# The dump's fast_forward block reports engine-side FF counters, which
+# are legitimately outside the identity contract — pin the knobs the
+# CI matrix varies so the bytes stay golden in every leg.
+set(ENV{UKSIM_FASTFWD} 1)
+set(ENV{UKSIM_THREADS} 1)
+execute_process(
+    COMMAND ${TOOL} --config uk_conference --cycles 3000
+            --out ${WORKDIR}/ukdump_golden_test.dump.json
+    WORKING_DIRECTORY ${WORKDIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${TOOL} exited ${rc}\n${out}\n${err}")
+endif()
+
+file(READ ${WORKDIR}/ukdump_golden_test.dump.json got)
+file(READ ${EXPECTED} want)
+if(NOT got STREQUAL want)
+    message(FATAL_ERROR
+            "flight-recorder dump drifted from ${EXPECTED} — if the "
+            "schema changed deliberately, bump kDumpSchema and "
+            "regenerate (see header of this script).")
+endif()
+
+# Belt and braces: the schema marker itself must be present and first.
+string(FIND "${got}" "\"schema\": \"ukdump-json-1\"" pos)
+if(pos EQUAL -1)
+    message(FATAL_ERROR "dump is missing the ukdump-json-1 schema field")
+endif()

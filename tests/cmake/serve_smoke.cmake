@@ -1,0 +1,71 @@
+# End-to-end serve smoke over pipe mode: compose a 3-job batch with
+# one duplicate via `uksim-submit --emit`, feed it to `uksim-serve
+# --pipe` against a fresh cache, and assert the manifest reports
+# exactly one cache hit, two computed jobs, zero failures, and that
+# the session ended with a clean shutdown event.
+#
+# Usage:
+#   cmake -DSUBMIT=<exe> -DSERVE=<exe> -DWORKDIR=<dir> [-DWORKERS=<n>]
+#         -P serve_smoke.cmake
+foreach(var SUBMIT SERVE WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "serve_smoke.cmake needs -D${var}")
+    endif()
+endforeach()
+if(NOT DEFINED WORKERS)
+    set(WORKERS 0)
+endif()
+
+set(scratch ${WORKDIR}/serve_smoke_w${WORKERS})
+file(REMOVE_RECURSE ${scratch})
+file(MAKE_DIRECTORY ${scratch})
+
+# A deliberately tiny job (2 SMs, 16x16 rays, 6000-cycle cap); the
+# third entry repeats the first with a different label, so it must
+# dedupe to a cache hit, not a third simulation.
+set(job --cycles 6000 --detail 2 --res 16 --sms 2)
+execute_process(
+    COMMAND ${SUBMIT} --emit --batch-id smoke --shutdown
+            --job uk_conference ${job}
+            --job pdom_conference ${job}
+            --job uk_conference --label uk_conference_again ${job}
+    OUTPUT_FILE ${scratch}/request.ndjson
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "uksim-submit --emit exited ${rc}\n${err}")
+endif()
+
+execute_process(
+    COMMAND ${SERVE} --pipe --cache ${scratch}/cache
+            --workers ${WORKERS} --snapshot-cycles 2000
+    INPUT_FILE ${scratch}/request.ndjson
+    OUTPUT_VARIABLE out
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "uksim-serve --pipe exited ${rc}\n${err}\n${out}")
+endif()
+
+foreach(needle
+        "\"cache_hits\": 1"
+        "\"computed\": 2"
+        "\"failed\": 0"
+        "{\"event\": \"shutdown\"}")
+    string(FIND "${out}" "${needle}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR
+                "serve smoke output is missing '${needle}':\n${out}")
+    endif()
+endforeach()
+
+# The duplicate's job_done must be a hit with the same result digest
+# as the job it duplicates — count job_done hit events, not just the
+# manifest tally.
+string(REGEX MATCHALL "\"event\": \"job_done\"[^\n]*\"cache\": \"hit\""
+       hits "${out}")
+list(LENGTH hits nhits)
+if(NOT nhits EQUAL 1)
+    message(FATAL_ERROR
+            "expected exactly 1 job_done cache hit, got ${nhits}:\n${out}")
+endif()

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Result-cache integrity tests (src/serve/result_cache.hpp).
+ *
+ * The cache must never serve bytes it cannot verify: a flipped byte, a
+ * truncated file or a wrong magic all read as misses (counted as
+ * corrupt) so the engine recomputes and rewrites the entry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/result_cache.hpp"
+
+using namespace uksim::serve;
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::string kHash =
+    "cbe78789519e4320ada6b5df456e3a6c176fac9f0874d24625efddc54cb154e5";
+
+std::vector<uint8_t>
+samplePayload()
+{
+    std::vector<uint8_t> payload;
+    for (int i = 0; i < 300; i++)
+        payload.push_back(static_cast<uint8_t>(i * 7 + 3));
+    return payload;
+}
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("uksim_cache_test_" + std::to_string(::getpid()));
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    fs::path dir_;
+};
+
+} // anonymous namespace
+
+TEST_F(ResultCacheTest, StoreThenLoadRoundTrips)
+{
+    ResultCache cache(dir_.string());
+    ASSERT_TRUE(cache.enabled());
+    const std::vector<uint8_t> payload = samplePayload();
+
+    EXPECT_FALSE(cache.load(kHash).has_value());
+    cache.store(kHash, payload);
+    const auto loaded = cache.load(kHash);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, payload);
+
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+TEST_F(ResultCacheTest, EntryPathShardsByHashPrefix)
+{
+    ResultCache cache(dir_.string());
+    const std::string path = cache.entryPath(kHash);
+    // <dir>/<first two hex chars>/<hash>.result
+    EXPECT_NE(path.find((dir_ / kHash.substr(0, 2)).string()),
+              std::string::npos);
+    EXPECT_NE(path.find(kHash + ".result"), std::string::npos);
+}
+
+TEST_F(ResultCacheTest, FlippedPayloadByteReadsAsCorruptMiss)
+{
+    ResultCache cache(dir_.string());
+    cache.store(kHash, samplePayload());
+
+    // Poison one payload byte past the fixed header.
+    const std::string path = cache.entryPath(kHash);
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(20);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x40;
+    f.seekp(20);
+    f.write(&byte, 1);
+    f.close();
+
+    EXPECT_FALSE(cache.load(kHash).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+
+    // Recompute path: the engine just stores again, and the entry heals.
+    cache.store(kHash, samplePayload());
+    const auto healed = cache.load(kHash);
+    ASSERT_TRUE(healed.has_value());
+    EXPECT_EQ(*healed, samplePayload());
+}
+
+TEST_F(ResultCacheTest, TruncatedEntryReadsAsCorruptMiss)
+{
+    ResultCache cache(dir_.string());
+    cache.store(kHash, samplePayload());
+
+    const std::string path = cache.entryPath(kHash);
+    const auto size = fs::file_size(path);
+    fs::resize_file(path, size / 2);
+
+    EXPECT_FALSE(cache.load(kHash).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+TEST_F(ResultCacheTest, WrongMagicReadsAsCorruptMiss)
+{
+    ResultCache cache(dir_.string());
+    cache.store(kHash, samplePayload());
+
+    const std::string path = cache.entryPath(kHash);
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(0);
+    f.write("XX", 2);
+    f.close();
+
+    EXPECT_FALSE(cache.load(kHash).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+TEST_F(ResultCacheTest, EmptyDirDisablesTheCache)
+{
+    ResultCache cache("");
+    EXPECT_FALSE(cache.enabled());
+    cache.store(kHash, samplePayload());    // dropped, no filesystem writes
+    EXPECT_FALSE(cache.load(kHash).has_value());
+    EXPECT_EQ(cache.stats().stores, 0u);
+}
+
+TEST_F(ResultCacheTest, DistinctHashesGetDistinctEntries)
+{
+    ResultCache cache(dir_.string());
+    const std::string other =
+        "86472a5c90f5d94a9b9e3eb1a7480fe6632f70fc6b5bb93d6305954eafde5d5a";
+    std::vector<uint8_t> a = samplePayload();
+    std::vector<uint8_t> b = samplePayload();
+    b[0] ^= 0xff;
+    cache.store(kHash, a);
+    cache.store(other, b);
+    EXPECT_EQ(*cache.load(kHash), a);
+    EXPECT_EQ(*cache.load(other), b);
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Canonical serialization + job-hash tests (src/harness/serialize.hpp).
+ *
+ * The content-addressed result cache is only sound if the canonical
+ * job hash (a) is identical for identical configurations, (b) changes
+ * when ANY semantic field changes, and (c) does NOT change for the
+ * engine knobs the identity contract proves bit-neutral (host
+ * threads, fast-forward, verification, observability). These tests
+ * enumerate that contract field by field, pin golden digests so the
+ * byte format cannot drift silently, and round-trip a real result
+ * payload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/serialize.hpp"
+#include "serve/job.hpp"
+#include "serve/sha256.hpp"
+
+using namespace uksim;
+using namespace uksim::harness;
+
+namespace {
+
+/// Pinned sha256 of canonicalJobBytes(smallExperiment(), minimal
+/// hand-built program). Moves ONLY when the uksim-job-1 byte format
+/// changes; regenerate deliberately alongside a kJobBytesSchema bump
+/// (the failing test prints the new digest).
+constexpr const char *kGoldenJobBytesDigest =
+    "11caf42e9a4c56167a519f8bc9590c9975bcfbc39416cc8c91019dcfc6cb5588";
+
+ExperimentConfig
+smallExperiment()
+{
+    ExperimentConfig config = namedExperiment("uk_conference");
+    config.maxCycles = 4000;
+    config.sceneParams.detail = 2;
+    config.sceneParams.imageWidth = 16;
+    config.sceneParams.imageHeight = 16;
+    config.baseConfig.numSms = 2;
+    return config;
+}
+
+struct Perturbation {
+    const char *name;
+    std::function<void(ExperimentConfig &)> apply;
+};
+
+/// Every semantic field of the job identity, one mutation each. The
+/// four experiment-level fields that override baseConfig (scheduling,
+/// bank conflicts, ideal memory, cycle budget) are perturbed at the
+/// experiment level — resolvedGpuConfig would overwrite a baseConfig
+/// perturbation of the same field.
+const Perturbation kSemanticPerturbations[] = {
+    {"kernel", [](ExperimentConfig &c) { c.kernel = KernelKind::Traditional; }},
+    {"scheduling", [](ExperimentConfig &c) { c.scheduling = SchedulingMode::Block; }},
+    {"spawnBankConflicts", [](ExperimentConfig &c) { c.spawnBankConflicts = true; }},
+    {"idealMemory", [](ExperimentConfig &c) { c.idealMemory = true; }},
+    {"maxCycles", [](ExperimentConfig &c) { c.maxCycles += 1; }},
+    {"sceneName", [](ExperimentConfig &c) { c.sceneName = "atrium"; }},
+    {"scene.detail", [](ExperimentConfig &c) { c.sceneParams.detail += 1; }},
+    {"scene.imageWidth", [](ExperimentConfig &c) { c.sceneParams.imageWidth += 1; }},
+    {"scene.imageHeight", [](ExperimentConfig &c) { c.sceneParams.imageHeight += 1; }},
+    {"scene.seed", [](ExperimentConfig &c) { c.sceneParams.seed += 1; }},
+    {"numSms", [](ExperimentConfig &c) { c.baseConfig.numSms += 1; }},
+    {"warpSize", [](ExperimentConfig &c) { c.baseConfig.warpSize = 16; }},
+    {"spPerSm", [](ExperimentConfig &c) { c.baseConfig.spPerSm = 16; }},
+    {"maxThreadsPerSm", [](ExperimentConfig &c) { c.baseConfig.maxThreadsPerSm += 32; }},
+    {"maxBlocksPerSm", [](ExperimentConfig &c) { c.baseConfig.maxBlocksPerSm += 1; }},
+    {"registersPerSm", [](ExperimentConfig &c) { c.baseConfig.registersPerSm += 1; }},
+    {"onChipBytesPerSm", [](ExperimentConfig &c) { c.baseConfig.onChipBytesPerSm += 1; }},
+    {"spawnLutBytes", [](ExperimentConfig &c) { c.baseConfig.spawnLutBytes += 1; }},
+    {"numMemPartitions", [](ExperimentConfig &c) { c.baseConfig.numMemPartitions += 1; }},
+    {"bytesPerCyclePerPartition", [](ExperimentConfig &c) { c.baseConfig.bytesPerCyclePerPartition += 1; }},
+    {"dramLatencyCycles", [](ExperimentConfig &c) { c.baseConfig.dramLatencyCycles += 1; }},
+    {"interconnectLatencyCycles", [](ExperimentConfig &c) { c.baseConfig.interconnectLatencyCycles += 1; }},
+    {"onChipLatencyCycles", [](ExperimentConfig &c) { c.baseConfig.onChipLatencyCycles += 1; }},
+    {"sfuLatencyCycles", [](ExperimentConfig &c) { c.baseConfig.sfuLatencyCycles += 1; }},
+    {"coalesceSegmentBytes", [](ExperimentConfig &c) { c.baseConfig.coalesceSegmentBytes += 32; }},
+    {"numOnChipBanks", [](ExperimentConfig &c) { c.baseConfig.numOnChipBanks *= 2; }},
+    {"texL1BytesPerSm", [](ExperimentConfig &c) { c.baseConfig.texL1BytesPerSm += 1; }},
+    {"texL2BytesPerPartition", [](ExperimentConfig &c) { c.baseConfig.texL2BytesPerPartition += 1; }},
+    {"texL1HitLatencyCycles", [](ExperimentConfig &c) { c.baseConfig.texL1HitLatencyCycles += 1; }},
+    {"texL2HitLatencyCycles", [](ExperimentConfig &c) { c.baseConfig.texL2HitLatencyCycles += 1; }},
+    {"texCacheWays", [](ExperimentConfig &c) { c.baseConfig.texCacheWays *= 2; }},
+    {"modelSharedBankConflicts", [](ExperimentConfig &c) { c.baseConfig.modelSharedBankConflicts = false; }},
+    {"blockSizeThreads", [](ExperimentConfig &c) { c.baseConfig.blockSizeThreads *= 2; }},
+    {"faultPolicy", [](ExperimentConfig &c) { c.baseConfig.faultPolicy = FaultPolicy::Trap; }},
+    {"watchdogCycles", [](ExperimentConfig &c) { c.baseConfig.watchdogCycles = 5000; }},
+    {"injectMaxFormationRegions", [](ExperimentConfig &c) { c.baseConfig.injectMaxFormationRegions = 2; }},
+    {"statsWindowCycles", [](ExperimentConfig &c) { c.baseConfig.statsWindowCycles += 1; }},
+    {"clockGhz", [](ExperimentConfig &c) { c.baseConfig.clockGhz += 0.01; }},
+};
+
+/// Knobs the identity contract proves bit-neutral: they MUST NOT move
+/// the hash, or the cache would recompute identical results.
+const Perturbation kNeutralPerturbations[] = {
+    {"hostThreads", [](ExperimentConfig &c) { c.baseConfig.hostThreads = 4; }},
+    {"fastForward", [](ExperimentConfig &c) { c.baseConfig.fastForward = !c.baseConfig.fastForward; }},
+    {"verifyPrograms", [](ExperimentConfig &c) { c.baseConfig.verifyPrograms = VerifyMode::Strict; }},
+    {"traceEvents", [](ExperimentConfig &c) { c.traceEvents = true; }},
+    {"exportCounters", [](ExperimentConfig &c) { c.exportCounters = true; }},
+    {"captureFlightRecord", [](ExperimentConfig &c) { c.captureFlightRecord = true; }},
+};
+
+} // anonymous namespace
+
+TEST(JobHash, EqualConfigsHashEqual)
+{
+    EXPECT_EQ(serve::jobHash(smallExperiment()),
+              serve::jobHash(smallExperiment()));
+}
+
+TEST(JobHash, StableAcrossRepeatedComputation)
+{
+    const ExperimentConfig config = smallExperiment();
+    const std::string first = serve::jobHash(config);
+    ASSERT_EQ(first.size(), 64u);
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(serve::jobHash(config), first);
+}
+
+TEST(JobHash, EverySemanticFieldPerturbsTheHash)
+{
+    const std::string base = serve::jobHash(smallExperiment());
+    for (const Perturbation &p : kSemanticPerturbations) {
+        SCOPED_TRACE(p.name);
+        ExperimentConfig mutated = smallExperiment();
+        p.apply(mutated);
+        EXPECT_NE(serve::jobHash(mutated), base)
+            << "perturbing " << p.name << " must change the job hash";
+    }
+}
+
+TEST(JobHash, SemanticPerturbationsAreAllDistinct)
+{
+    // Not just different from the base: no two field mutations may
+    // collapse onto one digest (that would hint at fields overwriting
+    // each other in the byte stream).
+    std::vector<std::string> hashes;
+    hashes.push_back(serve::jobHash(smallExperiment()));
+    for (const Perturbation &p : kSemanticPerturbations) {
+        ExperimentConfig mutated = smallExperiment();
+        p.apply(mutated);
+        hashes.push_back(serve::jobHash(mutated));
+    }
+    for (size_t i = 0; i < hashes.size(); i++)
+        for (size_t j = i + 1; j < hashes.size(); j++)
+            EXPECT_NE(hashes[i], hashes[j]) << "collision " << i << "/" << j;
+}
+
+TEST(JobHash, BitNeutralKnobsDoNotPerturbTheHash)
+{
+    const std::string base = serve::jobHash(smallExperiment());
+    for (const Perturbation &p : kNeutralPerturbations) {
+        SCOPED_TRACE(p.name);
+        ExperimentConfig mutated = smallExperiment();
+        p.apply(mutated);
+        EXPECT_EQ(serve::jobHash(mutated), base)
+            << p.name << " is bit-neutral and must not change the hash";
+    }
+}
+
+TEST(JobHash, EquivalentSpecsShareOneHash)
+{
+    // The hash covers the *resolved* GpuConfig: a baseConfig field
+    // that resolvedGpuConfig overwrites (here scheduling) does not
+    // create a distinct cache entry.
+    ExperimentConfig a = smallExperiment();
+    ExperimentConfig b = smallExperiment();
+    b.baseConfig.scheduling = SchedulingMode::Block;    // overridden
+    EXPECT_EQ(serve::jobHash(a), serve::jobHash(b));
+}
+
+TEST(JobHash, GoldenCanonicalBytesDigest)
+{
+    // Pinned digest of the canonical bytes for a hand-built minimal
+    // program + default small experiment. This only moves when the
+    // serialization format itself changes — which must be deliberate:
+    // bump kJobBytesSchema and regenerate (the test prints the new
+    // value on failure).
+    Program prog;
+    Instruction nop{};
+    prog.code.push_back(nop);
+    prog.entryPc = 0;
+    prog.microKernels.push_back({"mk0", 0});
+    prog.resources.registers = 8;
+    prog.resources.sharedBytes = 16;
+    prog.resources.spawnStateBytes = 32;
+
+    const ExperimentConfig config = smallExperiment();
+    const std::vector<uint8_t> bytes = canonicalJobBytes(config, prog);
+    EXPECT_EQ(serve::sha256Hex(bytes), kGoldenJobBytesDigest);
+}
+
+TEST(ResultPayload, RoundTripsByteIdentically)
+{
+    const ExperimentConfig config = smallExperiment();
+    const PreparedScene scene =
+        prepareScene(config.sceneName, config.sceneParams);
+    const ExperimentResult result = runExperiment(scene, config);
+
+    const std::vector<uint8_t> payload = serializeResult(result);
+    ASSERT_FALSE(payload.empty());
+    const ExperimentResult parsed = deserializeResult(payload);
+    // Round-trip guarantee from the header: re-serializing the parsed
+    // result reproduces the payload byte for byte.
+    EXPECT_EQ(serializeResult(parsed), payload);
+
+    // Spot-check the identity-contract fields survived.
+    EXPECT_EQ(parsed.stats.cycles, result.stats.cycles);
+    EXPECT_EQ(parsed.stats.itemsCompleted, result.stats.itemsCompleted);
+    EXPECT_EQ(parsed.stats.laneInstructions, result.stats.laneInstructions);
+    EXPECT_EQ(parsed.outcome, result.outcome);
+    EXPECT_EQ(parsed.ranToCompletion, result.ranToCompletion);
+    EXPECT_DOUBLE_EQ(parsed.ipc, result.ipc);
+    EXPECT_DOUBLE_EQ(parsed.simtEfficiency, result.simtEfficiency);
+    EXPECT_EQ(parsed.hits.size(), result.hits.size());
+    EXPECT_EQ(parsed.smStalls.size(), result.smStalls.size());
+    EXPECT_EQ(parsed.occupancy.warpsPerSm, result.occupancy.warpsPerSm);
+    EXPECT_STREQ(parsed.occupancy.limiter, result.occupancy.limiter);
+}
+
+TEST(ResultPayload, RejectsTruncatedPayload)
+{
+    const ExperimentConfig config = smallExperiment();
+    const PreparedScene scene =
+        prepareScene(config.sceneName, config.sceneParams);
+    std::vector<uint8_t> payload =
+        serializeResult(runExperiment(scene, config));
+    payload.resize(payload.size() / 2);
+    EXPECT_THROW(deserializeResult(payload), std::runtime_error);
+}
+
+TEST(ResultPayload, RejectsWrongSchemaTag)
+{
+    std::vector<uint8_t> payload;
+    ByteWriter w;
+    w.str("not-a-result-schema");
+    payload = w.take();
+    EXPECT_THROW(deserializeResult(payload), std::runtime_error);
+}

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * End-to-end serve determinism tests (ISSUE acceptance criteria).
+ *
+ * These tests tie the whole chain together: the engine's identity
+ * contract (bit-identical results at any host thread count, with
+ * fast-forward on or off) is what makes the canonical job hash a sound
+ * cache key, and the verified-fingerprint snapshot protocol is what
+ * makes crash recovery bit-identical to an uninterrupted run. Every
+ * assertion here compares canonical result payloads byte for byte
+ * against a direct runExperiment baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness/experiment.hpp"
+#include "harness/serialize.hpp"
+#include "serve/engine.hpp"
+#include "serve/executor.hpp"
+#include "serve/job.hpp"
+#include "serve/sha256.hpp"
+#include "serve/snapshot.hpp"
+
+using namespace uksim;
+using namespace uksim::harness;
+using namespace uksim::serve;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+JobSpec
+tinySpec()
+{
+    JobSpec spec;
+    spec.name = "uk_conference";
+    spec.cycles = 6000;
+    spec.detail = 2;
+    spec.res = 16;
+    spec.sms = 2;
+    return spec;
+}
+
+/// Direct, uninstrumented baseline for tinySpec(): the canonical
+/// payload the serve stack must reproduce byte for byte.
+const std::vector<uint8_t> &
+baselinePayload()
+{
+    static const std::vector<uint8_t> payload = [] {
+        const ExperimentConfig config = resolveJobSpec(tinySpec());
+        const PreparedScene scene =
+            prepareScene(config.sceneName, config.sceneParams);
+        return serializeResult(runExperiment(scene, config));
+    }();
+    return payload;
+}
+
+std::vector<std::string>
+runBatchCollect(ServerEngine &engine, const std::vector<JobSpec> &jobs,
+                BatchManifest &manifest)
+{
+    std::vector<std::string> events;
+    manifest = engine.runBatch(
+        jobs, [&](const std::string &line) { events.push_back(line); });
+    return events;
+}
+
+int
+countContaining(const std::vector<std::string> &lines,
+                const std::string &needle)
+{
+    int n = 0;
+    for (const std::string &line : lines)
+        if (line.find(needle) != std::string::npos)
+            n++;
+    return n;
+}
+
+class ServeE2eTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("uksim_serve_e2e_" + std::to_string(::getpid()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    EngineOptions cachedOptions(int workers = 0,
+                                uint64_t snapshotCycles = 0) const
+    {
+        EngineOptions opts;
+        opts.cacheDir = (dir_ / "cache").string();
+        opts.workers = workers;
+        opts.snapshotCycles = snapshotCycles;
+        return opts;
+    }
+
+    fs::path dir_;
+};
+
+} // anonymous namespace
+
+TEST_F(ServeE2eTest, ByteIdenticalAcrossThreadsAndFastForward)
+{
+    // The premise of the whole cache: hostThreads and fastForward are
+    // bit-neutral, so one hash may stand for all these runs.
+    const ExperimentConfig base = resolveJobSpec(tinySpec());
+    const std::string hash = jobHash(base);
+    const PreparedScene scene =
+        prepareScene(base.sceneName, base.sceneParams);
+
+    for (int threads : {1, 2, 4}) {
+        for (bool ff : {false, true}) {
+            SCOPED_TRACE(testing::Message()
+                         << "threads=" << threads << " ff=" << ff);
+            ExperimentConfig config = base;
+            config.baseConfig.hostThreads = threads;
+            config.baseConfig.fastForward = ff;
+            EXPECT_EQ(jobHash(config), hash);
+            const std::vector<uint8_t> payload =
+                serializeResult(runExperiment(scene, config));
+            EXPECT_EQ(payload, baselinePayload());
+        }
+    }
+}
+
+TEST_F(ServeE2eTest, SecondBatchServesByteIdenticalCacheHit)
+{
+    const std::string baseSha = sha256Hex(baselinePayload());
+
+    BatchManifest first;
+    {
+        ServerEngine engine(cachedOptions());
+        runBatchCollect(engine, {tinySpec()}, first);
+    }
+    ASSERT_EQ(first.computed, 1);
+    ASSERT_EQ(first.failed, 0);
+    EXPECT_FALSE(first.jobs[0].cacheHit);
+    EXPECT_EQ(first.jobs[0].resultSha256, baseSha);
+
+    // A fresh engine over the same cache directory — as after a server
+    // restart — must serve the job as a hit without computing, and the
+    // payload must be the exact bytes of the direct run.
+    BatchManifest second;
+    ServerEngine engine(cachedOptions());
+    runBatchCollect(engine, {tinySpec()}, second);
+    ASSERT_EQ(second.cacheHits, 1);
+    EXPECT_EQ(second.computed, 0);
+    EXPECT_TRUE(second.jobs[0].cacheHit);
+    EXPECT_EQ(second.jobs[0].attempts, 0);
+    EXPECT_EQ(second.jobs[0].resultSha256, baseSha);
+
+    const auto cached =
+        engine.cache().load(jobHash(resolveJobSpec(tinySpec())));
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_EQ(*cached, baselinePayload());
+}
+
+TEST_F(ServeE2eTest, PoisonedCacheEntryIsDetectedAndRecomputed)
+{
+    {
+        ServerEngine engine(cachedOptions());
+        BatchManifest m;
+        runBatchCollect(engine, {tinySpec()}, m);
+        ASSERT_EQ(m.computed, 1);
+    }
+
+    // Poison one payload byte in the stored entry.
+    const std::string hash = jobHash(resolveJobSpec(tinySpec()));
+    ServerEngine engine(cachedOptions());
+    const std::string path = engine.cache().entryPath(hash);
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(40);
+        char byte = 0;
+        f.read(&byte, 1);
+        byte ^= 0x01;
+        f.seekp(40);
+        f.write(&byte, 1);
+    }
+
+    BatchManifest m;
+    runBatchCollect(engine, {tinySpec()}, m);
+    ASSERT_EQ(m.cacheHits, 0);
+    ASSERT_EQ(m.computed, 1);
+    EXPECT_GE(engine.cache().stats().corrupt, 1u);
+    EXPECT_EQ(m.jobs[0].resultSha256, sha256Hex(baselinePayload()));
+
+    // The recompute healed the entry on disk.
+    const auto healed = engine.cache().load(hash);
+    ASSERT_TRUE(healed.has_value());
+    EXPECT_EQ(*healed, baselinePayload());
+}
+
+TEST_F(ServeE2eTest, ExecutorSnapshotsAreBitNeutralAndResumable)
+{
+    const ExperimentConfig config = resolveJobSpec(tinySpec());
+    const std::string hash = jobHash(config);
+    const PreparedScene scene =
+        prepareScene(config.sceneName, config.sceneParams);
+    const std::string snapPath = (dir_ / "job.snap.json").string();
+
+    // Chunked run with snapshots must still be byte-identical to the
+    // uninstrumented baseline (pausing is bit-neutral).
+    ExecOptions chunked;
+    chunked.snapshotCycles = 2000;
+    chunked.snapshotPath = snapPath;
+    int snapshots = 0;
+    chunked.onSnapshot = [&](const Snapshot &) { snapshots++; };
+    const ExecResult full = executeJob(scene, config, hash, chunked);
+    EXPECT_EQ(full.payload, baselinePayload());
+    EXPECT_GE(snapshots, 2);
+    EXPECT_FALSE(full.resumeVerified);
+    EXPECT_GE(full.progress.samples().size(), 2u);
+
+    // Resume from the last durable snapshot: replay verifies the
+    // machine fingerprint at the snapshot cycle, then the final
+    // payload is byte-identical again.
+    const auto snap = readSnapshotFile(snapPath);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->jobHash, hash);
+    EXPECT_EQ(snap->chunkCycles, 2000u);
+    ASSERT_GT(snap->cycle, 0u);
+
+    ExecOptions resume = chunked;
+    resume.resumeFrom = &*snap;
+    const ExecResult resumed = executeJob(scene, config, hash, resume);
+    EXPECT_TRUE(resumed.resumeVerified);
+    EXPECT_EQ(resumed.payload, baselinePayload());
+}
+
+TEST_F(ServeE2eTest, BogusSnapshotFingerprintThrowsMismatch)
+{
+    const ExperimentConfig config = resolveJobSpec(tinySpec());
+    const std::string hash = jobHash(config);
+    const PreparedScene scene =
+        prepareScene(config.sceneName, config.sceneParams);
+
+    Snapshot bogus;
+    bogus.jobHash = hash;
+    bogus.cycle = 2000;
+    bogus.chunkCycles = 2000;
+    bogus.index = 1;
+    bogus.stateSha256 = std::string(64, 'f');    // cannot match anything
+
+    ExecOptions opts;
+    opts.snapshotCycles = 2000;
+    opts.resumeFrom = &bogus;
+    EXPECT_THROW(executeJob(scene, config, hash, opts), SnapshotMismatch);
+}
+
+TEST_F(ServeE2eTest, EngineRejectsBogusLeftoverSnapshotAndRecovers)
+{
+    // A stale/corrupt snapshot in the spool (say, from a dirty crash)
+    // must not poison the job: the engine verifies the fingerprint
+    // during replay, rejects it, deletes it, and recomputes fresh —
+    // with the exact baseline bytes.
+    EngineOptions opts = cachedOptions(0, 2000);
+    opts.spoolDir = (dir_ / "spool").string();  // workers=0 needs it explicit
+    ServerEngine engine(opts);
+
+    const std::string hash = jobHash(resolveJobSpec(tinySpec()));
+    Snapshot bogus;
+    bogus.jobHash = hash;
+    bogus.cycle = 2000;
+    bogus.chunkCycles = 2000;
+    bogus.index = 1;
+    bogus.stateSha256 = std::string(64, 'f');
+    fs::create_directories(opts.spoolDir);
+    const std::string snapPath = opts.spoolDir + "/" + hash + ".snap.json";
+    writeSnapshotFile(snapPath, bogus);
+    ASSERT_TRUE(fs::exists(snapPath));
+
+    BatchManifest m;
+    const auto events = runBatchCollect(engine, {tinySpec()}, m);
+    ASSERT_EQ(m.failed, 0);
+    ASSERT_EQ(m.computed, 1);
+    EXPECT_EQ(m.jobs[0].attempts, 2);   // rejected resume, then fresh
+    EXPECT_FALSE(m.jobs[0].resumed);
+    EXPECT_EQ(m.jobs[0].resultSha256, sha256Hex(baselinePayload()));
+    EXPECT_GE(countContaining(events, "\"event\": \"snapshot_rejected\""),
+              1);
+    // The bogus snapshot must be gone so the next batch starts clean.
+    EXPECT_FALSE(fs::exists(snapPath));
+}
+
+TEST_F(ServeE2eTest, KilledWorkerResumesBitIdentically)
+{
+    // The headline acceptance criterion: a worker SIGKILLed mid-run
+    // (via the deterministic kill_after_snapshots hook) is respawned,
+    // resumes from its last durable snapshot with the fingerprint
+    // verified, and produces a byte-identical result.
+    ServerEngine engine(cachedOptions(/*workers=*/1,
+                                      /*snapshotCycles=*/2000));
+    JobSpec spec = tinySpec();
+    spec.killAfterSnapshots = 1;
+
+    BatchManifest m;
+    const auto events = runBatchCollect(engine, {spec}, m);
+    ASSERT_EQ(m.failed, 0) << m.jobs[0].error;
+    ASSERT_EQ(m.computed, 1);
+    EXPECT_EQ(m.resumed, 1);
+    EXPECT_TRUE(m.jobs[0].resumed);
+    EXPECT_GE(m.jobs[0].attempts, 2);
+    EXPECT_EQ(m.jobs[0].resultSha256, sha256Hex(baselinePayload()));
+
+    EXPECT_GE(countContaining(events, "\"event\": \"worker_crashed\""), 1);
+    EXPECT_GE(countContaining(events, "\"event\": \"job_resumed\""), 1);
+
+    // And the crash-recovered result is now a normal cache entry: a
+    // second batch without the kill hook serves it as a hit.
+    BatchManifest again;
+    runBatchCollect(engine, {tinySpec()}, again);
+    EXPECT_EQ(again.cacheHits, 1);
+    EXPECT_EQ(again.jobs[0].resultSha256, sha256Hex(baselinePayload()));
+}

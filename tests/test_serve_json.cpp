@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Strict JSON parser tests (src/serve/json.hpp).
+ *
+ * The parser reads protocol lines and snapshot files the repo writes
+ * itself, so the tests lean on strictness: anything malformed must
+ * throw JsonError with a useful offset, never parse loosely.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/json.hpp"
+
+using namespace uksim::serve;
+
+TEST(ServeJson, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null").isNull());
+    EXPECT_TRUE(parseJson("true").boolean);
+    EXPECT_FALSE(parseJson("false").boolean);
+    EXPECT_DOUBLE_EQ(parseJson("42").number, 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-1.5e2").number, -150.0);
+    EXPECT_EQ(parseJson("\"hi\"").string, "hi");
+}
+
+TEST(ServeJson, ParsesNestedObject)
+{
+    const JsonValue v = parseJson(
+        "{\"op\": \"submit\", \"batch\": [{\"name\": \"uk_conference\", "
+        "\"cycles\": 6000}], \"deep\": {\"a\": [1, 2, 3]}}");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.stringAt("op"), "submit");
+    const JsonValue *batch = v.find("batch");
+    ASSERT_NE(batch, nullptr);
+    ASSERT_TRUE(batch->isArray());
+    ASSERT_EQ(batch->array.size(), 1u);
+    EXPECT_EQ(batch->array[0].stringAt("name"), "uk_conference");
+    EXPECT_EQ(batch->array[0].u64Or("cycles", 0), 6000u);
+    const JsonValue *deep = v.find("deep");
+    ASSERT_NE(deep, nullptr);
+    ASSERT_EQ(deep->at("a").array.size(), 3u);
+}
+
+TEST(ServeJson, StringEscapes)
+{
+    EXPECT_EQ(parseJson("\"a\\n\\t\\\"\\\\b\"").string, "a\n\t\"\\b");
+    // BMP \uXXXX escapes decode to UTF-8.
+    EXPECT_EQ(parseJson("\"\\u00e9\"").string, "\xc3\xa9");
+    EXPECT_EQ(parseJson("\"\\u0041\"").string, "A");
+}
+
+TEST(ServeJson, EscapeRoundTrip)
+{
+    const std::string nasty = "quote\" slash\\ newline\n tab\t";
+    const std::string doc = "\"" + jsonEscape(nasty) + "\"";
+    EXPECT_EQ(parseJson(doc).string, nasty);
+}
+
+TEST(ServeJson, RejectsTrailingContent)
+{
+    EXPECT_THROW(parseJson("{} garbage"), JsonError);
+    EXPECT_THROW(parseJson("1 2"), JsonError);
+}
+
+TEST(ServeJson, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(parseJson(""), JsonError);
+    EXPECT_THROW(parseJson("{\"a\": }"), JsonError);
+    EXPECT_THROW(parseJson("[1, 2,]"), JsonError);
+    EXPECT_THROW(parseJson("\"unterminated"), JsonError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), JsonError);
+    EXPECT_THROW(parseJson("nul"), JsonError);
+}
+
+TEST(ServeJson, RejectsExcessiveNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 80; i++)
+        deep += "[";
+    EXPECT_THROW(parseJson(deep), JsonError);
+}
+
+TEST(ServeJson, ErrorCarriesOffset)
+{
+    try {
+        parseJson("{\"ok\": true, \"bad\": !}");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_GT(e.offset(), 0u);
+        EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+    }
+}
+
+TEST(ServeJson, TypedAccessorsWithDefaults)
+{
+    const JsonValue v = parseJson(
+        "{\"s\": \"x\", \"n\": 7, \"b\": true, \"big\": 123456789012}");
+    EXPECT_EQ(v.stringOr("s", "d"), "x");
+    EXPECT_EQ(v.stringOr("missing", "d"), "d");
+    EXPECT_DOUBLE_EQ(v.numberOr("n", 0), 7.0);
+    EXPECT_TRUE(v.boolOr("b", false));
+    EXPECT_EQ(v.u64Or("big", 0), 123456789012u);
+    EXPECT_EQ(v.u64Or("missing", 9), 9u);
+    EXPECT_THROW(v.at("missing"), JsonError);
+    EXPECT_THROW(v.stringAt("n"), JsonError);
+}

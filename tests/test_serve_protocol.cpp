@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Session protocol tests (src/serve/protocol.hpp) over stringstreams.
+ *
+ * The Session is transport-agnostic, so these tests drive the full
+ * request grammar — ping, list, malformed lines, unknown ops, submit
+ * with an in-batch duplicate — without a daemon or sockets. The batch
+ * here is the same 3-job/1-duplicate shape as the CI pipe smoke, so a
+ * protocol regression fails fast in ctest before the e2e layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+
+using namespace uksim::serve;
+
+namespace {
+
+/// Run one session over the given request lines; returns stdout lines.
+std::vector<std::string>
+serveLines(ServerEngine &engine, const std::string &requests,
+           bool *shutdownSeen = nullptr)
+{
+    std::istringstream in(requests);
+    std::ostringstream out;
+    Session session(engine, in, out);
+    const bool shutdown = session.run();
+    if (shutdownSeen)
+        *shutdownSeen = shutdown;
+
+    std::vector<std::string> lines;
+    std::istringstream reader(out.str());
+    std::string line;
+    while (std::getline(reader, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+int
+countContaining(const std::vector<std::string> &lines,
+                const std::string &needle)
+{
+    int n = 0;
+    for (const std::string &line : lines)
+        if (line.find(needle) != std::string::npos)
+            n++;
+    return n;
+}
+
+ServerEngine
+inProcessEngine()
+{
+    EngineOptions opts;
+    opts.workers = 0;
+    return ServerEngine(opts);
+}
+
+const char *kTinyJob =
+    "{\"name\": \"uk_conference\", \"cycles\": 4000, \"detail\": 2, "
+    "\"res\": 16, \"sms\": 2}";
+
+} // anonymous namespace
+
+TEST(ServeProtocol, PingPongCarriesSchema)
+{
+    ServerEngine engine = inProcessEngine();
+    const auto lines = serveLines(engine, "{\"op\": \"ping\"}\n");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"event\": \"pong\""), std::string::npos);
+    EXPECT_NE(lines[0].find(kProtocolSchema), std::string::npos);
+}
+
+TEST(ServeProtocol, ListReturnsNamedExperiments)
+{
+    ServerEngine engine = inProcessEngine();
+    const auto lines = serveLines(engine, "{\"op\": \"list\"}\n");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"event\": \"configs\""), std::string::npos);
+    EXPECT_NE(lines[0].find("uk_conference"), std::string::npos);
+    EXPECT_NE(lines[0].find("pdom_atrium"), std::string::npos);
+}
+
+TEST(ServeProtocol, MalformedJsonYieldsErrorAndSessionSurvives)
+{
+    ServerEngine engine = inProcessEngine();
+    const auto lines =
+        serveLines(engine, "{\"op\": \"ping\", !}\n{\"op\": \"ping\"}\n");
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"event\": \"error\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"event\": \"pong\""), std::string::npos);
+}
+
+TEST(ServeProtocol, UnknownOpYieldsError)
+{
+    ServerEngine engine = inProcessEngine();
+    const auto lines = serveLines(engine, "{\"op\": \"dance\"}\n");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"event\": \"error\""), std::string::npos);
+}
+
+TEST(ServeProtocol, BlankLinesAreIgnored)
+{
+    ServerEngine engine = inProcessEngine();
+    const auto lines = serveLines(engine, "\n\n{\"op\": \"ping\"}\n\n");
+    EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(ServeProtocol, ShutdownEndsTheSession)
+{
+    ServerEngine engine = inProcessEngine();
+    bool shutdown = false;
+    const auto lines = serveLines(
+        engine, "{\"op\": \"shutdown\"}\n{\"op\": \"ping\"}\n", &shutdown);
+    EXPECT_TRUE(shutdown);
+    // The ping after shutdown must not be served.
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"event\": \"shutdown\""), std::string::npos);
+}
+
+TEST(ServeProtocol, EofWithoutShutdownReturnsFalse)
+{
+    ServerEngine engine = inProcessEngine();
+    bool shutdown = true;
+    serveLines(engine, "{\"op\": \"ping\"}\n", &shutdown);
+    EXPECT_FALSE(shutdown);
+}
+
+TEST(ServeProtocol, SubmitRejectsUnknownJobField)
+{
+    ServerEngine engine = inProcessEngine();
+    const auto lines = serveLines(
+        engine,
+        "{\"op\": \"submit\", \"batch\": "
+        "[{\"name\": \"uk_conference\", \"cylces\": 4000}]}\n");
+    // The whole batch is rejected before anything runs: one error
+    // event, no batch_accepted.
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"event\": \"error\""), std::string::npos);
+    EXPECT_NE(lines[0].find("cylces"), std::string::npos);
+}
+
+TEST(ServeProtocol, SubmitRejectsEmptyBatch)
+{
+    ServerEngine engine = inProcessEngine();
+    const auto lines =
+        serveLines(engine, "{\"op\": \"submit\", \"batch\": []}\n");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"event\": \"error\""), std::string::npos);
+}
+
+TEST(ServeProtocol, SubmitBatchWithDuplicateDedupes)
+{
+    ServerEngine engine = inProcessEngine();
+    std::string batchJob = kTinyJob;
+    std::string dupJob =
+        "{\"name\": \"uk_conference\", \"label\": \"again\", "
+        "\"cycles\": 4000, \"detail\": 2, \"res\": 16, \"sms\": 2}";
+    std::string pdomJob =
+        "{\"name\": \"pdom_conference\", \"cycles\": 4000, \"detail\": 2, "
+        "\"res\": 16, \"sms\": 2}";
+    const std::string request =
+        "{\"op\": \"submit\", \"batch_id\": \"t\", \"batch\": [" + batchJob +
+        ", " + pdomJob + ", " + dupJob + "]}\n";
+
+    const auto lines = serveLines(engine, request);
+    EXPECT_EQ(countContaining(lines, "\"event\": \"batch_accepted\""), 1);
+    EXPECT_EQ(countContaining(lines, "\"jobs\": 3"), 1);
+    EXPECT_EQ(countContaining(lines, "\"event\": \"job_done\""), 3);
+    // With no on-disk cache, the duplicate still dedupes in-batch to
+    // exactly one hit; the two distinct jobs compute. Count only
+    // job_done lines — the manifest line repeats the cache field.
+    int doneHits = 0;
+    for (const std::string &line : lines)
+        if (line.find("\"event\": \"job_done\"") != std::string::npos &&
+            line.find("\"cache\": \"hit\"") != std::string::npos)
+            doneHits++;
+    EXPECT_EQ(doneHits, 1);
+    EXPECT_EQ(countContaining(lines, "\"event\": \"batch_done\""), 1);
+    EXPECT_EQ(countContaining(lines, "\"cache_hits\": 1"), 1);
+    EXPECT_EQ(countContaining(lines, "\"computed\": 2"), 1);
+    EXPECT_EQ(countContaining(lines, "\"failed\": 0"), 1);
+    EXPECT_EQ(countContaining(lines, "ukserve-manifest-1"), 1);
+}
+
+TEST(ServeProtocol, SubmitUnknownConfigFailsThatJobOnly)
+{
+    ServerEngine engine = inProcessEngine();
+    const std::string request =
+        std::string("{\"op\": \"submit\", \"batch\": [") + kTinyJob +
+        ", {\"name\": \"uk_mars\"}]}\n";
+    const auto lines = serveLines(engine, request);
+    EXPECT_EQ(countContaining(lines, "\"event\": \"job_done\""), 1);
+    EXPECT_EQ(countContaining(lines, "\"event\": \"job_failed\""), 1);
+    EXPECT_EQ(countContaining(lines, "\"failed\": 1"), 1);
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SHA-256 implementation tests (src/serve/sha256.hpp).
+ *
+ * The digests below are FIPS 180-4 test vectors, so these tests pin
+ * the implementation to the standard — including byte order: the
+ * canonical job hash must be identical on little- and big-endian
+ * hosts, which only holds if the compression function loads message
+ * words explicitly big-endian.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/sha256.hpp"
+
+using namespace uksim::serve;
+
+TEST(Sha256, EmptyInputMatchesFipsVector)
+{
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256, AbcMatchesFipsVector)
+{
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessageMatchesFipsVector)
+{
+    EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmno"
+                        "mnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, MillionAsMatchesFipsVector)
+{
+    const std::string chunk(1000, 'a');
+    Sha256 h;
+    for (int i = 0; i < 1000; i++)
+        h.update(chunk.data(), chunk.size());
+    EXPECT_EQ(h.hexDigest(),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Sha256, IncrementalUpdatesMatchOneShot)
+{
+    const std::string msg =
+        "the canonical job hash is computed over canonical bytes";
+    Sha256 h;
+    for (char c : msg)
+        h.update(&c, 1);
+    EXPECT_EQ(h.hexDigest(), sha256Hex(msg));
+}
+
+TEST(Sha256, ResetReusesTheObject)
+{
+    Sha256 h;
+    h.update("garbage", 7);
+    (void)h.digest();
+    h.reset();
+    h.update("abc", 3);
+    EXPECT_EQ(h.hexDigest(),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}

@@ -28,9 +28,9 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
-#include <optional>
 #include <string>
 
+#include "harness/cli_args.hpp"
 #include "harness/experiment.hpp"
 
 using namespace uksim;
@@ -61,34 +61,18 @@ int
 main(int argc, char **argv)
 {
     Options opts;
-    for (int i = 1; i < argc; i++) {
-        auto value = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "ukdump: %s needs a value\n", flag);
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        auto numeric = [](const char *flag, const char *text) -> uint64_t {
-            std::optional<uint64_t> v = harness::parseU64(text);
-            if (!v) {
-                std::fprintf(stderr,
-                             "ukdump: %s: malformed numeric value '%s'\n",
-                             flag, text);
-                std::exit(2);
-            }
-            return *v;
-        };
-        if (std::strcmp(argv[i], "--config") == 0) {
-            opts.config = value("--config");
-        } else if (std::strcmp(argv[i], "--cycles") == 0) {
-            opts.cycles = numeric("--cycles", value("--cycles"));
-        } else if (std::strcmp(argv[i], "--watchdog") == 0) {
-            opts.watchdog = numeric("--watchdog", value("--watchdog"));
-        } else if (std::strcmp(argv[i], "--out") == 0) {
-            opts.outPath = value("--out");
-        } else if (std::strcmp(argv[i], "--policy") == 0) {
-            const char *p = value("--policy");
+    harness::cli::ArgReader args("ukdump", argc, argv);
+    while (args.next()) {
+        if (args.is("--config")) {
+            opts.config = args.value();
+        } else if (args.is("--cycles")) {
+            opts.cycles = args.u64();
+        } else if (args.is("--watchdog")) {
+            opts.watchdog = args.u64();
+        } else if (args.is("--out")) {
+            opts.outPath = args.value();
+        } else if (args.is("--policy")) {
+            const char *p = args.value();
             if (std::strcmp(p, "trap") == 0) {
                 opts.policy = FaultPolicy::Trap;
             } else if (std::strcmp(p, "halt") == 0) {
@@ -101,16 +85,13 @@ main(int argc, char **argv)
                              "(trap|halt|throw)\n", p);
                 return 2;
             }
-        } else if (std::strcmp(argv[i], "--list") == 0) {
+        } else if (args.is("--list")) {
             opts.list = true;
-        } else if (std::strcmp(argv[i], "--help") == 0 ||
-                   std::strcmp(argv[i], "-h") == 0) {
+        } else if (args.isHelp()) {
             usage(stdout);
             return 0;
         } else {
-            std::fprintf(stderr, "ukdump: unknown option '%s'\n", argv[i]);
-            usage(stderr);
-            return 2;
+            args.unknown(&usage);
         }
     }
 

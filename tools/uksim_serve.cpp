@@ -1,0 +1,119 @@
+/**
+ * @file
+ * uksim-serve — batch simulation daemon.
+ *
+ * Serves the line-delimited JSON protocol (src/serve/protocol.hpp)
+ * over stdin/stdout (--pipe, the default: scriptable and what CI
+ * smoke-tests) or a loopback TCP socket (--tcp PORT, port 0 picks an
+ * ephemeral port and prints it). Jobs are deduplicated by canonical
+ * hash, served from the content-addressed result cache when possible,
+ * and otherwise executed — optionally in forked worker processes with
+ * snapshot/resume crash recovery.
+ *
+ * Usage: uksim-serve [--pipe | --tcp PORT] [--cache DIR] [--spool DIR]
+ *                    [--workers N] [--snapshot-cycles N]
+ *                    [--max-attempts N]
+ *
+ *   --pipe              serve one session on stdin/stdout (default)
+ *   --tcp PORT          listen on 127.0.0.1:PORT (0 = ephemeral)
+ *   --cache DIR         content-addressed result cache (default: off)
+ *   --spool DIR         snapshot/payload spool (default: CACHE/spool)
+ *   --workers N         forked worker processes; 0 = in-process (default)
+ *   --snapshot-cycles N snapshot cadence in simulated cycles (0 = off)
+ *   --max-attempts N    attempts per job before it fails (default 3)
+ *
+ * Exit status: 0 on clean shutdown or client EOF, 1 on runtime
+ * errors, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "harness/cli_args.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/tcp.hpp"
+
+using namespace uksim;
+
+namespace {
+
+struct Options {
+    bool tcp = false;
+    uint64_t port = 0;
+    serve::EngineOptions engine;
+};
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+                 "usage: uksim-serve [--pipe | --tcp PORT] [--cache DIR] "
+                 "[--spool DIR]\n"
+                 "                   [--workers N] [--snapshot-cycles N] "
+                 "[--max-attempts N]\n");
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    harness::cli::ArgReader args("uksim-serve", argc, argv);
+    while (args.next()) {
+        if (args.isHelp()) {
+            usage(stdout);
+            std::exit(0);
+        } else if (args.is("--pipe")) {
+            opts.tcp = false;
+        } else if (args.is("--tcp")) {
+            opts.tcp = true;
+            opts.port = args.u64();
+            if (opts.port > 65535) {
+                std::fprintf(stderr,
+                             "uksim-serve: --tcp: port out of range\n");
+                std::exit(2);
+            }
+        } else if (args.is("--cache")) {
+            opts.engine.cacheDir = args.value();
+        } else if (args.is("--spool")) {
+            opts.engine.spoolDir = args.value();
+        } else if (args.is("--workers")) {
+            opts.engine.workers = args.i32();
+        } else if (args.is("--snapshot-cycles")) {
+            opts.engine.snapshotCycles = args.u64();
+        } else if (args.is("--max-attempts")) {
+            opts.engine.maxAttempts = args.i32();
+        } else {
+            args.unknown(usage);
+        }
+    }
+    return opts;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    try {
+        serve::ServerEngine engine(opts.engine);
+        if (opts.tcp) {
+            serve::TcpServer server(engine, uint16_t(opts.port));
+            // Announce the bound port on stderr so scripts using an
+            // ephemeral port can find it without racing the protocol.
+            std::fprintf(stderr, "uksim-serve: listening on 127.0.0.1:%u\n",
+                         unsigned(server.port()));
+            server.serve();
+        } else {
+            serve::Session session(engine, std::cin, std::cout);
+            session.run();
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "uksim-serve: %s\n", e.what());
+        return 1;
+    }
+}

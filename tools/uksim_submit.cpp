@@ -1,0 +1,257 @@
+/**
+ * @file
+ * uksim-submit — compose and submit uksim-serve batches.
+ *
+ * Builds a protocol submit request from command-line job specs and
+ * either prints it (--emit, for piping into `uksim-serve --pipe`) or
+ * delivers it over TCP (--connect), streaming the server's events to
+ * stdout until the batch completes.
+ *
+ * Usage: uksim-submit (--emit | --connect PORT) [--batch-id ID]
+ *                     [--shutdown] --job NAME [job modifiers] ...
+ *
+ *   --emit              print the request line(s) to stdout and exit
+ *   --connect PORT      submit to 127.0.0.1:PORT and stream events
+ *   --batch-id ID       tag echoed in batch_accepted / batch_done
+ *   --shutdown          append a shutdown op after the submit
+ *   --job NAME          start a new job spec (repeatable)
+ *
+ * Job modifiers apply to the most recent --job:
+ *   --label S --cycles N --detail N --res N --sms N --watchdog N
+ *   --policy trap|halt|throw --counters --kill-after-snapshots N
+ *
+ * Exit status: 0 when every job succeeded (or --emit), 1 for I/O and
+ * server errors, 2 for usage errors, 3 when the batch ran but at
+ * least one job failed.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "harness/cli_args.hpp"
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+
+using namespace uksim;
+
+namespace {
+
+struct Options {
+    bool emit = false;
+    bool connect = false;
+    bool shutdown = false;
+    uint64_t port = 0;
+    std::string batchId;
+    std::vector<serve::JobSpec> jobs;
+};
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: uksim-submit (--emit | --connect PORT) [--batch-id ID] "
+        "[--shutdown]\n"
+        "                    --job NAME [--label S] [--cycles N] "
+        "[--detail N] [--res N]\n"
+        "                    [--sms N] [--watchdog N] "
+        "[--policy trap|halt|throw]\n"
+        "                    [--counters] [--kill-after-snapshots N] "
+        "...\n");
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    harness::cli::ArgReader args("uksim-submit", argc, argv);
+    auto current = [&]() -> serve::JobSpec & {
+        if (opts.jobs.empty()) {
+            std::fprintf(stderr,
+                         "uksim-submit: job modifier before --job\n");
+            std::exit(2);
+        }
+        return opts.jobs.back();
+    };
+    while (args.next()) {
+        if (args.isHelp()) {
+            usage(stdout);
+            std::exit(0);
+        } else if (args.is("--emit")) {
+            opts.emit = true;
+        } else if (args.is("--connect")) {
+            opts.connect = true;
+            opts.port = args.u64();
+        } else if (args.is("--batch-id")) {
+            opts.batchId = args.value();
+        } else if (args.is("--shutdown")) {
+            opts.shutdown = true;
+        } else if (args.is("--job")) {
+            serve::JobSpec spec;
+            spec.name = args.value();
+            spec.label = spec.name;
+            opts.jobs.push_back(spec);
+        } else if (args.is("--label")) {
+            current().label = args.value();
+        } else if (args.is("--cycles")) {
+            current().cycles = args.u64();
+        } else if (args.is("--detail")) {
+            current().detail = args.i32();
+        } else if (args.is("--res")) {
+            current().res = args.i32();
+        } else if (args.is("--sms")) {
+            current().sms = args.i32();
+        } else if (args.is("--watchdog")) {
+            current().watchdog = args.u64();
+        } else if (args.is("--policy")) {
+            current().policy = args.value();
+        } else if (args.is("--counters")) {
+            current().counters = true;
+        } else if (args.is("--kill-after-snapshots")) {
+            current().killAfterSnapshots = args.i32();
+        } else {
+            args.unknown(usage);
+        }
+    }
+    if (opts.jobs.empty() && !opts.shutdown) {
+        std::fprintf(stderr, "uksim-submit: no --job given\n");
+        usage(stderr);
+        std::exit(2);
+    }
+    if (opts.emit == opts.connect) {
+        std::fprintf(stderr,
+                     "uksim-submit: pick exactly one of --emit / "
+                     "--connect\n");
+        std::exit(2);
+    }
+    if (opts.connect && (opts.port == 0 || opts.port > 65535)) {
+        std::fprintf(stderr, "uksim-submit: --connect: bad port\n");
+        std::exit(2);
+    }
+    return opts;
+}
+
+std::string
+submitLine(const Options &opts)
+{
+    std::ostringstream os;
+    os << "{\"op\": \"submit\", \"batch_id\": \""
+       << serve::jsonEscape(opts.batchId) << "\", \"batch\": [";
+    for (size_t i = 0; i < opts.jobs.size(); i++)
+        os << (i ? ", " : "") << serve::jobSpecToJson(opts.jobs[i]);
+    os << "]}";
+    return os.str();
+}
+
+/** Read server reply lines; returns the number of failed jobs, or -1. */
+int
+drainEvents(std::istream &in, bool untilShutdown)
+{
+    int failed = -1;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::printf("%s\n", line.c_str());
+        try {
+            const serve::JsonValue v = serve::parseJson(line);
+            const std::string event = v.stringOr("event", "");
+            if (event == "batch_done") {
+                if (const serve::JsonValue *m = v.find("manifest"))
+                    failed = int(m->u64Or("failed", 0));
+                if (!untilShutdown)
+                    break;
+            } else if (event == "shutdown") {
+                break;
+            } else if (event == "error" && failed < 0) {
+                return -1;
+            }
+        } catch (const serve::JsonError &) {
+            // Not our line; keep streaming.
+        }
+    }
+    return failed;
+}
+
+int
+runConnect(const Options &opts)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("uksim-submit: socket");
+        return 1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(uint16_t(opts.port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        std::perror("uksim-submit: connect");
+        ::close(fd);
+        return 1;
+    }
+
+    std::string request;
+    if (!opts.jobs.empty())
+        request += submitLine(opts) + "\n";
+    if (opts.shutdown)
+        request += "{\"op\": \"shutdown\"}\n";
+    size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t n =
+            ::write(fd, request.data() + off, request.size() - off);
+        if (n <= 0) {
+            std::perror("uksim-submit: write");
+            ::close(fd);
+            return 1;
+        }
+        off += size_t(n);
+    }
+    ::shutdown(fd, SHUT_WR);
+
+    // Slurp the reply stream, then scan it line by line.
+    std::string reply;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+        reply.append(buf, size_t(n));
+    ::close(fd);
+    std::istringstream in(reply);
+    // With --shutdown the server's confirmation event follows the
+    // batch_done line; keep draining so the client echoes it.
+    const int failed = drainEvents(in, opts.shutdown);
+    if (opts.jobs.empty())
+        return 0;
+    if (failed < 0)
+        return 1;
+    return failed == 0 ? 0 : 3;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    try {
+        if (opts.emit) {
+            if (!opts.jobs.empty())
+                std::printf("%s\n", submitLine(opts).c_str());
+            if (opts.shutdown)
+                std::printf("{\"op\": \"shutdown\"}\n");
+            return 0;
+        }
+        return runConnect(opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "uksim-submit: %s\n", e.what());
+        return 1;
+    }
+}

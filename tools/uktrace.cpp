@@ -35,6 +35,7 @@
 #include <fstream>
 #include <string>
 
+#include "harness/cli_args.hpp"
 #include "harness/experiment.hpp"
 #include "trace/stall.hpp"
 
@@ -113,48 +114,29 @@ int
 main(int argc, char **argv)
 {
     Options opts;
-    for (int i = 1; i < argc; i++) {
-        auto value = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "uktrace: %s needs a value\n", flag);
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        auto numeric = [](const char *flag, const char *text) -> uint64_t {
-            std::optional<uint64_t> v = harness::parseU64(text);
-            if (!v) {
-                std::fprintf(stderr,
-                             "uktrace: %s: malformed numeric value '%s'\n",
-                             flag, text);
-                std::exit(2);
-            }
-            return *v;
-        };
-        if (std::strcmp(argv[i], "--config") == 0) {
-            opts.config = value("--config");
-        } else if (std::strcmp(argv[i], "--cycles") == 0) {
-            opts.cycles = numeric("--cycles", value("--cycles"));
-        } else if (std::strcmp(argv[i], "--window") == 0) {
-            opts.window = numeric("--window", value("--window"));
-        } else if (std::strcmp(argv[i], "--csv") == 0) {
-            opts.csvPath = value("--csv");
-        } else if (std::strcmp(argv[i], "--json") == 0) {
-            opts.jsonPath = value("--json");
-        } else if (std::strcmp(argv[i], "--trace") == 0) {
-            opts.tracePath = value("--trace");
-        } else if (std::strcmp(argv[i], "--no-trace") == 0) {
+    harness::cli::ArgReader args("uktrace", argc, argv);
+    while (args.next()) {
+        if (args.is("--config")) {
+            opts.config = args.value();
+        } else if (args.is("--cycles")) {
+            opts.cycles = args.u64();
+        } else if (args.is("--window")) {
+            opts.window = args.u64();
+        } else if (args.is("--csv")) {
+            opts.csvPath = args.value();
+        } else if (args.is("--json")) {
+            opts.jsonPath = args.value();
+        } else if (args.is("--trace")) {
+            opts.tracePath = args.value();
+        } else if (args.is("--no-trace")) {
             opts.noTrace = true;
-        } else if (std::strcmp(argv[i], "--list") == 0) {
+        } else if (args.is("--list")) {
             opts.list = true;
-        } else if (std::strcmp(argv[i], "--help") == 0 ||
-                   std::strcmp(argv[i], "-h") == 0) {
+        } else if (args.isHelp()) {
             usage(stdout);
             return 0;
         } else {
-            std::fprintf(stderr, "uktrace: unknown option '%s'\n", argv[i]);
-            usage(stderr);
-            return 2;
+            args.unknown(&usage);
         }
     }
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "example_kernels.hpp"
+#include "harness/cli_args.hpp"
 #include "kernels/raytrace_kernels.hpp"
 #include "simt/analysis/analysis.hpp"
 #include "simt/assembler.hpp"
@@ -150,29 +151,28 @@ int
 main(int argc, char **argv)
 {
     Options opts;
-    for (int i = 1; i < argc; i++) {
-        if (std::strcmp(argv[i], "--werror") == 0) {
+    harness::cli::ArgReader args("ukverify", argc, argv);
+    while (args.next()) {
+        if (args.is("--werror")) {
             opts.werror = true;
-        } else if (std::strcmp(argv[i], "--lenient") == 0) {
+        } else if (args.is("--lenient")) {
             opts.lenient = true;
-        } else if (std::strcmp(argv[i], "--builtin") == 0) {
+        } else if (args.is("--builtin")) {
             opts.builtin = true;
-        } else if (std::strcmp(argv[i], "--analyze") == 0) {
+        } else if (args.is("--analyze")) {
             opts.analyze = true;
-        } else if (std::strcmp(argv[i], "--json") == 0) {
+        } else if (args.is("--json")) {
             opts.json = true;
             opts.analyze = true;
-        } else if (std::strcmp(argv[i], "--help") == 0 ||
-                   std::strcmp(argv[i], "-h") == 0) {
+        } else if (args.isHelp()) {
             std::printf("usage: ukverify [--werror] [--lenient] "
                         "[--builtin] [--analyze] [--json] "
                         "[file.uk ...]\n");
             return 0;
-        } else if (argv[i][0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
-            return 2;
+        } else if (args.looksLikeFlag()) {
+            args.unknown();
         } else {
-            opts.files.emplace_back(argv[i]);
+            opts.files.emplace_back(args.arg());
         }
     }
     if (!opts.builtin && opts.files.empty()) {
