@@ -14,23 +14,30 @@
  *
  * Usage:
  *   bench_simspeed [--smoke] [--out PATH] [--threads N1,N2,...]
- *                  [--fast-forward on|off|both]
+ *                  [--fast-forward on|off|both] [--epochs on|off|both]
  *
  * --smoke          tiny workload for CI (a few seconds total)
  * --out PATH       JSON output path (default BENCH_simspeed.json)
  * --threads        comma-separated host thread counts (default 1,2,4
  *                  plus the hardware concurrency when larger)
  * --fast-forward   which engine legs to run (default both)
+ * --epochs         lockstep vs epoch-engine legs (default both); with
+ *                  "both", every leg pair's statistics are asserted
+ *                  bit-identical across the engines too
  *
  * Output: a text table and a JSON report of the form
  *   {"benchmark":"simspeed","host_cores":C,"results":[
- *     {"threads":T,"fast_forward":B,"sim_cycles":N,"wall_seconds":S,
- *      "sim_kcycles_per_sec":K,"speedup_vs_serial":X,
+ *     {"threads":T,"fast_forward":B,"epoch_engine":B,"sim_cycles":N,
+ *      "wall_seconds":S,"sim_kcycles_per_sec":K,"speedup_vs_serial":X,
  *      "cycles_skipped":N,"jumps":N,"largest_jump":N,
- *      "bit_identical":true}, ...]}
- * where speedup_vs_serial is relative to the first leg (serial,
- * fast-forward off when that leg is enabled) and bit_identical compares
- * every leg's SimStats against that same reference.
+ *      "epochs":N,"rounds":N,"mean_epoch_cycles":X,
+ *      "epoch_advance_wall_ns":N,"epoch_merge_wall_ns":N,
+ *      "parity_bound":B,"bit_identical":true}, ...]}
+ * where speedup_vs_serial is relative to the first leg, bit_identical
+ * compares every leg's SimStats against that same reference, and
+ * parity_bound flags legs asking for more host threads than the
+ * machine has cores (their scaling is bounded by time-slicing, not by
+ * the engine).
  */
 
 #include <chrono>
@@ -56,6 +63,8 @@ struct Options {
     std::vector<int> threads;
     bool legOff = true;     ///< run the fast-forward-off leg
     bool legOn = true;      ///< run the fast-forward-on leg
+    bool legLockstep = true; ///< run the lockstep-engine leg
+    bool legEpoch = true;    ///< run the epoch-engine leg
 };
 
 Options
@@ -83,11 +92,22 @@ parseArgs(int argc, char **argv)
                              "--fast-forward takes on|off|both\n");
                 std::exit(2);
             }
+        } else if (args.is("--epochs")) {
+            std::string mode = args.value();
+            if (mode == "on") {
+                opt.legLockstep = false;
+            } else if (mode == "off") {
+                opt.legEpoch = false;
+            } else if (mode != "both") {
+                std::fprintf(stderr, "--epochs takes on|off|both\n");
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--out PATH] "
                          "[--threads N1,N2,...] "
-                         "[--fast-forward on|off|both]\n",
+                         "[--fast-forward on|off|both] "
+                         "[--epochs on|off|both]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -104,12 +124,15 @@ parseArgs(int argc, char **argv)
 struct RunResult {
     int threads = 0;
     bool fastForward = false;
+    bool epochEngine = false;
     uint64_t simCycles = 0;
     double wallSeconds = 0.0;
     double kcyclesPerSec = 0.0;
     uint64_t cyclesSkipped = 0;
     uint64_t jumps = 0;
     uint64_t largestJump = 0;
+    EpochStats epoch;
+    bool parityBound = false;   ///< more host threads than cores
     bool bitIdentical = true;   ///< stats match the reference run exactly
 };
 
@@ -124,7 +147,8 @@ struct RunResult {
  * host-thread scaling legs.
  */
 ExperimentConfig
-makeConfig(const Options &opt, int hostThreads, bool fastForward)
+makeConfig(const Options &opt, int hostThreads, bool fastForward,
+           bool epochEngine)
 {
     ExperimentConfig cfg;
     cfg.sceneName = "conference";
@@ -136,6 +160,7 @@ makeConfig(const Options &opt, int hostThreads, bool fastForward)
     cfg.baseConfig.maxCycles = cfg.maxCycles;
     cfg.baseConfig.hostThreads = hostThreads;
     cfg.baseConfig.fastForward = fastForward;
+    cfg.baseConfig.epochEngine = epochEngine;
     if (!opt.smoke) {
         cfg.baseConfig.texL1BytesPerSm = 0;
         cfg.baseConfig.texL2BytesPerPartition = 0;
@@ -150,19 +175,25 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
-    // This benchmark sets thread counts and the fast-forward switch
-    // explicitly per run; the environment overrides would silently make
-    // every leg identical.
+    // This benchmark sets thread counts, the fast-forward switch and
+    // the cycle engine explicitly per run; the environment overrides
+    // would silently make every leg identical.
     unsetenv("UKSIM_THREADS");
     unsetenv("UKSIM_FASTFWD");
+    unsetenv("UKSIM_EPOCHS");
 
     std::vector<bool> legs;
     if (opt.legOff)
         legs.push_back(false);
     if (opt.legOn)
         legs.push_back(true);
+    std::vector<bool> engineLegs;
+    if (opt.legLockstep)
+        engineLegs.push_back(false);
+    if (opt.legEpoch)
+        engineLegs.push_back(true);
 
-    ExperimentConfig probe = makeConfig(opt, 1, false);
+    ExperimentConfig probe = makeConfig(opt, 1, false, false);
     std::printf("bench_simspeed: %s, %dx%d, detail %d, %llu-cycle window, "
                 "%d SMs\n",
                 probe.sceneName.c_str(), probe.sceneParams.imageWidth,
@@ -180,49 +211,63 @@ main(int argc, char **argv)
     allStats.reserve(opt.threads.size() * legs.size());
 
     for (int threads : opt.threads) {
-        for (bool ff : legs) {
-            ExperimentConfig cfg = makeConfig(opt, threads, ff);
-            // Warm-up pass: touches the scene upload path and page cache
-            // so the timed passes measure steady-state simulation speed.
-            if (results.empty())
-                runExperiment(scene, cfg);
+        for (bool engine : engineLegs) {
+            for (bool ff : legs) {
+                ExperimentConfig cfg =
+                    makeConfig(opt, threads, ff, engine);
+                // Warm-up pass: touches the scene upload path and page
+                // cache so the timed passes measure steady-state
+                // simulation speed.
+                if (results.empty())
+                    runExperiment(scene, cfg);
 
-            auto t0 = std::chrono::steady_clock::now();
-            ExperimentResult r = runExperiment(scene, cfg);
-            auto t1 = std::chrono::steady_clock::now();
+                auto t0 = std::chrono::steady_clock::now();
+                ExperimentResult r = runExperiment(scene, cfg);
+                auto t1 = std::chrono::steady_clock::now();
 
-            RunResult rr;
-            rr.threads = threads;
-            rr.fastForward = ff;
-            rr.simCycles = r.stats.cycles;
-            rr.wallSeconds =
-                std::chrono::duration<double>(t1 - t0).count();
-            rr.kcyclesPerSec =
-                rr.wallSeconds > 0.0
-                    ? double(rr.simCycles) / rr.wallSeconds / 1000.0
-                    : 0.0;
-            rr.cyclesSkipped = r.fastForward.cyclesSkipped;
-            rr.jumps = r.fastForward.jumps;
-            rr.largestJump = r.fastForward.largestJump;
-            allStats.push_back(r.stats);
-            rr.bitIdentical = allStats.back() == allStats.front();
-            results.push_back(rr);
+                RunResult rr;
+                rr.threads = threads;
+                rr.fastForward = ff;
+                rr.epochEngine = engine;
+                rr.simCycles = r.stats.cycles;
+                rr.wallSeconds =
+                    std::chrono::duration<double>(t1 - t0).count();
+                rr.kcyclesPerSec =
+                    rr.wallSeconds > 0.0
+                        ? double(rr.simCycles) / rr.wallSeconds / 1000.0
+                        : 0.0;
+                rr.cyclesSkipped = r.fastForward.cyclesSkipped;
+                rr.jumps = r.fastForward.jumps;
+                rr.largestJump = r.fastForward.largestJump;
+                rr.epoch = r.epoch;
+                rr.parityBound = hostCores > 0 && threads > hostCores;
+                allStats.push_back(r.stats);
+                rr.bitIdentical = allStats.back() == allStats.front();
+                results.push_back(rr);
+            }
         }
     }
 
     TextTable table;
-    table.header({"threads", "fastfwd", "sim kcycles", "wall s",
-                  "sim kcycles/s", "speedup", "skipped", "jumps",
-                  "bit-identical"});
+    table.header({"threads", "engine", "fastfwd", "sim kcycles", "wall s",
+                  "sim kcycles/s", "speedup", "epochs", "mean ep",
+                  "adv ms", "merge ms", "bit-identical"});
     const double serialRate = results.front().kcyclesPerSec;
     for (const RunResult &r : results) {
-        table.row({std::to_string(r.threads), r.fastForward ? "on" : "off",
+        const double meanEpoch =
+            r.epoch.epochs
+                ? double(r.epoch.cyclesTotal) / double(r.epoch.epochs)
+                : 0.0;
+        table.row({std::to_string(r.threads),
+                   r.epochEngine ? "epoch" : "lockstep",
+                   r.fastForward ? "on" : "off",
                    fmt(double(r.simCycles) / 1000.0, 1),
                    fmt(r.wallSeconds, 3), fmt(r.kcyclesPerSec, 1),
                    fmt(serialRate > 0 ? r.kcyclesPerSec / serialRate : 0.0,
                        2),
-                   std::to_string(r.cyclesSkipped),
-                   std::to_string(r.jumps),
+                   std::to_string(r.epoch.epochs), fmt(meanEpoch, 1),
+                   fmt(double(r.epoch.advanceWallNs) / 1e6, 1),
+                   fmt(double(r.epoch.mergeWallNs) / 1e6, 1),
                    r.bitIdentical ? "yes" : "NO"});
     }
     std::fputs(table.str().c_str(), stdout);
@@ -249,21 +294,35 @@ main(int argc, char **argv)
     for (size_t i = 0; i < results.size(); i++) {
         const RunResult &r = results[i];
         allIdentical = allIdentical && r.bitIdentical;
+        const double meanEpoch =
+            r.epoch.epochs
+                ? double(r.epoch.cyclesTotal) / double(r.epoch.epochs)
+                : 0.0;
         std::fprintf(
             f,
             "    {\"threads\": %d, \"fast_forward\": %s, "
-            "\"sim_cycles\": %llu, "
+            "\"epoch_engine\": %s, \"sim_cycles\": %llu, "
             "\"wall_seconds\": %.6f, \"sim_kcycles_per_sec\": %.2f, "
             "\"speedup_vs_serial\": %.3f, \"cycles_skipped\": %llu, "
             "\"jumps\": %llu, \"largest_jump\": %llu, "
+            "\"epochs\": %llu, \"rounds\": %llu, "
+            "\"mean_epoch_cycles\": %.2f, "
+            "\"epoch_advance_wall_ns\": %llu, "
+            "\"epoch_merge_wall_ns\": %llu, \"parity_bound\": %s, "
             "\"bit_identical\": %s}%s\n",
             r.threads, r.fastForward ? "true" : "false",
+            r.epochEngine ? "true" : "false",
             static_cast<unsigned long long>(r.simCycles), r.wallSeconds,
             r.kcyclesPerSec,
             serialRate > 0 ? r.kcyclesPerSec / serialRate : 0.0,
             static_cast<unsigned long long>(r.cyclesSkipped),
             static_cast<unsigned long long>(r.jumps),
             static_cast<unsigned long long>(r.largestJump),
+            static_cast<unsigned long long>(r.epoch.epochs),
+            static_cast<unsigned long long>(r.epoch.rounds), meanEpoch,
+            static_cast<unsigned long long>(r.epoch.advanceWallNs),
+            static_cast<unsigned long long>(r.epoch.mergeWallNs),
+            r.parityBound ? "true" : "false",
             r.bitIdentical ? "true" : "false",
             i + 1 < results.size() ? "," : "");
     }

@@ -186,6 +186,8 @@ runExperiment(const PreparedScene &prepared, const ExperimentConfig &config,
     r.simtEfficiency = finalStats.simtEfficiency(gc.warpSize);
     r.fastForward = gpu.fastForwardStats();
     r.fastForwardEnabled = gpu.fastForwardEnabled();
+    r.epoch = gpu.epochStats();
+    r.epochEngineUsed = gpu.epochEligible();
     r.mraysPerSec = finalStats.itemsPerSecond(gc.clockGhz) / 1e6;
     r.hits = kernels::downloadHits(gpu, dev);
     for (int i = 0; i < gpu.numSms(); i++)

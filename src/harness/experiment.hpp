@@ -82,6 +82,10 @@ struct ExperimentResult {
     /// of SimStats: stats must be bit-identical across FF settings.
     FastForwardStats fastForward;
     bool fastForwardEnabled = false;
+    /// Engine-side epoch counters (zeros under the lockstep engine).
+    /// Like fastForward, outside the bit-identity contract.
+    EpochStats epoch;
+    bool epochEngineUsed = false;   ///< epoch engine eligible and enabled
     std::vector<rt::Hit> hits;      ///< downloaded hit records
 
     // Observability exports (filled per ExperimentConfig flags).

@@ -204,10 +204,10 @@ namespace {
 
 /**
  * Every semantic GpuConfig field, in declaration order. hostThreads,
- * fastForward and verifyPrograms are excluded: the first two are
- * engine knobs proven bit-neutral (the whole premise of the result
- * cache), and program verification can only reject a load, never
- * change what a loaded program computes.
+ * fastForward, epochEngine and verifyPrograms are excluded: the first
+ * three are engine knobs proven bit-neutral (the whole premise of the
+ * result cache), and program verification can only reject a load,
+ * never change what a loaded program computes.
  */
 void
 writeGpuConfig(ByteWriter &w, const GpuConfig &gc)

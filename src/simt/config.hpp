@@ -105,6 +105,23 @@ struct GpuConfig {
      */
     bool fastForward = true;
 
+    /**
+     * Epoch-based decoupled cycle engine (simulator speed knob, not a
+     * modelled quantity). Instead of synchronizing every SM every cycle,
+     * each SM advances on a local clock up to a conservative horizon —
+     * the earliest cycle at which any cross-SM interaction is possible
+     * (bounded below by the minimum memory wake-up latency) — deferring
+     * global/local memory accesses, which the coordinator then replays
+     * once per epoch in canonical (cycle, SM-id) order. Every SimStats
+     * observable is bit-identical to the lockstep engine on fault-free
+     * runs, and epoch runs are bit-identical across host thread counts
+     * (DESIGN.md "Epoch engine"). The engine falls back to lockstep
+     * stepping when watchdogCycles > 0, when idealMemory is set, or
+     * when the configured memory latencies leave no lookahead window.
+     * Overridable at run time via UKSIM_EPOCHS=0/1|off|on.
+     */
+    bool epochEngine = true;
+
     // --- Fault handling (fault.hpp) -----------------------------------------
     /// What applying a guest fault does: Throw (legacy, default), Trap
     /// (kill the warp, mark the run Faulted, keep going) or HaltGrid.

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Epoch-based decoupled cycle engine (DESIGN.md "Epoch engine").
+ *
+ * Instead of synchronizing every SM every cycle (stepCycle's serial
+ * fill -> parallel step -> serial merge), each SM advances on a local
+ * clock up to a conservative horizon: the earliest cycle at which any
+ * cross-SM interaction is possible. The only cross-SM channels in this
+ * machine are
+ *
+ *   - deferred global/local memory (DRAM timing, texture L2s, backing
+ *     stores) — bounded below by minWakeupDelta(): an access issued at
+ *     cycle c cannot wake its warp before c + delta;
+ *   - the launch-grid cursor and chip-level faults — handled by parking
+ *     the SM and running a serial coordinator round at the exact cycle;
+ *   - the runUntil pause boundary and config.maxCycles — folded into
+ *     the horizon so pauses land exactly.
+ *
+ * Deferred accesses are captured with register snapshots at issue time
+ * and replayed in global (cycle, SM-id) order — precisely the order the
+ * lockstep engine performs them — so the shared-state evolution (DRAM
+ * busy times, cache contents, memory images, trace records) is bit-
+ * identical on fault-free runs, at any host thread count. Documented
+ * divergences from lockstep (all deterministic, all identical across
+ * thread counts): after a Throw/HaltGrid fault, SMs that ran ahead of
+ * the fault cycle keep their run-ahead statistics; and engine-side
+ * FastForwardStats describe different (equivalent) jump patterns.
+ */
+
+#include "simt/gpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace uksim {
+
+namespace {
+
+uint64_t
+nsSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // anonymous namespace
+
+uint64_t
+Gpu::minWakeupDelta() const
+{
+    // Uncontended DRAM round trip: done >= now + interconnect +
+    // ceil(bytes/bandwidth) + dramLatency, with at least one transfer
+    // cycle. Texture-cache hits complete faster when the caches exist.
+    uint64_t d = uint64_t(config_.interconnectLatencyCycles) +
+                 uint64_t(config_.dramLatencyCycles) + 1;
+    if (config_.texL1BytesPerSm > 0)
+        d = std::min(d, uint64_t(config_.texL1HitLatencyCycles));
+    if (config_.texL2BytesPerPartition > 0)
+        d = std::min(d, uint64_t(config_.texL2HitLatencyCycles));
+    return d;
+}
+
+bool
+Gpu::epochEligible() const
+{
+    // Lockstep fallbacks: the watchdog counts chip-global per-cycle
+    // progress (exact only in lockstep), ideal memory completes every
+    // access next cycle (no lookahead window), and a wake-up delta
+    // under two cycles would let a deferred access wake inside its own
+    // issue cycle's epoch.
+    return epochs_ && config_.watchdogCycles == 0 &&
+           !config_.idealMemory && minWakeupDelta() >= 2;
+}
+
+void
+Gpu::epochAdvanceLane(int k, uint64_t horizon)
+{
+    EpochLane &lane = lanes_[k];
+    if (lane.park != LanePark::None)
+        return;
+    Sm &sm = *sms_[k];
+    WakeQueue &wake = wakeups_[k];
+
+    for (;;) {
+        const uint64_t c = lane.localCycle;
+        if (c >= horizon) {
+            lane.park = LanePark::Horizon;
+            return;
+        }
+
+        // (a) Deliver this SM's own due wake-ups. Replays only schedule
+        // wake-ups at least minWakeupDelta past their issue cycle, so
+        // everything deliverable inside this epoch is already queued.
+        bool delivered = false;
+        while (!wake.empty() && wake.top().cycle <= c) {
+            const int slot = wake.top().warpSlot;
+            wake.pop();
+            sm.memWakeup(slot, c);
+            delivered = true;
+        }
+
+        // (b) Warp placement, mirroring fillSm's priority order with
+        // frozen shared inputs. FIFO pops and happy-path partial
+        // flushes are SM-local and self-service; anything that needs
+        // the chip-shared grid cursor or raises a chip-level fault
+        // parks for a coordinator round at this exact cycle.
+        bool filled = false;
+        if (sm.freeWarpSlots() > 0) {
+            if (sm.spawnEnabled() && !sm.spawnUnit()->fifoEmpty()) {
+                sm.launchDynamicWarp(sm.spawnUnit()->popWarp());
+                filled = true;
+            } else if (!gridExhausted()) {
+                // Monotone-safe frozen read: the cursor only moves in
+                // coordinator rounds, and exhaustion never un-happens.
+                lane.park = LanePark::Fill;
+                return;
+            } else if (sm.spawnEnabled() && sm.liveWarps() == 0 &&
+                       sm.spawnUnit()->hasPartialWarps()) {
+                if (sm.spawnUnit()->freeRegionCount() == 0) {
+                    // Drain-flush found the formation ring dry: the
+                    // chip-level exhaustion fault is coordinator work.
+                    lane.park = LanePark::Fill;
+                    return;
+                }
+                sm.launchDynamicWarp(
+                    sm.spawnUnit()->flushLowestPcPartial(c));
+                filled = true;
+            }
+        }
+
+        // (c) Local fast-forward. With no wake-up and no fill this
+        // cycle, the fill inputs are frozen (slots and the FIFO only
+        // change by stepping; grid exhaustion is monotone), so if no
+        // warp is issuable either, every cycle up to the next local
+        // event is provably idle and skipCycles() accounts the span
+        // exactly like naive steps. The engine always skips — SimStats
+        // are identical either way by span additivity — but the spans
+        // count as fast-forward jumps only when fast-forward is on.
+        if (!delivered && !filled) {
+            uint64_t next = sm.nextEventCycle(c);
+            if (!wake.empty())
+                next = std::min(next, wake.top().cycle);
+            if (next == UINT64_MAX) {
+                // Nothing scheduled ever: inert until a future epoch's
+                // wake-up or the end of the run. Park *before* stepping
+                // this cycle so the commit top-up attributes exactly
+                // the cycles the lockstep engine would have stepped.
+                lane.park = LanePark::Idle;
+                return;
+            }
+            if (next > c) {
+                const uint64_t target = std::min(next, horizon);
+                const uint64_t span = target - c;
+                sm.skipCycles(c, span);
+                lane.ffSkipped += span;
+                lane.ffJumps++;
+                lane.ffLargest = std::max(lane.ffLargest, span);
+                lane.localCycle = target;
+                continue;
+            }
+        }
+
+        // (d) Step this cycle, then capture any deferred global/local
+        // access while the issuing registers are still live.
+        sm.step(c);
+        if (sm.hasPendingMem() && sm.deferPendingMem(c)) {
+            // The replay will raise a memory fault: freeze the SM at
+            // this cycle so the policy applies to lockstep-identical
+            // machine state at the coordinator round.
+            lane.park = LanePark::Fault;
+            return;
+        }
+        if (sm.hasPendingFaults()) {
+            lane.park = LanePark::Fault;
+            return;
+        }
+        lane.localCycle = c + 1;
+    }
+}
+
+void
+Gpu::replayOne(Sm &sm)
+{
+    if (!trace_.enabled()) {
+        sm.replayDeferredFront();
+        return;
+    }
+    // Capture the DRAM model's direct trace records so mergeEpochTrace
+    // can splice them at the lockstep insertion point (right after this
+    // SM's buffered events for this cycle).
+    const uint64_t c = sm.frontDeferredCycle();
+    captureScratch_.clear();
+    trace_.setCapture(&captureScratch_);
+    sm.replayDeferredFront();
+    trace_.setCapture(nullptr);
+    for (const trace::Event &e : captureScratch_)
+        dramCapture_.push_back({c, sm.id(), e});
+}
+
+void
+Gpu::replayDeferredBelow(uint64_t limit, bool inclusive)
+{
+    // k-way min scan over the per-SM queues (each is sorted: local time
+    // is monotone), yielding global (cycle, SM-id) ascending order —
+    // exactly the order the lockstep merge phase drove the shared DRAM
+    // and cache state.
+    for (;;) {
+        uint64_t best = UINT64_MAX;
+        int bestK = -1;
+        for (size_t k = 0; k < sms_.size(); k++) {
+            if (!sms_[k]->hasDeferredMem())
+                continue;
+            const uint64_t c = sms_[k]->frontDeferredCycle();
+            if (c < best) {
+                best = c;
+                bestK = static_cast<int>(k);
+            }
+        }
+        if (bestK < 0)
+            return;
+        if (inclusive ? best > limit : best >= limit)
+            return;
+        replayOne(*sms_[bestK]);
+    }
+}
+
+void
+Gpu::runEpochRound(uint64_t atCycle)
+{
+    epochStats_.rounds++;
+    // Chip clock tracks the round cycle: fillSm and fault application
+    // stamp events and kills with cycle_, and a Throw must surface with
+    // the clock parked on the fault cycle like the lockstep engine.
+    cycle_ = atCycle;
+
+    // Shared-state replays strictly before the round cycle, so the
+    // fills and inline steps below observe the same DRAM/cache/store
+    // state as the lockstep engine entering this cycle.
+    replayDeferredBelow(atCycle, /*inclusive=*/false);
+
+    try {
+        // Grid fills for fill-parked lanes, ascending SM id. Only
+        // grid-wanting SMs park for fills and rounds run in ascending
+        // cycle order, so the grid cursor is consumed in exactly the
+        // lockstep (cycle, SM-id) order. May raise the chip-level
+        // flush-exhaustion fault (handleFlushExhaustion).
+        for (size_t k = 0; k < sms_.size(); k++) {
+            const EpochLane &lane = lanes_[k];
+            if (lane.park == LanePark::Fill && lane.localCycle == atCycle)
+                fillSm(*sms_[k]);
+        }
+        // Fill-parked lanes have not stepped this cycle yet: step them
+        // inline (ascending SM id) and capture any deferred access. A
+        // predicted replay fault needs no park here — its entry replays
+        // below and the fault pass right after applies it.
+        for (size_t k = 0; k < sms_.size(); k++) {
+            const EpochLane &lane = lanes_[k];
+            if (lane.park != LanePark::Fill || lane.localCycle != atCycle)
+                continue;
+            Sm &sm = *sms_[k];
+            sm.step(atCycle);
+            if (sm.hasPendingMem())
+                sm.deferPendingMem(atCycle);
+        }
+        // Every (atCycle, *) deferred entry now exists (run-ahead lanes
+        // contributed theirs at capture time), so this inclusive sweep
+        // replays them in canonical SM-id order.
+        replayDeferredBelow(atCycle, /*inclusive=*/true);
+        // Lockstep phase order within a cycle: services, then faults.
+        processFaultsAt(atCycle);
+    } catch (...) {
+        // Throw policy (or a wrapped chip fault): surface the guest
+        // fault with the trace merged, mirroring the lockstep engine's
+        // mid-cycle unwind.
+        mergeEpochTrace();
+        throw;
+    }
+
+    // Resume every lane parked at this cycle.
+    for (size_t k = 0; k < sms_.size(); k++) {
+        EpochLane &lane = lanes_[k];
+        if ((lane.park == LanePark::Fill ||
+             lane.park == LanePark::Fault) &&
+            lane.localCycle == atCycle) {
+            lane.park = LanePark::None;
+            lane.localCycle = atCycle + 1;
+        }
+    }
+}
+
+void
+Gpu::mergeEpochTrace()
+{
+    if (!trace_.enabled()) {
+        dramCapture_.clear();
+        return;
+    }
+    const size_t n = sms_.size();
+    std::vector<size_t> idx(n, 0);
+    size_t di = 0;
+    for (;;) {
+        // Next content cycle with anything left to splice.
+        uint64_t c = UINT64_MAX;
+        for (size_t k = 0; k < n; k++) {
+            const auto &pend = sms_[k]->traceBuffer().pending();
+            if (idx[k] < pend.size())
+                c = std::min(c, pend[idx[k]].cycle);
+        }
+        if (di < dramCapture_.size())
+            c = std::min(c, dramCapture_[di].cycle);
+        if (c == UINT64_MAX)
+            break;
+        // Lockstep insertion order within a cycle: ascending SM id,
+        // each SM's buffered events then its DRAM records — that is the
+        // order stepCycle's merge loop (drainTrace; serviceDeferredMem)
+        // produced, so ring wrap drops fall on the same records.
+        for (size_t k = 0; k < n; k++) {
+            const auto &pend = sms_[k]->traceBuffer().pending();
+            while (idx[k] < pend.size() && pend[idx[k]].cycle == c)
+                trace_.append(pend[idx[k]++]);
+            while (di < dramCapture_.size() &&
+                   dramCapture_[di].cycle == c &&
+                   dramCapture_[di].smId == static_cast<int>(k)) {
+                trace_.append(dramCapture_[di++].event);
+            }
+        }
+    }
+    for (size_t k = 0; k < n; k++)
+        sms_[k]->traceBuffer().clearPending();
+    dramCapture_.clear();
+}
+
+void
+Gpu::runOneEpoch(uint64_t stop)
+{
+    using clock = std::chrono::steady_clock;
+    const uint64_t epochStart = cycle_;
+    const uint64_t delta = minWakeupDelta();
+    uint64_t horizon = epochStart + delta;
+    bool cappedByStop = false;
+    if (horizon >= stop) {
+        horizon = stop;
+        cappedByStop = true;
+    }
+    epochHorizon_ = horizon;
+
+    for (auto &lane : lanes_) {
+        lane = EpochLane{};
+        lane.localCycle = epochStart;
+    }
+
+    uint64_t advanceNs = 0;
+    uint64_t mergeNs = 0;
+    bool halted = false;
+    uint64_t haltCycle = 0;
+
+    for (;;) {
+        // --- Parallel phase: advance every lane until it parks ----------
+        auto t0 = clock::now();
+        if (pool_) {
+            pool_->parallelFor(epochJob_);
+        } else {
+            for (size_t k = 0; k < sms_.size(); k++)
+                epochAdvanceLane(static_cast<int>(k), horizon);
+        }
+        advanceNs += nsSince(t0);
+
+        // --- Coordinator round at the minimum parked cycle --------------
+        t0 = clock::now();
+        uint64_t roundAt = UINT64_MAX;
+        for (const EpochLane &lane : lanes_) {
+            if (lane.park == LanePark::Fill ||
+                lane.park == LanePark::Fault) {
+                roundAt = std::min(roundAt, lane.localCycle);
+            }
+        }
+        if (roundAt == UINT64_MAX) {
+            mergeNs += nsSince(t0);
+            break;
+        }
+        runEpochRound(roundAt);
+        mergeNs += nsSince(t0);
+        if (haltRequested_) {
+            halted = true;
+            haltCycle = roundAt;
+            break;
+        }
+    }
+
+    auto t0 = clock::now();
+    if (halted) {
+        // HaltGrid stopped the run mid-epoch. Cycles past the halt were
+        // never simulated by the lockstep oracle: drop the run-ahead
+        // lanes' queued accesses and stop the chip clock right after
+        // the halt cycle, like stepCycle's trailing increment.
+        for (auto &sm : sms_)
+            sm->clearDeferredMem();
+        mergeEpochTrace();
+        cycle_ = haltCycle + 1;
+        if (fastForward_) {
+            for (const EpochLane &lane : lanes_) {
+                ffStats_.cyclesSkipped += lane.ffSkipped;
+                ffStats_.jumps += lane.ffJumps;
+                ffStats_.largestJump =
+                    std::max(ffStats_.largestJump, lane.ffLargest);
+            }
+        }
+        const uint64_t covered = cycle_ - epochStart;
+        epochStats_.epochs++;
+        epochStats_.capHalt++;
+        epochStats_.cyclesTotal += covered;
+        epochStats_.maxEpochCycles =
+            std::max(epochStats_.maxEpochCycles, covered);
+        epochStats_.advanceWallNs += advanceNs;
+        epochStats_.mergeWallNs += mergeNs + nsSince(t0);
+        return;
+    }
+
+    // All lanes parked at the horizon or idle: replay every remaining
+    // deferred access in global (cycle, SM-id) order. The wake-ups this
+    // schedules all land at or past the horizon, i.e. in later epochs.
+    replayDeferredBelow(UINT64_MAX, /*inclusive=*/true);
+    // The capture-time pre-check makes replay faults here impossible;
+    // if one fires anyway, apply it at the end of the epoch rather than
+    // dropping it (documented corner — replayDeferredFront already
+    // rebalanced the warp's outstanding count).
+    for (const auto &sm : sms_) {
+        if (sm->hasPendingFaults()) {
+            processFaultsAt(horizon > 0 ? horizon - 1 : 0);
+            break;
+        }
+    }
+
+    // Commit cycle. A frozen machine — every lane inert, no wake-up
+    // queued anywhere — either finished (the chip clock stops at the
+    // last retire + 1, exactly where the lockstep loop exits) or can
+    // never act again, and the clock jumps straight to the stop
+    // boundary in one span (the lockstep fast-forward does the same).
+    bool allIdle = true;
+    for (const EpochLane &lane : lanes_) {
+        if (lane.park != LanePark::Idle) {
+            allIdle = false;
+            break;
+        }
+    }
+    bool wakesEmpty = true;
+    for (const WakeQueue &q : wakeups_) {
+        if (!q.empty()) {
+            wakesEmpty = false;
+            break;
+        }
+    }
+
+    uint64_t commit;
+    if (allIdle && wakesEmpty && !haltRequested_) {
+        if (finished()) {
+            commit = epochStart;
+            for (const EpochLane &lane : lanes_)
+                commit = std::max(commit, lane.localCycle);
+            epochStats_.capFinish++;
+        } else {
+            commit = stop;
+            if (stop == config_.maxCycles)
+                epochStats_.capMaxCycles++;
+            else
+                epochStats_.capRunStop++;
+        }
+    } else {
+        commit = horizon;
+        if (!cappedByStop)
+            epochStats_.capMemLatency++;
+        else if (stop == config_.maxCycles)
+            epochStats_.capMaxCycles++;
+        else
+            epochStats_.capRunStop++;
+    }
+
+    // Top up lanes that parked early: their state is frozen across the
+    // remaining span (that is what the park proved), so the bulk idle
+    // accounting is exact.
+    for (size_t k = 0; k < sms_.size(); k++) {
+        EpochLane &lane = lanes_[k];
+        if (lane.localCycle < commit) {
+            const uint64_t span = commit - lane.localCycle;
+            sms_[k]->skipCycles(lane.localCycle, span);
+            lane.ffSkipped += span;
+            lane.ffJumps++;
+            lane.ffLargest = std::max(lane.ffLargest, span);
+            lane.localCycle = commit;
+        }
+    }
+
+    mergeEpochTrace();
+    if (fastForward_) {
+        for (const EpochLane &lane : lanes_) {
+            ffStats_.cyclesSkipped += lane.ffSkipped;
+            ffStats_.jumps += lane.ffJumps;
+            ffStats_.largestJump =
+                std::max(ffStats_.largestJump, lane.ffLargest);
+        }
+    }
+    cycle_ = commit;
+
+    const uint64_t covered = commit - epochStart;
+    epochStats_.epochs++;
+    epochStats_.cyclesTotal += covered;
+    epochStats_.maxEpochCycles =
+        std::max(epochStats_.maxEpochCycles, covered);
+    epochStats_.advanceWallNs += advanceNs;
+    epochStats_.mergeWallNs += mergeNs + nsSince(t0);
+}
+
+} // namespace uksim

@@ -54,6 +54,24 @@ resolveFastForward(const GpuConfig &config)
     return enabled;
 }
 
+/**
+ * Resolve the epoch-engine switch: config value, overridden by
+ * UKSIM_EPOCHS when set (same accepted spellings as UKSIM_FASTFWD).
+ */
+bool
+resolveEpochs(const GpuConfig &config)
+{
+    bool enabled = config.epochEngine;
+    if (const char *env = std::getenv("UKSIM_EPOCHS")) {
+        std::string v(env);
+        if (v == "1" || v == "on" || v == "true")
+            enabled = true;
+        else if (v == "0" || v == "off" || v == "false")
+            enabled = false;
+    }
+    return enabled;
+}
+
 } // anonymous namespace
 
 Gpu::Gpu(GpuConfig config)
@@ -75,6 +93,11 @@ Gpu::Gpu(GpuConfig config)
     }
     hostThreads_ = resolveHostThreads(config_);
     fastForward_ = resolveFastForward(config_);
+    // The engine choice must not depend on the host thread count: the
+    // epoch engine runs serially at threads=1 too, so runs at different
+    // thread counts always agree on every engine-visible decision.
+    epochs_ = resolveEpochs(config_);
+    wakeups_.resize(std::max(1, config_.numSms));
     if (hostThreads_ > 1) {
         pool_ = std::make_unique<WorkerPool>(hostThreads_);
         stepJob_ = [this](int t) {
@@ -84,6 +107,14 @@ Gpu::Gpu(GpuConfig config)
             const int hi = n * (t + 1) / shards;
             for (int i = lo; i < hi; i++)
                 sms_[i]->step(cycle_);
+        };
+        epochJob_ = [this](int t) {
+            const int n = static_cast<int>(sms_.size());
+            const int shards = pool_->threads();
+            const int lo = n * t / shards;
+            const int hi = n * (t + 1) / shards;
+            for (int i = lo; i < hi; i++)
+                epochAdvanceLane(i, epochHorizon_);
         };
     }
 }
@@ -174,6 +205,13 @@ Gpu::loadProgram(Program program)
     lastWarpIssueTotal_ = 0;
     noProgressCycles_ = 0;
     ffStats_ = FastForwardStats{};
+
+    // Fresh epoch / wake-up state.
+    for (auto &q : wakeups_)
+        q = WakeQueue{};
+    lanes_.assign(config_.numSms, EpochLane{});
+    epochStats_ = EpochStats{};
+    dramCapture_.clear();
 }
 
 uint32_t
@@ -231,7 +269,7 @@ Gpu::launch(uint32_t numThreads)
 void
 Gpu::scheduleMemWakeup(uint64_t cycle, int smId, int warpSlot)
 {
-    events_.push({cycle, smId, warpSlot});
+    wakeups_[smId].push({cycle, warpSlot});
 }
 
 bool
@@ -362,11 +400,14 @@ Gpu::stepCycle()
 {
     // --- Coordinator: wake-ups and warp placement (serial) -------------------
     bool woke = false;
-    while (!events_.empty() && events_.top().cycle <= cycle_) {
-        MemEvent e = events_.top();
-        events_.pop();
-        sms_[e.smId]->memWakeup(e.warpSlot, cycle_);
-        woke = true;
+    for (size_t k = 0; k < sms_.size(); k++) {
+        WakeQueue &q = wakeups_[k];
+        while (!q.empty() && q.top().cycle <= cycle_) {
+            const int slot = q.top().warpSlot;
+            q.pop();
+            sms_[k]->memWakeup(slot, cycle_);
+            woke = true;
+        }
     }
     bool filled = false;
     for (auto &sm : sms_) {
@@ -397,17 +438,24 @@ Gpu::stepCycle()
 
     // Faults detected this cycle (parallel phase or deferred replay) are
     // applied here, in SM-id order — deterministic at any thread count.
-    processFaults();
+    processFaultsAt(cycle_);
 
     // --- Forward-progress watchdog (off by default) --------------------------
     if (config_.watchdogCycles > 0) {
         uint64_t issues = 0;
         for (const auto &sm : sms_)
             issues += sm->localStats().warpIssues;
+        bool inFlight = false;
+        for (const WakeQueue &q : wakeups_) {
+            if (!q.empty()) {
+                inFlight = true;
+                break;
+            }
+        }
         // An in-flight memory event is pending progress, so long DRAM
         // waits (hundreds of idle cycles) never trip a small watchdog.
         const bool progress =
-            woke || issues != lastWarpIssueTotal_ || !events_.empty();
+            woke || issues != lastWarpIssueTotal_ || inFlight;
         lastWarpIssueTotal_ = issues;
         if (progress) {
             noProgressCycles_ = 0;
@@ -440,7 +488,14 @@ Gpu::fastForwardIdleSpan()
     // Next cycle anything can happen: the earliest queued DRAM wake-up
     // or the earliest SM-local ready time (ALU latency, bank-conflict
     // gate expiry). UINT64_MAX when nothing at all is scheduled.
-    uint64_t wake = events_.empty() ? UINT64_MAX : events_.top().cycle;
+    uint64_t wake = UINT64_MAX;
+    bool inFlight = false;
+    for (const WakeQueue &q : wakeups_) {
+        if (!q.empty()) {
+            inFlight = true;
+            wake = std::min(wake, q.top().cycle);
+        }
+    }
     for (const auto &sm : sms_) {
         wake = std::min(wake, sm->nextEventCycle(cycle_));
         if (wake <= cycle_)
@@ -454,7 +509,7 @@ Gpu::fastForwardIdleSpan()
     // cycle and raise the verdict there. With an event in flight the
     // naive loop sees progress every cycle and the counter stays reset.
     bool tripWatchdog = false;
-    if (config_.watchdogCycles > 0 && events_.empty()) {
+    if (config_.watchdogCycles > 0 && !inFlight) {
         const uint64_t tripAt =
             cycle_ + (config_.watchdogCycles - noProgressCycles_);
         if (tripAt <= target) {
@@ -469,7 +524,7 @@ Gpu::fastForwardIdleSpan()
     for (auto &sm : sms_)
         sm->skipCycles(cycle_, span);
     if (config_.watchdogCycles > 0) {
-        if (!events_.empty())
+        if (inFlight)
             noProgressCycles_ = 0;
         else
             noProgressCycles_ += span;
@@ -484,7 +539,7 @@ Gpu::fastForwardIdleSpan()
 }
 
 void
-Gpu::processFaults()
+Gpu::processFaultsAt(uint64_t cycle)
 {
     for (auto &sm : sms_) {
         if (!sm->hasPendingFaults())
@@ -496,7 +551,7 @@ Gpu::processFaults()
                 throw GuestFault(f);
             case FaultPolicy::Trap:
                 if (f.warpSlot >= 0)
-                    sm->killWarp(f.warpSlot, cycle_);
+                    sm->killWarp(f.warpSlot, cycle);
                 break;
             case FaultPolicy::HaltGrid:
                 haltRequested_ = true;
@@ -526,9 +581,20 @@ Gpu::runUntil(uint64_t stopCycle)
     // are outside the identity contract by design.
     runStop_ = stopCycle;
     const uint64_t stop = std::min(stopCycle, config_.maxCycles);
-    while (cycle_ < stop && !finished() && !haltRequested_ &&
-           !deadlocked_) {
-        stepCycle();
+    if (epochEligible()) {
+        // Epoch engine: one synchronization per conservative lookahead
+        // window instead of three per cycle (epoch.cpp). Bit-identical
+        // SimStats on clean runs; the horizon is clamped to @p stop, so
+        // pause boundaries are hit exactly just like the lockstep path.
+        while (cycle_ < stop && !finished() && !haltRequested_ &&
+               !deadlocked_) {
+            runOneEpoch(stop);
+        }
+    } else {
+        while (cycle_ < stop && !finished() && !haltRequested_ &&
+               !deadlocked_) {
+            stepCycle();
+        }
     }
     runStop_ = UINT64_MAX;
     if (cycle_ >= config_.maxCycles || finished() || haltRequested_ ||

@@ -49,6 +49,30 @@ struct FastForwardStats {
     uint64_t largestJump = 0;       ///< longest single jump, in cycles
 };
 
+/**
+ * Engine-side counters for the epoch engine. Like FastForwardStats they
+ * live outside SimStats: they describe how the engine covered the
+ * simulated cycles, not the simulated machine, and are not part of the
+ * bit-identity contract (the per-phase wall times are not even
+ * deterministic). Exported through the trace counter registry as
+ * epoch.* and by bench_simspeed.
+ */
+struct EpochStats {
+    uint64_t epochs = 0;            ///< epochs committed
+    uint64_t rounds = 0;            ///< coordinator rounds (fill/fault syncs)
+    uint64_t cyclesTotal = 0;       ///< simulated cycles covered by epochs
+    uint64_t maxEpochCycles = 0;    ///< longest single epoch, in cycles
+    // Horizon-limiter histogram: which bound capped each epoch.
+    uint64_t capMemLatency = 0;     ///< epochStart + minimum wake-up delta
+    uint64_t capRunStop = 0;        ///< runUntil pause boundary
+    uint64_t capMaxCycles = 0;      ///< config.maxCycles
+    uint64_t capFinish = 0;         ///< grid drained inside the epoch
+    uint64_t capHalt = 0;           ///< fault halt cut the epoch short
+    // Per-phase wall time (observability only).
+    uint64_t advanceWallNs = 0;     ///< parallel local-advance phase
+    uint64_t mergeWallNs = 0;       ///< serial round/replay/commit phase
+};
+
 /** Occupancy derived from a program's resource declarations. */
 struct Occupancy {
     int warpsPerSm = 0;
@@ -80,6 +104,29 @@ class Gpu : public SmServices
 
     /** Fast-forward engine counters (zeros when disabled). */
     const FastForwardStats &fastForwardStats() const { return ffStats_; }
+
+    /** Resolved epoch-engine switch (config + UKSIM_EPOCHS override). */
+    bool epochEngineEnabled() const { return epochs_; }
+
+    /**
+     * The run loop actually uses the epoch engine: the switch is on and
+     * the configuration leaves a lookahead window (no watchdog, no ideal
+     * memory, memory wake-ups at least two cycles out). Otherwise
+     * runUntil falls back to lockstep stepCycle().
+     */
+    bool epochEligible() const;
+
+    /** Epoch engine counters (zeros when the engine never ran). */
+    const EpochStats &epochStats() const { return epochStats_; }
+
+    /**
+     * Conservative lower bound on the distance (in cycles) between a
+     * deferred memory access and its wake-up: the minimum over the
+     * enabled texture-cache hit latencies and the uncontended DRAM round
+     * trip. Any access issued at cycle c wakes at or after
+     * c + minWakeupDelta(), which bounds every cross-epoch interaction.
+     */
+    uint64_t minWakeupDelta() const;
 
     // --- Host memory API ---------------------------------------------------
     /** Allocate @p bytes of device global memory; returns the address. */
@@ -181,11 +228,49 @@ class Gpu : public SmServices
     }
 
   private:
-    struct MemEvent {
+    /**
+     * One scheduled memory wake-up. The queues are per SM: an SM's
+     * deferred accesses only ever wake its own warps, so per-SM queues
+     * let the epoch engine's local-advance phase pop them without any
+     * cross-SM coordination. Lockstep drains the queues in SM-id order
+     * each cycle, which is bit-identical to the old chip-global queue
+     * (same-cycle deliveries commute — memWakeup touches only its warp).
+     */
+    struct WakeEvent {
+        uint64_t cycle;
+        int warpSlot;
+        bool operator>(const WakeEvent &o) const { return cycle > o.cycle; }
+    };
+    using WakeQueue = std::priority_queue<WakeEvent, std::vector<WakeEvent>,
+                                          std::greater<WakeEvent>>;
+
+    /** Why an SM's local clock stopped inside an epoch. */
+    enum class LanePark : uint8_t {
+        None,       ///< still advancing
+        Fill,       ///< needs the coordinator (grid launch / chip fault)
+        Fault,      ///< queued guest faults; frozen at the fault cycle
+        Horizon,    ///< reached the epoch horizon
+        Idle,       ///< nothing scheduled ever (blocked or drained)
+    };
+
+    /** Per-SM epoch state: the local clock and park reason. */
+    struct EpochLane {
+        uint64_t localCycle = 0;
+        LanePark park = LanePark::None;
+        // Locally skipped idle spans, merged into ffStats_ at commit
+        // when fast-forward is on (the engine always skips for speed —
+        // SimStats are identical either way by span additivity).
+        uint64_t ffSkipped = 0;
+        uint64_t ffJumps = 0;
+        uint64_t ffLargest = 0;
+    };
+
+    /** A DRAM trace record captured during deferred replay, with the
+     *  (content cycle, SM id) key the trace merge sorts by. */
+    struct TaggedEvent {
         uint64_t cycle;
         int smId;
-        int warpSlot;
-        bool operator>(const MemEvent &o) const { return cycle > o.cycle; }
+        trace::Event event;
     };
 
     /**
@@ -210,10 +295,47 @@ class Gpu : public SmServices
     /**
      * Serial-phase fault pass: collect queued faults in SM-id order and
      * apply the configured policy (throw / kill warp / halt grid).
+     * @p cycle stamps warp kills (and is cycle_ in the lockstep engine).
      */
-    void processFaults();
+    void processFaultsAt(uint64_t cycle);
     /** Flush path found the formation ring dry: chip-level fault. */
     void handleFlushExhaustion(Sm &sm);
+
+    // --- Epoch engine (epoch.cpp) -------------------------------------------
+    /**
+     * Run one epoch: advance every SM on its local clock up to the
+     * conservative horizon, resolving coordinator rounds (grid fills,
+     * fault application) at the minimum parked cycle as needed, then
+     * replay all deferred memory in global (cycle, SM-id) order and
+     * commit the chip clock. @p stop is the runUntil boundary already
+     * clamped to config.maxCycles.
+     */
+    void runOneEpoch(uint64_t stop);
+    /**
+     * Worker-side local advance of SM @p k until it parks (horizon,
+     * fill request, fault, or nothing scheduled). Touches only SM-local
+     * state, lanes_[k], and this SM's wake queue; shared chip state is
+     * read-only during this phase.
+     */
+    void epochAdvanceLane(int k, uint64_t horizon);
+    /**
+     * Serial coordinator round at parked cycle @p atCycle: replay
+     * deferred memory below it, run the real fillSm for fill-parked
+     * lanes (consuming the grid cursor in lockstep order), step them
+     * inline, replay deferred memory through it, and apply faults.
+     */
+    void runEpochRound(uint64_t atCycle);
+    /** Replay queued deferred accesses with cycle < @p limit (or <= when
+     *  @p inclusive) across all SMs in global (cycle, SM-id) order. */
+    void replayDeferredBelow(uint64_t limit, bool inclusive);
+    /** Replay one SM's front entry, capturing DRAM trace records. */
+    void replayOne(Sm &sm);
+    /**
+     * Splice the epoch's buffered SM events and captured DRAM records
+     * into the master ring in lockstep insertion order: for each content
+     * cycle, ascending SM id, buffered events before DRAM records.
+     */
+    void mergeEpochTrace();
 
     GpuConfig config_;
     Program program_;
@@ -234,8 +356,8 @@ class Gpu : public SmServices
     /// Persistent parallel-phase job (avoids per-cycle allocation).
     std::function<void(int)> stepJob_;
 
-    std::priority_queue<MemEvent, std::vector<MemEvent>,
-                        std::greater<MemEvent>> events_;
+    /// Per-SM scheduled memory wake-ups (see WakeEvent).
+    std::vector<WakeQueue> wakeups_;
 
     /// Reusable launch-tid scratch for fillSm (no per-launch allocation).
     std::vector<uint32_t> launchTids_;
@@ -265,6 +387,18 @@ class Gpu : public SmServices
     /// Pause boundary of the active runUntil (UINT64_MAX outside one):
     /// fast-forward jumps may not overshoot it.
     uint64_t runStop_ = UINT64_MAX;
+
+    // --- Epoch engine (config.epochEngine / UKSIM_EPOCHS) ------------------
+    bool epochs_ = true;            ///< resolved switch
+    EpochStats epochStats_;
+    std::vector<EpochLane> lanes_;
+    /// Persistent parallel local-advance job (avoids per-epoch allocation).
+    std::function<void(int)> epochJob_;
+    uint64_t epochHorizon_ = 0;     ///< active epoch's horizon (workers read)
+    /// DRAM trace records captured during deferred replay, in global
+    /// (cycle, SM-id) replay order.
+    std::vector<TaggedEvent> dramCapture_;
+    std::vector<trace::Event> captureScratch_;
 };
 
 } // namespace uksim

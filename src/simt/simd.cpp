@@ -1,0 +1,326 @@
+/**
+ * @file
+ * AVX2 lane-loop kernels (see simd.hpp for the bit-identity contract).
+ *
+ * The vector bodies carry function-level target("avx2") attributes so
+ * this translation unit still compiles to baseline x86-64 everywhere
+ * else; enabled() gates every call on a runtime CPU check, making the
+ * binary safe on pre-AVX2 hosts.
+ */
+
+#include "simt/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define UKSIM_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define UKSIM_SIMD_X86 0
+#endif
+
+namespace uksim::simd {
+
+namespace {
+
+std::atomic<int> forceForTest{-1};
+
+bool
+envAllows()
+{
+    const char *v = std::getenv("UKSIM_SIMD");
+    if (v == nullptr)
+        return true;
+    return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+             std::strcmp(v, "false") == 0);
+}
+
+bool
+cpuHasAvx2()
+{
+#if UKSIM_SIMD_X86
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+} // anonymous namespace
+
+bool
+enabled()
+{
+    static const bool base = cpuHasAvx2() && envAllows();
+    const int f = forceForTest.load(std::memory_order_relaxed);
+    if (f >= 0)
+        return f != 0 && cpuHasAvx2();
+    return base;
+}
+
+void
+setForTest(int force)
+{
+    forceForTest.store(force, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Predicate lane mask
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t
+predLaneMaskScalar(const uint8_t *preds, int baseSlot, int pred, int nLanes)
+{
+    uint64_t out = 0;
+    for (int l = 0; l < nLanes; l++) {
+        if (preds[size_t(baseSlot + l) * kNumPredicates + pred] != 0)
+            out |= uint64_t{1} << l;
+    }
+    return out;
+}
+
+#if UKSIM_SIMD_X86
+
+// One thread's eight predicate bytes occupy exactly one qword, so four
+// consecutive lanes are one 256-bit load; shifting each qword right by
+// 8*pred brings the wanted predicate into the low byte.
+__attribute__((target("avx2"))) uint64_t
+predLaneMaskAvx2(const uint8_t *preds, int baseSlot, int pred, int nLanes)
+{
+    static_assert(kNumPredicates == 8,
+                  "qword-per-thread predicate layout assumed");
+    const uint8_t *p = preds + size_t(baseSlot) * kNumPredicates;
+    const __m256i byteMask = _mm256_set1_epi64x(0xFF);
+    const __m256i zero = _mm256_setzero_si256();
+    uint64_t out = 0;
+    int l = 0;
+    for (; l + 4 <= nLanes; l += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p + size_t(l) * 8));
+        v = _mm256_and_si256(_mm256_srli_epi64(v, pred * 8), byteMask);
+        const __m256i isZero = _mm256_cmpeq_epi64(v, zero);
+        const uint64_t zeroBits = static_cast<uint64_t>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(isZero)));
+        out |= (~zeroBits & 0xF) << l;
+    }
+    for (; l < nLanes; l++) {
+        if (p[size_t(l) * 8 + pred] != 0)
+            out |= uint64_t{1} << l;
+    }
+    return out;
+}
+
+#endif // UKSIM_SIMD_X86
+
+} // anonymous namespace
+
+uint64_t
+predLaneMask(const uint8_t *preds, int baseSlot, int pred, int nLanes)
+{
+#if UKSIM_SIMD_X86
+    if (enabled())
+        return predLaneMaskAvx2(preds, baseSlot, pred, nLanes);
+#endif
+    return predLaneMaskScalar(preds, baseSlot, pred, nLanes);
+}
+
+// ---------------------------------------------------------------------------
+// Warp ALU
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Opcode/type/operand combinations with a bit-exact vector form.
+ * Excluded on purpose: Min/Max F32 (std::fmin NaN rules differ from
+ * vminps), Floor (libm vs roundps may differ on signaling NaNs),
+ * integer Div/Rem (scalar has divide-by-zero guards), MulHi (needs
+ * 64-bit widening), Cvt (float->int overflow is UB scalar-side), and
+ * Special operands (per-lane values with their own code path).
+ */
+bool
+aluShapeSupported(const DecodedInst &d, int warpSize)
+{
+    if (warpSize % 8 != 0 || warpSize > 64)
+        return false;
+    const Instruction &inst = *d.inst;
+    const auto gatherable = [](const Operand &o) {
+        return o.kind == OperandKind::Reg || o.kind == OperandKind::Imm;
+    };
+    if (!gatherable(inst.src[0]))
+        return false;
+    if (d.readsB && !gatherable(inst.src[1]))
+        return false;
+    if (d.readsC && !gatherable(inst.src[2]))
+        return false;
+    switch (inst.op) {
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Not:
+      case Opcode::Mov:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Mad:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Neg:
+      case Opcode::Abs:
+        return true;
+      case Opcode::Min:
+      case Opcode::Max:
+        return inst.type != DataType::F32;
+      case Opcode::Div:
+        return inst.type == DataType::F32;
+      case Opcode::Rcp:
+      case Opcode::Sqrt:
+        // evalAlu treats these as float regardless of the type field.
+        return true;
+      default:
+        return false;
+    }
+}
+
+#if UKSIM_SIMD_X86
+
+__attribute__((target("avx2"))) __m256i
+gatherOperand(const Operand &op, const uint32_t *regs, int groupSlot)
+{
+    if (op.kind == OperandKind::Imm)
+        return _mm256_set1_epi32(static_cast<int>(op.imm));
+    // Slot-major register file: lane stride is kMaxRegisters words.
+    const int *base = reinterpret_cast<const int *>(
+        regs + size_t(groupSlot) * kMaxRegisters + op.reg);
+    const __m256i idx = _mm256_setr_epi32(
+        0, kMaxRegisters, 2 * kMaxRegisters, 3 * kMaxRegisters,
+        4 * kMaxRegisters, 5 * kMaxRegisters, 6 * kMaxRegisters,
+        7 * kMaxRegisters);
+    return _mm256_i32gather_epi32(base, idx, 4);
+}
+
+__attribute__((target("avx2"))) __m256i
+evalAluVector(const Instruction &inst, __m256i a, __m256i b, __m256i c)
+{
+    const bool isF32 = inst.type == DataType::F32;
+    const bool isS32 = inst.type == DataType::S32;
+    const __m256 af = _mm256_castsi256_ps(a);
+    const __m256 bf = _mm256_castsi256_ps(b);
+    const __m256 cf = _mm256_castsi256_ps(c);
+    const __m256i shiftMask = _mm256_set1_epi32(31);
+    switch (inst.op) {
+      case Opcode::Add:
+        return isF32 ? _mm256_castps_si256(_mm256_add_ps(af, bf))
+                     : _mm256_add_epi32(a, b);
+      case Opcode::Sub:
+        return isF32 ? _mm256_castps_si256(_mm256_sub_ps(af, bf))
+                     : _mm256_sub_epi32(a, b);
+      case Opcode::Mul:
+        return isF32 ? _mm256_castps_si256(_mm256_mul_ps(af, bf))
+                     : _mm256_mullo_epi32(a, b);
+      case Opcode::Mad:
+        // Two roundings, matching the scalar a*b+c under
+        // -ffp-contract=off (no FMA in this target set either).
+        return isF32 ? _mm256_castps_si256(
+                           _mm256_add_ps(_mm256_mul_ps(af, bf), cf))
+                     : _mm256_add_epi32(_mm256_mullo_epi32(a, b), c);
+      case Opcode::Min:
+        return isS32 ? _mm256_min_epi32(a, b) : _mm256_min_epu32(a, b);
+      case Opcode::Max:
+        return isS32 ? _mm256_max_epi32(a, b) : _mm256_max_epu32(a, b);
+      case Opcode::Abs:
+        return isF32 ? _mm256_and_si256(
+                           a, _mm256_set1_epi32(0x7fffffff))
+                     : _mm256_abs_epi32(a);
+      case Opcode::Neg:
+        return isF32 ? _mm256_xor_si256(
+                           a, _mm256_set1_epi32(
+                                  static_cast<int>(0x80000000u)))
+                     : _mm256_sub_epi32(_mm256_setzero_si256(), a);
+      case Opcode::And:
+        return _mm256_and_si256(a, b);
+      case Opcode::Or:
+        return _mm256_or_si256(a, b);
+      case Opcode::Xor:
+        return _mm256_xor_si256(a, b);
+      case Opcode::Not:
+        return _mm256_xor_si256(a, _mm256_set1_epi32(-1));
+      case Opcode::Shl:
+        return _mm256_sllv_epi32(a, _mm256_and_si256(b, shiftMask));
+      case Opcode::Shr:
+        return isS32 ? _mm256_srav_epi32(
+                           a, _mm256_and_si256(b, shiftMask))
+                     : _mm256_srlv_epi32(
+                           a, _mm256_and_si256(b, shiftMask));
+      case Opcode::Div:
+        return _mm256_castps_si256(_mm256_div_ps(af, bf));
+      case Opcode::Rcp:
+        return _mm256_castps_si256(
+            _mm256_div_ps(_mm256_set1_ps(1.0f), af));
+      case Opcode::Sqrt:
+        // vsqrtps and scalar sqrtss are both correctly rounded.
+        return _mm256_castps_si256(_mm256_sqrt_ps(af));
+      case Opcode::Mov:
+      default:
+        return a;
+    }
+}
+
+__attribute__((target("avx2"))) void
+warpAluAvx2(const DecodedInst &d, uint32_t *regs, int baseSlot,
+            uint64_t commitMask, int warpSize)
+{
+    const Instruction &inst = *d.inst;
+    const __m256i zero = _mm256_setzero_si256();
+    for (int g = 0; g < warpSize; g += 8) {
+        const uint32_t gm =
+            static_cast<uint32_t>((commitMask >> g) & 0xFF);
+        if (gm == 0)
+            continue;
+        const int groupSlot = baseSlot + g;
+        // Inactive lanes are gathered too (always in-bounds: every
+        // lane of a resident warp has a register file slot) and their
+        // results discarded by the masked scatter below.
+        const __m256i a = gatherOperand(inst.src[0], regs, groupSlot);
+        const __m256i b =
+            d.readsB ? gatherOperand(inst.src[1], regs, groupSlot) : zero;
+        const __m256i c =
+            d.readsC ? gatherOperand(inst.src[2], regs, groupSlot) : zero;
+        alignas(32) uint32_t out[8];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(out),
+                           evalAluVector(inst, a, b, c));
+        for (uint32_t m = gm; m; m &= m - 1) {
+            const int l = __builtin_ctz(m);
+            regs[size_t(groupSlot + l) * kMaxRegisters + inst.dst] =
+                out[l];
+        }
+    }
+}
+
+#endif // UKSIM_SIMD_X86
+
+} // anonymous namespace
+
+bool
+warpAlu(const DecodedInst &d, uint32_t *regs, int baseSlot,
+        uint64_t commitMask, int warpSize)
+{
+#if UKSIM_SIMD_X86
+    if (!aluShapeSupported(d, warpSize))
+        return false;
+    warpAluAvx2(d, regs, baseSlot, commitMask, warpSize);
+    return true;
+#else
+    (void)d;
+    (void)regs;
+    (void)baseSlot;
+    (void)commitMask;
+    (void)warpSize;
+    return false;
+#endif
+}
+
+} // namespace uksim::simd

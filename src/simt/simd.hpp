@@ -1,0 +1,62 @@
+#pragma once
+/**
+ * @file
+ * SIMD-accelerated warp lane loops.
+ *
+ * The SM executor's inner loops walk a 32-lane mask with countr_zero
+ * and touch one lane per iteration. For full or nearly-full warps that
+ * serializes the exact data parallelism the machine being modeled
+ * exploits. The kernels here process eight lanes per step with AVX2 —
+ * gathers over the slot-major register file, vector ALU, vector
+ * predicate tests — and are REQUIRED to be bit-identical to the scalar
+ * loops they replace: integer ops trivially, float ops because they
+ * map to the same IEEE single-precision operations the scalar code
+ * performs (the build pins -ffp-contract=off and the kernels never use
+ * FMA, so there is no double-rounding divergence). Anything without
+ * that guarantee (fmin/fmax NaN rules, libm floor) stays scalar.
+ *
+ * Dispatch is at runtime: the AVX2 bodies are compiled with function-
+ * level target attributes so the rest of the simulator keeps baseline
+ * codegen, and enabled() checks the CPU once. UKSIM_SIMD=0 (or
+ * off/false) forces the scalar paths — the bit-identity contract makes
+ * the switch observable only in wall time.
+ */
+
+#include "simt/decode.hpp"
+#include "simt/isa.hpp"
+
+#include <cstdint>
+
+namespace uksim::simd {
+
+/**
+ * True when the AVX2 kernels are compiled in, the host CPU supports
+ * them, and UKSIM_SIMD does not disable them. Cached after the first
+ * call; setForTest() overrides it for same-process A/B tests.
+ */
+bool enabled();
+
+/** Test hook: -1 = follow CPU + environment, 0/1 = force. */
+void setForTest(int force);
+
+/**
+ * Bitmask of lanes l in [0, nLanes) whose predicate byte
+ * preds[(baseSlot + l) * kNumPredicates + pred] is nonzero.
+ * Callers mask the result with the warp's active mask themselves.
+ */
+uint64_t predLaneMask(const uint8_t *preds, int baseSlot, int pred,
+                      int nLanes);
+
+/**
+ * Vectorized warp ALU for the executor's default (register-writing)
+ * class: gathers Reg/Imm operands for the committed lanes, evaluates
+ * the operation eight lanes at a time, and scatters results to the
+ * destination register. Returns false when the instruction shape is
+ * not covered (operand kinds, opcode/type combination, or a warp size
+ * that is not a multiple of eight) — the caller then runs the scalar
+ * loop. Only call when enabled() is true.
+ */
+bool warpAlu(const DecodedInst &d, uint32_t *regs, int baseSlot,
+             uint64_t commitMask, int warpSize);
+
+} // namespace uksim::simd

@@ -12,6 +12,7 @@
 
 #include "mem/bank.hpp"
 #include "simt/executor.hpp"
+#include "simt/simd.hpp"
 
 namespace uksim {
 
@@ -429,13 +430,19 @@ Sm::issue(Warp &w, uint64_t now)
 
     uint64_t commitMask = mask;
     if (d.guardPred >= 0) {
-        commitMask = 0;
         const int base = w.hwSlot * config_.warpSize;
-        for (uint64_t m = mask; m; m &= m - 1) {
-            const int lane = std::countr_zero(m);
-            bool p = readPred(base + lane, d.guardPred);
-            if (p != d.guardNegated)
-                commitMask |= uint64_t{1} << lane;
+        if (simd::enabled()) {
+            const uint64_t pm = simd::predLaneMask(
+                preds_.data(), base, d.guardPred, config_.warpSize);
+            commitMask = mask & (d.guardNegated ? ~pm : pm);
+        } else {
+            commitMask = 0;
+            for (uint64_t m = mask; m; m &= m - 1) {
+                const int lane = std::countr_zero(m);
+                bool p = readPred(base + lane, d.guardPred);
+                if (p != d.guardNegated)
+                    commitMask |= uint64_t{1} << lane;
+            }
         }
     }
     localStats_.committedLaneInstructions += popcount(commitMask);
@@ -466,10 +473,16 @@ Sm::issue(Warp &w, uint64_t now)
         const int base = w.hwSlot * config_.warpSize;
         const int srcPred = d.inst->src[0].reg;
         bool all = true;
-        for (uint64_t m = mask; m; m &= m - 1) {
-            if (!readPred(base + std::countr_zero(m), srcPred)) {
-                all = false;
-                break;
+        if (simd::enabled()) {
+            const uint64_t pm = simd::predLaneMask(
+                preds_.data(), base, srcPred, config_.warpSize);
+            all = (mask & pm) == mask;
+        } else {
+            for (uint64_t m = mask; m; m &= m - 1) {
+                if (!readPred(base + std::countr_zero(m), srcPred)) {
+                    all = false;
+                    break;
+                }
             }
         }
         for (uint64_t m = mask; m; m &= m - 1)
@@ -529,6 +542,11 @@ Sm::execAlu(Warp &w, const DecodedInst &d, uint64_t commitMask)
         }
         break;
       default:
+        if (simd::enabled() &&
+            simd::warpAlu(d, regs_.data(), base, commitMask,
+                          config_.warpSize)) {
+            break;
+        }
         for (uint64_t m = commitMask; m; m &= m - 1) {
             const int lane = std::countr_zero(m);
             const uint32_t a = readOperand(inst.src[0], w, lane);
@@ -715,12 +733,132 @@ Sm::serviceDeferredMem(uint64_t now)
         return;
     touchIdleScan();
     const DecodedInst &d = *pendingMem_.inst;
+    const int warpSlot = pendingMem_.warpSlot;
+    const uint64_t commitMask = pendingMem_.commitMask;
+    const uint32_t pc = pendingMem_.pc;
+    pendingMem_.inst = nullptr;
+    serviceMem(d, warpSlot, commitMask, pc, laneAddrs_, nullptr, now,
+               /*replay=*/false);
+}
+
+bool
+Sm::deferPendingMem(uint64_t cycle)
+{
+    assert(pendingMem_.inst != nullptr &&
+           "deferPendingMem with nothing pending");
+    const DecodedInst &d = *pendingMem_.inst;
     const Instruction &inst = *d.inst;
     Warp &w = warps_[pendingMem_.warpSlot];
-    const uint64_t commitMask = pendingMem_.commitMask;
-    faultCycle_ = now;
-    faultPc_ = pendingMem_.pc;
+
+    DeferredMem entry;
+    entry.inst = &d;
+    entry.warpSlot = pendingMem_.warpSlot;
+    entry.commitMask = pendingMem_.commitMask;
+    entry.pc = pendingMem_.pc;
+    entry.cycle = cycle;
+    entry.addrs.assign(laneAddrs_.begin(), laneAddrs_.end());
     pendingMem_.inst = nullptr;
+
+    const int width = inst.vecWidth;
+    const bool isStore = inst.op == Opcode::St;
+    const bool isAtomic = inst.isAtomic();
+
+    // Exact fault prediction: Store::read32/write32 throw iff the word
+    // runs past the backing store, and elements are accessed in
+    // ascending address order, so the first faulting lane (if any) is
+    // computable here. Replay then faults with the SM parked at the
+    // capture cycle, exactly like the lockstep merge would.
+    Store *store = inst.space == MemSpace::Global
+                       ? &services_.globalStore()
+                       : &services_.localStore();
+    const uint64_t storeSize = store->size();
+    const uint32_t need = isAtomic ? 4u : 4u * uint32_t(width);
+    int faultLane = -1;
+    for (uint64_t m = entry.commitMask; m; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        if (entry.addrs[lane] + need > storeSize) {
+            faultLane = lane;
+            break;
+        }
+    }
+
+    // Snapshot every register-sourced input the replay will need.
+    // readOperand may raise BadOperandKind exactly where the lockstep
+    // service would (it raises, yields 0 and the access continues), so
+    // for atomics only the lanes the lockstep loop would reach are read.
+    faultCycle_ = cycle;
+    faultPc_ = entry.pc;
+    if (isAtomic) {
+        for (uint64_t m = entry.commitMask; m; m &= m - 1) {
+            const int lane = std::countr_zero(m);
+            if (faultLane >= 0 && lane >= faultLane) {
+                // Replay throws at this lane's initial read; the
+                // operands are never consumed (nor read by lockstep).
+                entry.data.push_back(0);
+                entry.data.push_back(0);
+                continue;
+            }
+            entry.data.push_back(readOperand(inst.src[1], w, lane));
+            entry.data.push_back(inst.op == Opcode::AtomCas
+                                     ? readOperand(inst.src[2], w, lane)
+                                     : 0);
+        }
+    } else if (isStore) {
+        for (uint64_t m = entry.commitMask; m; m &= m - 1) {
+            const int lane = std::countr_zero(m);
+            const int slot = threadSlot(w, lane);
+            for (int e = 0; e < width; e++)
+                entry.data.push_back(readReg(slot, inst.src[1].reg + e));
+        }
+    }
+
+    if (faultLane < 0) {
+        // Apply the warp-local timing effects now, exactly as the
+        // same-cycle replay would. Under epoch eligibility every load
+        // and atomic completes strictly after cycle + 1, so the
+        // pre-increment is always matched by a wake-up at replay.
+        if (isStore) {
+            w.readyAt = cycle + 1;
+        } else {
+            w.outstandingMem++;
+            entry.timed = true;
+        }
+    }
+    touchIdleScan();
+    deferredMem_.push_back(std::move(entry));
+    return faultLane >= 0;
+}
+
+void
+Sm::replayDeferredFront()
+{
+    assert(!deferredMem_.empty() && "replay with empty deferred queue");
+    DeferredMem entry = std::move(deferredMem_.front());
+    deferredMem_.pop_front();
+    touchIdleScan();
+    const size_t faultsBefore = pendingFaults_.size();
+    serviceMem(*entry.inst, entry.warpSlot, entry.commitMask, entry.pc,
+               entry.addrs, entry.data.data(), entry.cycle,
+               /*replay=*/true);
+    if (entry.timed && pendingFaults_.size() > faultsBefore) {
+        // Defensive: the pre-check said this access completes, so a
+        // replay fault should be impossible — but if one fires anyway,
+        // the pre-increment would never be matched by a wake-up.
+        Warp &w = warps_[entry.warpSlot];
+        assert(w.outstandingMem > 0);
+        w.outstandingMem--;
+    }
+}
+
+void
+Sm::serviceMem(const DecodedInst &d, int warpSlot, uint64_t commitMask,
+               uint32_t pc, const std::vector<uint64_t> &addrs,
+               const uint32_t *snap, uint64_t now, bool replay)
+{
+    const Instruction &inst = *d.inst;
+    Warp &w = warps_[warpSlot];
+    faultCycle_ = now;
+    faultPc_ = pc;
 
     const int width = inst.vecWidth;
     const uint32_t accessBytes = 4u * width;
@@ -732,15 +870,17 @@ Sm::serviceDeferredMem(uint64_t now)
                        ? &services_.globalStore()
                        : &services_.localStore();
     int curLane = -1;
+    size_t snapIdx = 0;
     try {
     for (uint64_t m = commitMask; m; m &= m - 1) {
         const int lane = std::countr_zero(m);
         curLane = lane;
         const int slot = threadSlot(w, lane);
-        const uint64_t addr = laneAddrs_[lane];
+        const uint64_t addr = addrs[lane];
         if (isAtomic) {
             uint32_t old = store->read32(addr);
-            uint32_t operand = readOperand(inst.src[1], w, lane);
+            uint32_t operand = replay ? snap[snapIdx]
+                                      : readOperand(inst.src[1], w, lane);
             uint32_t next = old;
             if (inst.op == Opcode::AtomAdd) {
                 next = (inst.type == DataType::F32)
@@ -751,16 +891,21 @@ Sm::serviceDeferredMem(uint64_t now)
                 next = operand;
             } else {    // AtomCas
                 uint32_t expected = operand;
-                uint32_t newval = readOperand(inst.src[2], w, lane);
+                uint32_t newval =
+                    replay ? snap[snapIdx + 1]
+                           : readOperand(inst.src[2], w, lane);
                 next = (old == expected) ? newval : old;
             }
+            snapIdx += 2;
             store->write32(addr, next);
             writeReg(slot, inst.dst, old);
         } else if (isStore) {
             for (int e = 0; e < width; e++) {
                 store->write32(addr + 4u * e,
-                               readReg(slot, inst.src[1].reg + e));
+                               replay ? snap[snapIdx + size_t(e)]
+                                      : readReg(slot, inst.src[1].reg + e));
             }
+            snapIdx += size_t(width);
         } else {
             for (int e = 0; e < width; e++)
                 writeReg(slot, inst.dst + e, store->read32(addr + 4u * e));
@@ -768,19 +913,25 @@ Sm::serviceDeferredMem(uint64_t now)
     }
     } catch (const MemoryFault &) {
         // Raised in the serial merge phase; the coordinator's fault pass
-        // at the end of this cycle applies the policy. No wake-up has
-        // been scheduled, so the warp carries no outstanding access.
+        // applies the policy. No wake-up has been scheduled, so the warp
+        // carries no outstanding access (the epoch engine undoes its
+        // capture-time pre-increment in replayDeferredFront).
         raiseFault(FaultCode::MemOutOfBounds, w.hwSlot, curLane,
-                   curLane >= 0 ? laneAddrs_[curLane] : 0);
+                   curLane >= 0 ? addrs[curLane] : 0);
         return;
     }
 
     // --- Timing ---------------------------------------------------------------
-    coalesce(laneAddrs_, commitMask, accessBytes,
+    // In replay mode the warp-local effects (outstandingMem, readyAt)
+    // were applied at capture time and are skipped here; the shared
+    // state evolution (DRAM queues, texture caches, statistics) and the
+    // wake-up scheduling run identically to the lockstep merge.
+    coalesce(addrs, commitMask, accessBytes,
              config_.coalesceSegmentBytes, segScratch_);
     const std::vector<Segment> &segments = segScratch_;
 
     if (config_.idealMemory) {
+        assert(!replay && "epoch engine is ineligible under idealMemory");
         uint64_t segBytes = 0;
         for (const Segment &s : segments)
             segBytes += s.touched;
@@ -813,9 +964,10 @@ Sm::serviceDeferredMem(uint64_t now)
             // Atomics return the old value: the warp must wait for
             // the full read-modify-write round trip.
             done = services_.dram().accessAll(segments, true, done);
-            w.outstandingMem++;
+            if (!replay)
+                w.outstandingMem++;
             services_.scheduleMemWakeup(done, id_, w.hwSlot);
-        } else {
+        } else if (!replay) {
             // Plain stores retire through the write queue with no
             // register dependence: the warp continues immediately
             // while the partitions absorb the bandwidth.
@@ -855,10 +1007,13 @@ Sm::serviceDeferredMem(uint64_t now)
     }
     if (done > now + 1) {
         waited = true;
-        w.outstandingMem++;
+        if (!replay)
+            w.outstandingMem++;
         services_.scheduleMemWakeup(done, id_, w.hwSlot);
     }
-    if (!waited)
+    assert((!replay || waited) &&
+           "epoch eligibility guarantees every deferred load waits");
+    if (!waited && !replay)
         w.readyAt = now + 1;
 }
 

@@ -16,12 +16,22 @@
  * texture L2s, the wakeup queue) is deferred into a single PendingMem
  * slot and replayed by the coordinator via serviceDeferredMem() in
  * canonical SM-id order, which reproduces the serial engine bit for bit.
+ *
+ * The epoch engine extends the contract across multiple cycles: instead
+ * of replaying in the same cycle, deferPendingMem() snapshots the access
+ * (lane addresses plus every register-sourced input, since the warp may
+ * run ahead and overwrite them) into a per-SM queue and applies the
+ * warp-local timing effects immediately; the coordinator later replays
+ * the queued entries via replayDeferredFront() in global (cycle, SM-id)
+ * order, which drives the shared DRAM/cache/store state through the
+ * exact same access sequence as the lockstep engine.
  */
 
 #ifndef UKSIM_SIMT_SM_HPP
 #define UKSIM_SIMT_SM_HPP
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -150,6 +160,43 @@ class Sm
      */
     void serviceDeferredMem(uint64_t now);
 
+    // --- Epoch-engine deferred-memory queue ---------------------------------
+    // Multi-cycle variant of the PendingMem hand-off: the local-advance
+    // loop captures each pending access with deferPendingMem() right
+    // after the step() that produced it, and the coordinator replays the
+    // queued entries in global (cycle, SM-id) order at the epoch merge.
+
+    /** A deferred memory access is waiting to be captured or replayed. */
+    bool hasPendingMem() const { return pendingMem_.inst != nullptr; }
+
+    /**
+     * Epoch engine: snapshot the pending access (lane addresses, store
+     * data / atomic operands — anything read from registers the warp may
+     * overwrite while running ahead) into the deferred queue and apply
+     * the warp-local timing effects immediately (outstandingMem for
+     * loads/atomics, next-cycle ready for plain stores), exactly as the
+     * same-cycle replay would. Returns true when the replay is known to
+     * raise a memory fault — the caller must park the SM at @p cycle so
+     * the fault applies with the SM in its lockstep-identical state; no
+     * timing effect is applied in that case.
+     */
+    bool deferPendingMem(uint64_t cycle);
+
+    bool hasDeferredMem() const { return !deferredMem_.empty(); }
+    /** Capture cycle of the oldest queued access (queue is sorted). */
+    uint64_t frontDeferredCycle() const { return deferredMem_.front().cycle; }
+    /**
+     * Replay (and pop) the oldest queued access against the shared
+     * stores, DRAM model and texture L2s. Coordinator-phase only; the
+     * caller interleaves SMs in global (cycle, SM-id) order.
+     */
+    void replayDeferredFront();
+    /** Drop queued accesses whose cycles were cancelled (grid halt). */
+    void clearDeferredMem() { deferredMem_.clear(); }
+
+    /** Per-SM trace buffer (epoch merge reads it cycle-by-cycle). */
+    trace::EventBuffer &traceBuffer() { return traceBuf_; }
+
     /** Flush this cycle's buffered trace events into the master ring. */
     void drainTrace(trace::EventTrace &master)
     {
@@ -218,6 +265,23 @@ class Sm
         uint32_t pc = 0;        ///< issuing pc, for fault attribution
     };
 
+    /**
+     * Epoch-engine queued access: PendingMem plus the capture cycle and
+     * snapshots of every register-sourced input (the issuing warp may
+     * run ahead and overwrite laneAddrs_ / its registers before the
+     * merge replays this entry).
+     */
+    struct DeferredMem {
+        const DecodedInst *inst = nullptr;
+        int warpSlot = 0;
+        uint64_t commitMask = 0;
+        uint32_t pc = 0;
+        uint64_t cycle = 0;     ///< local cycle the access issued
+        bool timed = false;     ///< outstandingMem was pre-incremented
+        std::vector<uint64_t> addrs;    ///< per-lane effective addresses
+        std::vector<uint32_t> data;     ///< store words / atomic operands
+    };
+
     /** Per-lane hardware thread slot. */
     int threadSlot(const Warp &w, int lane) const
     {
@@ -233,6 +297,18 @@ class Sm
      * fault policy. @p warpSlot may be -1 for SM-wide faults.
      */
     void raiseFault(FaultCode code, int warpSlot, int lane, uint64_t addr);
+
+    /**
+     * Shared body of serviceDeferredMem() and replayDeferredFront():
+     * run the functional + timing model of one global/local memory
+     * instruction. In replay mode the register-sourced inputs come from
+     * @p snap instead of the register file and the warp-local timing
+     * effects (outstandingMem, readyAt) are skipped — they were applied
+     * at capture time; wake-ups are still scheduled and faults raised.
+     */
+    void serviceMem(const DecodedInst &d, int warpSlot, uint64_t commitMask,
+                    uint32_t pc, const std::vector<uint64_t> &addrs,
+                    const uint32_t *snap, uint64_t now, bool replay);
 
     void issue(Warp &w, uint64_t now);
     void execAlu(Warp &w, const DecodedInst &d, uint64_t commitMask);
@@ -278,6 +354,9 @@ class Sm
     /// Per-SM event buffer, drained by the coordinator each cycle.
     trace::EventBuffer traceBuf_;
     PendingMem pendingMem_;
+    /// Epoch engine: captured accesses awaiting merge replay (sorted by
+    /// capture cycle — local time is monotone).
+    std::deque<DeferredMem> deferredMem_;
 
     /// Faults queued this cycle, collected by the coordinator.
     std::vector<SimFault> pendingFaults_;

@@ -44,8 +44,16 @@ WorkerPool::runSlot(int slot)
         if (!error_)
             error_ = std::current_exception();
     }
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        pending_.notify_all();
+    if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        // Dekker pairing with parallelFor: the caller sets
+        // callerWaiting_ (seq_cst) before its futex wait re-reads
+        // pending_. Either this load sees the flag and wakes it, or the
+        // caller's re-read sees pending_ == 0 and never sleeps — so
+        // skipping the wake syscall while the caller is still spinning
+        // is safe. Only the caller ever waits on pending_.
+        if (callerWaiting_.load(std::memory_order_seq_cst))
+            pending_.notify_one();
+    }
 }
 
 void
@@ -59,7 +67,13 @@ WorkerPool::workerMain(int slot)
             gen = jobGen_.load(std::memory_order_acquire);
         }
         while (gen == seen) {
-            jobGen_.wait(seen, std::memory_order_acquire);
+            // Dekker pairing with the publisher: parked_ goes up
+            // (seq_cst) before wait() re-reads jobGen_. Either the
+            // publisher's parked_ load sees us and notifies, or our
+            // re-read sees the new generation and we never sleep.
+            parked_.fetch_add(1, std::memory_order_seq_cst);
+            jobGen_.wait(seen, std::memory_order_seq_cst);
+            parked_.fetch_sub(1, std::memory_order_seq_cst);
             gen = jobGen_.load(std::memory_order_acquire);
         }
         seen = gen;
@@ -75,8 +89,15 @@ WorkerPool::parallelFor(const std::function<void(int)> &fn)
     job_ = &fn;
     error_ = nullptr;
     pending_.store(numThreads_, std::memory_order_release);
-    jobGen_.fetch_add(1, std::memory_order_release);
-    jobGen_.notify_all();
+    jobGen_.fetch_add(1, std::memory_order_seq_cst);
+    // Per-dispatch wake elision: with back-to-back jobs (the lockstep
+    // engine publishes three per cycle, the epoch engine one per round)
+    // the workers are usually still in their spin phase, and the futex
+    // wake would be a wasted syscall for every job. parked_ counts only
+    // workers past the spin; the Dekker pairing in workerMain makes
+    // skipping the syscall safe when it reads zero.
+    if (parked_.load(std::memory_order_seq_cst) > 0)
+        jobGen_.notify_all();
 
     runSlot(0);
 
@@ -85,9 +106,14 @@ WorkerPool::parallelFor(const std::function<void(int)> &fn)
         std::this_thread::yield();
         left = pending_.load(std::memory_order_acquire);
     }
-    while (left != 0) {
-        pending_.wait(left, std::memory_order_acquire);
-        left = pending_.load(std::memory_order_acquire);
+    if (left != 0) {
+        callerWaiting_.store(true, std::memory_order_seq_cst);
+        left = pending_.load(std::memory_order_seq_cst);
+        while (left != 0) {
+            pending_.wait(left, std::memory_order_seq_cst);
+            left = pending_.load(std::memory_order_acquire);
+        }
+        callerWaiting_.store(false, std::memory_order_relaxed);
     }
     job_ = nullptr;
     if (error_)

@@ -51,6 +51,12 @@ class WorkerPool
     const std::function<void(int)> *job_ = nullptr;
     std::atomic<uint64_t> jobGen_{0};
     std::atomic<int> pending_{0};
+    /// Workers currently inside the futex wait (as opposed to the spin
+    /// phase). Publishing skips the notify syscall when it is zero.
+    std::atomic<int> parked_{0};
+    /// Caller is inside its futex wait on pending_; the finishing
+    /// worker only issues the wake syscall when set.
+    std::atomic<bool> callerWaiting_{false};
     std::atomic<bool> stop_{false};
     std::mutex errorMutex_;
     std::exception_ptr error_;

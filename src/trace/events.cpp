@@ -46,7 +46,7 @@ EventTrace::disable()
 }
 
 void
-EventTrace::push(const Event &e)
+EventTrace::pushRing(const Event &e)
 {
     if (count_ == ring_.size())
         dropped_++;

@@ -106,14 +106,33 @@ class EventTrace
 
     static constexpr size_t kDefaultCapacity = 1u << 20;
 
+    /**
+     * Redirect recording into @p sink instead of the ring (nullptr
+     * restores normal recording). Used by the epoch engine to capture
+     * the DRAM model's request/reply records during deferred-memory
+     * replay so they can be spliced into the ring in canonical
+     * (cycle, SM-id) order afterwards; the ring (and its drop counter)
+     * is untouched while a capture sink is installed.
+     */
+    void setCapture(std::vector<Event> *sink) { capture_ = sink; }
+
   private:
-    void push(const Event &e);
+    void push(const Event &e)
+    {
+        if (capture_) {
+            capture_->push_back(e);
+            return;
+        }
+        pushRing(e);
+    }
+    void pushRing(const Event &e);
 
     std::vector<Event> ring_;
     size_t head_ = 0;       ///< next write position
     size_t count_ = 0;
     uint64_t dropped_ = 0;
     bool enabled_ = false;
+    std::vector<Event> *capture_ = nullptr;
 };
 
 /**
@@ -152,6 +171,14 @@ class EventBuffer
     }
 
     bool empty() const { return pending_.empty(); }
+
+    /**
+     * Buffered events in recording order (cycle-nondecreasing). The
+     * epoch engine reads these directly for its cycle-major merge
+     * instead of draining whole buffers per SM.
+     */
+    const std::vector<Event> &pending() const { return pending_; }
+    void clearPending() { pending_.clear(); }
 
     /** Append all pending events to @p master in order, then clear. */
     void drainInto(EventTrace &master);

@@ -87,6 +87,31 @@ buildRegistry(Gpu &gpu)
     // Chip-wide issue-slot attribution.
     defineStalls(reg, "stall.", s.stall);
 
+    // Epoch-engine observability (engine-side, outside the bit-identity
+    // contract — like fast-forward counters these describe how the run
+    // was simulated, not what it computed).
+    const EpochStats &ep = gpu.epochStats();
+    reg.define("epoch.epochs", static_cast<double>(ep.epochs));
+    reg.define("epoch.rounds", static_cast<double>(ep.rounds));
+    reg.define("epoch.cycles_total", static_cast<double>(ep.cyclesTotal));
+    reg.define("epoch.max_epoch_cycles",
+               static_cast<double>(ep.maxEpochCycles));
+    reg.define("epoch.mean_epoch_cycles",
+               ep.epochs ? static_cast<double>(ep.cyclesTotal) /
+                               static_cast<double>(ep.epochs)
+                         : 0.0);
+    reg.define("epoch.cap_mem_latency",
+               static_cast<double>(ep.capMemLatency));
+    reg.define("epoch.cap_run_stop", static_cast<double>(ep.capRunStop));
+    reg.define("epoch.cap_max_cycles",
+               static_cast<double>(ep.capMaxCycles));
+    reg.define("epoch.cap_finish", static_cast<double>(ep.capFinish));
+    reg.define("epoch.cap_halt", static_cast<double>(ep.capHalt));
+    reg.define("epoch.advance_wall_ns",
+               static_cast<double>(ep.advanceWallNs));
+    reg.define("epoch.merge_wall_ns",
+               static_cast<double>(ep.mergeWallNs));
+
     // Per-SM breakdowns.
     for (int i = 0; i < gpu.numSms(); i++) {
         Sm &sm = gpu.sm(i);

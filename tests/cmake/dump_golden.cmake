@@ -25,6 +25,7 @@ set(ENV{UKSIM_DETAIL} 2)
 # CI matrix varies so the bytes stay golden in every leg.
 set(ENV{UKSIM_FASTFWD} 1)
 set(ENV{UKSIM_THREADS} 1)
+set(ENV{UKSIM_EPOCHS} 0)
 execute_process(
     COMMAND ${TOOL} --config uk_conference --cycles 3000
             --out ${WORKDIR}/ukdump_golden_test.dump.json

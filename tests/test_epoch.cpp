@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Epoch-based decoupled cycle engine: each SM advances on a local clock
+ * to a conservative horizon, deferred memory accesses replay in global
+ * (cycle, SM-id) order, and the coordinator serializes grid fills and
+ * fault application at exact cycles. The contract mirrors fast-forward:
+ * every observable — SimStats, fault records, outcomes, flight-recorder
+ * dumps — is bit-identical to the lockstep engine on clean runs, across
+ * host thread counts, fast-forward settings, fault policies and
+ * runUntil chunking. Only EpochStats (how the run was simulated) may
+ * differ.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simt/assembler.hpp"
+#include "simt/gpu.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+
+namespace {
+
+/** Memory-bound: one DRAM round trip per warp, then a dependent store. */
+const char kMemRoundTrips[] = R"(
+    .entry main
+    main:
+        mov.u32 r2, %tid;
+        shl.u32 r1, r2, 2;
+        ld.global.u32 r0, [r1+0];
+        add.u32 r0, r0, r2;
+        st.global.u32 [r1+0], r0;
+        ld.global.u32 r3, [r1+0];
+        exit;
+)";
+
+/** Atomics exercise the operand-snapshot path of the deferred replay. */
+const char kAtomics[] = R"(
+    .entry main
+    main:
+        mov.u32 r1, 0;
+        atom.add.u32 r2, [r1+0], 1;
+        atom.add.u32 r3, [r1+4], r2;
+        exit;
+)";
+
+/** Spawn + global memory: formation, FIFO pops and drain flushes. */
+const char kSpawnMem[] = R"(
+    .entry main
+    .microkernel mk
+    .spawn_state 16
+    main:
+        mov.u32 r5, %spawnaddr;
+        mov.u32 r2, %tid;
+        shl.u32 r1, r2, 2;
+        ld.global.u32 r0, [r1+0];
+        spawn mk, r5;
+        exit;
+    mk:
+        mov.u32 r2, %tid;
+        shl.u32 r1, r2, 2;
+        ld.global.u32 r0, [r1+0];
+        exit;
+)";
+
+/** Lane-dependent out-of-bounds load: a guest fault mid-run. */
+const char kFaulting[] = R"(
+    .entry main
+    main:
+        mov.u32 r2, %tid;
+        shl.u32 r1, r2, 2;
+        ld.global.u32 r0, [r1+0];
+        mov.u32 r1, 4026531840;
+        ld.global.u32 r0, [r1+0];
+        exit;
+)";
+
+struct SimRun {
+    RunOutcome outcome = RunOutcome::Completed;
+    std::vector<SimFault> faults;
+    SimStats stats;
+    std::string dump;
+    EpochStats epoch;
+    bool epochUsed = false;
+    uint64_t cycle = 0;
+};
+
+/**
+ * The "fast_forward" dump block reports how the engine ran, not what it
+ * simulated; the epoch engine produces different (equivalent) jump
+ * patterns. Remove it before comparing dumps for bit-identity.
+ */
+std::string
+stripFastForwardBlock(std::string dump)
+{
+    const size_t start = dump.find("  \"fast_forward\": ");
+    if (start == std::string::npos)
+        return dump;
+    const size_t end = dump.find('\n', start);
+    dump.erase(start, end == std::string::npos ? std::string::npos
+                                               : end - start + 1);
+    return dump;
+}
+
+SimRun
+runProgram(const char *source, const GpuConfig &cfg, uint32_t threads,
+           uint64_t chunk = 0)
+{
+    Gpu gpu(cfg);
+    gpu.loadProgram(assemble(source));
+    gpu.mallocGlobal(4096);
+    gpu.launch(threads);
+    try {
+        if (chunk == 0) {
+            gpu.run();
+        } else {
+            // Chunked pause/resume: every runUntil boundary is an epoch
+            // horizon cap and must land on the exact cycle.
+            uint64_t stop = chunk;
+            while (!gpu.finished() && gpu.cycle() < cfg.maxCycles &&
+                   gpu.outcome() != RunOutcome::Deadlock) {
+                gpu.runUntil(stop);
+                if (gpu.cycle() < stop)
+                    break;   // halted early (fault policy)
+                stop += chunk;
+            }
+        }
+    } catch (const GuestFault &) {
+        // Throw policy: fault recorded before the throw.
+    }
+    SimRun r;
+    r.outcome = gpu.outcome();
+    r.faults = gpu.faults();
+    r.stats = gpu.stats();
+    r.epoch = gpu.epochStats();
+    r.epochUsed = gpu.epochEligible();
+    r.cycle = gpu.cycle();
+    std::ostringstream os;
+    gpu.dumpState(os);
+    r.dump = os.str();
+    return r;
+}
+
+void
+expectSameRun(const SimRun &a, const SimRun &b, const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.cycle, b.cycle);
+    EXPECT_TRUE(a.stats == b.stats);
+    ASSERT_EQ(a.faults.size(), b.faults.size());
+    for (size_t i = 0; i < a.faults.size(); i++) {
+        EXPECT_EQ(a.faults[i].code, b.faults[i].code) << "fault " << i;
+        EXPECT_EQ(a.faults[i].cycle, b.faults[i].cycle) << "fault " << i;
+        EXPECT_EQ(a.faults[i].smId, b.faults[i].smId) << "fault " << i;
+        EXPECT_EQ(a.faults[i].pc, b.faults[i].pc) << "fault " << i;
+    }
+    EXPECT_EQ(stripFastForwardBlock(a.dump), stripFastForwardBlock(b.dump));
+}
+
+/** Neutralize the CI matrix's env overrides; tests pin the knobs. */
+class Epoch : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        saveEnv("UKSIM_THREADS");
+        saveEnv("UKSIM_FASTFWD");
+        saveEnv("UKSIM_EPOCHS");
+        config_ = test::smallConfig();
+        config_.maxCycles = 500'000;
+    }
+
+    void TearDown() override
+    {
+        for (const auto &[name, value] : saved_) {
+            if (value.has_value())
+                setenv(name.c_str(), value->c_str(), 1);
+            else
+                unsetenv(name.c_str());
+        }
+    }
+
+    GpuConfig config_;
+
+  private:
+    void saveEnv(const char *name)
+    {
+        const char *env = std::getenv(name);
+        saved_.emplace_back(name, env ? std::optional<std::string>(env)
+                                      : std::nullopt);
+        unsetenv(name);
+    }
+
+    std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
+
+// ---------------------------------------------------------------------
+// Epoch vs lockstep bit-identity on clean workloads. This is also the
+// horizon-overshoot regression: if an epoch ever ran an SM past a cycle
+// where a DRAM response, spawn flush or grid fill should have acted,
+// the stall attribution, occupancy series or memory image would drift.
+// ---------------------------------------------------------------------
+
+TEST_F(Epoch, MatchesLockstepOnCleanWorkloads)
+{
+    for (const char *prog : {kMemRoundTrips, kAtomics, kSpawnMem}) {
+        for (bool ff : {false, true}) {
+            GpuConfig lock = config_;
+            lock.epochEngine = false;
+            lock.fastForward = ff;
+            GpuConfig ep = config_;
+            ep.epochEngine = true;
+            ep.fastForward = ff;
+            SimRun a = runProgram(prog, lock, 256);
+            SimRun b = runProgram(prog, ep, 256);
+            EXPECT_FALSE(a.epochUsed);
+            EXPECT_TRUE(b.epochUsed);
+            expectSameRun(a, b,
+                          std::string("epoch-vs-lockstep ff=") +
+                              (ff ? "on" : "off"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism matrix: threads x fast-forward x fault policy x chunking.
+// Reference leg is threads=1, ff=off, unchunked, epoch engine on.
+// ---------------------------------------------------------------------
+
+TEST_F(Epoch, DeterminismMatrix)
+{
+    for (const char *prog : {kMemRoundTrips, kSpawnMem}) {
+        GpuConfig ref = config_;
+        ref.epochEngine = true;
+        ref.fastForward = false;
+        ref.hostThreads = 1;
+        SimRun base = runProgram(prog, ref, 256);
+        ASSERT_EQ(base.outcome, RunOutcome::Completed);
+        for (int threads : {1, 2, 4}) {
+            for (bool ff : {false, true}) {
+                for (uint64_t chunk : {uint64_t{0}, uint64_t{97}}) {
+                    GpuConfig cfg = ref;
+                    cfg.hostThreads = threads;
+                    cfg.fastForward = ff;
+                    SimRun r = runProgram(prog, cfg, 256, chunk);
+                    // FF-off pins the engine-side skip counters at
+                    // zero; the functional bits never move.
+                    expectSameRun(base, r,
+                                  "threads=" + std::to_string(threads) +
+                                      " ff=" + (ff ? "on" : "off") +
+                                      " chunk=" + std::to_string(chunk));
+                }
+            }
+        }
+    }
+}
+
+TEST_F(Epoch, FaultPolicyDeterminism)
+{
+    for (FaultPolicy policy : {FaultPolicy::Throw, FaultPolicy::Trap,
+                               FaultPolicy::HaltGrid}) {
+        GpuConfig ref = config_;
+        ref.faultPolicy = policy;
+        ref.hostThreads = 1;
+        SimRun base = runProgram(kFaulting, ref, 256);
+        ASSERT_FALSE(base.faults.empty());
+        for (int threads : {2, 4}) {
+            for (bool ff : {false, true}) {
+                GpuConfig cfg = ref;
+                cfg.hostThreads = threads;
+                cfg.fastForward = ff;
+                SimRun r = runProgram(kFaulting, cfg, 256);
+                expectSameRun(base, r,
+                              "policy=" + std::to_string(int(policy)) +
+                                  " threads=" + std::to_string(threads) +
+                                  " ff=" + (ff ? "on" : "off"));
+            }
+        }
+    }
+}
+
+// Trap-policy faulted runs complete the grid; epoch and lockstep agree
+// on every observable there (the run ends clean), pinning the fault
+// cycle/PC attribution of the deferred-replay path.
+TEST_F(Epoch, TrapFaultAttributionMatchesLockstep)
+{
+    GpuConfig lock = config_;
+    lock.faultPolicy = FaultPolicy::Trap;
+    lock.epochEngine = false;
+    GpuConfig ep = lock;
+    ep.epochEngine = true;
+    SimRun a = runProgram(kFaulting, lock, 256);
+    SimRun b = runProgram(kFaulting, ep, 256);
+    ASSERT_FALSE(a.faults.empty());
+    expectSameRun(a, b, "trap epoch-vs-lockstep");
+}
+
+// ---------------------------------------------------------------------
+// Eligibility and fallback.
+// ---------------------------------------------------------------------
+
+TEST_F(Epoch, WatchdogConfigFallsBackToLockstep)
+{
+    GpuConfig cfg = config_;
+    cfg.watchdogCycles = 1000;
+    Gpu gpu(cfg);
+    EXPECT_TRUE(gpu.epochEngineEnabled());
+    EXPECT_FALSE(gpu.epochEligible());
+    // The run still works (lockstep path) and records no epochs.
+    gpu.loadProgram(assemble(kMemRoundTrips));
+    gpu.mallocGlobal(4096);
+    gpu.launch(64);
+    gpu.run();
+    EXPECT_EQ(gpu.outcome(), RunOutcome::Completed);
+    EXPECT_EQ(gpu.epochStats().epochs, 0u);
+}
+
+TEST_F(Epoch, IdealMemoryFallsBackToLockstep)
+{
+    GpuConfig cfg = config_;
+    cfg.idealMemory = true;
+    Gpu gpu(cfg);
+    EXPECT_FALSE(gpu.epochEligible());
+}
+
+TEST_F(Epoch, EnvOverrideControlsTheSwitch)
+{
+    setenv("UKSIM_EPOCHS", "0", 1);
+    SimRun off = runProgram(kMemRoundTrips, config_, 64);
+    EXPECT_FALSE(off.epochUsed);
+    EXPECT_EQ(off.epoch.epochs, 0u);
+    setenv("UKSIM_EPOCHS", "1", 1);
+    SimRun on = runProgram(kMemRoundTrips, config_, 64);
+    EXPECT_TRUE(on.epochUsed);
+    EXPECT_GT(on.epoch.epochs, 0u);
+    unsetenv("UKSIM_EPOCHS");
+    expectSameRun(off, on, "env off vs on");
+}
+
+// ---------------------------------------------------------------------
+// Observability: the perf claim itself. A memory-bound workload must
+// cover many cycles per synchronization epoch (epochs/cycle < 1), with
+// the horizon-limiter histogram and wall-time split populated.
+// ---------------------------------------------------------------------
+
+TEST_F(Epoch, MemoryBoundRunNeedsFewEpochs)
+{
+    SimRun r = runProgram(kMemRoundTrips, config_, 256);
+    ASSERT_TRUE(r.epochUsed);
+    ASSERT_GT(r.epoch.epochs, 0u);
+    EXPECT_GT(r.epoch.cyclesTotal, r.epoch.epochs)
+        << "mean epoch length must exceed one cycle";
+    EXPECT_GT(r.epoch.maxEpochCycles, 1u);
+    // Limiter histogram accounts for every epoch.
+    EXPECT_EQ(r.epoch.capMemLatency + r.epoch.capRunStop +
+                  r.epoch.capMaxCycles + r.epoch.capFinish +
+                  r.epoch.capHalt,
+              r.epoch.epochs);
+    // The finish epoch stops the clock exactly where lockstep exits.
+    EXPECT_GE(r.epoch.capFinish, 1u);
+}
+
+} // namespace

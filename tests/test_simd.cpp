@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Bit-identity of the SIMD lane-loop kernels (simd.hpp): the AVX2
+ * paths must produce exactly the bytes of the scalar loops they
+ * replace — on random register/predicate images op by op, and end to
+ * end on a full simulation. On hosts without AVX2 the kernels fall
+ * back to scalar and these tests degenerate to self-comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simt/assembler.hpp"
+#include "simt/decode.hpp"
+#include "simt/executor.hpp"
+#include "simt/gpu.hpp"
+#include "simt/simd.hpp"
+#include "test_common.hpp"
+
+using namespace uksim;
+
+namespace {
+
+class Simd : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (const char *env = std::getenv("UKSIM_SIMD")) {
+            saved_ = env;
+            hadEnv_ = true;
+            unsetenv("UKSIM_SIMD");
+        }
+    }
+
+    void TearDown() override
+    {
+        simd::setForTest(-1);
+        if (hadEnv_)
+            setenv("UKSIM_SIMD", saved_.c_str(), 1);
+    }
+
+  private:
+    std::string saved_;
+    bool hadEnv_ = false;
+};
+
+TEST_F(Simd, PredLaneMaskMatchesScalar)
+{
+    std::mt19937 rng(12345);
+    const int threads = 96;
+    std::vector<uint8_t> preds(size_t(threads) * kNumPredicates);
+    for (auto &b : preds)
+        b = (rng() & 3) == 0 ? 1 : 0;
+
+    for (int baseSlot : {0, 32, 64}) {
+        for (int pred = 0; pred < kNumPredicates; pred++) {
+            for (int nLanes : {1, 3, 8, 31, 32}) {
+                uint64_t scalar = 0;
+                for (int l = 0; l < nLanes; l++) {
+                    if (preds[size_t(baseSlot + l) * kNumPredicates +
+                              pred] != 0)
+                        scalar |= uint64_t{1} << l;
+                }
+                simd::setForTest(1);
+                const uint64_t vec = simd::predLaneMask(
+                    preds.data(), baseSlot, pred, nLanes);
+                simd::setForTest(0);
+                const uint64_t fallback = simd::predLaneMask(
+                    preds.data(), baseSlot, pred, nLanes);
+                EXPECT_EQ(scalar, vec)
+                    << "base=" << baseSlot << " pred=" << pred
+                    << " lanes=" << nLanes;
+                EXPECT_EQ(scalar, fallback);
+            }
+        }
+    }
+}
+
+TEST_F(Simd, WarpAluMatchesScalarEvalAlu)
+{
+    std::mt19937 rng(99);
+    const int warpSize = 32;
+    const int baseSlot = 32;   // second warp's register window
+    std::vector<uint32_t> init(size_t(96) * kMaxRegisters);
+    for (auto &r : init) {
+        // Mix of small ints, float-looking bits and raw noise.
+        switch (rng() % 3) {
+          case 0: r = rng() % 64; break;
+          case 1: r = floatBits(float(int(rng() % 2048) - 1024) * 0.5f);
+                  break;
+          default: r = rng(); break;
+        }
+    }
+
+    struct Case {
+        Opcode op;
+        DataType type;
+        bool immB;
+        bool readsB;
+        bool readsC;
+    };
+    const std::vector<Case> cases = {
+        {Opcode::Add, DataType::U32, false, true, false},
+        {Opcode::Add, DataType::F32, false, true, false},
+        {Opcode::Sub, DataType::S32, true, true, false},
+        {Opcode::Sub, DataType::F32, false, true, false},
+        {Opcode::Mul, DataType::U32, false, true, false},
+        {Opcode::Mul, DataType::F32, false, true, false},
+        {Opcode::Mad, DataType::U32, false, true, true},
+        {Opcode::Mad, DataType::F32, false, true, true},
+        {Opcode::Min, DataType::S32, false, true, false},
+        {Opcode::Max, DataType::U32, false, true, false},
+        {Opcode::And, DataType::U32, true, true, false},
+        {Opcode::Or, DataType::U32, false, true, false},
+        {Opcode::Xor, DataType::U32, false, true, false},
+        {Opcode::Not, DataType::U32, false, false, false},
+        {Opcode::Shl, DataType::U32, false, true, false},
+        {Opcode::Shr, DataType::S32, false, true, false},
+        {Opcode::Shr, DataType::U32, true, true, false},
+        {Opcode::Neg, DataType::S32, false, false, false},
+        {Opcode::Neg, DataType::F32, false, false, false},
+        {Opcode::Abs, DataType::S32, false, false, false},
+        {Opcode::Abs, DataType::F32, false, false, false},
+        {Opcode::Mov, DataType::U32, false, false, false},
+        {Opcode::Div, DataType::F32, false, true, false},
+        {Opcode::Rcp, DataType::F32, false, false, false},
+        {Opcode::Sqrt, DataType::F32, false, false, false},
+    };
+
+    for (const Case &c : cases) {
+        Instruction inst;
+        inst.op = c.op;
+        inst.type = c.type;
+        inst.dst = 10;
+        inst.src[0] = Operand::makeReg(1);
+        if (c.readsB) {
+            inst.src[1] = c.immB ? Operand::makeImm(rng())
+                                 : Operand::makeReg(2);
+        }
+        if (c.readsC)
+            inst.src[2] = Operand::makeReg(3);
+        DecodedInst d;
+        d.inst = &inst;
+        d.readsB = c.readsB;
+        d.readsC = c.readsC;
+
+        for (uint64_t mask :
+             {uint64_t{0xFFFFFFFF}, uint64_t{0x80000001},
+              uint64_t{0x0F0F0F0F}, uint64_t{0}}) {
+            std::vector<uint32_t> scalarRegs = init;
+            for (uint64_t m = mask; m; m &= m - 1) {
+                const int lane = __builtin_ctzll(m);
+                const size_t slot = size_t(baseSlot + lane);
+                const uint32_t a =
+                    scalarRegs[slot * kMaxRegisters + inst.src[0].reg];
+                const uint32_t b =
+                    !c.readsB ? 0
+                    : c.immB  ? inst.src[1].imm
+                              : scalarRegs[slot * kMaxRegisters +
+                                           inst.src[1].reg];
+                const uint32_t cc =
+                    c.readsC ? scalarRegs[slot * kMaxRegisters +
+                                          inst.src[2].reg]
+                             : 0;
+                scalarRegs[slot * kMaxRegisters + inst.dst] =
+                    evalAlu(inst, a, b, cc);
+            }
+
+            std::vector<uint32_t> vecRegs = init;
+            simd::setForTest(1);
+            const bool handled = simd::warpAlu(d, vecRegs.data(),
+                                               baseSlot, mask, warpSize);
+            simd::setForTest(-1);
+            ASSERT_TRUE(handled)
+                << "op " << int(c.op) << " unexpectedly unsupported";
+            EXPECT_EQ(scalarRegs, vecRegs)
+                << "op=" << int(c.op) << " type=" << int(c.type)
+                << " mask=" << std::hex << mask;
+        }
+    }
+}
+
+TEST_F(Simd, UnsupportedShapesFallBack)
+{
+    Instruction inst;
+    inst.op = Opcode::Min;
+    inst.type = DataType::F32;   // fmin NaN semantics: scalar only
+    inst.dst = 1;
+    inst.src[0] = Operand::makeReg(1);
+    inst.src[1] = Operand::makeReg(2);
+    DecodedInst d;
+    d.inst = &inst;
+    d.readsB = true;
+    std::vector<uint32_t> regs(size_t(32) * kMaxRegisters, 0);
+    simd::setForTest(1);
+    EXPECT_FALSE(simd::warpAlu(d, regs.data(), 0, ~uint64_t{0}, 32));
+
+    inst.op = Opcode::Add;
+    inst.type = DataType::U32;
+    inst.src[0] = Operand::makeSpecial(SpecialReg::Tid);
+    EXPECT_FALSE(simd::warpAlu(d, regs.data(), 0, ~uint64_t{0}, 32));
+    // Warp sizes that are not a multiple of eight stay scalar.
+    inst.src[0] = Operand::makeReg(1);
+    EXPECT_FALSE(simd::warpAlu(d, regs.data(), 0, 0xF, 4));
+}
+
+TEST_F(Simd, EndToEndRunBitIdentical)
+{
+    const char kProgram[] = R"(
+        .entry main
+        main:
+            mov.u32 r2, %tid;
+            shl.u32 r1, r2, 2;
+            ld.global.u32 r0, [r1+0];
+            add.u32 r0, r0, r2;
+            mul.u32 r3, r0, r2;
+            setp.lt.u32 p0, r3, 1024;
+            @p0 add.u32 r3, r3, 7;
+            vote.all p1, p0;
+            st.global.u32 [r1+0], r3;
+            exit;
+    )";
+    auto runOnce = [&](int force) {
+        simd::setForTest(force);
+        GpuConfig cfg = test::smallConfig();
+        Gpu gpu(cfg);
+        gpu.loadProgram(assemble(kProgram));
+        gpu.mallocGlobal(4096);
+        gpu.launch(256);
+        gpu.run();
+        std::ostringstream os;
+        gpu.dumpState(os);
+        simd::setForTest(-1);
+        return os.str();
+    };
+    EXPECT_EQ(runOnce(0), runOnce(1));
+}
+
+} // namespace
