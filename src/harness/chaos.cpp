@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Fault-injection engine implementation (chaos.hpp).
+ */
+
+#include "harness/chaos.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/registry.hpp"
+
+namespace uksim::chaos {
+
+namespace {
+
+uint64_t
+fnv1a64(std::string_view s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= uint64_t(uint8_t(c));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+bool
+validSiteName(std::string_view site)
+{
+    if (site.empty())
+        return false;
+    for (const char c : site) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '.' || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+parseU64(const std::string &text, const std::string &what)
+{
+    size_t pos = 0;
+    uint64_t value = 0;
+    try {
+        value = std::stoull(text, &pos);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("chaos: malformed " + what + " '" +
+                                    text + "'");
+    }
+    if (pos != text.size())
+        throw std::invalid_argument("chaos: malformed " + what + " '" +
+                                    text + "'");
+    return value;
+}
+
+} // anonymous namespace
+
+ChaosEngine &
+ChaosEngine::instance()
+{
+    static ChaosEngine engine;
+    return engine;
+}
+
+void
+ChaosEngine::configure(uint64_t seed, std::vector<Rule> rules)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, SiteState, std::less<>> sites;
+    for (Rule &rule : rules) {
+        if (!validSiteName(rule.site))
+            throw std::invalid_argument("chaos: bad site name '" +
+                                        rule.site + "'");
+        SiteState state;
+        state.rngState = seed ^ fnv1a64(rule.site);
+        state.rule = std::move(rule);
+        const std::string site = state.rule.site;
+        if (!sites.emplace(site, std::move(state)).second)
+            throw std::invalid_argument("chaos: duplicate rule for site '" +
+                                        site + "'");
+    }
+    seed_ = seed;
+    sites_ = std::move(sites);
+    absorbed_.clear();
+    enabled_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+std::pair<uint64_t, std::vector<Rule>>
+ChaosEngine::parseSpec(const std::string &spec)
+{
+    const size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        throw std::invalid_argument(
+            "chaos: spec needs '<seed>:<rule>,...' (got '" + spec + "')");
+    const uint64_t seed = parseU64(spec.substr(0, colon), "seed");
+
+    std::vector<Rule> rules;
+    std::istringstream list(spec.substr(colon + 1));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+        if (item.empty())
+            continue;
+        Rule rule;
+        // Optional "*<max-fires>" suffix first, then the trigger.
+        const size_t star = item.find('*');
+        if (star != std::string::npos) {
+            rule.maxFires = parseU64(item.substr(star + 1), "max-fires");
+            item.resize(star);
+        }
+        const size_t op = item.find_first_of("=@%");
+        if (op == std::string::npos)
+            throw std::invalid_argument(
+                "chaos: rule '" + item +
+                "' needs site=<prob>, site@<hit> or site%<every>");
+        rule.site = item.substr(0, op);
+        if (!validSiteName(rule.site))
+            throw std::invalid_argument("chaos: bad site name '" +
+                                        rule.site + "'");
+        const std::string value = item.substr(op + 1);
+        if (item[op] == '=') {
+            size_t pos = 0;
+            try {
+                rule.probability = std::stod(value, &pos);
+            } catch (const std::exception &) {
+                pos = 0;
+            }
+            if (pos != value.size() || rule.probability < 0.0 ||
+                rule.probability > 1.0)
+                throw std::invalid_argument(
+                    "chaos: probability '" + value +
+                    "' must be a number in [0, 1]");
+        } else if (item[op] == '@') {
+            rule.onHit = parseU64(value, "hit index");
+            if (rule.onHit == 0)
+                throw std::invalid_argument("chaos: @hit index is 1-based");
+        } else {
+            rule.everyHits = parseU64(value, "hit period");
+            if (rule.everyHits == 0)
+                throw std::invalid_argument("chaos: %period must be > 0");
+        }
+        rules.push_back(std::move(rule));
+    }
+    if (rules.empty())
+        throw std::invalid_argument("chaos: spec has no rules");
+    return {seed, std::move(rules)};
+}
+
+void
+ChaosEngine::configureFromSpec(const std::string &spec)
+{
+    auto [seed, rules] = parseSpec(spec);
+    configure(seed, std::move(rules));
+}
+
+bool
+ChaosEngine::configureFromEnv()
+{
+    const char *spec = std::getenv(kChaosEnvVar);
+    if (!spec || !*spec)
+        return false;
+    configureFromSpec(spec);
+    return true;
+}
+
+void
+ChaosEngine::disable()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_.store(false, std::memory_order_relaxed);
+    seed_ = 0;
+    sites_.clear();
+    absorbed_.clear();
+}
+
+bool
+ChaosEngine::shouldFire(std::string_view site)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end())
+        return false;
+    SiteState &s = it->second;
+    s.hits++;
+
+    bool fire = false;
+    const Rule &rule = s.rule;
+    if (rule.onHit)
+        fire = s.hits == rule.onHit;
+    else if (rule.everyHits)
+        fire = s.hits % rule.everyHits == 0;
+    else if (rule.probability > 0.0)
+        fire = double(splitmix64(s.rngState) >> 11) * 0x1.0p-53 <
+               rule.probability;
+    if (fire && rule.maxFires && s.fires >= rule.maxFires)
+        fire = false;
+    if (fire)
+        s.fires++;
+    return fire;
+}
+
+uint64_t
+ChaosEngine::fires(std::string_view site) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t n = 0;
+    if (const auto it = sites_.find(site); it != sites_.end())
+        n += it->second.fires;
+    if (const auto it = absorbed_.find(std::string(site));
+        it != absorbed_.end())
+        n += it->second;
+    return n;
+}
+
+uint64_t
+ChaosEngine::totalFires() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t n = 0;
+    for (const auto &[site, state] : sites_)
+        n += state.fires;
+    for (const auto &[site, count] : absorbed_)
+        n += count;
+    return n;
+}
+
+std::map<std::string, uint64_t>
+ChaosEngine::fireCounts() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, uint64_t> counts;
+    for (const auto &[site, state] : sites_)
+        if (state.fires)
+            counts[site] += state.fires;
+    for (const auto &[site, count] : absorbed_)
+        if (count)
+            counts[site] += count;
+    return counts;
+}
+
+void
+ChaosEngine::absorb(const std::map<std::string, uint64_t> &counts)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[site, count] : counts)
+        absorbed_[site] += count;
+}
+
+std::string
+ChaosEngine::countsToJson(const std::map<std::string, uint64_t> &counts)
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &[site, count] : counts) {
+        os << (first ? "" : ", ") << "\"" << site << "\": " << count;
+        first = false;
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+ChaosEngine::mirrorCounters(trace::Registry &reg,
+                            const std::string &prefix) const
+{
+    std::map<std::string, double> values;
+    for (const auto &[site, count] : fireCounts())
+        values[site] = double(count);
+    reg.mergePrefixed(prefix, values);
+}
+
+ChaosEngine::Config
+ChaosEngine::exportConfig() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Config config;
+    config.enabled = enabled_.load(std::memory_order_relaxed);
+    config.seed = seed_;
+    for (const auto &[site, state] : sites_)
+        config.rules.push_back(state.rule);
+    return config;
+}
+
+void
+ChaosEngine::importConfig(const Config &config)
+{
+    if (!config.enabled)
+        disable();
+    else
+        configure(config.seed, config.rules);
+}
+
+} // namespace uksim::chaos

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the serve stack.
+ *
+ * Robustness is only testable when failure is reproducible. This
+ * harness gives every failure-handling path a *named injection point*
+ * (a "site", e.g. "cache.write.enospc" or "worker.kill"): production
+ * code asks `chaos::fire("site")` at the place the real fault would
+ * strike, and the call returns true exactly when an active rule says
+ * the fault fires on this hit. With no configuration the engine is
+ * disabled and every query is a single relaxed atomic load returning
+ * false — observation-neutral by construction.
+ *
+ * Determinism: each site draws from its own SplitMix64 stream seeded
+ * by (plan seed ^ fnv1a(site name)), and firing depends only on the
+ * site's own hit count and stream. Sites therefore never perturb each
+ * other, and a fixed seed reproduces the same firing pattern for the
+ * same sequence of hits regardless of what other sites do. The engine
+ * is bit-deterministic over everything chaos touches (I/O retries,
+ * worker crashes, cache corruption), so a batch that survives injected
+ * chaos must still produce byte-identical result payloads — which is
+ * exactly what tests/test_chaos_e2e.cpp asserts.
+ *
+ * Configuration surfaces:
+ *  - spec string (UKSIM_CHAOS env var or `uksim-serve --chaos`):
+ *        "<seed>:<rule>[,<rule>...]"
+ *        rule := site=<prob> | site@<nth-hit> | site%<every-n>
+ *        with an optional "*<max-fires>" suffix, e.g.
+ *        "42:cache.read.corrupt=0.5,worker.kill@2*1"
+ *  - JSON chaos plan ("ukchaos-plan-1", serve/chaos_plan.hpp), carried
+ *    in a submit request or via `uksim-submit --chaos-plan`.
+ *
+ * Every firing increments a per-site counter; counters export as
+ * `chaos.*` entries in the trace registry (mirrorCounters) and as a
+ * JSON summary in batch manifests. Worker child processes inherit the
+ * configured engine across fork(), but reinstall it with the seed
+ * perturbed by the attempt index: probabilistic child-side faults are
+ * redrawn across retries (a transient fault stays transient), while
+ * hit-count rules (@N / %N) deliberately replay in every fresh child.
+ * Child-side fires are reported back over the worker pipe and absorbed
+ * into the parent's tally.
+ */
+
+#ifndef UKSIM_HARNESS_CHAOS_HPP
+#define UKSIM_HARNESS_CHAOS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uksim::trace {
+class Registry;
+}
+
+namespace uksim::chaos {
+
+/// Environment variable the daemon consults for a chaos spec.
+inline constexpr const char *kChaosEnvVar = "UKSIM_CHAOS";
+
+/** SplitMix64 step: advances @p state and returns the next value. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** One injection rule bound to a single site. */
+struct Rule {
+    std::string site;       ///< exact injection-point name
+    double probability = 0; ///< fire with this per-hit probability
+    uint64_t onHit = 0;     ///< fire on exactly this 1-based hit
+    uint64_t everyHits = 0; ///< fire every N-th hit
+    uint64_t maxFires = 0;  ///< stop firing after this many (0 = unlimited)
+};
+
+/** Process-wide fault-injection engine (see file header). */
+class ChaosEngine
+{
+  public:
+    /** Saved configuration for scoped install/restore (ScopedChaos). */
+    struct Config {
+        bool enabled = false;
+        uint64_t seed = 0;
+        std::vector<Rule> rules;
+    };
+
+    static ChaosEngine &instance();
+
+    /**
+     * Install @p rules with per-site streams derived from @p seed.
+     * Resets all hit/fire counters. At most one rule per site.
+     * @throws std::invalid_argument on duplicate or empty sites.
+     */
+    void configure(uint64_t seed, std::vector<Rule> rules);
+
+    /** Parse "<seed>:<rule>,..."; throws std::invalid_argument. */
+    static std::pair<uint64_t, std::vector<Rule>>
+    parseSpec(const std::string &spec);
+
+    /** configure(parseSpec(spec)); throws std::invalid_argument. */
+    void configureFromSpec(const std::string &spec);
+
+    /**
+     * Configure from $UKSIM_CHAOS when set and non-empty.
+     * @return true when a spec was installed.
+     */
+    bool configureFromEnv();
+
+    /** Drop all rules and counters; queries become free again. */
+    void disable();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record one hit at @p site and decide whether the fault fires.
+     * Sites without a rule never fire (and are not tracked).
+     */
+    bool shouldFire(std::string_view site);
+
+    uint64_t seed() const { return seed_; }
+
+    /** Fires at one site so far (local + absorbed). */
+    uint64_t fires(std::string_view site) const;
+
+    /** Total fires across all sites (local + absorbed). */
+    uint64_t totalFires() const;
+
+    /** Per-site fire counts (local + absorbed), name-ordered. */
+    std::map<std::string, uint64_t> fireCounts() const;
+
+    /**
+     * Merge fire counts reported by another process (a forked worker
+     * child). Absorbed counts appear in fireCounts()/totalFires() but
+     * never advance local rule state.
+     */
+    void absorb(const std::map<std::string, uint64_t> &counts);
+
+    /** Counts as a single-line JSON object {"site": n, ...}. */
+    static std::string
+    countsToJson(const std::map<std::string, uint64_t> &counts);
+
+    /** Mirror fire counts into @p reg as "<prefix>.<site>" counters. */
+    void mirrorCounters(trace::Registry &reg,
+                        const std::string &prefix = "chaos") const;
+
+    /** Snapshot the active configuration (not the counters). */
+    Config exportConfig() const;
+
+    /** Reinstall @p config (fresh counters), or disable. */
+    void importConfig(const Config &config);
+
+  private:
+    ChaosEngine() = default;
+
+    struct SiteState {
+        Rule rule;
+        uint64_t rngState = 0;
+        uint64_t hits = 0;
+        uint64_t fires = 0;
+    };
+
+    mutable std::mutex mu_;
+    std::atomic<bool> enabled_{false};
+    uint64_t seed_ = 0;
+    std::map<std::string, SiteState, std::less<>> sites_;
+    std::map<std::string, uint64_t> absorbed_;
+};
+
+/**
+ * The one production query: did the fault at @p site fire on this hit?
+ * Free (one relaxed load) when chaos is disabled.
+ */
+inline bool
+fire(const char *site)
+{
+    ChaosEngine &engine = ChaosEngine::instance();
+    return engine.enabled() && engine.shouldFire(site);
+}
+
+/**
+ * RAII scoped install: configures the engine on construction and
+ * restores the previous configuration (with fresh counters) on
+ * destruction. Used by per-batch chaos plans and tests.
+ */
+class ScopedChaos
+{
+  public:
+    ScopedChaos(uint64_t seed, std::vector<Rule> rules)
+        : prior_(ChaosEngine::instance().exportConfig())
+    {
+        ChaosEngine::instance().configure(seed, std::move(rules));
+    }
+
+    explicit ScopedChaos(const std::string &spec)
+        : prior_(ChaosEngine::instance().exportConfig())
+    {
+        ChaosEngine::instance().configureFromSpec(spec);
+    }
+
+    ~ScopedChaos() { ChaosEngine::instance().importConfig(prior_); }
+
+    ScopedChaos(const ScopedChaos &) = delete;
+    ScopedChaos &operator=(const ScopedChaos &) = delete;
+
+  private:
+    ChaosEngine::Config prior_;
+};
+
+} // namespace uksim::chaos
+
+#endif // UKSIM_HARNESS_CHAOS_HPP

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "harness/chaos.hpp"
 #include "harness/serialize.hpp"
 #include "kernels/raytrace_kernels.hpp"
 #include "trace/export.hpp"
@@ -198,6 +199,10 @@ runExperiment(const PreparedScene &prepared, const ExperimentConfig &config,
     }
     if (config.exportCounters) {
         trace::Registry reg = trace::buildRegistry(gpu);
+        // Fault-injection visibility: every chaos site that fired so
+        // far shows up as a chaos.<site> counter. A no-op (and thus
+        // observation-neutral) when chaos is disabled.
+        chaos::ChaosEngine::instance().mirrorCounters(reg);
         r.counterCsv = reg.csv();
         r.counterJson = reg.json();
     }

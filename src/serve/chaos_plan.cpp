@@ -1,0 +1,133 @@
+/**
+ * @file
+ * JSON chaos plan parsing/serialization (chaos_plan.hpp).
+ */
+
+#include "serve/chaos_plan.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace uksim::serve {
+
+namespace {
+
+uint64_t
+u64Field(const JsonValue &rule, const std::string &key)
+{
+    const JsonValue *v = rule.find(key);
+    if (v == nullptr)
+        return 0;
+    if (!v->isNumber() || v->number < 0 ||
+        v->number != std::floor(v->number))
+        throw JsonError("chaos plan: '" + key +
+                            "' must be a non-negative integer",
+                        0);
+    return uint64_t(v->number);
+}
+
+} // anonymous namespace
+
+chaos::ChaosEngine::Config
+chaosPlanFromJson(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        throw JsonError("chaos plan must be an object", 0);
+    if (doc.stringOr("schema", "") != kChaosPlanSchema)
+        throw JsonError(std::string("chaos plan schema is not ") +
+                            kChaosPlanSchema,
+                        0);
+    chaos::ChaosEngine::Config cfg;
+    cfg.seed = doc.u64Or("seed", 0);
+    const JsonValue &rules = doc.at("rules");
+    if (!rules.isArray())
+        throw JsonError("chaos plan: 'rules' must be an array", 0);
+    for (const JsonValue &r : rules.array) {
+        if (!r.isObject())
+            throw JsonError("chaos plan: each rule must be an object", 0);
+        chaos::Rule rule;
+        rule.site = r.stringAt("site");
+        int triggers = 0;
+        if (const JsonValue *p = r.find("p"); p != nullptr) {
+            if (!p->isNumber() || p->number < 0 || p->number > 1)
+                throw JsonError("chaos plan: 'p' must be in [0,1]", 0);
+            rule.probability = p->number;
+            triggers++;
+        }
+        if (r.find("on_hit") != nullptr) {
+            rule.onHit = u64Field(r, "on_hit");
+            if (rule.onHit == 0)
+                throw JsonError("chaos plan: 'on_hit' must be >= 1", 0);
+            triggers++;
+        }
+        if (r.find("every") != nullptr) {
+            rule.everyHits = u64Field(r, "every");
+            if (rule.everyHits == 0)
+                throw JsonError("chaos plan: 'every' must be >= 1", 0);
+            triggers++;
+        }
+        if (triggers != 1)
+            throw JsonError("chaos plan: rule for site '" + rule.site +
+                                "' needs exactly one of p/on_hit/every",
+                            0);
+        rule.maxFires = u64Field(r, "max_fires");
+        cfg.rules.push_back(std::move(rule));
+    }
+    cfg.enabled = !cfg.rules.empty();
+    for (size_t i = 0; i < cfg.rules.size(); i++) {
+        const std::string &site = cfg.rules[i].site;
+        for (char c : site) {
+            if (!(std::islower(static_cast<unsigned char>(c)) ||
+                  std::isdigit(static_cast<unsigned char>(c)) ||
+                  c == '.' || c == '_' || c == '-'))
+                throw JsonError("chaos plan: bad site name '" + site + "'",
+                                0);
+        }
+        for (size_t j = 0; j < i; j++) {
+            if (cfg.rules[j].site == site)
+                throw JsonError("chaos plan: duplicate site '" + site +
+                                    "'",
+                                0);
+        }
+    }
+    return cfg;
+}
+
+chaos::ChaosEngine::Config
+chaosPlanFromText(std::string_view text)
+{
+    return chaosPlanFromJson(parseJson(text));
+}
+
+std::string
+chaosPlanToJson(const chaos::ChaosEngine::Config &cfg)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"" << kChaosPlanSchema << "\""
+       << ", \"seed\": " << cfg.seed << ", \"rules\": [";
+    bool first = true;
+    for (const chaos::Rule &r : cfg.rules) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "{\"site\": \"" << jsonEscape(r.site) << "\"";
+        if (r.onHit > 0)
+            os << ", \"on_hit\": " << r.onHit;
+        else if (r.everyHits > 0)
+            os << ", \"every\": " << r.everyHits;
+        else {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.9g", r.probability);
+            os << ", \"p\": " << buf;
+        }
+        if (r.maxFires > 0)
+            os << ", \"max_fires\": " << r.maxFires;
+        os << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace uksim::serve

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * JSON chaos plans ("ukchaos-plan-1").
+ *
+ * The chaos engine itself (harness/chaos.hpp) is JSON-free; this is
+ * the serve-layer bridge that lets plans travel as documents — on the
+ * wire inside a submit request's optional "chaos" field, or on disk
+ * for `uksim-submit --chaos-plan FILE`.
+ *
+ * Schema:
+ *   {
+ *     "schema": "ukchaos-plan-1",
+ *     "seed": 42,
+ *     "rules": [
+ *       {"site": "cache.read.corrupt", "p": 0.5},
+ *       {"site": "worker.kill", "on_hit": 2, "max_fires": 1},
+ *       {"site": "snapshot.write.torn", "every": 3}
+ *     ]
+ *   }
+ *
+ * Exactly one of "p" / "on_hit" / "every" must be present per rule;
+ * "max_fires" is optional (0 = unlimited). The site catalog and rule
+ * semantics are identical to the UKSIM_CHAOS spec string — a plan is
+ * just the same config in a reviewable, machine-checkable form.
+ */
+
+#ifndef UKSIM_SERVE_CHAOS_PLAN_HPP
+#define UKSIM_SERVE_CHAOS_PLAN_HPP
+
+#include <string>
+#include <string_view>
+
+#include "harness/chaos.hpp"
+#include "serve/json.hpp"
+
+namespace uksim::serve {
+
+/** Schema tag every chaos plan document must carry. */
+inline constexpr const char *kChaosPlanSchema = "ukchaos-plan-1";
+
+/**
+ * Parse an already-decoded plan document into an engine config.
+ * @throws JsonError on schema violations (wrong schema tag, missing
+ *         site, zero or multiple trigger fields, bad site name).
+ */
+chaos::ChaosEngine::Config
+chaosPlanFromJson(const JsonValue &doc);
+
+/** Parse a plan from raw text. @throws JsonError */
+chaos::ChaosEngine::Config
+chaosPlanFromText(std::string_view text);
+
+/**
+ * Serialize a config back to a canonical single-line plan document
+ * (stable field order, no whitespace variance) — what uksim-submit
+ * embeds in the request after validating --chaos-plan.
+ */
+std::string chaosPlanToJson(const chaos::ChaosEngine::Config &cfg);
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_CHAOS_PLAN_HPP

@@ -8,15 +8,37 @@
  * payload itself travels through a spool file (atomic write), not the
  * pipe, so a crash mid-write can never hand the parent a torn
  * payload. The parent multiplexes live pipes with poll(), translates
- * worker lines into protocol events, and reaps children with waitpid:
- * a signal death re-queues the job (resuming from its snapshot when
- * one is valid), a clean nonzero exit is a deterministic job failure.
+ * worker lines into protocol events, and reaps children with waitpid.
+ *
+ * Failure classification on reap:
+ *   signal death, policy-killed  -> job_timeout (deadline/heartbeat),
+ *                                   environmental retry with backoff
+ *   signal death, otherwise      -> worker_crashed, environmental retry
+ *                                   (resuming from a valid snapshot)
+ *   exit 3                       -> snapshot rejected: retry fresh
+ *   exit 4                       -> environmental (in-child timeout or
+ *                                   spool I/O): retry with backoff
+ *   exit 0 without "done" / 1    -> deterministic failure: fail fast
+ *
+ * Environmental retries use jittered exponential backoff; consecutive
+ * environmental failures shrink the pool one worker at a time
+ * (pool_degraded) until the batch drains in-process. Every decision is
+ * recorded in the manifest's decision log.
+ *
+ * Chaos accounting: injected worker sabotage (worker.kill/worker.hang)
+ * is decided in the *parent* at spawn time — SIGKILL would lose any
+ * child-side record — and passed to the child as flags; the child acts
+ * right after its next durable snapshot. Child-side chaos fires
+ * (snapshot/spool/deadline sites) ride back on the done/error lines
+ * and are absorbed into the parent engine's tally.
  */
 
 #include "serve/engine.hpp"
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -24,20 +46,25 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "harness/chaos.hpp"
 #include "harness/serialize.hpp"
 #include "serve/executor.hpp"
+#include "serve/fdio.hpp"
 #include "serve/sha256.hpp"
 #include "trace/registry.hpp"
 
 namespace uksim::serve {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
 
 void
 emitEvent(const EventSink &sink, const std::string &line)
@@ -49,6 +76,9 @@ emitEvent(const EventSink &sink, const std::string &line)
 void
 writeFileAtomic(const std::string &path, const std::vector<uint8_t> &bytes)
 {
+    if (chaos::fire("spool.write.fail"))
+        throw std::runtime_error("spool: write failed: " + path +
+                                 " (chaos)");
     std::filesystem::create_directories(
         std::filesystem::path(path).parent_path());
     const std::string tmp =
@@ -80,13 +110,8 @@ writeLineFd(int fd, const std::string &text)
 {
     std::string line = text;
     line.push_back('\n');
-    size_t off = 0;
-    while (off < line.size()) {
-        const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
-        if (n <= 0)
-            return;     // parent is gone; nothing useful to do
-        off += size_t(n);
-    }
+    // A false return means the parent is gone; nothing useful to do.
+    (void)writeFull(fd, line.data(), line.size());
 }
 
 std::string
@@ -127,7 +152,19 @@ BatchManifest::json() const
     }
     os << "], \"cache_hits\": " << cacheHits << ", \"computed\": "
        << computed << ", \"failed\": " << failed << ", \"resumed\": "
-       << resumed << "}";
+       << resumed << ", \"timeouts\": " << timeouts << ", \"rejected\": "
+       << rejected;
+    if (!decisions.empty()) {
+        os << ", \"decisions\": [";
+        for (size_t i = 0; i < decisions.size(); i++) {
+            os << (i ? ", " : "") << "\"" << jsonEscape(decisions[i])
+               << "\"";
+        }
+        os << "]";
+    }
+    if (!chaosJson.empty())
+        os << ", \"chaos\": " << chaosJson;
+    os << "}";
     return os.str();
 }
 
@@ -141,6 +178,20 @@ struct ServerEngine::PendingJob {
     bool done = false;
     std::vector<uint8_t> payload;   ///< canonical result bytes when done
     PendingJob *duplicateOf = nullptr;
+};
+
+/** A (job, attempt) pair waiting to run, possibly not before a time. */
+struct ServerEngine::WorkItem {
+    PendingJob *job = nullptr;
+    int attempt = 0;                ///< attempts already burned (0-based)
+    SteadyClock::time_point notBefore = SteadyClock::time_point::min();
+};
+
+/** Worker-pool queue plus the degradation counters that govern it. */
+struct ServerEngine::PoolState {
+    std::deque<WorkItem> work;
+    int poolLimit = 0;              ///< current max concurrent workers
+    int consecutiveFailures = 0;    ///< environmental failures in a row
 };
 
 ServerEngine::ServerEngine(EngineOptions opts)
@@ -186,6 +237,45 @@ ServerEngine::payloadPathFor(const std::string &hash) const
     return opts_.spoolDir + "/" + hash + ".payload";
 }
 
+uint64_t
+ServerEngine::backoffDelayMs(int attempt)
+{
+    const int shift = std::min(attempt > 0 ? attempt - 1 : 0, 20);
+    uint64_t base = opts_.backoffBaseMs << shift;
+    if (base > opts_.backoffMaxMs)
+        base = opts_.backoffMaxMs;
+    if (base == 0)
+        return 1;   // never requeue "immediately": that can spin
+    const uint64_t half = base / 2;
+    if (half == 0)
+        return base;
+    // Jitter in [half, base] so retrying workers desynchronize.
+    return half + chaos::splitmix64(retryRng_) % (half + 1);
+}
+
+void
+ServerEngine::noteDecision(std::string text)
+{
+    decisions_.push_back(std::move(text));
+}
+
+void
+ServerEngine::storeToCache(PendingJob &job, const EventSink &sink)
+{
+    try {
+        cache_.store(job.hash, job.payload);
+    } catch (const std::exception &e) {
+        // The result is already computed and verified — a cache that
+        // cannot persist it degrades the *next* batch, not this job.
+        std::ostringstream os;
+        os << "{\"event\": \"cache_degraded\", \"job\": " << job.index
+           << ", \"error\": \"" << jsonEscape(e.what()) << "\"}";
+        emitEvent(sink, os.str());
+        noteDecision("job " + std::to_string(job.index) +
+                     ": result not cached (" + e.what() + ")");
+    }
+}
+
 namespace {
 
 /// Fill the run-summary report fields from a canonical payload.
@@ -225,24 +315,54 @@ jobFailedLine(const JobReport &r, size_t index)
     std::ostringstream os;
     os << "{\"event\": \"job_failed\", \"job\": " << index
        << ", \"label\": \"" << jsonEscape(r.spec.label) << "\""
+       << ", \"outcome\": \""
+       << jsonEscape(r.outcome.empty() ? "error" : r.outcome) << "\""
        << ", \"attempts\": " << r.attempts << ", \"error\": \""
        << jsonEscape(r.error) << "\"}";
+    return os.str();
+}
+
+std::string
+jobRejectedLine(const JobReport &r, size_t index, size_t depth, int limit)
+{
+    std::ostringstream os;
+    os << "{\"event\": \"job_rejected\", \"job\": " << index
+       << ", \"label\": \"" << jsonEscape(r.spec.label) << "\""
+       << ", \"queue_depth\": " << depth << ", \"limit\": " << limit
+       << "}";
+    return os.str();
+}
+
+std::string
+jobTimeoutLine(size_t index, int attempt, const std::string &reason)
+{
+    std::ostringstream os;
+    os << "{\"event\": \"job_timeout\", \"job\": " << index
+       << ", \"attempt\": " << attempt << ", \"reason\": \""
+       << jsonEscape(reason) << "\"}";
+    return os.str();
+}
+
+std::string
+jobRetriedLine(size_t index, int nextAttempt, uint64_t backoffMs,
+               const std::string &cause)
+{
+    std::ostringstream os;
+    os << "{\"event\": \"job_retried\", \"job\": " << index
+       << ", \"attempt\": " << nextAttempt << ", \"backoff_ms\": "
+       << backoffMs << ", \"cause\": \"" << jsonEscape(cause) << "\"}";
     return os.str();
 }
 
 } // anonymous namespace
 
 void
-ServerEngine::runInProcess(PendingJob &job, const EventSink &sink)
+ServerEngine::runInProcess(PendingJob &job, const EventSink &sink,
+                           int baseAttempt)
 {
-    std::ostringstream started;
-    started << "{\"event\": \"job_started\", \"job\": " << job.index
-            << ", \"label\": \"" << jsonEscape(job.report.spec.label)
-            << "\", \"hash\": \"" << job.hash << "\", \"attempt\": 1}";
-    emitEvent(sink, started.str());
-
     ExecOptions eo;
     eo.snapshotCycles = opts_.snapshotCycles;
+    eo.deadlineMs = opts_.jobDeadlineMs;
     if (eo.snapshotCycles && !opts_.spoolDir.empty())
         eo.snapshotPath = snapshotPathFor(job.hash);
     eo.onProgress = [&](const trace::ProgressSample &s) {
@@ -259,19 +379,31 @@ ServerEngine::runInProcess(PendingJob &job, const EventSink &sink)
         emitEvent(sink, os.str());
     };
 
-    Snapshot snap;
-    bool haveSnap = false;
-    if (!eo.snapshotPath.empty()) {
-        if (auto s = readSnapshotFile(eo.snapshotPath);
-            s && s->jobHash == job.hash &&
-            s->chunkCycles == opts_.snapshotCycles) {
-            snap = *s;
-            haveSnap = true;
-        }
-    }
-
-    for (int attempt = 1;; attempt++) {
+    for (int attempt = baseAttempt + 1;; attempt++) {
         job.report.attempts = attempt;
+        if (attempt == baseAttempt + 1) {
+            std::ostringstream started;
+            started << "{\"event\": \"job_started\", \"job\": "
+                    << job.index << ", \"label\": \""
+                    << jsonEscape(job.report.spec.label)
+                    << "\", \"hash\": \"" << job.hash
+                    << "\", \"attempt\": " << attempt << "}";
+            emitEvent(sink, started.str());
+        }
+
+        // Re-read the snapshot every attempt: a timed-out or crashed
+        // attempt may have left a newer one to resume from.
+        Snapshot snap;
+        bool haveSnap = false;
+        if (!eo.snapshotPath.empty()) {
+            if (auto s = readSnapshotFile(eo.snapshotPath);
+                s && s->jobHash == job.hash &&
+                s->chunkCycles == opts_.snapshotCycles) {
+                snap = *s;
+                haveSnap = true;
+            }
+        }
+
         try {
             eo.resumeFrom = haveSnap ? &snap : nullptr;
             if (haveSnap) {
@@ -288,7 +420,7 @@ ServerEngine::runInProcess(PendingJob &job, const EventSink &sink)
             job.report.resumed = exec.resumeVerified;
             job.report.counterJson = exec.result.counterJson;
             reportFromPayload(job.report, job.payload);
-            cache_.store(job.hash, job.payload);
+            storeToCache(job, sink);
             if (!eo.snapshotPath.empty()) {
                 std::error_code ec;
                 std::filesystem::remove(eo.snapshotPath, ec);
@@ -304,7 +436,6 @@ ServerEngine::runInProcess(PendingJob &job, const EventSink &sink)
             emitEvent(sink, os.str());
             std::error_code ec;
             std::filesystem::remove(eo.snapshotPath, ec);
-            haveSnap = false;
             if (attempt >= opts_.maxAttempts) {
                 job.report.outcome = "error";
                 job.report.error = e.what();
@@ -312,6 +443,25 @@ ServerEngine::runInProcess(PendingJob &job, const EventSink &sink)
                 emitEvent(sink, jobFailedLine(job.report, job.index));
                 return;
             }
+            // Deterministic rejection: retry fresh, no backoff.
+        } catch (const JobTimeout &e) {
+            emitEvent(sink, jobTimeoutLine(job.index, attempt, "deadline"));
+            batchTimeouts_++;
+            if (attempt >= opts_.maxAttempts) {
+                job.report.outcome = "error";
+                job.report.error = e.what();
+                job.done = true;
+                emitEvent(sink, jobFailedLine(job.report, job.index));
+                return;
+            }
+            const uint64_t delay = backoffDelayMs(attempt);
+            emitEvent(sink, jobRetriedLine(job.index, attempt + 1, delay,
+                                           "timeout"));
+            noteDecision("job " + std::to_string(job.index) +
+                         " attempt " + std::to_string(attempt + 1) +
+                         " after " + std::to_string(delay) +
+                         "ms backoff: " + e.what());
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
         } catch (const std::exception &e) {
             // Deterministic simulation/setup failure — retrying would
             // reproduce it bit-for-bit, so fail immediately.
@@ -326,11 +476,54 @@ ServerEngine::runInProcess(PendingJob &job, const EventSink &sink)
 
 int
 ServerEngine::workerChildMain(int fd, PendingJob &job, int attempt,
-                              const Snapshot *resume)
+                              const Snapshot *resume, bool sabotageKill,
+                              bool sabotageHang)
 {
+    // Perturb the chaos seed with the attempt index so probabilistic
+    // child-side faults (e.g. spool.write.fail) are *redrawn* on retry
+    // — a fork-inherited RNG would replay the identical draw sequence
+    // and turn any transient fault into a guaranteed attempt-budget
+    // exhaustion. Hit-count rules (@N / %N) deliberately replay: a
+    // fresh child re-hits 1..N. Still fully deterministic, since the
+    // attempt sequence itself is a function of the chaos plan.
+    if (chaos::ChaosEngine::instance().enabled()) {
+        chaos::ChaosEngine::Config cfg =
+            chaos::ChaosEngine::instance().exportConfig();
+        cfg.seed ^= 0x517cc1b727220a95ull * uint64_t(attempt + 1);
+        chaos::ChaosEngine::instance().importConfig(cfg);
+    }
+    // Fire counts inherited across fork(); anything above this baseline
+    // happened in this child and rides back on the done/error line.
+    const std::map<std::string, uint64_t> chaosBase =
+        chaos::ChaosEngine::instance().fireCounts();
+    auto chaosField = [&]() -> std::string {
+        std::map<std::string, uint64_t> delta;
+        for (const auto &[site, n] :
+             chaos::ChaosEngine::instance().fireCounts()) {
+            uint64_t base = 0;
+            if (auto it = chaosBase.find(site); it != chaosBase.end())
+                base = it->second;
+            if (n > base)
+                delta[site] = n - base;
+        }
+        if (delta.empty())
+            return "";
+        return ", \"chaos\": " + chaos::ChaosEngine::countsToJson(delta);
+    };
+    auto sabotage = [&] {
+        if (sabotageKill)
+            ::raise(SIGKILL);
+        if (sabotageHang) {
+            for (;;)
+                ::pause();
+        }
+    };
     try {
+        if (opts_.snapshotCycles == 0)
+            sabotage();     // no snapshot boundary will ever come
         ExecOptions eo;
         eo.snapshotCycles = opts_.snapshotCycles;
+        eo.deadlineMs = opts_.jobDeadlineMs;
         if (eo.snapshotCycles && !opts_.spoolDir.empty())
             eo.snapshotPath = snapshotPathFor(job.hash);
         eo.resumeFrom = resume;
@@ -350,27 +543,50 @@ ServerEngine::workerChildMain(int fd, PendingJob &job, int attempt,
                     uint64_t(job.report.spec.killAfterSnapshots)) {
                 ::raise(SIGKILL);
             }
+            sabotage();     // injected worker.kill / worker.hang
         };
         ExecResult exec = executeJob(preparedScene(job.config),
                                      job.config, job.hash, eo);
-        if (job.report.spec.counters && !exec.result.counterJson.empty()) {
-            const std::string &cj = exec.result.counterJson;
-            writeFileAtomic(payloadPathFor(job.hash) + ".counters",
-                            std::vector<uint8_t>(cj.begin(), cj.end()));
+        try {
+            if (job.report.spec.counters &&
+                !exec.result.counterJson.empty()) {
+                const std::string &cj = exec.result.counterJson;
+                writeFileAtomic(payloadPathFor(job.hash) + ".counters",
+                                std::vector<uint8_t>(cj.begin(),
+                                                     cj.end()));
+            }
+            writeFileAtomic(payloadPathFor(job.hash), exec.payload);
+        } catch (const std::exception &e) {
+            // The run succeeded; only spooling failed — environmental.
+            writeLineFd(fd,
+                        std::string("{\"ev\": \"error\", \"kind\": "
+                                    "\"environment\", \"message\": \"") +
+                            jsonEscape(e.what()) + "\"" + chaosField() +
+                            "}");
+            return 4;
         }
-        writeFileAtomic(payloadPathFor(job.hash), exec.payload);
         std::ostringstream os;
         os << "{\"ev\": \"done\", \"resumed\": "
-           << (exec.resumeVerified ? "true" : "false") << "}";
+           << (exec.resumeVerified ? "true" : "false") << chaosField()
+           << "}";
         writeLineFd(fd, os.str());
         return 0;
     } catch (const SnapshotMismatch &e) {
-        writeLineFd(fd, std::string("{\"ev\": \"error\", \"message\": \"") +
-                            jsonEscape(e.what()) + "\"}");
+        writeLineFd(fd,
+                    std::string("{\"ev\": \"error\", \"kind\": "
+                                "\"snapshot\", \"message\": \"") +
+                        jsonEscape(e.what()) + "\"" + chaosField() + "}");
         return 3;
+    } catch (const JobTimeout &e) {
+        writeLineFd(fd,
+                    std::string("{\"ev\": \"error\", \"kind\": "
+                                "\"timeout\", \"message\": \"") +
+                        jsonEscape(e.what()) + "\"" + chaosField() + "}");
+        return 4;
     } catch (const std::exception &e) {
         writeLineFd(fd, std::string("{\"ev\": \"error\", \"message\": \"") +
-                            jsonEscape(e.what()) + "\"}");
+                            jsonEscape(e.what()) + "\"" + chaosField() +
+                            "}");
         return 1;
     }
 }
@@ -386,6 +602,11 @@ struct ServerEngine::RunningWorker {
     bool gotDone = false;
     bool doneResumed = false;
     std::string errorMessage;
+    std::string errorKind;      ///< "timeout"/"environment"/"snapshot"/""
+    SteadyClock::time_point start;      ///< attempt start (deadline)
+    SteadyClock::time_point lastBeat;   ///< last pipe activity (heartbeat)
+    bool policyKilled = false;  ///< we SIGKILLed it (deadline/heartbeat)
+    std::string killReason;     ///< "deadline" or "heartbeat"
 };
 
 void
@@ -398,6 +619,18 @@ ServerEngine::handleWorkerLine(RunningWorker &w, const std::string &line,
     } catch (const JsonError &) {
         return;     // torn line from a dying worker; ignore
     }
+    auto absorbChaos = [&] {
+        const JsonValue *c = v.find("chaos");
+        if (c == nullptr || !c->isObject())
+            return;
+        std::map<std::string, uint64_t> counts;
+        for (const auto &[site, n] : c->object) {
+            if (n.isNumber() && n.number > 0)
+                counts[site] = uint64_t(n.number);
+        }
+        if (!counts.empty())
+            chaos::ChaosEngine::instance().absorb(counts);
+    };
     const std::string ev = v.stringOr("ev", "");
     if (ev == "progress") {
         std::ostringstream os;
@@ -416,15 +649,17 @@ ServerEngine::handleWorkerLine(RunningWorker &w, const std::string &line,
         emitEvent(sink, os.str());
     } else if (ev == "error") {
         w.errorMessage = v.stringOr("message", "worker error");
+        w.errorKind = v.stringOr("kind", "");
+        absorbChaos();
     } else if (ev == "done") {
         w.gotDone = true;
         w.doneResumed = v.boolOr("resumed", false);
+        absorbChaos();
     }
 }
 
 void
-ServerEngine::finishWorker(RunningWorker &w, int status,
-                           std::deque<std::pair<PendingJob *, int>> &work,
+ServerEngine::finishWorker(RunningWorker &w, int status, PoolState &pool,
                            const EventSink &sink)
 {
     PendingJob &job = *w.job;
@@ -440,18 +675,54 @@ ServerEngine::finishWorker(RunningWorker &w, int status,
         emitEvent(sink, jobFailedLine(job.report, job.index));
     };
 
-    if (WIFSIGNALED(status)) {
-        std::ostringstream os;
-        os << "{\"event\": \"worker_crashed\", \"job\": " << job.index
-           << ", \"signal\": " << WTERMSIG(status) << ", \"attempt\": "
-           << w.attempt + 1 << "}";
-        emitEvent(sink, os.str());
+    // Environmental failure: bump the degradation counters, then retry
+    // with jittered backoff while the attempt budget lasts.
+    auto retryEnvironmental = [&](const std::string &cause) {
+        pool.consecutiveFailures++;
+        if (opts_.degradeAfterFailures > 0 &&
+            pool.consecutiveFailures >= opts_.degradeAfterFailures &&
+            pool.poolLimit > 0) {
+            pool.poolLimit--;
+            pool.consecutiveFailures = 0;
+            std::ostringstream os;
+            os << "{\"event\": \"pool_degraded\", \"workers\": "
+               << pool.poolLimit << "}";
+            emitEvent(sink, os.str());
+            noteDecision(
+                "pool degraded to " + std::to_string(pool.poolLimit) +
+                " workers after consecutive environmental failures");
+        }
         if (w.attempt + 1 < opts_.maxAttempts) {
-            work.emplace_back(&job, w.attempt + 1);
+            const uint64_t delay = backoffDelayMs(w.attempt + 1);
+            emitEvent(sink, jobRetriedLine(job.index, w.attempt + 2,
+                                           delay, cause));
+            noteDecision("job " + std::to_string(job.index) +
+                         " attempt " + std::to_string(w.attempt + 2) +
+                         " after " + std::to_string(delay) +
+                         "ms backoff: " + cause);
+            pool.work.push_back(WorkItem{
+                &job, w.attempt + 1,
+                SteadyClock::now() + std::chrono::milliseconds(delay)});
         } else {
-            fail("worker killed by signal " +
-                 std::to_string(WTERMSIG(status)) + " after " +
-                 std::to_string(w.attempt + 1) + " attempts");
+            fail(cause + " after " + std::to_string(w.attempt + 1) +
+                 " attempts");
+        }
+    };
+
+    if (WIFSIGNALED(status)) {
+        if (w.policyKilled) {
+            emitEvent(sink, jobTimeoutLine(job.index, w.attempt + 1,
+                                           w.killReason));
+            batchTimeouts_++;
+            retryEnvironmental("killed on " + w.killReason + " expiry");
+        } else {
+            std::ostringstream os;
+            os << "{\"event\": \"worker_crashed\", \"job\": " << job.index
+               << ", \"signal\": " << WTERMSIG(status)
+               << ", \"attempt\": " << w.attempt + 1 << "}";
+            emitEvent(sink, os.str());
+            retryEnvironmental("worker killed by signal " +
+                               std::to_string(WTERMSIG(status)));
         }
         return;
     }
@@ -476,7 +747,8 @@ ServerEngine::finishWorker(RunningWorker &w, int status,
                     readFileBytes(payloadPathFor(job.hash) + ".counters"))
                 job.report.counterJson.assign(cj->begin(), cj->end());
         }
-        cache_.store(job.hash, job.payload);
+        pool.consecutiveFailures = 0;
+        storeToCache(job, sink);
         std::error_code ec;
         std::filesystem::remove(payloadPathFor(job.hash), ec);
         std::filesystem::remove(payloadPathFor(job.hash) + ".counters",
@@ -495,11 +767,25 @@ ServerEngine::finishWorker(RunningWorker &w, int status,
         std::error_code ec;
         if (!spath.empty())
             std::filesystem::remove(spath, ec);
+        // Deterministic rejection: retry fresh immediately — no
+        // backoff, and it does not count toward pool degradation.
         if (w.attempt + 1 < opts_.maxAttempts)
-            work.emplace_back(&job, w.attempt + 1);
+            pool.work.push_back(WorkItem{&job, w.attempt + 1,
+                                         SteadyClock::time_point::min()});
         else
             fail(w.errorMessage.empty() ? "snapshot rejected"
                                         : w.errorMessage);
+        return;
+    }
+    if (code == 4) {    // in-child environmental failure
+        if (w.errorKind == "timeout") {
+            emitEvent(sink, jobTimeoutLine(job.index, w.attempt + 1,
+                                           "deadline"));
+            batchTimeouts_++;
+        }
+        retryEnvironmental(w.errorMessage.empty()
+                               ? "environmental worker failure"
+                               : w.errorMessage);
         return;
     }
     fail(w.errorMessage.empty()
@@ -511,12 +797,14 @@ void
 ServerEngine::runWorkerPool(std::vector<PendingJob *> &queue,
                             const EventSink &sink)
 {
-    std::deque<std::pair<PendingJob *, int>> work;
+    PoolState ps;
+    ps.poolLimit = opts_.workers;
     for (PendingJob *p : queue)
-        work.emplace_back(p, 0);
+        ps.work.push_back(WorkItem{p, 0, SteadyClock::time_point::min()});
     std::vector<RunningWorker> running;
 
-    auto spawn = [&](PendingJob *job, int attempt) {
+    auto spawn = [&](const WorkItem &item) {
+        PendingJob *job = item.job;
         // Build the scene in the parent: forked children share it
         // copy-on-write instead of each rebuilding the kd-tree.
         preparedScene(job->config);
@@ -532,20 +820,64 @@ ServerEngine::runWorkerPool(std::vector<PendingJob *> &queue,
             }
         }
 
-        int fds[2];
-        if (::pipe(fds) != 0)
-            throw std::runtime_error("serve: pipe() failed");
-        std::fflush(nullptr);   // don't let the child double-flush stdio
-        const pid_t pid = ::fork();
-        if (pid < 0) {
-            ::close(fds[0]);
-            ::close(fds[1]);
-            throw std::runtime_error("serve: fork() failed");
+        int fds[2] = {-1, -1};
+        pid_t pid = -1;
+        bool sabotageKill = false;
+        bool sabotageHang = false;
+        bool forkFailed = chaos::fire("fork.fail");
+        if (!forkFailed) {
+            // Sabotage is decided here, in the parent — a SIGKILLed
+            // child cannot report, so parent-side accounting is the
+            // only way the firing pattern stays deterministic — and
+            // only for a spawn that got past fork.fail: "kill the Nth
+            // worker" must mean the Nth worker that actually exists.
+            sabotageKill = chaos::fire("worker.kill");
+            sabotageHang = !sabotageKill && chaos::fire("worker.hang");
+            if (::pipe(fds) != 0)
+                throw std::runtime_error("serve: pipe() failed");
+            std::fflush(nullptr); // don't let the child double-flush stdio
+            pid = ::fork();
+            if (pid < 0) {
+                ::close(fds[0]);
+                ::close(fds[1]);
+                forkFailed = true;
+            }
+        }
+        if (forkFailed) {
+            std::ostringstream os;
+            os << "{\"event\": \"fork_failed\", \"job\": " << job->index
+               << ", \"attempt\": " << item.attempt + 1 << "}";
+            emitEvent(sink, os.str());
+            ps.consecutiveFailures++;
+            if (opts_.degradeAfterFailures > 0 &&
+                ps.consecutiveFailures >= opts_.degradeAfterFailures &&
+                ps.poolLimit > 0) {
+                ps.poolLimit--;
+                ps.consecutiveFailures = 0;
+                std::ostringstream dg;
+                dg << "{\"event\": \"pool_degraded\", \"workers\": "
+                   << ps.poolLimit << "}";
+                emitEvent(sink, dg.str());
+                noteDecision("pool degraded to " +
+                             std::to_string(ps.poolLimit) +
+                             " workers after consecutive environmental "
+                             "failures");
+            }
+            const uint64_t delay = backoffDelayMs(item.attempt + 1);
+            noteDecision("job " + std::to_string(job->index) +
+                         ": fork failed, retrying in " +
+                         std::to_string(delay) + "ms");
+            // Fork failure is not the job's fault: same attempt number.
+            ps.work.push_back(WorkItem{
+                job, item.attempt,
+                SteadyClock::now() + std::chrono::milliseconds(delay)});
+            return;
         }
         if (pid == 0) {
             ::close(fds[0]);
             const int code = workerChildMain(
-                fds[1], *job, attempt, haveSnap ? &snap : nullptr);
+                fds[1], *job, item.attempt, haveSnap ? &snap : nullptr,
+                sabotageKill, sabotageHang);
             ::close(fds[1]);
             ::_exit(code);
         }
@@ -555,7 +887,8 @@ ServerEngine::runWorkerPool(std::vector<PendingJob *> &queue,
         started << "{\"event\": \"job_started\", \"job\": " << job->index
                 << ", \"label\": \""
                 << jsonEscape(job->report.spec.label) << "\", \"hash\": \""
-                << job->hash << "\", \"attempt\": " << attempt + 1 << "}";
+                << job->hash << "\", \"attempt\": " << item.attempt + 1
+                << "}";
         emitEvent(sink, started.str());
         if (haveSnap) {
             std::ostringstream os;
@@ -568,28 +901,109 @@ ServerEngine::runWorkerPool(std::vector<PendingJob *> &queue,
         w.pid = pid;
         w.fd = fds[0];
         w.job = job;
-        w.attempt = attempt;
+        w.attempt = item.attempt;
         w.resumedFromSnapshot = haveSnap;
+        w.start = w.lastBeat = SteadyClock::now();
         running.push_back(std::move(w));
     };
 
-    while (!work.empty() || !running.empty()) {
-        while (!work.empty() && int(running.size()) < opts_.workers) {
-            auto [job, attempt] = work.front();
-            work.pop_front();
-            spawn(job, attempt);
+    while (!ps.work.empty() || !running.empty()) {
+        auto now = SteadyClock::now();
+        if (ps.poolLimit <= 0 && running.empty()) {
+            // Degraded all the way down: drain what's left in-process.
+            while (!ps.work.empty()) {
+                WorkItem item = ps.work.front();
+                ps.work.pop_front();
+                runInProcess(*item.job, sink, item.attempt);
+            }
+            break;
         }
+        // Launch every due work item while there is pool capacity.
+        bool launched = true;
+        while (launched && int(running.size()) < ps.poolLimit) {
+            launched = false;
+            for (auto it = ps.work.begin(); it != ps.work.end(); ++it) {
+                if (it->notBefore <= now) {
+                    const WorkItem item = *it;
+                    ps.work.erase(it);
+                    spawn(item);
+                    launched = true;
+                    break;
+                }
+            }
+        }
+
+        // Poll timeout: the soonest of any worker deadline, heartbeat
+        // expiry, or delayed retry becoming due.
+        long long timeoutMs = -1;
+        auto consider = [&](SteadyClock::time_point t) {
+            long long ms =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    t - now)
+                    .count();
+            if (ms < 0)
+                ms = 0;
+            if (timeoutMs < 0 || ms < timeoutMs)
+                timeoutMs = ms;
+        };
+        for (const RunningWorker &w : running) {
+            if (opts_.jobDeadlineMs > 0)
+                consider(w.start +
+                         std::chrono::milliseconds(opts_.jobDeadlineMs));
+            if (opts_.heartbeatMs > 0)
+                consider(w.lastBeat +
+                         std::chrono::milliseconds(opts_.heartbeatMs));
+        }
+        if (ps.poolLimit <= 0 && running.empty()) {
+            // The pool degraded to zero *inside* the launch loop: go
+            // back to the top, where the in-process drain takes over —
+            // blocking in poll() here would wait on nothing, forever.
+            continue;
+        }
+        if (int(running.size()) < ps.poolLimit) {
+            for (const WorkItem &item : ps.work)
+                consider(item.notBefore);
+        }
+        const int pollTimeout =
+            timeoutMs < 0 ? -1
+                          : int(std::min(timeoutMs + 1,
+                                         (long long)INT_MAX));
+
         std::vector<struct pollfd> fds(running.size());
         for (size_t i = 0; i < running.size(); i++) {
             fds[i].fd = running[i].fd;
             fds[i].events = POLLIN;
             fds[i].revents = 0;
         }
-        if (::poll(fds.data(), nfds_t(fds.size()), -1) < 0) {
+        if (::poll(fds.empty() ? nullptr : fds.data(),
+                   nfds_t(fds.size()), pollTimeout) < 0) {
             if (errno == EINTR)
                 continue;
             throw std::runtime_error("serve: poll() failed");
         }
+        now = SteadyClock::now();
+
+        // Policy kills: overdue or silent workers die here; the reap
+        // path below classifies them as job_timeout, not a crash.
+        for (RunningWorker &w : running) {
+            if (w.policyKilled)
+                continue;
+            const char *reason = nullptr;
+            if (opts_.jobDeadlineMs > 0 &&
+                now - w.start >=
+                    std::chrono::milliseconds(opts_.jobDeadlineMs))
+                reason = "deadline";
+            else if (opts_.heartbeatMs > 0 &&
+                     now - w.lastBeat >=
+                         std::chrono::milliseconds(opts_.heartbeatMs))
+                reason = "heartbeat";
+            if (reason != nullptr) {
+                w.policyKilled = true;
+                w.killReason = reason;
+                ::kill(w.pid, SIGKILL);
+            }
+        }
+
         for (size_t i = 0; i < running.size();) {
             RunningWorker &w = running[i];
             if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
@@ -597,8 +1011,9 @@ ServerEngine::runWorkerPool(std::vector<PendingJob *> &queue,
                 continue;
             }
             char buf[4096];
-            const ssize_t n = ::read(w.fd, buf, sizeof(buf));
+            const ssize_t n = readEintr(w.fd, buf, sizeof(buf));
             if (n > 0) {
+                w.lastBeat = now;
                 w.buf.append(buf, size_t(n));
                 size_t nl;
                 while ((nl = w.buf.find('\n')) != std::string::npos) {
@@ -613,7 +1028,7 @@ ServerEngine::runWorkerPool(std::vector<PendingJob *> &queue,
             int status = 0;
             while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
             }
-            finishWorker(w, status, work, sink);
+            finishWorker(w, status, ps, sink);
             running.erase(running.begin() + long(i));
             fds.erase(fds.begin() + long(i));
         }
@@ -624,6 +1039,14 @@ BatchManifest
 ServerEngine::runBatch(const std::vector<JobSpec> &jobs,
                        const EventSink &sink)
 {
+    retryRng_ = opts_.retrySeed;
+    batchTimeouts_ = 0;
+    decisions_.clear();
+    chaos::ChaosEngine &ce = chaos::ChaosEngine::instance();
+    const std::map<std::string, uint64_t> chaosBase =
+        ce.enabled() ? ce.fireCounts()
+                     : std::map<std::string, uint64_t>{};
+
     std::vector<PendingJob> pending(jobs.size());
     std::map<std::string, PendingJob *> firstByHash;
     for (size_t i = 0; i < jobs.size(); i++) {
@@ -673,6 +1096,27 @@ ServerEngine::runBatch(const std::vector<JobSpec> &jobs,
         }
     }
 
+    // Backpressure: a bounded queue sheds load with a typed rejection
+    // instead of letting one oversized batch starve the server.
+    if (opts_.maxQueueDepth > 0 &&
+        int(compute.size()) > opts_.maxQueueDepth) {
+        const size_t depth = compute.size();
+        for (size_t i = size_t(opts_.maxQueueDepth); i < compute.size();
+             i++) {
+            PendingJob &p = *compute[i];
+            p.report.outcome = "rejected";
+            p.report.error = "queue depth " + std::to_string(depth) +
+                             " exceeds limit " +
+                             std::to_string(opts_.maxQueueDepth);
+            p.done = true;
+            emitEvent(sink, jobRejectedLine(p.report, p.index, depth,
+                                            opts_.maxQueueDepth));
+            noteDecision("job " + std::to_string(p.index) +
+                         " rejected: " + p.report.error);
+        }
+        compute.resize(size_t(opts_.maxQueueDepth));
+    }
+
     if (!compute.empty()) {
         if (opts_.workers > 0) {
             runWorkerPool(compute, sink);
@@ -687,6 +1131,15 @@ ServerEngine::runBatch(const std::vector<JobSpec> &jobs,
         if (!p.duplicateOf)
             continue;
         PendingJob &src = *p.duplicateOf;
+        if (src.report.outcome == "rejected") {
+            p.report.outcome = "rejected";
+            p.report.error = src.report.error;
+            p.done = true;
+            emitEvent(sink, jobRejectedLine(p.report, p.index,
+                                            pending.size(),
+                                            opts_.maxQueueDepth));
+            continue;
+        }
         if (!src.done || src.report.outcome == "error") {
             p.report.outcome = "error";
             p.report.error = src.report.error.empty()
@@ -711,6 +1164,8 @@ ServerEngine::runBatch(const std::vector<JobSpec> &jobs,
     for (PendingJob &p : pending) {
         if (p.report.outcome == "error")
             manifest.failed++;
+        else if (p.report.outcome == "rejected")
+            manifest.rejected++;
         else if (p.report.cacheHit)
             manifest.cacheHits++;
         else
@@ -718,6 +1173,22 @@ ServerEngine::runBatch(const std::vector<JobSpec> &jobs,
         if (p.report.resumed)
             manifest.resumed++;
         manifest.jobs.push_back(std::move(p.report));
+    }
+    manifest.timeouts = batchTimeouts_;
+    manifest.decisions = std::move(decisions_);
+    decisions_.clear();
+
+    if (ce.enabled()) {
+        std::map<std::string, uint64_t> delta;
+        for (const auto &[site, n] : ce.fireCounts()) {
+            uint64_t base = 0;
+            if (auto it = chaosBase.find(site); it != chaosBase.end())
+                base = it->second;
+            if (n > base)
+                delta[site] = n - base;
+        }
+        if (!delta.empty())
+            manifest.chaosJson = chaos::ChaosEngine::countsToJson(delta);
     }
     return manifest;
 }

@@ -21,10 +21,24 @@
  *    workers == 0 executes in-process (the deterministic path unit
  *    tests use; it also honors leftover snapshots).
  *
+ *  - Failure policy: every attempt runs under an optional wall-clock
+ *    deadline and heartbeat (a silent or overdue worker is SIGKILLed
+ *    and the attempt classified job_timeout). Environmental failures
+ *    (signals, timeouts, spool I/O) retry with jittered exponential
+ *    backoff inside a bounded attempt budget; deterministic failures
+ *    fail fast on the first attempt. Consecutive environmental
+ *    failures shrink the worker pool (pool_degraded) down to
+ *    in-process execution, and a bounded queue rejects overflow jobs
+ *    with a typed job_rejected event. Every such decision is recorded
+ *    in the batch manifest.
+ *
  *  - Per-job lifecycle events (job_started, progress, snapshot,
- *    job_resumed, job_done, job_failed) stream through an EventSink
- *    as single-line JSON; the batch ends with a manifest summarizing
- *    every job and the cache hit/computed/failed/resumed counts.
+ *    job_resumed, job_done, job_failed, job_timeout, job_retried,
+ *    job_rejected, worker_crashed, fork_failed, pool_degraded,
+ *    cache_degraded) stream through an EventSink as single-line JSON;
+ *    the batch ends with a manifest summarizing every job, the cache
+ *    hit/computed/failed/resumed/timeout/rejected counts, the decision
+ *    log and any chaos fire counts.
  */
 
 #ifndef UKSIM_SERVE_ENGINE_HPP
@@ -52,6 +66,28 @@ struct EngineOptions {
     int workers = 0;            ///< forked worker processes (0 = in-process)
     uint64_t snapshotCycles = 0;///< snapshot cadence (0 = no snapshots)
     int maxAttempts = 3;        ///< attempts per job before it fails
+
+    // --- failure policy ---------------------------------------------
+    /// Per-attempt wall-clock deadline in ms (0 = none). A worker over
+    /// deadline is SIGKILLed and the attempt classified job_timeout;
+    /// in-process the executor throws at the next chunk boundary.
+    /// Needs snapshotCycles > 0 to be checked.
+    uint64_t jobDeadlineMs = 0;
+    /// Hung-worker detection: a worker silent on its pipe for this
+    /// many ms is SIGKILLed and classified job_timeout (0 = off).
+    uint64_t heartbeatMs = 0;
+    /// Exponential backoff before environmental retries:
+    /// min(backoffMaxMs, backoffBaseMs << (attempt-1)) plus seeded
+    /// jitter drawn from retrySeed.
+    uint64_t backoffBaseMs = 10;
+    uint64_t backoffMaxMs = 2000;
+    uint64_t retrySeed = 0;
+    /// After this many *consecutive* environmental failures the pool
+    /// shrinks by one worker; at zero the batch drains in-process.
+    int degradeAfterFailures = 3;
+    /// Reject compute jobs beyond this queue depth per batch with a
+    /// typed job_rejected event (0 = unbounded).
+    int maxQueueDepth = 0;
 };
 
 /** Sink for single-line JSON protocol events (no trailing newline). */
@@ -80,6 +116,15 @@ struct BatchManifest {
     int computed = 0;
     int failed = 0;
     int resumed = 0;
+    int timeouts = 0;               ///< deadline/heartbeat expiries
+    int rejected = 0;               ///< backpressure rejections
+    /// Human-readable retry/degradation decisions, in order. Every
+    /// backoff retry, pool shrink and rejection leaves one line here
+    /// so a failed batch is diagnosable from the manifest alone.
+    std::vector<std::string> decisions;
+    /// Single-line JSON object of chaos fire counts for this batch
+    /// ("" when chaos is disabled or nothing fired).
+    std::string chaosJson;
     /** Single-line JSON ("ukserve-manifest-1"). */
     std::string json() const;
 };
@@ -108,25 +153,42 @@ class ServerEngine
   private:
     struct PendingJob;
     struct RunningWorker;
+    struct WorkItem;
+    struct PoolState;
 
-    void runInProcess(PendingJob &job, const EventSink &sink);
+    /// @p baseAttempt: attempts already burned by the worker pool
+    /// before this job fell back to in-process execution.
+    void runInProcess(PendingJob &job, const EventSink &sink,
+                      int baseAttempt = 0);
     void runWorkerPool(std::vector<PendingJob *> &queue,
                        const EventSink &sink);
     /// Worker-child body; returns the process exit code (0 ok, 1
-    /// deterministic failure, 3 snapshot rejected).
+    /// deterministic failure, 3 snapshot rejected, 4 environmental —
+    /// timeout or spool I/O — worth retrying with backoff).
     int workerChildMain(int fd, PendingJob &job, int attempt,
-                        const Snapshot *resume);
+                        const Snapshot *resume, bool sabotageKill,
+                        bool sabotageHang);
     void handleWorkerLine(RunningWorker &worker, const std::string &line,
                           const EventSink &sink);
-    void finishWorker(RunningWorker &worker, int status,
-                      std::deque<std::pair<PendingJob *, int>> &work,
+    void finishWorker(RunningWorker &worker, int status, PoolState &pool,
                       const EventSink &sink);
+    /// Store a finished payload; a cache failure degrades (event +
+    /// decision) instead of failing the already-computed job.
+    void storeToCache(PendingJob &job, const EventSink &sink);
+    /// Jittered exponential backoff delay for retry @p attempt (1-based).
+    uint64_t backoffDelayMs(int attempt);
+    void noteDecision(std::string text);
     std::string snapshotPathFor(const std::string &hash) const;
     std::string payloadPathFor(const std::string &hash) const;
 
     EngineOptions opts_;
     ResultCache cache_;
     std::map<std::string, harness::PreparedScene> scenes_;
+
+    // Per-batch failure-policy state (reset by runBatch).
+    uint64_t retryRng_ = 0;
+    int batchTimeouts_ = 0;
+    std::vector<std::string> decisions_;
 };
 
 } // namespace uksim::serve

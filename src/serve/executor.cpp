@@ -5,8 +5,10 @@
 
 #include "serve/executor.hpp"
 
+#include <chrono>
 #include <sstream>
 
+#include "harness/chaos.hpp"
 #include "harness/serialize.hpp"
 #include "serve/sha256.hpp"
 
@@ -42,9 +44,26 @@ executeJob(const harness::PreparedScene &scene,
 
     uint64_t snapshotIndex =
         opts.resumeFrom ? opts.resumeFrom->index : 0;
+    const auto started = std::chrono::steady_clock::now();
     harness::RunHooks hooks;
     hooks.chunkCycles = opts.snapshotCycles;
     hooks.onChunk = [&](Gpu &gpu, uint64_t cycle) {
+        if (opts.deadlineMs > 0) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+            if (uint64_t(elapsed) >= opts.deadlineMs) {
+                throw JobTimeout("deadline of " +
+                                 std::to_string(opts.deadlineMs) +
+                                 "ms exceeded at cycle " +
+                                 std::to_string(cycle));
+            }
+        }
+        if (chaos::fire("job.deadline")) {
+            throw JobTimeout("injected deadline at cycle " +
+                             std::to_string(cycle));
+        }
         exec.progress.record(gpu.stats(),
                              gpu.fastForwardStats().cyclesSkipped);
         if (opts.onProgress)

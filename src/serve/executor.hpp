@@ -35,11 +35,26 @@ class SnapshotMismatch : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * The job's wall-clock deadline expired mid-run (or the "job.deadline"
+ * chaos site fired). The run stops at a chunk boundary, so any snapshot
+ * written before the timeout is valid for a resumed retry.
+ */
+class JobTimeout : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** Instrumentation knobs for one executeJob call. */
 struct ExecOptions {
     /// Pause cadence in simulated cycles (0 = run uninterrupted; no
     /// snapshots, no progress samples).
     uint64_t snapshotCycles = 0;
+    /// Per-attempt wall-clock deadline in milliseconds, checked at
+    /// every pause (0 = none). Needs snapshotCycles > 0 to have any
+    /// effect — an uninterrupted run never reaches the check.
+    uint64_t deadlineMs = 0;
     /// Snapshot file to (re)write at each pause; empty = don't persist.
     std::string snapshotPath;
     /// Snapshot to resume from: replay to snap.cycle with its cadence,

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * EINTR-safe fd I/O implementation (fdio.hpp).
+ */
+
+#include "serve/fdio.hpp"
+
+#include <cerrno>
+
+#include <unistd.h>
+
+#include "harness/chaos.hpp"
+
+namespace uksim::serve {
+
+ssize_t
+readEintr(int fd, void *buf, size_t len)
+{
+    for (;;) {
+        if (chaos::fire("stream.read.eintr"))
+            continue; // behave exactly as if read() returned EINTR
+        const ssize_t n = ::read(fd, buf, len);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return n;
+    }
+}
+
+bool
+writeFull(int fd, const void *buf, size_t len)
+{
+    const char *p = static_cast<const char *>(buf);
+    size_t off = 0;
+    while (off < len) {
+        size_t want = len - off;
+        if (want > 1 && chaos::fire("stream.write.short"))
+            want = 1;
+        const ssize_t n = ::write(fd, p + off, want);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        off += size_t(n);
+    }
+    return true;
+}
+
+FdStreamBuf::FdStreamBuf(int fd)
+    : fd_(fd)
+{
+    setg(rbuf_, rbuf_, rbuf_);
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+}
+
+FdStreamBuf::int_type
+FdStreamBuf::underflow()
+{
+    if (gptr() < egptr())
+        return traits_type::to_int_type(*gptr());
+    if (chaos::fire("tcp.disconnect"))
+        return traits_type::eof(); // peer vanished mid-stream
+    size_t want = sizeof(rbuf_);
+    if (chaos::fire("stream.read.short"))
+        want = 1;
+    const ssize_t n = readEintr(fd_, rbuf_, want);
+    if (n <= 0)
+        return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(*gptr());
+}
+
+FdStreamBuf::int_type
+FdStreamBuf::overflow(int_type ch)
+{
+    if (flushWrite() != 0)
+        return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+        *pptr() = traits_type::to_char_type(ch);
+        pbump(1);
+    }
+    return traits_type::not_eof(ch);
+}
+
+int
+FdStreamBuf::sync()
+{
+    return flushWrite();
+}
+
+int
+FdStreamBuf::flushWrite()
+{
+    if (pptr() > pbase() && chaos::fire("tcp.disconnect")) {
+        errno = ECONNRESET;
+        return -1;
+    }
+    if (!writeFull(fd_, pbase(), size_t(pptr() - pbase())))
+        return -1;
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+    return 0;
+}
+
+} // namespace uksim::serve

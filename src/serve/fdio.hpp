@@ -1,0 +1,64 @@
+/**
+ * @file
+ * EINTR-safe fd I/O helpers and the socket streambuf.
+ *
+ * Every raw read/write loop in the serve stack (worker pipes, the TCP
+ * transport, the submit client) goes through these two helpers so
+ * signal interruptions and short writes are handled in exactly one
+ * place. Both helpers and the streambuf carry chaos injection points
+ * (harness/chaos.hpp):
+ *
+ *   stream.read.eintr   readEintr retries a simulated EINTR
+ *   stream.write.short  writeFull is forced into a 1-byte write
+ *   stream.read.short   FdStreamBuf underflow reads at most 1 byte
+ *   tcp.disconnect      FdStreamBuf sees EOF on read / error on flush
+ *
+ * The transport-level disconnect sites live only in FdStreamBuf, so
+ * injected TCP chaos can never masquerade as a worker-pipe failure.
+ */
+
+#ifndef UKSIM_SERVE_FDIO_HPP
+#define UKSIM_SERVE_FDIO_HPP
+
+#include <cstddef>
+#include <streambuf>
+
+#include <sys/types.h>
+
+namespace uksim::serve {
+
+/**
+ * read(2) with EINTR (real or injected) retried. Returns read()'s
+ * semantics otherwise: >0 bytes read, 0 at EOF, -1 on error.
+ */
+ssize_t readEintr(int fd, void *buf, size_t len);
+
+/**
+ * Write all @p len bytes, retrying EINTR and continuing after short
+ * writes. @return false on error or a zero-byte write (errno is left
+ * for the caller).
+ */
+bool writeFull(int fd, const void *buf, size_t len);
+
+/** Bidirectional streambuf over one connected socket fd. */
+class FdStreamBuf : public std::streambuf
+{
+  public:
+    explicit FdStreamBuf(int fd);
+
+  protected:
+    int_type underflow() override;
+    int_type overflow(int_type ch) override;
+    int sync() override;
+
+  private:
+    int flushWrite();
+
+    int fd_;
+    char rbuf_[4096];
+    char wbuf_[4096];
+};
+
+} // namespace uksim::serve
+
+#endif // UKSIM_SERVE_FDIO_HPP

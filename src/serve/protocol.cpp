@@ -6,9 +6,13 @@
 #include "serve/protocol.hpp"
 
 #include <istream>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "harness/chaos.hpp"
+#include "serve/chaos_plan.hpp"
 #include "serve/json.hpp"
 
 namespace uksim::serve {
@@ -43,6 +47,20 @@ Session::handleSubmit(const JsonValue &request)
         send(std::string("{\"event\": \"error\", \"message\": \"") +
              jsonEscape(e.what()) + "\"}");
         return;
+    }
+    // Optional per-batch chaos plan ("ukchaos-plan-1"): installed for
+    // exactly this batch, previous chaos config restored after.
+    std::unique_ptr<chaos::ScopedChaos> scopedChaos;
+    if (const JsonValue *plan = request.find("chaos"); plan != nullptr) {
+        try {
+            chaos::ChaosEngine::Config cfg = chaosPlanFromJson(*plan);
+            scopedChaos = std::make_unique<chaos::ScopedChaos>(
+                cfg.seed, std::move(cfg.rules));
+        } catch (const JsonError &e) {
+            send(std::string("{\"event\": \"error\", \"message\": \"") +
+                 jsonEscape(e.what()) + "\"}");
+            return;
+        }
     }
     const std::string batchId = request.stringOr("batch_id", "");
     {

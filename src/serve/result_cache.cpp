@@ -7,6 +7,22 @@
  *   bytes 8..15   payload length
  *   bytes 16..    payload
  *   last 32 bytes sha256(payload)
+ *
+ * Cross-process safety: every load/store takes an flock(2) advisory
+ * lock on "<dir>/.lock" (shared for reads, exclusive for writes), so
+ * two uksim-serve instances sharing one cache directory cannot race a
+ * tmp+rename against a reader mid-verification, or self-heal an entry
+ * another instance is in the middle of rewriting. The lock is
+ * best-effort: if the lock file cannot be opened (read-only cache
+ * mount, missing directory before the first store) the operation
+ * proceeds unlocked, exactly as before — the entry format itself still
+ * verifies every byte.
+ *
+ * Chaos injection points (harness/chaos.hpp):
+ *   cache.read.miss     load behaves as if the entry file is absent
+ *   cache.read.corrupt  a payload byte flips before verification
+ *   cache.write.enospc  store throws (disk-full)
+ *   cache.write.torn    store persists a truncated entry
  */
 
 #include "serve/result_cache.hpp"
@@ -17,8 +33,11 @@
 #include <fstream>
 #include <stdexcept>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
+#include "harness/chaos.hpp"
 #include "serve/sha256.hpp"
 
 namespace uksim::serve {
@@ -26,6 +45,43 @@ namespace uksim::serve {
 namespace {
 
 constexpr char kMagic[8] = {'u', 'k', 'c', 'a', 'c', 'h', 'e', '1'};
+
+/** RAII best-effort flock on the cache directory's lock file. */
+class DirLock
+{
+  public:
+    DirLock(const std::string &dir, int op)
+    {
+        if (dir.empty())
+            return;
+        fd_ = ::open((dir + "/.lock").c_str(),
+                     O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+        if (fd_ < 0)
+            return; // best-effort: proceed unlocked
+        int rc;
+        do {
+            rc = ::flock(fd_, op);
+        } while (rc != 0 && errno == EINTR);
+        if (rc != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~DirLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    DirLock(const DirLock &) = delete;
+    DirLock &operator=(const DirLock &) = delete;
+
+  private:
+    int fd_ = -1;
+};
 
 } // anonymous namespace
 
@@ -47,6 +103,11 @@ ResultCache::load(const std::string &hash) const
 {
     if (!enabled())
         return std::nullopt;
+    if (chaos::fire("cache.read.miss")) {
+        stats_.misses++;
+        return std::nullopt;
+    }
+    const DirLock lock(dir_, LOCK_SH);
     std::ifstream in(entryPath(hash), std::ios::binary);
     if (!in) {
         stats_.misses++;
@@ -55,6 +116,9 @@ ResultCache::load(const std::string &hash) const
     std::vector<uint8_t> file((std::istreambuf_iterator<char>(in)),
                               std::istreambuf_iterator<char>());
     const size_t overhead = sizeof(kMagic) + 8 + 32;
+    if (file.size() > overhead && chaos::fire("cache.read.corrupt"))
+        file[sizeof(kMagic) + 8] ^= 0x01; // in-memory flip: verification
+                                          // must catch it, disk is intact
     if (file.size() < overhead ||
         std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
         stats_.corrupt++;
@@ -91,6 +155,9 @@ ResultCache::store(const std::string &hash,
 {
     if (!enabled())
         return;
+    if (chaos::fire("cache.write.enospc"))
+        throw std::runtime_error(
+            "cache: write failed: no space left on device (chaos)");
     const std::string path = entryPath(hash);
     std::filesystem::create_directories(
         std::filesystem::path(path).parent_path());
@@ -108,6 +175,17 @@ ResultCache::store(const std::string &hash,
     const auto digest = h.digest();
     file.insert(file.end(), digest.begin(), digest.end());
 
+    // A torn write persists only half the entry — a later load must
+    // detect the truncation and treat it as a miss (then self-heal).
+    size_t persist = file.size();
+    if (chaos::fire("cache.write.torn"))
+        persist = file.size() / 2;
+
+    // Exclusive advisory lock for the tmp write + rename, so a
+    // concurrent instance's shared-locked read never observes the
+    // window between them.
+    const DirLock lock(dir_, LOCK_EX);
+
     // Unique-per-process temp name; rename is atomic within the dir.
     const std::string tmp =
         path + ".tmp." + std::to_string(uint64_t(::getpid()));
@@ -115,7 +193,7 @@ ResultCache::store(const std::string &hash,
     if (!out)
         throw std::runtime_error("cache: cannot write " + tmp);
     out.write(reinterpret_cast<const char *>(file.data()),
-              std::streamsize(file.size()));
+              std::streamsize(persist));
     out.close();
     if (!out)
         throw std::runtime_error("cache: short write " + tmp);

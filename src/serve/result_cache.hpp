@@ -16,6 +16,13 @@
  * it cannot prove it stored. Writes go through a temp file + rename
  * in the same directory, so concurrent workers racing on one entry
  * at worst both write the same (deterministic) bytes.
+ *
+ * A cache directory may be shared between uksim-serve processes:
+ * load/store take a best-effort flock(2) advisory lock on
+ * "<dir>/.lock" (shared for reads, exclusive for the tmp+rename), so
+ * cross-process readers never interleave with a writer's rename
+ * window. If the lock file cannot be opened the operation proceeds
+ * unlocked — verification still rejects any torn bytes.
  */
 
 #ifndef UKSIM_SERVE_RESULT_CACHE_HPP

@@ -1,6 +1,15 @@
 /**
  * @file
  * Snapshot serialization (snapshot.hpp).
+ *
+ * Chaos injection points (harness/chaos.hpp):
+ *   snapshot.write.drop  writeSnapshotFile silently persists nothing
+ *   snapshot.write.torn  a truncated JSON document lands on disk
+ *   snapshot.read.drop   readSnapshotFile behaves as if absent
+ *
+ * A torn or dropped snapshot is never fatal: readSnapshotFile returns
+ * nullopt for anything that does not parse, and the executor restarts
+ * the job from cycle zero — slower, still bit-identical.
  */
 
 #include "serve/snapshot.hpp"
@@ -11,6 +20,7 @@
 
 #include <unistd.h>
 
+#include "harness/chaos.hpp"
 #include "serve/json.hpp"
 
 namespace uksim::serve {
@@ -50,13 +60,18 @@ snapshotFromJson(std::string_view text)
 void
 writeSnapshotFile(const std::string &path, const Snapshot &snap)
 {
+    if (chaos::fire("snapshot.write.drop"))
+        return; // e.g. the process died before the write syscall
     std::filesystem::create_directories(
         std::filesystem::path(path).parent_path());
+    std::string json = snapshotToJson(snap);
+    if (chaos::fire("snapshot.write.torn"))
+        json.resize(json.size() / 2); // half a document lands on disk
     const std::string tmp =
         path + ".tmp." + std::to_string(uint64_t(::getpid()));
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        out << snapshotToJson(snap) << "\n";
+        out << json << "\n";
     }
     std::filesystem::rename(tmp, path);
 }
@@ -64,6 +79,8 @@ writeSnapshotFile(const std::string &path, const Snapshot &snap)
 std::optional<Snapshot>
 readSnapshotFile(const std::string &path)
 {
+    if (chaos::fire("snapshot.read.drop"))
+        return std::nullopt;
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return std::nullopt;

@@ -2,100 +2,31 @@
  * @file
  * TCP transport implementation (tcp.hpp).
  *
- * Sessions are stream-based, so the connection fd is wrapped in a
- * small read/write streambuf instead of teaching the protocol about
- * sockets.
+ * Sessions are stream-based, so the connection fd is wrapped in the
+ * shared FdStreamBuf (serve/fdio.hpp) instead of teaching the protocol
+ * about sockets. All raw I/O on the connection goes through the
+ * EINTR-safe helpers there, and a client that disconnects mid-stream
+ * (or injected tcp.disconnect chaos) reads as EOF: the session ends,
+ * the connection closes, and the accept loop serves the next client —
+ * a dying client can never take the daemon down.
  */
 
 #include "serve/tcp.hpp"
 
 #include <cerrno>
-#include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
-#include <streambuf>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "serve/fdio.hpp"
 #include "serve/protocol.hpp"
 
 namespace uksim::serve {
-
-namespace {
-
-/** Bidirectional streambuf over one connected socket fd. */
-class FdStreamBuf : public std::streambuf
-{
-  public:
-    explicit FdStreamBuf(int fd)
-        : fd_(fd)
-    {
-        setg(rbuf_, rbuf_, rbuf_);
-        setp(wbuf_, wbuf_ + sizeof(wbuf_));
-    }
-
-  protected:
-    int_type
-    underflow() override
-    {
-        if (gptr() < egptr())
-            return traits_type::to_int_type(*gptr());
-        ssize_t n;
-        do {
-            n = ::read(fd_, rbuf_, sizeof(rbuf_));
-        } while (n < 0 && errno == EINTR);
-        if (n <= 0)
-            return traits_type::eof();
-        setg(rbuf_, rbuf_, rbuf_ + n);
-        return traits_type::to_int_type(*gptr());
-    }
-
-    int_type
-    overflow(int_type ch) override
-    {
-        if (flushWrite() != 0)
-            return traits_type::eof();
-        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-            *pptr() = traits_type::to_char_type(ch);
-            pbump(1);
-        }
-        return traits_type::not_eof(ch);
-    }
-
-    int
-    sync() override
-    {
-        return flushWrite();
-    }
-
-  private:
-    int
-    flushWrite()
-    {
-        const char *p = pbase();
-        while (p < pptr()) {
-            ssize_t n;
-            do {
-                n = ::write(fd_, p, size_t(pptr() - p));
-            } while (n < 0 && errno == EINTR);
-            if (n <= 0)
-                return -1;
-            p += n;
-        }
-        setp(wbuf_, wbuf_ + sizeof(wbuf_));
-        return 0;
-    }
-
-    int fd_;
-    char rbuf_[4096];
-    char wbuf_[4096];
-};
-
-} // anonymous namespace
 
 TcpServer::TcpServer(ServerEngine &engine, uint16_t port)
     : engine_(engine)

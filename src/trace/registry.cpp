@@ -155,6 +155,14 @@ Registry::add(const std::string &name, double delta)
         it->second += delta;
 }
 
+void
+Registry::mergePrefixed(const std::string &prefix,
+                        const std::map<std::string, double> &values)
+{
+    for (const auto &[name, value] : values)
+        set(prefix + "." + name, value);
+}
+
 bool
 Registry::contains(const std::string &name) const
 {

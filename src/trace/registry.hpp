@@ -42,6 +42,14 @@ class Registry
     /** Add @p delta to an existing counter (defines it at 0 first). */
     void add(const std::string &name, double delta);
 
+    /**
+     * Upsert every entry of @p values as "<prefix>.<name>". Used by
+     * subsystems that keep their own counter tables (e.g. the chaos
+     * fault-injection harness) to publish under one namespace.
+     */
+    void mergePrefixed(const std::string &prefix,
+                       const std::map<std::string, double> &values);
+
     bool contains(const std::string &name) const;
 
     /** Value of @p name; throws std::out_of_range when missing. */

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Unit tests for the deterministic chaos harness (harness/chaos.hpp)
+ * and the JSON chaos-plan bridge (serve/chaos_plan.hpp): spec parsing,
+ * trigger semantics (probability / on-hit / every-N / max-fires),
+ * seed determinism and site independence, counter export, child-count
+ * absorption, scoped install/restore, and plan round-trips.
+ */
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/chaos.hpp"
+#include "serve/chaos_plan.hpp"
+#include "serve/json.hpp"
+#include "trace/registry.hpp"
+
+using namespace uksim;
+using chaos::ChaosEngine;
+using chaos::Rule;
+
+namespace {
+
+Rule
+probRule(std::string site, double p, uint64_t maxFires = 0)
+{
+    Rule r;
+    r.site = std::move(site);
+    r.probability = p;
+    r.maxFires = maxFires;
+    return r;
+}
+
+Rule
+onHitRule(std::string site, uint64_t hit, uint64_t maxFires = 0)
+{
+    Rule r;
+    r.site = std::move(site);
+    r.onHit = hit;
+    r.maxFires = maxFires;
+    return r;
+}
+
+Rule
+everyRule(std::string site, uint64_t every, uint64_t maxFires = 0)
+{
+    Rule r;
+    r.site = std::move(site);
+    r.everyHits = every;
+    r.maxFires = maxFires;
+    return r;
+}
+
+/// Every test starts and ends with the process-wide engine disabled so
+/// suites cannot leak chaos into each other.
+class ChaosTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ChaosEngine::instance().disable(); }
+    void TearDown() override { ChaosEngine::instance().disable(); }
+
+    static std::vector<bool> pattern(const char *site, int hits)
+    {
+        std::vector<bool> fired;
+        for (int i = 0; i < hits; i++)
+            fired.push_back(chaos::fire(site));
+        return fired;
+    }
+};
+
+TEST_F(ChaosTest, DisabledEngineNeverFiresOrTracks)
+{
+    ChaosEngine &ce = ChaosEngine::instance();
+    EXPECT_FALSE(ce.enabled());
+    for (int i = 0; i < 8; i++)
+        EXPECT_FALSE(chaos::fire("cache.read.miss"));
+    EXPECT_EQ(ce.totalFires(), 0u);
+    EXPECT_TRUE(ce.fireCounts().empty());
+}
+
+TEST_F(ChaosTest, ParseSpecReadsSeedAndRuleForms)
+{
+    const auto [seed, rules] = ChaosEngine::parseSpec(
+        "42:cache.read.corrupt=0.5,worker.kill@2*1,snapshot.write.torn%3");
+    EXPECT_EQ(seed, 42u);
+    ASSERT_EQ(rules.size(), 3u);
+    EXPECT_EQ(rules[0].site, "cache.read.corrupt");
+    EXPECT_DOUBLE_EQ(rules[0].probability, 0.5);
+    EXPECT_EQ(rules[0].maxFires, 0u);
+    EXPECT_EQ(rules[1].site, "worker.kill");
+    EXPECT_EQ(rules[1].onHit, 2u);
+    EXPECT_EQ(rules[1].maxFires, 1u);
+    EXPECT_EQ(rules[2].site, "snapshot.write.torn");
+    EXPECT_EQ(rules[2].everyHits, 3u);
+}
+
+TEST_F(ChaosTest, ParseSpecRejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",                 // empty
+        "42",               // no colon
+        "42:",              // no rules
+        "x:a=0.5",          // non-numeric seed
+        "1:a",              // rule without trigger
+        "1:a=1.5",          // probability > 1
+        "1:a=-0.5",         // probability < 0
+        "1:a@0",            // on-hit is 1-based
+        "1:a%0",            // every-N must be positive
+        "1:a=0.5*x",        // non-numeric max-fires
+        "1:Bad=0.5",        // uppercase site name
+        "1:=0.5",           // empty site name
+    };
+    for (const char *spec : bad)
+        EXPECT_THROW(ChaosEngine::parseSpec(spec), std::invalid_argument)
+            << "spec: " << spec;
+}
+
+TEST_F(ChaosTest, ConfigureRejectsDuplicateSites)
+{
+    EXPECT_THROW(ChaosEngine::instance().configure(
+                     1, {onHitRule("a.b", 1), probRule("a.b", 0.5)}),
+                 std::invalid_argument);
+    EXPECT_FALSE(ChaosEngine::instance().enabled());
+}
+
+TEST_F(ChaosTest, OnHitFiresExactlyOnThatHit)
+{
+    ChaosEngine::instance().configure(7, {onHitRule("fork.fail", 3)});
+    const std::vector<bool> fired = pattern("fork.fail", 6);
+    const std::vector<bool> want = {false, false, true,
+                                    false, false, false};
+    EXPECT_EQ(fired, want);
+    EXPECT_EQ(ChaosEngine::instance().fires("fork.fail"), 1u);
+}
+
+TEST_F(ChaosTest, EveryNthHitFiresPeriodically)
+{
+    ChaosEngine::instance().configure(7, {everyRule("a.b", 2)});
+    const std::vector<bool> fired = pattern("a.b", 6);
+    const std::vector<bool> want = {false, true, false,
+                                    true,  false, true};
+    EXPECT_EQ(fired, want);
+    EXPECT_EQ(ChaosEngine::instance().fires("a.b"), 3u);
+}
+
+TEST_F(ChaosTest, MaxFiresStopsInjection)
+{
+    ChaosEngine::instance().configure(7, {everyRule("a.b", 1, 2)});
+    const std::vector<bool> fired = pattern("a.b", 5);
+    const std::vector<bool> want = {true, true, false, false, false};
+    EXPECT_EQ(fired, want);
+    EXPECT_EQ(ChaosEngine::instance().fires("a.b"), 2u);
+}
+
+TEST_F(ChaosTest, UnruledSitesNeverFireAndAreNotCounted)
+{
+    ChaosEngine::instance().configure(7, {onHitRule("a.b", 1)});
+    for (int i = 0; i < 4; i++)
+        EXPECT_FALSE(chaos::fire("other.site"));
+    EXPECT_EQ(ChaosEngine::instance().fireCounts().count("other.site"),
+              0u);
+}
+
+TEST_F(ChaosTest, ProbabilityPatternIsSeedDeterministic)
+{
+    ChaosEngine &ce = ChaosEngine::instance();
+    ce.configure(1234, {probRule("stream.read.eintr", 0.5)});
+    const std::vector<bool> first = pattern("stream.read.eintr", 64);
+    // Same seed, fresh configure: identical drawing sequence.
+    ce.configure(1234, {probRule("stream.read.eintr", 0.5)});
+    EXPECT_EQ(pattern("stream.read.eintr", 64), first);
+    // Different seed: 64 coin flips collide with probability 2^-64.
+    ce.configure(4321, {probRule("stream.read.eintr", 0.5)});
+    EXPECT_NE(pattern("stream.read.eintr", 64), first);
+    // The pattern is non-degenerate at p=0.5 over 64 draws.
+    int fires = 0;
+    for (bool b : first)
+        fires += b ? 1 : 0;
+    EXPECT_GT(fires, 0);
+    EXPECT_LT(fires, 64);
+}
+
+TEST_F(ChaosTest, SitesDrawFromIndependentStreams)
+{
+    ChaosEngine &ce = ChaosEngine::instance();
+    ce.configure(99, {probRule("a.b", 0.5)});
+    const std::vector<bool> alone = pattern("a.b", 32);
+    // Re-run with a second active site whose hits interleave: the
+    // firing pattern at "a.b" must not shift.
+    ce.configure(99, {probRule("a.b", 0.5), probRule("c.d", 0.5)});
+    std::vector<bool> interleaved;
+    for (int i = 0; i < 32; i++) {
+        chaos::fire("c.d");
+        interleaved.push_back(chaos::fire("a.b"));
+        chaos::fire("c.d");
+    }
+    EXPECT_EQ(interleaved, alone);
+}
+
+TEST_F(ChaosTest, FireCountsAndJsonSkipZeroSites)
+{
+    ChaosEngine &ce = ChaosEngine::instance();
+    ce.configure(7, {everyRule("b.x", 1, 2), onHitRule("a.y", 1),
+                     probRule("quiet.site", 0.0)});
+    pattern("b.x", 3);
+    pattern("a.y", 1);
+    pattern("quiet.site", 5);
+    const std::map<std::string, uint64_t> counts = ce.fireCounts();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts.at("a.y"), 1u);
+    EXPECT_EQ(counts.at("b.x"), 2u);
+    EXPECT_EQ(ce.totalFires(), 3u);
+    EXPECT_EQ(ChaosEngine::countsToJson(counts),
+              "{\"a.y\": 1, \"b.x\": 2}");
+    EXPECT_EQ(ChaosEngine::countsToJson({}), "{}");
+}
+
+TEST_F(ChaosTest, AbsorbMergesChildCountsWithoutAdvancingRules)
+{
+    ChaosEngine &ce = ChaosEngine::instance();
+    ce.configure(7, {onHitRule("worker.kill", 1)});
+    ce.absorb({{"worker.kill", 2}, {"job.deadline", 1}});
+    EXPECT_EQ(ce.fires("worker.kill"), 2u);
+    EXPECT_EQ(ce.fires("job.deadline"), 1u);
+    EXPECT_EQ(ce.totalFires(), 3u);
+    // Absorbed counts are bookkeeping only: the local rule still sees
+    // hit #1 next and fires.
+    EXPECT_TRUE(chaos::fire("worker.kill"));
+    EXPECT_EQ(ce.fires("worker.kill"), 3u);
+}
+
+TEST_F(ChaosTest, MirrorCountersPublishesChaosNamespace)
+{
+    ChaosEngine &ce = ChaosEngine::instance();
+    ce.configure(7, {everyRule("cache.write.torn", 1)});
+    pattern("cache.write.torn", 2);
+    trace::Registry reg;
+    reg.define("sm.0.cycles", 10);
+    ce.mirrorCounters(reg);
+    ASSERT_TRUE(reg.contains("chaos.cache.write.torn"));
+    EXPECT_DOUBLE_EQ(reg.get("chaos.cache.write.torn"), 2.0);
+    // Disabled engine mirrors nothing (observation-neutral).
+    ce.disable();
+    trace::Registry clean;
+    ce.mirrorCounters(clean);
+    EXPECT_TRUE(clean.empty());
+}
+
+TEST_F(ChaosTest, ScopedChaosInstallsAndRestores)
+{
+    ChaosEngine &ce = ChaosEngine::instance();
+    ce.configureFromSpec("5:outer.site@1");
+    {
+        chaos::ScopedChaos scoped("9:inner.site@1*1");
+        EXPECT_TRUE(ce.enabled());
+        EXPECT_EQ(ce.seed(), 9u);
+        EXPECT_TRUE(chaos::fire("inner.site"));
+        EXPECT_FALSE(chaos::fire("outer.site"));
+    }
+    // Outer config back, with fresh counters.
+    EXPECT_TRUE(ce.enabled());
+    EXPECT_EQ(ce.seed(), 5u);
+    EXPECT_EQ(ce.totalFires(), 0u);
+    EXPECT_TRUE(chaos::fire("outer.site"));
+    ce.disable();
+    {
+        chaos::ScopedChaos scoped(3, {onHitRule("a.b", 1)});
+        EXPECT_TRUE(ce.enabled());
+    }
+    EXPECT_FALSE(ce.enabled());
+}
+
+TEST_F(ChaosTest, ExportImportRoundTripResetsCounters)
+{
+    ChaosEngine &ce = ChaosEngine::instance();
+    ce.configure(1234, {probRule("a.b", 0.5)});
+    const std::vector<bool> fresh = pattern("a.b", 32);
+    const ChaosEngine::Config saved = ce.exportConfig();
+    ce.disable();
+    ce.importConfig(saved);
+    EXPECT_TRUE(ce.enabled());
+    EXPECT_EQ(ce.seed(), 1234u);
+    EXPECT_EQ(ce.totalFires(), 0u);
+    // Reimport restarts every site stream from the seed.
+    EXPECT_EQ(pattern("a.b", 32), fresh);
+}
+
+TEST_F(ChaosTest, ConfigureFromEnvHonorsVariable)
+{
+    ChaosEngine &ce = ChaosEngine::instance();
+    ::setenv(chaos::kChaosEnvVar, "11:env.site@1", 1);
+    EXPECT_TRUE(ce.configureFromEnv());
+    EXPECT_TRUE(ce.enabled());
+    EXPECT_EQ(ce.seed(), 11u);
+    ::unsetenv(chaos::kChaosEnvVar);
+    ce.disable();
+    EXPECT_FALSE(ce.configureFromEnv());
+    EXPECT_FALSE(ce.enabled());
+}
+
+// ---------------------------------------------------------------------
+// JSON chaos plans (serve/chaos_plan.hpp)
+// ---------------------------------------------------------------------
+
+TEST_F(ChaosTest, ChaosPlanParsesAllRuleForms)
+{
+    const ChaosEngine::Config cfg = serve::chaosPlanFromText(
+        "{\"schema\": \"ukchaos-plan-1\", \"seed\": 42, \"rules\": ["
+        "{\"site\": \"cache.read.corrupt\", \"p\": 0.5},"
+        "{\"site\": \"worker.kill\", \"on_hit\": 2, \"max_fires\": 1},"
+        "{\"site\": \"snapshot.write.torn\", \"every\": 3}]}");
+    EXPECT_TRUE(cfg.enabled);
+    EXPECT_EQ(cfg.seed, 42u);
+    ASSERT_EQ(cfg.rules.size(), 3u);
+    EXPECT_DOUBLE_EQ(cfg.rules[0].probability, 0.5);
+    EXPECT_EQ(cfg.rules[1].onHit, 2u);
+    EXPECT_EQ(cfg.rules[1].maxFires, 1u);
+    EXPECT_EQ(cfg.rules[2].everyHits, 3u);
+}
+
+TEST_F(ChaosTest, ChaosPlanRejectsSchemaViolations)
+{
+    const char *bad[] = {
+        "[1, 2]",  // not an object
+        "{\"schema\": \"wrong\", \"seed\": 1, \"rules\": []}",
+        // Missing site.
+        "{\"schema\": \"ukchaos-plan-1\", \"seed\": 1, "
+        "\"rules\": [{\"p\": 0.5}]}",
+        // No trigger field.
+        "{\"schema\": \"ukchaos-plan-1\", \"seed\": 1, "
+        "\"rules\": [{\"site\": \"a.b\"}]}",
+        // Two trigger fields.
+        "{\"schema\": \"ukchaos-plan-1\", \"seed\": 1, "
+        "\"rules\": [{\"site\": \"a.b\", \"p\": 0.5, \"on_hit\": 1}]}",
+        // Probability out of range.
+        "{\"schema\": \"ukchaos-plan-1\", \"seed\": 1, "
+        "\"rules\": [{\"site\": \"a.b\", \"p\": 1.5}]}",
+        // on_hit is 1-based.
+        "{\"schema\": \"ukchaos-plan-1\", \"seed\": 1, "
+        "\"rules\": [{\"site\": \"a.b\", \"on_hit\": 0}]}",
+        // Bad site name.
+        "{\"schema\": \"ukchaos-plan-1\", \"seed\": 1, "
+        "\"rules\": [{\"site\": \"A.B\", \"p\": 0.5}]}",
+        // Duplicate site.
+        "{\"schema\": \"ukchaos-plan-1\", \"seed\": 1, \"rules\": ["
+        "{\"site\": \"a.b\", \"p\": 0.5}, {\"site\": \"a.b\", "
+        "\"every\": 2}]}",
+    };
+    for (const char *doc : bad)
+        EXPECT_THROW(serve::chaosPlanFromText(doc), serve::JsonError)
+            << "doc: " << doc;
+}
+
+TEST_F(ChaosTest, ChaosPlanRoundTripsCanonically)
+{
+    ChaosEngine::Config cfg;
+    cfg.enabled = true;
+    cfg.seed = 314;
+    cfg.rules = {probRule("cache.read.corrupt", 0.25),
+                 onHitRule("worker.kill", 2, 1),
+                 everyRule("snapshot.write.torn", 3)};
+    const std::string doc = serve::chaosPlanToJson(cfg);
+    // The canonical form is valid JSON carrying the schema tag...
+    const serve::JsonValue parsed = serve::parseJson(doc);
+    EXPECT_EQ(parsed.stringOr("schema", ""), serve::kChaosPlanSchema);
+    // ...and reparses to the identical config.
+    const ChaosEngine::Config back = serve::chaosPlanFromText(doc);
+    EXPECT_EQ(back.seed, cfg.seed);
+    ASSERT_EQ(back.rules.size(), cfg.rules.size());
+    for (size_t i = 0; i < cfg.rules.size(); i++) {
+        EXPECT_EQ(back.rules[i].site, cfg.rules[i].site);
+        EXPECT_DOUBLE_EQ(back.rules[i].probability,
+                         cfg.rules[i].probability);
+        EXPECT_EQ(back.rules[i].onHit, cfg.rules[i].onHit);
+        EXPECT_EQ(back.rules[i].everyHits, cfg.rules[i].everyHits);
+        EXPECT_EQ(back.rules[i].maxFires, cfg.rules[i].maxFires);
+    }
+    // Serialization is a fixed point: canonical in, canonical out.
+    EXPECT_EQ(serve::chaosPlanToJson(back), doc);
+}
+
+} // namespace

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Chaos soak tests: the serve stack under deterministic fault injection
+ * (ISSUE acceptance criteria).
+ *
+ * The contract under test is the strongest one the chaos harness makes:
+ * a batch that *survives* injected faults — cache corruption, torn
+ * writes, disk-full, dropped snapshots, fork failures, killed and hung
+ * workers — must produce result payloads byte-identical to a chaos-free
+ * run. Recovery is not allowed to change the answer. Each scenario also
+ * pins the failure-policy surface: timeout classification, jittered
+ * backoff retries, typed backpressure rejections, pool degradation down
+ * to in-process execution, and the manifest's decision log.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness/chaos.hpp"
+#include "harness/experiment.hpp"
+#include "harness/serialize.hpp"
+#include "serve/engine.hpp"
+#include "serve/job.hpp"
+#include "serve/sha256.hpp"
+
+using namespace uksim;
+using namespace uksim::harness;
+using namespace uksim::serve;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+JobSpec
+tinySpec(uint64_t cycles = 6000)
+{
+    JobSpec spec;
+    spec.name = "uk_conference";
+    spec.cycles = cycles;
+    spec.detail = 2;
+    spec.res = 16;
+    spec.sms = 2;
+    return spec;
+}
+
+/// Chaos-free baseline sha for a spec, computed once per distinct job
+/// hash via a direct runExperiment (no serve stack involved).
+const std::string &
+baselineSha(const JobSpec &spec)
+{
+    static std::map<std::string, std::string> byHash;
+    const ExperimentConfig config = resolveJobSpec(spec);
+    const std::string hash = jobHash(config);
+    auto it = byHash.find(hash);
+    if (it == byHash.end()) {
+        const PreparedScene scene =
+            prepareScene(config.sceneName, config.sceneParams);
+        it = byHash
+                 .emplace(hash, sha256Hex(serializeResult(
+                                    runExperiment(scene, config))))
+                 .first;
+    }
+    return it->second;
+}
+
+std::vector<std::string>
+runBatchCollect(ServerEngine &engine, const std::vector<JobSpec> &jobs,
+                BatchManifest &manifest)
+{
+    std::vector<std::string> events;
+    manifest = engine.runBatch(
+        jobs, [&](const std::string &line) { events.push_back(line); });
+    return events;
+}
+
+int
+countContaining(const std::vector<std::string> &lines,
+                const std::string &needle)
+{
+    int n = 0;
+    for (const std::string &line : lines)
+        if (line.find(needle) != std::string::npos)
+            n++;
+    return n;
+}
+
+class ChaosE2eTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        chaos::ChaosEngine::instance().disable();
+        dir_ = fs::temp_directory_path() /
+               ("uksim_chaos_e2e_" + std::to_string(::getpid()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        chaos::ChaosEngine::instance().disable();
+        fs::remove_all(dir_);
+    }
+
+    EngineOptions fastRetryOptions(const fs::path &sub, int workers,
+                                   uint64_t snapshotCycles) const
+    {
+        EngineOptions opts;
+        opts.cacheDir = (dir_ / sub / "cache").string();
+        opts.workers = workers;
+        opts.snapshotCycles = snapshotCycles;
+        if (workers == 0)
+            opts.spoolDir = (dir_ / sub / "spool").string();
+        // Tests must not sleep for real: millisecond-scale backoff.
+        opts.backoffBaseMs = 1;
+        opts.backoffMaxMs = 8;
+        return opts;
+    }
+
+    fs::path dir_;
+};
+
+} // anonymous namespace
+
+// The headline acceptance test: several seeds, a broad mix of fault
+// rules across every serve layer, and the batch must still converge to
+// byte-identical payloads — then a chaos-free engine over the same
+// (possibly tattered) cache directory must agree.
+TEST_F(ChaosE2eTest, SoakSeededChaosYieldsByteIdenticalPayloads)
+{
+    const std::vector<JobSpec> jobs = {tinySpec(6000), tinySpec(4000)};
+    const std::string sha0 = baselineSha(jobs[0]);
+    const std::string sha1 = baselineSha(jobs[1]);
+
+    for (uint64_t seed : {101u, 202u, 303u}) {
+        SCOPED_TRACE(testing::Message() << "seed=" << seed);
+        const fs::path sub = "soak_" + std::to_string(seed);
+
+        EngineOptions opts =
+            fastRetryOptions(sub, /*workers=*/2, /*snapshotCycles=*/2000);
+        opts.maxAttempts = 8;
+        opts.retrySeed = seed;
+        opts.degradeAfterFailures = 3;
+
+        BatchManifest chaotic;
+        {
+            chaos::ScopedChaos plan(
+                std::to_string(seed) +
+                ":cache.read.miss=0.25,cache.read.corrupt=0.25,"
+                "cache.write.torn=0.4,cache.write.enospc=0.2,"
+                "snapshot.write.torn=0.25,snapshot.read.drop=0.25,"
+                "spool.write.fail=0.15,fork.fail=0.2,worker.kill@1*1,"
+                "stream.read.eintr=0.2,stream.write.short=0.2");
+            ServerEngine engine(opts);
+            const std::vector<std::string> events =
+                runBatchCollect(engine, jobs, chaotic);
+            // The first spawn is always sabotaged (worker.kill@1*1), so
+            // at least one crash-and-retry definitely happened.
+            EXPECT_GE(countContaining(events, "\"worker_crashed\""), 1);
+        }
+        ASSERT_EQ(chaotic.jobs.size(), 2u);
+        EXPECT_EQ(chaotic.failed, 0);
+        EXPECT_EQ(chaotic.rejected, 0);
+        EXPECT_EQ(chaotic.jobs[0].resultSha256, sha0);
+        EXPECT_EQ(chaotic.jobs[1].resultSha256, sha1);
+        // The manifest accounts for the injected faults.
+        EXPECT_NE(chaotic.chaosJson.find("worker.kill"),
+                  std::string::npos);
+
+        // Chaos-free verification over the same cache directory: torn
+        // or missing entries recompute and self-heal; the answers are
+        // the same bytes either way.
+        BatchManifest clean;
+        ServerEngine verify(opts);
+        runBatchCollect(verify, jobs, clean);
+        EXPECT_EQ(clean.failed, 0);
+        EXPECT_EQ(clean.jobs[0].resultSha256, sha0);
+        EXPECT_EQ(clean.jobs[1].resultSha256, sha1);
+        EXPECT_TRUE(clean.chaosJson.empty());
+    }
+}
+
+// A worker that goes silent (worker.hang) must be SIGKILLed by the
+// heartbeat monitor, classified job_timeout, and retried to success.
+TEST_F(ChaosE2eTest, HungWorkerIsKilledAndClassifiedTimeout)
+{
+    chaos::ScopedChaos plan("7:worker.hang@1*1");
+    EngineOptions opts =
+        fastRetryOptions("hang", /*workers=*/1, /*snapshotCycles=*/2000);
+    opts.maxAttempts = 4;
+    opts.heartbeatMs = 200;
+
+    ServerEngine engine(opts);
+    BatchManifest m;
+    const std::vector<std::string> events =
+        runBatchCollect(engine, {tinySpec()}, m);
+
+    EXPECT_EQ(m.failed, 0);
+    EXPECT_GE(m.timeouts, 1);
+    EXPECT_GE(countContaining(events, "\"job_timeout\""), 1);
+    EXPECT_GE(countContaining(events, "\"reason\": \"heartbeat\""), 1);
+    EXPECT_GE(countContaining(events, "\"job_retried\""), 1);
+    EXPECT_FALSE(m.decisions.empty());
+    EXPECT_EQ(m.jobs[0].resultSha256, baselineSha(tinySpec()));
+}
+
+// The job.deadline site forces a JobTimeout at a chunk boundary; the
+// retry (with the rule exhausted by max-fires) completes bit-exact.
+TEST_F(ChaosE2eTest, InjectedDeadlineRetriesInProcess)
+{
+    chaos::ScopedChaos plan("9:job.deadline@1*1");
+    EngineOptions opts =
+        fastRetryOptions("deadline", /*workers=*/0,
+                         /*snapshotCycles=*/2000);
+    opts.maxAttempts = 3;
+
+    ServerEngine engine(opts);
+    BatchManifest m;
+    const std::vector<std::string> events =
+        runBatchCollect(engine, {tinySpec()}, m);
+
+    EXPECT_EQ(m.failed, 0);
+    EXPECT_EQ(m.timeouts, 1);
+    EXPECT_EQ(countContaining(events, "\"job_timeout\""), 1);
+    EXPECT_EQ(countContaining(events, "\"reason\": \"deadline\""), 1);
+    EXPECT_EQ(m.jobs[0].attempts, 2);
+    EXPECT_EQ(m.jobs[0].resultSha256, baselineSha(tinySpec()));
+    EXPECT_NE(m.chaosJson.find("job.deadline"), std::string::npos);
+}
+
+// A real wall-clock deadline (no chaos): 1 ms is unmeetable for this
+// job, so the single allowed attempt times out and the job fails with
+// a deadline error — not a crash, not a hang.
+TEST_F(ChaosE2eTest, WallClockDeadlineFailsJobWhenBudgetExhausted)
+{
+    EngineOptions opts =
+        fastRetryOptions("wallclock", /*workers=*/0,
+                         /*snapshotCycles=*/500);
+    opts.maxAttempts = 1;
+    opts.jobDeadlineMs = 1;
+
+    ServerEngine engine(opts);
+    BatchManifest m;
+    const std::vector<std::string> events =
+        runBatchCollect(engine, {tinySpec()}, m);
+
+    EXPECT_EQ(m.failed, 1);
+    EXPECT_EQ(m.timeouts, 1);
+    EXPECT_EQ(countContaining(events, "\"job_failed\""), 1);
+    EXPECT_EQ(m.jobs[0].outcome, "error");
+    EXPECT_NE(m.jobs[0].error.find("deadline"), std::string::npos);
+}
+
+// Bounded queue: compute jobs beyond the depth limit are rejected with
+// the typed job_rejected event, never silently dropped or failed.
+TEST_F(ChaosE2eTest, QueueBackpressureRejectsTyped)
+{
+    EngineOptions opts =
+        fastRetryOptions("queue", /*workers=*/0, /*snapshotCycles=*/0);
+    opts.maxQueueDepth = 1;
+
+    ServerEngine engine(opts);
+    BatchManifest m;
+    const std::vector<std::string> events = runBatchCollect(
+        engine, {tinySpec(6000), tinySpec(4000), tinySpec(3000)}, m);
+
+    EXPECT_EQ(m.computed, 1);
+    EXPECT_EQ(m.rejected, 2);
+    EXPECT_EQ(m.failed, 0);
+    EXPECT_EQ(countContaining(events, "\"job_rejected\""), 2);
+    EXPECT_EQ(m.jobs[0].resultSha256, baselineSha(tinySpec()));
+    EXPECT_EQ(m.jobs[1].outcome, "rejected");
+    EXPECT_EQ(m.jobs[2].outcome, "rejected");
+    EXPECT_FALSE(m.decisions.empty());
+}
+
+// With fork() failing 100% of the time, consecutive environmental
+// failures shrink the pool step by step to zero and the batch drains
+// in-process — degraded, but correct to the byte.
+TEST_F(ChaosE2eTest, PoolDegradesToInProcessAndCompletes)
+{
+    chaos::ScopedChaos plan("5:fork.fail=1.0");
+    EngineOptions opts =
+        fastRetryOptions("degrade", /*workers=*/2,
+                         /*snapshotCycles=*/2000);
+    opts.maxAttempts = 3;
+    opts.degradeAfterFailures = 2;
+
+    ServerEngine engine(opts);
+    BatchManifest m;
+    const std::vector<std::string> events =
+        runBatchCollect(engine, {tinySpec()}, m);
+
+    EXPECT_EQ(m.failed, 0);
+    EXPECT_GE(countContaining(events, "\"fork_failed\""), 4);
+    EXPECT_EQ(countContaining(events, "\"pool_degraded\""), 2);
+    EXPECT_EQ(m.jobs[0].resultSha256, baselineSha(tinySpec()));
+    EXPECT_FALSE(m.decisions.empty());
+    EXPECT_NE(m.chaosJson.find("fork.fail"), std::string::npos);
+}
+
+// Observation neutrality: with chaos disabled, nothing chaotic leaks
+// into events, manifests, or exported counters, and the payload is the
+// chaos-free baseline by construction.
+TEST_F(ChaosE2eTest, DisabledChaosIsObservationNeutral)
+{
+    ASSERT_FALSE(chaos::ChaosEngine::instance().enabled());
+    EngineOptions opts =
+        fastRetryOptions("neutral", /*workers=*/0, /*snapshotCycles=*/0);
+
+    ServerEngine engine(opts);
+    JobSpec spec = tinySpec();
+    spec.counters = true;
+    BatchManifest m;
+    const std::vector<std::string> events =
+        runBatchCollect(engine, {spec}, m);
+
+    EXPECT_EQ(m.failed, 0);
+    EXPECT_TRUE(m.chaosJson.empty());
+    EXPECT_EQ(countContaining(events, "chaos"), 0);
+    EXPECT_EQ(m.jobs[0].counterJson.find("chaos"), std::string::npos);
+    EXPECT_EQ(m.jobs[0].resultSha256, baselineSha(spec));
+    EXPECT_EQ(chaos::ChaosEngine::instance().totalFires(), 0u);
+}

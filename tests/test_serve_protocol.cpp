@@ -11,11 +11,19 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <cstring>
+#include <istream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "harness/chaos.hpp"
 #include "serve/engine.hpp"
+#include "serve/fdio.hpp"
 #include "serve/protocol.hpp"
 
 using namespace uksim::serve;
@@ -199,4 +207,93 @@ TEST(ServeProtocol, SubmitUnknownConfigFailsThatJobOnly)
     EXPECT_EQ(countContaining(lines, "\"event\": \"job_done\""), 1);
     EXPECT_EQ(countContaining(lines, "\"event\": \"job_failed\""), 1);
     EXPECT_EQ(countContaining(lines, "\"failed\": 1"), 1);
+}
+
+TEST(ServeProtocol, TornSubmitLineYieldsErrorNotCrash)
+{
+    // A client that dies mid-write leaves a final line with no newline
+    // and truncated JSON. The session must answer with an error event
+    // and report EOF (no shutdown), never throw or run a partial batch.
+    ServerEngine engine = inProcessEngine();
+    bool shutdown = true;
+    const auto lines = serveLines(
+        engine, "{\"op\": \"submit\", \"batch\": [{\"name\": \"uk_conf",
+        &shutdown);
+    EXPECT_FALSE(shutdown);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"event\": \"error\""), std::string::npos);
+    EXPECT_EQ(countContaining(lines, "batch_accepted"), 0);
+}
+
+TEST(ServeProtocol, ClientDyingMidSubmitOverFdStreamIsSurvived)
+{
+    // Same scenario over a real descriptor: the client socket carries
+    // half a submit line and then closes. FdStreamBuf must deliver the
+    // partial bytes, then EOF; the session answers one error and ends
+    // cleanly. SIGPIPE is ignored exactly as the daemon does, so a
+    // reply racing the close cannot kill the process.
+    void (*prev)(int) = ::signal(SIGPIPE, SIG_IGN);
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const char *half = "{\"op\": \"submit\", \"batch\": [{\"na";
+    ASSERT_TRUE(writeFull(fds[0], half, std::strlen(half)));
+    ::close(fds[0]); // the client dies mid-submit
+
+    ServerEngine engine = inProcessEngine();
+    FdStreamBuf buf(fds[1]);
+    std::istream in(&buf);
+    std::ostringstream out;
+    Session session(engine, in, out);
+    EXPECT_FALSE(session.run()); // EOF, not shutdown
+    EXPECT_NE(out.str().find("\"event\": \"error\""), std::string::npos);
+    ::close(fds[1]);
+    ::signal(SIGPIPE, prev);
+}
+
+TEST(ServeProtocol, SubmitChaosPlanAppliesToThatBatchOnly)
+{
+    // The submit carries a "ukchaos-plan-1" document that fires one
+    // injected deadline: batch 1 must show a timeout, a retry, and the
+    // chaos tally in its manifest. The same submit minus the plan in
+    // the same session must run untouched — ScopedChaos restored the
+    // engine between batches.
+    ASSERT_FALSE(uksim::chaos::ChaosEngine::instance().enabled());
+    EngineOptions opts;
+    opts.workers = 0;
+    opts.snapshotCycles = 2000; // chunk boundaries arm job.deadline
+    opts.backoffBaseMs = 1;
+    ServerEngine engine(opts);
+
+    const std::string plan =
+        "{\"schema\": \"ukchaos-plan-1\", \"seed\": 3, \"rules\": "
+        "[{\"site\": \"job.deadline\", \"on_hit\": 1, "
+        "\"max_fires\": 1}]}";
+    const std::string request =
+        std::string("{\"op\": \"submit\", \"chaos\": ") + plan +
+        ", \"batch\": [" + kTinyJob + "]}\n" +
+        "{\"op\": \"submit\", \"batch\": [" + kTinyJob + "]}\n";
+
+    const auto lines = serveLines(engine, request);
+    EXPECT_EQ(countContaining(lines, "\"event\": \"batch_done\""), 2);
+    EXPECT_EQ(countContaining(lines, "\"event\": \"job_timeout\""), 1);
+    EXPECT_EQ(countContaining(lines, "\"event\": \"job_retried\""), 1);
+    EXPECT_EQ(countContaining(lines, "\"timeouts\": 1"), 1);
+    EXPECT_EQ(countContaining(lines, "\"timeouts\": 0"), 1);
+    EXPECT_EQ(countContaining(lines, "job.deadline"), 1);
+    EXPECT_EQ(countContaining(lines, "\"failed\": 0"), 2);
+    EXPECT_FALSE(uksim::chaos::ChaosEngine::instance().enabled());
+}
+
+TEST(ServeProtocol, SubmitRejectsInvalidChaosPlan)
+{
+    ServerEngine engine = inProcessEngine();
+    const auto lines = serveLines(
+        engine,
+        std::string("{\"op\": \"submit\", \"chaos\": "
+                    "{\"schema\": \"wrong\"}, \"batch\": [") +
+            kTinyJob + "]}\n");
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"event\": \"error\""), std::string::npos);
+    EXPECT_EQ(countContaining(lines, "batch_accepted"), 0);
+    EXPECT_FALSE(uksim::chaos::ChaosEngine::instance().enabled());
 }

@@ -12,7 +12,9 @@
  *
  * Usage: uksim-serve [--pipe | --tcp PORT] [--cache DIR] [--spool DIR]
  *                    [--workers N] [--snapshot-cycles N]
- *                    [--max-attempts N]
+ *                    [--max-attempts N] [--deadline-ms N]
+ *                    [--heartbeat-ms N] [--backoff-ms N] [--max-queue N]
+ *                    [--degrade-after N] [--chaos SPEC]
  *
  *   --pipe              serve one session on stdin/stdout (default)
  *   --tcp PORT          listen on 127.0.0.1:PORT (0 = ephemeral)
@@ -21,6 +23,14 @@
  *   --workers N         forked worker processes; 0 = in-process (default)
  *   --snapshot-cycles N snapshot cadence in simulated cycles (0 = off)
  *   --max-attempts N    attempts per job before it fails (default 3)
+ *   --deadline-ms N     per-attempt wall-clock deadline (0 = off)
+ *   --heartbeat-ms N    kill workers silent for N ms (0 = off)
+ *   --backoff-ms N      base retry backoff (default 10; max 2000)
+ *   --max-queue N       reject compute jobs beyond N per batch (0 = off)
+ *   --degrade-after N   consecutive env failures per pool shrink (3)
+ *   --chaos SPEC        "<seed>:<rule>,..." fault-injection spec; the
+ *                       UKSIM_CHAOS env var is honored when the flag
+ *                       is absent
  *
  * Exit status: 0 on clean shutdown or client EOF, 1 on runtime
  * errors, 2 on usage errors.
@@ -31,6 +41,7 @@
 #include <iostream>
 #include <string>
 
+#include "harness/chaos.hpp"
 #include "harness/cli_args.hpp"
 #include "serve/engine.hpp"
 #include "serve/protocol.hpp"
@@ -43,6 +54,7 @@ namespace {
 struct Options {
     bool tcp = false;
     uint64_t port = 0;
+    std::string chaosSpec;
     serve::EngineOptions engine;
 };
 
@@ -53,7 +65,11 @@ usage(std::FILE *out)
                  "usage: uksim-serve [--pipe | --tcp PORT] [--cache DIR] "
                  "[--spool DIR]\n"
                  "                   [--workers N] [--snapshot-cycles N] "
-                 "[--max-attempts N]\n");
+                 "[--max-attempts N]\n"
+                 "                   [--deadline-ms N] [--heartbeat-ms N] "
+                 "[--backoff-ms N]\n"
+                 "                   [--max-queue N] [--degrade-after N] "
+                 "[--chaos SPEC]\n");
 }
 
 Options
@@ -85,6 +101,18 @@ parseArgs(int argc, char **argv)
             opts.engine.snapshotCycles = args.u64();
         } else if (args.is("--max-attempts")) {
             opts.engine.maxAttempts = args.i32();
+        } else if (args.is("--deadline-ms")) {
+            opts.engine.jobDeadlineMs = args.u64();
+        } else if (args.is("--heartbeat-ms")) {
+            opts.engine.heartbeatMs = args.u64();
+        } else if (args.is("--backoff-ms")) {
+            opts.engine.backoffBaseMs = args.u64();
+        } else if (args.is("--max-queue")) {
+            opts.engine.maxQueueDepth = args.i32();
+        } else if (args.is("--degrade-after")) {
+            opts.engine.degradeAfterFailures = args.i32();
+        } else if (args.is("--chaos")) {
+            opts.chaosSpec = args.value();
         } else {
             args.unknown(usage);
         }
@@ -99,6 +127,11 @@ main(int argc, char **argv)
 {
     const Options opts = parseArgs(argc, argv);
     try {
+        if (!opts.chaosSpec.empty())
+            chaos::ChaosEngine::instance().configureFromSpec(
+                opts.chaosSpec);
+        else
+            chaos::ChaosEngine::instance().configureFromEnv();
         serve::ServerEngine engine(opts.engine);
         if (opts.tcp) {
             serve::TcpServer server(engine, uint16_t(opts.port));

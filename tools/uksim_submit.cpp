@@ -8,11 +8,15 @@
  * stdout until the batch completes.
  *
  * Usage: uksim-submit (--emit | --connect PORT) [--batch-id ID]
- *                     [--shutdown] --job NAME [job modifiers] ...
+ *                     [--chaos-plan FILE] [--shutdown]
+ *                     --job NAME [job modifiers] ...
  *
  *   --emit              print the request line(s) to stdout and exit
  *   --connect PORT      submit to 127.0.0.1:PORT and stream events
  *   --batch-id ID       tag echoed in batch_accepted / batch_done
+ *   --chaos-plan FILE   validate a "ukchaos-plan-1" JSON document and
+ *                       attach it to the submit (per-batch fault
+ *                       injection on the server)
  *   --shutdown          append a shutdown op after the submit
  *   --job NAME          start a new job spec (repeatable)
  *
@@ -28,6 +32,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +43,8 @@
 #include <unistd.h>
 
 #include "harness/cli_args.hpp"
+#include "serve/chaos_plan.hpp"
+#include "serve/fdio.hpp"
 #include "serve/job.hpp"
 #include "serve/json.hpp"
 
@@ -51,6 +58,7 @@ struct Options {
     bool shutdown = false;
     uint64_t port = 0;
     std::string batchId;
+    std::string chaosPlanJson;  ///< canonical plan line ("" = none)
     std::vector<serve::JobSpec> jobs;
 };
 
@@ -60,7 +68,7 @@ usage(std::FILE *out)
     std::fprintf(
         out,
         "usage: uksim-submit (--emit | --connect PORT) [--batch-id ID] "
-        "[--shutdown]\n"
+        "[--chaos-plan FILE] [--shutdown]\n"
         "                    --job NAME [--label S] [--cycles N] "
         "[--detail N] [--res N]\n"
         "                    [--sms N] [--watchdog N] "
@@ -93,6 +101,29 @@ parseArgs(int argc, char **argv)
             opts.port = args.u64();
         } else if (args.is("--batch-id")) {
             opts.batchId = args.value();
+        } else if (args.is("--chaos-plan")) {
+            const std::string path = args.value();
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                std::fprintf(stderr,
+                             "uksim-submit: --chaos-plan: cannot read "
+                             "%s\n",
+                             path.c_str());
+                std::exit(2);
+            }
+            std::stringstream buf;
+            buf << in.rdbuf();
+            try {
+                // Validate locally, then forward the canonical
+                // re-serialization so the server sees one stable form.
+                opts.chaosPlanJson = serve::chaosPlanToJson(
+                    serve::chaosPlanFromText(buf.str()));
+            } catch (const serve::JsonError &e) {
+                std::fprintf(stderr,
+                             "uksim-submit: --chaos-plan: %s: %s\n",
+                             path.c_str(), e.what());
+                std::exit(2);
+            }
         } else if (args.is("--shutdown")) {
             opts.shutdown = true;
         } else if (args.is("--job")) {
@@ -145,7 +176,10 @@ submitLine(const Options &opts)
 {
     std::ostringstream os;
     os << "{\"op\": \"submit\", \"batch_id\": \""
-       << serve::jsonEscape(opts.batchId) << "\", \"batch\": [";
+       << serve::jsonEscape(opts.batchId) << "\"";
+    if (!opts.chaosPlanJson.empty())
+        os << ", \"chaos\": " << opts.chaosPlanJson;
+    os << ", \"batch\": [";
     for (size_t i = 0; i < opts.jobs.size(); i++)
         os << (i ? ", " : "") << serve::jobSpecToJson(opts.jobs[i]);
     os << "]}";
@@ -204,16 +238,10 @@ runConnect(const Options &opts)
         request += submitLine(opts) + "\n";
     if (opts.shutdown)
         request += "{\"op\": \"shutdown\"}\n";
-    size_t off = 0;
-    while (off < request.size()) {
-        const ssize_t n =
-            ::write(fd, request.data() + off, request.size() - off);
-        if (n <= 0) {
-            std::perror("uksim-submit: write");
-            ::close(fd);
-            return 1;
-        }
-        off += size_t(n);
+    if (!serve::writeFull(fd, request.data(), request.size())) {
+        std::perror("uksim-submit: write");
+        ::close(fd);
+        return 1;
     }
     ::shutdown(fd, SHUT_WR);
 
@@ -221,7 +249,7 @@ runConnect(const Options &opts)
     std::string reply;
     char buf[4096];
     ssize_t n;
-    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+    while ((n = serve::readEintr(fd, buf, sizeof(buf))) > 0)
         reply.append(buf, size_t(n));
     ::close(fd);
     std::istringstream in(reply);
