@@ -15,6 +15,7 @@
  * Usage:
  *   bench_simspeed [--smoke] [--out PATH] [--threads N1,N2,...]
  *                  [--fast-forward on|off|both] [--epochs on|off|both]
+ *                  [--block-exec on|off|both]
  *
  * --smoke          tiny workload for CI (a few seconds total)
  * --out PATH       JSON output path (default BENCH_simspeed.json)
@@ -24,14 +25,21 @@
  * --epochs         lockstep vs epoch-engine legs (default both); with
  *                  "both", every leg pair's statistics are asserted
  *                  bit-identical across the engines too
+ * --block-exec     superblock-execution legs (default both); with
+ *                  "both", block-exec-on legs are asserted bit-identical
+ *                  against the block-exec-off reference as well
  *
  * Output: a text table and a JSON report of the form
  *   {"benchmark":"simspeed","host_cores":C,"results":[
- *     {"threads":T,"fast_forward":B,"epoch_engine":B,"sim_cycles":N,
+ *     {"threads":T,"fast_forward":B,"epoch_engine":B,"block_exec":B,
+ *      "sim_cycles":N,
  *      "wall_seconds":S,"sim_kcycles_per_sec":K,"speedup_vs_serial":X,
  *      "cycles_skipped":N,"jumps":N,"largest_jump":N,
  *      "epochs":N,"rounds":N,"mean_epoch_cycles":X,
  *      "epoch_advance_wall_ns":N,"epoch_merge_wall_ns":N,
+ *      "blockexec":{"spans":N,"largest_span":N,"fused_runs":N,
+ *       "fused_ops":N,"idle_cycles_skipped":N,"fallbacks":N,
+ *       "blocks_compiled":N,"fusible_blocks":N},
  *      "parity_bound":B,"bit_identical":true}, ...]}
  * where speedup_vs_serial is relative to the first leg, bit_identical
  * compares every leg's SimStats against that same reference, and
@@ -65,6 +73,8 @@ struct Options {
     bool legOn = true;      ///< run the fast-forward-on leg
     bool legLockstep = true; ///< run the lockstep-engine leg
     bool legEpoch = true;    ///< run the epoch-engine leg
+    bool legBlockOff = true; ///< run the block-exec-off leg
+    bool legBlockOn = true;  ///< run the block-exec-on leg
 };
 
 Options
@@ -102,12 +112,23 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr, "--epochs takes on|off|both\n");
                 std::exit(2);
             }
+        } else if (args.is("--block-exec")) {
+            std::string mode = args.value();
+            if (mode == "on") {
+                opt.legBlockOff = false;
+            } else if (mode == "off") {
+                opt.legBlockOn = false;
+            } else if (mode != "both") {
+                std::fprintf(stderr, "--block-exec takes on|off|both\n");
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--out PATH] "
                          "[--threads N1,N2,...] "
                          "[--fast-forward on|off|both] "
-                         "[--epochs on|off|both]\n",
+                         "[--epochs on|off|both] "
+                         "[--block-exec on|off|both]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -125,6 +146,7 @@ struct RunResult {
     int threads = 0;
     bool fastForward = false;
     bool epochEngine = false;
+    bool blockExec = false;
     uint64_t simCycles = 0;
     double wallSeconds = 0.0;
     double kcyclesPerSec = 0.0;
@@ -132,6 +154,7 @@ struct RunResult {
     uint64_t jumps = 0;
     uint64_t largestJump = 0;
     EpochStats epoch;
+    BlockExecStats bx;
     bool parityBound = false;   ///< more host threads than cores
     bool bitIdentical = true;   ///< stats match the reference run exactly
 };
@@ -142,29 +165,31 @@ struct RunResult {
  * DRAM latency) with the texture caches off (every kd-tree/triangle
  * read pays the full off-chip round trip) and a cycle budget that lets
  * the grid drain completely. This is the regime the idle-cycle
- * fast-forward targets — long quiescent spans between DRAM wake-ups —
- * and it still exercises the full uk spawn/formation path for the
- * host-thread scaling legs.
+ * fast-forward and the superblock engine target — long quiescent spans
+ * between DRAM wake-ups and straight-line single-warp issue runs — and
+ * it still exercises the full uk spawn/formation path for the
+ * host-thread scaling legs. The smoke shape is the same regime scaled
+ * down (detail 4, smaller cycle budget) so the CI speed guards measure
+ * the engines, not the cap.
  */
 ExperimentConfig
 makeConfig(const Options &opt, int hostThreads, bool fastForward,
-           bool epochEngine)
+           bool epochEngine, bool blockExec)
 {
     ExperimentConfig cfg;
     cfg.sceneName = "conference";
     cfg.kernel = KernelKind::MicroKernel;
     cfg.sceneParams.detail = opt.smoke ? 4 : 10;
-    cfg.sceneParams.imageWidth = opt.smoke ? 32 : 16;
-    cfg.sceneParams.imageHeight = opt.smoke ? 32 : 16;
-    cfg.maxCycles = opt.smoke ? 5000 : 2000000;
+    cfg.sceneParams.imageWidth = 16;
+    cfg.sceneParams.imageHeight = 16;
+    cfg.maxCycles = opt.smoke ? 120000 : 2000000;
     cfg.baseConfig.maxCycles = cfg.maxCycles;
     cfg.baseConfig.hostThreads = hostThreads;
     cfg.baseConfig.fastForward = fastForward;
     cfg.baseConfig.epochEngine = epochEngine;
-    if (!opt.smoke) {
-        cfg.baseConfig.texL1BytesPerSm = 0;
-        cfg.baseConfig.texL2BytesPerPartition = 0;
-    }
+    cfg.baseConfig.blockExec = blockExec;
+    cfg.baseConfig.texL1BytesPerSm = 0;
+    cfg.baseConfig.texL2BytesPerPartition = 0;
     return cfg;
 }
 
@@ -176,11 +201,11 @@ main(int argc, char **argv)
     Options opt = parseArgs(argc, argv);
 
     // This benchmark sets thread counts, the fast-forward switch and
-    // the cycle engine explicitly per run; the environment overrides
+    // the cycle engines explicitly per run; the environment overrides
     // would silently make every leg identical.
-    unsetenv("UKSIM_THREADS");
     unsetenv("UKSIM_FASTFWD");
     unsetenv("UKSIM_EPOCHS");
+    unsetenv("UKSIM_BLOCKEXEC");
 
     std::vector<bool> legs;
     if (opt.legOff)
@@ -192,8 +217,13 @@ main(int argc, char **argv)
         engineLegs.push_back(false);
     if (opt.legEpoch)
         engineLegs.push_back(true);
+    std::vector<bool> blockLegs;
+    if (opt.legBlockOff)
+        blockLegs.push_back(false);
+    if (opt.legBlockOn)
+        blockLegs.push_back(true);
 
-    ExperimentConfig probe = makeConfig(opt, 1, false, false);
+    ExperimentConfig probe = makeConfig(opt, 1, false, false, false);
     std::printf("bench_simspeed: %s, %dx%d, detail %d, %llu-cycle window, "
                 "%d SMs\n",
                 probe.sceneName.c_str(), probe.sceneParams.imageWidth,
@@ -211,63 +241,71 @@ main(int argc, char **argv)
     allStats.reserve(opt.threads.size() * legs.size());
 
     for (int threads : opt.threads) {
-        for (bool engine : engineLegs) {
-            for (bool ff : legs) {
-                ExperimentConfig cfg =
-                    makeConfig(opt, threads, ff, engine);
-                // Warm-up pass: touches the scene upload path and page
-                // cache so the timed passes measure steady-state
-                // simulation speed.
-                if (results.empty())
-                    runExperiment(scene, cfg);
+        // A numeric UKSIM_THREADS is an explicit request (with
+        // oversubscription allowed) — required here because the no-env
+        // default clamps to the hardware concurrency, which would
+        // silently collapse the scaling legs on small CI hosts.
+        setenv("UKSIM_THREADS", std::to_string(threads).c_str(), 1);
+        for (bool blockExec : blockLegs) {
+            for (bool engine : engineLegs) {
+                for (bool ff : legs) {
+                    ExperimentConfig cfg =
+                        makeConfig(opt, threads, ff, engine, blockExec);
+                    // Warm-up pass: touches the scene upload path and
+                    // page cache so the timed passes measure
+                    // steady-state simulation speed.
+                    if (results.empty())
+                        runExperiment(scene, cfg);
 
-                auto t0 = std::chrono::steady_clock::now();
-                ExperimentResult r = runExperiment(scene, cfg);
-                auto t1 = std::chrono::steady_clock::now();
+                    auto t0 = std::chrono::steady_clock::now();
+                    ExperimentResult r = runExperiment(scene, cfg);
+                    auto t1 = std::chrono::steady_clock::now();
 
-                RunResult rr;
-                rr.threads = threads;
-                rr.fastForward = ff;
-                rr.epochEngine = engine;
-                rr.simCycles = r.stats.cycles;
-                rr.wallSeconds =
-                    std::chrono::duration<double>(t1 - t0).count();
-                rr.kcyclesPerSec =
-                    rr.wallSeconds > 0.0
-                        ? double(rr.simCycles) / rr.wallSeconds / 1000.0
-                        : 0.0;
-                rr.cyclesSkipped = r.fastForward.cyclesSkipped;
-                rr.jumps = r.fastForward.jumps;
-                rr.largestJump = r.fastForward.largestJump;
-                rr.epoch = r.epoch;
-                rr.parityBound = hostCores > 0 && threads > hostCores;
-                allStats.push_back(r.stats);
-                rr.bitIdentical = allStats.back() == allStats.front();
-                results.push_back(rr);
+                    RunResult rr;
+                    rr.threads = threads;
+                    rr.fastForward = ff;
+                    rr.epochEngine = engine;
+                    rr.blockExec = blockExec;
+                    rr.simCycles = r.stats.cycles;
+                    rr.wallSeconds =
+                        std::chrono::duration<double>(t1 - t0).count();
+                    rr.kcyclesPerSec =
+                        rr.wallSeconds > 0.0
+                            ? double(rr.simCycles) / rr.wallSeconds /
+                                  1000.0
+                            : 0.0;
+                    rr.cyclesSkipped = r.fastForward.cyclesSkipped;
+                    rr.jumps = r.fastForward.jumps;
+                    rr.largestJump = r.fastForward.largestJump;
+                    rr.epoch = r.epoch;
+                    rr.bx = r.blockExec;
+                    rr.parityBound = hostCores > 0 && threads > hostCores;
+                    allStats.push_back(r.stats);
+                    rr.bitIdentical = allStats.back() == allStats.front();
+                    results.push_back(rr);
+                }
             }
         }
     }
+    unsetenv("UKSIM_THREADS");
 
     TextTable table;
-    table.header({"threads", "engine", "fastfwd", "sim kcycles", "wall s",
-                  "sim kcycles/s", "speedup", "epochs", "mean ep",
-                  "adv ms", "merge ms", "bit-identical"});
+    table.header({"threads", "engine", "fastfwd", "blockexec",
+                  "sim kcycles", "wall s", "sim kcycles/s", "speedup",
+                  "epochs", "spans", "fused ops", "bit-identical"});
     const double serialRate = results.front().kcyclesPerSec;
     for (const RunResult &r : results) {
-        const double meanEpoch =
-            r.epoch.epochs
-                ? double(r.epoch.cyclesTotal) / double(r.epoch.epochs)
-                : 0.0;
         table.row({std::to_string(r.threads),
                    r.epochEngine ? "epoch" : "lockstep",
                    r.fastForward ? "on" : "off",
+                   r.blockExec ? "on" : "off",
                    fmt(double(r.simCycles) / 1000.0, 1),
                    fmt(r.wallSeconds, 3), fmt(r.kcyclesPerSec, 1),
                    fmt(serialRate > 0 ? r.kcyclesPerSec / serialRate : 0.0,
                        2),
-                   std::to_string(r.epoch.epochs), fmt(meanEpoch, 1),
-                   fmt(double(r.epoch.advanceWallNs) / 1e6, 1),
-                   fmt(double(r.epoch.mergeWallNs) / 1e6, 1),
+                   std::to_string(r.epoch.epochs),
+                   std::to_string(r.bx.spans),
+                   std::to_string(r.bx.fusedOps),
                    r.bitIdentical ? "yes" : "NO"});
     }
     std::fputs(table.str().c_str(), stdout);
@@ -298,20 +336,30 @@ main(int argc, char **argv)
             r.epoch.epochs
                 ? double(r.epoch.cyclesTotal) / double(r.epoch.epochs)
                 : 0.0;
+        uint64_t fallbacks = 0;
+        for (uint64_t c : r.bx.fallbacks)
+            fallbacks += c;
         std::fprintf(
             f,
             "    {\"threads\": %d, \"fast_forward\": %s, "
-            "\"epoch_engine\": %s, \"sim_cycles\": %llu, "
+            "\"epoch_engine\": %s, \"block_exec\": %s, "
+            "\"sim_cycles\": %llu, "
             "\"wall_seconds\": %.6f, \"sim_kcycles_per_sec\": %.2f, "
             "\"speedup_vs_serial\": %.3f, \"cycles_skipped\": %llu, "
             "\"jumps\": %llu, \"largest_jump\": %llu, "
             "\"epochs\": %llu, \"rounds\": %llu, "
             "\"mean_epoch_cycles\": %.2f, "
             "\"epoch_advance_wall_ns\": %llu, "
-            "\"epoch_merge_wall_ns\": %llu, \"parity_bound\": %s, "
+            "\"epoch_merge_wall_ns\": %llu, "
+            "\"blockexec\": {\"spans\": %llu, \"largest_span\": %llu, "
+            "\"fused_runs\": %llu, \"fused_ops\": %llu, "
+            "\"idle_cycles_skipped\": %llu, \"fallbacks\": %llu, "
+            "\"blocks_compiled\": %llu, \"fusible_blocks\": %llu}, "
+            "\"parity_bound\": %s, "
             "\"bit_identical\": %s}%s\n",
             r.threads, r.fastForward ? "true" : "false",
             r.epochEngine ? "true" : "false",
+            r.blockExec ? "true" : "false",
             static_cast<unsigned long long>(r.simCycles), r.wallSeconds,
             r.kcyclesPerSec,
             serialRate > 0 ? r.kcyclesPerSec / serialRate : 0.0,
@@ -322,6 +370,14 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(r.epoch.rounds), meanEpoch,
             static_cast<unsigned long long>(r.epoch.advanceWallNs),
             static_cast<unsigned long long>(r.epoch.mergeWallNs),
+            static_cast<unsigned long long>(r.bx.spans),
+            static_cast<unsigned long long>(r.bx.largestSpan),
+            static_cast<unsigned long long>(r.bx.fusedRuns),
+            static_cast<unsigned long long>(r.bx.fusedOps),
+            static_cast<unsigned long long>(r.bx.idleCyclesSkipped),
+            static_cast<unsigned long long>(fallbacks),
+            static_cast<unsigned long long>(r.bx.blocksCompiled),
+            static_cast<unsigned long long>(r.bx.fusibleBlocks),
             r.parityBound ? "true" : "false",
             r.bitIdentical ? "true" : "false",
             i + 1 < results.size() ? "," : "");
@@ -333,7 +389,8 @@ main(int argc, char **argv)
     if (!allIdentical) {
         std::fprintf(stderr,
                      "ERROR: a leg diverged from the reference stats "
-                     "(threads/fast-forward must not change results)\n");
+                     "(threads/fast-forward/epochs/block-exec must not "
+                     "change results)\n");
         return 1;
     }
     return 0;

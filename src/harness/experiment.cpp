@@ -189,6 +189,8 @@ runExperiment(const PreparedScene &prepared, const ExperimentConfig &config,
     r.fastForwardEnabled = gpu.fastForwardEnabled();
     r.epoch = gpu.epochStats();
     r.epochEngineUsed = gpu.epochEligible();
+    r.blockExec = gpu.blockExecStats();
+    r.blockExecUsed = gpu.blockExecEligible();
     r.mraysPerSec = finalStats.itemsPerSecond(gc.clockGhz) / 1e6;
     r.hits = kernels::downloadHits(gpu, dev);
     for (int i = 0; i < gpu.numSms(); i++)

@@ -86,6 +86,10 @@ struct ExperimentResult {
     /// Like fastForward, outside the bit-identity contract.
     EpochStats epoch;
     bool epochEngineUsed = false;   ///< epoch engine eligible and enabled
+    /// Engine-side superblock execution counters (zeros when disabled).
+    /// Like fastForward/epoch, outside the bit-identity contract.
+    BlockExecStats blockExec;
+    bool blockExecUsed = false;     ///< block-exec engine eligible and enabled
     std::vector<rt::Hit> hits;      ///< downloaded hit records
 
     // Observability exports (filled per ExperimentConfig flags).

@@ -52,6 +52,8 @@ analyzeProgram(const Program &program)
         return a;
     Cfg cfg(program);
     a.uniformity = analyzeUniformity(program, cfg);
+    a.fusion = analyzeFusion(program, cfg, a.uniformity,
+                             analyzeLiveness(program, cfg));
     a.advisor = advise(program, cfg, a.uniformity);
     a.analyzed = true;
     return a;
@@ -90,6 +92,10 @@ renderReport(const Program &program, const ProgramAnalysis &a)
        << " const-proven, " << st.provedRange << " range-proven, "
        << st.unproven << " unproven, " << st.unbounded << " unbounded, "
        << st.outOfBounds << " out-of-bounds\n";
+
+    os << "fusion: " << a.fusion.blocks.size() << " blocks, "
+       << a.fusion.fusibleBlockCount() << " fusible ("
+       << a.fusion.fusibleOpCount() << " fusible ops)\n";
 
     if (!a.advisor.advice.empty()) {
         os << "advice:\n";
@@ -191,6 +197,19 @@ toJson(const std::string &name, const Program &program,
     }
     os << (a.advisor.advice.empty() ? "" : "\n" + in1) << "],\n";
 
+    os << in1 << "\"blocks\": [";
+    for (size_t i = 0; i < a.fusion.blocks.size(); i++) {
+        const BlockFusion &b = a.fusion.blocks[i];
+        os << (i ? ",\n" : "\n") << in2 << "{\"id\": " << b.block
+           << ", \"first\": " << b.first << ", \"last\": " << b.last
+           << ", \"fusibleOps\": " << b.fusibleOps
+           << ", \"fusible\": " << (b.fusible ? "true" : "false")
+           << ", \"exit\": \"" << fusionExitName(b.exit) << "\""
+           << ", \"uniform\": " << (b.uniform ? "true" : "false")
+           << ", \"deadDefs\": " << b.deadDefs << "}";
+    }
+    os << (a.fusion.blocks.empty() ? "" : "\n" + in1) << "],\n";
+
     os << in1 << "\"summary\": {\"errors\": " << a.verify.errorCount()
        << ", \"warnings\": " << a.verify.warningCount()
        << ", \"branches\": " << a.uniformity.branches.size()
@@ -198,7 +217,9 @@ toJson(const std::string &name, const Program &program,
        << a.uniformity.divergentBranchCount()
        << ", \"uniformBranches\": "
        << a.uniformity.uniformBranchCount()
-       << ", \"advice\": " << a.advisor.advice.size() << "}\n";
+       << ", \"advice\": " << a.advisor.advice.size()
+       << ", \"fusibleBlocks\": " << a.fusion.fusibleBlockCount()
+       << ", \"fusibleOps\": " << a.fusion.fusibleOpCount() << "}\n";
     os << in0 << "}";
     return os.str();
 }

@@ -9,9 +9,9 @@
  * human-readable and machine-readable forms `ukverify --analyze`
  * surfaces.
  *
- * The JSON schema is versioned ("ukverify-json-1") and covered by a
- * golden-file test; extend it by adding fields, never by renaming or
- * reordering existing ones.
+ * The JSON schema is versioned ("ukverify-json-1.1") and covered by a
+ * golden-file test; extend it by adding fields (bumping the minor
+ * version), never by renaming or reordering existing ones.
  */
 
 #ifndef UKSIM_ANALYSIS_ANALYSIS_HPP
@@ -20,6 +20,7 @@
 #include <string>
 
 #include "simt/analysis/advisor.hpp"
+#include "simt/analysis/fusion.hpp"
 #include "simt/analysis/liveness.hpp"
 #include "simt/analysis/uniformity.hpp"
 #include "simt/program.hpp"
@@ -28,17 +29,18 @@
 namespace uksim::analysis {
 
 /** JSON schema identifier emitted by toJson(). */
-inline constexpr const char *kJsonSchema = "ukverify-json-1";
+inline constexpr const char *kJsonSchema = "ukverify-json-1.1";
 
 /** Combined result of every pass over one program. */
 struct ProgramAnalysis {
     VerifyResult verify;            ///< diagnostics + access stats
     UniformityResult uniformity;    ///< only when the CFG was buildable
     AdvisorResult advisor;
+    FusionResult fusion;            ///< per-block fusion legality
     bool analyzed = false;          ///< false when malformed (no CFG)
 };
 
-/** Run verifier + uniformity + advisor over @p program. */
+/** Run verifier + uniformity + fusion + advisor over @p program. */
 ProgramAnalysis analyzeProgram(const Program &program);
 
 /**

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Fusion-legality analysis implementation.
+ */
+
+#include "simt/analysis/fusion.hpp"
+
+#include "simt/isa.hpp"
+
+namespace uksim::analysis {
+
+const char *
+fusionExitName(FusionExit exit)
+{
+    switch (exit) {
+      case FusionExit::BlockEnd:   return "block_end";
+      case FusionExit::Branch:     return "branch";
+      case FusionExit::ThreadExit: return "exit";
+      case FusionExit::Barrier:    return "barrier";
+      case FusionExit::Memory:     return "memory";
+      case FusionExit::Spawn:      return "spawn";
+      case FusionExit::Sfu:        return "sfu";
+      case FusionExit::Operand:    return "operand";
+    }
+    return "?";
+}
+
+size_t
+FusionResult::fusibleBlockCount() const
+{
+    size_t n = 0;
+    for (const BlockFusion &b : blocks)
+        n += b.fusible ? 1 : 0;
+    return n;
+}
+
+size_t
+FusionResult::fusibleOpCount() const
+{
+    size_t n = 0;
+    for (const BlockFusion &b : blocks)
+        n += b.fusibleOps;
+    return n;
+}
+
+namespace {
+
+/** Operand the scalar ALU path reads without raising BadOperandKind. */
+bool
+readableOperand(const Operand &op)
+{
+    switch (op.kind) {
+      case OperandKind::Reg:
+        return op.reg >= 0 && op.reg < kMaxRegisters;
+      case OperandKind::Imm:
+      case OperandKind::Special:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+validPredIndex(int p)
+{
+    return p >= 0 && p < kNumPredicates;
+}
+
+/** Why this non-fusible instruction ends the run. */
+FusionExit
+classifyExit(const Instruction &inst)
+{
+    if (inst.op == Opcode::Bra)
+        return FusionExit::Branch;
+    if (inst.op == Opcode::Exit)
+        return FusionExit::ThreadExit;
+    if (inst.op == Opcode::Bar)
+        return FusionExit::Barrier;
+    if (inst.isMemory())
+        return FusionExit::Memory;
+    if (inst.op == Opcode::Spawn)
+        return FusionExit::Spawn;
+    if (inst.isSfu())
+        return FusionExit::Sfu;
+    return FusionExit::Operand;
+}
+
+} // anonymous namespace
+
+bool
+fusibleOp(const Instruction &inst)
+{
+    // A fused run issues one op per cycle with no SIMT-stack pops, so
+    // only single-cycle (issueLatency == 1) warp-private work qualifies.
+    if (inst.isControlFlow() || inst.isMemory() || inst.isSfu() ||
+        inst.op == Opcode::Bar || inst.op == Opcode::Spawn) {
+        return false;
+    }
+    if (inst.guardPred >= 0 && !validPredIndex(inst.guardPred))
+        return false;
+    switch (inst.op) {
+      case Opcode::Nop:
+        return true;
+      case Opcode::SetP:
+        // execAlu reads src[0] and src[1] and writes predicate dst.
+        return readableOperand(inst.src[0]) &&
+               readableOperand(inst.src[1]) && validPredIndex(inst.dst);
+      case Opcode::SelP:
+        // Reads src[0]/src[1], selects on predicate src[2].
+        return readableOperand(inst.src[0]) &&
+               readableOperand(inst.src[1]) &&
+               inst.src[2].kind == OperandKind::Pred &&
+               validPredIndex(inst.src[2].reg) && inst.dst >= 0 &&
+               inst.dst < kMaxRegisters;
+      case Opcode::VoteAll:
+        // Warp-AND over predicate src[0] into predicate dst.
+        return inst.src[0].kind == OperandKind::Pred &&
+               validPredIndex(inst.src[0].reg) && validPredIndex(inst.dst);
+      default: {
+        // Plain ALU / mov / cvt: src[0] is always read; src[1]/src[2]
+        // only when the decode table marks them readable, and a
+        // non-readable kind there simply means "unused" (never a fault).
+        if (!readableOperand(inst.src[0]))
+            return false;
+        const Operand &b = inst.src[1];
+        if (b.kind == OperandKind::Reg &&
+            (b.reg < 0 || b.reg >= kMaxRegisters)) {
+            return false;
+        }
+        const Operand &c = inst.src[2];
+        if (c.kind == OperandKind::Reg &&
+            (c.reg < 0 || c.reg >= kMaxRegisters)) {
+            return false;
+        }
+        return inst.dst >= 0 && inst.dst < kMaxRegisters;
+      }
+    }
+}
+
+FusionResult
+analyzeFusion(const Program &program, const Cfg &cfg,
+              const UniformityResult &uniformity,
+              const LivenessResult &liveness)
+{
+    FusionResult result;
+    const std::vector<BasicBlock> &blocks = cfg.blocks();
+    result.blocks.reserve(blocks.size());
+    for (size_t id = 0; id < blocks.size(); id++) {
+        const BasicBlock &bb = blocks[id];
+        BlockFusion f;
+        f.block = static_cast<int>(id);
+        f.first = bb.first;
+        f.last = bb.last;
+        f.exit = FusionExit::BlockEnd;
+        for (uint32_t pc = bb.first; pc <= bb.last; pc++) {
+            if (!fusibleOp(program.at(pc))) {
+                f.exit = classifyExit(program.at(pc));
+                break;
+            }
+            f.fusibleOps++;
+        }
+        // A fused execution replaces >= 2 per-instruction issues;
+        // anything shorter gains nothing over the per-cycle path.
+        f.fusible = f.fusibleOps >= 2;
+        f.uniform = true;
+        for (const auto &[entry, divergent] : uniformity.divergentBlocks) {
+            if (divergent.count(f.block) > 0) {
+                f.uniform = false;
+                break;
+            }
+        }
+        for (const DeadDef &dd : liveness.deadDefs)
+            f.deadDefs += dd.block == f.block ? 1 : 0;
+        result.blocks.push_back(f);
+    }
+    return result;
+}
+
+} // namespace uksim::analysis

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fusion-legality analysis for the superblock execution engine.
+ *
+ * The block-exec engine (simt/blockexec.hpp) executes straight-line
+ * instruction runs for one warp in a single call, so an instruction may
+ * only live inside a fused run when it is provably warp-private and
+ * single-cycle: pure ALU / predicate work that touches nothing but the
+ * issuing warp's registers, raises no guest fault, and parks no warp.
+ * Memory accesses, branches, barriers, spawns, thread exits and
+ * long-latency SFU ops all end a run — they interact with shared chip
+ * state or the SIMT stack and must go through the per-instruction path.
+ *
+ * This pass classifies every CFG basic block: the length of its maximal
+ * fusible prefix, why the prefix ends, whether the block is proven
+ * warp-uniform (it lies in no divergent branch's influence region from
+ * any entry — the uniformity pass), and how many of its definitions are
+ * dead on every path (the liveness pass). The per-op predicate
+ * fusibleOp() is shared with the engine's block-table compiler so the
+ * advisory numbers here and the executable table always agree.
+ */
+
+#ifndef UKSIM_ANALYSIS_FUSION_HPP
+#define UKSIM_ANALYSIS_FUSION_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simt/analysis/liveness.hpp"
+#include "simt/analysis/uniformity.hpp"
+#include "simt/cfg.hpp"
+#include "simt/program.hpp"
+
+namespace uksim::analysis {
+
+/** Why a block's fusible prefix ends. */
+enum class FusionExit : uint8_t {
+    BlockEnd,   ///< every instruction in the block is fusible
+    Branch,     ///< Bra terminator (SIMT-stack interaction)
+    ThreadExit, ///< exit (retires lanes / warps)
+    Barrier,    ///< bar (parks the warp, releases partners)
+    Memory,     ///< Ld / St / atomic (shared state, wake-ups, faults)
+    Spawn,      ///< spawn (FIFO push, chip-level warp formation)
+    Sfu,        ///< div / rem / sqrt / rcp (multi-cycle issue latency)
+    Operand,    ///< operand shape the fused ALU path cannot prove safe
+};
+
+const char *fusionExitName(FusionExit exit);
+
+/** Fusion classification of one basic block. */
+struct BlockFusion {
+    int block = -1;
+    uint32_t first = 0;         ///< pc of the first instruction
+    uint32_t last = 0;          ///< pc of the last instruction
+    uint32_t fusibleOps = 0;    ///< maximal fusible prefix length
+    FusionExit exit = FusionExit::BlockEnd;
+    bool fusible = false;       ///< prefix long enough to fuse (>= 2 ops)
+    bool uniform = false;       ///< in no divergent influence region
+    uint32_t deadDefs = 0;      ///< dead definitions inside the block
+};
+
+struct FusionResult {
+    std::vector<BlockFusion> blocks;    ///< block-id order
+    size_t fusibleBlockCount() const;
+    size_t fusibleOpCount() const;
+};
+
+/**
+ * May this single instruction execute inside a fused run? True only for
+ * single-cycle ALU / predicate / nop work whose operand shape the
+ * per-instruction engine is guaranteed to execute without raising a
+ * guest fault or touching shared chip state.
+ */
+bool fusibleOp(const Instruction &inst);
+
+/** Classify every basic block of @p program. */
+FusionResult analyzeFusion(const Program &program, const Cfg &cfg,
+                           const UniformityResult &uniformity,
+                           const LivenessResult &liveness);
+
+} // namespace uksim::analysis
+
+#endif // UKSIM_ANALYSIS_FUSION_HPP

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Superblock block-table compiler.
+ */
+
+#include "simt/blockexec.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "simt/analysis/fusion.hpp"
+#include "simt/cfg.hpp"
+#include "simt/simd.hpp"
+
+namespace uksim {
+
+const char *
+blockExecFallbackName(BlockExecFallback f)
+{
+    switch (f) {
+      case BlockExecFallback::ShortRun:   return "short_run";
+      case BlockExecFallback::Reconverge: return "reconverge";
+      case BlockExecFallback::MultiIssue: return "multi_issue";
+      case BlockExecFallback::FillOpen:   return "fill_open";
+      case BlockExecFallback::WakeDue:    return "wake_due";
+      case BlockExecFallback::ShortSpan:  return "short_span";
+      case BlockExecFallback::Count_:     break;
+    }
+    return "?";
+}
+
+namespace {
+
+/** Mirror of the analysis façade's malformed-program gate: the Cfg
+ *  constructor asserts targets are in range, so never feed it junk. */
+bool
+cfgBuildable(const Program &prog)
+{
+    if (prog.code.empty() || prog.entryPc >= prog.code.size())
+        return false;
+    for (const MicroKernelEntry &mk : prog.microKernels)
+        if (mk.pc >= prog.code.size())
+            return false;
+    for (const Instruction &inst : prog.code) {
+        if ((inst.op == Opcode::Bra || inst.op == Opcode::Spawn) &&
+            inst.target >= prog.code.size()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+void
+BlockTable::clear()
+{
+    ops_.clear();
+    fusibleLen_.clear();
+    blocks_.clear();
+    fusibleBlocks_ = 0;
+    compileWallNs_ = 0;
+}
+
+void
+BlockTable::build(const Program &program, const DecodedProgram &decoded,
+                  const GpuConfig &config)
+{
+    clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!cfgBuildable(program))
+        return;
+
+    const Cfg cfg(program);
+    const analysis::UniformityResult uniformity =
+        analysis::analyzeUniformity(program, cfg);
+    // Dead-def counts are tooling-only; skip the liveness solve here.
+    const analysis::FusionResult fusion = analysis::analyzeFusion(
+        program, cfg, uniformity, analysis::LivenessResult{});
+
+    const size_t n = program.size();
+    ops_.resize(n);
+    fusibleLen_.assign(n, 0);
+
+    // Bind every op once: decode record plus the AVX2 shape whitelist.
+    for (uint32_t pc = 0; pc < n; pc++) {
+        const DecodedInst &d = decoded.at(pc);
+        ops_[pc].d = &d;
+        ops_[pc].simdOk = d.cls == ExecClass::Alu &&
+                          simd::aluCoverable(d, config.warpSize);
+    }
+
+    // Per-pc fusible run lengths, computed backward within each block
+    // so a warp entering mid-block (a branch target inside the block
+    // never splits blocks; entering after a reconvergence pop does
+    // happen) still gets its maximal straight-line run.
+    blocks_.reserve(cfg.blocks().size());
+    for (const analysis::BlockFusion &bf : fusion.blocks) {
+        const uint32_t first = bf.first;
+        const uint32_t last = bf.last;
+        for (uint32_t pc = last + 1; pc-- > first;) {
+            const DecodedInst &d = decoded.at(pc);
+            const bool eligible = d.issueLatency == 1 &&
+                                  analysis::fusibleOp(program.at(pc));
+            if (!eligible) {
+                fusibleLen_[pc] = 0;
+            } else {
+                const uint32_t run =
+                    pc == last ? 1u : 1u + fusibleLen_[pc + 1];
+                fusibleLen_[pc] =
+                    static_cast<uint16_t>(std::min(run, 0xffffu));
+            }
+        }
+        CompiledBlock cb;
+        cb.first = first;
+        cb.last = last;
+        cb.fusibleOps = fusibleLen_[first];
+        cb.uniform = bf.uniform;
+        blocks_.push_back(cb);
+        fusibleBlocks_ += fusibleLen_[first] >= 2 ? 1 : 0;
+    }
+
+    compileWallNs_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // namespace uksim

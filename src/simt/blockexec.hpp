@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Superblock execution engine: compiled block table.
+ *
+ * Built once per loaded program, next to the dense decode table: every
+ * CFG basic block is compiled into a linear run of pre-bound host
+ * operations (BoundOp) — the decode record resolved once, the AVX2
+ * lane-kernel whitelist consulted once, and every memory / spawn /
+ * barrier / branch / exit / SFU instruction marked as a trace-exit
+ * point by ending the fusible run. At issue time the SM consults
+ * fusibleLen(pc): the number of consecutive fusible ops starting at pc
+ * (capped at the enclosing basic block's end), which is what
+ * Sm::planBlockSpan() uses to execute a whole straight-line run for one
+ * warp in a single call (see Sm::runCarrySpan and DESIGN.md
+ * "Superblock execution engine").
+ *
+ * The table is immutable after build() and shared read-only by all SMs,
+ * so it is safe to consult from the parallel phase of the cycle engine.
+ */
+
+#ifndef UKSIM_SIMT_BLOCKEXEC_HPP
+#define UKSIM_SIMT_BLOCKEXEC_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simt/config.hpp"
+#include "simt/decode.hpp"
+#include "simt/program.hpp"
+
+namespace uksim {
+
+/**
+ * Why a block-exec span could not start (or was cut short) at a cycle
+ * where the engine probed for one. Exposed as the blockexec.fallback.*
+ * trace counters; purely diagnostic, never part of SimStats.
+ */
+enum class BlockExecFallback : uint8_t {
+    ShortRun,   ///< fusible run at the warp's pc shorter than 2 ops
+    Reconverge, ///< a reconvergence pop would land inside the run
+    MultiIssue, ///< another warp could issue the same cycle (round-robin)
+    FillOpen,   ///< a warp placement (grid / FIFO / flush) is possible
+    WakeDue,    ///< a memory wake-up is due before 2 cycles pass
+    ShortSpan,  ///< chip-wide span clamped below 2 cycles
+    Count_,
+};
+constexpr size_t kNumBlockExecFallbacks =
+    static_cast<size_t>(BlockExecFallback::Count_);
+
+const char *blockExecFallbackName(BlockExecFallback f);
+
+/** One pre-bound host operation of a compiled superblock trace. */
+struct BoundOp {
+    const DecodedInst *d = nullptr;
+    bool simdOk = false;    ///< simd::warpAlu covers this shape
+};
+
+/** Compile-time summary of one basic block (stats / tooling). */
+struct CompiledBlock {
+    uint32_t first = 0;
+    uint32_t last = 0;
+    uint16_t fusibleOps = 0;    ///< maximal fusible prefix length
+    bool uniform = false;       ///< in no divergent influence region
+};
+
+/** The compiled block table of one loaded program. */
+class BlockTable
+{
+  public:
+    /**
+     * Compile @p program. @p program and @p decoded must outlive this
+     * object and must not be mutated afterwards. Malformed programs
+     * (out-of-range branch targets, empty code) leave the table empty —
+     * the engine then falls back to per-instruction stepping.
+     */
+    void build(const Program &program, const DecodedProgram &decoded,
+               const GpuConfig &config);
+
+    void clear();
+
+    bool empty() const { return ops_.empty(); }
+
+    /**
+     * Number of consecutive fusible ops starting at @p pc, capped at
+     * the enclosing basic block's last instruction. 0 when the op at
+     * @p pc cannot run inside a fused span.
+     */
+    uint16_t fusibleLen(uint32_t pc) const { return fusibleLen_[pc]; }
+
+    const BoundOp &op(uint32_t pc) const { return ops_[pc]; }
+
+    const std::vector<CompiledBlock> &blocks() const { return blocks_; }
+
+    // Compile statistics (engine-side: never part of SimStats).
+    uint64_t blocksCompiled() const { return blocks_.size(); }
+    uint64_t fusibleBlocks() const { return fusibleBlocks_; }
+    uint64_t compileWallNs() const { return compileWallNs_; }
+
+  private:
+    std::vector<BoundOp> ops_;          ///< dense, one per pc
+    std::vector<uint16_t> fusibleLen_;  ///< dense, one per pc
+    std::vector<CompiledBlock> blocks_;
+    uint64_t fusibleBlocks_ = 0;
+    uint64_t compileWallNs_ = 0;
+};
+
+} // namespace uksim
+
+#endif // UKSIM_SIMT_BLOCKEXEC_HPP

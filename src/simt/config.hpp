@@ -122,6 +122,26 @@ struct GpuConfig {
      */
     bool epochEngine = true;
 
+    /**
+     * Superblock execution engine (simulator speed knob, not a modelled
+     * quantity). At program load every CFG basic block is compiled into
+     * a linear run of pre-resolved host operations (decode table
+     * consulted once, SIMD eligibility precomputed, memory / spawn /
+     * barrier / branch ops marked as trace-exit points). At issue time,
+     * when exactly one warp can issue and its next instructions form a
+     * fusible straight-line run, the engine executes the whole run in
+     * one call — bulk-accounting cycles, stall attribution and
+     * per-window statistics exactly as the per-cycle path would — and
+     * bulk-accounts provably idle stretches the same way when the
+     * fast-forward engine is off. Every SimStats observable is
+     * bit-identical to the per-instruction engine at any host thread
+     * count, with fastForward / epochEngine on or off (DESIGN.md
+     * "Superblock execution engine"). Falls back to per-instruction
+     * stepping when watchdogCycles > 0 or the program has no compiled
+     * block table. Overridable at run time via UKSIM_BLOCKEXEC=0/1|off|on.
+     */
+    bool blockExec = true;
+
     // --- Fault handling (fault.hpp) -----------------------------------------
     /// What applying a guest fault does: Throw (legacy, default), Trap
     /// (kill the warp, mark the run Faulted, keep going) or HaltGrid.
@@ -151,8 +171,13 @@ struct GpuConfig {
      * modelled quantity). 1 = serial. With N > 1 the SMs are sharded
      * across N threads per cycle; results are bit-identical to the
      * serial engine at any thread count (DESIGN.md "Parallel cycle
-     * engine"). Overridable at run time via UKSIM_THREADS; clamped to
-     * [1, numSms].
+     * engine"). Overridable at run time via UKSIM_THREADS: a number
+     * requests exactly that many threads (oversubscription allowed, for
+     * the determinism test matrix), "auto" requests one thread per host
+     * core. Without a numeric override the configured value is clamped
+     * to std::thread::hardware_concurrency() — oversubscribing a small
+     * host only adds scheduling noise, never changes results. Always
+     * clamped to [1, numSms].
      */
     int hostThreads = 1;
 

@@ -161,6 +161,31 @@ Gpu::epochAdvanceLane(int k, uint64_t horizon)
                 lane.localCycle = target;
                 continue;
             }
+
+            // (c2) Superblock carry: something is issuable right now.
+            // When exactly one warp runs a fused straight-line span and
+            // every other warp sleeps past it, execute the whole run in
+            // one call — same frozen-fill-inputs argument as the idle
+            // skip above, and the SM's own wake-ups bound the span so
+            // parked warps stay parked throughout. SM-local through
+            // and through, so the parallel phase may do it.
+            if (blockExecActive_) {
+                const Sm::BlockSpanPlan plan = sm.planBlockSpan(c);
+                if (plan.kind == Sm::BlockSpanPlan::Kind::Carry) {
+                    uint64_t lim = std::min(plan.limit, horizon - c);
+                    if (!wake.empty())
+                        lim = std::min(lim, wake.top().cycle - c);
+                    if (lim >= 2) {
+                        sm.runCarrySpan(plan, c, lim);
+                        lane.localCycle = c + lim;
+                        continue;
+                    }
+                    sm.recordBlockExecFallback(
+                        BlockExecFallback::ShortSpan);
+                } else if (plan.kind == Sm::BlockSpanPlan::Kind::Busy) {
+                    sm.recordBlockExecFallback(plan.fallback);
+                }
+            }
         }
 
         // (d) Step this cycle, then capture any deferred global/local

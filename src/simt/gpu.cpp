@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "simt/verifier.hpp"
 
@@ -19,19 +20,34 @@ namespace uksim {
 namespace {
 
 /**
- * Resolve the host thread count: config value, overridden by
- * UKSIM_THREADS when set, clamped to [1, numSms] (more shards than SMs
- * cannot help, and the determinism contract only needs >= 1).
+ * Resolve the host thread count. A numeric UKSIM_THREADS is an explicit
+ * request honored as-is (the determinism test matrix deliberately
+ * oversubscribes small hosts); UKSIM_THREADS=auto asks for one shard
+ * per hardware core; with no override the config value is additionally
+ * clamped to the core count, since oversubscribing the worker pool only
+ * adds contention (results are bit-identical at any count either way).
+ * Always clamped to [1, numSms]: more shards than SMs cannot help.
  */
 int
 resolveHostThreads(const GpuConfig &config)
 {
+    const unsigned hw = std::thread::hardware_concurrency();
     int threads = config.hostThreads;
+    bool explicitCount = false;
     if (const char *env = std::getenv("UKSIM_THREADS")) {
-        int v = std::atoi(env);
-        if (v > 0)
-            threads = v;
+        if (std::string(env) == "auto") {
+            if (hw > 0)
+                threads = static_cast<int>(hw);
+        } else {
+            int v = std::atoi(env);
+            if (v > 0) {
+                threads = v;
+                explicitCount = true;
+            }
+        }
     }
+    if (!explicitCount && hw > 0)
+        threads = std::min(threads, static_cast<int>(hw));
     return std::clamp(threads, 1, std::max(1, config.numSms));
 }
 
@@ -72,6 +88,24 @@ resolveEpochs(const GpuConfig &config)
     return enabled;
 }
 
+/**
+ * Resolve the superblock-engine switch: config value, overridden by
+ * UKSIM_BLOCKEXEC when set (same accepted spellings as UKSIM_FASTFWD).
+ */
+bool
+resolveBlockExec(const GpuConfig &config)
+{
+    bool enabled = config.blockExec;
+    if (const char *env = std::getenv("UKSIM_BLOCKEXEC")) {
+        std::string v(env);
+        if (v == "1" || v == "on" || v == "true")
+            enabled = true;
+        else if (v == "0" || v == "off" || v == "false")
+            enabled = false;
+    }
+    return enabled;
+}
+
 } // anonymous namespace
 
 Gpu::Gpu(GpuConfig config)
@@ -97,6 +131,7 @@ Gpu::Gpu(GpuConfig config)
     // epoch engine runs serially at threads=1 too, so runs at different
     // thread counts always agree on every engine-visible decision.
     epochs_ = resolveEpochs(config_);
+    blockExec_ = resolveBlockExec(config_);
     wakeups_.resize(std::max(1, config_.numSms));
     if (hostThreads_ > 1) {
         pool_ = std::make_unique<WorkerPool>(hostThreads_);
@@ -185,11 +220,20 @@ Gpu::loadProgram(Program program)
     decoded_.build(program_, config_);
     occupancy_ = computeOccupancy(config_, program_);
 
+    // Superblock compile: once per program, next to the decode table.
+    // With the switch off the table stays empty and the SMs keep a null
+    // pointer, so the per-cycle engines never see the feature at all.
+    blockTable_.clear();
+    if (blockExec_)
+        blockTable_.build(program_, decoded_, config_);
+
     sms_.clear();
     for (int i = 0; i < config_.numSms; i++) {
         sms_.push_back(
             std::make_unique<Sm>(i, config_, program_, decoded_, *this));
         sms_.back()->configureOccupancy(occupancy_.warpsPerSm);
+        sms_.back()->setBlockTable(blockTable_.empty() ? nullptr
+                                                       : &blockTable_);
     }
 
     // Local memory is addressed by (sm, hardware thread slot).
@@ -212,6 +256,11 @@ Gpu::loadProgram(Program program)
     lanes_.assign(config_.numSms, EpochLane{});
     epochStats_ = EpochStats{};
     dramCapture_.clear();
+
+    // Fresh block-exec state.
+    blockPlans_.assign(config_.numSms, Sm::BlockSpanPlan{});
+    blockExecChip_ = BlockExecStats{};
+    blockExecActive_ = false;
 }
 
 uint32_t
@@ -538,6 +587,96 @@ Gpu::fastForwardIdleSpan()
     cycle_ = target;
 }
 
+bool
+Gpu::blockExecEligible() const
+{
+    // The watchdog's chip-global per-cycle progress count is exact only
+    // under per-cycle stepping; an empty table means the program never
+    // compiled (switch off or malformed), so there is nothing to fuse.
+    return blockExec_ && config_.watchdogCycles == 0 &&
+           !blockTable_.empty();
+}
+
+bool
+Gpu::blockExecSpan(uint64_t stop)
+{
+    // A wake-up due this cycle must be delivered by the per-cycle
+    // coordinator; later ones bound the span (delivery cycles stay
+    // outside it, so every warp sleeping on one stays parked throughout).
+    uint64_t span = stop - cycle_;
+    for (const WakeQueue &q : wakeups_) {
+        if (q.empty())
+            continue;
+        if (q.top().cycle <= cycle_) {
+            blockExecChip_
+                .fallbacks[size_t(BlockExecFallback::WakeDue)]++;
+            return false;
+        }
+        span = std::min(span, q.top().cycle - cycle_);
+    }
+
+    bool anyCarry = false;
+    for (size_t k = 0; k < sms_.size(); k++) {
+        blockPlans_[k] = sms_[k]->planBlockSpan(cycle_);
+        const Sm::BlockSpanPlan &p = blockPlans_[k];
+        if (p.kind == Sm::BlockSpanPlan::Kind::Busy) {
+            sms_[k]->recordBlockExecFallback(p.fallback);
+            return false;
+        }
+        anyCarry |= p.kind == Sm::BlockSpanPlan::Kind::Carry;
+        span = std::min(span, p.limit);
+    }
+    // Pure-idle spans belong to the fast-forward layer when it is on:
+    // taking them here would change its engine counters (and the dumps
+    // embedding them) relative to block-exec-off runs. No fallback is
+    // recorded — an idle chip has no fusion opportunity to miss.
+    if (!anyCarry && fastForward_)
+        return false;
+    if (span < 2) {
+        blockExecChip_.fallbacks[size_t(BlockExecFallback::ShortSpan)]++;
+        return false;
+    }
+
+    // Commit: carrying SMs execute their fused runs, inert SMs
+    // bulk-account the idle span, in SM-id order; the buffered trace
+    // events then splice in lockstep (cycle, SM-id) order (the DRAM
+    // capture list is empty outside epochs, so the epoch merge routine
+    // does exactly the per-cycle drain's work here).
+    for (size_t k = 0; k < sms_.size(); k++) {
+        if (blockPlans_[k].kind == Sm::BlockSpanPlan::Kind::Carry)
+            sms_[k]->runCarrySpan(blockPlans_[k], cycle_, span);
+        else
+            sms_[k]->skipCycles(cycle_, span);
+    }
+    mergeEpochTrace();
+    cycle_ += span;
+
+    blockExecChip_.spans++;
+    blockExecChip_.largestSpan =
+        std::max(blockExecChip_.largestSpan, span);
+    if (!anyCarry)
+        blockExecChip_.idleCyclesSkipped += span;
+    return true;
+}
+
+const BlockExecStats &
+Gpu::blockExecStats() const
+{
+    BlockExecStats merged = blockExecChip_;
+    merged.blocksCompiled = blockTable_.blocksCompiled();
+    merged.fusibleBlocks = blockTable_.fusibleBlocks();
+    merged.compileWallNs = blockTable_.compileWallNs();
+    for (const auto &sm : sms_) {
+        const Sm::BlockExecCounters &c = sm->blockExecCounters();
+        merged.fusedRuns += c.fusedRuns;
+        merged.fusedOps += c.fusedOps;
+        for (size_t i = 0; i < kNumBlockExecFallbacks; i++)
+            merged.fallbacks[i] += c.fallbacks[i];
+    }
+    blockExecView_ = merged;
+    return blockExecView_;
+}
+
 void
 Gpu::processFaultsAt(uint64_t cycle)
 {
@@ -581,6 +720,10 @@ Gpu::runUntil(uint64_t stopCycle)
     // are outside the identity contract by design.
     runStop_ = stopCycle;
     const uint64_t stop = std::min(stopCycle, config_.maxCycles);
+    // Latched once per runUntil so every engine-visible decision inside
+    // the run sees one consistent value (the epoch engine's parallel
+    // lanes read it for the per-lane carry shortcut).
+    blockExecActive_ = blockExecEligible();
     if (epochEligible()) {
         // Epoch engine: one synchronization per conservative lookahead
         // window instead of three per cycle (epoch.cpp). Bit-identical
@@ -593,6 +736,12 @@ Gpu::runUntil(uint64_t stopCycle)
     } else {
         while (cycle_ < stop && !finished() && !haltRequested_ &&
                !deadlocked_) {
+            // Superblock engine first: when the whole chip is provably
+            // inert or carrying fused straight-line runs, one call
+            // covers a multi-cycle span with identical observables;
+            // otherwise fall through to the per-cycle engine.
+            if (blockExecActive_ && blockExecSpan(stop))
+                continue;
             stepCycle();
         }
     }

@@ -19,6 +19,7 @@
 #ifndef UKSIM_SIMT_GPU_HPP
 #define UKSIM_SIMT_GPU_HPP
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -73,6 +74,31 @@ struct EpochStats {
     uint64_t mergeWallNs = 0;       ///< serial round/replay/commit phase
 };
 
+/**
+ * Engine-side counters for the superblock execution engine. Same
+ * placement rationale as FastForwardStats / EpochStats: these describe
+ * how the engine covered the run, not the simulated machine, and are
+ * not part of the bit-identity contract — though unlike the wall
+ * times in EpochStats, every counter here is deterministic at any host
+ * thread count (per-SM counters are SM-local; chip-level counters
+ * accumulate in the serial phase). Exported through the trace counter
+ * registry as blockexec.* and by bench_simspeed.
+ */
+struct BlockExecStats {
+    // Compile phase (BlockTable::build, once per loadProgram).
+    uint64_t blocksCompiled = 0;    ///< basic blocks in the table
+    uint64_t fusibleBlocks = 0;     ///< blocks opening with a >=2-op run
+    uint64_t compileWallNs = 0;     ///< table build wall time
+    // Execution phase.
+    uint64_t spans = 0;             ///< chip-level spans committed (lockstep)
+    uint64_t largestSpan = 0;       ///< longest chip-level span, in cycles
+    uint64_t idleCyclesSkipped = 0; ///< cycles covered by pure-idle spans
+    uint64_t fusedRuns = 0;         ///< per-warp fused executions
+    uint64_t fusedOps = 0;          ///< ops issued inside fused runs
+    /// Probe-failure histogram, indexed by BlockExecFallback.
+    std::array<uint64_t, kNumBlockExecFallbacks> fallbacks{};
+};
+
 /** Occupancy derived from a program's resource declarations. */
 struct Occupancy {
     int warpsPerSm = 0;
@@ -118,6 +144,28 @@ class Gpu : public SmServices
 
     /** Epoch engine counters (zeros when the engine never ran). */
     const EpochStats &epochStats() const { return epochStats_; }
+
+    /** Resolved block-exec switch (config + UKSIM_BLOCKEXEC override). */
+    bool blockExecEnabled() const { return blockExec_; }
+
+    /**
+     * The run loop actually uses the superblock engine: the switch is
+     * on, the watchdog is off (its chip-global per-cycle progress count
+     * is exact only under per-cycle stepping), and the loaded program
+     * compiled to a non-empty block table. Composes freely with the
+     * fast-forward layer and the epoch engine.
+     */
+    bool blockExecEligible() const;
+
+    /**
+     * Superblock engine counters, merged on demand from the compile
+     * table, the chip-level span accounting and the per-SM counters.
+     * Deterministic at any host thread count (except compileWallNs).
+     */
+    const BlockExecStats &blockExecStats() const;
+
+    /** Compiled block table of the loaded program (tests / tools). */
+    const BlockTable &blockTable() const { return blockTable_; }
 
     /**
      * Conservative lower bound on the distance (in cycles) between a
@@ -291,6 +339,19 @@ class Gpu : public SmServices
      * is bit-identical to naive stepping.
      */
     void fastForwardIdleSpan();
+    /**
+     * Superblock engine probe (lockstep loop only): plan a span over
+     * all SMs at cycle_, and when every SM is either provably idle or
+     * carrying a fused straight-line run — with no wake-up, fill or
+     * multi-warp arbitration inside it — execute the whole span at
+     * once (runCarrySpan / skipCycles per SM, trace merged in lockstep
+     * order) and advance the clock. Returns false (with the machine
+     * untouched) when the per-cycle engine must run instead. Pure-idle
+     * spans are taken only when fast-forward is off: the fast-forward
+     * layer owns them otherwise, keeping its engine counters (and the
+     * dumps that embed them) identical to block-exec-off runs.
+     */
+    bool blockExecSpan(uint64_t stop);
     void refreshStats() const;
     /**
      * Serial-phase fault pass: collect queued faults in SM-id order and
@@ -387,6 +448,19 @@ class Gpu : public SmServices
     /// Pause boundary of the active runUntil (UINT64_MAX outside one):
     /// fast-forward jumps may not overshoot it.
     uint64_t runStop_ = UINT64_MAX;
+
+    // --- Superblock engine (config.blockExec / UKSIM_BLOCKEXEC) ------------
+    bool blockExec_ = true;         ///< resolved switch
+    /// blockExecEligible() latched at runUntil entry; the epoch engine's
+    /// parallel lanes read it for the per-lane carry shortcut.
+    bool blockExecActive_ = false;
+    BlockTable blockTable_;         ///< compiled table of the loaded program
+    /// Per-SM plans of the span being probed (reused, no per-probe alloc).
+    std::vector<Sm::BlockSpanPlan> blockPlans_;
+    /// Chip-level accumulators (serial phase only); the per-SM and
+    /// compile-phase fields stay zero here and merge in blockExecStats().
+    BlockExecStats blockExecChip_;
+    mutable BlockExecStats blockExecView_;
 
     // --- Epoch engine (config.epochEngine / UKSIM_EPOCHS) ------------------
     bool epochs_ = true;            ///< resolved switch

@@ -323,4 +323,10 @@ warpAlu(const DecodedInst &d, uint32_t *regs, int baseSlot,
 #endif
 }
 
+bool
+aluCoverable(const DecodedInst &d, int warpSize)
+{
+    return aluShapeSupported(d, warpSize);
+}
+
 } // namespace uksim::simd

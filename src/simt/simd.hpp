@@ -59,4 +59,14 @@ uint64_t predLaneMask(const uint8_t *preds, int baseSlot, int pred,
 bool warpAlu(const DecodedInst &d, uint32_t *regs, int baseSlot,
              uint64_t commitMask, int warpSize);
 
+/**
+ * Pure shape test: true when warpAlu() covers this instruction
+ * (operand kinds, opcode/type whitelist, warp size). Does not consult
+ * enabled() or the host CPU — the block-exec compiler uses it to
+ * precompute per-op SIMD eligibility once per program; whether the
+ * vector body actually runs still depends on enabled() and the build
+ * target at execution time.
+ */
+bool aluCoverable(const DecodedInst &d, int warpSize);
+
 } // namespace uksim::simd

@@ -40,6 +40,19 @@ SimtStack::advance()
 }
 
 void
+SimtStack::advanceBy(uint32_t n)
+{
+    assert(!entries_.empty());
+    StackEntry &top = entries_.back();
+    // No intermediate pc may hit the reconvergence point: the caller
+    // proved pc + n stays strictly below rpc (or pc is already past it).
+    assert(top.rpc == kNoReconverge || top.pc >= top.rpc ||
+           top.pc + n < top.rpc);
+    top.pc += n;
+    normalize();
+}
+
+void
 SimtStack::branch(uint64_t takenMask, uint32_t targetPc,
                   uint32_t reconvergePc)
 {

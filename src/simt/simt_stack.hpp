@@ -51,6 +51,15 @@ class SimtStack
     void advance();
 
     /**
+     * Bulk advance: step past @p n non-control-flow instructions in one
+     * call. Only legal when the caller has proven no intermediate pc
+     * lands on the top entry's reconvergence point (the block-exec
+     * engine clamps fused runs below the rpc for exactly this reason) —
+     * then the result is identical to @p n advance() calls.
+     */
+    void advanceBy(uint32_t n);
+
+    /**
      * Resolve a (possibly divergent) branch executed at pc().
      *
      * @param takenMask subset of activeMask() whose predicate held.

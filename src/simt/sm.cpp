@@ -547,16 +547,24 @@ Sm::execAlu(Warp &w, const DecodedInst &d, uint64_t commitMask)
                           config_.warpSize)) {
             break;
         }
-        for (uint64_t m = commitMask; m; m &= m - 1) {
-            const int lane = std::countr_zero(m);
-            const uint32_t a = readOperand(inst.src[0], w, lane);
-            const uint32_t b =
-                d.readsB ? readOperand(inst.src[1], w, lane) : 0;
-            const uint32_t c =
-                d.readsC ? readOperand(inst.src[2], w, lane) : 0;
-            writeReg(base + lane, inst.dst, evalAlu(inst, a, b, c));
-        }
+        scalarAlu(w, d, commitMask);
         break;
+    }
+}
+
+void
+Sm::scalarAlu(Warp &w, const DecodedInst &d, uint64_t commitMask)
+{
+    const Instruction &inst = *d.inst;
+    const int base = w.hwSlot * config_.warpSize;
+    for (uint64_t m = commitMask; m; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        const uint32_t a = readOperand(inst.src[0], w, lane);
+        const uint32_t b =
+            d.readsB ? readOperand(inst.src[1], w, lane) : 0;
+        const uint32_t c =
+            d.readsC ? readOperand(inst.src[2], w, lane) : 0;
+        writeReg(base + lane, inst.dst, evalAlu(inst, a, b, c));
     }
 }
 
@@ -1186,6 +1194,215 @@ Sm::skipCycles(uint64_t fromCycle, uint64_t count)
                                     : classifyIdle();
     localStats_.stall.record(reason, count);
     localStats_.recordIdleSpan(fromCycle, count);
+}
+
+Sm::BlockSpanPlan
+Sm::planBlockSpan(uint64_t now) const
+{
+    // The probe runs between cycles: the same-cycle memory hand-off and
+    // this cycle's faults are always drained by then (the epoch engine
+    // parks before probing otherwise).
+    assert(pendingMem_.inst == nullptr && pendingFaults_.empty());
+    BlockSpanPlan plan;
+
+    // Mirror fillSm's priority chain: any placement the chip could make
+    // this cycle (FIFO pop, grid launch, drain flush) voids the span.
+    // The grid-launch arm over-approximates — a launch still gated on
+    // spawn-state slots reports FillOpen too — which only costs a
+    // fallback, never correctness.
+    if (freeWarpSlots() > 0) {
+        const bool fifoPop = spawnEnabled() && !spawnUnit_->fifoEmpty();
+        const bool drainFlush = spawnEnabled() && liveWarps() == 0 &&
+                                spawnUnit_->hasPartialWarps();
+        if (fifoPop || !services_.gridExhausted() || drainFlush) {
+            plan.fallback = BlockExecFallback::FillOpen;
+            return plan;
+        }
+    }
+
+    if (warps_.empty()) {
+        plan.kind = BlockSpanPlan::Kind::Idle;
+        return plan;
+    }
+    if (issueBlockedUntil_ > now) {
+        // Bank-conflict gate: idle with a constant stall reason until it
+        // lapses (the classification flips at expiry — never skip past).
+        plan.kind = BlockSpanPlan::Kind::Idle;
+        plan.limit = issueBlockedUntil_ - now;
+        return plan;
+    }
+
+    // Round-robin scan, mirroring step(): the first issuable warp in
+    // cursor order is the one the per-cycle engine would pick.
+    const int n = residentWarps();
+    int carrySlot = -1;
+    for (int i = 0; i < n && carrySlot < 0; i++) {
+        const int slot = (rrCursor_ + i) % n;
+        if (warps_[slot].issuable(now))
+            carrySlot = slot;
+    }
+    if (carrySlot < 0) {
+        // Nothing issuable: provably idle until the next local event
+        // (nextEventCycle > now here — an at-now ready time would have
+        // made the warp issuable, and the gate already lapsed).
+        plan.kind = BlockSpanPlan::Kind::Idle;
+        const uint64_t next = nextEventCycle(now);
+        plan.limit = next == UINT64_MAX ? UINT64_MAX : next - now;
+        return plan;
+    }
+
+    const Warp &w = warps_[carrySlot];
+    const uint32_t pc = w.stack.pc();
+    if (pc >= decoded_.size()) {
+        // Poisoned pc: the per-cycle path raises PcOutOfRange.
+        plan.fallback = BlockExecFallback::ShortRun;
+        return plan;
+    }
+    uint64_t run = blockTable_->fusibleLen(pc);
+    if (run < 2) {
+        plan.fallback = BlockExecFallback::ShortRun;
+        return plan;
+    }
+    // Clamp strictly below the reconvergence pc: the pop at pc == rpc
+    // widens the active mask and must go through the per-cycle path.
+    // When rpc <= pc the pc only moves away from it — no clamp needed.
+    const uint32_t rpc = w.stack.entries().back().rpc;
+    if (rpc != SimtStack::kNoReconverge && rpc > pc) {
+        run = std::min(run, uint64_t(rpc - 1 - pc));
+        if (run < 2) {
+            plan.fallback = BlockExecFallback::Reconverge;
+            return plan;
+        }
+    }
+
+    // Every other non-parked warp must sleep past the whole span, or
+    // the round-robin arbitration becomes cycle-accurate work again.
+    // Parked warps (fault freeze, barrier, off-chip wait) wake only via
+    // external events, which the chip-level planner bounds separately.
+    uint64_t limit = run;
+    for (int slot = 0; slot < n; slot++) {
+        if (slot == carrySlot)
+            continue;
+        const Warp &o = warps_[slot];
+        if (!o.valid || o.faulted || o.waitingBarrier ||
+            o.outstandingMem > 0 || o.stack.empty()) {
+            continue;
+        }
+        if (o.readyAt <= now + 1) {
+            plan.fallback = BlockExecFallback::MultiIssue;
+            return plan;
+        }
+        limit = std::min(limit, o.readyAt - now);
+    }
+    if (limit < 2) {
+        plan.fallback = BlockExecFallback::MultiIssue;
+        return plan;
+    }
+
+    plan.kind = BlockSpanPlan::Kind::Carry;
+    plan.warpSlot = carrySlot;
+    plan.limit = limit;
+    return plan;
+}
+
+void
+Sm::runCarrySpan(const BlockSpanPlan &plan, uint64_t now, uint64_t span)
+{
+    assert(plan.kind == BlockSpanPlan::Kind::Carry);
+    assert(span >= 1 && span <= plan.limit);
+    assert(blockTable_ != nullptr);
+    Warp &w = warps_[plan.warpSlot];
+    assert(w.issuable(now));
+
+    touchIdleScan();
+    const int base = w.hwSlot * config_.warpSize;
+    const uint64_t mask = w.stack.activeMask();
+    const int active = popcount(mask);
+    uint32_t pc = w.stack.pc();
+
+    for (uint64_t k = 0; k < span; k++, pc++) {
+        const uint64_t c = now + k;
+        const DecodedInst &d = *blockTable_->op(pc).d;
+
+        // Per-cycle bookkeeping, exactly as step() + issue() would do
+        // it. The active mask is span-constant (no stack pops inside a
+        // fused run), but guard predicates are not — a SetP may write a
+        // later op's guard — so the commit mask is evaluated per op.
+        recordStall(trace::StallReason::Issued);
+        localStats_.recordIssue(c, active);
+        traceBuf_.record(trace::EventKind::Issue, c, id_, w.hwSlot, pc,
+                         uint64_t(active), 1);
+
+        uint64_t commitMask = mask;
+        if (d.guardPred >= 0) {
+            if (simd::enabled()) {
+                const uint64_t pm = simd::predLaneMask(
+                    preds_.data(), base, d.guardPred, config_.warpSize);
+                commitMask = mask & (d.guardNegated ? ~pm : pm);
+            } else {
+                commitMask = 0;
+                for (uint64_t m = mask; m; m &= m - 1) {
+                    const int lane = std::countr_zero(m);
+                    bool p = readPred(base + lane, d.guardPred);
+                    if (p != d.guardNegated)
+                        commitMask |= uint64_t{1} << lane;
+                }
+            }
+        }
+        localStats_.committedLaneInstructions += popcount(commitMask);
+
+        switch (d.cls) {
+          case ExecClass::VoteAll: {
+            // Same warp-wide AND as issue(): over the *active* lanes.
+            const int srcPred = d.inst->src[0].reg;
+            bool all = true;
+            if (simd::enabled()) {
+                const uint64_t pm = simd::predLaneMask(
+                    preds_.data(), base, srcPred, config_.warpSize);
+                all = (mask & pm) == mask;
+            } else {
+                for (uint64_t m = mask; m; m &= m - 1) {
+                    if (!readPred(base + std::countr_zero(m), srcPred)) {
+                        all = false;
+                        break;
+                    }
+                }
+            }
+            for (uint64_t m = mask; m; m &= m - 1)
+                writePred(base + std::countr_zero(m), d.inst->dst, all);
+            break;
+          }
+          case ExecClass::Nop:
+            break;
+          case ExecClass::SetP:
+          case ExecClass::SelP:
+            execAlu(w, d, commitMask);
+            break;
+          default:
+            // The compile-time whitelist replaces warpAlu's per-issue
+            // shape walk; a rejected shape goes straight to the scalar
+            // lane loop.
+            if (!(simd::enabled() && blockTable_->op(pc).simdOk &&
+                  simd::warpAlu(d, regs_.data(), base, commitMask,
+                                config_.warpSize))) {
+                scalarAlu(w, d, commitMask);
+            }
+            break;
+        }
+    }
+
+    // Span epilogue: the per-op effects the loop did not need. Every
+    // fused op has issueLatency 1, so readyAt lands one past the last
+    // issue; the stack pops no entries mid-span (plan clamped below the
+    // rpc), so one bulk advance is exact; the cursor ends one past the
+    // carrying slot, as the last per-cycle issue would have left it.
+    w.readyAt = now + span;
+    w.stack.advanceBy(static_cast<uint32_t>(span));
+    rrCursor_ = (plan.warpSlot + 1) % residentWarps();
+    issuedLastStep_ = true;
+
+    blockExecCounters_.fusedRuns++;
+    blockExecCounters_.fusedOps += span;
 }
 
 } // namespace uksim

@@ -30,6 +30,7 @@
 #ifndef UKSIM_SIMT_SM_HPP
 #define UKSIM_SIMT_SM_HPP
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -40,6 +41,7 @@
 #include "mem/dram.hpp"
 #include "mem/rocache.hpp"
 #include "mem/store.hpp"
+#include "simt/blockexec.hpp"
 #include "simt/config.hpp"
 #include "simt/decode.hpp"
 #include "simt/program.hpp"
@@ -206,6 +208,70 @@ class Sm
     /** Off-chip access completion callback. */
     void memWakeup(int warpSlot, uint64_t now);
 
+    // --- Superblock execution engine (blockexec.hpp) ------------------------
+    // The engine probes each SM for a multi-cycle span during which the
+    // per-cycle machinery is provably redundant: either the SM is inert
+    // (Idle — skipCycles covers it) or exactly one warp executes a
+    // compiled straight-line run of fusible ALU ops while every other
+    // warp sleeps past the span (Carry — runCarrySpan covers it).
+    // planBlockSpan is const and touches only SM-local plus read-only
+    // chip state, so the epoch engine may call it from the parallel
+    // phase; runCarrySpan has the same threading contract as step().
+
+    /** Outcome of one block-exec probe (see Gpu::blockExecSpan). */
+    struct BlockSpanPlan {
+        enum class Kind : uint8_t {
+            Busy,   ///< must fall back to per-cycle stepping
+            Carry,  ///< one warp runs a fused span, the rest sleep
+            Idle,   ///< provably idle until limit (skipCycles territory)
+        };
+        Kind kind = Kind::Busy;
+        int warpSlot = -1;          ///< carrying warp slot (Carry only)
+        /// Maximum span length in cycles this SM allows (Carry: also the
+        /// number of fused ops — one issues per cycle). UINT64_MAX when
+        /// nothing local ever bounds it (chip events still clamp).
+        uint64_t limit = UINT64_MAX;
+        /// Why the probe failed (Busy only).
+        BlockExecFallback fallback = BlockExecFallback::ShortRun;
+    };
+
+    /** Compiled block table of the loaded program (nullptr = engine off). */
+    void setBlockTable(const BlockTable *table) { blockTable_ = table; }
+
+    /**
+     * Probe for a block-exec span starting at @p now. Requires the
+     * coordinator state to be drained (no pending faults or same-cycle
+     * memory hand-off) and a block table to be set when it returns
+     * Carry. Read-only: never mutates SM state.
+     */
+    BlockSpanPlan planBlockSpan(uint64_t now) const;
+
+    /**
+     * Execute @p span cycles of the planned carry run: issue one fused
+     * ALU op of the carrying warp per cycle with exactly the per-cycle
+     * engine's bookkeeping (stall attribution, occupancy windows, trace
+     * Issue events, per-op guard evaluation), then bulk-advance the
+     * SIMT stack. @p span must be at most plan.limit.
+     */
+    void runCarrySpan(const BlockSpanPlan &plan, uint64_t now,
+                      uint64_t span);
+
+    /** Per-SM engine counters (deterministic at any thread count). */
+    struct BlockExecCounters {
+        uint64_t fusedRuns = 0;     ///< carry spans executed
+        uint64_t fusedOps = 0;      ///< ops issued inside carry spans
+        std::array<uint64_t, kNumBlockExecFallbacks> fallbacks{};
+    };
+    const BlockExecCounters &blockExecCounters() const
+    {
+        return blockExecCounters_;
+    }
+    /** Attribute one failed probe (coordinator or own-lane phase only). */
+    void recordBlockExecFallback(BlockExecFallback f)
+    {
+        blockExecCounters_.fallbacks[static_cast<size_t>(f)]++;
+    }
+
     // --- Guest-fault trap path (fault.hpp) ----------------------------------
     // Faults detected during step() are queued SM-locally (the faulting
     // warp is frozen via Warp::faulted) and collected by the coordinator
@@ -312,6 +378,8 @@ class Sm
 
     void issue(Warp &w, uint64_t now);
     void execAlu(Warp &w, const DecodedInst &d, uint64_t commitMask);
+    /** Scalar lane loop of the default (register-writing) ALU class. */
+    void scalarAlu(Warp &w, const DecodedInst &d, uint64_t commitMask);
     void execMemory(Warp &w, const DecodedInst &d, uint64_t commitMask,
                     uint64_t now);
     void execOnChipMemory(Warp &w, const Instruction &inst,
@@ -366,6 +434,10 @@ class Sm
     int rrCursor_ = 0;
     uint64_t issueBlockedUntil_ = 0;
     bool issuedLastStep_ = false;
+
+    /// Compiled block table (chip-owned, read-only; nullptr = engine off).
+    const BlockTable *blockTable_ = nullptr;
+    BlockExecCounters blockExecCounters_;
 
     /**
      * Memoized classifyIdle warp scan. The (anyValid, anyMem,

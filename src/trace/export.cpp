@@ -112,6 +112,28 @@ buildRegistry(Gpu &gpu)
     reg.define("epoch.merge_wall_ns",
                static_cast<double>(ep.mergeWallNs));
 
+    // Superblock execution engine observability (engine-side too).
+    const BlockExecStats &bx = gpu.blockExecStats();
+    reg.define("blockexec.blocks_compiled",
+               static_cast<double>(bx.blocksCompiled));
+    reg.define("blockexec.fusible_blocks",
+               static_cast<double>(bx.fusibleBlocks));
+    reg.define("blockexec.compile_wall_ns",
+               static_cast<double>(bx.compileWallNs));
+    reg.define("blockexec.spans", static_cast<double>(bx.spans));
+    reg.define("blockexec.largest_span",
+               static_cast<double>(bx.largestSpan));
+    reg.define("blockexec.fused_runs", static_cast<double>(bx.fusedRuns));
+    reg.define("blockexec.fused_ops", static_cast<double>(bx.fusedOps));
+    reg.define("blockexec.idle_cycles_skipped",
+               static_cast<double>(bx.idleCyclesSkipped));
+    for (size_t i = 0; i < kNumBlockExecFallbacks; i++) {
+        const BlockExecFallback f = static_cast<BlockExecFallback>(i);
+        reg.define(std::string("blockexec.fallback.") +
+                       blockExecFallbackName(f),
+                   static_cast<double>(bx.fallbacks[i]));
+    }
+
     // Per-SM breakdowns.
     for (int i = 0; i < gpu.numSms(); i++) {
         Sm &sm = gpu.sm(i);

@@ -4,7 +4,8 @@
 # the schema field "ukdump-json-1" versions the format). Regenerate
 # deliberately after a schema bump with:
 #     UKSIM_SMS=2 UKSIM_RES=16 UKSIM_DETAIL=2 UKSIM_FASTFWD=1 \
-#     UKSIM_THREADS=1 build/tools/ukdump \
+#     UKSIM_THREADS=1 UKSIM_EPOCHS=0 UKSIM_BLOCKEXEC=0 \
+#     build/tools/ukdump \
 #         --config uk_conference --cycles 3000 \
 #         --out tests/data/ukdump_small.expected.json
 #
@@ -26,6 +27,7 @@ set(ENV{UKSIM_DETAIL} 2)
 set(ENV{UKSIM_FASTFWD} 1)
 set(ENV{UKSIM_THREADS} 1)
 set(ENV{UKSIM_EPOCHS} 0)
+set(ENV{UKSIM_BLOCKEXEC} 0)
 execute_process(
     COMMAND ${TOOL} --config uk_conference --cycles 3000
             --out ${WORKDIR}/ukdump_golden_test.dump.json
